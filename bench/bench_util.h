@@ -1,0 +1,61 @@
+// Shared helpers for the paper-artifact bench binaries: environment-driven
+// scaling, series summarization, and aligned table printing.
+//
+// Every bench accepts LAKEORG_SCALE (a positive double, default noted per
+// bench) that multiplies the workload size, so the same binaries run
+// laptop-fast by default and approach the paper's scale with
+// LAKEORG_SCALE=1 or higher.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace lakeorg::bench {
+
+/// Reads a positive double from the environment, with a default.
+inline double EnvScale(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  if (end == value || parsed <= 0.0) return fallback;
+  return parsed;
+}
+
+/// Scales a count, keeping at least `min_value`.
+inline size_t Scaled(size_t base, double scale, size_t min_value = 1) {
+  double scaled = static_cast<double>(base) * scale;
+  size_t out = static_cast<size_t>(scaled);
+  return out < min_value ? min_value : out;
+}
+
+/// Summarizes a sorted-ascending series at fixed quantile stops — the
+/// text rendering of a Figure 2 curve.
+inline std::string SeriesSummary(const std::vector<double>& sorted) {
+  if (sorted.empty()) return "(empty)";
+  const double stops[] = {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0};
+  std::string out;
+  char buf[48];
+  for (double stop : stops) {
+    size_t idx = static_cast<size_t>(stop * (sorted.size() - 1));
+    std::snprintf(buf, sizeof(buf), "p%-3.0f=%.3f ", stop * 100,
+                  sorted[idx]);
+    out += buf;
+  }
+  return out;
+}
+
+/// Prints a horizontal rule + centered title.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n%s\n", std::string(78, '=').c_str());
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", std::string(78, '=').c_str());
+}
+
+inline void PrintRule() {
+  std::printf("%s\n", std::string(78, '-').c_str());
+}
+
+}  // namespace lakeorg::bench

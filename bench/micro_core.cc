@@ -1,0 +1,147 @@
+// M1 — google-benchmark microbenchmarks for the hot kernels: cosine and
+// topic accumulation, reach-probability DP, organization clone + operation
+// application, incremental proposal evaluation, and BM25 query latency.
+#include <benchmark/benchmark.h>
+
+#include "benchgen/tagcloud.h"
+#include "core/evaluator.h"
+#include "core/local_search.h"
+#include "core/operations.h"
+#include "core/org_builders.h"
+#include "search/engine.h"
+
+namespace lakeorg {
+namespace {
+
+/// Lazily built shared fixture (generation is too slow per-iteration).
+struct Shared {
+  TagCloudBenchmark bench;
+  TagIndex index;
+  std::shared_ptr<const OrgContext> ctx;
+  Organization flat;
+  Organization clustering;
+
+  Shared()
+      : bench([] {
+          TagCloudOptions opts;
+          opts.num_tags = 60;
+          opts.target_attributes = 400;
+          opts.min_values = 10;
+          opts.max_values = 60;
+          opts.seed = 9;
+          return GenerateTagCloud(opts);
+        }()),
+        index(TagIndex::Build(bench.lake)),
+        ctx(OrgContext::BuildFull(bench.lake, index)),
+        flat(BuildFlatOrganization(ctx)),
+        clustering(BuildClusteringOrganization(ctx)) {}
+
+  static const Shared& Get() {
+    static const Shared shared;
+    return shared;
+  }
+};
+
+void BM_Cosine(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  Vec a(dim, 0.5f);
+  Vec b(dim, 0.25f);
+  a[0] = 1.0f;
+  b[dim - 1] = 1.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Cosine(a, b));
+  }
+}
+BENCHMARK(BM_Cosine)->Arg(50)->Arg(300);
+
+void BM_TopicAccumulate(benchmark::State& state) {
+  size_t dim = 50;
+  Vec sample(dim, 0.1f);
+  for (auto _ : state) {
+    TopicAccumulator acc(dim);
+    for (int i = 0; i < 64; ++i) acc.Add(sample);
+    benchmark::DoNotOptimize(acc.Mean());
+  }
+}
+BENCHMARK(BM_TopicAccumulate);
+
+void BM_ReachProbabilities(benchmark::State& state) {
+  const Shared& shared = Shared::Get();
+  const Organization& org =
+      state.range(0) == 0 ? shared.flat : shared.clustering;
+  OrgEvaluator eval;
+  const Vec& query = shared.ctx->attr_vector(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.ReachProbabilities(org, query));
+  }
+  state.SetLabel(state.range(0) == 0 ? "flat" : "clustering");
+}
+BENCHMARK(BM_ReachProbabilities)->Arg(0)->Arg(1);
+
+void BM_OrganizationClone(benchmark::State& state) {
+  const Shared& shared = Shared::Get();
+  for (auto _ : state) {
+    Organization clone = shared.clustering.Clone();
+    benchmark::DoNotOptimize(clone.num_states());
+  }
+}
+BENCHMARK(BM_OrganizationClone);
+
+void BM_AddParentOp(benchmark::State& state) {
+  const Shared& shared = Shared::Get();
+  auto uniform = [](StateId) { return 1.0; };
+  for (auto _ : state) {
+    Organization clone = shared.clustering.Clone();
+    OpResult result =
+        ApplyAddParent(&clone, clone.LeafOf(0), uniform);
+    benchmark::DoNotOptimize(result.applied);
+  }
+}
+BENCHMARK(BM_AddParentOp);
+
+void BM_ProposalEvaluation(benchmark::State& state) {
+  const Shared& shared = Shared::Get();
+  TransitionConfig config;
+  IncrementalEvaluator evaluator(config, shared.ctx,
+                                 IdentityRepresentatives(*shared.ctx));
+  Organization current = shared.clustering.Clone();
+  current.RecomputeLevels();
+  evaluator.Initialize(current);
+  auto reach = [&evaluator](StateId s) {
+    return evaluator.StateReachability(s);
+  };
+  for (auto _ : state) {
+    Organization proposal = current.Clone();
+    OpResult op = ApplyAddParent(&proposal, proposal.LeafOf(0), reach);
+    ProposalEvaluation eval;
+    evaluator.EvaluateProposal(proposal, op.topic_changed,
+                               op.children_changed, op.removed, &eval);
+    benchmark::DoNotOptimize(eval.effectiveness);
+  }
+}
+BENCHMARK(BM_ProposalEvaluation);
+
+void BM_FullEffectiveness(benchmark::State& state) {
+  const Shared& shared = Shared::Get();
+  OrgEvaluator eval;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.Effectiveness(shared.flat));
+  }
+}
+BENCHMARK(BM_FullEffectiveness);
+
+void BM_Bm25Query(benchmark::State& state) {
+  const Shared& shared = Shared::Get();
+  static const TableSearchEngine* engine = new TableSearchEngine(
+      &shared.bench.lake, shared.bench.store);
+  std::string query = shared.bench.lake.tag_name(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Search(query, 10, false));
+  }
+}
+BENCHMARK(BM_Bm25Query);
+
+}  // namespace
+}  // namespace lakeorg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// S1 — the scalability study the paper lists as future work ("a detailed
+// scalability study of our technique with respect to the size of data
+// lakes"): sweep the TagCloud size and report, per size, construction
+// time (initial clustering + optimization with 10% representatives),
+// evaluation time, and the resulting effectiveness/success.
+//
+// LAKEORG_SCALE multiplies every size step (default 1.0 covers 30..360
+// tags).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "benchgen/tagcloud.h"
+#include "common/timer.h"
+#include "core/local_search.h"
+#include "core/org_builders.h"
+
+namespace lakeorg {
+
+int Main() {
+  using bench::EnvScale;
+  using bench::PrintHeader;
+  using bench::PrintRule;
+  using bench::Scaled;
+
+  double scale = EnvScale("LAKEORG_SCALE", 1.0);
+  PrintHeader("Scalability — construction/evaluation time vs lake size "
+              "(TagCloud, scale " + std::to_string(scale) + ")");
+  PrintRule();
+  std::printf("%7s %7s | %9s %9s %9s | %9s %9s %9s\n", "#tags", "#attrs",
+              "clust(s)", "opt(s)", "eval(s)", "flat succ", "clus succ",
+              "opt succ");
+  PrintRule();
+
+  const size_t tag_steps[] = {30, 60, 120, 240, 360};
+  for (size_t base_tags : tag_steps) {
+    TagCloudOptions opts;
+    opts.num_tags = Scaled(base_tags, scale, 10);
+    opts.target_attributes = Scaled(base_tags * 7, scale, 50);
+    opts.min_values = 8;
+    opts.max_values = 60;
+    opts.seed = 4040;
+    TagCloudBenchmark bench = GenerateTagCloud(opts);
+    TagIndex index = TagIndex::Build(bench.lake);
+    auto ctx = OrgContext::BuildFull(bench.lake, index);
+
+    TransitionConfig config;
+    config.gamma = 20.0;
+    OrgEvaluator eval(config);
+
+    WallTimer t;
+    Organization clustering = BuildClusteringOrganization(ctx);
+    double clustering_secs = t.ElapsedSeconds();
+
+    LocalSearchOptions search;
+    search.transition = config;
+    search.patience = 50;
+    search.max_proposals =
+        static_cast<size_t>(EnvScale("LAKEORG_MAX_PROPOSALS", 300));
+    search.use_representatives = true;
+    search.representatives.fraction = 0.1;
+    search.seed = 11;
+    search.record_history = false;
+    t.Restart();
+    LocalSearchResult optimized =
+        OptimizeOrganization(clustering.Clone(), search);
+    double opt_secs = t.ElapsedSeconds();
+
+    t.Restart();
+    auto neighbors = OrgEvaluator::AttributeNeighbors(*ctx, 0.9);
+    double flat_succ =
+        eval.Success(BuildFlatOrganization(ctx), neighbors).mean;
+    double clus_succ = eval.Success(clustering, neighbors).mean;
+    double opt_succ = eval.Success(optimized.org, neighbors).mean;
+    double eval_secs = t.ElapsedSeconds();
+
+    std::printf("%7zu %7zu | %9.2f %9.2f %9.2f | %9.4f %9.4f %9.4f\n",
+                ctx->num_tags(), ctx->num_attrs(), clustering_secs,
+                opt_secs, eval_secs, flat_succ, clus_succ, opt_succ);
+  }
+  PrintRule();
+  std::printf("expected shape: construction scales near-quadratically in "
+              "tags (agglomerative) and optimization cost per proposal "
+              "grows with the affected subgraph; organizations' advantage "
+              "over the flat baseline widens with lake size\n");
+  return 0;
+}
+
+}  // namespace lakeorg
+
+int main() { return lakeorg::Main(); }

@@ -1,0 +1,77 @@
+// Dataset-discovery scenario: the paper's user-study setting in miniature.
+// One lake, one information need, two modalities — keyword search (BM25 +
+// query expansion) and navigation over an optimized organization — run by
+// simulated users; prints what each found and how much the result sets
+// diverge (the paper's disjointness metric).
+//
+// Run:  ./examples/dataset_discovery
+#include <cstdio>
+
+#include "benchgen/socrata.h"
+#include "core/multidim.h"
+#include "study/agents.h"
+
+using namespace lakeorg;
+
+int main() {
+  SocrataOptions opts;
+  opts.num_tables = 250;
+  opts.num_tags = 150;
+  opts.seed = 33;
+  SocrataLake soc = GenerateSocrataLake(opts);
+  TagIndex index = TagIndex::Build(soc.lake);
+  std::printf("lake: %zu tables, %zu tags\n", soc.lake.num_tables(),
+              soc.lake.num_tags());
+
+  // The information need: the most heavily used tag's topic.
+  TagId best = index.NonEmptyTags()[0];
+  for (TagId t : index.NonEmptyTags()) {
+    if (index.AttributesOfTag(t).size() >
+        index.AttributesOfTag(best).size()) {
+      best = t;
+    }
+  }
+  Scenario scenario{"find datasets about " + soc.lake.tag_name(best),
+                    index.TagTopicVector(best)};
+  std::printf("scenario: \"%s\"\n\n", scenario.description.c_str());
+
+  // Systems: a 3-dim organization and a BM25 engine over the same lake.
+  MultiDimOptions mopts;
+  mopts.dimensions = 3;
+  mopts.search.patience = 25;
+  mopts.search.max_proposals = 150;
+  mopts.search.use_representatives = true;
+  MultiDimOrganization org =
+      BuildMultiDimOrganization(soc.lake, index, mopts);
+  TableSearchEngine engine(&soc.lake, soc.store);
+
+  AgentOptions agent;
+  agent.action_budget = 250;
+  agent.accept_threshold = 0.35;
+
+  Rng nav_rng(7);
+  AgentResult nav =
+      RunNavigationAgent(org, soc.lake, scenario, agent, &nav_rng);
+  Rng search_rng(7);
+  AgentResult search = RunSearchAgent(engine, soc.lake, scenario, {},
+                                      agent, &search_rng);
+
+  auto print_found = [&soc](const char* label, const AgentResult& r) {
+    std::printf("%s found %zu tables in %zu actions (%zu probes):\n",
+                label, r.found.size(), r.actions_used, r.probes);
+    for (size_t i = 0; i < r.found.size() && i < 8; ++i) {
+      const Table& t = soc.lake.table(r.found[i]);
+      std::printf("    %-22s %s\n", t.name.c_str(), t.title.c_str());
+    }
+    if (r.found.size() > 8) std::printf("    ...\n");
+  };
+  print_found("navigation", nav);
+  print_found("keyword search", search);
+
+  std::printf("\nresult-set disjointness (1 = no overlap): %.3f\n",
+              Disjointness(nav.found, search.found));
+  std::printf("the paper found ~5%% overlap between modalities on the "
+              "same need — navigation surfaces tables search misses, and "
+              "vice versa.\n");
+  return 0;
+}

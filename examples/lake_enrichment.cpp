@@ -1,0 +1,79 @@
+// Metadata-enrichment scenario (the paper's "enriched TagCloud"
+// experiment as an API walkthrough): tables whose attributes carry a
+// single tag are hard to discover in any organization; attaching each
+// attribute's closest other tag adds discovery paths and lifts the least
+// discoverable tables. Prints the bottom of the success distribution
+// before and after enrichment.
+//
+// Run:  ./examples/lake_enrichment
+#include <algorithm>
+#include <cstdio>
+
+#include "benchgen/tagcloud.h"
+#include "core/evaluator.h"
+#include "core/org_builders.h"
+
+using namespace lakeorg;
+
+namespace {
+
+SuccessReport EvaluateFlat(const TagCloudBenchmark& bench,
+                           const TransitionConfig& config) {
+  TagIndex index = TagIndex::Build(bench.lake);
+  auto ctx = OrgContext::BuildFull(bench.lake, index);
+  Organization flat = BuildFlatOrganization(ctx);
+  OrgEvaluator eval(config);
+  return eval.Success(flat, OrgEvaluator::AttributeNeighbors(*ctx, 0.9));
+}
+
+}  // namespace
+
+int main() {
+  TagCloudOptions opts;
+  opts.num_tags = 60;
+  opts.target_attributes = 300;
+  opts.min_values = 10;
+  opts.max_values = 40;
+  opts.seed = 12;
+
+  TransitionConfig config;
+  config.gamma = 20.0;
+
+  TagCloudBenchmark plain = GenerateTagCloud(opts);
+  std::printf("TagCloud lake: %zu tables, %zu attributes, %zu tags "
+              "(one tag per attribute)\n",
+              plain.lake.num_tables(), plain.lake.num_attributes(),
+              plain.lake.num_tags());
+  SuccessReport before = EvaluateFlat(plain, config);
+
+  TagCloudBenchmark enriched = GenerateTagCloud(opts, plain.vocabulary);
+  size_t added = EnrichTagCloud(&enriched);
+  std::printf("enrichment attached %zu additional attribute-tag "
+              "associations (closest other tag per attribute)\n\n",
+              added);
+  SuccessReport after = EvaluateFlat(enriched, config);
+
+  std::vector<double> sorted_before = before.SortedAscending();
+  std::vector<double> sorted_after = after.SortedAscending();
+  std::printf("%-28s %10s %10s\n", "success probability", "before",
+              "enriched");
+  const std::pair<const char*, double> stops[] = {
+      {"bottom decile mean", 0.10}, {"bottom quartile mean", 0.25},
+      {"median", 0.50}};
+  for (const auto& [label, frac] : stops) {
+    auto head_mean = [frac = frac](const std::vector<double>& xs) {
+      size_t n = std::max<size_t>(1, static_cast<size_t>(frac * xs.size()));
+      double total = 0.0;
+      for (size_t i = 0; i < n; ++i) total += xs[i];
+      return total / static_cast<double>(n);
+    };
+    std::printf("%-28s %10.4f %10.4f\n", label, head_mean(sorted_before),
+                head_mean(sorted_after));
+  }
+  std::printf("%-28s %10.4f %10.4f\n", "overall mean", before.mean,
+              after.mean);
+  std::printf("\nthe paper observed the same effect: ~70%% of the least "
+              "discoverable tables had single-attribute single-tag "
+              "tables; enrichment raises exactly that tail.\n");
+  return 0;
+}

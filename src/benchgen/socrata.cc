@@ -1,0 +1,152 @@
+#include "benchgen/socrata.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+#include "common/zipf.h"
+
+namespace lakeorg {
+namespace {
+
+/// A non-embeddable value (codes/ids that a pretrained vector file would
+/// miss); the synthetic vocabulary never contains digit strings.
+std::string OovValue(Rng* rng) {
+  return "id" + std::to_string(rng->UniformInt(100000, 999999));
+}
+
+}  // namespace
+
+SocrataLake GenerateSocrataLake(
+    const SocrataOptions& options,
+    std::shared_ptr<SyntheticVocabulary> vocabulary) {
+  Rng rng(options.seed);
+  if (vocabulary == nullptr) {
+    SyntheticVocabularyOptions vopts;
+    vopts.num_topics = 64;
+    vopts.words_per_topic = 64;
+    vopts.seed = options.seed ^ 0x50C7A7AULL;
+    vocabulary = std::make_shared<SyntheticVocabulary>(vopts);
+  }
+
+  SocrataLake out{DataLake{}, vocabulary,
+                  std::make_shared<EmbeddingStore>(vocabulary)};
+  DataLake& lake = out.lake;
+
+  // Tags: each anchored to a vocabulary word (re-use allowed across tags,
+  // real portals have many near-duplicate tags). Tag popularity is
+  // Zipfian over a random permutation.
+  size_t vocab_size = vocabulary->size();
+  std::vector<size_t> tag_anchor(options.num_tags);
+  std::vector<TagId> tag_ids(options.num_tags);
+  for (size_t t = 0; t < options.num_tags; ++t) {
+    tag_anchor[t] = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(vocab_size - 1)));
+    tag_ids[t] = lake.GetOrCreateTag(options.name_prefix + "_tag_" +
+                                     std::to_string(t) + "_" +
+                                     vocabulary->word(tag_anchor[t]));
+  }
+  ZipfDistribution tag_zipf(options.num_tags, options.tags_zipf_exponent);
+  std::vector<size_t> tag_perm(options.num_tags);
+  for (size_t i = 0; i < tag_perm.size(); ++i) tag_perm[i] = i;
+  rng.Shuffle(&tag_perm);
+
+  ZipfDistribution tags_per_table(options.max_tags_per_table,
+                                  options.tags_zipf_exponent);
+  ZipfDistribution attrs_per_table(options.max_attrs_per_table,
+                                   options.attrs_zipf_exponent);
+
+  for (size_t tb = 0; tb < options.num_tables; ++tb) {
+    // Pick this table's tags: a Zipf-popular primary tag plus tags close
+    // to it in embedding space (coherent topics), deduplicated.
+    size_t n_tags = tags_per_table.Sample(&rng);
+    size_t primary = tag_perm[tag_zipf.Sample(&rng) - 1];
+    std::vector<size_t> table_tags = {primary};
+    const Vec& anchor_vec = vocabulary->vector(tag_anchor[primary]);
+    while (table_tags.size() < n_tags) {
+      size_t cand;
+      if (rng.Bernoulli(0.7)) {
+        // Related tag: anchored near the primary anchor.
+        size_t best = primary;
+        double best_sim = -2.0;
+        for (int tries = 0; tries < 8; ++tries) {
+          size_t c = tag_perm[tag_zipf.Sample(&rng) - 1];
+          double sim = Cosine(anchor_vec, vocabulary->vector(tag_anchor[c]));
+          if (sim > best_sim) {
+            best_sim = sim;
+            best = c;
+          }
+        }
+        cand = best;
+      } else {
+        cand = tag_perm[tag_zipf.Sample(&rng) - 1];
+      }
+      if (std::find(table_tags.begin(), table_tags.end(), cand) ==
+          table_tags.end()) {
+        table_tags.push_back(cand);
+      } else if (table_tags.size() >= options.num_tags) {
+        break;
+      }
+    }
+
+    std::vector<std::string> tag_names;
+    for (size_t t : table_tags) {
+      tag_names.push_back(vocabulary->word(tag_anchor[t]));
+    }
+    TableId table = lake.AddTable(
+        options.name_prefix + "_table_" + std::to_string(tb),
+        "Dataset about " + tag_names[0], Join(tag_names, " "));
+    // Attach tags BEFORE attributes so attributes inherit them (the
+    // Socrata property: attributes inherit the tags of their table).
+    for (size_t t : table_tags) {
+      Status st = lake.AttachTag(table, tag_ids[t]);
+      assert(st.ok());
+      (void)st;
+    }
+
+    size_t n_attrs = attrs_per_table.Sample(&rng);
+    bool force_text = rng.Bernoulli(options.tables_with_text_fraction);
+    for (size_t i = 0; i < n_attrs; ++i) {
+      bool is_text = (i == 0 && force_text) ||
+                     rng.Bernoulli(options.text_attr_fraction * 0.85);
+      size_t n_values = static_cast<size_t>(rng.UniformInt(
+          static_cast<int64_t>(options.min_values),
+          static_cast<int64_t>(options.max_values)));
+      std::vector<std::string> values;
+      values.reserve(n_values);
+      if (is_text) {
+        // Values cluster around one of the table's tag anchors.
+        size_t topic_tag =
+            table_tags[static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(table_tags.size() - 1)))];
+        std::vector<size_t> pool = vocabulary->NearestWords(
+            vocabulary->vector(tag_anchor[topic_tag]),
+            std::max<size_t>(n_values, 20));
+        for (size_t v = 0; v < n_values; ++v) {
+          if (rng.Bernoulli(options.oov_value_fraction)) {
+            values.push_back(OovValue(&rng));
+          } else {
+            size_t pick = pool[static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(pool.size() - 1)))];
+            values.push_back(vocabulary->word(pick));
+          }
+        }
+      } else {
+        for (size_t v = 0; v < n_values; ++v) {
+          values.push_back(std::to_string(rng.UniformInt(0, 100000)));
+        }
+      }
+      lake.AddAttribute(table,
+                        (is_text ? "text_col_" : "num_col_") +
+                            std::to_string(i),
+                        std::move(values), is_text);
+    }
+  }
+
+  Status st = lake.ComputeTopicVectors(*out.store);
+  assert(st.ok());
+  (void)st;
+  return out;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,60 @@
+// Socrata-like synthetic lake generator (DESIGN.md substitution 2).
+// Reproduces the published characteristics of the paper's Socrata crawl
+// that the organization algorithms are sensitive to (section 4.1):
+// Zipfian tags-per-table and attributes-per-table, attributes inheriting
+// all of their table's tags (multi-tag attributes), ~26% text attributes
+// with ~92% of tables having at least one, and ~70% of text values being
+// embeddable. Scale (tables/tags) is a parameter.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "embedding/embedding_store.h"
+#include "embedding/synthetic_vocabulary.h"
+#include "lake/data_lake.h"
+
+namespace lakeorg {
+
+/// Options for GenerateSocrataLake. Defaults give a laptop-scale lake;
+/// the paper's crawl was 7,553 tables / 50,879 attributes / 11,083 tags.
+struct SocrataOptions {
+  size_t num_tables = 600;
+  size_t num_tags = 900;
+  /// Tags per table ~ Zipf over [1, max_tags_per_table].
+  size_t max_tags_per_table = 40;
+  double tags_zipf_exponent = 1.3;
+  /// Attributes per table ~ Zipf over [1, max_attrs_per_table].
+  size_t max_attrs_per_table = 30;
+  double attrs_zipf_exponent = 1.2;
+  /// Overall fraction of text attributes (paper: 0.26).
+  double text_attr_fraction = 0.26;
+  /// Fraction of tables forced to carry >= 1 text attribute (paper: 0.92).
+  double tables_with_text_fraction = 0.92;
+  /// Fraction of text values generated out-of-vocabulary (paper coverage
+  /// was ~70%, i.e. ~0.30 OOV).
+  double oov_value_fraction = 0.30;
+  /// Values per attribute ~ uniform [min_values, max_values].
+  size_t min_values = 5;
+  size_t max_values = 80;
+  /// Prefix for tag/table names; two lakes generated with different
+  /// prefixes share no tags (the Socrata-2 / Socrata-3 property used by
+  /// the user study).
+  std::string name_prefix = "soc";
+  uint64_t seed = 777;
+};
+
+/// A generated Socrata-like lake with its embedding machinery.
+struct SocrataLake {
+  DataLake lake;
+  std::shared_ptr<SyntheticVocabulary> vocabulary;
+  std::shared_ptr<EmbeddingStore> store;
+};
+
+/// Generates a Socrata-like lake. Pass a vocabulary to share one across
+/// lakes; nullptr builds a default.
+SocrataLake GenerateSocrataLake(
+    const SocrataOptions& options,
+    std::shared_ptr<SyntheticVocabulary> vocabulary = nullptr);
+
+}  // namespace lakeorg

@@ -1,0 +1,159 @@
+#include "benchgen/tagcloud.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "common/zipf.h"
+
+namespace lakeorg {
+
+TagCloudBenchmark GenerateTagCloud(
+    const TagCloudOptions& options,
+    std::shared_ptr<SyntheticVocabulary> vocabulary) {
+  Rng rng(options.seed);
+  if (vocabulary == nullptr) {
+    // Default vocabulary geometry: deliberately messy (many overlapping
+    // topics, large word noise), approximating the fastText space the
+    // paper used, where interior-state topic mixtures discriminate far
+    // less cleanly than an idealized cluster geometry would. Sized so
+    // that (a) enough tag words exist at the requested separation and
+    // (b) k-nearest value sampling has headroom.
+    SyntheticVocabularyOptions vopts;
+    vopts.dim = 50;
+    vopts.num_topics = std::max<size_t>(64, options.num_tags);
+    size_t total_words = std::max(
+        {static_cast<size_t>(2400), options.max_values * 6,
+         options.num_tags * 12});
+    vopts.words_per_topic =
+        std::max<size_t>(8, total_words / vopts.num_topics);
+    vopts.max_center_cosine = 0.6;
+    vopts.word_noise = 0.8;
+    vopts.seed = options.seed ^ 0xF057EC7ULL;
+    vocabulary = std::make_shared<SyntheticVocabulary>(vopts);
+  }
+
+  TagCloudBenchmark bench{DataLake{}, vocabulary,
+                          std::make_shared<EmbeddingStore>(vocabulary),
+                          {}};
+  DataLake& lake = bench.lake;
+
+  // Tag words: a well-separated sample.
+  std::vector<size_t> tag_words = vocabulary->SampleSeparatedWords(
+      options.num_tags, options.tag_separation, &rng);
+  if (tag_words.size() < options.num_tags) {
+    LAKEORG_LOG(kWarning) << "TagCloud: only " << tag_words.size()
+                          << " separated tag words available (asked for "
+                          << options.num_tags << ")";
+  }
+  assert(!tag_words.empty());
+
+  // Register tags; remember each tag's vocabulary word.
+  std::vector<TagId> tag_ids;
+  tag_ids.reserve(tag_words.size());
+  bench.tag_words.reserve(tag_words.size());
+  for (size_t w : tag_words) {
+    TagId id = lake.GetOrCreateTag("tag_" + vocabulary->word(w));
+    tag_ids.push_back(id);
+    bench.tag_words.push_back(w);
+  }
+
+  // Tag popularity: Zipfian over a random permutation of tag ranks.
+  ZipfDistribution tag_zipf(tag_ids.size(), options.tag_zipf_exponent);
+  std::vector<size_t> tag_perm(tag_ids.size());
+  for (size_t i = 0; i < tag_perm.size(); ++i) tag_perm[i] = i;
+  rng.Shuffle(&tag_perm);
+
+  ZipfDistribution attrs_zipf(options.max_attrs_per_table,
+                              options.attrs_zipf_exponent);
+
+  size_t attrs_made = 0;
+  size_t table_no = 0;
+  while (attrs_made < options.target_attributes) {
+    size_t n_attrs = attrs_zipf.Sample(&rng);
+    n_attrs = std::min(n_attrs, options.target_attributes - attrs_made);
+    TableId table =
+        lake.AddTable("tc_table_" + std::to_string(table_no++), "", "");
+    std::vector<TagId> table_tags;
+    for (size_t i = 0; i < n_attrs; ++i) {
+      size_t tag_rank = tag_zipf.Sample(&rng) - 1;
+      size_t tag_index = tag_perm[tag_rank];
+      size_t word = bench.tag_words[tag_index];
+      // Domain: the k nearest words to the tag word (includes the tag
+      // word itself as its own nearest neighbor).
+      size_t k = static_cast<size_t>(rng.UniformInt(
+          static_cast<int64_t>(options.min_values),
+          static_cast<int64_t>(options.max_values)));
+      std::vector<size_t> nearest =
+          vocabulary->NearestWords(vocabulary->vector(word), k);
+      std::vector<std::string> values;
+      values.reserve(nearest.size());
+      for (size_t nw : nearest) {
+        if (rng.Bernoulli(options.domain_noise)) {
+          // Generic word: uniform over the vocabulary.
+          nw = static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(vocabulary->size() - 1)));
+        }
+        values.push_back(vocabulary->word(nw));
+      }
+      AttributeId attr = lake.AddAttribute(
+          table, "attr_" + std::to_string(i), std::move(values), true);
+      // Exactly one tag per attribute: attach directly to the attribute.
+      Status st = lake.AttachTagToAttribute(attr, tag_ids[tag_index]);
+      assert(st.ok());
+      (void)st;
+      table_tags.push_back(tag_ids[tag_index]);
+      ++attrs_made;
+    }
+    // Record table-level tag metadata only AFTER every attribute exists;
+    // AddAttribute copies the table's current tag list into new
+    // attributes, so attaching earlier would leak sibling tags.
+    for (TagId tag : table_tags) {
+      Status st = lake.AttachTagMetadataOnly(table, tag);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+
+  Status st = lake.ComputeTopicVectors(*bench.store);
+  assert(st.ok());
+  (void)st;
+  return bench;
+}
+
+size_t EnrichTagCloud(TagCloudBenchmark* bench) {
+  DataLake& lake = bench->lake;
+  assert(lake.topic_vectors_computed());
+  size_t added = 0;
+  const SyntheticVocabulary& vocab = *bench->vocabulary;
+  for (const Attribute& attr : lake.attributes()) {
+    if (!attr.HasTopic()) continue;
+    // Closest tag word other than the existing tag(s).
+    double best = -2.0;
+    size_t best_tag = 0;
+    bool found = false;
+    for (size_t t = 0; t < bench->tag_words.size(); ++t) {
+      TagId tag_id = static_cast<TagId>(t);
+      if (std::find(attr.tags.begin(), attr.tags.end(), tag_id) !=
+          attr.tags.end()) {
+        continue;
+      }
+      double sim = Cosine(attr.topic, vocab.vector(bench->tag_words[t]));
+      if (sim > best) {
+        best = sim;
+        best_tag = t;
+        found = true;
+      }
+    }
+    if (found) {
+      Status st = lake.AttachTagToAttribute(attr.id,
+                                            static_cast<TagId>(best_tag));
+      assert(st.ok());
+      (void)st;
+      ++added;
+    }
+  }
+  return added;
+}
+
+}  // namespace lakeorg

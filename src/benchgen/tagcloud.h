@@ -1,0 +1,69 @@
+// The TagCloud synthetic benchmark (section 4.1): a small lake where every
+// attribute has exactly one, precisely correct tag. Tags are vocabulary
+// words sampled so that they are not close to each other; an attribute's
+// domain is the k nearest words to its tag (k random per attribute), so
+// attribute topic vectors sit tightly around their tags by construction.
+// Tables draw their attribute counts from a Zipfian distribution to mimic
+// real-lake metadata skew.
+#pragma once
+
+#include <memory>
+
+#include "embedding/embedding_store.h"
+#include "embedding/synthetic_vocabulary.h"
+#include "lake/data_lake.h"
+
+namespace lakeorg {
+
+/// Options for GenerateTagCloud. Defaults match the paper's published
+/// shape (365 tags, ~2,651 attributes, attrs/table Zipfian in [1, 50]);
+/// value-domain sizes default smaller than the paper's [10, 1000] to keep
+/// the benchmark laptop-fast, without changing any topic-vector geometry.
+struct TagCloudOptions {
+  size_t num_tags = 365;
+  /// Attribute generation stops once this many exist.
+  size_t target_attributes = 2651;
+  /// Attributes per table ~ Zipf over [1, max_attrs_per_table].
+  size_t max_attrs_per_table = 50;
+  double attrs_zipf_exponent = 1.5;
+  /// Tag popularity (which tag an attribute gets) ~ Zipf over tag ranks.
+  double tag_zipf_exponent = 1.1;
+  /// Values per attribute ~ uniform [min_values, max_values].
+  size_t min_values = 10;
+  size_t max_values = 300;
+  /// Max pairwise cosine allowed between tag words ("not very close").
+  double tag_separation = 0.5;
+  /// Fraction of each domain drawn uniformly from the whole vocabulary
+  /// instead of from the tag's neighborhood. Real attribute domains mix
+  /// generic words in with their topic (pretrained-embedding spaces are
+  /// far messier than a synthetic cluster geometry); without this, topic
+  /// vectors are so clean that deep binary hierarchies are already
+  /// near-optimal and the organization problem is trivial.
+  double domain_noise = 0.25;
+  uint64_t seed = 2020;
+};
+
+/// A generated TagCloud benchmark: the lake, its vocabulary (the fastText
+/// stand-in), the embedding store topic vectors were computed with, and
+/// the vocabulary word index behind each tag.
+struct TagCloudBenchmark {
+  DataLake lake;
+  std::shared_ptr<SyntheticVocabulary> vocabulary;
+  std::shared_ptr<EmbeddingStore> store;
+  /// tag_words[t] = vocabulary word index of lake tag id t.
+  std::vector<size_t> tag_words;
+};
+
+/// Generates a TagCloud benchmark. Pass a vocabulary to share one across
+/// benchmarks; nullptr builds a default one sized for the options.
+TagCloudBenchmark GenerateTagCloud(
+    const TagCloudOptions& options,
+    std::shared_ptr<SyntheticVocabulary> vocabulary = nullptr);
+
+/// The metadata-enrichment step of section 4.3.1: attaches to every
+/// attribute the closest tag other than its existing one, then recomputes
+/// nothing (tags do not change topic vectors). Returns the number of
+/// associations added.
+size_t EnrichTagCloud(TagCloudBenchmark* bench);
+
+}  // namespace lakeorg

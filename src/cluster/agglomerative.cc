@@ -1,0 +1,193 @@
+#include "cluster/agglomerative.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace lakeorg {
+namespace {
+
+/// Union-find over dendrogram construction, mapping each component root to
+/// its current dendrogram node id.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), node_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+    std::iota(node_.begin(), node_.end(), size_t{0});
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the components of a and b; the new component is labeled with
+  /// dendrogram node `node_id`. Returns the merged leaf count.
+  size_t Union(size_t a, size_t b, size_t node_id) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    assert(ra != rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    node_[ra] = node_id;
+    return size_[ra];
+  }
+
+  /// Dendrogram node id of x's component.
+  size_t NodeOf(size_t x) { return node_[Find(x)]; }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> node_;
+  std::vector<size_t> size_;
+};
+
+struct RawMerge {
+  size_t leaf_a;
+  size_t leaf_b;
+  double height;
+};
+
+}  // namespace
+
+std::vector<int> Dendrogram::Cut(size_t k) const {
+  assert(k >= 1);
+  std::vector<int> assignment(num_items, 0);
+  if (num_items == 0) return assignment;
+  k = std::min(k, num_items);
+
+  // Apply all but the last (k - 1) merges, then label components. Merges
+  // reference dendrogram node ids; for union-find we track a representative
+  // leaf per node id, which stays a member of every merged supercluster.
+  size_t applied = merges.size() >= (k - 1) ? merges.size() - (k - 1) : 0;
+  std::vector<int> labels(num_items, -1);
+  UnionFind uf(num_items);
+  std::vector<size_t> rep(num_items + merges.size());
+  for (size_t i = 0; i < num_items; ++i) rep[i] = i;
+  for (size_t i = 0; i < applied; ++i) {
+    size_t la = rep[merges[i].left];
+    size_t lb = rep[merges[i].right];
+    uf.Union(la, lb, num_items + i);
+    rep[num_items + i] = la;
+  }
+  int next = 0;
+  for (size_t i = 0; i < num_items; ++i) {
+    size_t root = uf.Find(i);
+    if (labels[root] == -1) labels[root] = next++;
+    assignment[i] = labels[root];
+  }
+  return assignment;
+}
+
+Dendrogram AgglomerativeClusterFromDistances(
+    const std::vector<double>& distances, size_t n) {
+  assert(n >= 1);
+  assert(distances.size() == n * n);
+  Dendrogram out;
+  out.num_items = n;
+  if (n == 1) return out;
+
+  // Working copies: slot-based distance matrix with Lance-Williams
+  // average-linkage updates; a merged pair keeps the lower slot.
+  std::vector<double> d = distances;
+  std::vector<char> active(n, 1);
+  std::vector<size_t> size(n, 1);
+  std::vector<size_t> rep(n);  // A leaf that lives in each slot's cluster.
+  std::iota(rep.begin(), rep.end(), size_t{0});
+
+  auto dist = [&d, n](size_t i, size_t j) -> double { return d[i * n + j]; };
+  auto set_dist = [&d, n](size_t i, size_t j, double v) {
+    d[i * n + j] = v;
+    d[j * n + i] = v;
+  };
+
+  std::vector<RawMerge> raw;
+  raw.reserve(n - 1);
+  std::vector<size_t> chain;
+  chain.reserve(n);
+
+  size_t remaining = n;
+  while (remaining > 1) {
+    if (chain.empty()) {
+      for (size_t i = 0; i < n; ++i) {
+        if (active[i]) {
+          chain.push_back(i);
+          break;
+        }
+      }
+    }
+    for (;;) {
+      size_t top = chain.back();
+      // Nearest active neighbor of `top` (ties broken toward the chain's
+      // previous element so reciprocity is detected).
+      size_t prev = chain.size() >= 2 ? chain[chain.size() - 2] : n;
+      size_t best = n;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t j = 0; j < n; ++j) {
+        if (!active[j] || j == top) continue;
+        double dj = dist(top, j);
+        if (dj < best_d || (dj == best_d && j == prev)) {
+          best_d = dj;
+          best = j;
+        }
+      }
+      assert(best != n);
+      if (best == prev) {
+        // Reciprocal nearest neighbors: merge top and prev into prev's slot.
+        chain.pop_back();
+        chain.pop_back();
+        size_t a = prev;
+        size_t b = top;
+        raw.push_back(RawMerge{rep[a], rep[b], best_d});
+        double sa = static_cast<double>(size[a]);
+        double sb = static_cast<double>(size[b]);
+        for (size_t k = 0; k < n; ++k) {
+          if (!active[k] || k == a || k == b) continue;
+          set_dist(a, k, (sa * dist(a, k) + sb * dist(b, k)) / (sa + sb));
+        }
+        size[a] += size[b];
+        active[b] = 0;
+        --remaining;
+        break;
+      }
+      chain.push_back(best);
+    }
+  }
+
+  // Sort merges by height (valid for reducible linkages) and relabel with
+  // union-find, scipy-style.
+  std::stable_sort(raw.begin(), raw.end(),
+                   [](const RawMerge& x, const RawMerge& y) {
+                     return x.height < y.height;
+                   });
+  UnionFind uf(n);
+  out.merges.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    DendrogramMerge m;
+    m.left = uf.NodeOf(raw[i].leaf_a);
+    m.right = uf.NodeOf(raw[i].leaf_b);
+    m.height = raw[i].height;
+    m.size = uf.Union(raw[i].leaf_a, raw[i].leaf_b, n + i);
+    out.merges.push_back(m);
+  }
+  return out;
+}
+
+Dendrogram AgglomerativeCluster(const std::vector<Vec>& items) {
+  size_t n = items.size();
+  std::vector<double> d(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double dij = CosineDistance(items[i], items[j]);
+      d[i * n + j] = dij;
+      d[j * n + i] = dij;
+    }
+  }
+  return AgglomerativeClusterFromDistances(d, n);
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,59 @@
+// Average-linkage (UPGMA) agglomerative hierarchical clustering over cosine
+// distance. The paper uses it twice: to build the binary "clustering"
+// organization over tag states (section 4.3.1) and as the initial
+// organization handed to local search (section 3.3).
+//
+// Implemented with the nearest-neighbor-chain algorithm, O(n^2) time and
+// memory, which is exact for reducible linkages such as average linkage.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "embedding/vector_ops.h"
+
+namespace lakeorg {
+
+/// One merge step of a dendrogram. Node ids: [0, n) are the input items
+/// (leaves); merge i creates node n + i.
+struct DendrogramMerge {
+  /// Ids of the two merged nodes.
+  size_t left = 0;
+  size_t right = 0;
+  /// Linkage distance at which the merge happened.
+  double height = 0.0;
+  /// Number of leaves under the merged node.
+  size_t size = 0;
+};
+
+/// A full binary merge tree over n items (n - 1 merges).
+struct Dendrogram {
+  /// Number of clustered items.
+  size_t num_items = 0;
+  /// Merges in the order they were performed; merges[i] creates node
+  /// num_items + i.
+  std::vector<DendrogramMerge> merges;
+
+  /// Id of the final (root) node; for n == 1 this is item 0.
+  size_t Root() const {
+    return merges.empty() ? 0 : num_items + merges.size() - 1;
+  }
+
+  /// Total number of nodes (leaves + merges).
+  size_t NumNodes() const { return num_items + merges.size(); }
+
+  /// Flat cluster assignment obtained by cutting into `k` clusters
+  /// (undoing the last k - 1 merges). assignment[i] in [0, k).
+  std::vector<int> Cut(size_t k) const;
+};
+
+/// Clusters `items` bottom-up with average linkage over cosine distance.
+/// Requires items.size() >= 1; all vectors share one dimension.
+Dendrogram AgglomerativeCluster(const std::vector<Vec>& items);
+
+/// As above but over a caller-supplied condensed pairwise distance matrix:
+/// dist(i, j) = distances[i * n + j] (symmetric, zero diagonal).
+Dendrogram AgglomerativeClusterFromDistances(
+    const std::vector<double>& distances, size_t n);
+
+}  // namespace lakeorg

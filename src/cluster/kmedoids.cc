@@ -1,0 +1,125 @@
+#include "cluster/kmedoids.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace lakeorg {
+namespace {
+
+KMedoidsResult RunOnce(const std::vector<Vec>& items, size_t k, Rng* rng,
+                       const KMedoidsOptions& options) {
+  size_t n = items.size();
+  KMedoidsResult result;
+
+  // k-means++-style seeding: first medoid uniform, then proportional to
+  // distance-to-nearest-chosen.
+  std::vector<size_t> medoids;
+  medoids.push_back(static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(n - 1))));
+  std::vector<double> nearest(n, 0.0);
+  while (medoids.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t m : medoids) {
+        best = std::min(best, CosineDistance(items[i], items[m]));
+      }
+      nearest[i] = best;
+      total += best;
+    }
+    size_t pick;
+    if (total <= 0.0) {
+      pick = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(n - 1)));
+    } else {
+      pick = rng->Categorical(nearest);
+    }
+    if (std::find(medoids.begin(), medoids.end(), pick) == medoids.end()) {
+      medoids.push_back(pick);
+    } else {
+      // Duplicate (all mass on chosen points); fall back to first unused.
+      for (size_t i = 0; i < n; ++i) {
+        if (std::find(medoids.begin(), medoids.end(), i) == medoids.end()) {
+          medoids.push_back(i);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<int> assignment(n, 0);
+  double cost = 0.0;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assign.
+    cost = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (size_t c = 0; c < medoids.size(); ++c) {
+        double d = CosineDistance(items[i], items[medoids[c]]);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      assignment[i] = best_c;
+      cost += best;
+    }
+    // Update: each cluster's cost-minimizing member becomes its medoid.
+    bool changed = false;
+    std::vector<std::vector<size_t>> members(medoids.size());
+    for (size_t i = 0; i < n; ++i) {
+      members[static_cast<size_t>(assignment[i])].push_back(i);
+    }
+    for (size_t c = 0; c < medoids.size(); ++c) {
+      const std::vector<size_t>& ms = members[c];
+      if (ms.empty()) continue;
+      double best_cost = std::numeric_limits<double>::infinity();
+      size_t best_m = medoids[c];
+      for (size_t cand : ms) {
+        double cand_cost = 0.0;
+        for (size_t other : ms) {
+          cand_cost += CosineDistance(items[cand], items[other]);
+          if (cand_cost >= best_cost) break;
+        }
+        if (cand_cost < best_cost) {
+          best_cost = cand_cost;
+          best_m = cand;
+        }
+      }
+      if (best_m != medoids[c]) {
+        medoids[c] = best_m;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  result.medoids = std::move(medoids);
+  result.assignment = std::move(assignment);
+  result.total_cost = cost;
+  return result;
+}
+
+}  // namespace
+
+KMedoidsResult KMedoids(const std::vector<Vec>& items, size_t k, Rng* rng,
+                        const KMedoidsOptions& options) {
+  assert(k >= 1);
+  size_t n = items.size();
+  KMedoidsResult best;
+  if (n == 0) return best;
+  k = std::min(k, n);
+
+  best.total_cost = std::numeric_limits<double>::infinity();
+  size_t restarts = std::max<size_t>(1, options.restarts);
+  for (size_t r = 0; r < restarts; ++r) {
+    KMedoidsResult run = RunOnce(items, k, rng, options);
+    if (run.total_cost < best.total_cost) best = std::move(run);
+  }
+  return best;
+}
+
+}  // namespace lakeorg

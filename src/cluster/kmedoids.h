@@ -1,0 +1,45 @@
+// k-medoids clustering over cosine distance. The paper partitions a lake's
+// tags into k groups with k-medoids before building one organization per
+// group (sections 2.5 and 4.3.4), and the representative-approximation uses
+// medoids of attribute partitions as representatives (section 3.4).
+//
+// Implemented as Voronoi iteration (alternate k-medoids): k-means++-style
+// seeding, then alternate (assign to nearest medoid, re-pick each cluster's
+// cost-minimizing member) until stable. Exact PAM is O(k (n-k)^2) per
+// sweep and does not scale to data-lake tag counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "embedding/vector_ops.h"
+
+namespace lakeorg {
+
+/// Result of a k-medoids run.
+struct KMedoidsResult {
+  /// Item indices chosen as medoids (size <= k when n < k).
+  std::vector<size_t> medoids;
+  /// assignment[i] = cluster index in [0, medoids.size()).
+  std::vector<int> assignment;
+  /// Sum of distances from items to their medoid.
+  double total_cost = 0.0;
+  /// Voronoi iterations performed.
+  size_t iterations = 0;
+};
+
+/// Options for KMedoids.
+struct KMedoidsOptions {
+  /// Maximum Voronoi iterations.
+  size_t max_iterations = 50;
+  /// Independent restarts; the lowest-cost run wins.
+  size_t restarts = 2;
+};
+
+/// Clusters `items` into `k` groups by cosine distance. Deterministic given
+/// `rng`'s state. Requires k >= 1.
+KMedoidsResult KMedoids(const std::vector<Vec>& items, size_t k, Rng* rng,
+                        const KMedoidsOptions& options = {});
+
+}  // namespace lakeorg

@@ -1,0 +1,99 @@
+#include "common/dynamic_bitset.h"
+
+#include <bit>
+#include <cassert>
+
+namespace lakeorg {
+
+namespace {
+constexpr size_t kBitsPerWord = 64;
+size_t WordCount(size_t size) { return (size + kBitsPerWord - 1) / kBitsPerWord; }
+}  // namespace
+
+DynamicBitset::DynamicBitset(size_t size)
+    : size_(size), words_(WordCount(size), 0) {}
+
+void DynamicBitset::Reset(size_t size) {
+  size_ = size;
+  words_.assign(WordCount(size), 0);
+}
+
+void DynamicBitset::Set(size_t i) {
+  assert(i < size_);
+  words_[i / kBitsPerWord] |= (uint64_t{1} << (i % kBitsPerWord));
+}
+
+void DynamicBitset::Clear(size_t i) {
+  assert(i < size_);
+  words_[i / kBitsPerWord] &= ~(uint64_t{1} << (i % kBitsPerWord));
+}
+
+bool DynamicBitset::Test(size_t i) const {
+  assert(i < size_);
+  return (words_[i / kBitsPerWord] >> (i % kBitsPerWord)) & 1;
+}
+
+void DynamicBitset::ClearAll() {
+  for (uint64_t& w : words_) w = 0;
+}
+
+size_t DynamicBitset::Count() const {
+  size_t count = 0;
+  for (uint64_t w : words_) count += static_cast<size_t>(std::popcount(w));
+  return count;
+}
+
+void DynamicBitset::UnionWith(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void DynamicBitset::IntersectWith(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+size_t DynamicBitset::IntersectionCount(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  size_t count = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    count += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return count;
+}
+
+void DynamicBitset::ForEach(const std::function<void(size_t)>& fn) const {
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w != 0) {
+      unsigned bit = static_cast<unsigned>(std::countr_zero(w));
+      fn(wi * kBitsPerWord + bit);
+      w &= w - 1;
+    }
+  }
+}
+
+std::vector<uint32_t> DynamicBitset::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  ForEach([&out](size_t i) { out.push_back(static_cast<uint32_t>(i)); });
+  return out;
+}
+
+}  // namespace lakeorg

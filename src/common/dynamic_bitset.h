@@ -1,0 +1,75 @@
+// Fixed-universe dynamic bitset. Organization states carry the set of
+// attributes below them (the inclusion property, section 2.1); those sets
+// are unions over tag extents and are stored as bitsets over attribute ids.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace lakeorg {
+
+/// A bitset over a fixed universe [0, size). Supports the set algebra the
+/// organization invariants need: union, intersection, subset tests,
+/// population count, and iteration over set bits.
+class DynamicBitset {
+ public:
+  /// Creates an empty set over a universe of `size` elements.
+  explicit DynamicBitset(size_t size = 0);
+
+  /// Universe size (number of addressable bits).
+  size_t size() const { return size_; }
+
+  /// Resets to a (possibly different-sized) empty universe.
+  void Reset(size_t size);
+
+  /// Sets bit `i`. Requires i < size().
+  void Set(size_t i);
+
+  /// Clears bit `i`. Requires i < size().
+  void Clear(size_t i);
+
+  /// Tests bit `i`. Requires i < size().
+  bool Test(size_t i) const;
+
+  /// Clears all bits.
+  void ClearAll();
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// True iff no bit is set.
+  bool Empty() const { return Count() == 0; }
+
+  /// this |= other. Universes must match.
+  void UnionWith(const DynamicBitset& other);
+
+  /// this &= other. Universes must match.
+  void IntersectWith(const DynamicBitset& other);
+
+  /// True iff this is a subset of `other` (not necessarily proper).
+  bool IsSubsetOf(const DynamicBitset& other) const;
+
+  /// True iff the two sets share at least one element.
+  bool Intersects(const DynamicBitset& other) const;
+
+  /// Number of elements in the intersection with `other`.
+  size_t IntersectionCount(const DynamicBitset& other) const;
+
+  /// Calls `fn(i)` for every set bit i, ascending.
+  void ForEach(const std::function<void(size_t)>& fn) const;
+
+  /// All set bits, ascending.
+  std::vector<uint32_t> ToVector() const;
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace lakeorg

@@ -1,0 +1,48 @@
+// Minimal leveled logging to stderr. Used for progress reporting from the
+// long-running optimizer; algorithms never depend on log output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lakeorg {
+
+/// Log severities, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum emitted level.
+LogLevel GetLogLevel();
+
+/// Emits one formatted log line to stderr if `level` passes the threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style log line builder; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace lakeorg
+
+/// Usage: LAKEORG_LOG(kInfo) << "built " << n << " states";
+#define LAKEORG_LOG(severity) \
+  ::lakeorg::internal::LogLine(::lakeorg::LogLevel::severity)

@@ -1,0 +1,66 @@
+// Seeded random-number utilities. Every stochastic component of the library
+// (generators, local search, user agents) draws from an explicitly seeded
+// Rng so that experiments are reproducible bit-for-bit.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace lakeorg {
+
+/// A deterministic random source wrapping std::mt19937_64 with the handful
+/// of draws the library needs. Not thread-safe; create one per thread.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed.
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform01();
+
+  /// Uniform double in [lo, hi); requires lo < hi.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal draw.
+  double Gaussian();
+
+  /// Normal draw with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Index in [0, weights.size()) sampled proportionally to `weights`
+  /// (non-negative, not all zero).
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->size() < 2) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i)));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Forks a child generator whose stream is decorrelated from this one.
+  /// Used to hand independent streams to parallel workers.
+  Rng Fork();
+
+  /// Underlying engine, for use with <random> distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace lakeorg

@@ -1,0 +1,36 @@
+// Small descriptive-statistics helpers shared by the evaluation harness
+// (medians for the user study, means/percentiles for reporting).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lakeorg {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Sample variance (n-1 denominator); 0 for fewer than two values.
+double Variance(const std::vector<double>& xs);
+
+/// Sample standard deviation.
+double StdDev(const std::vector<double>& xs);
+
+/// Median (average of the two middle values for even n); 0 for empty input.
+double Median(std::vector<double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]; 0 for empty input.
+double Percentile(std::vector<double> xs, double p);
+
+/// Minimum; 0 for empty input.
+double Min(const std::vector<double>& xs);
+
+/// Maximum; 0 for empty input.
+double Max(const std::vector<double>& xs);
+
+/// Midranks for Mann-Whitney-style rank statistics: rank of each element of
+/// `xs` within the sorted multiset of `xs`, ties receiving the average of
+/// the ranks they span (1-based).
+std::vector<double> MidRanks(const std::vector<double>& xs);
+
+}  // namespace lakeorg

@@ -1,0 +1,28 @@
+// String helpers used by tokenization, labeling, and data generation.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lakeorg {
+
+/// ASCII-lowercases `s`.
+std::string ToLower(std::string_view s);
+
+/// Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string> Split(std::string_view s, std::string_view delims);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace lakeorg

@@ -1,0 +1,62 @@
+// Fixed-size thread pool. The paper optimizes the dimensions of a
+// multi-dimensional organization "independently and in parallel"
+// (section 4.3.2); MultiDimBuilder submits one optimization task per
+// dimension to this pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lakeorg {
+
+/// A minimal fixed-size thread pool with a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its result.
+  template <typename Fn>
+  auto Submit(Fn fn) -> std::future<decltype(fn())> {
+    using ReturnType = decltype(fn());
+    auto task =
+        std::make_shared<std::packaged_task<ReturnType()>>(std::move(fn));
+    std::future<ReturnType> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// A sensible default pool width for this machine.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace lakeorg

@@ -1,0 +1,17 @@
+#include "common/timer.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace lakeorg {
+
+ScopedTimer::ScopedTimer(std::string label) : label_(std::move(label)) {}
+
+ScopedTimer::~ScopedTimer() {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f s", timer_.ElapsedSeconds());
+  LogMessage(LogLevel::kInfo, label_ + ": " + buf);
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,44 @@
+// Wall-clock timing for the construction-time experiments (section 4.3.2).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace lakeorg {
+
+/// A monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  WallTimer() { Restart(); }
+
+  /// Resets elapsed time to zero.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Logs "<label>: <secs> s" at INFO level when destroyed.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string label);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string label_;
+  WallTimer timer_;
+};
+
+}  // namespace lakeorg

@@ -1,0 +1,35 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lakeorg {
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) : s_(s) {
+  assert(n > 0);
+  assert(s > 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_[k - 1] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // Guard against rounding in the final bucket.
+}
+
+size_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->Uniform01();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::Pmf(size_t k) const {
+  assert(k >= 1 && k <= cdf_.size());
+  double hi = cdf_[k - 1];
+  double lo = (k == 1) ? 0.0 : cdf_[k - 2];
+  return hi - lo;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,37 @@
+// Zipfian sampling. The paper's TagCloud benchmark and the Socrata-like
+// generator both draw tags-per-table and attributes-per-table from Zipfian
+// distributions (section 4.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace lakeorg {
+
+/// Samples ranks 1..n with P(rank = k) proportional to 1 / k^s.
+/// Precomputes the CDF once; each draw is a binary search.
+class ZipfDistribution {
+ public:
+  /// Creates a Zipf distribution over ranks [1, n] with exponent `s` > 0.
+  ZipfDistribution(size_t n, double s);
+
+  /// Draws a rank in [1, n].
+  size_t Sample(Rng* rng) const;
+
+  /// Number of ranks.
+  size_t n() const { return cdf_.size(); }
+
+  /// Exponent.
+  double s() const { return s_; }
+
+  /// Probability mass of rank k (1-based).
+  double Pmf(size_t k) const;
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i + 1).
+};
+
+}  // namespace lakeorg

@@ -1,0 +1,77 @@
+#include "core/behavior_log.h"
+
+#include <cassert>
+
+namespace lakeorg {
+
+void BehaviorLog::Record(StateId from, StateId to) {
+  ++edge_counts_[Key(from, to)];
+  ++out_counts_[from];
+  ++total_;
+}
+
+void BehaviorLog::RecordPath(const std::vector<StateId>& path) {
+  for (size_t i = 1; i < path.size(); ++i) {
+    Record(path[i - 1], path[i]);
+  }
+}
+
+uint64_t BehaviorLog::EdgeCount(StateId from, StateId to) const {
+  auto it = edge_counts_.find(Key(from, to));
+  return it == edge_counts_.end() ? 0 : it->second;
+}
+
+uint64_t BehaviorLog::OutCount(StateId from) const {
+  auto it = out_counts_.find(from);
+  return it == out_counts_.end() ? 0 : it->second;
+}
+
+void BehaviorLog::Merge(const BehaviorLog& other) {
+  for (const auto& [key, count] : other.edge_counts_) {
+    edge_counts_[key] += count;
+  }
+  for (const auto& [state, count] : other.out_counts_) {
+    out_counts_[state] += count;
+  }
+  total_ += other.total_;
+}
+
+void BehaviorLog::Clear() {
+  edge_counts_.clear();
+  out_counts_.clear();
+  total_ = 0;
+}
+
+std::vector<double> AdaptiveTransitionModel::Probabilities(
+    const Organization& org, const BehaviorLog& log, StateId s,
+    const Vec& query) const {
+  assert(prior_strength_ > 0.0);
+  const OrgState& st = org.state(s);
+  assert(!st.children.empty());
+
+  // Content prior (Equation 1).
+  std::vector<double> sims(st.children.size());
+  for (size_t i = 0; i < st.children.size(); ++i) {
+    sims[i] = Cosine(org.state(st.children[i]).topic, query);
+  }
+  std::vector<double> prior = TransitionProbabilities(sims, config_);
+
+  // Dirichlet blend with observed counts. Counts toward children that
+  // were removed since logging naturally drop out (they are no longer in
+  // the children list); the denominator uses only surviving edges so the
+  // result stays a distribution.
+  double observed_total = 0.0;
+  std::vector<double> observed(st.children.size(), 0.0);
+  for (size_t i = 0; i < st.children.size(); ++i) {
+    observed[i] = static_cast<double>(log.EdgeCount(s, st.children[i]));
+    observed_total += observed[i];
+  }
+  std::vector<double> posterior(st.children.size());
+  double denom = prior_strength_ + observed_total;
+  for (size_t i = 0; i < st.children.size(); ++i) {
+    posterior[i] = (prior_strength_ * prior[i] + observed[i]) / denom;
+  }
+  return posterior;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,439 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+namespace lakeorg {
+namespace {
+
+/// Cosine via precomputed norms (0 when either side has zero norm).
+double CosineWithNorms(const Vec& a, double norm_a, const Vec& b,
+                       double norm_b) {
+  if (norm_a == 0.0 || norm_b == 0.0) return 0.0;
+  double c = Dot(a, b) / (norm_a * norm_b);
+  return std::clamp(c, -1.0, 1.0);
+}
+
+}  // namespace
+
+std::vector<double> SuccessReport::SortedAscending() const {
+  std::vector<double> out = per_table;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<double> OrgEvaluator::ReachProbabilities(const Organization& org,
+                                                     const Vec& query) const {
+  std::vector<double> reach(org.num_states(), 0.0);
+  if (org.root() == kInvalidId) return reach;
+  reach[org.root()] = 1.0;
+
+  // Per-state topic norms, computed lazily.
+  std::vector<double> norm(org.num_states(), -1.0);
+  auto topic_norm = [&org, &norm](StateId s) -> double {
+    if (norm[s] < 0.0) norm[s] = Norm(org.state(s).topic);
+    return norm[s];
+  };
+  double query_norm = Norm(query);
+
+  std::vector<StateId> topo = org.TopologicalOrder();
+  std::vector<double> sims;
+  for (StateId s : topo) {
+    const OrgState& st = org.state(s);
+    if (st.children.empty() || reach[s] == 0.0) continue;
+    sims.resize(st.children.size());
+    for (size_t i = 0; i < st.children.size(); ++i) {
+      StateId c = st.children[i];
+      sims[i] = CosineWithNorms(org.state(c).topic, topic_norm(c), query,
+                                query_norm);
+    }
+    std::vector<double> probs = TransitionProbabilities(sims, config_);
+    for (size_t i = 0; i < st.children.size(); ++i) {
+      reach[st.children[i]] += probs[i] * reach[s];
+    }
+  }
+  return reach;
+}
+
+double OrgEvaluator::AttributeDiscovery(const Organization& org,
+                                        uint32_t attr) const {
+  const Vec& query = org.ctx().attr_vector(attr);
+  std::vector<double> reach = ReachProbabilities(org, query);
+  return reach[org.LeafOf(attr)];
+}
+
+std::vector<double> OrgEvaluator::AllAttributeDiscovery(
+    const Organization& org) const {
+  size_t n = org.ctx().num_attrs();
+  std::vector<double> discovery(n, 0.0);
+  for (uint32_t a = 0; a < n; ++a) {
+    discovery[a] = AttributeDiscovery(org, a);
+  }
+  return discovery;
+}
+
+double OrgEvaluator::TableDiscovery(const OrgContext& ctx, uint32_t table,
+                                    const std::vector<double>& attr_discovery) {
+  double miss = 1.0;
+  for (uint32_t a : ctx.table_attrs(table)) {
+    miss *= (1.0 - attr_discovery[a]);
+  }
+  return 1.0 - miss;
+}
+
+double OrgEvaluator::Effectiveness(const OrgContext& ctx,
+                                   const std::vector<double>& attr_discovery) {
+  if (ctx.num_tables() == 0) return 0.0;
+  double total = 0.0;
+  for (uint32_t t = 0; t < ctx.num_tables(); ++t) {
+    total += TableDiscovery(ctx, t, attr_discovery);
+  }
+  return total / static_cast<double>(ctx.num_tables());
+}
+
+double OrgEvaluator::Effectiveness(const Organization& org) const {
+  return Effectiveness(org.ctx(), AllAttributeDiscovery(org));
+}
+
+std::vector<std::vector<uint32_t>> OrgEvaluator::AttributeNeighbors(
+    const OrgContext& ctx, double theta) {
+  size_t n = ctx.num_attrs();
+  // Pre-normalize attribute vectors once; neighbor search is then dots.
+  std::vector<Vec> unit(n);
+  for (size_t a = 0; a < n; ++a) {
+    unit[a] = ctx.attr_vector(a);
+    NormalizeInPlace(&unit[a]);
+  }
+  std::vector<std::vector<uint32_t>> neighbors(n);
+  for (uint32_t a = 0; a < n; ++a) neighbors[a].push_back(a);
+  for (uint32_t a = 0; a < n; ++a) {
+    for (uint32_t b = a + 1; b < n; ++b) {
+      if (Dot(unit[a], unit[b]) >= theta) {
+        neighbors[a].push_back(b);
+        neighbors[b].push_back(a);
+      }
+    }
+  }
+  return neighbors;
+}
+
+SuccessReport OrgEvaluator::Success(
+    const Organization& org,
+    const std::vector<std::vector<uint32_t>>& neighbors) const {
+  const OrgContext& ctx = org.ctx();
+  size_t n = ctx.num_attrs();
+  assert(neighbors.size() == n);
+
+  std::vector<double> attr_success(n, 0.0);
+  for (uint32_t a = 0; a < n; ++a) {
+    std::vector<double> reach = ReachProbabilities(org, ctx.attr_vector(a));
+    double miss = 1.0;
+    for (uint32_t nb : neighbors[a]) {
+      miss *= (1.0 - reach[org.LeafOf(nb)]);
+    }
+    attr_success[a] = 1.0 - miss;
+  }
+
+  SuccessReport report;
+  report.per_table.resize(ctx.num_tables(), 0.0);
+  double total = 0.0;
+  for (uint32_t t = 0; t < ctx.num_tables(); ++t) {
+    double miss = 1.0;
+    for (uint32_t a : ctx.table_attrs(t)) miss *= (1.0 - attr_success[a]);
+    report.per_table[t] = 1.0 - miss;
+    total += report.per_table[t];
+  }
+  report.mean = ctx.num_tables() == 0
+                    ? 0.0
+                    : total / static_cast<double>(ctx.num_tables());
+  return report;
+}
+
+std::vector<double> OrgEvaluator::StateReachability(
+    const Organization& org, const std::vector<uint32_t>& query_attrs) const {
+  std::vector<double> sums(org.num_states(), 0.0);
+  for (uint32_t a : query_attrs) {
+    std::vector<double> reach =
+        ReachProbabilities(org, org.ctx().attr_vector(a));
+    for (size_t s = 0; s < sums.size(); ++s) sums[s] += reach[s];
+  }
+  if (!query_attrs.empty()) {
+    for (double& v : sums) v /= static_cast<double>(query_attrs.size());
+  }
+  return sums;
+}
+
+RepresentativeSet IdentityRepresentatives(const OrgContext& ctx) {
+  RepresentativeSet reps;
+  size_t n = ctx.num_attrs();
+  reps.query_attrs.resize(n);
+  reps.rep_of.resize(n);
+  reps.members.resize(n);
+  for (uint32_t a = 0; a < n; ++a) {
+    reps.query_attrs[a] = a;
+    reps.rep_of[a] = a;
+    reps.members[a] = {a};
+  }
+  return reps;
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalEvaluator
+// ---------------------------------------------------------------------------
+
+IncrementalEvaluator::IncrementalEvaluator(
+    TransitionConfig config, std::shared_ptr<const OrgContext> ctx,
+    RepresentativeSet reps)
+    : config_(config), ctx_(std::move(ctx)), reps_(std::move(reps)) {
+  assert(reps_.rep_of.size() == ctx_->num_attrs());
+  // tables_of_query_[q]: tables containing any member of q's partition.
+  tables_of_query_.resize(reps_.query_attrs.size());
+  for (uint32_t q = 0; q < reps_.query_attrs.size(); ++q) {
+    std::vector<uint32_t>& tabs = tables_of_query_[q];
+    for (uint32_t a : reps_.members[q]) tabs.push_back(ctx_->attr_table(a));
+    std::sort(tabs.begin(), tabs.end());
+    tabs.erase(std::unique(tabs.begin(), tabs.end()), tabs.end());
+  }
+}
+
+std::vector<double> IncrementalEvaluator::TransitionsFrom(
+    const Organization& org, StateId parent, const Vec& query) const {
+  const OrgState& p = org.state(parent);
+  std::vector<double> sims(p.children.size());
+  double query_norm = Norm(query);
+  for (size_t i = 0; i < p.children.size(); ++i) {
+    const Vec& topic = org.state(p.children[i]).topic;
+    sims[i] = CosineWithNorms(topic, Norm(topic), query, query_norm);
+  }
+  return TransitionProbabilities(sims, config_);
+}
+
+void IncrementalEvaluator::Initialize(const Organization& org) {
+  committed_ = &org;
+  size_t num_q = reps_.query_attrs.size();
+  OrgEvaluator eval(config_);
+  reach_.assign(num_q, {});
+  stale_.assign(num_q, DynamicBitset(org.num_states()));
+  query_discovery_.assign(num_q, 0.0);
+  for (uint32_t q = 0; q < num_q; ++q) {
+    reach_[q] = eval.ReachProbabilities(org, QueryVec(q));
+    query_discovery_[q] = reach_[q][org.LeafOf(reps_.query_attrs[q])];
+  }
+  // Table probabilities through the representative mapping.
+  table_prob_.assign(ctx_->num_tables(), 0.0);
+  double total = 0.0;
+  for (uint32_t t = 0; t < ctx_->num_tables(); ++t) {
+    double miss = 1.0;
+    for (uint32_t a : ctx_->table_attrs(t)) {
+      miss *= (1.0 - query_discovery_[reps_.rep_of[a]]);
+    }
+    table_prob_[t] = 1.0 - miss;
+    total += table_prob_[t];
+  }
+  effectiveness_ = ctx_->num_tables() == 0
+                       ? 0.0
+                       : total / static_cast<double>(ctx_->num_tables());
+}
+
+double IncrementalEvaluator::StateReachability(StateId s) const {
+  if (reach_.empty()) return 0.0;
+  double total = 0.0;
+  for (const std::vector<double>& r : reach_) total += r[s];
+  return total / static_cast<double>(reach_.size());
+}
+
+double IncrementalEvaluator::AttrDiscovery(uint32_t attr) const {
+  return query_discovery_[reps_.rep_of[attr]];
+}
+
+double IncrementalEvaluator::EnsureFresh(uint32_t q, StateId s) {
+  if (!stale_[q].Test(s)) return reach_[q][s];
+  const Organization& org = *committed_;
+  stale_[q].Clear(s);  // Clear first: guards against cycles (there are none).
+  double value = 0.0;
+  const OrgState& st = org.state(s);
+  if (!st.alive) {
+    reach_[q][s] = 0.0;
+    return 0.0;
+  }
+  for (StateId p : st.parents) {
+    double parent_reach = EnsureFresh(q, p);
+    if (parent_reach == 0.0) continue;
+    std::vector<double> probs = TransitionsFrom(org, p, QueryVec(q));
+    const OrgState& ps = org.state(p);
+    for (size_t i = 0; i < ps.children.size(); ++i) {
+      if (ps.children[i] == s) {
+        value += probs[i] * parent_reach;
+        break;
+      }
+    }
+  }
+  reach_[q][s] = value;
+  return value;
+}
+
+void IncrementalEvaluator::EvaluateProposal(
+    const Organization& proposal, const std::vector<StateId>& topic_changed,
+    const std::vector<StateId>& children_changed,
+    const std::vector<StateId>& removed, ProposalEvaluation* out) {
+  assert(committed_ != nullptr);
+  size_t n = proposal.num_states();
+  assert(n == committed_->num_states() &&
+         "operations must not grow the state arena");
+
+  // Seeds: states whose incoming transition probabilities changed.
+  std::vector<char> dirty_mark(n, 0);
+  std::deque<StateId> frontier;
+  auto seed_children_of = [&](StateId u) {
+    if (!proposal.state(u).alive) return;
+    for (StateId c : proposal.state(u).children) {
+      if (!dirty_mark[c]) {
+        dirty_mark[c] = 1;
+        frontier.push_back(c);
+      }
+    }
+  };
+  for (StateId u : children_changed) seed_children_of(u);
+  for (StateId u : topic_changed) {
+    if (!proposal.state(u).alive) continue;
+    for (StateId p : proposal.state(u).parents) seed_children_of(p);
+  }
+  // Descendant closure.
+  while (!frontier.empty()) {
+    StateId cur = frontier.front();
+    frontier.pop_front();
+    for (StateId c : proposal.state(cur).children) {
+      if (!dirty_mark[c]) {
+        dirty_mark[c] = 1;
+        frontier.push_back(c);
+      }
+    }
+  }
+  // Removed states are handled separately (reach 0), not recomputed.
+  for (StateId r : removed) dirty_mark[r] = 0;
+
+  out->removed = removed;
+  out->dirty.clear();
+  std::vector<StateId> topo = proposal.TopologicalOrder();
+  for (StateId s : topo) {
+    if (dirty_mark[s]) out->dirty.push_back(s);
+  }
+
+  // Affected queries: those whose own leaf lies in the dirty closure.
+  out->affected_queries.clear();
+  for (uint32_t q = 0; q < reps_.query_attrs.size(); ++q) {
+    StateId leaf = proposal.LeafOf(reps_.query_attrs[q]);
+    if (dirty_mark[leaf]) out->affected_queries.push_back(q);
+  }
+
+  // Recompute reach over the dirty set for each affected query, push-style
+  // along the proposal's topological order. Frontier (non-dirty) parents
+  // contribute their committed-org values, repaired on demand.
+  out->new_reach.assign(out->affected_queries.size(), {});
+  std::vector<double> scratch(n, 0.0);
+  for (size_t qi = 0; qi < out->affected_queries.size(); ++qi) {
+    uint32_t q = out->affected_queries[qi];
+    const Vec& query = QueryVec(q);
+    for (StateId d : out->dirty) scratch[d] = 0.0;
+    for (StateId s : topo) {
+      const OrgState& st = proposal.state(s);
+      if (st.children.empty()) continue;
+      bool any_dirty_child = false;
+      for (StateId c : st.children) {
+        if (dirty_mark[c]) {
+          any_dirty_child = true;
+          break;
+        }
+      }
+      if (!any_dirty_child) continue;
+      double value = dirty_mark[s] ? scratch[s] : EnsureFresh(q, s);
+      if (value == 0.0) continue;
+      std::vector<double> probs = TransitionsFrom(proposal, s, query);
+      for (size_t i = 0; i < st.children.size(); ++i) {
+        if (dirty_mark[st.children[i]]) {
+          scratch[st.children[i]] += probs[i] * value;
+        }
+      }
+    }
+    out->new_reach[qi].reserve(out->dirty.size());
+    for (StateId d : out->dirty) out->new_reach[qi].push_back(scratch[d]);
+  }
+
+  // Effectiveness delta: tables containing members of affected queries.
+  std::vector<double> new_discovery(reps_.query_attrs.size(), -1.0);
+  out->affected_attrs = 0;
+  std::vector<uint32_t> affected_tables;
+  for (size_t qi = 0; qi < out->affected_queries.size(); ++qi) {
+    uint32_t q = out->affected_queries[qi];
+    StateId leaf = proposal.LeafOf(reps_.query_attrs[q]);
+    // Position of the leaf within the dirty vector.
+    double disc = 0.0;
+    for (size_t j = 0; j < out->dirty.size(); ++j) {
+      if (out->dirty[j] == leaf) {
+        disc = out->new_reach[qi][j];
+        break;
+      }
+    }
+    new_discovery[q] = disc;
+    out->affected_attrs += reps_.members[q].size();
+    affected_tables.insert(affected_tables.end(), tables_of_query_[q].begin(),
+                           tables_of_query_[q].end());
+  }
+  std::sort(affected_tables.begin(), affected_tables.end());
+  affected_tables.erase(
+      std::unique(affected_tables.begin(), affected_tables.end()),
+      affected_tables.end());
+
+  out->new_table_probs.clear();
+  double delta = 0.0;
+  for (uint32_t t : affected_tables) {
+    double miss = 1.0;
+    for (uint32_t a : ctx_->table_attrs(t)) {
+      uint32_t rq = reps_.rep_of[a];
+      double disc =
+          new_discovery[rq] >= 0.0 ? new_discovery[rq] : query_discovery_[rq];
+      miss *= (1.0 - disc);
+    }
+    double prob = 1.0 - miss;
+    out->new_table_probs.emplace_back(t, prob);
+    delta += prob - table_prob_[t];
+  }
+  out->effectiveness =
+      effectiveness_ + (ctx_->num_tables() == 0
+                            ? 0.0
+                            : delta / static_cast<double>(ctx_->num_tables()));
+}
+
+void IncrementalEvaluator::Commit(const Organization& new_org,
+                                  ProposalEvaluation&& eval) {
+  committed_ = &new_org;
+  size_t num_q = reps_.query_attrs.size();
+
+  // Removed states: zero everywhere, never stale.
+  for (StateId r : eval.removed) {
+    for (uint32_t q = 0; q < num_q; ++q) {
+      reach_[q][r] = 0.0;
+      stale_[q].Clear(r);
+    }
+  }
+  // Mark dirty states stale for every query, then overwrite + unmark the
+  // re-evaluated ones.
+  for (uint32_t q = 0; q < num_q; ++q) {
+    for (StateId d : eval.dirty) stale_[q].Set(d);
+  }
+  for (size_t qi = 0; qi < eval.affected_queries.size(); ++qi) {
+    uint32_t q = eval.affected_queries[qi];
+    for (size_t j = 0; j < eval.dirty.size(); ++j) {
+      reach_[q][eval.dirty[j]] = eval.new_reach[qi][j];
+      stale_[q].Clear(eval.dirty[j]);
+    }
+    query_discovery_[q] =
+        reach_[q][new_org.LeafOf(reps_.query_attrs[q])];
+  }
+  for (const auto& [t, prob] : eval.new_table_probs) table_prob_[t] = prob;
+  effectiveness_ = eval.effectiveness;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,208 @@
+// Evaluation of organizations.
+//
+// OrgEvaluator: stateless batch evaluation — reach probabilities via the
+// topological DP of Equation 4, attribute/table discovery probabilities
+// (Definitions 1-2), organization effectiveness (Equations 6-7), and the
+// success-probability measure of section 4.2.
+//
+// IncrementalEvaluator: the search-time evaluator of section 3.4. It keeps
+// per-query reach caches, restricts re-evaluation to the affected subgraph
+// of a proposed operation (descendant closure of the changed states), and
+// optionally evaluates only attribute representatives. Cache entries that
+// an accepted operation may have invalidated for queries that were not
+// re-evaluated are tracked with per-query stale bits and repaired on
+// demand, so table discovery probabilities stay exact for the query set in
+// use.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/dynamic_bitset.h"
+#include "core/organization.h"
+#include "core/transition.h"
+
+namespace lakeorg {
+
+/// Per-table success probabilities (section 4.2) for one organization.
+struct SuccessReport {
+  /// Success probability per local table id.
+  std::vector<double> per_table;
+  /// Mean over tables.
+  double mean = 0.0;
+
+  /// The per-table values sorted ascending (the Figure 2 series).
+  std::vector<double> SortedAscending() const;
+};
+
+/// Stateless batch evaluator.
+class OrgEvaluator {
+ public:
+  explicit OrgEvaluator(TransitionConfig config = {}) : config_(config) {}
+
+  /// Reach probability P(s | X, O) for every state (indexed by StateId;
+  /// dead/unreachable states get 0), for query topic vector `query`.
+  std::vector<double> ReachProbabilities(const Organization& org,
+                                         const Vec& query) const;
+
+  /// Discovery probability of one attribute (Definition 1): reach of its
+  /// leaf under the attribute's own topic vector as the query.
+  double AttributeDiscovery(const Organization& org, uint32_t attr) const;
+
+  /// Discovery probabilities of all context attributes (one DP per
+  /// attribute; the exact, non-approximate evaluation).
+  std::vector<double> AllAttributeDiscovery(const Organization& org) const;
+
+  /// Table discovery probability (Equation 5) from per-attribute values.
+  static double TableDiscovery(const OrgContext& ctx, uint32_t table,
+                               const std::vector<double>& attr_discovery);
+
+  /// Organization effectiveness (Equations 6-7) from per-attribute values.
+  static double Effectiveness(const OrgContext& ctx,
+                              const std::vector<double>& attr_discovery);
+
+  /// Exact organization effectiveness (runs AllAttributeDiscovery).
+  double Effectiveness(const Organization& org) const;
+
+  /// neighbors[a] = attributes A_i with cosine(A_i, a) >= theta, including
+  /// a itself (the success-probability candidate sets of section 4.2).
+  static std::vector<std::vector<uint32_t>> AttributeNeighbors(
+      const OrgContext& ctx, double theta);
+
+  /// Success probabilities per table (section 4.2): one DP per attribute
+  /// query; Success(A|O) = 1 - prod_{A_i in neighbors[A]} (1 - P(A_i|A,O)).
+  SuccessReport Success(const Organization& org,
+                        const std::vector<std::vector<uint32_t>>& neighbors)
+      const;
+
+  /// Mean reach of every state over a set of attribute queries
+  /// (Equation 10's reachability probability).
+  std::vector<double> StateReachability(
+      const Organization& org, const std::vector<uint32_t>& query_attrs) const;
+
+  const TransitionConfig& config() const { return config_; }
+
+ private:
+  TransitionConfig config_;
+};
+
+/// Attribute representatives (section 3.4): a query set (medoid attributes)
+/// plus the attribute -> representative mapping.
+struct RepresentativeSet {
+  /// Local attribute ids used as queries.
+  std::vector<uint32_t> query_attrs;
+  /// For every context attribute, the index into query_attrs of its
+  /// representative.
+  std::vector<uint32_t> rep_of;
+  /// Members of each representative's partition (indices are context
+  /// attribute ids).
+  std::vector<std::vector<uint32_t>> members;
+};
+
+/// Outcome of evaluating one proposed operation without committing it.
+struct ProposalEvaluation {
+  /// Effectiveness of the proposal organization.
+  double effectiveness = 0.0;
+  /// Dirty states (descendant closure of the operation's changes), in the
+  /// proposal organization's topological order.
+  std::vector<StateId> dirty;
+  /// Indices into the query set whose leaf lies in the dirty closure.
+  std::vector<uint32_t> affected_queries;
+  /// new_reach[i][j] = reach of dirty[j] for affected_queries[i].
+  std::vector<std::vector<double>> new_reach;
+  /// (local table, new discovery probability) for affected tables.
+  std::vector<std::pair<uint32_t, double>> new_table_probs;
+  /// Number of context attributes whose discovery probability was
+  /// re-evaluated (members of affected representatives).
+  size_t affected_attrs = 0;
+  /// States removed by the operation.
+  std::vector<StateId> removed;
+};
+
+/// Search-time incremental evaluator over a fixed query set.
+class IncrementalEvaluator {
+ public:
+  /// `reps` defines the query set; use IdentityRepresentatives for exact
+  /// evaluation (section 3.4 approximation disabled).
+  IncrementalEvaluator(TransitionConfig config,
+                       std::shared_ptr<const OrgContext> ctx,
+                       RepresentativeSet reps);
+
+  /// Full evaluation of `org`; resets all caches. `org` becomes the
+  /// committed organization (the caller must keep it alive and unmodified
+  /// until the next Commit).
+  void Initialize(const Organization& org);
+
+  /// Effectiveness of the committed organization over the query set.
+  double effectiveness() const { return effectiveness_; }
+
+  /// Mean cached reach of a state over the query set (Equation 10).
+  /// Entries not re-evaluated for skipped queries may be slightly stale;
+  /// the local search uses this only to order proposals.
+  double StateReachability(StateId s) const;
+
+  /// Evaluates `proposal` (a mutated clone of the committed organization).
+  /// `topic_changed` / `children_changed` / `removed` come from the
+  /// operation that produced the clone.
+  void EvaluateProposal(const Organization& proposal,
+                        const std::vector<StateId>& topic_changed,
+                        const std::vector<StateId>& children_changed,
+                        const std::vector<StateId>& removed,
+                        ProposalEvaluation* out);
+
+  /// Commits an evaluated proposal: `new_org` replaces the committed
+  /// organization and the caches absorb `eval`.
+  void Commit(const Organization& new_org, ProposalEvaluation&& eval);
+
+  /// Number of queries in the query set.
+  size_t num_queries() const { return reps_.query_attrs.size(); }
+
+  /// The representative set in use.
+  const RepresentativeSet& reps() const { return reps_; }
+
+  /// Discovery probability currently cached for a context attribute
+  /// (through its representative).
+  double AttrDiscovery(uint32_t attr) const;
+
+  /// Cached per-table discovery probabilities.
+  const std::vector<double>& table_probs() const { return table_prob_; }
+
+ private:
+  /// Ensures reach_[q][s] is fresh for the committed organization,
+  /// repairing stale ancestors recursively.
+  double EnsureFresh(uint32_t q, StateId s);
+
+  /// Transition probabilities from `parent` to each of its children in
+  /// `org` for query q's topic vector.
+  std::vector<double> TransitionsFrom(const Organization& org,
+                                      StateId parent, const Vec& query) const;
+
+  const Vec& QueryVec(uint32_t q) const {
+    return ctx_->attr_vector(reps_.query_attrs[q]);
+  }
+
+  TransitionConfig config_;
+  std::shared_ptr<const OrgContext> ctx_;
+  RepresentativeSet reps_;
+
+  const Organization* committed_ = nullptr;
+  /// reach_[q][state] for the committed organization; stale_[q] marks
+  /// entries that must be repaired before reading.
+  std::vector<std::vector<double>> reach_;
+  std::vector<DynamicBitset> stale_;
+  /// Discovery probability per query (reach at the query's own leaf).
+  std::vector<double> query_discovery_;
+  /// Discovery probability per table (Equation 5 with representative
+  /// approximation), and their mean.
+  std::vector<double> table_prob_;
+  double effectiveness_ = 0.0;
+  /// attr -> tables is static; tables_of_query_[q] = tables containing any
+  /// member attribute of query q's partition.
+  std::vector<std::vector<uint32_t>> tables_of_query_;
+};
+
+/// Exact query set: every attribute represents itself.
+RepresentativeSet IdentityRepresentatives(const OrgContext& ctx);
+
+}  // namespace lakeorg

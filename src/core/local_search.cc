@@ -1,0 +1,184 @@
+#include "core/local_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace lakeorg {
+namespace {
+
+/// Level-ordered target queue: all alive non-root states, levels ascending
+/// (downward traversal), states within a level ordered by ascending
+/// reachability (the least reachable are attended to first).
+std::vector<StateId> BuildTargetQueue(const Organization& org,
+                                      const IncrementalEvaluator& eval) {
+  std::vector<StateId> queue;
+  int max_level = org.MaxLevel();
+  for (int level = 1; level <= max_level; ++level) {
+    std::vector<StateId> states = org.StatesAtLevel(level);
+    std::stable_sort(states.begin(), states.end(),
+                     [&eval](StateId a, StateId b) {
+                       return eval.StateReachability(a) <
+                              eval.StateReachability(b);
+                     });
+    queue.insert(queue.end(), states.begin(), states.end());
+  }
+  return queue;
+}
+
+}  // namespace
+
+LocalSearchResult OptimizeOrganization(Organization initial,
+                                       const LocalSearchOptions& options) {
+  WallTimer timer;
+  Rng rng(options.seed);
+
+  std::shared_ptr<const OrgContext> ctx = initial.ctx_ptr();
+  RepresentativeSet reps;
+  if (options.use_representatives) {
+    reps = SelectRepresentatives(*ctx, options.representatives, &rng);
+  } else {
+    reps = IdentityRepresentatives(*ctx);
+  }
+  IncrementalEvaluator evaluator(options.transition, ctx, std::move(reps));
+
+  Organization current = std::move(initial);
+  current.RecomputeLevels();
+  evaluator.Initialize(current);
+
+  LocalSearchResult result{current.Clone(), 0.0, 0.0, 0, 0, 0.0, 0, {}};
+  result.effectiveness = evaluator.effectiveness();
+  result.initial_effectiveness = evaluator.effectiveness();
+  result.num_queries = evaluator.num_queries();
+
+  double best_eff = evaluator.effectiveness();
+  size_t plateau = 0;
+  std::vector<StateId> queue;
+  size_t queue_pos = 0;
+  // Guards against organizations where no operation is ever applicable
+  // (e.g. a single-tag dimension): a full sweep without one evaluated
+  // proposal terminates the search.
+  size_t proposals_this_sweep = 0;
+
+  ReachabilityFn reach_fn = [&evaluator](StateId s) {
+    return evaluator.StateReachability(s);
+  };
+
+  while (result.proposals < options.max_proposals &&
+         plateau < options.patience) {
+    if (queue_pos >= queue.size()) {
+      if (!queue.empty() && proposals_this_sweep == 0) break;
+      proposals_this_sweep = 0;
+      // Restart the walk from the best organization when the Metropolis
+      // walk has drifted too far below it.
+      if (options.restart_margin > 0.0 &&
+          evaluator.effectiveness() <
+              best_eff * (1.0 - options.restart_margin)) {
+        current = result.org.Clone();
+        current.RecomputeLevels();
+        evaluator.Initialize(current);
+      }
+      queue = BuildTargetQueue(current, evaluator);
+      queue_pos = 0;
+      if (queue.empty()) break;
+    }
+    StateId target = queue[queue_pos++];
+    if (!current.state(target).alive || current.state(target).level < 0) {
+      continue;  // Removed or detached since the queue was built.
+    }
+
+    // Choose the operation. Leaves only support ADD_PARENT.
+    bool is_leaf = current.state(target).kind == StateKind::kLeaf;
+    bool can_add = options.enable_add_parent;
+    bool can_delete = options.enable_delete_parent && !is_leaf;
+    // No operation applies to this target (e.g. a leaf in delete-only
+    // mode): skip it; the empty-sweep guard terminates if nothing ever
+    // applies.
+    if (!can_add && !can_delete) continue;
+    bool do_add;
+    if (can_add && can_delete) {
+      do_add = rng.Bernoulli(options.add_parent_prob);
+    } else {
+      do_add = can_add;
+    }
+
+    Organization proposal = current.Clone();
+    OpResult op = do_add ? ApplyAddParent(&proposal, target, reach_fn)
+                         : ApplyDeleteParent(&proposal, target, reach_fn);
+    if (!op.applied) continue;
+
+    ProposalEvaluation eval;
+    evaluator.EvaluateProposal(proposal, op.topic_changed,
+                               op.children_changed, op.removed, &eval);
+    ++result.proposals;
+    ++proposals_this_sweep;
+
+    double old_eff = evaluator.effectiveness();
+    double new_eff = eval.effectiveness;
+    bool accept;
+    if (new_eff >= old_eff) {
+      accept = true;
+    } else {
+      // Equation 9 with tempering: accept a worsening move with
+      // probability (P(T|O') / P(T|O))^k (k = acceptance_sharpness;
+      // k = 1 is the paper's literal ratio).
+      double ratio = old_eff > 0.0 ? new_eff / old_eff : 1.0;
+      accept = rng.Bernoulli(
+          std::pow(ratio, options.acceptance_sharpness));
+    }
+
+    if (options.record_history) {
+      IterationRecord rec;
+      rec.proposal_index = result.proposals;
+      rec.op = do_add ? 'A' : 'D';
+      rec.accepted = accept;
+      size_t alive = current.NumAliveStates();
+      rec.frac_states_evaluated =
+          alive == 0 ? 0.0
+                     : static_cast<double>(eval.dirty.size()) /
+                           static_cast<double>(alive);
+      rec.frac_attrs_evaluated =
+          ctx->num_attrs() == 0
+              ? 0.0
+              : static_cast<double>(eval.affected_attrs) /
+                    static_cast<double>(ctx->num_attrs());
+      rec.frac_queries_evaluated =
+          evaluator.num_queries() == 0
+              ? 0.0
+              : static_cast<double>(eval.affected_queries.size()) /
+                    static_cast<double>(evaluator.num_queries());
+      rec.effectiveness = accept ? new_eff : old_eff;
+      result.history.push_back(rec);
+    }
+
+    if (accept) {
+      current = std::move(proposal);
+      evaluator.Commit(current, std::move(eval));
+      ++result.accepted;
+      if (new_eff >
+          best_eff * (1.0 + options.min_relative_improvement)) {
+        best_eff = new_eff;
+        result.org = current.Clone();
+        result.effectiveness = new_eff;
+        plateau = 0;
+      } else {
+        ++plateau;
+      }
+    } else {
+      ++plateau;
+    }
+  }
+
+  result.seconds = timer.ElapsedSeconds();
+  LAKEORG_LOG(kDebug) << "local search: " << result.proposals
+                      << " proposals, " << result.accepted << " accepted, "
+                      << "effectiveness " << result.initial_effectiveness
+                      << " -> " << result.effectiveness << " in "
+                      << result.seconds << " s";
+  return result;
+}
+
+}  // namespace lakeorg

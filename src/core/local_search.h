@@ -1,0 +1,101 @@
+// The local-search organization optimizer of section 3.3, with the
+// affected-subgraph pruning and representative approximation of section
+// 3.4. Starting from an initial organization (usually the agglomerative
+// clustering of tags), it sweeps the levels top-down, proposes ADD_PARENT /
+// DELETE_PARENT on states ordered by ascending reachability, evaluates each
+// proposal incrementally, accepts improving moves and accepts worsening
+// moves with probability P(T|O') / P(T|O) (Equation 9), and stops when the
+// effectiveness has not improved significantly for `patience` iterations.
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/evaluator.h"
+#include "core/operations.h"
+#include "core/organization.h"
+#include "core/representatives.h"
+
+namespace lakeorg {
+
+/// Tunables of the optimizer.
+struct LocalSearchOptions {
+  /// Transition-model hyperparameters (Equation 1).
+  TransitionConfig transition;
+  /// Stop after this many consecutive proposals without significant
+  /// improvement of the best effectiveness (the paper uses 50).
+  size_t patience = 50;
+  /// Relative improvement that resets the plateau counter.
+  double min_relative_improvement = 1e-3;
+  /// Hard cap on evaluated proposals.
+  size_t max_proposals = 4000;
+  /// RNG seed (operation choice and Metropolis acceptance).
+  uint64_t seed = 1234;
+  /// Acceptance sharpness k: a worsening proposal is accepted with
+  /// probability (P(T|O') / P(T|O))^k. k = 1 is the literal Equation 9
+  /// ratio, which in practice accepts almost every small worsening (the
+  /// per-move effectiveness deltas are tiny relative to the total) and
+  /// turns the search into a downhill random walk; the default tempers
+  /// the ratio so the walk hill-climbs while still escaping plateaus
+  /// (a 1% worsening is accepted ~2% of the time).
+  double acceptance_sharpness = 400.0;
+  /// At sweep boundaries, restart the walk from the best organization
+  /// found when the current one has drifted below it by this relative
+  /// margin (0 disables restarts).
+  double restart_margin = 0.02;
+  /// Evaluate on attribute representatives (section 3.4) instead of every
+  /// attribute.
+  bool use_representatives = false;
+  /// Representative selection parameters (when enabled).
+  RepresentativeOptions representatives;
+  /// Probability of proposing ADD_PARENT (vs DELETE_PARENT) on states
+  /// where both are applicable.
+  double add_parent_prob = 0.5;
+  /// Operation toggles (ablation A2 in DESIGN.md).
+  bool enable_add_parent = true;
+  bool enable_delete_parent = true;
+  /// Keep per-proposal instrumentation (Figure 3 inputs).
+  bool record_history = true;
+};
+
+/// Per-proposal instrumentation record.
+struct IterationRecord {
+  size_t proposal_index = 0;
+  /// 'A' = ADD_PARENT, 'D' = DELETE_PARENT.
+  char op = '?';
+  bool accepted = false;
+  /// Effectiveness of the current organization after the accept/reject
+  /// decision.
+  double effectiveness = 0.0;
+  /// |dirty states| / alive states for this proposal (Figure 3b).
+  double frac_states_evaluated = 0.0;
+  /// Affected attributes / all attributes (Figure 3a).
+  double frac_attrs_evaluated = 0.0;
+  /// Affected queries / query-set size (the section 4.3.3 "6%" number).
+  double frac_queries_evaluated = 0.0;
+};
+
+/// Output of one optimization run.
+struct LocalSearchResult {
+  /// Best organization found.
+  Organization org;
+  /// Its effectiveness over the evaluator's query set.
+  double effectiveness = 0.0;
+  /// Effectiveness of the initial organization (same query set).
+  double initial_effectiveness = 0.0;
+  /// Proposals evaluated / accepted.
+  size_t proposals = 0;
+  size_t accepted = 0;
+  /// Wall-clock optimization time.
+  double seconds = 0.0;
+  /// Query-set size used for evaluation.
+  size_t num_queries = 0;
+  /// Per-proposal records (when record_history).
+  std::vector<IterationRecord> history;
+};
+
+/// Runs local search from `initial` and returns the best organization.
+LocalSearchResult OptimizeOrganization(Organization initial,
+                                       const LocalSearchOptions& options);
+
+}  // namespace lakeorg

@@ -1,0 +1,201 @@
+#include "core/multidim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <future>
+#include <map>
+
+#include "cluster/kmedoids.h"
+#include "common/logging.h"
+
+namespace lakeorg {
+
+double MultiDimOrganization::MaxDimensionSeconds() const {
+  double max_s = 0.0;
+  for (const DimensionInfo& d : info_) max_s = std::max(max_s, d.seconds);
+  return max_s;
+}
+
+double MultiDimOrganization::TotalDimensionSeconds() const {
+  double total = 0.0;
+  for (const DimensionInfo& d : info_) total += d.seconds;
+  return total;
+}
+
+MultiDimOrganization BuildMultiDimFromPartition(
+    const DataLake& lake, const TagIndex& index,
+    const std::vector<std::vector<TagId>>& partition,
+    const MultiDimOptions& options) {
+  struct DimOutput {
+    Organization org;
+    DimensionInfo info;
+  };
+
+  auto build_dimension = [&lake, &index, &options](
+                             const std::vector<TagId>& tags,
+                             size_t dim_index) -> DimOutput {
+    std::shared_ptr<const OrgContext> ctx =
+        OrgContext::Build(lake, index, tags);
+    Organization initial =
+        options.initial == MultiDimOptions::Initial::kClustering
+            ? BuildClusteringOrganization(ctx)
+            : BuildFlatOrganization(ctx);
+
+    DimensionInfo info;
+    info.num_tags = ctx->num_tags();
+    info.num_attrs = ctx->num_attrs();
+    info.num_tables = ctx->num_tables();
+    if (!options.optimize) {
+      return DimOutput{std::move(initial), info};
+    }
+    LocalSearchOptions search = options.search;
+    search.seed = options.search.seed + dim_index;
+    LocalSearchResult result =
+        OptimizeOrganization(std::move(initial), search);
+    info.num_reps = options.search.use_representatives
+                        ? result.num_queries
+                        : 0;
+    info.effectiveness = result.effectiveness;
+    info.seconds = result.seconds;
+    info.proposals = result.proposals;
+    return DimOutput{std::move(result.org), info};
+  };
+
+  size_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                            : options.num_threads;
+  std::vector<DimOutput> outputs;
+  outputs.reserve(partition.size());
+  if (threads <= 1 || partition.size() <= 1) {
+    for (size_t i = 0; i < partition.size(); ++i) {
+      outputs.push_back(build_dimension(partition[i], i));
+    }
+  } else {
+    ThreadPool pool(std::min(threads, partition.size()));
+    std::vector<std::future<DimOutput>> futures;
+    futures.reserve(partition.size());
+    for (size_t i = 0; i < partition.size(); ++i) {
+      futures.push_back(pool.Submit(
+          [&build_dimension, &partition, i]() {
+            return build_dimension(partition[i], i);
+          }));
+    }
+    for (auto& f : futures) outputs.push_back(f.get());
+  }
+
+  std::vector<Organization> dims;
+  std::vector<DimensionInfo> info;
+  dims.reserve(outputs.size());
+  info.reserve(outputs.size());
+  for (DimOutput& out : outputs) {
+    dims.push_back(std::move(out.org));
+    info.push_back(out.info);
+  }
+  return MultiDimOrganization(std::move(dims), std::move(info));
+}
+
+MultiDimOrganization BuildMultiDimOrganization(
+    const DataLake& lake, const TagIndex& index,
+    const MultiDimOptions& options) {
+  const std::vector<TagId>& tags = index.NonEmptyTags();
+  assert(!tags.empty());
+  size_t k = std::min(options.dimensions, tags.size());
+
+  std::vector<std::vector<TagId>> partition(k);
+  if (k <= 1) {
+    partition[0] = tags;
+  } else {
+    std::vector<Vec> items;
+    items.reserve(tags.size());
+    for (TagId t : tags) items.push_back(index.TagTopicVector(t));
+    Rng rng(options.partition_seed);
+    KMedoidsResult clusters = KMedoids(items, k, &rng);
+    partition.assign(clusters.medoids.size(), {});
+    for (size_t i = 0; i < tags.size(); ++i) {
+      partition[static_cast<size_t>(clusters.assignment[i])].push_back(
+          tags[i]);
+    }
+    // Drop empty clusters (possible when duplicated medoids collapse).
+    partition.erase(std::remove_if(partition.begin(), partition.end(),
+                                   [](const std::vector<TagId>& p) {
+                                     return p.empty();
+                                   }),
+                    partition.end());
+  }
+  LAKEORG_LOG(kInfo) << "multi-dim: " << partition.size()
+                     << " tag clusters over " << tags.size() << " tags";
+  return BuildMultiDimFromPartition(lake, index, partition, options);
+}
+
+std::vector<double> MultiDimSuccess::SortedAscending(
+    size_t pad_to_tables) const {
+  std::vector<double> out = success;
+  if (pad_to_tables > out.size()) {
+    out.insert(out.end(), pad_to_tables - out.size(), 0.0);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+/// Combines per-dimension per-table probabilities with Equation 8.
+MultiDimSuccess CombineAcrossDims(
+    const MultiDimOrganization& org,
+    const std::vector<std::vector<double>>& per_dim_table_probs) {
+  std::map<TableId, double> miss;  // 1 - combined probability so far.
+  for (size_t d = 0; d < org.num_dimensions(); ++d) {
+    const OrgContext& ctx = org.dimension(d).ctx();
+    const std::vector<double>& probs = per_dim_table_probs[d];
+    for (uint32_t t = 0; t < ctx.num_tables(); ++t) {
+      TableId lake_id = ctx.lake_table(t);
+      auto [it, inserted] = miss.emplace(lake_id, 1.0);
+      it->second *= (1.0 - probs[t]);
+    }
+  }
+  MultiDimSuccess out;
+  double total = 0.0;
+  for (const auto& [table, m] : miss) {
+    out.tables.push_back(table);
+    out.success.push_back(1.0 - m);
+    total += 1.0 - m;
+  }
+  out.mean = out.tables.empty()
+                 ? 0.0
+                 : total / static_cast<double>(out.tables.size());
+  return out;
+}
+
+}  // namespace
+
+MultiDimSuccess EvaluateMultiDimSuccess(const MultiDimOrganization& org,
+                                        double theta,
+                                        const TransitionConfig& config) {
+  OrgEvaluator eval(config);
+  std::vector<std::vector<double>> per_dim(org.num_dimensions());
+  for (size_t d = 0; d < org.num_dimensions(); ++d) {
+    const Organization& dim = org.dimension(d);
+    auto neighbors = OrgEvaluator::AttributeNeighbors(dim.ctx(), theta);
+    per_dim[d] = eval.Success(dim, neighbors).per_table;
+  }
+  return CombineAcrossDims(org, per_dim);
+}
+
+MultiDimSuccess EvaluateMultiDimDiscovery(const MultiDimOrganization& org,
+                                          const TransitionConfig& config) {
+  OrgEvaluator eval(config);
+  std::vector<std::vector<double>> per_dim(org.num_dimensions());
+  for (size_t d = 0; d < org.num_dimensions(); ++d) {
+    const Organization& dim = org.dimension(d);
+    std::vector<double> discovery = eval.AllAttributeDiscovery(dim);
+    std::vector<double>& table_probs = per_dim[d];
+    table_probs.resize(dim.ctx().num_tables());
+    for (uint32_t t = 0; t < dim.ctx().num_tables(); ++t) {
+      table_probs[t] =
+          OrgEvaluator::TableDiscovery(dim.ctx(), t, discovery);
+    }
+  }
+  return CombineAcrossDims(org, per_dim);
+}
+
+}  // namespace lakeorg

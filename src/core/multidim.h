@@ -1,0 +1,115 @@
+// Multi-dimensional organizations (sections 2.5 and 4.3): partition the
+// lake's tags into k groups with k-medoids over tag topic vectors, build
+// and optimize one organization per group (independently, in parallel),
+// and navigate/evaluate them collectively — a table is discovered in the
+// multi-dimensional organization if it is discovered in any dimension
+// (Equation 8).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/local_search.h"
+#include "core/org_builders.h"
+#include "lake/data_lake.h"
+#include "lake/tag_index.h"
+
+namespace lakeorg {
+
+/// Per-dimension statistics (the columns of the paper's Table 1).
+struct DimensionInfo {
+  size_t num_tags = 0;
+  size_t num_attrs = 0;
+  size_t num_tables = 0;
+  /// Representatives used during optimization (0 in exact mode).
+  size_t num_reps = 0;
+  /// Effectiveness over the dimension's query set after optimization.
+  double effectiveness = 0.0;
+  /// Optimization wall-clock seconds for this dimension.
+  double seconds = 0.0;
+  size_t proposals = 0;
+};
+
+/// Options for building a multi-dimensional organization.
+struct MultiDimOptions {
+  /// Number of dimensions (tag clusters).
+  size_t dimensions = 2;
+  /// Per-dimension local-search options; the per-dimension seed is
+  /// search.seed + dimension index.
+  LocalSearchOptions search;
+  /// Initial organization per dimension.
+  enum class Initial { kClustering, kFlat };
+  Initial initial = Initial::kClustering;
+  /// Worker threads (0 = hardware concurrency). Dimensions are optimized
+  /// "independently and in parallel" (section 4.3.2).
+  size_t num_threads = 0;
+  /// Seed for the k-medoids tag partitioning.
+  uint64_t partition_seed = 99;
+  /// Skip optimization entirely (evaluate the initial organizations).
+  bool optimize = true;
+};
+
+/// A set of organizations used collectively for navigation.
+class MultiDimOrganization {
+ public:
+  MultiDimOrganization(std::vector<Organization> dims,
+                       std::vector<DimensionInfo> info)
+      : dims_(std::move(dims)), info_(std::move(info)) {}
+
+  size_t num_dimensions() const { return dims_.size(); }
+  const Organization& dimension(size_t i) const { return dims_[i]; }
+  const std::vector<Organization>& dimensions() const { return dims_; }
+  const std::vector<DimensionInfo>& info() const { return info_; }
+  /// Wall clock of the slowest dimension (the paper's reported multi-dim
+  /// construction time: dimensions run in parallel).
+  double MaxDimensionSeconds() const;
+  /// Sum of per-dimension optimization times.
+  double TotalDimensionSeconds() const;
+
+ private:
+  std::vector<Organization> dims_;
+  std::vector<DimensionInfo> info_;
+};
+
+/// Builds organizations over an explicit tag partition (each entry is a set
+/// of lake tag ids).
+MultiDimOrganization BuildMultiDimFromPartition(
+    const DataLake& lake, const TagIndex& index,
+    const std::vector<std::vector<TagId>>& partition,
+    const MultiDimOptions& options);
+
+/// Partitions all non-empty tags with k-medoids and builds one organization
+/// per cluster.
+MultiDimOrganization BuildMultiDimOrganization(const DataLake& lake,
+                                               const TagIndex& index,
+                                               const MultiDimOptions& options);
+
+/// Combined per-table success probabilities across dimensions
+/// (section 4.2 measure + Equation 8 combination).
+struct MultiDimSuccess {
+  /// Lake table ids covered by at least one dimension.
+  std::vector<TableId> tables;
+  /// Success probability per entry of `tables`.
+  std::vector<double> success;
+  /// Mean over `tables`.
+  double mean = 0.0;
+
+  /// Success values sorted ascending (the Figure 2 series). When
+  /// `pad_to_tables` exceeds tables.size(), uncovered tables contribute
+  /// leading zeros.
+  std::vector<double> SortedAscending(size_t pad_to_tables = 0) const;
+};
+
+/// Evaluates the success probability (threshold `theta`) of every covered
+/// table across all dimensions.
+MultiDimSuccess EvaluateMultiDimSuccess(const MultiDimOrganization& org,
+                                        double theta,
+                                        const TransitionConfig& config);
+
+/// Combined per-table discovery probability (Equations 5 + 8) across
+/// dimensions, keyed by lake table id; `mean` is over covered tables.
+MultiDimSuccess EvaluateMultiDimDiscovery(const MultiDimOrganization& org,
+                                          const TransitionConfig& config);
+
+}  // namespace lakeorg

@@ -1,0 +1,129 @@
+#include "core/navigation.h"
+
+#include <algorithm>
+#include <map>
+
+namespace lakeorg {
+
+std::string StateLabel(const Organization& org, StateId s) {
+  const OrgState& st = org.state(s);
+  const OrgContext& ctx = org.ctx();
+  switch (st.kind) {
+    case StateKind::kLeaf: {
+      // The paper labels leaves with their table name; we append the
+      // attribute for disambiguation ("table.attr").
+      return ctx.attr_label(st.attr);
+    }
+    case StateKind::kTag:
+      return ctx.tag_name(st.tags[0]);
+    case StateKind::kRoot:
+      if (st.children.empty()) return "(root)";
+      [[fallthrough]];
+    case StateKind::kInterior: {
+      // Count tag occurrences among children's tag sets.
+      std::map<uint32_t, size_t> count;
+      std::map<uint32_t, std::vector<StateId>> owners;
+      for (StateId c : st.children) {
+        const OrgState& cs = org.state(c);
+        for (uint32_t t : cs.tags) {
+          ++count[t];
+          owners[t].push_back(c);
+        }
+      }
+      if (count.empty()) {
+        // Children are leaves only; fall back to own tags.
+        std::string label;
+        for (size_t i = 0; i < st.tags.size() && i < 2; ++i) {
+          if (i > 0) label += " / ";
+          label += ctx.tag_name(st.tags[i]);
+        }
+        return label.empty() ? "(untagged)" : label;
+      }
+      // Order tags by occurrence, descending; ties by id for determinism.
+      std::vector<std::pair<uint32_t, size_t>> freq(count.begin(),
+                                                    count.end());
+      std::sort(freq.begin(), freq.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      uint32_t first = freq[0].first;
+      std::string label = ctx.tag_name(first);
+      if (freq.size() == 1) return label;
+      // Second tag: prefer one contributed by a child that does not own
+      // the first tag ("if these tags belong to the label of the same
+      // child, choose the third most occurring tag and so on").
+      const std::vector<StateId>& first_owners = owners[first];
+      auto shares_owner = [&first_owners, &owners](uint32_t t) {
+        for (StateId o : owners[t]) {
+          if (std::find(first_owners.begin(), first_owners.end(), o) ==
+              first_owners.end()) {
+            return false;  // Has an owner outside first's owners.
+          }
+        }
+        return true;
+      };
+      uint32_t second = freq[1].first;
+      for (size_t i = 1; i < freq.size(); ++i) {
+        if (!shares_owner(freq[i].first)) {
+          second = freq[i].first;
+          break;
+        }
+      }
+      return label + " / " + ctx.tag_name(second);
+    }
+  }
+  return "(unknown)";
+}
+
+NavigationSession::NavigationSession(const Organization* org) : org_(org) {
+  path_.push_back(org_->root());
+}
+
+bool NavigationSession::AtLeaf() const {
+  return org_->state(current()).kind == StateKind::kLeaf;
+}
+
+uint32_t NavigationSession::CurrentAttr() const {
+  const OrgState& st = org_->state(current());
+  return st.kind == StateKind::kLeaf ? st.attr : kInvalidId;
+}
+
+std::vector<NavChoice> NavigationSession::Choices() const {
+  std::vector<NavChoice> out;
+  for (StateId c : org_->state(current()).children) {
+    out.push_back(NavChoice{c, StateLabel(*org_, c)});
+  }
+  return out;
+}
+
+Status NavigationSession::Choose(size_t index) {
+  const auto& children = org_->state(current()).children;
+  if (index >= children.size()) {
+    return Status::OutOfRange("choice index out of range");
+  }
+  path_.push_back(children[index]);
+  ++actions_;
+  return Status::OK();
+}
+
+Status NavigationSession::ChooseState(StateId child) {
+  const auto& children = org_->state(current()).children;
+  if (std::find(children.begin(), children.end(), child) == children.end()) {
+    return Status::NotFound("not a child of the current state");
+  }
+  path_.push_back(child);
+  ++actions_;
+  return Status::OK();
+}
+
+Status NavigationSession::Back() {
+  if (path_.size() <= 1) {
+    return Status::FailedPrecondition("already at the root");
+  }
+  path_.pop_back();
+  ++actions_;
+  return Status::OK();
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,69 @@
+// Navigation front-end (section 4.4): node labeling and an interactive
+// session that walks an organization one choice at a time, with
+// backtracking — the interface the paper's user-study prototype exposed,
+// and what the examples and the simulated study agents drive.
+//
+// Labeling rules from the paper: leaves show their table name, penultimate
+// (single-tag) states show the tag, and every other node shows the two
+// most-occurring tags among its children's labels; when the top two come
+// from the same child, the third most occurring is used, and so on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/organization.h"
+
+namespace lakeorg {
+
+/// Display label for a state per the section 4.4 rules.
+std::string StateLabel(const Organization& org, StateId s);
+
+/// One navigable child option.
+struct NavChoice {
+  StateId state = kInvalidId;
+  std::string label;
+};
+
+/// A stateful walk through one organization.
+class NavigationSession {
+ public:
+  /// Starts at the root of `org` (borrowed; must outlive the session).
+  explicit NavigationSession(const Organization* org);
+
+  /// The state the user is currently at.
+  StateId current() const { return path_.back(); }
+
+  /// True when the current state is a leaf (discovery endpoint).
+  bool AtLeaf() const;
+
+  /// Local attribute of the current leaf; kInvalidId when not at a leaf.
+  uint32_t CurrentAttr() const;
+
+  /// The labeled children of the current state.
+  std::vector<NavChoice> Choices() const;
+
+  /// Descends into the index-th choice.
+  Status Choose(size_t index);
+
+  /// Descends into a specific child state.
+  Status ChooseState(StateId child);
+
+  /// Backtracks to the previously visited state; fails at the root.
+  Status Back();
+
+  /// Root-to-current visited path.
+  const std::vector<StateId>& path() const { return path_; }
+
+  /// Total navigation actions taken (descents + backtracks), the "effort"
+  /// currency of the simulated user study.
+  size_t actions() const { return actions_; }
+
+ private:
+  const Organization* org_;
+  std::vector<StateId> path_;
+  size_t actions_ = 0;
+};
+
+}  // namespace lakeorg

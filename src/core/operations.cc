@@ -1,0 +1,161 @@
+#include "core/operations.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lakeorg {
+namespace {
+
+bool IsParentOf(const Organization& org, StateId maybe_parent, StateId s) {
+  const auto& parents = org.state(s).parents;
+  return std::find(parents.begin(), parents.end(), maybe_parent) !=
+         parents.end();
+}
+
+}  // namespace
+
+OpResult ApplyAddParent(Organization* org, StateId s,
+                        const ReachabilityFn& reachability) {
+  OpResult result;
+  result.kind = OpKind::kAddParent;
+  result.target = s;
+
+  const OrgState& st = org->state(s);
+  if (!st.alive || s == org->root() || st.level <= 0) {
+    result.message = "target not eligible";
+    return result;
+  }
+
+  // Candidate: highest-reachability non-leaf state at level l-1 that is not
+  // already a parent and is not a descendant of s (cycle safety).
+  int parent_level = st.level - 1;
+  StateId best = kInvalidId;
+  double best_reach = -1.0;
+  for (StateId cand : org->StatesAtLevel(parent_level)) {
+    const OrgState& cs = org->state(cand);
+    if (cs.kind == StateKind::kLeaf || cand == s) continue;
+    if (IsParentOf(*org, cand, s)) continue;
+    if (org->WouldCreateCycle(cand, s)) continue;
+    double r = reachability(cand);
+    if (r > best_reach || (r == best_reach && cand < best)) {
+      best_reach = r;
+      best = cand;
+    }
+  }
+  if (best == kInvalidId) {
+    result.message = "no eligible parent candidate at level " +
+                     std::to_string(parent_level);
+    return result;
+  }
+
+  // Restore the inclusion property: the new parent and its ancestors gain
+  // s's attributes. For tag/interior targets also merge their tag sets so
+  // labels stay meaningful; a leaf contributes its single attribute only.
+  DynamicBitset attrs = org->StateAttrSet(s);
+  std::vector<uint32_t> tags =
+      st.kind == StateKind::kLeaf ? std::vector<uint32_t>{} : st.tags;
+  org->PropagateAttrsUpward(best, attrs, tags, &result.topic_changed);
+
+  Status edge = org->AddEdge(best, s);
+  assert(edge.ok());
+  (void)edge;
+  result.children_changed.push_back(best);
+  result.new_parent = best;
+  result.applied = true;
+  org->RecomputeLevels();
+  return result;
+}
+
+OpResult ApplyDeleteParent(Organization* org, StateId s,
+                           const ReachabilityFn& reachability) {
+  OpResult result;
+  result.kind = OpKind::kDeleteParent;
+  result.target = s;
+
+  const OrgState& st = org->state(s);
+  if (!st.alive || s == org->root()) {
+    result.message = "target not eligible";
+    return result;
+  }
+
+  // Least-reachable eligible parent. Only interior states can be
+  // eliminated: the root, tag states and leaves are fixed (section 3.2).
+  StateId r = kInvalidId;
+  double worst_reach = 0.0;
+  for (StateId p : st.parents) {
+    const OrgState& ps = org->state(p);
+    if (ps.kind != StateKind::kInterior) continue;
+    if (ps.parents.empty()) continue;  // Would orphan its children.
+    double reach = reachability(p);
+    if (r == kInvalidId || reach < worst_reach ||
+        (reach == worst_reach && p < r)) {
+      worst_reach = reach;
+      r = p;
+    }
+  }
+  if (r == kInvalidId) {
+    result.message = "no eliminable parent";
+    return result;
+  }
+
+  // Elimination set: r plus its interior siblings (children of r's parents)
+  // except single-tag states. s itself and states without parents are
+  // protected.
+  std::vector<StateId> to_eliminate = {r};
+  for (StateId p : org->state(r).parents) {
+    for (StateId sib : org->state(p).children) {
+      if (sib == r || sib == s) continue;
+      const OrgState& ss = org->state(sib);
+      if (ss.kind != StateKind::kInterior) continue;
+      if (ss.tags.size() <= 1) continue;  // "except siblings with one tag"
+      if (std::find(to_eliminate.begin(), to_eliminate.end(), sib) ==
+          to_eliminate.end()) {
+        to_eliminate.push_back(sib);
+      }
+    }
+  }
+
+  // Eliminate iteratively: reconnect children to parents, then remove.
+  // Processing one state at a time keeps the graph consistent even if an
+  // eliminated state is an ancestor of another one.
+  for (StateId e : to_eliminate) {
+    const OrgState& es = org->state(e);
+    if (!es.alive) continue;  // Already handled through another parent.
+    if (es.parents.empty()) continue;
+    std::vector<StateId> parents = es.parents;
+    std::vector<StateId> children = es.children;
+    for (StateId p : parents) {
+      for (StateId c : children) {
+        Status edge = org->AddEdge(p, c);
+        // AlreadyExists is fine: the child may already hang under p.
+        assert(edge.ok() || edge.code() == StatusCode::kAlreadyExists);
+        (void)edge;
+      }
+      if (std::find(result.children_changed.begin(),
+                    result.children_changed.end(),
+                    p) == result.children_changed.end()) {
+        result.children_changed.push_back(p);
+      }
+    }
+    Status removed = org->RemoveState(e);
+    assert(removed.ok());
+    (void)removed;
+    result.removed.push_back(e);
+  }
+
+  if (result.removed.empty()) {
+    result.message = "nothing eliminated";
+    return result;
+  }
+  // Parents that were themselves eliminated must not be reported as
+  // changed.
+  auto& cc = result.children_changed;
+  cc.erase(std::remove_if(cc.begin(), cc.end(),
+                          [org](StateId p) { return !org->state(p).alive; }),
+           cc.end());
+  result.applied = true;
+  org->RecomputeLevels();
+  return result;
+}
+
+}  // namespace lakeorg

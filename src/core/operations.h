@@ -1,0 +1,58 @@
+// The two local-search operations of section 3.3.
+//
+// ADD_PARENT(s): graft the most-reachable non-parent state at level
+// level(s) - 1 as an additional parent of s, propagating s's attributes
+// (and tags) to the new parent and its ancestors to restore the inclusion
+// property, and refusing grafts that would create a cycle.
+//
+// DELETE_PARENT(s): eliminate s's least-reachable eligible parent r along
+// with r's multi-tag interior siblings, reconnecting every eliminated
+// state's children to its parents (tag states and leaves are fixed and are
+// never eliminated, section 3.2).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/organization.h"
+
+namespace lakeorg {
+
+/// Which operation an OpResult describes.
+enum class OpKind { kAddParent, kDeleteParent };
+
+/// Result of applying an operation in place. The changed-state lists feed
+/// the IncrementalEvaluator's affected-subgraph computation.
+struct OpResult {
+  /// False when the operation was not applicable (nothing was modified).
+  bool applied = false;
+  OpKind kind = OpKind::kAddParent;
+  /// The state the operation targeted.
+  StateId target = kInvalidId;
+  /// ADD_PARENT: the grafted parent.
+  StateId new_parent = kInvalidId;
+  /// States whose topic vector changed (attr propagation).
+  std::vector<StateId> topic_changed;
+  /// States whose children set changed.
+  std::vector<StateId> children_changed;
+  /// States removed from the organization.
+  std::vector<StateId> removed;
+  /// Why the operation was skipped, when !applied.
+  std::string message;
+};
+
+/// State-reachability oracle used to rank candidates (Equation 10).
+using ReachabilityFn = std::function<double(StateId)>;
+
+/// Applies ADD_PARENT to `s` in place. Requires levels to be current;
+/// recomputes them on success.
+OpResult ApplyAddParent(Organization* org, StateId s,
+                        const ReachabilityFn& reachability);
+
+/// Applies DELETE_PARENT to `s` in place. Requires levels to be current;
+/// recomputes them on success.
+OpResult ApplyDeleteParent(Organization* org, StateId s,
+                           const ReachabilityFn& reachability);
+
+}  // namespace lakeorg

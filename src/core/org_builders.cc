@@ -1,0 +1,101 @@
+#include "core/org_builders.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "cluster/agglomerative.h"
+
+namespace lakeorg {
+namespace {
+
+/// Adds one leaf per context attribute and hangs it under each of its tag
+/// states. `tag_state[t]` maps local tag -> StateId.
+void AttachLeaves(Organization* org, const std::vector<StateId>& tag_state) {
+  const OrgContext& ctx = org->ctx();
+  for (uint32_t a = 0; a < ctx.num_attrs(); ++a) {
+    StateId leaf = org->AddLeaf(a);
+    for (uint32_t t : ctx.attr_tags(a)) {
+      Status st = org->AddEdge(tag_state[t], leaf);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+}
+
+std::vector<uint32_t> AllTags(const OrgContext& ctx) {
+  std::vector<uint32_t> tags(ctx.num_tags());
+  std::iota(tags.begin(), tags.end(), 0u);
+  return tags;
+}
+
+}  // namespace
+
+Organization BuildFlatOrganization(std::shared_ptr<const OrgContext> ctx) {
+  Organization org(ctx);
+  const OrgContext& c = org.ctx();
+  StateId root = org.AddRoot(AllTags(c));
+  std::vector<StateId> tag_state(c.num_tags());
+  for (uint32_t t = 0; t < c.num_tags(); ++t) {
+    tag_state[t] = org.AddTagState(t);
+    Status st = org.AddEdge(root, tag_state[t]);
+    assert(st.ok());
+    (void)st;
+  }
+  AttachLeaves(&org, tag_state);
+  org.RecomputeLevels();
+  return org;
+}
+
+Organization BuildClusteringOrganization(
+    std::shared_ptr<const OrgContext> ctx) {
+  Organization org(ctx);
+  const OrgContext& c = org.ctx();
+  size_t num_tags = c.num_tags();
+  assert(num_tags >= 1);
+
+  // Cluster tag topic vectors.
+  std::vector<Vec> items(num_tags);
+  for (uint32_t t = 0; t < num_tags; ++t) items[t] = c.tag_vector(t);
+  Dendrogram dendrogram = AgglomerativeCluster(items);
+
+  // Dendrogram leaves -> tag states; merge nodes -> interior states; the
+  // final merge is the root. Tag sets accumulate bottom-up.
+  std::vector<StateId> node_state(dendrogram.NumNodes(), kInvalidId);
+  std::vector<std::vector<uint32_t>> node_tags(dendrogram.NumNodes());
+  std::vector<StateId> tag_state(num_tags);
+  for (uint32_t t = 0; t < num_tags; ++t) {
+    tag_state[t] = org.AddTagState(t);
+    node_state[t] = tag_state[t];
+    node_tags[t] = {t};
+  }
+  for (size_t m = 0; m < dendrogram.merges.size(); ++m) {
+    const DendrogramMerge& merge = dendrogram.merges[m];
+    size_t node = num_tags + m;
+    node_tags[node] = node_tags[merge.left];
+    node_tags[node].insert(node_tags[node].end(),
+                           node_tags[merge.right].begin(),
+                           node_tags[merge.right].end());
+    bool is_root = (m + 1 == dendrogram.merges.size());
+    StateId s = is_root ? org.AddRoot(node_tags[node])
+                        : org.AddInteriorState(node_tags[node]);
+    node_state[node] = s;
+    Status st = org.AddEdge(s, node_state[merge.left]);
+    assert(st.ok());
+    st = org.AddEdge(s, node_state[merge.right]);
+    assert(st.ok());
+    (void)st;
+  }
+  if (dendrogram.merges.empty()) {
+    // Single tag: root over the lone tag state.
+    StateId root = org.AddRoot(node_tags[0]);
+    Status st = org.AddEdge(root, node_state[0]);
+    assert(st.ok());
+    (void)st;
+  }
+
+  AttachLeaves(&org, tag_state);
+  org.RecomputeLevels();
+  return org;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,30 @@
+// Organization builders.
+//
+// BuildFlatOrganization: the tag baseline of section 3.2 — a single root
+// over all tag states, each tag state over its attributes' leaves. This is
+// the navigation structure open data portals expose (retrieval by tag).
+//
+// BuildClusteringOrganization: the initial organization of sections 3.3 and
+// 4.3.1 — an average-linkage agglomerative hierarchy over tag topic
+// vectors with branching factor 2, tag states at the dendrogram leaves and
+// attribute leaves below them.
+#pragma once
+
+#include <memory>
+
+#include "core/organization.h"
+
+namespace lakeorg {
+
+/// Builds the flat (tag baseline) organization: root -> tag states ->
+/// leaves. Attributes with several tags get several tag-state parents.
+Organization BuildFlatOrganization(std::shared_ptr<const OrgContext> ctx);
+
+/// Builds the binary agglomerative-clustering organization over tag topic
+/// vectors; the hierarchy's internal nodes become interior states carrying
+/// merged tag sets, dendrogram leaves are tag states, and attribute leaves
+/// hang below their tag states.
+Organization BuildClusteringOrganization(
+    std::shared_ptr<const OrgContext> ctx);
+
+}  // namespace lakeorg

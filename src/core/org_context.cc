@@ -1,0 +1,122 @@
+#include "core/org_context.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace lakeorg {
+
+std::shared_ptr<const OrgContext> OrgContext::Build(const DataLake& lake,
+                                                    const TagIndex& index,
+                                                    std::vector<TagId> tags) {
+  assert(lake.topic_vectors_computed());
+  auto ctx = std::shared_ptr<OrgContext>(new OrgContext());
+
+  // Keep only non-empty tags, deduplicated, in the given order.
+  std::vector<char> seen_tag(lake.num_tags(), 0);
+  for (TagId t : tags) {
+    if (t >= lake.num_tags() || seen_tag[t]) continue;
+    seen_tag[t] = 1;
+    if (index.AttributesOfTag(t).empty()) continue;
+    ctx->lake_tags_.push_back(t);
+  }
+
+  // Collect the attribute universe: union of extents, ascending.
+  std::unordered_map<AttributeId, uint32_t> attr_local;
+  {
+    std::vector<AttributeId> all;
+    for (TagId t : ctx->lake_tags_) {
+      const auto& ext = index.AttributesOfTag(t);
+      all.insert(all.end(), ext.begin(), ext.end());
+    }
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    ctx->lake_attrs_ = std::move(all);
+    for (uint32_t i = 0; i < ctx->lake_attrs_.size(); ++i) {
+      attr_local.emplace(ctx->lake_attrs_[i], i);
+    }
+  }
+
+  // Embedding dimension from any attribute.
+  for (AttributeId aid : ctx->lake_attrs_) {
+    const Attribute& a = lake.attribute(aid);
+    if (!a.topic.empty()) {
+      ctx->dim_ = a.topic.size();
+      break;
+    }
+  }
+
+  size_t num_attrs = ctx->lake_attrs_.size();
+  size_t num_tags = ctx->lake_tags_.size();
+
+  // Attribute-level arrays.
+  ctx->attr_vectors_.reserve(num_attrs);
+  ctx->attr_sums_.reserve(num_attrs);
+  ctx->attr_value_counts_.reserve(num_attrs);
+  ctx->attr_labels_.reserve(num_attrs);
+  ctx->attr_tags_.assign(num_attrs, {});
+  ctx->attr_tables_.assign(num_attrs, 0);
+  std::unordered_map<TableId, uint32_t> table_local;
+  for (uint32_t a = 0; a < num_attrs; ++a) {
+    const Attribute& attr = lake.attribute(ctx->lake_attrs_[a]);
+    ctx->attr_vectors_.push_back(attr.topic);
+    ctx->attr_sums_.push_back(attr.topic_sum);
+    ctx->attr_value_counts_.push_back(attr.embedded_count);
+    const Table& table = lake.table(attr.table);
+    ctx->attr_labels_.push_back(table.name + "." + attr.name);
+    auto [it, inserted] =
+        table_local.emplace(attr.table, static_cast<uint32_t>(
+                                            ctx->lake_tables_.size()));
+    if (inserted) {
+      ctx->lake_tables_.push_back(attr.table);
+      ctx->table_attrs_.emplace_back();
+      ctx->table_names_.push_back(table.name);
+    }
+    ctx->attr_tables_[a] = it->second;
+    ctx->table_attrs_[it->second].push_back(a);
+  }
+
+  // Tag-level arrays and tag<->attribute cross-references.
+  std::unordered_map<TagId, uint32_t> tag_local;
+  for (uint32_t t = 0; t < num_tags; ++t) {
+    tag_local.emplace(ctx->lake_tags_[t], t);
+  }
+  ctx->tag_names_.reserve(num_tags);
+  ctx->tag_vectors_.reserve(num_tags);
+  ctx->tag_extents_.reserve(num_tags);
+  ctx->tag_extent_lists_.reserve(num_tags);
+  for (uint32_t t = 0; t < num_tags; ++t) {
+    TagId lake_t = ctx->lake_tags_[t];
+    ctx->tag_names_.push_back(lake.tag_name(lake_t));
+    ctx->tag_vectors_.push_back(index.TagTopicVector(lake_t));
+    DynamicBitset extent(num_attrs);
+    std::vector<uint32_t> list;
+    for (AttributeId aid : index.AttributesOfTag(lake_t)) {
+      uint32_t local = attr_local.at(aid);
+      extent.Set(local);
+      list.push_back(local);
+    }
+    std::sort(list.begin(), list.end());
+    ctx->tag_extents_.push_back(std::move(extent));
+    ctx->tag_extent_lists_.push_back(std::move(list));
+  }
+  for (uint32_t a = 0; a < num_attrs; ++a) {
+    const Attribute& attr = lake.attribute(ctx->lake_attrs_[a]);
+    for (TagId lt : attr.tags) {
+      auto it = tag_local.find(lt);
+      if (it != tag_local.end()) ctx->attr_tags_[a].push_back(it->second);
+    }
+    std::sort(ctx->attr_tags_[a].begin(), ctx->attr_tags_[a].end());
+  }
+
+  return ctx;
+}
+
+std::shared_ptr<const OrgContext> OrgContext::BuildFull(
+    const DataLake& lake, const TagIndex& index) {
+  std::vector<TagId> tags(index.NonEmptyTags().begin(),
+                          index.NonEmptyTags().end());
+  return Build(lake, index, std::move(tags));
+}
+
+}  // namespace lakeorg

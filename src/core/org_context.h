@@ -1,0 +1,102 @@
+// OrgContext: the immutable, per-dimension view of a data lake that an
+// organization is built over. A dimension is a subset of the lake's tags
+// (section 2.5); the context re-indexes those tags, their attribute extents
+// (data(t), Definition 5), the attributes' topic vectors, and the tables
+// they cover into dense local id spaces so organization states can use
+// bitsets and flat arrays.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/dynamic_bitset.h"
+#include "lake/data_lake.h"
+#include "lake/tag_index.h"
+
+namespace lakeorg {
+
+/// Immutable per-dimension catalog snapshot. Local ids: tags are
+/// [0, num_tags), attributes [0, num_attrs), tables [0, num_tables).
+class OrgContext {
+ public:
+  /// Builds a context over `tags` (lake tag ids; empty extents dropped).
+  /// Attributes = union of the tags' extents; tables = tables owning those
+  /// attributes. Requires lake.topic_vectors_computed().
+  static std::shared_ptr<const OrgContext> Build(const DataLake& lake,
+                                                 const TagIndex& index,
+                                                 std::vector<TagId> tags);
+
+  /// Context over every non-empty tag of the lake.
+  static std::shared_ptr<const OrgContext> BuildFull(const DataLake& lake,
+                                                     const TagIndex& index);
+
+  size_t num_tags() const { return lake_tags_.size(); }
+  size_t num_attrs() const { return lake_attrs_.size(); }
+  size_t num_tables() const { return lake_tables_.size(); }
+  /// Embedding dimension of all topic vectors.
+  size_t dim() const { return dim_; }
+
+  /// Lake-level ids for local ids.
+  TagId lake_tag(size_t t) const { return lake_tags_[t]; }
+  AttributeId lake_attr(size_t a) const { return lake_attrs_[a]; }
+  TableId lake_table(size_t tb) const { return lake_tables_[tb]; }
+
+  /// Tag display name.
+  const std::string& tag_name(size_t t) const { return tag_names_[t]; }
+  /// Tag-state topic vector (Definition 5).
+  const Vec& tag_vector(size_t t) const { return tag_vectors_[t]; }
+  /// Extent of tag t as a bitset over local attributes.
+  const DynamicBitset& tag_extent(size_t t) const { return tag_extents_[t]; }
+  /// Extent of tag t as an ascending id list.
+  const std::vector<uint32_t>& tag_extent_list(size_t t) const {
+    return tag_extent_lists_[t];
+  }
+
+  /// Attribute topic vector (sample mean of value embeddings).
+  const Vec& attr_vector(size_t a) const { return attr_vectors_[a]; }
+  /// Component-wise sum of the attribute's value embeddings.
+  const Vec& attr_sum(size_t a) const { return attr_sums_[a]; }
+  /// Number of embedded values behind attr_sum.
+  size_t attr_value_count(size_t a) const { return attr_value_counts_[a]; }
+  /// Local tags carried by attribute a (ascending).
+  const std::vector<uint32_t>& attr_tags(size_t a) const {
+    return attr_tags_[a];
+  }
+  /// Local table owning attribute a.
+  uint32_t attr_table(size_t a) const { return attr_tables_[a]; }
+  /// "table_name.attr_name" display label.
+  const std::string& attr_label(size_t a) const { return attr_labels_[a]; }
+
+  /// Local attributes of local table tb that are inside this dimension.
+  const std::vector<uint32_t>& table_attrs(size_t tb) const {
+    return table_attrs_[tb];
+  }
+  /// Display name of local table tb.
+  const std::string& table_name(size_t tb) const { return table_names_[tb]; }
+
+  /// An empty bitset sized to the attribute universe (for copying).
+  DynamicBitset MakeAttrSet() const { return DynamicBitset(num_attrs()); }
+
+ private:
+  OrgContext() = default;
+
+  size_t dim_ = 0;
+  std::vector<TagId> lake_tags_;
+  std::vector<AttributeId> lake_attrs_;
+  std::vector<TableId> lake_tables_;
+  std::vector<std::string> tag_names_;
+  std::vector<Vec> tag_vectors_;
+  std::vector<DynamicBitset> tag_extents_;
+  std::vector<std::vector<uint32_t>> tag_extent_lists_;
+  std::vector<Vec> attr_vectors_;
+  std::vector<Vec> attr_sums_;
+  std::vector<size_t> attr_value_counts_;
+  std::vector<std::vector<uint32_t>> attr_tags_;
+  std::vector<uint32_t> attr_tables_;
+  std::vector<std::string> attr_labels_;
+  std::vector<std::vector<uint32_t>> table_attrs_;
+  std::vector<std::string> table_names_;
+};
+
+}  // namespace lakeorg

@@ -1,0 +1,65 @@
+#include "core/org_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace lakeorg {
+
+OrgStats ComputeOrgStats(const Organization& org) {
+  OrgStats stats;
+  size_t leaf_depth_total = 0;
+  size_t branching_total = 0;
+  size_t branching_nodes = 0;
+  for (StateId s = 0; s < org.num_states(); ++s) {
+    const OrgState& st = org.state(s);
+    if (!st.alive || st.level < 0) continue;
+    ++stats.num_states;
+    switch (st.kind) {
+      case StateKind::kRoot:
+      case StateKind::kInterior:
+        ++stats.num_interior;
+        break;
+      case StateKind::kTag:
+        ++stats.num_tag_states;
+        break;
+      case StateKind::kLeaf:
+        ++stats.num_leaves;
+        leaf_depth_total += static_cast<size_t>(st.level);
+        stats.max_leaf_depth = std::max(stats.max_leaf_depth, st.level);
+        break;
+    }
+    stats.num_edges += st.children.size();
+    if (!st.children.empty()) {
+      branching_total += st.children.size();
+      ++branching_nodes;
+      stats.max_branching =
+          std::max(stats.max_branching, st.children.size());
+    }
+    if (st.parents.size() > 1) ++stats.multi_parent_states;
+  }
+  if (stats.num_leaves > 0) {
+    stats.mean_leaf_depth = static_cast<double>(leaf_depth_total) /
+                            static_cast<double>(stats.num_leaves);
+  }
+  if (branching_nodes > 0) {
+    stats.mean_branching = static_cast<double>(branching_total) /
+                           static_cast<double>(branching_nodes);
+  }
+  return stats;
+}
+
+std::string FormatOrgStats(const OrgStats& s) {
+  std::ostringstream out;
+  out << "states=" << s.num_states << " (interior=" << s.num_interior
+      << " tags=" << s.num_tag_states << " leaves=" << s.num_leaves
+      << ") edges=" << s.num_edges << " leaf depth max=" << s.max_leaf_depth
+      << " mean=" << FormatDouble(s.mean_leaf_depth, 2)
+      << " branching max=" << s.max_branching
+      << " mean=" << FormatDouble(s.mean_branching, 2)
+      << " multi-parent=" << s.multi_parent_states;
+  return out.str();
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,36 @@
+// Structural statistics of an organization: the quantities the paper
+// reasons about qualitatively in section 1.1 ("branching factor", "length
+// of the discovery path", where structure is deep vs shallow), computed
+// exactly. Used by the benches, the examples, and the ablation reports.
+#pragma once
+
+#include <string>
+
+#include "core/organization.h"
+
+namespace lakeorg {
+
+/// Aggregate shape metrics of an organization's alive, reachable states.
+struct OrgStats {
+  size_t num_states = 0;
+  size_t num_interior = 0;  // Root + interior (non-tag, non-leaf) states.
+  size_t num_tag_states = 0;
+  size_t num_leaves = 0;
+  size_t num_edges = 0;
+  /// Shortest-path depth stats over leaves (the discovery path length).
+  int max_leaf_depth = 0;
+  double mean_leaf_depth = 0.0;
+  /// Branching stats over states with children.
+  size_t max_branching = 0;
+  double mean_branching = 0.0;
+  /// Leaves with more than one parent (DAG shortcuts added by ADD_PARENT).
+  size_t multi_parent_states = 0;
+};
+
+/// Computes shape metrics for `org` (levels must be current).
+OrgStats ComputeOrgStats(const Organization& org);
+
+/// One-line rendering: "states=.. leaves=.. depth=../avg.. branch=../avg..".
+std::string FormatOrgStats(const OrgStats& stats);
+
+}  // namespace lakeorg

@@ -1,0 +1,492 @@
+#include "core/organization.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <sstream>
+
+namespace lakeorg {
+namespace {
+
+bool Contains(const std::vector<StateId>& xs, StateId x) {
+  return std::find(xs.begin(), xs.end(), x) != xs.end();
+}
+
+void Erase(std::vector<StateId>* xs, StateId x) {
+  xs->erase(std::remove(xs->begin(), xs->end(), x), xs->end());
+}
+
+}  // namespace
+
+Organization::Organization(std::shared_ptr<const OrgContext> ctx)
+    : ctx_(std::move(ctx)) {
+  assert(ctx_ != nullptr);
+  leaf_of_attr_.assign(ctx_->num_attrs(), kInvalidId);
+}
+
+Organization Organization::Clone() const { return *this; }
+
+StateId Organization::NewState(OrgState&& state) {
+  StateId id = static_cast<StateId>(states_.size());
+  states_.push_back(std::move(state));
+  return id;
+}
+
+void Organization::RefreshTopic(StateId s) {
+  OrgState& st = states_[s];
+  st.topic = st.topic_sum;
+  if (st.value_count > 0) {
+    ScaleInPlace(&st.topic,
+                 static_cast<float>(1.0 / static_cast<double>(st.value_count)));
+  }
+}
+
+StateId Organization::AddLeaf(uint32_t attr) {
+  assert(attr < ctx_->num_attrs());
+  assert(leaf_of_attr_[attr] == kInvalidId && "duplicate leaf");
+  OrgState st;
+  st.kind = StateKind::kLeaf;
+  st.attr = attr;
+  st.topic_sum = ctx_->attr_sum(attr);
+  st.value_count = ctx_->attr_value_count(attr);
+  st.topic = ctx_->attr_vector(attr);
+  StateId id = NewState(std::move(st));
+  leaf_of_attr_[attr] = id;
+  return id;
+}
+
+StateId Organization::AddTagState(uint32_t tag) {
+  assert(tag < ctx_->num_tags());
+  OrgState st;
+  st.kind = StateKind::kTag;
+  st.tags = {tag};
+  StateId id = NewState(std::move(st));
+  RecomputeStateFromTags(id);
+  return id;
+}
+
+StateId Organization::AddInteriorState(std::vector<uint32_t> tags) {
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  assert(!tags.empty());
+  OrgState st;
+  st.kind = StateKind::kInterior;
+  st.tags = std::move(tags);
+  StateId id = NewState(std::move(st));
+  RecomputeStateFromTags(id);
+  return id;
+}
+
+StateId Organization::AddRoot(std::vector<uint32_t> tags) {
+  assert(root_ == kInvalidId && "root already set");
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  OrgState st;
+  st.kind = StateKind::kRoot;
+  st.tags = std::move(tags);
+  StateId id = NewState(std::move(st));
+  root_ = id;
+  RecomputeStateFromTags(id);
+  states_[id].level = 0;
+  return id;
+}
+
+void Organization::RecomputeStateFromTags(StateId s) {
+  OrgState& st = states_[s];
+  assert(st.kind != StateKind::kLeaf);
+  st.attrs = ctx_->MakeAttrSet();
+  for (uint32_t t : st.tags) st.attrs.UnionWith(ctx_->tag_extent(t));
+  st.topic_sum.assign(ctx_->dim(), 0.0f);
+  st.value_count = 0;
+  st.attrs.ForEach([this, &st](size_t a) {
+    AddInPlace(&st.topic_sum, ctx_->attr_sum(a));
+    st.value_count += ctx_->attr_value_count(a);
+  });
+  RefreshTopic(s);
+}
+
+Status Organization::AddEdge(StateId parent, StateId child) {
+  if (parent >= states_.size() || child >= states_.size()) {
+    return Status::NotFound("unknown state id");
+  }
+  OrgState& p = states_[parent];
+  OrgState& c = states_[child];
+  if (!p.alive || !c.alive) {
+    return Status::FailedPrecondition("edge endpoint is dead");
+  }
+  if (parent == child) return Status::InvalidArgument("self loop");
+  if (p.kind == StateKind::kLeaf) {
+    return Status::InvalidArgument("leaf cannot have children");
+  }
+  if (child == root_) return Status::InvalidArgument("edge into root");
+  if (Contains(p.children, child)) {
+    return Status::AlreadyExists("duplicate edge");
+  }
+  // Inclusion property: D_child must be a subset of D_parent.
+  if (c.kind == StateKind::kLeaf) {
+    if (!p.attrs.Test(c.attr)) {
+      return Status::FailedPrecondition(
+          "inclusion violated: leaf attribute not in parent");
+    }
+  } else if (!c.attrs.IsSubsetOf(p.attrs)) {
+    return Status::FailedPrecondition(
+        "inclusion violated: child attrs not subset of parent");
+  }
+  p.children.push_back(child);
+  c.parents.push_back(parent);
+  return Status::OK();
+}
+
+Status Organization::RemoveEdge(StateId parent, StateId child) {
+  if (parent >= states_.size() || child >= states_.size()) {
+    return Status::NotFound("unknown state id");
+  }
+  OrgState& p = states_[parent];
+  OrgState& c = states_[child];
+  if (!Contains(p.children, child)) return Status::NotFound("no such edge");
+  Erase(&p.children, child);
+  Erase(&c.parents, parent);
+  return Status::OK();
+}
+
+Status Organization::RemoveState(StateId s) {
+  if (s >= states_.size()) return Status::NotFound("unknown state id");
+  OrgState& st = states_[s];
+  if (!st.alive) return Status::FailedPrecondition("state already dead");
+  if (s == root_) return Status::InvalidArgument("cannot remove root");
+  if (st.kind == StateKind::kLeaf) {
+    return Status::InvalidArgument("cannot remove a leaf state");
+  }
+  for (StateId p : st.parents) Erase(&states_[p].children, s);
+  for (StateId c : st.children) Erase(&states_[c].parents, s);
+  st.parents.clear();
+  st.children.clear();
+  st.alive = false;
+  return Status::OK();
+}
+
+bool Organization::WouldCreateCycle(StateId parent, StateId child) const {
+  if (parent == child) return true;
+  // DFS from child along child edges looking for parent.
+  std::vector<StateId> stack = {child};
+  std::vector<char> visited(states_.size(), 0);
+  visited[child] = 1;
+  while (!stack.empty()) {
+    StateId cur = stack.back();
+    stack.pop_back();
+    for (StateId nxt : states_[cur].children) {
+      if (nxt == parent) return true;
+      if (!visited[nxt]) {
+        visited[nxt] = 1;
+        stack.push_back(nxt);
+      }
+    }
+  }
+  return false;
+}
+
+void Organization::AddExtraAttrs(StateId s,
+                                 const std::vector<uint32_t>& attrs) {
+  OrgState& st = states_[s];
+  assert(st.kind != StateKind::kLeaf);
+  bool grew = false;
+  for (uint32_t a : attrs) {
+    if (a < st.attrs.size() && !st.attrs.Test(a)) {
+      st.attrs.Set(a);
+      AddInPlace(&st.topic_sum, ctx_->attr_sum(a));
+      st.value_count += ctx_->attr_value_count(a);
+      grew = true;
+    }
+  }
+  if (grew) RefreshTopic(s);
+}
+
+void Organization::AddAttrsToState(StateId s,
+                                   const DynamicBitset& new_attrs,
+                                   const std::vector<uint32_t>& new_tags,
+                                   bool* grew) {
+  OrgState& st = states_[s];
+  assert(st.kind != StateKind::kLeaf);
+  *grew = false;
+  // Incremental topic update: fold in only attributes not already present.
+  new_attrs.ForEach([this, &st, grew](size_t a) {
+    if (!st.attrs.Test(a)) {
+      st.attrs.Set(a);
+      AddInPlace(&st.topic_sum, ctx_->attr_sum(a));
+      st.value_count += ctx_->attr_value_count(a);
+      *grew = true;
+    }
+  });
+  for (uint32_t t : new_tags) {
+    auto it = std::lower_bound(st.tags.begin(), st.tags.end(), t);
+    if (it == st.tags.end() || *it != t) st.tags.insert(it, t);
+  }
+  // A penultimate tag state that accumulates further tags is no longer
+  // the fixed single-tag level of section 3.2: promote it to interior
+  // (it loses DELETE_PARENT protection along with the promotion).
+  if (st.kind == StateKind::kTag && st.tags.size() > 1) {
+    st.kind = StateKind::kInterior;
+  }
+  if (*grew) RefreshTopic(s);
+}
+
+void Organization::PropagateAttrsUpward(StateId s,
+                                        const DynamicBitset& attrs,
+                                        const std::vector<uint32_t>& tags,
+                                        std::vector<StateId>* touched) {
+  // BFS upward from s; stop expanding where nothing grew (ancestors of a
+  // state that already contains the attrs contain them too -- except via
+  // other paths, so we still visit every parent of a grown state).
+  std::deque<StateId> queue = {s};
+  std::vector<char> visited(states_.size(), 0);
+  visited[s] = 1;
+  while (!queue.empty()) {
+    StateId cur = queue.front();
+    queue.pop_front();
+    bool grew = false;
+    AddAttrsToState(cur, attrs, tags, &grew);
+    if (grew && touched != nullptr) touched->push_back(cur);
+    if (grew) {
+      for (StateId p : states_[cur].parents) {
+        if (!visited[p]) {
+          visited[p] = 1;
+          queue.push_back(p);
+        }
+      }
+    }
+  }
+}
+
+void Organization::RecomputeLevels() {
+  for (OrgState& st : states_) st.level = -1;
+  if (root_ == kInvalidId) return;
+  states_[root_].level = 0;
+  std::deque<StateId> queue = {root_};
+  while (!queue.empty()) {
+    StateId cur = queue.front();
+    queue.pop_front();
+    int next_level = states_[cur].level + 1;
+    for (StateId c : states_[cur].children) {
+      if (states_[c].level == -1) {
+        states_[c].level = next_level;
+        queue.push_back(c);
+      }
+    }
+  }
+}
+
+size_t Organization::NumAliveStates() const {
+  size_t n = 0;
+  for (const OrgState& st : states_) {
+    if (st.alive) ++n;
+  }
+  return n;
+}
+
+std::vector<StateId> Organization::TopologicalOrder() const {
+  // Kahn's algorithm restricted to states reachable from the root.
+  std::vector<StateId> order;
+  if (root_ == kInvalidId) return order;
+  std::vector<char> reachable(states_.size(), 0);
+  std::vector<StateId> stack = {root_};
+  reachable[root_] = 1;
+  while (!stack.empty()) {
+    StateId cur = stack.back();
+    stack.pop_back();
+    for (StateId c : states_[cur].children) {
+      if (!reachable[c]) {
+        reachable[c] = 1;
+        stack.push_back(c);
+      }
+    }
+  }
+  std::vector<uint32_t> pending(states_.size(), 0);
+  for (StateId s = 0; s < states_.size(); ++s) {
+    if (!reachable[s]) continue;
+    uint32_t in_degree = 0;
+    for (StateId p : states_[s].parents) {
+      if (reachable[p]) ++in_degree;
+    }
+    pending[s] = in_degree;
+  }
+  std::deque<StateId> queue = {root_};
+  while (!queue.empty()) {
+    StateId cur = queue.front();
+    queue.pop_front();
+    order.push_back(cur);
+    for (StateId c : states_[cur].children) {
+      if (--pending[c] == 0) queue.push_back(c);
+    }
+  }
+  return order;
+}
+
+std::vector<StateId> Organization::StatesAtLevel(int level) const {
+  std::vector<StateId> out;
+  for (StateId s = 0; s < states_.size(); ++s) {
+    if (states_[s].alive && states_[s].level == level) out.push_back(s);
+  }
+  return out;
+}
+
+int Organization::MaxLevel() const {
+  int max_level = -1;
+  for (const OrgState& st : states_) {
+    if (st.alive) max_level = std::max(max_level, st.level);
+  }
+  return max_level;
+}
+
+DynamicBitset Organization::StateAttrSet(StateId s) const {
+  const OrgState& st = states_.at(s);
+  if (st.kind == StateKind::kLeaf) {
+    DynamicBitset b = ctx_->MakeAttrSet();
+    b.Set(st.attr);
+    return b;
+  }
+  return st.attrs;
+}
+
+size_t Organization::NumEdges() const {
+  size_t n = 0;
+  for (const OrgState& st : states_) {
+    if (st.alive) n += st.children.size();
+  }
+  return n;
+}
+
+Status Organization::Validate() const {
+  if (root_ == kInvalidId) {
+    return Status::FailedPrecondition("no root");
+  }
+  // Parent/child symmetry and liveness.
+  for (StateId s = 0; s < states_.size(); ++s) {
+    const OrgState& st = states_[s];
+    if (!st.alive) {
+      if (!st.parents.empty() || !st.children.empty()) {
+        return Status::Internal("dead state with edges: " +
+                                std::to_string(s));
+      }
+      continue;
+    }
+    for (StateId c : st.children) {
+      if (!states_[c].alive) {
+        return Status::Internal("edge to dead state");
+      }
+      if (!Contains(states_[c].parents, s)) {
+        return Status::Internal("asymmetric edge (child missing parent)");
+      }
+    }
+    for (StateId p : st.parents) {
+      if (!states_[p].alive) {
+        return Status::Internal("edge from dead state");
+      }
+      if (!Contains(states_[p].children, s)) {
+        return Status::Internal("asymmetric edge (parent missing child)");
+      }
+    }
+  }
+  // Acyclicity: topological order must cover all reachable states.
+  std::vector<StateId> topo = TopologicalOrder();
+  {
+    std::vector<char> reachable(states_.size(), 0);
+    std::vector<StateId> stack = {root_};
+    reachable[root_] = 1;
+    size_t count = 1;
+    while (!stack.empty()) {
+      StateId cur = stack.back();
+      stack.pop_back();
+      for (StateId c : states_[cur].children) {
+        if (!reachable[c]) {
+          reachable[c] = 1;
+          ++count;
+          stack.push_back(c);
+        }
+      }
+    }
+    if (topo.size() != count) {
+      return Status::Internal("cycle detected (topological order short)");
+    }
+  }
+  // Inclusion property + topic consistency.
+  for (StateId s = 0; s < states_.size(); ++s) {
+    const OrgState& st = states_[s];
+    if (!st.alive) continue;
+    if (st.kind == StateKind::kLeaf) {
+      if (st.attr == kInvalidId || leaf_of_attr_[st.attr] != s) {
+        return Status::Internal("leaf/attribute mapping broken");
+      }
+      continue;
+    }
+    // The tag-derived attribute set must be a subset of st.attrs (attrs may
+    // additionally contain propagated attributes whose tags were merged in,
+    // so equality holds in this implementation; check equality).
+    DynamicBitset expected = ctx_->MakeAttrSet();
+    for (uint32_t t : st.tags) expected.UnionWith(ctx_->tag_extent(t));
+    if (!expected.IsSubsetOf(st.attrs)) {
+      return Status::Internal("state attrs missing tag extents");
+    }
+    for (StateId c : st.children) {
+      const OrgState& cs = states_[c];
+      if (cs.kind == StateKind::kLeaf) {
+        if (!st.attrs.Test(cs.attr)) {
+          return Status::Internal("inclusion violated at leaf edge");
+        }
+      } else if (!cs.attrs.IsSubsetOf(st.attrs)) {
+        return Status::Internal("inclusion violated at interior edge");
+      }
+    }
+    // Topic-sum consistency against attrs.
+    Vec sum(ctx_->dim(), 0.0f);
+    size_t count = 0;
+    st.attrs.ForEach([this, &sum, &count](size_t a) {
+      AddInPlace(&sum, ctx_->attr_sum(a));
+      count += ctx_->attr_value_count(a);
+    });
+    if (count != st.value_count) {
+      return Status::Internal("value_count inconsistent");
+    }
+    for (size_t i = 0; i < sum.size(); ++i) {
+      float delta = sum[i] - st.topic_sum[i];
+      float scale = std::max(1.0f, std::abs(sum[i]));
+      if (std::abs(delta) > 1e-3f * scale) {
+        return Status::Internal("topic_sum inconsistent");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string Organization::DebugString() const {
+  std::ostringstream out;
+  std::vector<StateId> topo = TopologicalOrder();
+  for (StateId s : topo) {
+    const OrgState& st = states_[s];
+    out << "#" << s << " L" << st.level << " ";
+    switch (st.kind) {
+      case StateKind::kRoot:
+        out << "root";
+        break;
+      case StateKind::kInterior:
+        out << "interior{";
+        for (size_t i = 0; i < st.tags.size(); ++i) {
+          if (i > 0) out << ",";
+          out << ctx_->tag_name(st.tags[i]);
+        }
+        out << "}";
+        break;
+      case StateKind::kTag:
+        out << "tag(" << ctx_->tag_name(st.tags[0]) << ")";
+        break;
+      case StateKind::kLeaf:
+        out << "leaf(" << ctx_->attr_label(st.attr) << ")";
+        break;
+    }
+    out << " ->";
+    for (StateId c : st.children) out << " #" << c;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,181 @@
+// Organization: the navigation DAG of section 2.1. States are nodes; every
+// leaf corresponds to one attribute; every non-leaf state carries a set of
+// tags and the union of their attributes; an edge (s, c) requires
+// D_c ⊆ D_s (the inclusion property). The DAG supports the incremental
+// mutations the local-search operations need (edge add/remove, state
+// removal, upward attribute propagation) while keeping topic vectors and
+// levels consistent.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/dynamic_bitset.h"
+#include "common/status.h"
+#include "core/org_context.h"
+
+namespace lakeorg {
+
+/// Index of a state within an Organization.
+using StateId = uint32_t;
+
+/// Role of a state in the organization (section 3.2: leaves are single
+/// attributes, their parents are single-tag "tag states", everything above
+/// carries tag sets).
+enum class StateKind {
+  kRoot,
+  kInterior,  // Multi- or single-tag internal state above tag states.
+  kTag,       // Penultimate single-tag state.
+  kLeaf,      // Single attribute.
+};
+
+/// One state of the organization.
+struct OrgState {
+  StateKind kind = StateKind::kInterior;
+  /// Removed states stay in the arena with alive == false so StateIds are
+  /// stable across mutations.
+  bool alive = true;
+  std::vector<StateId> parents;
+  std::vector<StateId> children;
+  /// Local tag ids (sorted); empty for leaves.
+  std::vector<uint32_t> tags;
+  /// Local attribute id for leaves; kInvalidId otherwise.
+  uint32_t attr = kInvalidId;
+  /// Attribute set D_s as a bitset over local attribute ids (non-leaf).
+  DynamicBitset attrs;
+  /// Sum of value-embedding vectors over dom(s), for O(dim) topic updates.
+  Vec topic_sum;
+  /// Number of embedded values behind topic_sum.
+  size_t value_count = 0;
+  /// Topic vector mu_s = topic_sum / value_count (Definition 4/5).
+  Vec topic;
+  /// Shortest-path distance from the root (section 3.3's level); -1 when
+  /// unreachable or not yet computed.
+  int level = -1;
+};
+
+/// The navigation DAG. All mutating calls keep parents/children symmetric;
+/// levels are recomputed explicitly via RecomputeLevels() after a batch of
+/// mutations (the local-search operations do this once per operation).
+class Organization {
+ public:
+  /// Creates an empty organization over `ctx`.
+  explicit Organization(std::shared_ptr<const OrgContext> ctx);
+
+  /// Deep copy sharing the immutable context.
+  Organization Clone() const;
+
+  // Construction ------------------------------------------------------------
+
+  /// Adds the leaf state for local attribute `attr`. One leaf per
+  /// attribute; asserts on duplicates.
+  StateId AddLeaf(uint32_t attr);
+
+  /// Adds a single-tag (penultimate) state for local tag `tag`.
+  StateId AddTagState(uint32_t tag);
+
+  /// Adds an interior state carrying `tags` (deduplicated, sorted); its
+  /// attribute set and topic are derived from the tags' extents.
+  StateId AddInteriorState(std::vector<uint32_t> tags);
+
+  /// Adds the root state over `tags` (usually all tags of the context).
+  StateId AddRoot(std::vector<uint32_t> tags);
+
+  /// Adds edge parent -> child. Fails on dead/unknown states, duplicate
+  /// edges, self-loops, edges into the root, edges out of a leaf, or
+  /// inclusion-property violations. Does NOT check acyclicity (callers use
+  /// WouldCreateCycle when the edge direction is not structurally safe).
+  Status AddEdge(StateId parent, StateId child);
+
+  /// Removes edge parent -> child; fails when absent.
+  Status RemoveEdge(StateId parent, StateId child);
+
+  /// Detaches `s` from all neighbors and marks it dead. Fails for the root
+  /// and for leaves (leaves are permanent, section 3.2).
+  Status RemoveState(StateId s);
+
+  /// True iff adding parent -> child would create a cycle, i.e. `parent`
+  /// is reachable from `child` via child edges.
+  bool WouldCreateCycle(StateId parent, StateId child) const;
+
+  // Invariant maintenance ----------------------------------------------------
+
+  /// Adds `attrs` (and `tags`) to state `s` and to all its ancestors,
+  /// updating topic sums incrementally. Appends every state whose
+  /// attribute set actually grew to `touched` (if non-null). Used by
+  /// ADD_PARENT to restore the inclusion property.
+  void PropagateAttrsUpward(StateId s, const DynamicBitset& attrs,
+                            const std::vector<uint32_t>& tags,
+                            std::vector<StateId>* touched);
+
+  /// Recomputes `level` for all states via BFS from the root.
+  void RecomputeLevels();
+
+  /// Recomputes the attribute set and topic of one non-leaf state from its
+  /// tag set (root/interior/tag states only).
+  void RecomputeStateFromTags(StateId s);
+
+  /// Adds attributes to a single non-leaf state without propagating to
+  /// ancestors. Used by deserialization to restore attributes that
+  /// ADD_PARENT operations had propagated beyond the state's tag extents;
+  /// general callers should use PropagateAttrsUpward to keep the
+  /// inclusion property intact.
+  void AddExtraAttrs(StateId s, const std::vector<uint32_t>& attrs);
+
+  // Queries -------------------------------------------------------------------
+
+  const OrgContext& ctx() const { return *ctx_; }
+  std::shared_ptr<const OrgContext> ctx_ptr() const { return ctx_; }
+
+  /// The root id; kInvalidId before AddRoot.
+  StateId root() const { return root_; }
+
+  /// Arena size (alive + dead states).
+  size_t num_states() const { return states_.size(); }
+
+  /// Number of alive states.
+  size_t NumAliveStates() const;
+
+  const OrgState& state(StateId s) const { return states_.at(s); }
+
+  /// Leaf id of local attribute `attr`; kInvalidId when absent.
+  StateId LeafOf(uint32_t attr) const { return leaf_of_attr_.at(attr); }
+
+  /// Alive states reachable from the root, parents before children.
+  std::vector<StateId> TopologicalOrder() const;
+
+  /// Alive states (reachable from the root) at the given level.
+  std::vector<StateId> StatesAtLevel(int level) const;
+
+  /// Maximum level over alive reachable states.
+  int MaxLevel() const;
+
+  /// The attribute set of any state, materialized: the leaf's singleton or
+  /// the non-leaf bitset.
+  DynamicBitset StateAttrSet(StateId s) const;
+
+  /// Number of edges among alive states.
+  size_t NumEdges() const;
+
+  /// Full structural check: parent/child symmetry, acyclicity, inclusion
+  /// property, one leaf per attribute, topic-sum consistency, level
+  /// correctness. O(V * A / 64 + E); for tests and debugging.
+  Status Validate() const;
+
+  /// Human-readable multi-line rendering (small orgs; tests/examples).
+  std::string DebugString() const;
+
+ private:
+  StateId NewState(OrgState&& state);
+  void AddAttrsToState(StateId s, const DynamicBitset& new_attrs,
+                       const std::vector<uint32_t>& new_tags, bool* grew);
+  void RefreshTopic(StateId s);
+
+  std::shared_ptr<const OrgContext> ctx_;
+  std::vector<OrgState> states_;
+  std::vector<StateId> leaf_of_attr_;
+  StateId root_ = kInvalidId;
+};
+
+}  // namespace lakeorg

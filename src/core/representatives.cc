@@ -1,0 +1,59 @@
+#include "core/representatives.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "cluster/kmedoids.h"
+
+namespace lakeorg {
+
+RepresentativeSet SelectRepresentatives(const OrgContext& ctx,
+                                        const RepresentativeOptions& options,
+                                        Rng* rng) {
+  size_t n = ctx.num_attrs();
+  assert(n > 0);
+  size_t k = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(options.fraction *
+                                          static_cast<double>(n))));
+  k = std::min(k, n);
+
+  std::vector<Vec> items(n);
+  for (size_t a = 0; a < n; ++a) items[a] = ctx.attr_vector(a);
+
+  KMedoidsOptions km;
+  km.max_iterations = options.refine_iterations;
+  km.restarts = 1;
+  KMedoidsResult clusters = KMedoids(items, k, rng, km);
+
+  RepresentativeSet reps;
+  reps.query_attrs.reserve(clusters.medoids.size());
+  for (size_t m : clusters.medoids) {
+    reps.query_attrs.push_back(static_cast<uint32_t>(m));
+  }
+  reps.rep_of.resize(n);
+  reps.members.assign(clusters.medoids.size(), {});
+  for (uint32_t a = 0; a < n; ++a) {
+    uint32_t c = static_cast<uint32_t>(clusters.assignment[a]);
+    reps.rep_of[a] = c;
+    reps.members[c].push_back(a);
+  }
+  // Guarantee every representative is a member of its own partition (the
+  // one-to-one mapping of section 3.4); k-medoids already ensures this,
+  // but empty partitions can appear if a medoid lost all members: fold
+  // them away by reassigning the medoid to itself.
+  for (uint32_t q = 0; q < reps.query_attrs.size(); ++q) {
+    uint32_t medoid = reps.query_attrs[q];
+    if (reps.rep_of[medoid] != q) {
+      auto& old_members = reps.members[reps.rep_of[medoid]];
+      old_members.erase(
+          std::remove(old_members.begin(), old_members.end(), medoid),
+          old_members.end());
+      reps.rep_of[medoid] = q;
+      reps.members[q].push_back(medoid);
+    }
+  }
+  return reps;
+}
+
+}  // namespace lakeorg

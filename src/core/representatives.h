@@ -1,0 +1,29 @@
+// Attribute-representative selection (section 3.4): partition the
+// dimension's attributes and evaluate organizations on one medoid per
+// partition instead of on every attribute. The paper uses a representative
+// set sized at 10% of the attributes.
+#pragma once
+
+#include <memory>
+
+#include "common/random.h"
+#include "core/evaluator.h"
+#include "core/org_context.h"
+
+namespace lakeorg {
+
+/// Options for representative selection.
+struct RepresentativeOptions {
+  /// |representatives| = max(1, fraction * num_attrs).
+  double fraction = 0.1;
+  /// Voronoi-improvement iterations over the initial random medoids.
+  size_t refine_iterations = 3;
+};
+
+/// Partitions the context's attributes around medoid representatives by
+/// cosine distance of topic vectors. Deterministic given `rng`'s state.
+RepresentativeSet SelectRepresentatives(const OrgContext& ctx,
+                                        const RepresentativeOptions& options,
+                                        Rng* rng);
+
+}  // namespace lakeorg

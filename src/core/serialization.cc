@@ -1,0 +1,335 @@
+#include "core/serialization.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace lakeorg {
+namespace {
+
+constexpr const char* kMagic = "lakeorg-organization";
+constexpr const char* kVersion = "v1";
+
+char KindChar(StateKind kind) {
+  switch (kind) {
+    case StateKind::kRoot:
+      return 'R';
+    case StateKind::kInterior:
+      return 'I';
+    case StateKind::kTag:
+      return 'T';
+    case StateKind::kLeaf:
+      return 'L';
+  }
+  return '?';
+}
+
+Result<StateKind> KindFromChar(char c) {
+  switch (c) {
+    case 'R':
+      return StateKind::kRoot;
+    case 'I':
+      return StateKind::kInterior;
+    case 'T':
+      return StateKind::kTag;
+    case 'L':
+      return StateKind::kLeaf;
+    default:
+      return Status::InvalidArgument(std::string("unknown state kind '") +
+                                     c + "'");
+  }
+}
+
+/// The attribute ids a non-leaf state carries beyond its tag extents (the
+/// attrs that ADD_PARENT propagated into it).
+std::vector<uint32_t> ExtraAttrs(const Organization& org, StateId s) {
+  const OrgState& st = org.state(s);
+  DynamicBitset from_tags = org.ctx().MakeAttrSet();
+  for (uint32_t t : st.tags) from_tags.UnionWith(org.ctx().tag_extent(t));
+  std::vector<uint32_t> extras;
+  st.attrs.ForEach([&from_tags, &extras](size_t a) {
+    if (!from_tags.Test(a)) extras.push_back(static_cast<uint32_t>(a));
+  });
+  return extras;
+}
+
+}  // namespace
+
+Status SaveOrganization(const Organization& org, std::ostream* out) {
+  if (org.root() == kInvalidId) {
+    return Status::FailedPrecondition("organization has no root");
+  }
+  // Alive states with the root first, compact file ids.
+  std::vector<StateId> order = {org.root()};
+  for (StateId s = 0; s < org.num_states(); ++s) {
+    if (org.state(s).alive && s != org.root()) order.push_back(s);
+  }
+  std::unordered_map<StateId, size_t> file_id;
+  for (size_t i = 0; i < order.size(); ++i) file_id.emplace(order[i], i);
+
+  *out << kMagic << " " << kVersion << "\n";
+  *out << "states " << order.size() << "\n";
+  for (size_t i = 0; i < order.size(); ++i) {
+    const OrgState& st = org.state(order[i]);
+    *out << "state " << i << " " << KindChar(st.kind) << " ";
+    if (st.kind == StateKind::kLeaf) {
+      *out << st.attr << " T 0 X 0\n";
+      continue;
+    }
+    *out << -1 << " T " << st.tags.size();
+    for (uint32_t t : st.tags) *out << " " << t;
+    std::vector<uint32_t> extras = ExtraAttrs(org, order[i]);
+    *out << " X " << extras.size();
+    for (uint32_t a : extras) *out << " " << a;
+    *out << "\n";
+  }
+  size_t edges = 0;
+  for (StateId s : order) edges += org.state(s).children.size();
+  *out << "edges " << edges << "\n";
+  for (StateId s : order) {
+    for (StateId c : org.state(s).children) {
+      *out << "edge " << file_id.at(s) << " " << file_id.at(c) << "\n";
+    }
+  }
+  *out << "end\n";
+  if (!out->good()) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Status SaveOrganizationToFile(const Organization& org,
+                              const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  return SaveOrganization(org, &out);
+}
+
+Result<Organization> LoadOrganization(
+    std::shared_ptr<const OrgContext> ctx, std::istream* in) {
+  std::string magic;
+  std::string version;
+  if (!(*in >> magic >> version) || magic != kMagic ||
+      version != kVersion) {
+    return Status::InvalidArgument("bad header: expected '" +
+                                   std::string(kMagic) + " " + kVersion +
+                                   "'");
+  }
+  std::string keyword;
+  size_t num_states = 0;
+  if (!(*in >> keyword >> num_states) || keyword != "states") {
+    return Status::InvalidArgument("expected 'states <n>'");
+  }
+  if (num_states == 0) {
+    return Status::InvalidArgument("organization with zero states");
+  }
+
+  Organization org(ctx);
+  std::vector<StateId> of_file_id(num_states, kInvalidId);
+  for (size_t i = 0; i < num_states; ++i) {
+    size_t fid = 0;
+    char kind_char = 0;
+    int64_t attr = -1;
+    size_t n_tags = 0;
+    std::string t_marker;
+    std::string x_marker;
+    if (!(*in >> keyword >> fid >> kind_char >> attr >> t_marker >>
+          n_tags) ||
+        keyword != "state" || t_marker != "T" || fid != i) {
+      return Status::InvalidArgument("malformed state line " +
+                                     std::to_string(i));
+    }
+    std::vector<uint32_t> tags(n_tags);
+    for (uint32_t& t : tags) {
+      if (!(*in >> t) || t >= ctx->num_tags()) {
+        return Status::InvalidArgument("bad tag id in state " +
+                                       std::to_string(i));
+      }
+    }
+    size_t n_extras = 0;
+    if (!(*in >> x_marker >> n_extras) || x_marker != "X") {
+      return Status::InvalidArgument("malformed extras in state " +
+                                     std::to_string(i));
+    }
+    std::vector<uint32_t> extras(n_extras);
+    for (uint32_t& a : extras) {
+      if (!(*in >> a) || a >= ctx->num_attrs()) {
+        return Status::InvalidArgument("bad extra attr id in state " +
+                                       std::to_string(i));
+      }
+    }
+
+    Result<StateKind> kind = KindFromChar(kind_char);
+    if (!kind.ok()) return kind.status();
+    StateId sid = kInvalidId;
+    switch (kind.value()) {
+      case StateKind::kRoot:
+        if (i != 0) {
+          return Status::InvalidArgument("root must be the first state");
+        }
+        sid = org.AddRoot(tags);
+        break;
+      case StateKind::kLeaf:
+        if (attr < 0 ||
+            static_cast<size_t>(attr) >= ctx->num_attrs()) {
+          return Status::InvalidArgument("bad leaf attribute id");
+        }
+        if (org.LeafOf(static_cast<uint32_t>(attr)) != kInvalidId) {
+          return Status::InvalidArgument("duplicate leaf for attribute " +
+                                         std::to_string(attr));
+        }
+        sid = org.AddLeaf(static_cast<uint32_t>(attr));
+        break;
+      case StateKind::kTag:
+        if (tags.size() != 1) {
+          return Status::InvalidArgument(
+              "tag state must carry exactly one tag");
+        }
+        sid = org.AddTagState(tags[0]);
+        break;
+      case StateKind::kInterior:
+        if (tags.empty()) {
+          return Status::InvalidArgument("interior state with no tags");
+        }
+        sid = org.AddInteriorState(tags);
+        break;
+    }
+    if (!extras.empty()) org.AddExtraAttrs(sid, extras);
+    of_file_id[i] = sid;
+  }
+  if (org.root() == kInvalidId) {
+    return Status::InvalidArgument("file contains no root state");
+  }
+
+  size_t num_edges = 0;
+  if (!(*in >> keyword >> num_edges) || keyword != "edges") {
+    return Status::InvalidArgument("expected 'edges <n>'");
+  }
+  for (size_t e = 0; e < num_edges; ++e) {
+    size_t p = 0;
+    size_t c = 0;
+    if (!(*in >> keyword >> p >> c) || keyword != "edge" ||
+        p >= num_states || c >= num_states) {
+      return Status::InvalidArgument("malformed edge line " +
+                                     std::to_string(e));
+    }
+    Status st = org.AddEdge(of_file_id[p], of_file_id[c]);
+    if (!st.ok()) {
+      return Status::InvalidArgument("edge " + std::to_string(p) + "->" +
+                                     std::to_string(c) +
+                                     " rejected: " + st.ToString());
+    }
+  }
+  if (!(*in >> keyword) || keyword != "end") {
+    return Status::InvalidArgument("missing 'end' marker");
+  }
+
+  org.RecomputeLevels();
+  LAKEORG_RETURN_NOT_OK(org.Validate());
+  return org;
+}
+
+Result<Organization> LoadOrganizationFromFile(
+    std::shared_ptr<const OrgContext> ctx, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open for reading: " + path);
+  return LoadOrganization(std::move(ctx), &in);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-dimensional organizations
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr const char* kMultiMagic = "lakeorg-multidim";
+}  // namespace
+
+Status SaveMultiDimOrganization(const MultiDimOrganization& org,
+                                std::ostream* out) {
+  *out << kMultiMagic << " " << kVersion << "\n";
+  *out << "dimensions " << org.num_dimensions() << "\n";
+  for (size_t d = 0; d < org.num_dimensions(); ++d) {
+    const OrgContext& ctx = org.dimension(d).ctx();
+    *out << "dimension " << d << " tags " << ctx.num_tags();
+    for (size_t t = 0; t < ctx.num_tags(); ++t) {
+      *out << " " << ctx.lake_tag(t);
+    }
+    *out << "\n";
+    LAKEORG_RETURN_NOT_OK(SaveOrganization(org.dimension(d), out));
+  }
+  if (!out->good()) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Status SaveMultiDimOrganizationToFile(const MultiDimOrganization& org,
+                                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  return SaveMultiDimOrganization(org, &out);
+}
+
+Result<MultiDimOrganization> LoadMultiDimOrganization(
+    const DataLake& lake, const TagIndex& index, std::istream* in) {
+  std::string magic;
+  std::string version;
+  if (!(*in >> magic >> version) || magic != kMultiMagic ||
+      version != kVersion) {
+    return Status::InvalidArgument("bad multidim header");
+  }
+  std::string keyword;
+  size_t num_dims = 0;
+  if (!(*in >> keyword >> num_dims) || keyword != "dimensions" ||
+      num_dims == 0) {
+    return Status::InvalidArgument("expected 'dimensions <n>'");
+  }
+  std::vector<Organization> dims;
+  std::vector<DimensionInfo> info;
+  dims.reserve(num_dims);
+  info.reserve(num_dims);
+  for (size_t d = 0; d < num_dims; ++d) {
+    size_t dim_no = 0;
+    size_t num_tags = 0;
+    if (!(*in >> keyword >> dim_no) || keyword != "dimension" ||
+        dim_no != d) {
+      return Status::InvalidArgument("malformed dimension header " +
+                                     std::to_string(d));
+    }
+    if (!(*in >> keyword >> num_tags) || keyword != "tags" ||
+        num_tags == 0) {
+      return Status::InvalidArgument("malformed tag list in dimension " +
+                                     std::to_string(d));
+    }
+    std::vector<TagId> tags(num_tags);
+    for (TagId& t : tags) {
+      if (!(*in >> t) || t >= lake.num_tags()) {
+        return Status::InvalidArgument("bad lake tag id in dimension " +
+                                       std::to_string(d));
+      }
+    }
+    std::shared_ptr<const OrgContext> ctx =
+        OrgContext::Build(lake, index, tags);
+    if (ctx->num_tags() != num_tags) {
+      return Status::FailedPrecondition(
+          "lake does not match the saved partition (dimension " +
+          std::to_string(d) + " expected " + std::to_string(num_tags) +
+          " non-empty tags, lake provides " +
+          std::to_string(ctx->num_tags()) + ")");
+    }
+    Result<Organization> org = LoadOrganization(ctx, in);
+    if (!org.ok()) return org.status();
+    DimensionInfo di;
+    di.num_tags = ctx->num_tags();
+    di.num_attrs = ctx->num_attrs();
+    di.num_tables = ctx->num_tables();
+    info.push_back(di);
+    dims.push_back(std::move(org).value());
+  }
+  return MultiDimOrganization(std::move(dims), std::move(info));
+}
+
+Result<MultiDimOrganization> LoadMultiDimOrganizationFromFile(
+    const DataLake& lake, const TagIndex& index, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open for reading: " + path);
+  return LoadMultiDimOrganization(lake, index, &in);
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,71 @@
+// Organization serialization: save a learned organization to a compact
+// line-oriented text format and load it back against the same OrgContext.
+// A production deployment learns the organization offline (section 4.3's
+// 12-hour Socrata build) and serves navigation from a loaded copy.
+//
+// Format (version 1):
+//   lakeorg-organization v1
+//   counts <num_states> <root_id>
+//   state <id> <kind> <alive> <attr|-1> tags <t...>
+//   edge <parent> <child>            (one line per edge)
+// Topic vectors, attribute sets and levels are derived from the context
+// on load, so files stay small and the context remains the single source
+// of truth for the lake's content.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "core/multidim.h"
+#include "core/organization.h"
+
+namespace lakeorg {
+
+/// Writes `org` to `out`. Dead states are preserved (ids are stable).
+Status SaveOrganization(const Organization& org, std::ostream* out);
+
+/// Convenience: save to a file path.
+Status SaveOrganizationToFile(const Organization& org,
+                              const std::string& path);
+
+/// Reads an organization from `in` over `ctx`. Fails with a descriptive
+/// status on malformed input, id mismatches, or inclusion violations
+/// (edges are re-checked through Organization's own invariants).
+Result<Organization> LoadOrganization(
+    std::shared_ptr<const OrgContext> ctx, std::istream* in);
+
+/// Convenience: load from a file path.
+Result<Organization> LoadOrganizationFromFile(
+    std::shared_ptr<const OrgContext> ctx, const std::string& path);
+
+// Multi-dimensional organizations ------------------------------------------
+//
+// Format (version 1): a `lakeorg-multidim v1` header, then per dimension a
+// `dimension <i> tags <n> <lake tag ids...>` line followed by that
+// dimension's single-organization section. Loading rebuilds each
+// dimension's OrgContext from the recorded tag partition, so the lake
+// must be reconstructed identically (same tables/tags in the same order)
+// — which deterministic ingestion (CSV, generators with fixed seeds)
+// guarantees.
+
+/// Writes all dimensions of `org` to `out`.
+Status SaveMultiDimOrganization(const MultiDimOrganization& org,
+                                std::ostream* out);
+
+/// Convenience: save to a file path.
+Status SaveMultiDimOrganizationToFile(const MultiDimOrganization& org,
+                                      const std::string& path);
+
+/// Reads a multi-dimensional organization over `lake`/`index` (the same
+/// lake it was built from). Per-dimension statistics are recomputed
+/// structurally; optimization metadata (timings, proposals) is not
+/// persisted.
+Result<MultiDimOrganization> LoadMultiDimOrganization(
+    const DataLake& lake, const TagIndex& index, std::istream* in);
+
+/// Convenience: load from a file path.
+Result<MultiDimOrganization> LoadMultiDimOrganizationFromFile(
+    const DataLake& lake, const TagIndex& index, const std::string& path);
+
+}  // namespace lakeorg

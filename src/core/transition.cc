@@ -1,0 +1,36 @@
+#include "core/transition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lakeorg {
+
+std::vector<double> TransitionProbabilities(const std::vector<double>& sims,
+                                            const TransitionConfig& config) {
+  assert(!sims.empty());
+  assert(config.gamma > 0.0);
+  double scale = config.branching_penalty
+                     ? config.gamma / static_cast<double>(sims.size())
+                     : config.gamma;
+  double max_sim = *std::max_element(sims.begin(), sims.end());
+  std::vector<double> probs(sims.size());
+  double total = 0.0;
+  for (size_t i = 0; i < sims.size(); ++i) {
+    probs[i] = std::exp(scale * (sims[i] - max_sim));
+    total += probs[i];
+  }
+  for (double& p : probs) p /= total;
+  return probs;
+}
+
+std::vector<double> ChildSimilarities(const std::vector<const Vec*>& children,
+                                      const Vec& query) {
+  std::vector<double> sims(children.size());
+  for (size_t i = 0; i < children.size(); ++i) {
+    sims[i] = Cosine(*children[i], query);
+  }
+  return sims;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,37 @@
+// The navigation transition model of Equation 1:
+//
+//   P(c | s, X, O) = exp(gamma / |ch(s)| * kappa(c, X))
+//                    / sum_t exp(gamma / |ch(s)| * kappa(t, X))
+//
+// where kappa is cosine similarity between the child state's topic vector
+// and the query topic vector, and the 1/|ch(s)| factor penalizes large
+// branching factors.
+#pragma once
+
+#include <vector>
+
+#include "embedding/vector_ops.h"
+
+namespace lakeorg {
+
+/// Transition-model hyperparameters.
+struct TransitionConfig {
+  /// The strictly positive gamma of Equation 1. Larger values make users
+  /// more decisive (probability mass concentrates on the best child).
+  double gamma = 20.0;
+  /// When false, the 1/|ch(s)| branching penalty is disabled (ablation);
+  /// the softmax scale is then gamma itself.
+  bool branching_penalty = true;
+};
+
+/// Softmax of Equation 1 over one state's children. `sims[i]` is
+/// kappa(child_i, X); returns P(child_i | s, X). Numerically stable; a
+/// single child gets probability 1. Requires sims non-empty.
+std::vector<double> TransitionProbabilities(const std::vector<double>& sims,
+                                            const TransitionConfig& config);
+
+/// Convenience: kappa values of `children` topic vectors against `query`.
+std::vector<double> ChildSimilarities(const std::vector<const Vec*>& children,
+                                      const Vec& query);
+
+}  // namespace lakeorg

@@ -1,0 +1,161 @@
+#include "discovery/unified.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+
+#include "search/tokenizer.h"
+
+namespace lakeorg {
+
+DiscoveryHub::DiscoveryHub(const DataLake* lake,
+                           const MultiDimOrganization* org,
+                           const TableSearchEngine* engine,
+                           std::shared_ptr<const EmbeddingStore> store,
+                           DiscoveryHubOptions options)
+    : lake_(lake),
+      org_(org),
+      engine_(engine),
+      store_(std::move(store)),
+      options_(options) {}
+
+Vec DiscoveryHub::QueryTopic(const std::string& query) const {
+  TopicAccumulator acc(store_->dim());
+  for (const std::string& token : Tokenize(query)) {
+    std::optional<Vec> v = store_->Embed(token);
+    if (v.has_value()) acc.Add(*v);
+  }
+  return acc.Mean();
+}
+
+UnifiedResult DiscoveryHub::Query(const std::string& query) const {
+  UnifiedResult result;
+  result.tables = engine_->Search(query, options_.max_tables,
+                                  options_.expand_queries);
+
+  Vec topic = QueryTopic(query);
+  if (Norm(topic) == 0.0) return result;  // Nothing embeddable to match.
+
+  // Scan all states of all dimensions for topical entry points. Leaves
+  // are excluded (the tables list already covers direct hits); shallow
+  // states are excluded per options.
+  for (size_t d = 0; d < org_->num_dimensions(); ++d) {
+    const Organization& dim = org_->dimension(d);
+    for (StateId s = 0; s < dim.num_states(); ++s) {
+      const OrgState& st = dim.state(s);
+      if (!st.alive || st.kind == StateKind::kLeaf ||
+          st.level < options_.min_entry_level) {
+        continue;
+      }
+      double sim = Cosine(st.topic, topic);
+      if (sim < options_.min_entry_similarity) continue;
+      result.entry_points.push_back(
+          EntryPoint{d, s, sim, StateLabel(dim, s)});
+    }
+  }
+  std::sort(result.entry_points.begin(), result.entry_points.end(),
+            [](const EntryPoint& a, const EntryPoint& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.state < b.state;
+            });
+  if (result.entry_points.size() > options_.max_entry_points) {
+    result.entry_points.resize(options_.max_entry_points);
+  }
+  return result;
+}
+
+Result<NavigationSession> DiscoveryHub::EnterAt(
+    const EntryPoint& entry) const {
+  if (entry.dimension >= org_->num_dimensions()) {
+    return Status::OutOfRange("no such dimension");
+  }
+  const Organization& dim = org_->dimension(entry.dimension);
+  if (entry.state >= dim.num_states() ||
+      !dim.state(entry.state).alive || dim.state(entry.state).level < 0) {
+    return Status::NotFound("entry state not navigable");
+  }
+  // Root-to-entry path along level-minimal parents (a shortest discovery
+  // sequence), walked through the session API so the path is consistent.
+  std::vector<StateId> chain = {entry.state};
+  StateId cur = entry.state;
+  while (cur != dim.root()) {
+    const OrgState& st = dim.state(cur);
+    StateId best_parent = kInvalidId;
+    int best_level = std::numeric_limits<int>::max();
+    for (StateId p : st.parents) {
+      int level = dim.state(p).level;
+      if (level >= 0 && level < best_level) {
+        best_level = level;
+        best_parent = p;
+      }
+    }
+    if (best_parent == kInvalidId) {
+      return Status::Internal("entry state unreachable from root");
+    }
+    chain.push_back(best_parent);
+    cur = best_parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+  NavigationSession session(&dim);
+  for (size_t i = 1; i < chain.size(); ++i) {
+    LAKEORG_RETURN_NOT_OK(session.ChooseState(chain[i]));
+  }
+  return session;
+}
+
+std::vector<std::string> DiscoveryHub::SuggestKeywords(
+    size_t dimension, StateId state) const {
+  std::vector<std::string> keywords;
+  if (dimension >= org_->num_dimensions()) return keywords;
+  const Organization& dim = org_->dimension(dimension);
+  if (state >= dim.num_states() || !dim.state(state).alive) {
+    return keywords;
+  }
+  const OrgState& st = dim.state(state);
+  const OrgContext& ctx = dim.ctx();
+
+  // Tag names on the state (split multi-word tag names into tokens).
+  for (uint32_t t : st.tags) {
+    for (const std::string& token : Tokenize(ctx.tag_name(t))) {
+      if (std::find(keywords.begin(), keywords.end(), token) ==
+          keywords.end()) {
+        keywords.push_back(token);
+      }
+      if (keywords.size() >= options_.max_keywords) return keywords;
+    }
+  }
+  // Most frequent embeddable values among the attributes below the state.
+  std::map<std::string, size_t> value_counts;
+  DynamicBitset attrs = dim.StateAttrSet(state);
+  attrs.ForEach([this, &ctx, &value_counts](size_t a) {
+    const Attribute& attr = lake_->attribute(ctx.lake_attr(a));
+    size_t limit = std::min<size_t>(attr.values.size(), 20);
+    for (size_t i = 0; i < limit; ++i) {
+      if (store_->Embed(attr.values[i]).has_value()) {
+        ++value_counts[attr.values[i]];
+      }
+    }
+  });
+  std::vector<std::pair<size_t, std::string>> ranked;
+  for (const auto& [value, count] : value_counts) {
+    ranked.emplace_back(count, value);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (const auto& [count, value] : ranked) {
+    if (keywords.size() >= options_.max_keywords) break;
+    if (std::find(keywords.begin(), keywords.end(), value) ==
+        keywords.end()) {
+      keywords.push_back(value);
+    }
+  }
+  return keywords;
+}
+
+}  // namespace lakeorg

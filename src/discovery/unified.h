@@ -1,0 +1,99 @@
+// Unified discovery (the paper's final future-work item: "integrate
+// keyword search and navigation as two interchangeable modalities in a
+// unified framework"). DiscoveryHub couples a TableSearchEngine and a
+// MultiDimOrganization over the same lake so a user can switch modality
+// mid-session:
+//
+//  * search -> navigate: a keyword query is answered with both ranked
+//    tables AND "entry points" — organization states whose topics best
+//    match the query — so the user can drop into the navigation structure
+//    near the query instead of at the root;
+//  * navigate -> search: any state suggests keywords (its label tags plus
+//    frequent attribute values below it) that seed a search query.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/multidim.h"
+#include "core/navigation.h"
+#include "search/engine.h"
+
+namespace lakeorg {
+
+/// An organization state offered as a navigation entry point.
+struct EntryPoint {
+  /// Which dimension of the multi-dimensional organization.
+  size_t dimension = 0;
+  StateId state = kInvalidId;
+  /// Cosine similarity between the query topic and the state topic.
+  double similarity = 0.0;
+  /// The state's display label.
+  std::string label;
+};
+
+/// Combined answer to a keyword query.
+struct UnifiedResult {
+  /// BM25-ranked tables (the search modality).
+  std::vector<TableHit> tables;
+  /// Best-matching organization states (the navigation modality).
+  std::vector<EntryPoint> entry_points;
+};
+
+/// Options for DiscoveryHub.
+struct DiscoveryHubOptions {
+  /// Entry points returned per query.
+  size_t max_entry_points = 5;
+  /// Tables returned per query.
+  size_t max_tables = 10;
+  /// Only states whose level is at least this deep qualify as entry
+  /// points (the root and its immediate children are poor entries).
+  int min_entry_level = 1;
+  /// Entry points below this similarity are dropped.
+  double min_entry_similarity = 0.1;
+  /// Keywords suggested per state.
+  size_t max_keywords = 6;
+  /// Use embedding query expansion for the table ranking.
+  bool expand_queries = true;
+};
+
+/// Search and navigation over one lake, interchangeable mid-session.
+class DiscoveryHub {
+ public:
+  /// All borrowed pointers must outlive the hub. `store` embeds query
+  /// terms for entry-point matching (may be the engine's store).
+  DiscoveryHub(const DataLake* lake, const MultiDimOrganization* org,
+               const TableSearchEngine* engine,
+               std::shared_ptr<const EmbeddingStore> store,
+               DiscoveryHubOptions options = {});
+
+  /// Keyword query -> ranked tables + navigation entry points.
+  UnifiedResult Query(const std::string& query) const;
+
+  /// Starts a navigation session at an entry point returned by Query.
+  /// The session walks the entry point's dimension; the returned session
+  /// is positioned at the entry state (path = root .. state along the
+  /// level-minimal parent chain).
+  Result<NavigationSession> EnterAt(const EntryPoint& entry) const;
+
+  /// Keywords that describe `state` of `dimension` — tag names on the
+  /// state plus the most frequent embeddable values below it — usable as
+  /// a search query when the user switches modality.
+  std::vector<std::string> SuggestKeywords(size_t dimension,
+                                           StateId state) const;
+
+  const DiscoveryHubOptions& options() const { return options_; }
+
+ private:
+  /// Topic vector of a free-text query (mean of embeddable tokens).
+  Vec QueryTopic(const std::string& query) const;
+
+  const DataLake* lake_;
+  const MultiDimOrganization* org_;
+  const TableSearchEngine* engine_;
+  std::shared_ptr<const EmbeddingStore> store_;
+  DiscoveryHubOptions options_;
+};
+
+}  // namespace lakeorg

@@ -1,0 +1,33 @@
+// The embedding-provider interface. The paper uses pretrained fastText
+// vectors (section 3.1) covering ~70% of text values; this library keeps
+// that dependency behind an interface and ships two offline providers
+// (see DESIGN.md, substitution 1).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "embedding/vector_ops.h"
+
+namespace lakeorg {
+
+/// Maps words (data values) to dense vectors. Implementations must be
+/// deterministic and thread-safe for concurrent Embed calls.
+class EmbeddingModel {
+ public:
+  virtual ~EmbeddingModel() = default;
+
+  /// Embedding dimension.
+  virtual size_t dim() const = 0;
+
+  /// The vector for `word`, or nullopt when the word is out of vocabulary
+  /// (mirrors fastText coverage gaps on data-lake values).
+  virtual std::optional<Vec> Embed(const std::string& word) const = 0;
+
+  /// True iff `word` is in vocabulary.
+  virtual bool Contains(const std::string& word) const {
+    return Embed(word).has_value();
+  }
+};
+
+}  // namespace lakeorg

@@ -1,0 +1,56 @@
+#include "embedding/embedding_store.h"
+
+#include <cassert>
+
+namespace lakeorg {
+
+EmbeddingStore::EmbeddingStore(std::shared_ptr<const EmbeddingModel> model)
+    : model_(std::move(model)) {
+  assert(model_ != nullptr);
+}
+
+std::optional<Vec> EmbeddingStore::Embed(const std::string& word) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(word);
+    if (it != cache_.end()) return it->second;
+  }
+  std::optional<Vec> v = model_->Embed(word);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.emplace(word, v);
+  }
+  return v;
+}
+
+size_t EmbeddingStore::AccumulateDomain(
+    const std::vector<std::string>& values, TopicAccumulator* acc) const {
+  size_t embedded = 0;
+  for (const std::string& value : values) {
+    std::optional<Vec> v = Embed(value);
+    if (v.has_value()) {
+      acc->Add(*v);
+      ++embedded;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    coverage_.total_values += values.size();
+    coverage_.embedded_values += embedded;
+  }
+  return embedded;
+}
+
+Vec EmbeddingStore::DomainTopicVector(
+    const std::vector<std::string>& values) const {
+  TopicAccumulator acc(dim());
+  AccumulateDomain(values, &acc);
+  return acc.Mean();
+}
+
+CoverageStats EmbeddingStore::coverage() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return coverage_;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,67 @@
+// EmbeddingStore: memoizing facade over an EmbeddingModel that computes the
+// topic vectors of attribute domains (section 3.1: an attribute is
+// represented by the sample mean of its values' embedding vectors) and
+// tracks vocabulary coverage (the paper reports ~70% value coverage).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "embedding/embedding_model.h"
+
+namespace lakeorg {
+
+/// Coverage statistics from topic-vector computation.
+struct CoverageStats {
+  /// Values seen (with multiplicity collapsed per call site).
+  size_t total_values = 0;
+  /// Values that had an embedding.
+  size_t embedded_values = 0;
+
+  /// Fraction of values with an embedding; 1.0 for an empty population.
+  double Coverage() const {
+    return total_values == 0
+               ? 1.0
+               : static_cast<double>(embedded_values) /
+                     static_cast<double>(total_values);
+  }
+};
+
+/// Memoizing embedding lookup + domain aggregation. Thread-safe.
+class EmbeddingStore {
+ public:
+  /// Wraps `model` (not owned by value semantics; shared).
+  explicit EmbeddingStore(std::shared_ptr<const EmbeddingModel> model);
+
+  /// Embedding dimension.
+  size_t dim() const { return model_->dim(); }
+
+  /// Cached lookup of a single word.
+  std::optional<Vec> Embed(const std::string& word) const;
+
+  /// Accumulates the embeddable values of `values` into `acc` and updates
+  /// the store-wide coverage statistics. Returns the number of values that
+  /// had embeddings.
+  size_t AccumulateDomain(const std::vector<std::string>& values,
+                          TopicAccumulator* acc) const;
+
+  /// Topic vector (sample mean) of a domain; all-zero when nothing embeds.
+  Vec DomainTopicVector(const std::vector<std::string>& values) const;
+
+  /// Store-wide coverage counters across all AccumulateDomain calls.
+  CoverageStats coverage() const;
+
+  /// The wrapped model.
+  const EmbeddingModel& model() const { return *model_; }
+
+ private:
+  std::shared_ptr<const EmbeddingModel> model_;
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<std::string, std::optional<Vec>> cache_;
+  mutable CoverageStats coverage_;
+};
+
+}  // namespace lakeorg

@@ -1,0 +1,68 @@
+#include "embedding/hashed_embedding.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace lakeorg {
+namespace {
+
+// 64-bit FNV-1a over a byte string mixed with a seed; stable across runs.
+uint64_t HashNgram(const char* data, size_t len, uint64_t seed) {
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  // Final avalanche (splitmix64 tail) so low bits are well mixed.
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+
+bool IsNumericWord(const std::string& w) {
+  bool any_digit = false;
+  for (char c : w) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isdigit(uc)) {
+      any_digit = true;
+    } else if (uc != '.' && uc != '-' && uc != '+' && uc != ',') {
+      return false;
+    }
+  }
+  return any_digit;
+}
+
+}  // namespace
+
+HashedEmbedding::HashedEmbedding(HashedEmbeddingOptions options)
+    : options_(options) {}
+
+std::optional<Vec> HashedEmbedding::Embed(const std::string& word) const {
+  std::string w = ToLower(Trim(word));
+  if (w.size() < options_.min_word_length) return std::nullopt;
+  if (options_.reject_numeric && IsNumericWord(w)) return std::nullopt;
+
+  // Boundary markers give n-grams positional information, as in fastText.
+  std::string padded = "<" + w + ">";
+  Vec v(options_.dim, 0.0f);
+  size_t ngrams = 0;
+  for (size_t n = options_.min_ngram; n <= options_.max_ngram; ++n) {
+    if (padded.size() < n) break;
+    for (size_t i = 0; i + n <= padded.size(); ++i) {
+      uint64_t h = HashNgram(padded.data() + i, n, options_.seed);
+      size_t coord = h % options_.dim;
+      float sign = ((h >> 32) & 1) ? 1.0f : -1.0f;
+      v[coord] += sign;
+      ++ngrams;
+    }
+  }
+  if (ngrams == 0) return std::nullopt;
+  NormalizeInPlace(&v);
+  return v;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,47 @@
+// A fastText-style subword embedder built from character-n-gram feature
+// hashing. It needs no external vector file: each n-gram of a word hashes
+// to a signed coordinate, so morphologically similar strings land near each
+// other in embedding space. This is the string-level stand-in for the
+// pretrained fastText database (DESIGN.md, substitution 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "embedding/embedding_model.h"
+
+namespace lakeorg {
+
+/// Options for HashedEmbedding.
+struct HashedEmbeddingOptions {
+  /// Embedding dimension.
+  size_t dim = 64;
+  /// Minimum character n-gram length.
+  size_t min_ngram = 3;
+  /// Maximum character n-gram length.
+  size_t max_ngram = 5;
+  /// Hash seed; different seeds give independent embedding spaces.
+  uint64_t seed = 0x5EED5EEDULL;
+  /// Words shorter than this are treated as out of vocabulary, emulating
+  /// the coverage gaps of a pretrained vector file (codes, ids, numbers).
+  size_t min_word_length = 2;
+  /// When true, purely numeric strings are out of vocabulary; the paper
+  /// builds organizations over text attributes only (section 3.1).
+  bool reject_numeric = true;
+};
+
+/// Deterministic char-n-gram hashing embedder. Thread-safe.
+class HashedEmbedding final : public EmbeddingModel {
+ public:
+  explicit HashedEmbedding(HashedEmbeddingOptions options = {});
+
+  size_t dim() const override { return options_.dim; }
+  std::optional<Vec> Embed(const std::string& word) const override;
+
+  const HashedEmbeddingOptions& options() const { return options_; }
+
+ private:
+  HashedEmbeddingOptions options_;
+};
+
+}  // namespace lakeorg

@@ -1,0 +1,160 @@
+#include "embedding/synthetic_vocabulary.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace lakeorg {
+namespace {
+
+// Pronounceable word synthesis: deterministic syllable strings, so the BM25
+// engine and labels operate on plausible "words" rather than raw ids.
+const char* const kOnsets[] = {"b", "d", "f", "g", "k", "l", "m",
+                               "n", "p", "r", "s", "t", "v", "z"};
+const char* const kNuclei[] = {"a", "e", "i", "o", "u", "ai", "ou"};
+
+std::string MakeWord(Rng* rng, size_t syllables) {
+  std::string w;
+  for (size_t i = 0; i < syllables; ++i) {
+    w += kOnsets[rng->UniformInt(0, 13)];
+    w += kNuclei[rng->UniformInt(0, 6)];
+  }
+  return w;
+}
+
+Vec RandomUnitVec(Rng* rng, size_t dim) {
+  Vec v(dim);
+  for (float& x : v) x = static_cast<float>(rng->Gaussian());
+  NormalizeInPlace(&v);
+  return v;
+}
+
+}  // namespace
+
+SyntheticVocabulary::SyntheticVocabulary(SyntheticVocabularyOptions options)
+    : options_(options) {
+  assert(options_.dim >= 2);
+  assert(options_.num_topics >= 1);
+  Rng rng(options_.seed);
+
+  // Sample topic centers with bounded pairwise cosine. Rejection sampling
+  // with a fallback: after too many failures, relax the bound slightly so
+  // construction always terminates (relevant for high topic counts in a
+  // low dimension).
+  double bound = options_.max_center_cosine;
+  int failures = 0;
+  while (centers_.size() < options_.num_topics) {
+    Vec candidate = RandomUnitVec(&rng, options_.dim);
+    bool accepted = true;
+    for (const Vec& c : centers_) {
+      if (Cosine(candidate, c) > bound) {
+        accepted = false;
+        break;
+      }
+    }
+    if (accepted) {
+      centers_.push_back(std::move(candidate));
+      failures = 0;
+    } else if (++failures > 2000) {
+      bound += 0.05;
+      failures = 0;
+    }
+  }
+
+  // Generate words around each center.
+  size_t total = options_.num_topics * options_.words_per_topic;
+  words_.reserve(total);
+  vectors_.reserve(total);
+  topic_of_.reserve(total);
+  for (size_t t = 0; t < options_.num_topics; ++t) {
+    for (size_t w = 0; w < options_.words_per_topic; ++w) {
+      Vec v = centers_[t];
+      for (float& x : v) {
+        x += static_cast<float>(rng.Gaussian() * options_.word_noise);
+      }
+      NormalizeInPlace(&v);
+      // Unique word string: pronounceable stem + disambiguating suffix.
+      std::string word;
+      do {
+        word = MakeWord(&rng, 2 + static_cast<size_t>(rng.UniformInt(0, 1)));
+      } while (index_.count(word) > 0 && word.size() < 24);
+      if (index_.count(word) > 0) {
+        word += "_" + std::to_string(words_.size());
+      }
+      index_.emplace(word, words_.size());
+      words_.push_back(std::move(word));
+      vectors_.push_back(std::move(v));
+      topic_of_.push_back(t);
+    }
+  }
+}
+
+std::optional<Vec> SyntheticVocabulary::Embed(const std::string& word) const {
+  auto it = index_.find(word);
+  if (it == index_.end()) return std::nullopt;
+  return vectors_[it->second];
+}
+
+std::optional<size_t> SyntheticVocabulary::IndexOf(
+    const std::string& word) const {
+  auto it = index_.find(word);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<size_t> SyntheticVocabulary::NearestWords(const Vec& query,
+                                                      size_t k) const {
+  return NearestWords(query, k, {});
+}
+
+std::vector<size_t> SyntheticVocabulary::NearestWords(
+    const Vec& query, size_t k, const std::vector<size_t>& exclude) const {
+  std::vector<char> skip(vectors_.size(), 0);
+  for (size_t e : exclude) {
+    if (e < skip.size()) skip[e] = 1;
+  }
+  // Min-heap of (similarity, index) keeping the k best.
+  using Entry = std::pair<double, size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    if (skip[i]) continue;
+    double sim = Cosine(query, vectors_[i]);
+    if (heap.size() < k) {
+      heap.emplace(sim, i);
+    } else if (!heap.empty() && sim > heap.top().first) {
+      heap.pop();
+      heap.emplace(sim, i);
+    }
+  }
+  std::vector<size_t> out(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = heap.top().second;
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<size_t> SyntheticVocabulary::SampleSeparatedWords(
+    size_t m, double max_pairwise_cosine, Rng* rng) const {
+  std::vector<size_t> order(vectors_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+  std::vector<size_t> chosen;
+  chosen.reserve(m);
+  for (size_t idx : order) {
+    bool accepted = true;
+    for (size_t c : chosen) {
+      if (Cosine(vectors_[idx], vectors_[c]) > max_pairwise_cosine) {
+        accepted = false;
+        break;
+      }
+    }
+    if (accepted) {
+      chosen.push_back(idx);
+      if (chosen.size() == m) break;
+    }
+  }
+  return chosen;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,99 @@
+// A synthetic clustered vocabulary: the offline stand-in for the pretrained
+// fastText/GloVe word-vector databases (DESIGN.md, substitution 1).
+//
+// Words are generated around well-separated unit-sphere topic centers, so
+// cosine similarity reflects "semantic" relatedness by construction: words
+// in one topic are close to each other and to their center; words in
+// different topics are far apart. The vocabulary supports the two
+// operations the paper's pipeline needs from fastText: (a) embedding lookup
+// for values, and (b) k-nearest-words queries (used by the TagCloud
+// generator to synthesize attribute domains, section 4.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "embedding/embedding_model.h"
+
+namespace lakeorg {
+
+/// Options controlling the synthetic vocabulary geometry.
+struct SyntheticVocabularyOptions {
+  /// Embedding dimension.
+  size_t dim = 50;
+  /// Number of topic clusters.
+  size_t num_topics = 48;
+  /// Words generated per topic.
+  size_t words_per_topic = 48;
+  /// Maximum cosine allowed between two topic centers (rejection-sampled).
+  double max_center_cosine = 0.35;
+  /// Gaussian noise scale for words around their center; smaller values
+  /// give tighter topics.
+  double word_noise = 0.35;
+  /// RNG seed; the vocabulary is fully determined by its options.
+  uint64_t seed = 7;
+};
+
+/// Deterministic clustered word-vector vocabulary. Thread-safe after
+/// construction.
+class SyntheticVocabulary final : public EmbeddingModel {
+ public:
+  explicit SyntheticVocabulary(SyntheticVocabularyOptions options = {});
+
+  // EmbeddingModel:
+  size_t dim() const override { return options_.dim; }
+  std::optional<Vec> Embed(const std::string& word) const override;
+
+  /// Number of words.
+  size_t size() const { return words_.size(); }
+
+  /// The i-th word string.
+  const std::string& word(size_t i) const { return words_[i]; }
+
+  /// All word strings, index-aligned with vector(i).
+  const std::vector<std::string>& words() const { return words_; }
+
+  /// The i-th word vector (unit norm).
+  const Vec& vector(size_t i) const { return vectors_[i]; }
+
+  /// Topic id of the i-th word.
+  size_t topic_of(size_t i) const { return topic_of_[i]; }
+
+  /// The unit-norm center of topic `t`.
+  const Vec& topic_center(size_t t) const { return centers_[t]; }
+
+  /// Number of topics.
+  size_t num_topics() const { return centers_.size(); }
+
+  /// Word index for `word`, or nullopt when out of vocabulary.
+  std::optional<size_t> IndexOf(const std::string& word) const;
+
+  /// Indices of the k words most cosine-similar to `query`, descending by
+  /// similarity (exact scan). `exclude` (optional, sorted not required) is
+  /// removed from candidates.
+  std::vector<size_t> NearestWords(const Vec& query, size_t k) const;
+  std::vector<size_t> NearestWords(const Vec& query, size_t k,
+                                   const std::vector<size_t>& exclude) const;
+
+  /// Samples `m` word indices whose pairwise cosine does not exceed
+  /// `max_pairwise_cosine` (greedy rejection; the TagCloud tag-sampling
+  /// procedure "choosing a sample of words ... that are not very close").
+  /// Returns fewer than `m` if the vocabulary cannot supply them.
+  std::vector<size_t> SampleSeparatedWords(size_t m,
+                                           double max_pairwise_cosine,
+                                           Rng* rng) const;
+
+ private:
+  SyntheticVocabularyOptions options_;
+  std::vector<Vec> centers_;
+  std::vector<std::string> words_;
+  std::vector<Vec> vectors_;
+  std::vector<size_t> topic_of_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace lakeorg

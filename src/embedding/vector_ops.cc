@@ -1,0 +1,79 @@
+#include "embedding/vector_ops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lakeorg {
+
+double Dot(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double Norm(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+double Cosine(const Vec& a, const Vec& b) {
+  double na = Norm(a);
+  double nb = Norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  double c = Dot(a, b) / (na * nb);
+  if (c > 1.0) c = 1.0;
+  if (c < -1.0) c = -1.0;
+  return c;
+}
+
+double CosineDistance(const Vec& a, const Vec& b) {
+  return (1.0 - Cosine(a, b)) / 2.0;
+}
+
+void AddInPlace(Vec* a, const Vec& b) {
+  assert(a->size() == b.size());
+  for (size_t i = 0; i < a->size(); ++i) (*a)[i] += b[i];
+}
+
+void ScaleInPlace(Vec* a, float s) {
+  for (float& x : *a) x *= s;
+}
+
+void NormalizeInPlace(Vec* a) {
+  double n = Norm(*a);
+  if (n == 0.0) return;
+  ScaleInPlace(a, static_cast<float>(1.0 / n));
+}
+
+Vec Add(const Vec& a, const Vec& b) {
+  Vec out = a;
+  AddInPlace(&out, b);
+  return out;
+}
+
+void TopicAccumulator::Add(const Vec& v) {
+  assert(v.size() == sum_.size());
+  AddInPlace(&sum_, v);
+  ++count_;
+}
+
+void TopicAccumulator::AddSum(const Vec& sum, size_t count) {
+  assert(sum.size() == sum_.size());
+  AddInPlace(&sum_, sum);
+  count_ += count;
+}
+
+Vec TopicAccumulator::Mean() const {
+  Vec mean = sum_;
+  if (count_ > 0) {
+    ScaleInPlace(&mean, static_cast<float>(1.0 / static_cast<double>(count_)));
+  }
+  return mean;
+}
+
+void TopicAccumulator::Reset(size_t dim) {
+  sum_.assign(dim, 0.0f);
+  count_ = 0;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,71 @@
+// Dense-vector kernels. Topic vectors (section 3.1) are sample means of
+// word-embedding vectors; transition similarity kappa is cosine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lakeorg {
+
+/// Embedding vector type used across the library.
+using Vec = std::vector<float>;
+
+/// Dot product. Requires equal dimensions.
+double Dot(const Vec& a, const Vec& b);
+
+/// Euclidean (L2) norm.
+double Norm(const Vec& a);
+
+/// Cosine similarity in [-1, 1]; 0 when either vector is all-zero.
+double Cosine(const Vec& a, const Vec& b);
+
+/// Angular distance derived from cosine: (1 - cosine) / 2, in [0, 1].
+double CosineDistance(const Vec& a, const Vec& b);
+
+/// a += b. Requires equal dimensions.
+void AddInPlace(Vec* a, const Vec& b);
+
+/// a *= s.
+void ScaleInPlace(Vec* a, float s);
+
+/// Normalizes `a` to unit L2 norm; leaves an all-zero vector unchanged.
+void NormalizeInPlace(Vec* a);
+
+/// Returns a + b.
+Vec Add(const Vec& a, const Vec& b);
+
+/// Accumulates value vectors and yields their sample mean (the "topic
+/// vector" of Definition 4). Supports merging, which is how interior-state
+/// topic vectors are assembled from attribute-level accumulators.
+class TopicAccumulator {
+ public:
+  /// Creates an accumulator for `dim`-dimensional vectors.
+  explicit TopicAccumulator(size_t dim = 0) : sum_(dim, 0.0f) {}
+
+  /// Adds one sample.
+  void Add(const Vec& v);
+
+  /// Adds a pre-summed population: `sum` over `count` samples.
+  void AddSum(const Vec& sum, size_t count);
+
+  /// Merges another accumulator's population into this one.
+  void Merge(const TopicAccumulator& other) { AddSum(other.sum_, other.count_); }
+
+  /// Number of samples accumulated.
+  size_t count() const { return count_; }
+
+  /// The running component-wise sum.
+  const Vec& sum() const { return sum_; }
+
+  /// Sample mean; all-zero when no samples were added.
+  Vec Mean() const;
+
+  /// Resets to an empty population of dimension `dim`.
+  void Reset(size_t dim);
+
+ private:
+  Vec sum_;
+  size_t count_ = 0;
+};
+
+}  // namespace lakeorg

@@ -1,0 +1,217 @@
+#include "lake/csv_loader.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace lakeorg {
+
+std::vector<std::vector<std::string>> ParseCsv(std::istream* in,
+                                               char delimiter) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  bool row_started = false;
+
+  auto end_field = [&]() {
+    row.push_back(field);
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows.push_back(row);
+    row.clear();
+    row_started = false;
+  };
+
+  char c;
+  while (in->get(c)) {
+    if (in_quotes) {
+      if (c == '"') {
+        if (in->peek() == '"') {
+          field.push_back('"');
+          in->get(c);
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"' && field.empty() && !field_started) {
+      in_quotes = true;
+      field_started = true;
+      row_started = true;
+    } else if (c == delimiter) {
+      end_field();
+      row_started = true;
+    } else if (c == '\n') {
+      if (row_started || field_started || !field.empty() ||
+          !row.empty()) {
+        end_row();
+      }
+    } else if (c == '\r') {
+      // Swallow; \r\n handled by the following \n, bare \r ignored.
+    } else {
+      field.push_back(c);
+      field_started = true;
+      row_started = true;
+    }
+  }
+  if (row_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+bool LooksNumeric(const std::string& value) {
+  std::string v = Trim(value);
+  if (v.empty()) return false;
+  char* end = nullptr;
+  std::strtod(v.c_str(), &end);
+  return end == v.c_str() + v.size();
+}
+
+Result<TableId> LoadCsvTable(DataLake* lake, const std::string& table_name,
+                             std::istream* in,
+                             const std::vector<std::string>& tags,
+                             const CsvOptions& options) {
+  std::vector<std::vector<std::string>> rows =
+      ParseCsv(in, options.delimiter);
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty CSV input for table " +
+                                   table_name);
+  }
+  size_t num_cols = 0;
+  for (const auto& row : rows) num_cols = std::max(num_cols, row.size());
+  if (num_cols == 0) {
+    return Status::InvalidArgument("CSV has no columns: " + table_name);
+  }
+
+  std::vector<std::string> names(num_cols);
+  size_t data_start = 0;
+  if (options.has_header) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      names[c] = c < rows[0].size() ? Trim(rows[0][c]) : "";
+      if (names[c].empty()) names[c] = "col_" + std::to_string(c);
+    }
+    data_start = 1;
+  } else {
+    for (size_t c = 0; c < num_cols; ++c) {
+      names[c] = "col_" + std::to_string(c);
+    }
+  }
+
+  TableId table = lake->AddTable(table_name);
+  for (const std::string& tag : tags) lake->Tag(table, tag);
+
+  for (size_t c = 0; c < num_cols; ++c) {
+    std::set<std::string> distinct;
+    size_t non_empty = 0;
+    size_t numeric = 0;
+    for (size_t r = data_start; r < rows.size(); ++r) {
+      if (c >= rows[r].size()) continue;
+      std::string value = Trim(rows[r][c]);
+      if (value.empty() && options.skip_empty_values) continue;
+      ++non_empty;
+      if (LooksNumeric(value)) ++numeric;
+      if (distinct.size() < options.max_distinct_values) {
+        distinct.insert(std::move(value));
+      }
+    }
+    bool is_text = true;
+    if (non_empty > 0) {
+      double numeric_fraction =
+          static_cast<double>(numeric) / static_cast<double>(non_empty);
+      is_text = numeric_fraction < options.numeric_threshold;
+    }
+    lake->AddAttribute(table, names[c],
+                       std::vector<std::string>(distinct.begin(),
+                                                distinct.end()),
+                       is_text);
+  }
+  return table;
+}
+
+namespace {
+
+/// Quotes one field when needed.
+std::string CsvField(const std::string& value, char delimiter) {
+  bool needs_quotes =
+      value.find(delimiter) != std::string::npos ||
+      value.find('"') != std::string::npos ||
+      value.find('\n') != std::string::npos ||
+      value.find('\r') != std::string::npos;
+  if (!needs_quotes) return value;
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"') quoted += "\"\"";
+    else quoted += c;
+  }
+  quoted += "\"";
+  return quoted;
+}
+
+}  // namespace
+
+Status WriteCsv(const std::vector<std::vector<std::string>>& rows,
+                std::ostream* out, char delimiter) {
+  for (const std::vector<std::string>& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out->put(delimiter);
+      *out << CsvField(row[i], delimiter);
+    }
+    out->put('\n');
+  }
+  if (!out->good()) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Status ExportTableCsv(const DataLake& lake, TableId table,
+                      std::ostream* out, char delimiter) {
+  if (table >= lake.num_tables()) {
+    return Status::NotFound("no such table id " + std::to_string(table));
+  }
+  const Table& t = lake.table(table);
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header;
+  size_t max_rows = 0;
+  for (AttributeId aid : t.attributes) {
+    const Attribute& a = lake.attribute(aid);
+    header.push_back(a.name);
+    max_rows = std::max(max_rows, a.values.size());
+  }
+  rows.push_back(std::move(header));
+  for (size_t r = 0; r < max_rows; ++r) {
+    std::vector<std::string> row;
+    for (AttributeId aid : t.attributes) {
+      const Attribute& a = lake.attribute(aid);
+      row.push_back(r < a.values.size() ? a.values[r] : "");
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteCsv(rows, out, delimiter);
+}
+
+Result<TableId> LoadCsvFile(DataLake* lake, const std::string& path,
+                            const std::vector<std::string>& tags,
+                            const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open CSV file: " + path);
+  // Table name: filename stem.
+  size_t slash = path.find_last_of("/\\");
+  std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  return LoadCsvTable(lake, name, &in, tags, options);
+}
+
+}  // namespace lakeorg

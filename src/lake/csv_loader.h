@@ -1,0 +1,64 @@
+// CSV ingestion: load delimited files into a DataLake as tables. Handles
+// quoted fields (RFC 4180 style: embedded delimiters, quotes doubled,
+// embedded newlines), a header row for attribute names, text/numeric type
+// inference (organizations are built over text attributes, section 3.1),
+// and distinct-value capping for very large columns.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lake/data_lake.h"
+
+namespace lakeorg {
+
+/// Options for CSV loading.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row holds attribute names; otherwise names are col_0, col_1...
+  bool has_header = true;
+  /// Cap on distinct values kept per attribute (domains are sets).
+  size_t max_distinct_values = 10000;
+  /// A column is numeric when at least this fraction of its non-empty
+  /// values parse as numbers.
+  double numeric_threshold = 0.8;
+  /// Skip completely empty values when building domains.
+  bool skip_empty_values = true;
+};
+
+/// Parses delimited rows from `in`. Quoted fields may contain the
+/// delimiter, doubled quotes, and newlines. Returns one vector per row.
+std::vector<std::vector<std::string>> ParseCsv(std::istream* in,
+                                               char delimiter = ',');
+
+/// True when `value` parses fully as a number (int or float, optional
+/// sign/exponent, thousands separators not supported).
+bool LooksNumeric(const std::string& value);
+
+/// Loads one CSV stream as table `table_name` with the given tags.
+/// Fails on empty input or rows with no columns.
+Result<TableId> LoadCsvTable(DataLake* lake, const std::string& table_name,
+                             std::istream* in,
+                             const std::vector<std::string>& tags,
+                             const CsvOptions& options = {});
+
+/// Loads a file; the table name is the filename stem.
+Result<TableId> LoadCsvFile(DataLake* lake, const std::string& path,
+                            const std::vector<std::string>& tags,
+                            const CsvOptions& options = {});
+
+/// Writes rows as CSV with RFC 4180 quoting (fields containing the
+/// delimiter, quotes, or newlines are quoted; quotes are doubled).
+Status WriteCsv(const std::vector<std::vector<std::string>>& rows,
+                std::ostream* out, char delimiter = ',');
+
+/// Exports a table's attribute domains as CSV: one column per attribute
+/// (header = attribute names), rows padded with empty fields where
+/// domains have different sizes. The inverse-ish of LoadCsvTable for
+/// inspection and interchange.
+Status ExportTableCsv(const DataLake& lake, TableId table,
+                      std::ostream* out, char delimiter = ',');
+
+}  // namespace lakeorg

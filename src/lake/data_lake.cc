@@ -1,0 +1,139 @@
+#include "lake/data_lake.h"
+
+#include <algorithm>
+
+namespace lakeorg {
+
+TableId DataLake::AddTable(std::string name, std::string title,
+                           std::string description) {
+  TableId id = static_cast<TableId>(tables_.size());
+  Table t;
+  t.id = id;
+  t.name = std::move(name);
+  t.title = std::move(title);
+  t.description = std::move(description);
+  table_ids_.emplace(t.name, id);
+  tables_.push_back(std::move(t));
+  return id;
+}
+
+AttributeId DataLake::AddAttribute(TableId table, std::string name,
+                                   std::vector<std::string> values,
+                                   bool is_text) {
+  AttributeId id = static_cast<AttributeId>(attributes_.size());
+  Attribute a;
+  a.id = id;
+  a.table = table;
+  a.name = std::move(name);
+  a.values = std::move(values);
+  a.is_text = is_text;
+  a.tags = tables_.at(table).tags;  // Inherit current table tags.
+  tables_.at(table).attributes.push_back(id);
+  attributes_.push_back(std::move(a));
+  return id;
+}
+
+TagId DataLake::GetOrCreateTag(const std::string& name) {
+  auto it = tag_ids_.find(name);
+  if (it != tag_ids_.end()) return it->second;
+  TagId id = static_cast<TagId>(tag_names_.size());
+  tag_ids_.emplace(name, id);
+  tag_names_.push_back(name);
+  return id;
+}
+
+Status DataLake::AttachTag(TableId table, TagId tag) {
+  if (table >= tables_.size()) {
+    return Status::NotFound("no such table id " + std::to_string(table));
+  }
+  if (tag >= tag_names_.size()) {
+    return Status::NotFound("no such tag id " + std::to_string(tag));
+  }
+  Table& t = tables_[table];
+  if (std::find(t.tags.begin(), t.tags.end(), tag) != t.tags.end()) {
+    return Status::OK();  // Idempotent.
+  }
+  t.tags.push_back(tag);
+  for (AttributeId aid : t.attributes) {
+    Attribute& a = attributes_[aid];
+    if (std::find(a.tags.begin(), a.tags.end(), tag) == a.tags.end()) {
+      a.tags.push_back(tag);
+    }
+  }
+  return Status::OK();
+}
+
+Status DataLake::AttachTagMetadataOnly(TableId table, TagId tag) {
+  if (table >= tables_.size()) {
+    return Status::NotFound("no such table id " + std::to_string(table));
+  }
+  if (tag >= tag_names_.size()) {
+    return Status::NotFound("no such tag id " + std::to_string(tag));
+  }
+  Table& t = tables_[table];
+  if (std::find(t.tags.begin(), t.tags.end(), tag) == t.tags.end()) {
+    t.tags.push_back(tag);
+  }
+  return Status::OK();
+}
+
+Status DataLake::AttachTagToAttribute(AttributeId attr, TagId tag) {
+  if (attr >= attributes_.size()) {
+    return Status::NotFound("no such attribute id " + std::to_string(attr));
+  }
+  if (tag >= tag_names_.size()) {
+    return Status::NotFound("no such tag id " + std::to_string(tag));
+  }
+  Attribute& a = attributes_[attr];
+  if (std::find(a.tags.begin(), a.tags.end(), tag) == a.tags.end()) {
+    a.tags.push_back(tag);
+  }
+  return Status::OK();
+}
+
+TagId DataLake::Tag(TableId table, const std::string& tag_name) {
+  TagId id = GetOrCreateTag(tag_name);
+  Status st = AttachTag(table, id);
+  (void)st;  // AttachTag only fails for invalid ids, which we just created.
+  return id;
+}
+
+Status DataLake::ComputeTopicVectors(const EmbeddingStore& store) {
+  for (Attribute& a : attributes_) {
+    TopicAccumulator acc(store.dim());
+    if (a.is_text) {
+      store.AccumulateDomain(a.values, &acc);
+    }
+    a.topic_sum = acc.sum();
+    a.embedded_count = acc.count();
+    a.topic = acc.Mean();
+  }
+  topic_vectors_computed_ = true;
+  return Status::OK();
+}
+
+TagId DataLake::FindTag(const std::string& name) const {
+  auto it = tag_ids_.find(name);
+  return it == tag_ids_.end() ? kInvalidId : it->second;
+}
+
+TableId DataLake::FindTable(const std::string& name) const {
+  auto it = table_ids_.find(name);
+  return it == table_ids_.end() ? kInvalidId : it->second;
+}
+
+size_t DataLake::NumAttributeTagAssociations() const {
+  size_t n = 0;
+  for (const Attribute& a : attributes_) n += a.tags.size();
+  return n;
+}
+
+std::vector<AttributeId> DataLake::OrganizableAttributes() const {
+  std::vector<AttributeId> out;
+  for (const Attribute& a : attributes_) {
+    if (a.is_text && a.HasTopic() && !a.tags.empty()) out.push_back(a.id);
+  }
+  return out;
+}
+
+}  // namespace lakeorg

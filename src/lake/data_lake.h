@@ -1,0 +1,138 @@
+// The data lake catalog (section 2.1): a set of tables, each a set of
+// attributes with value domains; tables carry curator-provided tags and
+// attributes inherit the tags of their table (section 3.2).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "embedding/embedding_store.h"
+#include "lake/types.h"
+
+namespace lakeorg {
+
+/// One attribute (column) of a table, with its domain of values and its
+/// derived topic representation.
+struct Attribute {
+  AttributeId id = kInvalidId;
+  TableId table = kInvalidId;
+  /// Column name.
+  std::string name;
+  /// Domain: the distinct values of the column.
+  std::vector<std::string> values;
+  /// True for text attributes; organizations are built over text attributes
+  /// only (section 3.1).
+  bool is_text = true;
+  /// Tags inherited from the owning table.
+  std::vector<TagId> tags;
+  /// Sum of the embedding vectors of embeddable values (for merging into
+  /// state-level topic vectors).
+  Vec topic_sum;
+  /// Number of values that had embeddings.
+  size_t embedded_count = 0;
+  /// Topic vector: sample mean of embeddable value vectors (Definition 4).
+  Vec topic;
+
+  /// True once ComputeTopicVectors found at least one embeddable value.
+  bool HasTopic() const { return embedded_count > 0; }
+};
+
+/// One table of the lake with its attributes, tags and display metadata.
+struct Table {
+  TableId id = kInvalidId;
+  /// Unique table name.
+  std::string name;
+  /// Human-readable title (metadata; may be empty).
+  std::string title;
+  /// Free-text description (metadata; may be empty).
+  std::string description;
+  /// Attribute ids, in insertion order.
+  std::vector<AttributeId> attributes;
+  /// Tag ids attached to this table.
+  std::vector<TagId> tags;
+};
+
+/// An in-memory data lake catalog. Construction is append-only: add tables,
+/// add attributes to tables, attach tags, then call ComputeTopicVectors
+/// once to derive attribute topic representations.
+class DataLake {
+ public:
+  /// Adds a table and returns its id.
+  TableId AddTable(std::string name, std::string title = "",
+                   std::string description = "");
+
+  /// Adds an attribute to `table` and returns its id. The attribute
+  /// inherits all tags currently attached to the table, and tags attached
+  /// later propagate too.
+  AttributeId AddAttribute(TableId table, std::string name,
+                           std::vector<std::string> values,
+                           bool is_text = true);
+
+  /// Returns the id of tag `name`, creating it on first use.
+  TagId GetOrCreateTag(const std::string& name);
+
+  /// Attaches tag to table (idempotent) and propagates it to the table's
+  /// attributes, present and future.
+  Status AttachTag(TableId table, TagId tag);
+
+  /// Convenience: GetOrCreateTag + AttachTag.
+  TagId Tag(TableId table, const std::string& tag_name);
+
+  /// Attaches a tag to a single attribute without touching its table (the
+  /// metadata-enrichment path of section 4.3.1's "enriched" benchmark).
+  Status AttachTagToAttribute(AttributeId attr, TagId tag);
+
+  /// Records a tag on a table WITHOUT propagating it to the table's
+  /// attributes. Used by generators that manage attribute-level tags
+  /// themselves (TagCloud assigns exactly one tag per attribute).
+  Status AttachTagMetadataOnly(TableId table, TagId tag);
+
+  /// Computes topic vectors for all attributes using `store`. Attributes
+  /// whose domains contain no embeddable value get a zero topic vector and
+  /// HasTopic() == false.
+  Status ComputeTopicVectors(const EmbeddingStore& store);
+
+  /// True once ComputeTopicVectors has run.
+  bool topic_vectors_computed() const { return topic_vectors_computed_; }
+
+  // Accessors ---------------------------------------------------------------
+
+  size_t num_tables() const { return tables_.size(); }
+  size_t num_attributes() const { return attributes_.size(); }
+  size_t num_tags() const { return tag_names_.size(); }
+
+  const Table& table(TableId id) const { return tables_.at(id); }
+  const Attribute& attribute(AttributeId id) const {
+    return attributes_.at(id);
+  }
+  const std::string& tag_name(TagId id) const { return tag_names_.at(id); }
+
+  const std::vector<Table>& tables() const { return tables_; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  const std::vector<std::string>& tag_names() const { return tag_names_; }
+
+  /// Tag id for `name`, or kInvalidId when absent.
+  TagId FindTag(const std::string& name) const;
+
+  /// Table id for `name`, or kInvalidId when absent.
+  TableId FindTable(const std::string& name) const;
+
+  /// Total number of (attribute, tag) associations in the lake.
+  size_t NumAttributeTagAssociations() const;
+
+  /// Ids of text attributes that have a topic vector — the population the
+  /// organization is built over.
+  std::vector<AttributeId> OrganizableAttributes() const;
+
+ private:
+  std::vector<Table> tables_;
+  std::vector<Attribute> attributes_;
+  std::vector<std::string> tag_names_;
+  std::unordered_map<std::string, TagId> tag_ids_;
+  std::unordered_map<std::string, TableId> table_ids_;
+  bool topic_vectors_computed_ = false;
+};
+
+}  // namespace lakeorg

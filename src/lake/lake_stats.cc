@@ -1,0 +1,71 @@
+#include "lake/lake_stats.h"
+
+#include <sstream>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace lakeorg {
+
+LakeStats ComputeLakeStats(const DataLake& lake) {
+  LakeStats s;
+  s.num_tables = lake.num_tables();
+  s.num_attributes = lake.num_attributes();
+  s.num_tags = lake.num_tags();
+  s.num_attribute_tag_associations = lake.NumAttributeTagAssociations();
+
+  std::vector<double> tags_per_table;
+  std::vector<double> attrs_per_table;
+  size_t tables_with_text = 0;
+  for (const Table& t : lake.tables()) {
+    tags_per_table.push_back(static_cast<double>(t.tags.size()));
+    attrs_per_table.push_back(static_cast<double>(t.attributes.size()));
+    for (AttributeId aid : t.attributes) {
+      if (lake.attribute(aid).is_text) {
+        ++tables_with_text;
+        break;
+      }
+    }
+  }
+  for (const Attribute& a : lake.attributes()) {
+    if (a.is_text) ++s.num_text_attributes;
+  }
+  s.text_attribute_fraction =
+      s.num_attributes == 0
+          ? 0.0
+          : static_cast<double>(s.num_text_attributes) /
+                static_cast<double>(s.num_attributes);
+  s.tables_with_text_fraction =
+      s.num_tables == 0 ? 0.0
+                        : static_cast<double>(tables_with_text) /
+                              static_cast<double>(s.num_tables);
+  s.mean_tags_per_table = Mean(tags_per_table);
+  s.median_tags_per_table = Median(tags_per_table);
+  s.max_tags_per_table = Max(tags_per_table);
+  s.mean_attrs_per_table = Mean(attrs_per_table);
+  s.median_attrs_per_table = Median(attrs_per_table);
+  s.max_attrs_per_table = Max(attrs_per_table);
+  return s;
+}
+
+std::string FormatLakeStats(const LakeStats& s) {
+  std::ostringstream out;
+  out << "tables: " << s.num_tables << "\n"
+      << "attributes: " << s.num_attributes << " (text: "
+      << s.num_text_attributes << ", "
+      << FormatDouble(100.0 * s.text_attribute_fraction, 1) << "%)\n"
+      << "tables with >=1 text attribute: "
+      << FormatDouble(100.0 * s.tables_with_text_fraction, 1) << "%\n"
+      << "tags: " << s.num_tags << "\n"
+      << "attribute-tag associations: " << s.num_attribute_tag_associations
+      << "\n"
+      << "tags/table mean=" << FormatDouble(s.mean_tags_per_table, 2)
+      << " median=" << FormatDouble(s.median_tags_per_table, 1)
+      << " max=" << FormatDouble(s.max_tags_per_table, 0) << "\n"
+      << "attrs/table mean=" << FormatDouble(s.mean_attrs_per_table, 2)
+      << " median=" << FormatDouble(s.median_attrs_per_table, 1)
+      << " max=" << FormatDouble(s.max_attrs_per_table, 0) << "\n";
+  return out.str();
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,37 @@
+// Descriptive lake statistics: used to validate that the Socrata-like
+// generator matches the published characteristics (section 4.1) and to
+// print dataset summaries in the benches.
+#pragma once
+
+#include <string>
+
+#include "lake/data_lake.h"
+
+namespace lakeorg {
+
+/// Summary statistics of a lake's metadata distribution.
+struct LakeStats {
+  size_t num_tables = 0;
+  size_t num_attributes = 0;
+  size_t num_text_attributes = 0;
+  size_t num_tags = 0;
+  size_t num_attribute_tag_associations = 0;
+  /// Fraction of attributes that are text (paper: 26% for Socrata).
+  double text_attribute_fraction = 0.0;
+  /// Fraction of tables with at least one text attribute (paper: 92%).
+  double tables_with_text_fraction = 0.0;
+  double mean_tags_per_table = 0.0;
+  double median_tags_per_table = 0.0;
+  double max_tags_per_table = 0.0;
+  double mean_attrs_per_table = 0.0;
+  double median_attrs_per_table = 0.0;
+  double max_attrs_per_table = 0.0;
+};
+
+/// Computes summary statistics of `lake`.
+LakeStats ComputeLakeStats(const DataLake& lake);
+
+/// Renders `stats` as a multi-line human-readable block.
+std::string FormatLakeStats(const LakeStats& stats);
+
+}  // namespace lakeorg

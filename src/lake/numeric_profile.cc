@@ -1,0 +1,85 @@
+#include "lake/numeric_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "lake/csv_loader.h"
+
+namespace lakeorg {
+
+NumericProfile ProfileNumericValues(const std::vector<std::string>& values,
+                                    size_t num_quantiles) {
+  NumericProfile profile;
+  if (num_quantiles < 2) num_quantiles = 2;
+  std::vector<double> numbers;
+  numbers.reserve(values.size());
+  for (const std::string& v : values) {
+    if (LooksNumeric(v)) {
+      numbers.push_back(std::strtod(v.c_str(), nullptr));
+    }
+  }
+  profile.count = numbers.size();
+  if (numbers.empty()) return profile;
+  std::sort(numbers.begin(), numbers.end());
+  profile.min = numbers.front();
+  profile.max = numbers.back();
+  double sum = 0.0;
+  for (double x : numbers) sum += x;
+  profile.mean = sum / static_cast<double>(numbers.size());
+  double var = 0.0;
+  for (double x : numbers) var += (x - profile.mean) * (x - profile.mean);
+  profile.stddev = numbers.size() > 1
+                       ? std::sqrt(var / static_cast<double>(
+                                             numbers.size() - 1))
+                       : 0.0;
+  profile.quantiles.resize(num_quantiles);
+  for (size_t i = 0; i < num_quantiles; ++i) {
+    double pos = static_cast<double>(i) /
+                 static_cast<double>(num_quantiles - 1) *
+                 static_cast<double>(numbers.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, numbers.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    profile.quantiles[i] = numbers[lo] + frac * (numbers[hi] - numbers[lo]);
+  }
+  return profile;
+}
+
+NumericProfile ProfileAttribute(const DataLake& lake, AttributeId attr,
+                                size_t num_quantiles) {
+  return ProfileNumericValues(lake.attribute(attr).values, num_quantiles);
+}
+
+double NumericSimilarity(const NumericProfile& a, const NumericProfile& b) {
+  if (!a.Valid() || !b.Valid() ||
+      a.quantiles.size() != b.quantiles.size()) {
+    return 0.0;
+  }
+  // Normalize quantile displacement by the joint spread; identical
+  // sketches give 0 displacement -> similarity 1.
+  double lo = std::min(a.min, b.min);
+  double hi = std::max(a.max, b.max);
+  double spread = hi - lo;
+  if (spread <= 0.0) return 1.0;  // Both are constant and equal.
+  double displacement = 0.0;
+  for (size_t i = 0; i < a.quantiles.size(); ++i) {
+    displacement += std::abs(a.quantiles[i] - b.quantiles[i]) / spread;
+  }
+  displacement /= static_cast<double>(a.quantiles.size());
+  return 1.0 - std::min(1.0, displacement);
+}
+
+double NumericValueJaccard(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b) {
+  std::set<std::string> sa(a.begin(), a.end());
+  std::set<std::string> sb(b.begin(), b.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t inter = 0;
+  for (const std::string& v : sa) inter += sb.count(v);
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace lakeorg

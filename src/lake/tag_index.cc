@@ -1,0 +1,46 @@
+#include "lake/tag_index.h"
+
+#include <cassert>
+
+namespace lakeorg {
+
+TagIndex TagIndex::Build(const DataLake& lake) {
+  assert(lake.topic_vectors_computed());
+  TagIndex index;
+  size_t num_tags = lake.num_tags();
+  index.extents_.resize(num_tags);
+  index.value_count_.assign(num_tags, 0);
+
+  size_t dim = 0;
+  for (const Attribute& a : lake.attributes()) {
+    if (!a.topic_sum.empty()) {
+      dim = a.topic_sum.size();
+      break;
+    }
+  }
+  index.topic_sum_.assign(num_tags, Vec(dim, 0.0f));
+  index.topic_.assign(num_tags, Vec(dim, 0.0f));
+
+  for (AttributeId aid : lake.OrganizableAttributes()) {
+    const Attribute& a = lake.attribute(aid);
+    for (TagId t : a.tags) {
+      index.extents_[t].push_back(aid);
+      AddInPlace(&index.topic_sum_[t], a.topic_sum);
+      index.value_count_[t] += a.embedded_count;
+    }
+  }
+  for (TagId t = 0; t < num_tags; ++t) {
+    if (!index.extents_[t].empty()) {
+      index.non_empty_.push_back(t);
+      index.topic_[t] = index.topic_sum_[t];
+      if (index.value_count_[t] > 0) {
+        ScaleInPlace(&index.topic_[t],
+                     static_cast<float>(
+                         1.0 / static_cast<double>(index.value_count_[t])));
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace lakeorg

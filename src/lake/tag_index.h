@@ -1,0 +1,50 @@
+// TagIndex: the data(t) relation of Definition 5 — for each tag, the set of
+// organizable attributes carrying it — plus per-tag topic accumulators used
+// to assemble tag-state topic vectors.
+#pragma once
+
+#include <vector>
+
+#include "embedding/vector_ops.h"
+#include "lake/data_lake.h"
+
+namespace lakeorg {
+
+/// Immutable per-lake tag extents and tag topic vectors.
+class TagIndex {
+ public:
+  /// Builds the index over the lake's organizable attributes (text
+  /// attributes with a topic vector and at least one tag). Requires
+  /// lake.topic_vectors_computed().
+  static TagIndex Build(const DataLake& lake);
+
+  /// Attribute ids carrying tag `t` (the data(t) relation), ascending.
+  const std::vector<AttributeId>& AttributesOfTag(TagId t) const {
+    return extents_.at(t);
+  }
+
+  /// Topic vector of the tag state for `t`: sample mean over the values of
+  /// all attributes in data(t) (Definition 5).
+  const Vec& TagTopicVector(TagId t) const { return topic_.at(t); }
+
+  /// Component-wise value-vector sum over data(t), for incremental merging.
+  const Vec& TagTopicSum(TagId t) const { return topic_sum_.at(t); }
+
+  /// Number of embeddable values under data(t).
+  size_t TagValueCount(TagId t) const { return value_count_.at(t); }
+
+  /// Number of tags in the lake (including possibly empty extents).
+  size_t num_tags() const { return extents_.size(); }
+
+  /// Tags with a non-empty extent, ascending by id.
+  const std::vector<TagId>& NonEmptyTags() const { return non_empty_; }
+
+ private:
+  std::vector<std::vector<AttributeId>> extents_;
+  std::vector<Vec> topic_;
+  std::vector<Vec> topic_sum_;
+  std::vector<size_t> value_count_;
+  std::vector<TagId> non_empty_;
+};
+
+}  // namespace lakeorg

@@ -1,0 +1,18 @@
+// Identifier types for data lake entities.
+#pragma once
+
+#include <cstdint>
+
+namespace lakeorg {
+
+/// Index of an attribute within a DataLake.
+using AttributeId = uint32_t;
+/// Index of a table within a DataLake.
+using TableId = uint32_t;
+/// Index of a tag within a DataLake.
+using TagId = uint32_t;
+
+/// Sentinel for "no id".
+inline constexpr uint32_t kInvalidId = UINT32_MAX;
+
+}  // namespace lakeorg

@@ -1,0 +1,51 @@
+#include "search/bm25.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+namespace lakeorg {
+
+double Bm25Scorer::Idf(const std::string& term) const {
+  double n = static_cast<double>(index_->num_documents());
+  double df = static_cast<double>(index_->DocumentFrequency(term));
+  // log((N - df + 0.5) / (df + 0.5) + 1) is always positive.
+  return std::log((n - df + 0.5) / (df + 0.5) + 1.0);
+}
+
+std::vector<SearchHit> Bm25Scorer::TopK(
+    const std::vector<std::string>& terms, size_t k,
+    const std::vector<double>& weights) const {
+  assert(weights.empty() || weights.size() == terms.size());
+  double avgdl = index_->average_doc_length();
+  std::unordered_map<DocId, double> scores;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    const std::string& term = terms[i];
+    double weight = weights.empty() ? 1.0 : weights[i];
+    if (weight <= 0.0) continue;
+    double idf = Idf(term);
+    for (const Posting& p : index_->PostingsFor(term)) {
+      double tf = static_cast<double>(p.term_frequency);
+      double dl = static_cast<double>(index_->doc_length(p.doc));
+      double denom =
+          tf + params_.k1 * (1.0 - params_.b +
+                             params_.b * (avgdl > 0.0 ? dl / avgdl : 1.0));
+      scores[p.doc] += weight * idf * tf * (params_.k1 + 1.0) / denom;
+    }
+  }
+  std::vector<SearchHit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    hits.push_back(SearchHit{doc, score});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+}  // namespace lakeorg

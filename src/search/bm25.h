@@ -1,0 +1,46 @@
+// Okapi BM25 ranking over an InvertedIndex — the document-search model the
+// paper's comparison search engine uses (section 4.4, via Xapian).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "search/inverted_index.h"
+
+namespace lakeorg {
+
+/// BM25 parameters (standard defaults).
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+/// One ranked search hit.
+struct SearchHit {
+  DocId doc = 0;
+  double score = 0.0;
+};
+
+/// BM25 scorer over a borrowed index (must outlive the scorer).
+class Bm25Scorer {
+ public:
+  explicit Bm25Scorer(const InvertedIndex* index, Bm25Params params = {})
+      : index_(index), params_(params) {}
+
+  /// IDF of a term (Robertson-Sparck Jones with +1 smoothing, non-negative).
+  double Idf(const std::string& term) const;
+
+  /// Scores all documents matching any query term; returns the top `k`
+  /// hits sorted by descending score (ties by ascending doc id).
+  /// `weights` (optional, same length as `terms`) scales each term's
+  /// contribution — used by query expansion to down-weight expansions.
+  std::vector<SearchHit> TopK(const std::vector<std::string>& terms,
+                              size_t k,
+                              const std::vector<double>& weights = {}) const;
+
+ private:
+  const InvertedIndex* index_;
+  Bm25Params params_;
+};
+
+}  // namespace lakeorg

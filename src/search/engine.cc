@@ -1,0 +1,58 @@
+#include "search/engine.h"
+
+#include <algorithm>
+
+namespace lakeorg {
+
+TableSearchEngine::TableSearchEngine(
+    const DataLake* lake, std::shared_ptr<const EmbeddingStore> store,
+    SearchEngineOptions options)
+    : lake_(lake), options_(options) {
+  // One document per table: metadata + attribute names + value samples.
+  for (const Table& table : lake_->tables()) {
+    std::vector<std::string> tokens;
+    auto add_text = [this, &tokens](const std::string& text) {
+      std::vector<std::string> ts = Tokenize(text, options_.tokenizer);
+      tokens.insert(tokens.end(), ts.begin(), ts.end());
+    };
+    add_text(table.name);
+    add_text(table.title);
+    add_text(table.description);
+    for (TagId t : table.tags) add_text(lake_->tag_name(t));
+    for (AttributeId aid : table.attributes) {
+      const Attribute& attr = lake_->attribute(aid);
+      add_text(attr.name);
+      size_t limit =
+          std::min(options_.max_values_per_attribute, attr.values.size());
+      for (size_t i = 0; i < limit; ++i) add_text(attr.values[i]);
+    }
+    DocId doc = index_.AddDocument(tokens);
+    (void)doc;
+    doc_to_table_.push_back(table.id);
+  }
+  if (store != nullptr) {
+    expander_ = std::make_unique<QueryExpander>(
+        std::move(store), index_.Terms(), options_.expansion);
+  }
+}
+
+std::vector<TableHit> TableSearchEngine::Search(const std::string& query,
+                                                size_t k, bool expand) const {
+  std::vector<std::string> terms = Tokenize(query, options_.tokenizer);
+  std::vector<double> weights;
+  if (expand && expander_ != nullptr) {
+    ExpandedQuery expanded = expander_->Expand(terms);
+    terms = std::move(expanded.terms);
+    weights = std::move(expanded.weights);
+  }
+  Bm25Scorer scorer(&index_, options_.bm25);
+  std::vector<SearchHit> hits = scorer.TopK(terms, k, weights);
+  std::vector<TableHit> out;
+  out.reserve(hits.size());
+  for (const SearchHit& h : hits) {
+    out.push_back(TableHit{doc_to_table_[h.doc], h.score});
+  }
+  return out;
+}
+
+}  // namespace lakeorg

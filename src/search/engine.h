@@ -1,0 +1,63 @@
+// TableSearchEngine: the keyword-search comparison system of section 4.4.
+// Indexes each table as one document over its metadata (name, title,
+// description, tags, attribute names) and a sample of attribute values,
+// ranks with BM25, and optionally expands queries with embedding-similar
+// terms (the GloVe role). Users of the paper's prototype could disable
+// expansion; Search takes the same toggle.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lake/data_lake.h"
+#include "search/bm25.h"
+#include "search/query_expansion.h"
+#include "search/tokenizer.h"
+
+namespace lakeorg {
+
+/// Options for TableSearchEngine.
+struct SearchEngineOptions {
+  Bm25Params bm25;
+  TokenizerOptions tokenizer;
+  QueryExpansionOptions expansion;
+  /// Values per attribute folded into the document (caps index size).
+  size_t max_values_per_attribute = 50;
+};
+
+/// One table hit.
+struct TableHit {
+  TableId table = 0;
+  double score = 0.0;
+};
+
+/// Keyword search over a data lake's tables.
+class TableSearchEngine {
+ public:
+  /// Indexes `lake` (borrowed; must outlive the engine). `store` powers
+  /// query expansion and may be null to disable it.
+  TableSearchEngine(const DataLake* lake,
+                    std::shared_ptr<const EmbeddingStore> store,
+                    SearchEngineOptions options = {});
+
+  /// Runs a keyword query; returns up to `k` tables by descending BM25
+  /// score. `expand` toggles embedding query expansion.
+  std::vector<TableHit> Search(const std::string& query, size_t k,
+                               bool expand = true) const;
+
+  /// Number of indexed tables.
+  size_t num_documents() const { return index_.num_documents(); }
+
+  /// The underlying inverted index (for tests/inspection).
+  const InvertedIndex& index() const { return index_; }
+
+ private:
+  const DataLake* lake_;
+  SearchEngineOptions options_;
+  InvertedIndex index_;
+  std::vector<TableId> doc_to_table_;
+  std::unique_ptr<QueryExpander> expander_;
+};
+
+}  // namespace lakeorg

@@ -1,0 +1,41 @@
+#include "search/inverted_index.h"
+
+#include <map>
+
+namespace lakeorg {
+
+const std::vector<Posting> InvertedIndex::kEmptyPostings = {};
+
+DocId InvertedIndex::AddDocument(const std::vector<std::string>& tokens) {
+  DocId doc = static_cast<DocId>(doc_lengths_.size());
+  doc_lengths_.push_back(tokens.size());
+  std::map<std::string, uint32_t> counts;
+  for (const std::string& t : tokens) ++counts[t];
+  for (const auto& [term, tf] : counts) {
+    postings_[term].push_back(Posting{doc, tf});
+  }
+  return doc;
+}
+
+double InvertedIndex::average_doc_length() const {
+  if (doc_lengths_.empty()) return 0.0;
+  size_t total = 0;
+  for (size_t len : doc_lengths_) total += len;
+  return static_cast<double>(total) /
+         static_cast<double>(doc_lengths_.size());
+}
+
+const std::vector<Posting>& InvertedIndex::PostingsFor(
+    const std::string& term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? kEmptyPostings : it->second;
+}
+
+std::vector<std::string> InvertedIndex::Terms() const {
+  std::vector<std::string> terms;
+  terms.reserve(postings_.size());
+  for (const auto& [term, _] : postings_) terms.push_back(term);
+  return terms;
+}
+
+}  // namespace lakeorg

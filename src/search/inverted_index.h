@@ -1,0 +1,57 @@
+// A term -> postings inverted index over documents, the storage layer of
+// the BM25 keyword-search engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lakeorg {
+
+/// Document id within an InvertedIndex.
+using DocId = uint32_t;
+
+/// One posting: a document and the term's frequency in it.
+struct Posting {
+  DocId doc = 0;
+  uint32_t term_frequency = 0;
+};
+
+/// Append-only inverted index with document lengths.
+class InvertedIndex {
+ public:
+  /// Adds a document from its token stream; returns its id.
+  DocId AddDocument(const std::vector<std::string>& tokens);
+
+  /// Number of indexed documents.
+  size_t num_documents() const { return doc_lengths_.size(); }
+
+  /// Number of distinct terms.
+  size_t num_terms() const { return postings_.size(); }
+
+  /// Token count of document `doc`.
+  size_t doc_length(DocId doc) const { return doc_lengths_.at(doc); }
+
+  /// Mean document length; 0 when empty.
+  double average_doc_length() const;
+
+  /// Postings for `term`; empty when unseen. Postings are ordered by doc
+  /// id (documents are appended in order).
+  const std::vector<Posting>& PostingsFor(const std::string& term) const;
+
+  /// Number of documents containing `term`.
+  size_t DocumentFrequency(const std::string& term) const {
+    return PostingsFor(term).size();
+  }
+
+  /// All indexed terms (unordered).
+  std::vector<std::string> Terms() const;
+
+ private:
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::vector<size_t> doc_lengths_;
+  static const std::vector<Posting> kEmptyPostings;
+};
+
+}  // namespace lakeorg

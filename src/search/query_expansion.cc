@@ -1,0 +1,55 @@
+#include "search/query_expansion.h"
+
+#include <algorithm>
+
+namespace lakeorg {
+
+QueryExpander::QueryExpander(std::shared_ptr<const EmbeddingStore> store,
+                             std::vector<std::string> vocabulary,
+                             QueryExpansionOptions options)
+    : store_(std::move(store)), options_(options) {
+  for (std::string& term : vocabulary) {
+    std::optional<Vec> v = store_->Embed(term);
+    if (v.has_value()) {
+      vocab_.push_back(std::move(term));
+      vocab_vecs_.push_back(std::move(*v));
+    }
+  }
+}
+
+ExpandedQuery QueryExpander::Expand(
+    const std::vector<std::string>& terms) const {
+  ExpandedQuery out;
+  for (const std::string& t : terms) {
+    out.terms.push_back(t);
+    out.weights.push_back(1.0);
+  }
+  auto already_present = [&out](const std::string& term) {
+    return std::find(out.terms.begin(), out.terms.end(), term) !=
+           out.terms.end();
+  };
+  for (const std::string& t : terms) {
+    std::optional<Vec> tv = store_->Embed(t);
+    if (!tv.has_value()) continue;
+    // Rank vocabulary terms by cosine; keep the best few above threshold.
+    std::vector<std::pair<double, size_t>> scored;
+    for (size_t i = 0; i < vocab_.size(); ++i) {
+      if (vocab_[i] == t) continue;
+      double sim = Cosine(*tv, vocab_vecs_[i]);
+      if (sim >= options_.min_similarity) scored.emplace_back(sim, i);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    size_t added = 0;
+    for (const auto& [sim, i] : scored) {
+      if (added >= options_.expansions_per_term) break;
+      if (already_present(vocab_[i])) continue;
+      out.terms.push_back(vocab_[i]);
+      out.weights.push_back(sim * options_.expansion_weight);
+      ++added;
+    }
+  }
+  return out;
+}
+
+}  // namespace lakeorg

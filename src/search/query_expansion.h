@@ -1,0 +1,53 @@
+// Embedding-based query expansion: the paper's search engine uses
+// pretrained GloVe vectors to identify similar terms and expand queries
+// (section 4.4, optional per query). Here expansion candidates come from
+// the indexed vocabulary ranked by embedding cosine against each query
+// term.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "embedding/embedding_store.h"
+
+namespace lakeorg {
+
+/// An expanded query: original terms plus similar terms with weights.
+struct ExpandedQuery {
+  std::vector<std::string> terms;
+  /// Per-term weights: 1.0 for originals, the cosine-derived weight for
+  /// expansions.
+  std::vector<double> weights;
+};
+
+/// Options for QueryExpander.
+struct QueryExpansionOptions {
+  /// Expansions added per original term.
+  size_t expansions_per_term = 2;
+  /// Minimum cosine for an expansion candidate.
+  double min_similarity = 0.55;
+  /// Weight multiplier applied to an expansion's cosine.
+  double expansion_weight = 0.6;
+};
+
+/// Expands query terms against a fixed vocabulary via embedding cosine.
+class QueryExpander {
+ public:
+  /// `vocabulary` is the candidate term pool (typically the index's terms);
+  /// terms without embeddings are skipped.
+  QueryExpander(std::shared_ptr<const EmbeddingStore> store,
+                std::vector<std::string> vocabulary,
+                QueryExpansionOptions options = {});
+
+  /// Expands `terms`; originals keep weight 1.0 and are never duplicated.
+  ExpandedQuery Expand(const std::vector<std::string>& terms) const;
+
+ private:
+  std::shared_ptr<const EmbeddingStore> store_;
+  std::vector<std::string> vocab_;
+  std::vector<Vec> vocab_vecs_;
+  QueryExpansionOptions options_;
+};
+
+}  // namespace lakeorg

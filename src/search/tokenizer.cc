@@ -1,0 +1,53 @@
+#include "search/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace lakeorg {
+namespace {
+
+const std::unordered_set<std::string>& Stopwords() {
+  static const std::unordered_set<std::string> kStopwords = {
+      "a",    "an",   "and",  "are",  "as",   "at",   "be",   "by",
+      "for",  "from", "has",  "have", "in",   "is",   "it",   "its",
+      "of",   "on",   "or",   "that", "the",  "this", "to",   "was",
+      "were", "will", "with", "not",  "but",  "they", "you",  "we",
+      "which", "their", "about", "into", "than", "then", "these"};
+  return kStopwords;
+}
+
+}  // namespace
+
+bool IsStopword(const std::string& token) {
+  return Stopwords().count(token) > 0;
+}
+
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&tokens, &current, &options]() {
+    if (current.size() >= options.min_token_length &&
+        (!options.remove_stopwords || !IsStopword(current))) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (char ch : text) {
+    unsigned char uc = static_cast<unsigned char>(ch);
+    if (std::isalnum(uc)) {
+      current.push_back(
+          static_cast<char>(std::tolower(uc)));
+    } else if (ch == '_' || ch == '\'') {
+      // Treat as intra-word separators that merge ("smart_city" stays one
+      // concept only when split): split on them.
+      flush();
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,26 @@
+// Tokenization for the keyword-search engine (section 4.4 comparison
+// system): lowercase, alphanumeric word splitting, stopword removal.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lakeorg {
+
+/// Options for Tokenize.
+struct TokenizerOptions {
+  /// Drop tokens shorter than this.
+  size_t min_token_length = 2;
+  /// Drop common English stopwords.
+  bool remove_stopwords = true;
+};
+
+/// Splits `text` into lowercase alphanumeric tokens.
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& options = {});
+
+/// True iff `token` (lowercase) is a stopword.
+bool IsStopword(const std::string& token);
+
+}  // namespace lakeorg

@@ -1,0 +1,183 @@
+#include "study/agents.h"
+
+#include <algorithm>
+
+#include "core/navigation.h"
+#include "core/transition.h"
+#include "search/tokenizer.h"
+
+namespace lakeorg {
+
+Vec SampleIntentVector(const Vec& topic, double noise, Rng* rng) {
+  // intent = normalize(topic_unit + noise * perturbation_unit): `noise` is
+  // the RELATIVE magnitude of the perturbation, independent of the
+  // embedding dimension, so cos(intent, topic) ~ 1 / sqrt(1 + noise^2)
+  // (e.g. noise 0.3 keeps users ~0.96-aligned with the scenario while
+  // still differing from each other).
+  Vec intent = topic;
+  NormalizeInPlace(&intent);
+  if (noise > 0.0 && !intent.empty()) {
+    Vec perturbation(intent.size());
+    for (float& x : perturbation) {
+      x = static_cast<float>(rng->Gaussian());
+    }
+    NormalizeInPlace(&perturbation);
+    for (size_t i = 0; i < intent.size(); ++i) {
+      intent[i] += static_cast<float>(noise) * perturbation[i];
+    }
+    NormalizeInPlace(&intent);
+  }
+  return intent;
+}
+
+AgentResult RunNavigationAgent(const MultiDimOrganization& org,
+                               const DataLake& lake,
+                               const Scenario& scenario,
+                               const AgentOptions& options, Rng* rng) {
+  AgentResult result;
+  if (org.num_dimensions() == 0) return result;
+  Vec intent = SampleIntentVector(scenario.topic, options.intent_noise, rng);
+
+  std::vector<char> collected(lake.num_tables(), 0);
+  while (result.actions_used < options.action_budget) {
+    // One episode: pick the dimension whose root children best match the
+    // intent (softly), then walk to a leaf with Equation 1 choices.
+    size_t dim;
+    if (org.num_dimensions() == 1) {
+      dim = 0;
+    } else {
+      std::vector<double> sims(org.num_dimensions());
+      for (size_t d = 0; d < org.num_dimensions(); ++d) {
+        const Organization& o = org.dimension(d);
+        sims[d] = Cosine(o.state(o.root()).topic, intent);
+      }
+      std::vector<double> probs =
+          TransitionProbabilities(sims, options.transition);
+      dim = rng->Categorical(probs);
+    }
+
+    const Organization& o = org.dimension(dim);
+    NavigationSession session(&o);
+    // Walk with Equation 1 choices until the current state's children are
+    // (mostly) leaves — the prototype then shows a list of tables.
+    for (;;) {
+      if (result.actions_used >= options.action_budget) break;
+      const std::vector<StateId>& children =
+          o.state(session.current()).children;
+      if (children.empty() || session.AtLeaf()) break;
+      bool leaf_level = true;
+      for (StateId c : children) {
+        if (o.state(c).kind != StateKind::kLeaf) {
+          leaf_level = false;
+          break;
+        }
+      }
+      if (leaf_level) break;
+      std::vector<double> sims(children.size());
+      for (size_t i = 0; i < children.size(); ++i) {
+        sims[i] = Cosine(o.state(children[i]).topic, intent);
+      }
+      std::vector<double> probs =
+          TransitionProbabilities(sims, options.transition);
+      size_t pick = rng->Categorical(probs);
+      Status st = session.Choose(pick);
+      (void)st;
+      ++result.actions_used;
+    }
+    // At a leaf-parent (tag) state the user scans the listed tables, most
+    // similar first, up to the same per-stop inspection budget the search
+    // modality gets per result page.
+    const std::vector<StateId>& listed =
+        o.state(session.current()).children;
+    if (!listed.empty() &&
+        o.state(listed[0]).kind == StateKind::kLeaf) {
+      ++result.probes;
+      std::vector<std::pair<double, StateId>> ranked;
+      ranked.reserve(listed.size());
+      for (StateId c : listed) {
+        ranked.emplace_back(Cosine(o.state(c).topic, intent), c);
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+                });
+      size_t inspected = 0;
+      for (const auto& [sim, leaf] : ranked) {
+        if (inspected >= options.results_per_query ||
+            result.actions_used >= options.action_budget) {
+          break;
+        }
+        ++result.actions_used;  // Inspecting one listed table.
+        ++inspected;
+        uint32_t local_attr = o.state(leaf).attr;
+        AttributeId lake_attr = o.ctx().lake_attr(local_attr);
+        TableId table = lake.attribute(lake_attr).table;
+        if (collected[table]) continue;
+        Vec table_topic = TableTopicVector(lake, table);
+        if (!table_topic.empty() &&
+            Cosine(table_topic, intent) >= options.accept_threshold) {
+          collected[table] = 1;
+          result.found.push_back(table);
+        }
+      }
+    }
+    // Restarting from a root costs one action (the prototype's backtrack).
+    ++result.actions_used;
+  }
+  return result;
+}
+
+AgentResult RunSearchAgent(const TableSearchEngine& engine,
+                           const DataLake& lake, const Scenario& scenario,
+                           const std::vector<std::string>& keyword_pool,
+                           const AgentOptions& options, Rng* rng) {
+  AgentResult result;
+  Vec intent = SampleIntentVector(scenario.topic, options.intent_noise, rng);
+
+  std::vector<std::string> scenario_terms = Tokenize(scenario.description);
+  if (scenario_terms.empty() && keyword_pool.empty()) return result;
+
+  std::vector<char> collected(lake.num_tables(), 0);
+  while (result.actions_used + options.query_cost <=
+         options.action_budget) {
+    // Compose a 1-3 term query, biased toward the shared scenario terms.
+    size_t n_terms = static_cast<size_t>(rng->UniformInt(1, 3));
+    std::vector<std::string> terms;
+    for (size_t i = 0; i < n_terms; ++i) {
+      bool from_scenario = keyword_pool.empty() ||
+                           rng->Bernoulli(options.scenario_term_prob);
+      const std::vector<std::string>& pool =
+          from_scenario && !scenario_terms.empty() ? scenario_terms
+                                                   : keyword_pool;
+      if (pool.empty()) break;
+      terms.push_back(pool[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(pool.size() - 1)))]);
+    }
+    if (terms.empty()) break;
+    std::string query;
+    for (size_t i = 0; i < terms.size(); ++i) {
+      if (i > 0) query += " ";
+      query += terms[i];
+    }
+    result.actions_used += options.query_cost;
+    ++result.probes;
+
+    std::vector<TableHit> hits = engine.Search(
+        query, options.results_per_query, options.use_query_expansion);
+    for (const TableHit& hit : hits) {
+      if (result.actions_used >= options.action_budget) break;
+      ++result.actions_used;  // Inspecting one result.
+      if (collected[hit.table]) continue;
+      Vec table_topic = TableTopicVector(lake, hit.table);
+      if (!table_topic.empty() &&
+          Cosine(table_topic, intent) >= options.accept_threshold) {
+        collected[hit.table] = 1;
+        result.found.push_back(hit.table);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,78 @@
+// Stochastic user agents: the shippable stand-in for the paper's 12 human
+// participants (DESIGN.md substitution 4). Both agents share a per-user
+// noisy intent vector derived from the scenario topic and a bounded action
+// budget (the 20-minute session). The navigation agent samples walks from
+// the paper's own transition model (Equation 1); the keyword agent samples
+// small keyword subsets of the scenario — the behaviour participants
+// showed ("very similar keywords" across users) that drives hypothesis H2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/multidim.h"
+#include "search/engine.h"
+#include "study/metrics.h"
+
+namespace lakeorg {
+
+/// An information-need scenario (e.g. "smart city", "clinical research").
+struct Scenario {
+  /// Free-text description shown to the agent (keyword source).
+  std::string description;
+  /// Topic vector of the information need.
+  Vec topic;
+};
+
+/// Behavioural parameters shared by both agents.
+struct AgentOptions {
+  /// Total navigation/search actions per session (the 20-minute budget).
+  size_t action_budget = 150;
+  /// Gaussian noise scale applied per user to the scenario vector.
+  double intent_noise = 0.30;
+  /// Transition-model sharpness when the navigation agent picks children.
+  TransitionConfig transition;
+  /// Agent-side relevance acceptance threshold (cosine of table topic to
+  /// the user's own intent vector).
+  double accept_threshold = 0.55;
+  /// Keyword agent: results inspected per query.
+  size_t results_per_query = 10;
+  /// Keyword agent: actions charged per issued query.
+  size_t query_cost = 5;
+  /// Keyword agent: probability a query term comes from the shared
+  /// scenario description rather than the user's personal expansion pool.
+  double scenario_term_prob = 0.8;
+  /// Keyword agent: query expansion toggle (the prototype's optional
+  /// expansion).
+  bool use_query_expansion = true;
+};
+
+/// Outcome of one simulated session.
+struct AgentResult {
+  /// Tables the agent collected as relevant (deduplicated, in discovery
+  /// order).
+  std::vector<TableId> found;
+  /// Actions actually spent.
+  size_t actions_used = 0;
+  /// Distinct leaves visited / queries issued (diagnostics).
+  size_t probes = 0;
+};
+
+/// Draws this user's intent vector: normalize(topic + noise * gaussian).
+Vec SampleIntentVector(const Vec& topic, double noise, Rng* rng);
+
+/// Simulates a navigation session over a multi-dimensional organization.
+AgentResult RunNavigationAgent(const MultiDimOrganization& org,
+                               const DataLake& lake,
+                               const Scenario& scenario,
+                               const AgentOptions& options, Rng* rng);
+
+/// Simulates a keyword-search session. `keyword_pool` augments the
+/// scenario description with user-specific vocabulary (may be empty).
+AgentResult RunSearchAgent(const TableSearchEngine& engine,
+                           const DataLake& lake, const Scenario& scenario,
+                           const std::vector<std::string>& keyword_pool,
+                           const AgentOptions& options, Rng* rng);
+
+}  // namespace lakeorg

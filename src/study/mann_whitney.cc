@@ -1,0 +1,66 @@
+#include "study/mann_whitney.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace lakeorg {
+
+double NormalSurvival(double z) {
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+MannWhitneyResult MannWhitneyUTest(const std::vector<double>& a,
+                                   const std::vector<double>& b) {
+  MannWhitneyResult result;
+  result.n_a = a.size();
+  result.n_b = b.size();
+  result.median_a = Median(a);
+  result.median_b = Median(b);
+  if (a.empty() || b.empty()) return result;
+
+  double na = static_cast<double>(a.size());
+  double nb = static_cast<double>(b.size());
+
+  // Midranks over the pooled sample.
+  std::vector<double> pooled = a;
+  pooled.insert(pooled.end(), b.begin(), b.end());
+  std::vector<double> ranks = MidRanks(pooled);
+  double rank_sum_a = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) rank_sum_a += ranks[i];
+
+  result.u_a = rank_sum_a - na * (na + 1.0) / 2.0;
+  result.u_b = na * nb - result.u_a;
+  result.u = std::min(result.u_a, result.u_b);
+
+  // Tie-corrected variance.
+  std::vector<double> sorted = pooled;
+  std::sort(sorted.begin(), sorted.end());
+  double tie_term = 0.0;
+  size_t i = 0;
+  size_t n = sorted.size();
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && sorted[j + 1] == sorted[i]) ++j;
+    double t = static_cast<double>(j - i + 1);
+    tie_term += t * t * t - t;
+    i = j + 1;
+  }
+  double total = na + nb;
+  double variance =
+      na * nb / 12.0 *
+      ((total + 1.0) - tie_term / (total * (total - 1.0)));
+  if (variance <= 0.0) return result;
+
+  double mean_u = na * nb / 2.0;
+  // Continuity correction toward the mean.
+  double diff = result.u_a - mean_u;
+  double correction = diff > 0.0 ? -0.5 : (diff < 0.0 ? 0.5 : 0.0);
+  result.z = (diff + correction) / std::sqrt(variance);
+  result.p_two_tailed =
+      std::min(1.0, 2.0 * NormalSurvival(std::abs(result.z)));
+  return result;
+}
+
+}  // namespace lakeorg

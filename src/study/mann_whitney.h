@@ -1,0 +1,38 @@
+// The Mann-Whitney U test — the significance test the paper's user study
+// uses for its two-tailed hypotheses (section 4.4). Normal approximation
+// with tie correction and continuity correction; appropriate for the
+// study's sample sizes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lakeorg {
+
+/// Result of a two-sample Mann-Whitney U test.
+struct MannWhitneyResult {
+  /// U statistic of sample A (rank-sum based) and of sample B.
+  double u_a = 0.0;
+  double u_b = 0.0;
+  /// min(u_a, u_b), the conventionally reported U.
+  double u = 0.0;
+  /// Tie-corrected z score (0 when the variance degenerates).
+  double z = 0.0;
+  /// Two-tailed p-value from the normal approximation.
+  double p_two_tailed = 1.0;
+  /// Sample medians and sizes, for reporting.
+  double median_a = 0.0;
+  double median_b = 0.0;
+  size_t n_a = 0;
+  size_t n_b = 0;
+};
+
+/// Runs the test on samples `a` and `b`. Either sample may be empty, in
+/// which case p = 1.
+MannWhitneyResult MannWhitneyUTest(const std::vector<double>& a,
+                                   const std::vector<double>& b);
+
+/// Standard normal upper-tail survival function Q(z) = P(Z > z).
+double NormalSurvival(double z);
+
+}  // namespace lakeorg

@@ -1,0 +1,65 @@
+#include "study/metrics.h"
+
+#include <algorithm>
+
+namespace lakeorg {
+namespace {
+
+/// Sorted-unique copy.
+std::vector<TableId> Canonical(std::vector<TableId> xs) {
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  return xs;
+}
+
+}  // namespace
+
+double OverlapFraction(std::vector<TableId> a, std::vector<TableId> b) {
+  a = Canonical(std::move(a));
+  b = Canonical(std::move(b));
+  if (a.empty() && b.empty()) return 1.0;
+  std::vector<TableId> inter;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(inter));
+  size_t union_size = a.size() + b.size() - inter.size();
+  return static_cast<double>(inter.size()) /
+         static_cast<double>(union_size);
+}
+
+double Disjointness(std::vector<TableId> a, std::vector<TableId> b) {
+  return 1.0 - OverlapFraction(std::move(a), std::move(b));
+}
+
+Vec TableTopicVector(const DataLake& lake, TableId table) {
+  const Table& t = lake.table(table);
+  TopicAccumulator acc;
+  bool initialized = false;
+  for (AttributeId aid : t.attributes) {
+    const Attribute& attr = lake.attribute(aid);
+    if (!attr.is_text || !attr.HasTopic()) continue;
+    if (!initialized) {
+      acc.Reset(attr.topic_sum.size());
+      initialized = true;
+    }
+    acc.AddSum(attr.topic_sum, attr.embedded_count);
+  }
+  return acc.Mean();
+}
+
+bool IsRelevant(const DataLake& lake, TableId table, const Vec& scenario,
+                double threshold) {
+  Vec topic = TableTopicVector(lake, table);
+  if (topic.empty()) return false;
+  return Cosine(topic, scenario) >= threshold;
+}
+
+std::vector<TableId> RelevantTables(const DataLake& lake,
+                                    const Vec& scenario, double threshold) {
+  std::vector<TableId> out;
+  for (const Table& t : lake.tables()) {
+    if (IsRelevant(lake, t.id, scenario, threshold)) out.push_back(t.id);
+  }
+  return out;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,35 @@
+// Result-set metrics of the user study (section 4.4): the disjointness of
+// two participants' result sets and the navigation-vs-search overlap,
+// plus the table topic vector / relevance oracle used by the simulated
+// study.
+#pragma once
+
+#include <vector>
+
+#include "embedding/vector_ops.h"
+#include "lake/data_lake.h"
+
+namespace lakeorg {
+
+/// Disjointness of two result sets: 1 - |R ∩ T| / |R ∪ T| (section 4.4).
+/// Two empty sets are fully overlapping (0). Inputs need not be sorted.
+double Disjointness(std::vector<TableId> a, std::vector<TableId> b);
+
+/// Overlap fraction |R ∩ T| / |R ∪ T| (the "~5% intersection" statistic).
+double OverlapFraction(std::vector<TableId> a, std::vector<TableId> b);
+
+/// Topic vector of a table: sample mean over the embedded values of its
+/// text attributes (zero when none embed).
+Vec TableTopicVector(const DataLake& lake, TableId table);
+
+/// Relevance oracle: the stand-in for the paper's human relevance
+/// judgement — a table is relevant to a scenario topic when its topic
+/// vector's cosine to the scenario vector reaches `threshold`.
+bool IsRelevant(const DataLake& lake, TableId table, const Vec& scenario,
+                double threshold);
+
+/// All tables relevant to `scenario` (the recall denominator).
+std::vector<TableId> RelevantTables(const DataLake& lake,
+                                    const Vec& scenario, double threshold);
+
+}  // namespace lakeorg

@@ -1,0 +1,176 @@
+#include "study/study_runner.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace lakeorg {
+namespace {
+
+/// The user's personal expansion vocabulary: terms from a few tables the
+/// user skimmed before starting (participant-specific noise source).
+std::vector<std::string> PersonalKeywordPool(const DataLake& lake,
+                                             Rng* rng) {
+  std::vector<std::string> pool;
+  if (lake.num_tables() == 0) return pool;
+  for (int i = 0; i < 3; ++i) {
+    TableId t = static_cast<TableId>(rng->UniformInt(
+        0, static_cast<int64_t>(lake.num_tables() - 1)));
+    for (TagId tag : lake.table(t).tags) {
+      for (const std::string& tok : Split(lake.tag_name(tag), "_ ")) {
+        if (tok.size() >= 3) pool.push_back(tok);
+      }
+    }
+  }
+  return pool;
+}
+
+/// Oracle filtering: drop found tables whose topic does not actually match
+/// the scenario (the collaborators' relevance check).
+void OracleFilter(const StudyEnvironment& env, double threshold,
+                  SessionRecord* record) {
+  std::vector<TableId> kept;
+  for (TableId t : record->found) {
+    if (IsRelevant(*env.lake, t, env.scenario.topic, threshold)) {
+      kept.push_back(t);
+    } else {
+      ++record->rejected;
+    }
+  }
+  record->found = std::move(kept);
+}
+
+}  // namespace
+
+StudyResult RunUserStudy(const StudyEnvironment& env_a,
+                         const StudyEnvironment& env_b,
+                         const StudyOptions& options) {
+  StudyResult result;
+  Rng rng(options.seed);
+  const StudyEnvironment* envs[2] = {&env_a, &env_b};
+
+  // Balanced latin-square blocks: (first env, first modality) cycles
+  // through the four combinations; each participant does both scenarios,
+  // one per modality.
+  for (size_t p = 0; p < options.participants; ++p) {
+    size_t block = p % 4;
+    size_t first_env = block / 2;           // 0 or 1
+    bool first_is_navigation = (block % 2) == 0;
+    Rng participant_rng = rng.Fork();
+
+    for (size_t leg = 0; leg < 2; ++leg) {
+      size_t env_index = leg == 0 ? first_env : 1 - first_env;
+      bool navigation = leg == 0 ? first_is_navigation
+                                 : !first_is_navigation;
+      const StudyEnvironment& env = *envs[env_index];
+
+      SessionRecord record;
+      record.participant = p;
+      record.environment = env_index;
+      record.navigation = navigation;
+
+      Rng session_rng = participant_rng.Fork();
+      AgentResult agent;
+      if (navigation) {
+        agent = RunNavigationAgent(*env.org, *env.lake, env.scenario,
+                                   options.agent, &session_rng);
+      } else {
+        std::vector<std::string> pool =
+            PersonalKeywordPool(*env.lake, &session_rng);
+        agent = RunSearchAgent(*env.engine, *env.lake, env.scenario, pool,
+                               options.agent, &session_rng);
+      }
+      record.found = std::move(agent.found);
+      record.actions_used = agent.actions_used;
+      OracleFilter(env, options.oracle_threshold, &record);
+      result.sessions.push_back(std::move(record));
+    }
+  }
+
+  // Aggregate per modality.
+  size_t total_found = 0;
+  size_t total_rejected = 0;
+  for (const SessionRecord& s : result.sessions) {
+    ModalityStats& stats = s.navigation ? result.navigation : result.search;
+    stats.found_counts.push_back(static_cast<double>(s.found.size()));
+    total_found += s.found.size();
+    total_rejected += s.rejected;
+  }
+  // Pairwise disjointness among sessions with the same scenario+modality.
+  for (size_t i = 0; i < result.sessions.size(); ++i) {
+    for (size_t j = i + 1; j < result.sessions.size(); ++j) {
+      const SessionRecord& a = result.sessions[i];
+      const SessionRecord& b = result.sessions[j];
+      if (a.environment != b.environment ||
+          a.navigation != b.navigation) {
+        continue;
+      }
+      if (a.found.empty() && b.found.empty()) continue;
+      double d = Disjointness(a.found, b.found);
+      (a.navigation ? result.navigation : result.search)
+          .disjointness.push_back(d);
+    }
+  }
+  for (ModalityStats* stats : {&result.navigation, &result.search}) {
+    stats->median_found = Median(stats->found_counts);
+    stats->max_found = Max(stats->found_counts);
+    stats->median_disjointness = Median(stats->disjointness);
+  }
+
+  result.h1_found = MannWhitneyUTest(result.navigation.found_counts,
+                                     result.search.found_counts);
+  result.h2_disjointness = MannWhitneyUTest(result.navigation.disjointness,
+                                            result.search.disjointness);
+
+  // Navigation vs search overlap, pooled per scenario then averaged.
+  double overlap_total = 0.0;
+  size_t overlap_scenarios = 0;
+  for (size_t e = 0; e < 2; ++e) {
+    std::vector<TableId> nav_found;
+    std::vector<TableId> search_found;
+    for (const SessionRecord& s : result.sessions) {
+      if (s.environment != e) continue;
+      auto& sink = s.navigation ? nav_found : search_found;
+      sink.insert(sink.end(), s.found.begin(), s.found.end());
+    }
+    if (nav_found.empty() && search_found.empty()) continue;
+    overlap_total += OverlapFraction(nav_found, search_found);
+    ++overlap_scenarios;
+  }
+  result.nav_search_overlap =
+      overlap_scenarios == 0 ? 0.0 : overlap_total / overlap_scenarios;
+  result.rejected_fraction =
+      (total_found + total_rejected) == 0
+          ? 0.0
+          : static_cast<double>(total_rejected) /
+                static_cast<double>(total_found + total_rejected);
+  return result;
+}
+
+std::string FormatStudyResult(const StudyResult& result) {
+  std::ostringstream out;
+  out << "participants: " << result.sessions.size() / 2 << "\n"
+      << "H1 relevant tables found  nav Mdn="
+      << FormatDouble(result.navigation.median_found, 1)
+      << " max=" << FormatDouble(result.navigation.max_found, 0)
+      << " | search Mdn=" << FormatDouble(result.search.median_found, 1)
+      << " max=" << FormatDouble(result.search.max_found, 0)
+      << "  (U=" << FormatDouble(result.h1_found.u, 1)
+      << ", p=" << FormatDouble(result.h1_found.p_two_tailed, 4) << ")\n"
+      << "H2 disjointness           nav Mdn="
+      << FormatDouble(result.navigation.median_disjointness, 3)
+      << " | search Mdn="
+      << FormatDouble(result.search.median_disjointness, 3)
+      << "  (U=" << FormatDouble(result.h2_disjointness.u, 1)
+      << ", p=" << FormatDouble(result.h2_disjointness.p_two_tailed, 4)
+      << ")\n"
+      << "nav/search result overlap: "
+      << FormatDouble(100.0 * result.nav_search_overlap, 1) << "%\n"
+      << "oracle-rejected fraction:  "
+      << FormatDouble(100.0 * result.rejected_fraction, 1) << "%\n";
+  return out.str();
+}
+
+}  // namespace lakeorg

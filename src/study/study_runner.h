@@ -1,0 +1,87 @@
+// The formal user-study harness (section 4.4): a within-subject, balanced
+// latin-square design over two disjoint lakes (the Socrata-2 / Socrata-3
+// analogues), each with one overview scenario. Every participant performs
+// both scenarios, one with navigation and one with keyword search, with
+// block order balanced. Reports the H1 statistic (relevant tables found
+// per modality), the H2 statistic (pairwise result disjointness per
+// modality, Mann-Whitney tested) and the navigation-vs-search overlap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "study/agents.h"
+#include "study/mann_whitney.h"
+
+namespace lakeorg {
+
+/// One lake under study with its navigation and search systems.
+struct StudyEnvironment {
+  const DataLake* lake = nullptr;
+  const MultiDimOrganization* org = nullptr;
+  const TableSearchEngine* engine = nullptr;
+  Scenario scenario;
+  /// Name for reporting ("Socrata-2").
+  std::string name;
+};
+
+/// Study-level options.
+struct StudyOptions {
+  /// Participants (the paper recruited 12; must be even).
+  size_t participants = 12;
+  AgentOptions agent;
+  /// Oracle relevance threshold (the paper's collaborators' filtering;
+  /// <1% of found tables were judged irrelevant).
+  double oracle_threshold = 0.40;
+  uint64_t seed = 4242;
+};
+
+/// One participant-session record.
+struct SessionRecord {
+  size_t participant = 0;
+  /// 0 or 1: which environment (scenario).
+  size_t environment = 0;
+  /// True for navigation, false for keyword search.
+  bool navigation = false;
+  /// Tables found after oracle filtering.
+  std::vector<TableId> found;
+  size_t actions_used = 0;
+  /// Tables the oracle rejected (the paper's "<1%" check).
+  size_t rejected = 0;
+};
+
+/// Aggregates per modality.
+struct ModalityStats {
+  /// Relevant tables found per session.
+  std::vector<double> found_counts;
+  /// Pairwise disjointness among sessions on the same scenario.
+  std::vector<double> disjointness;
+  double median_found = 0.0;
+  double max_found = 0.0;
+  double median_disjointness = 0.0;
+};
+
+/// Full study output.
+struct StudyResult {
+  std::vector<SessionRecord> sessions;
+  ModalityStats navigation;
+  ModalityStats search;
+  /// H1: found-count comparison (paper: no significant difference).
+  MannWhitneyResult h1_found;
+  /// H2: disjointness comparison (paper: Mdn 0.985 vs 0.916, p = 0.0019).
+  MannWhitneyResult h2_disjointness;
+  /// |nav ∩ search| / |nav ∪ search| pooled over scenarios (paper: ~5%).
+  double nav_search_overlap = 0.0;
+  /// Fraction of agent-collected tables the oracle rejected.
+  double rejected_fraction = 0.0;
+};
+
+/// Runs the full latin-square study over two environments.
+StudyResult RunUserStudy(const StudyEnvironment& env_a,
+                         const StudyEnvironment& env_b,
+                         const StudyOptions& options);
+
+/// Renders the headline numbers as a small report block.
+std::string FormatStudyResult(const StudyResult& result);
+
+}  // namespace lakeorg

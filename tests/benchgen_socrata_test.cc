@@ -1,0 +1,121 @@
+#include "benchgen/socrata.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lake/lake_stats.h"
+
+namespace lakeorg {
+namespace {
+
+SocrataOptions SmallOptions(uint64_t seed = 777) {
+  SocrataOptions opts;
+  opts.num_tables = 120;
+  opts.num_tags = 80;
+  opts.seed = seed;
+  return opts;
+}
+
+TEST(SocrataGenTest, ProducesRequestedScale) {
+  SocrataLake soc = GenerateSocrataLake(SmallOptions());
+  EXPECT_EQ(soc.lake.num_tables(), 120u);
+  EXPECT_EQ(soc.lake.num_tags(), 80u);
+  EXPECT_GT(soc.lake.num_attributes(), 120u);
+}
+
+TEST(SocrataGenTest, AttributesInheritTableTags) {
+  SocrataLake soc = GenerateSocrataLake(SmallOptions());
+  for (const Table& t : soc.lake.tables()) {
+    for (AttributeId aid : t.attributes) {
+      EXPECT_EQ(soc.lake.attribute(aid).tags, t.tags);
+    }
+  }
+}
+
+TEST(SocrataGenTest, TextAttributeFractionNearTarget) {
+  // Paper: 26% of Socrata attributes are text.
+  SocrataOptions opts = SmallOptions();
+  opts.num_tables = 400;
+  SocrataLake soc = GenerateSocrataLake(opts);
+  LakeStats stats = ComputeLakeStats(soc.lake);
+  EXPECT_NEAR(stats.text_attribute_fraction, 0.26, 0.10);
+}
+
+TEST(SocrataGenTest, MostTablesHaveTextAttribute) {
+  // Paper: 92% of tables have at least one text attribute.
+  SocrataOptions opts = SmallOptions();
+  opts.num_tables = 400;
+  SocrataLake soc = GenerateSocrataLake(opts);
+  LakeStats stats = ComputeLakeStats(soc.lake);
+  EXPECT_GT(stats.tables_with_text_fraction, 0.80);
+}
+
+TEST(SocrataGenTest, EmbeddingCoverageNearTarget) {
+  // Paper: fastText covers ~70% of text values.
+  SocrataOptions opts = SmallOptions();
+  opts.num_tables = 300;
+  SocrataLake soc = GenerateSocrataLake(opts);
+  CoverageStats cov = soc.store->coverage();
+  EXPECT_NEAR(cov.Coverage(), 0.70, 0.08);
+}
+
+TEST(SocrataGenTest, TagsPerTableAreZipfSkewed) {
+  SocrataOptions opts = SmallOptions();
+  opts.num_tables = 400;
+  SocrataLake soc = GenerateSocrataLake(opts);
+  LakeStats stats = ComputeLakeStats(soc.lake);
+  // Skew: the median is well below the max.
+  EXPECT_LT(stats.median_tags_per_table, stats.max_tags_per_table / 2.0);
+  EXPECT_GE(stats.median_tags_per_table, 1.0);
+}
+
+TEST(SocrataGenTest, MultiTagAttributesExist) {
+  SocrataLake soc = GenerateSocrataLake(SmallOptions());
+  size_t multi = 0;
+  for (const Attribute& a : soc.lake.attributes()) {
+    if (a.tags.size() > 1) ++multi;
+  }
+  EXPECT_GT(multi, 0u);
+}
+
+TEST(SocrataGenTest, DisjointTagUniversesWithDifferentPrefixes) {
+  // The Socrata-2 / Socrata-3 property for the user study.
+  SocrataOptions a_opts = SmallOptions(1);
+  a_opts.name_prefix = "s2";
+  SocrataOptions b_opts = SmallOptions(2);
+  b_opts.name_prefix = "s3";
+  SocrataLake a = GenerateSocrataLake(a_opts);
+  SocrataLake b = GenerateSocrataLake(b_opts);
+  std::set<std::string> a_tags(a.lake.tag_names().begin(),
+                               a.lake.tag_names().end());
+  for (const std::string& t : b.lake.tag_names()) {
+    EXPECT_EQ(a_tags.count(t), 0u) << "shared tag " << t;
+  }
+}
+
+TEST(SocrataGenTest, DeterministicGivenSeed) {
+  SocrataLake a = GenerateSocrataLake(SmallOptions(5));
+  SocrataLake b = GenerateSocrataLake(SmallOptions(5));
+  ASSERT_EQ(a.lake.num_attributes(), b.lake.num_attributes());
+  for (AttributeId i = 0; i < a.lake.num_attributes(); ++i) {
+    EXPECT_EQ(a.lake.attribute(i).values, b.lake.attribute(i).values);
+  }
+}
+
+TEST(SocrataGenTest, NumericAttributesAreNotText) {
+  SocrataLake soc = GenerateSocrataLake(SmallOptions());
+  for (const Attribute& a : soc.lake.attributes()) {
+    if (!a.is_text) {
+      EXPECT_FALSE(a.HasTopic());
+    }
+  }
+}
+
+TEST(SocrataGenTest, OrganizableAttributesNonEmpty) {
+  SocrataLake soc = GenerateSocrataLake(SmallOptions());
+  EXPECT_GT(soc.lake.OrganizableAttributes().size(), 50u);
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,200 @@
+#include "benchgen/tagcloud.h"
+
+#include <gtest/gtest.h>
+
+#include "lake/lake_stats.h"
+#include "lake/tag_index.h"
+
+namespace lakeorg {
+namespace {
+
+TagCloudOptions SmallOptions(uint64_t seed = 2020) {
+  TagCloudOptions opts;
+  opts.num_tags = 20;
+  opts.target_attributes = 100;
+  opts.min_values = 5;
+  opts.max_values = 30;
+  opts.seed = seed;
+  return opts;
+}
+
+TEST(TagCloudTest, HitsTargetCounts) {
+  TagCloudBenchmark bench = GenerateTagCloud(SmallOptions());
+  EXPECT_EQ(bench.lake.num_attributes(), 100u);
+  EXPECT_EQ(bench.lake.num_tags(), 20u);
+  EXPECT_GT(bench.lake.num_tables(), 0u);
+  EXPECT_EQ(bench.tag_words.size(), 20u);
+}
+
+TEST(TagCloudTest, EveryAttributeHasExactlyOneTag) {
+  TagCloudBenchmark bench = GenerateTagCloud(SmallOptions());
+  for (const Attribute& a : bench.lake.attributes()) {
+    EXPECT_EQ(a.tags.size(), 1u) << "attr " << a.id;
+  }
+}
+
+TEST(TagCloudTest, DomainsSampleNearestWordsOfTag) {
+  // With domain noise disabled the benchmark's design guarantee holds:
+  // the best tag for an attribute is (almost always) its own tag.
+  TagCloudOptions opts = SmallOptions();
+  opts.domain_noise = 0.0;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  const SyntheticVocabulary& vocab = *bench.vocabulary;
+  // Every attribute's topic vector must be closest (or near-closest) to
+  // its own tag's word among all tag words — the property the benchmark
+  // is designed to guarantee ("we know precisely the best tag per
+  // attribute").
+  size_t correct = 0;
+  for (const Attribute& a : bench.lake.attributes()) {
+    ASSERT_TRUE(a.HasTopic());
+    TagId own = a.tags[0];
+    double own_sim = Cosine(a.topic, vocab.vector(bench.tag_words[own]));
+    bool best = true;
+    for (size_t t = 0; t < bench.tag_words.size(); ++t) {
+      if (static_cast<TagId>(t) == own) continue;
+      if (Cosine(a.topic, vocab.vector(bench.tag_words[t])) > own_sim) {
+        best = false;
+        break;
+      }
+    }
+    if (best) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) /
+                static_cast<double>(bench.lake.num_attributes()),
+            0.8);
+}
+
+TEST(TagCloudTest, DomainNoiseSpreadsTopicVectors) {
+  // With noise on, attribute topics sit measurably further from their tag
+  // word than with noise off (the knob works).
+  TagCloudOptions clean = SmallOptions();
+  clean.domain_noise = 0.0;
+  TagCloudOptions noisy = SmallOptions();
+  noisy.domain_noise = 0.5;
+  TagCloudBenchmark a = GenerateTagCloud(clean);
+  TagCloudBenchmark b = GenerateTagCloud(noisy, a.vocabulary);
+  auto mean_tag_sim = [](const TagCloudBenchmark& bench) {
+    double total = 0.0;
+    for (const Attribute& attr : bench.lake.attributes()) {
+      total += Cosine(attr.topic,
+                      bench.vocabulary->vector(
+                          bench.tag_words[attr.tags[0]]));
+    }
+    return total / static_cast<double>(bench.lake.num_attributes());
+  };
+  EXPECT_GT(mean_tag_sim(a), mean_tag_sim(b));
+}
+
+TEST(TagCloudTest, ValueCountsWithinRange) {
+  TagCloudOptions opts = SmallOptions();
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  for (const Attribute& a : bench.lake.attributes()) {
+    EXPECT_GE(a.values.size(), opts.min_values);
+    EXPECT_LE(a.values.size(), opts.max_values);
+  }
+}
+
+TEST(TagCloudTest, AttrsPerTableBounded) {
+  TagCloudOptions opts = SmallOptions();
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  LakeStats stats = ComputeLakeStats(bench.lake);
+  EXPECT_LE(stats.max_attrs_per_table,
+            static_cast<double>(opts.max_attrs_per_table));
+  // Zipfian skew: the median is small relative to the max.
+  EXPECT_LE(stats.median_attrs_per_table, 5.0);
+}
+
+TEST(TagCloudTest, FullEmbeddingCoverage) {
+  // TagCloud values are vocabulary words, so every value embeds.
+  TagCloudBenchmark bench = GenerateTagCloud(SmallOptions());
+  CoverageStats cov = bench.store->coverage();
+  EXPECT_DOUBLE_EQ(cov.Coverage(), 1.0);
+}
+
+TEST(TagCloudTest, DeterministicGivenSeed) {
+  TagCloudBenchmark a = GenerateTagCloud(SmallOptions(9));
+  TagCloudBenchmark b = GenerateTagCloud(SmallOptions(9));
+  ASSERT_EQ(a.lake.num_attributes(), b.lake.num_attributes());
+  for (AttributeId i = 0; i < a.lake.num_attributes(); ++i) {
+    EXPECT_EQ(a.lake.attribute(i).values, b.lake.attribute(i).values);
+    EXPECT_EQ(a.lake.attribute(i).tags, b.lake.attribute(i).tags);
+  }
+}
+
+TEST(TagCloudTest, DifferentSeedsDiffer) {
+  TagCloudBenchmark a = GenerateTagCloud(SmallOptions(1));
+  TagCloudBenchmark b = GenerateTagCloud(SmallOptions(2));
+  bool any_difference = a.lake.num_tables() != b.lake.num_tables();
+  if (!any_difference) {
+    for (AttributeId i = 0; i < a.lake.num_attributes(); ++i) {
+      if (a.lake.attribute(i).values != b.lake.attribute(i).values) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(TagCloudTest, TagWordsAreSeparated) {
+  TagCloudOptions opts = SmallOptions();
+  opts.tag_separation = 0.5;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  const SyntheticVocabulary& vocab = *bench.vocabulary;
+  for (size_t i = 0; i < bench.tag_words.size(); ++i) {
+    for (size_t j = i + 1; j < bench.tag_words.size(); ++j) {
+      EXPECT_LE(Cosine(vocab.vector(bench.tag_words[i]),
+                       vocab.vector(bench.tag_words[j])),
+                0.5 + 1e-6);
+    }
+  }
+}
+
+TEST(TagCloudTest, EnrichmentAddsSecondTag) {
+  TagCloudBenchmark bench = GenerateTagCloud(SmallOptions());
+  size_t added = EnrichTagCloud(&bench);
+  EXPECT_EQ(added, bench.lake.num_attributes());
+  for (const Attribute& a : bench.lake.attributes()) {
+    EXPECT_EQ(a.tags.size(), 2u);
+    EXPECT_NE(a.tags[0], a.tags[1]);
+  }
+}
+
+TEST(TagCloudTest, EnrichmentPicksClosestOtherTag) {
+  TagCloudBenchmark bench = GenerateTagCloud(SmallOptions());
+  EnrichTagCloud(&bench);
+  const SyntheticVocabulary& vocab = *bench.vocabulary;
+  for (const Attribute& a : bench.lake.attributes()) {
+    TagId original = a.tags[0];
+    TagId enriched = a.tags[1];
+    double enriched_sim =
+        Cosine(a.topic, vocab.vector(bench.tag_words[enriched]));
+    for (size_t t = 0; t < bench.tag_words.size(); ++t) {
+      if (static_cast<TagId>(t) == original ||
+          static_cast<TagId>(t) == enriched) {
+        continue;
+      }
+      EXPECT_LE(Cosine(a.topic, vocab.vector(bench.tag_words[t])),
+                enriched_sim + 1e-9);
+    }
+  }
+}
+
+TEST(TagCloudTest, EnrichmentGrowsTagExtents) {
+  TagCloudBenchmark bench = GenerateTagCloud(SmallOptions());
+  TagIndex before = TagIndex::Build(bench.lake);
+  size_t before_total = 0;
+  for (TagId t : before.NonEmptyTags()) {
+    before_total += before.AttributesOfTag(t).size();
+  }
+  EnrichTagCloud(&bench);
+  TagIndex after = TagIndex::Build(bench.lake);
+  size_t after_total = 0;
+  for (TagId t : after.NonEmptyTags()) {
+    after_total += after.AttributesOfTag(t).size();
+  }
+  EXPECT_EQ(after_total, before_total + bench.lake.num_attributes());
+}
+
+}  // namespace
+}  // namespace lakeorg

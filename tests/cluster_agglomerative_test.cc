@@ -1,0 +1,164 @@
+#include "cluster/agglomerative.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace lakeorg {
+namespace {
+
+TEST(AgglomerativeTest, SingleItem) {
+  Dendrogram d = AgglomerativeCluster({{1, 0}});
+  EXPECT_EQ(d.num_items, 1u);
+  EXPECT_TRUE(d.merges.empty());
+  EXPECT_EQ(d.Root(), 0u);
+  EXPECT_EQ(d.Cut(1), (std::vector<int>{0}));
+}
+
+TEST(AgglomerativeTest, TwoItems) {
+  Dendrogram d = AgglomerativeCluster({{1, 0}, {0, 1}});
+  ASSERT_EQ(d.merges.size(), 1u);
+  EXPECT_EQ(d.merges[0].size, 2u);
+  EXPECT_EQ(d.Root(), 2u);
+  std::set<size_t> children = {d.merges[0].left, d.merges[0].right};
+  EXPECT_EQ(children, (std::set<size_t>{0, 1}));
+  EXPECT_NEAR(d.merges[0].height, 0.5, 1e-9);  // Orthogonal vectors.
+}
+
+TEST(AgglomerativeTest, ObviousPairsMergeFirst) {
+  // Two tight pairs, far apart: {0,1} near +x, {2,3} near +y.
+  std::vector<Vec> items = {
+      {1.0f, 0.01f}, {1.0f, 0.02f}, {0.01f, 1.0f}, {0.02f, 1.0f}};
+  Dendrogram d = AgglomerativeCluster(items);
+  ASSERT_EQ(d.merges.size(), 3u);
+  // First two merges must pair up {0,1} and {2,3} (in some order).
+  std::set<std::set<size_t>> first_two = {
+      {d.merges[0].left, d.merges[0].right},
+      {d.merges[1].left, d.merges[1].right}};
+  EXPECT_TRUE(first_two.count({0, 1}) == 1);
+  EXPECT_TRUE(first_two.count({2, 3}) == 1);
+  // Final merge joins the two pair-nodes.
+  EXPECT_EQ(d.merges[2].size, 4u);
+}
+
+TEST(AgglomerativeTest, HeightsAreMonotone) {
+  Rng rng(17);
+  std::vector<Vec> items;
+  for (int i = 0; i < 40; ++i) {
+    Vec v(6);
+    for (float& x : v) x = static_cast<float>(rng.Gaussian());
+    items.push_back(v);
+  }
+  Dendrogram d = AgglomerativeCluster(items);
+  ASSERT_EQ(d.merges.size(), 39u);
+  for (size_t i = 1; i < d.merges.size(); ++i) {
+    EXPECT_GE(d.merges[i].height, d.merges[i - 1].height - 1e-12);
+  }
+}
+
+TEST(AgglomerativeTest, MergeSizesAccumulateToN) {
+  Rng rng(18);
+  std::vector<Vec> items;
+  for (int i = 0; i < 25; ++i) {
+    Vec v(4);
+    for (float& x : v) x = static_cast<float>(rng.Gaussian());
+    items.push_back(v);
+  }
+  Dendrogram d = AgglomerativeCluster(items);
+  EXPECT_EQ(d.merges.back().size, 25u);
+  EXPECT_EQ(d.NumNodes(), 25u + 24u);
+}
+
+TEST(AgglomerativeTest, EveryNodeUsedAtMostOnceAsChild) {
+  Rng rng(19);
+  std::vector<Vec> items;
+  for (int i = 0; i < 30; ++i) {
+    Vec v(5);
+    for (float& x : v) x = static_cast<float>(rng.Gaussian());
+    items.push_back(v);
+  }
+  Dendrogram d = AgglomerativeCluster(items);
+  std::set<size_t> used;
+  for (const DendrogramMerge& m : d.merges) {
+    EXPECT_TRUE(used.insert(m.left).second) << "node reused: " << m.left;
+    EXPECT_TRUE(used.insert(m.right).second) << "node reused: " << m.right;
+  }
+  // The root is the only node never used as a child.
+  EXPECT_EQ(used.count(d.Root()), 0u);
+}
+
+TEST(AgglomerativeTest, CutIntoKClusters) {
+  std::vector<Vec> items = {
+      {1.0f, 0.0f}, {1.0f, 0.05f}, {0.0f, 1.0f}, {0.05f, 1.0f}};
+  Dendrogram d = AgglomerativeCluster(items);
+  std::vector<int> two = d.Cut(2);
+  EXPECT_EQ(two[0], two[1]);
+  EXPECT_EQ(two[2], two[3]);
+  EXPECT_NE(two[0], two[2]);
+  std::vector<int> one = d.Cut(1);
+  EXPECT_EQ(one, (std::vector<int>{0, 0, 0, 0}));
+  std::vector<int> four = d.Cut(4);
+  std::set<int> labels(four.begin(), four.end());
+  EXPECT_EQ(labels.size(), 4u);
+}
+
+TEST(AgglomerativeTest, CutKLargerThanNClamps) {
+  std::vector<Vec> items = {{1, 0}, {0, 1}};
+  Dendrogram d = AgglomerativeCluster(items);
+  std::vector<int> cut = d.Cut(10);
+  std::set<int> labels(cut.begin(), cut.end());
+  EXPECT_EQ(labels.size(), 2u);
+}
+
+TEST(AgglomerativeTest, FromExplicitDistances) {
+  // Three points on a line: 0 and 1 close, 2 far.
+  size_t n = 3;
+  std::vector<double> dist = {
+      0.0, 0.1, 1.0,  //
+      0.1, 0.0, 0.9,  //
+      1.0, 0.9, 0.0,
+  };
+  Dendrogram d = AgglomerativeClusterFromDistances(dist, n);
+  ASSERT_EQ(d.merges.size(), 2u);
+  EXPECT_EQ((std::set<size_t>{d.merges[0].left, d.merges[0].right}),
+            (std::set<size_t>{0, 1}));
+  EXPECT_NEAR(d.merges[0].height, 0.1, 1e-12);
+  // Average linkage: d({0,1}, 2) = (1.0 + 0.9) / 2.
+  EXPECT_NEAR(d.merges[1].height, 0.95, 1e-12);
+}
+
+TEST(AgglomerativeTest, AverageLinkageLanceWilliams) {
+  // Four points; verify the second-level linkage distance is the average
+  // of the cross-cluster pairwise distances.
+  size_t n = 4;
+  // Pairs (0,1) at distance 0.1, (2,3) at 0.2; cross distances all 1.0
+  // except d(1,2)=0.8.
+  std::vector<double> dist(n * n, 0.0);
+  auto set = [&dist, n](size_t i, size_t j, double v) {
+    dist[i * n + j] = v;
+    dist[j * n + i] = v;
+  };
+  set(0, 1, 0.1);
+  set(2, 3, 0.2);
+  set(0, 2, 1.0);
+  set(0, 3, 1.0);
+  set(1, 2, 0.8);
+  set(1, 3, 1.0);
+  Dendrogram d = AgglomerativeClusterFromDistances(dist, n);
+  ASSERT_EQ(d.merges.size(), 3u);
+  // Final merge height = mean of the four cross distances.
+  EXPECT_NEAR(d.merges[2].height, (1.0 + 1.0 + 0.8 + 1.0) / 4.0, 1e-9);
+}
+
+TEST(AgglomerativeTest, IdenticalItemsMergeAtZero) {
+  std::vector<Vec> items = {{1, 0}, {1, 0}, {1, 0}};
+  Dendrogram d = AgglomerativeCluster(items);
+  ASSERT_EQ(d.merges.size(), 2u);
+  EXPECT_NEAR(d.merges[0].height, 0.0, 1e-9);
+  EXPECT_NEAR(d.merges[1].height, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,119 @@
+#include "cluster/kmedoids.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lakeorg {
+namespace {
+
+std::vector<Vec> TwoBlobs() {
+  // Blob A near +x, blob B near +y.
+  return {
+      {1.0f, 0.00f}, {1.0f, 0.05f}, {1.0f, 0.10f},
+      {0.00f, 1.0f}, {0.05f, 1.0f}, {0.10f, 1.0f},
+  };
+}
+
+TEST(KMedoidsTest, SeparatesTwoBlobs) {
+  Rng rng(1);
+  KMedoidsResult r = KMedoids(TwoBlobs(), 2, &rng);
+  ASSERT_EQ(r.medoids.size(), 2u);
+  ASSERT_EQ(r.assignment.size(), 6u);
+  EXPECT_EQ(r.assignment[0], r.assignment[1]);
+  EXPECT_EQ(r.assignment[1], r.assignment[2]);
+  EXPECT_EQ(r.assignment[3], r.assignment[4]);
+  EXPECT_EQ(r.assignment[4], r.assignment[5]);
+  EXPECT_NE(r.assignment[0], r.assignment[3]);
+}
+
+TEST(KMedoidsTest, MedoidsAreClusterMembers) {
+  Rng rng(2);
+  KMedoidsResult r = KMedoids(TwoBlobs(), 2, &rng);
+  for (size_t c = 0; c < r.medoids.size(); ++c) {
+    EXPECT_EQ(r.assignment[r.medoids[c]], static_cast<int>(c));
+  }
+}
+
+TEST(KMedoidsTest, KOneGivesSingleCluster) {
+  Rng rng(3);
+  KMedoidsResult r = KMedoids(TwoBlobs(), 1, &rng);
+  EXPECT_EQ(r.medoids.size(), 1u);
+  for (int a : r.assignment) EXPECT_EQ(a, 0);
+}
+
+TEST(KMedoidsTest, KClampedToN) {
+  Rng rng(4);
+  std::vector<Vec> items = {{1, 0}, {0, 1}};
+  KMedoidsResult r = KMedoids(items, 5, &rng);
+  EXPECT_EQ(r.medoids.size(), 2u);
+  std::set<size_t> medoids(r.medoids.begin(), r.medoids.end());
+  EXPECT_EQ(medoids.size(), 2u);
+}
+
+TEST(KMedoidsTest, EmptyInput) {
+  Rng rng(5);
+  KMedoidsResult r = KMedoids({}, 3, &rng);
+  EXPECT_TRUE(r.medoids.empty());
+  EXPECT_TRUE(r.assignment.empty());
+}
+
+TEST(KMedoidsTest, DeterministicGivenSeed) {
+  std::vector<Vec> items = TwoBlobs();
+  Rng rng_a(7);
+  Rng rng_b(7);
+  KMedoidsResult a = KMedoids(items, 2, &rng_a);
+  KMedoidsResult b = KMedoids(items, 2, &rng_b);
+  EXPECT_EQ(a.medoids, b.medoids);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+}
+
+TEST(KMedoidsTest, CostIsSumOfMemberDistances) {
+  Rng rng(8);
+  std::vector<Vec> items = TwoBlobs();
+  KMedoidsResult r = KMedoids(items, 2, &rng);
+  double expected = 0.0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    expected += CosineDistance(
+        items[i], items[r.medoids[static_cast<size_t>(r.assignment[i])]]);
+  }
+  EXPECT_NEAR(r.total_cost, expected, 1e-9);
+}
+
+TEST(KMedoidsTest, MoreClustersNeverIncreaseCost) {
+  Rng rng(9);
+  std::vector<Vec> items;
+  Rng gen(10);
+  for (int i = 0; i < 40; ++i) {
+    Vec v(4);
+    for (float& x : v) x = static_cast<float>(gen.Gaussian());
+    items.push_back(v);
+  }
+  KMedoidsOptions opts;
+  opts.restarts = 3;
+  double prev_cost = 1e18;
+  for (size_t k : {1u, 2u, 4u, 8u}) {
+    KMedoidsResult r = KMedoids(items, k, &rng, opts);
+    // Allow slight non-monotonicity from local optima, but the trend must
+    // hold strongly.
+    EXPECT_LT(r.total_cost, prev_cost + 0.25) << "k=" << k;
+    prev_cost = r.total_cost;
+  }
+}
+
+TEST(KMedoidsTest, AssignmentIsNearestMedoid) {
+  Rng rng(11);
+  std::vector<Vec> items = TwoBlobs();
+  KMedoidsResult r = KMedoids(items, 2, &rng);
+  for (size_t i = 0; i < items.size(); ++i) {
+    double assigned = CosineDistance(
+        items[i], items[r.medoids[static_cast<size_t>(r.assignment[i])]]);
+    for (size_t m : r.medoids) {
+      EXPECT_LE(assigned, CosineDistance(items[i], items[m]) + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,166 @@
+#include "common/dynamic_bitset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace lakeorg {
+namespace {
+
+TEST(DynamicBitsetTest, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.Empty());
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(DynamicBitsetTest, SetClearTest) {
+  DynamicBitset b(130);  // Spans three 64-bit words.
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(DynamicBitsetTest, ClearAll) {
+  DynamicBitset b(70);
+  for (size_t i = 0; i < 70; i += 3) b.Set(i);
+  b.ClearAll();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(DynamicBitsetTest, UnionWith) {
+  DynamicBitset a(100);
+  DynamicBitset b(100);
+  a.Set(1);
+  a.Set(70);
+  b.Set(2);
+  b.Set(70);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(2));
+  EXPECT_TRUE(a.Test(70));
+  EXPECT_EQ(a.Count(), 3u);
+}
+
+TEST(DynamicBitsetTest, IntersectWith) {
+  DynamicBitset a(100);
+  DynamicBitset b(100);
+  a.Set(1);
+  a.Set(2);
+  a.Set(99);
+  b.Set(2);
+  b.Set(99);
+  a.IntersectWith(b);
+  EXPECT_FALSE(a.Test(1));
+  EXPECT_TRUE(a.Test(2));
+  EXPECT_TRUE(a.Test(99));
+}
+
+TEST(DynamicBitsetTest, SubsetSemantics) {
+  DynamicBitset a(80);
+  DynamicBitset b(80);
+  a.Set(5);
+  b.Set(5);
+  b.Set(9);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));  // Reflexive.
+  DynamicBitset empty(80);
+  EXPECT_TRUE(empty.IsSubsetOf(a));
+}
+
+TEST(DynamicBitsetTest, IntersectsAndCount) {
+  DynamicBitset a(128);
+  DynamicBitset b(128);
+  a.Set(10);
+  a.Set(100);
+  b.Set(100);
+  b.Set(101);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.IntersectionCount(b), 1u);
+  b.Clear(100);
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_EQ(a.IntersectionCount(b), 0u);
+}
+
+TEST(DynamicBitsetTest, ForEachVisitsAscending) {
+  DynamicBitset b(200);
+  std::vector<size_t> expected = {3, 64, 65, 127, 128, 199};
+  for (size_t i : expected) b.Set(i);
+  std::vector<size_t> visited;
+  b.ForEach([&visited](size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(DynamicBitsetTest, ToVector) {
+  DynamicBitset b(10);
+  b.Set(9);
+  b.Set(0);
+  EXPECT_EQ(b.ToVector(), (std::vector<uint32_t>{0, 9}));
+}
+
+TEST(DynamicBitsetTest, Equality) {
+  DynamicBitset a(64);
+  DynamicBitset b(64);
+  EXPECT_TRUE(a == b);
+  a.Set(3);
+  EXPECT_FALSE(a == b);
+  b.Set(3);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(DynamicBitsetTest, ResetChangesUniverse) {
+  DynamicBitset b(10);
+  b.Set(5);
+  b.Reset(300);
+  EXPECT_EQ(b.size(), 300u);
+  EXPECT_EQ(b.Count(), 0u);
+  b.Set(299);
+  EXPECT_TRUE(b.Test(299));
+}
+
+TEST(DynamicBitsetTest, ZeroSizedUniverse) {
+  DynamicBitset b(0);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.Empty());
+}
+
+// Property: union count >= max of individual counts; intersection count
+// <= min; both consistent with subset tests. Random sets.
+TEST(DynamicBitsetTest, PropertyRandomSetAlgebra) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 1 + static_cast<size_t>(rng.UniformInt(1, 200));
+    DynamicBitset a(n);
+    DynamicBitset b(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.3)) a.Set(i);
+      if (rng.Bernoulli(0.3)) b.Set(i);
+    }
+    DynamicBitset u = a;
+    u.UnionWith(b);
+    DynamicBitset inter = a;
+    inter.IntersectWith(b);
+    EXPECT_EQ(u.Count() + inter.Count(), a.Count() + b.Count());
+    EXPECT_TRUE(a.IsSubsetOf(u));
+    EXPECT_TRUE(b.IsSubsetOf(u));
+    EXPECT_TRUE(inter.IsSubsetOf(a));
+    EXPECT_TRUE(inter.IsSubsetOf(b));
+    EXPECT_EQ(inter.Count(), a.IntersectionCount(b));
+    EXPECT_EQ(a.Intersects(b), inter.Count() > 0);
+  }
+}
+
+}  // namespace
+}  // namespace lakeorg

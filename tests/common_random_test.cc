@@ -1,0 +1,171 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/zipf.h"
+
+namespace lakeorg {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform01(), b.Uniform01());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Uniform01() == b.Uniform01()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(4);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(2, 5));
+  EXPECT_EQ(seen, (std::set<int64_t>{2, 3, 4, 5}));
+}
+
+TEST(RngTest, GaussianHasRoughlyUnitMoments) {
+  Rng rng(5);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliClampsOutOfRange) {
+  Rng rng(6);
+  EXPECT_FALSE(rng.Bernoulli(-0.5));
+  EXPECT_TRUE(rng.Bernoulli(1.5));
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(8);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[0], 0);
+  double ratio = static_cast<double>(counts[2]) / counts[1];
+  EXPECT_NEAR(ratio, 3.0, 0.3);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(10);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(11);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(5, 5);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(12);
+  Rng child = parent.Fork();
+  // The child stream should not track the parent stream.
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.Uniform01() == child.Uniform01()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(50, 1.3);
+  double total = 0.0;
+  for (size_t k = 1; k <= 50; ++k) total += zipf.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, MassDecreasesWithRank) {
+  ZipfDistribution zipf(20, 1.0);
+  for (size_t k = 1; k < 20; ++k) {
+    EXPECT_GT(zipf.Pmf(k), zipf.Pmf(k + 1));
+  }
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  ZipfDistribution zipf(10, 2.0);
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    size_t s = zipf.Sample(&rng);
+    EXPECT_GE(s, 1u);
+    EXPECT_LE(s, 10u);
+  }
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatchPmf) {
+  ZipfDistribution zipf(5, 1.5);
+  Rng rng(14);
+  std::vector<int> counts(6, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t k = 1; k <= 5; ++k) {
+    double freq = static_cast<double>(counts[k]) / n;
+    EXPECT_NEAR(freq, zipf.Pmf(k), 0.01) << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, RankOneDominatesWithHighExponent) {
+  ZipfDistribution zipf(100, 2.5);
+  EXPECT_GT(zipf.Pmf(1), 0.7);
+}
+
+TEST(ZipfTest, SingleRankDegenerate) {
+  ZipfDistribution zipf(1, 1.0);
+  Rng rng(15);
+  EXPECT_EQ(zipf.Sample(&rng), 1u);
+  EXPECT_DOUBLE_EQ(zipf.Pmf(1), 1.0);
+}
+
+}  // namespace
+}  // namespace lakeorg

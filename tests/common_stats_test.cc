@@ -1,0 +1,120 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace lakeorg {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, VarianceAndStdDev) {
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+  // Sample variance of {2, 4, 4, 4, 5, 5, 7, 9} is 32/7.
+  std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(Variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(xs) * StdDev(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 50), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(StatsTest, PercentileClampsP) {
+  std::vector<double> xs = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(Percentile(xs, -10), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 200), 3.0);
+}
+
+TEST(StatsTest, MinMax) {
+  EXPECT_DOUBLE_EQ(Min({}), 0.0);
+  EXPECT_DOUBLE_EQ(Max({}), 0.0);
+  EXPECT_DOUBLE_EQ(Min({3.0, -1.0, 2.0}), -1.0);
+  EXPECT_DOUBLE_EQ(Max({3.0, -1.0, 2.0}), 3.0);
+}
+
+TEST(StatsTest, MidRanksNoTies) {
+  std::vector<double> ranks = MidRanks({30.0, 10.0, 20.0});
+  EXPECT_EQ(ranks, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(StatsTest, MidRanksWithTies) {
+  // {1, 2, 2, 3}: the tied 2s span ranks 2 and 3 -> 2.5 each.
+  std::vector<double> ranks = MidRanks({1.0, 2.0, 2.0, 3.0});
+  EXPECT_EQ(ranks, (std::vector<double>{1.0, 2.5, 2.5, 4.0}));
+}
+
+TEST(StatsTest, MidRanksAllTied) {
+  std::vector<double> ranks = MidRanks({5.0, 5.0, 5.0});
+  EXPECT_EQ(ranks, (std::vector<double>{2.0, 2.0, 2.0}));
+}
+
+TEST(StatsTest, MidRanksSumIsTriangular) {
+  std::vector<double> xs = {4, 4, 1, 9, 9, 9, 2};
+  std::vector<double> ranks = MidRanks(xs);
+  double sum = 0;
+  for (double r : ranks) sum += r;
+  double n = static_cast<double>(xs.size());
+  EXPECT_DOUBLE_EQ(sum, n * (n + 1) / 2.0);
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("HeLLo 123"), "hello 123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, SplitDropsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,,c", ","), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("  x y ", " "), (std::vector<std::string>{"x", "y"}));
+  EXPECT_TRUE(Split("", ",").empty());
+}
+
+TEST(StringUtilTest, SplitMultipleDelims) {
+  EXPECT_EQ(Split("a_b c", "_ "), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(0.5, 3), "0.500");
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,114 @@
+#include "core/org_builders.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/tagcloud.h"
+#include "test_util.h"
+
+namespace lakeorg {
+namespace {
+
+using testing::MakeTinyLake;
+using testing::TinyLake;
+
+std::shared_ptr<const OrgContext> TinyContext(TinyLake* tiny) {
+  TagIndex index = TagIndex::Build(tiny->lake);
+  return OrgContext::BuildFull(tiny->lake, index);
+}
+
+TEST(BuildersTest, FlatOrgHasOneLevelOfTags) {
+  TinyLake tiny = MakeTinyLake();
+  Organization org = BuildFlatOrganization(TinyContext(&tiny));
+  ASSERT_TRUE(org.Validate().ok()) << org.Validate().ToString();
+  const OrgState& root = org.state(org.root());
+  EXPECT_EQ(root.children.size(), org.ctx().num_tags());
+  for (StateId c : root.children) {
+    EXPECT_EQ(org.state(c).kind, StateKind::kTag);
+    for (StateId leaf : org.state(c).children) {
+      EXPECT_EQ(org.state(leaf).kind, StateKind::kLeaf);
+    }
+  }
+}
+
+TEST(BuildersTest, FlatOrgLeafParentsMatchAttrTags) {
+  TinyLake tiny = MakeTinyLake();
+  auto ctx = TinyContext(&tiny);
+  Organization org = BuildFlatOrganization(ctx);
+  for (uint32_t a = 0; a < ctx->num_attrs(); ++a) {
+    EXPECT_EQ(org.state(org.LeafOf(a)).parents.size(),
+              ctx->attr_tags(a).size());
+  }
+}
+
+TEST(BuildersTest, ClusteringOrgValidatesAndIsBinary) {
+  TinyLake tiny = MakeTinyLake();
+  Organization org = BuildClusteringOrganization(TinyContext(&tiny));
+  ASSERT_TRUE(org.Validate().ok()) << org.Validate().ToString();
+  // Interior (non-tag) states of the dendrogram have exactly 2 children.
+  for (StateId s = 0; s < org.num_states(); ++s) {
+    const OrgState& st = org.state(s);
+    if (!st.alive) continue;
+    if (st.kind == StateKind::kRoot || st.kind == StateKind::kInterior) {
+      EXPECT_EQ(st.children.size(), 2u) << "state " << s;
+    }
+  }
+}
+
+TEST(BuildersTest, ClusteringOrgRootCoversEverything) {
+  TinyLake tiny = MakeTinyLake();
+  auto ctx = TinyContext(&tiny);
+  Organization org = BuildClusteringOrganization(ctx);
+  EXPECT_EQ(org.state(org.root()).attrs.Count(), ctx->num_attrs());
+  EXPECT_EQ(org.state(org.root()).tags.size(), ctx->num_tags());
+}
+
+TEST(BuildersTest, ClusteringOrgSingleTagDimension) {
+  TinyLake tiny = MakeTinyLake();
+  TagIndex index = TagIndex::Build(tiny.lake);
+  auto ctx = OrgContext::Build(tiny.lake, index, {tiny.beta});
+  Organization org = BuildClusteringOrganization(ctx);
+  ASSERT_TRUE(org.Validate().ok()) << org.Validate().ToString();
+  // Root over a single tag state over the two beta leaves.
+  EXPECT_EQ(org.state(org.root()).children.size(), 1u);
+  StateId tag = org.state(org.root()).children[0];
+  EXPECT_EQ(org.state(tag).kind, StateKind::kTag);
+  EXPECT_EQ(org.state(tag).children.size(), 2u);
+}
+
+TEST(BuildersTest, ClusteringGroupsSimilarTags) {
+  // On a TagCloud lake the dendrogram should place similar tags under
+  // lower merges than dissimilar ones; at minimum it must validate and
+  // keep binary structure at scale.
+  TagCloudOptions opts;
+  opts.num_tags = 20;
+  opts.target_attributes = 80;
+  opts.min_values = 5;
+  opts.max_values = 20;
+  opts.seed = 5;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  TagIndex index = TagIndex::Build(bench.lake);
+  auto ctx = OrgContext::BuildFull(bench.lake, index);
+  Organization org = BuildClusteringOrganization(ctx);
+  ASSERT_TRUE(org.Validate().ok()) << org.Validate().ToString();
+  EXPECT_EQ(org.state(org.root()).tags.size(), ctx->num_tags());
+  // Tag states sit above leaves: every leaf's parents are tag states.
+  for (uint32_t a = 0; a < ctx->num_attrs(); ++a) {
+    for (StateId p : org.state(org.LeafOf(a)).parents) {
+      EXPECT_EQ(org.state(p).kind, StateKind::kTag);
+    }
+  }
+}
+
+TEST(BuildersTest, BothBuildersShareLeafSet) {
+  TinyLake tiny = MakeTinyLake();
+  auto ctx = TinyContext(&tiny);
+  Organization flat = BuildFlatOrganization(ctx);
+  Organization clustered = BuildClusteringOrganization(ctx);
+  for (uint32_t a = 0; a < ctx->num_attrs(); ++a) {
+    EXPECT_NE(flat.LeafOf(a), kInvalidId);
+    EXPECT_NE(clustered.LeafOf(a), kInvalidId);
+  }
+}
+
+}  // namespace
+}  // namespace lakeorg

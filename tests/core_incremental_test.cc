@@ -1,0 +1,202 @@
+// The central correctness property of the section 3.4 machinery: the
+// IncrementalEvaluator's cached effectiveness after any sequence of
+// committed operations must equal a from-scratch evaluation of the same
+// organization over the same query set.
+#include <gtest/gtest.h>
+
+#include "benchgen/tagcloud.h"
+#include "core/evaluator.h"
+#include "core/local_search.h"
+#include "core/operations.h"
+#include "core/org_builders.h"
+#include "core/representatives.h"
+#include "test_util.h"
+
+namespace lakeorg {
+namespace {
+
+/// From-scratch effectiveness over an arbitrary query set (the reference
+/// the incremental evaluator must agree with).
+double ReferenceEffectiveness(const Organization& org,
+                              const RepresentativeSet& reps,
+                              const TransitionConfig& config) {
+  OrgEvaluator eval(config);
+  std::vector<double> query_discovery(reps.query_attrs.size());
+  for (size_t q = 0; q < reps.query_attrs.size(); ++q) {
+    query_discovery[q] = eval.AttributeDiscovery(org, reps.query_attrs[q]);
+  }
+  const OrgContext& ctx = org.ctx();
+  double total = 0.0;
+  for (uint32_t t = 0; t < ctx.num_tables(); ++t) {
+    double miss = 1.0;
+    for (uint32_t a : ctx.table_attrs(t)) {
+      miss *= 1.0 - query_discovery[reps.rep_of[a]];
+    }
+    total += 1.0 - miss;
+  }
+  return ctx.num_tables() == 0
+             ? 0.0
+             : total / static_cast<double>(ctx.num_tables());
+}
+
+TagCloudBenchmark SmallBench(uint64_t seed) {
+  TagCloudOptions opts;
+  opts.num_tags = 12;
+  opts.target_attributes = 60;
+  opts.min_values = 5;
+  opts.max_values = 15;
+  opts.seed = seed;
+  return GenerateTagCloud(opts);
+}
+
+class IncrementalEvalTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(IncrementalEvalTest, MatchesFullRecomputeAfterRandomOps) {
+  bool use_reps = GetParam();
+  TagCloudBenchmark bench = SmallBench(31);
+  TagIndex index = TagIndex::Build(bench.lake);
+  auto ctx = OrgContext::BuildFull(bench.lake, index);
+
+  TransitionConfig config;
+  config.gamma = 15.0;
+  Rng rng(99);
+  RepresentativeSet reps;
+  if (use_reps) {
+    RepresentativeOptions ropts;
+    ropts.fraction = 0.2;
+    reps = SelectRepresentatives(*ctx, ropts, &rng);
+  } else {
+    reps = IdentityRepresentatives(*ctx);
+  }
+  RepresentativeSet reps_copy = reps;  // Evaluator consumes its own copy.
+  IncrementalEvaluator evaluator(config, ctx, std::move(reps_copy));
+
+  Organization current = BuildClusteringOrganization(ctx);
+  current.RecomputeLevels();
+  evaluator.Initialize(current);
+  EXPECT_NEAR(evaluator.effectiveness(),
+              ReferenceEffectiveness(current, reps, config), 1e-9);
+
+  ReachabilityFn reach = [&evaluator](StateId s) {
+    return evaluator.StateReachability(s);
+  };
+
+  size_t commits = 0;
+  for (int step = 0; step < 60 && commits < 25; ++step) {
+    StateId target = static_cast<StateId>(rng.UniformInt(
+        0, static_cast<int64_t>(current.num_states() - 1)));
+    if (!current.state(target).alive || target == current.root() ||
+        current.state(target).level < 0) {
+      continue;
+    }
+    Organization proposal = current.Clone();
+    OpResult op = rng.Bernoulli(0.5)
+                      ? ApplyAddParent(&proposal, target, reach)
+                      : ApplyDeleteParent(&proposal, target, reach);
+    if (!op.applied) continue;
+
+    ProposalEvaluation eval;
+    evaluator.EvaluateProposal(proposal, op.topic_changed,
+                               op.children_changed, op.removed, &eval);
+    // The proposal's predicted effectiveness must equal a full recompute
+    // of the proposal organization.
+    EXPECT_NEAR(eval.effectiveness,
+                ReferenceEffectiveness(proposal, reps, config), 1e-9)
+        << "proposal at step " << step;
+
+    // Commit roughly 2 of 3 proposals, including worsening ones, to
+    // exercise the stale-repair paths.
+    if (rng.Bernoulli(0.67)) {
+      current = std::move(proposal);
+      evaluator.Commit(current, std::move(eval));
+      ++commits;
+      EXPECT_NEAR(evaluator.effectiveness(),
+                  ReferenceEffectiveness(current, reps, config), 1e-9)
+          << "commit at step " << step;
+    }
+  }
+  EXPECT_GE(commits, 10u) << "test exercised too few commits";
+}
+
+INSTANTIATE_TEST_SUITE_P(ExactAndApprox, IncrementalEvalTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Representatives" : "Exact";
+                         });
+
+TEST(IncrementalEvalDetailTest, InitializeMatchesBatchEvaluator) {
+  testing::TinyLake tiny = testing::MakeTinyLake();
+  TagIndex index = TagIndex::Build(tiny.lake);
+  auto ctx = OrgContext::BuildFull(tiny.lake, index);
+  Organization org = BuildFlatOrganization(ctx);
+  TransitionConfig config;
+  IncrementalEvaluator evaluator(config, ctx,
+                                 IdentityRepresentatives(*ctx));
+  evaluator.Initialize(org);
+  OrgEvaluator batch(config);
+  EXPECT_NEAR(evaluator.effectiveness(), batch.Effectiveness(org), 1e-12);
+  // Per-table cache matches Equation 5.
+  std::vector<double> discovery = batch.AllAttributeDiscovery(org);
+  for (uint32_t t = 0; t < ctx->num_tables(); ++t) {
+    EXPECT_NEAR(evaluator.table_probs()[t],
+                OrgEvaluator::TableDiscovery(*ctx, t, discovery), 1e-12);
+  }
+  // Per-attribute discovery through the identity mapping.
+  for (uint32_t a = 0; a < ctx->num_attrs(); ++a) {
+    EXPECT_NEAR(evaluator.AttrDiscovery(a), discovery[a], 1e-12);
+  }
+}
+
+TEST(IncrementalEvalDetailTest, StateReachabilityMatchesBatch) {
+  testing::TinyLake tiny = testing::MakeTinyLake();
+  TagIndex index = TagIndex::Build(tiny.lake);
+  auto ctx = OrgContext::BuildFull(tiny.lake, index);
+  Organization org = BuildFlatOrganization(ctx);
+  TransitionConfig config;
+  IncrementalEvaluator evaluator(config, ctx,
+                                 IdentityRepresentatives(*ctx));
+  evaluator.Initialize(org);
+  OrgEvaluator batch(config);
+  std::vector<uint32_t> all_attrs;
+  for (uint32_t a = 0; a < ctx->num_attrs(); ++a) all_attrs.push_back(a);
+  std::vector<double> reference = batch.StateReachability(org, all_attrs);
+  for (StateId s = 0; s < org.num_states(); ++s) {
+    EXPECT_NEAR(evaluator.StateReachability(s), reference[s], 1e-12);
+  }
+}
+
+TEST(IncrementalEvalDetailTest, ProposalReportsAffectedScope) {
+  TagCloudBenchmark bench = SmallBench(57);
+  TagIndex index = TagIndex::Build(bench.lake);
+  auto ctx = OrgContext::BuildFull(bench.lake, index);
+  Organization org = BuildClusteringOrganization(ctx);
+  org.RecomputeLevels();
+  TransitionConfig config;
+  IncrementalEvaluator evaluator(config, ctx,
+                                 IdentityRepresentatives(*ctx));
+  evaluator.Initialize(org);
+
+  // Graft a second parent onto some leaf and inspect the evaluation scope.
+  ReachabilityFn reach = [&evaluator](StateId s) {
+    return evaluator.StateReachability(s);
+  };
+  Organization proposal = org.Clone();
+  OpResult op = ApplyAddParent(&proposal, proposal.LeafOf(0), reach);
+  ASSERT_TRUE(op.applied) << op.message;
+  ProposalEvaluation eval;
+  evaluator.EvaluateProposal(proposal, op.topic_changed,
+                             op.children_changed, op.removed, &eval);
+  EXPECT_FALSE(eval.dirty.empty());
+  EXPECT_LT(eval.dirty.size(), proposal.NumAliveStates());
+  EXPECT_FALSE(eval.affected_queries.empty());
+  EXPECT_GE(eval.affected_attrs, eval.affected_queries.size());
+  // The grafted leaf itself must be dirty (its reach gains a path).
+  bool leaf_dirty = false;
+  for (StateId d : eval.dirty) {
+    if (d == proposal.LeafOf(0)) leaf_dirty = true;
+  }
+  EXPECT_TRUE(leaf_dirty);
+}
+
+}  // namespace
+}  // namespace lakeorg

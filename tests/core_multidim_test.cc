@@ -1,0 +1,202 @@
+#include "core/multidim.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include <set>
+
+#include "benchgen/tagcloud.h"
+
+namespace lakeorg {
+namespace {
+
+struct BenchBundle {
+  TagCloudBenchmark bench;
+  TagIndex index;
+};
+
+BenchBundle MakeBench(uint64_t seed) {
+  TagCloudOptions opts;
+  opts.num_tags = 16;
+  opts.target_attributes = 70;
+  opts.min_values = 5;
+  opts.max_values = 15;
+  opts.seed = seed;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  TagIndex index = TagIndex::Build(bench.lake);
+  return BenchBundle{std::move(bench), std::move(index)};
+}
+
+MultiDimOptions FastOptions(size_t dims) {
+  MultiDimOptions opts;
+  opts.dimensions = dims;
+  opts.search.patience = 15;
+  opts.search.max_proposals = 80;
+  opts.search.transition.gamma = 15.0;
+  opts.num_threads = 2;
+  return opts;
+}
+
+TEST(MultiDimTest, PartitionCoversAllTags) {
+  BenchBundle b = MakeBench(61);
+  MultiDimOrganization org =
+      BuildMultiDimOrganization(b.bench.lake, b.index, FastOptions(3));
+  EXPECT_GE(org.num_dimensions(), 2u);
+  size_t total_tags = 0;
+  for (size_t d = 0; d < org.num_dimensions(); ++d) {
+    total_tags += org.dimension(d).ctx().num_tags();
+    EXPECT_TRUE(org.dimension(d).Validate().ok());
+  }
+  EXPECT_EQ(total_tags, b.index.NonEmptyTags().size());
+}
+
+TEST(MultiDimTest, EveryAttributeReachableInSomeDimension) {
+  BenchBundle b = MakeBench(62);
+  MultiDimOrganization org =
+      BuildMultiDimOrganization(b.bench.lake, b.index, FastOptions(3));
+  std::set<AttributeId> covered;
+  for (size_t d = 0; d < org.num_dimensions(); ++d) {
+    const OrgContext& ctx = org.dimension(d).ctx();
+    for (uint32_t a = 0; a < ctx.num_attrs(); ++a) {
+      covered.insert(ctx.lake_attr(a));
+    }
+  }
+  for (AttributeId a : b.bench.lake.OrganizableAttributes()) {
+    EXPECT_TRUE(covered.count(a)) << "attr " << a << " uncovered";
+  }
+}
+
+TEST(MultiDimTest, InfoMatchesContexts) {
+  BenchBundle b = MakeBench(63);
+  MultiDimOrganization org =
+      BuildMultiDimOrganization(b.bench.lake, b.index, FastOptions(2));
+  ASSERT_EQ(org.info().size(), org.num_dimensions());
+  for (size_t d = 0; d < org.num_dimensions(); ++d) {
+    const DimensionInfo& info = org.info()[d];
+    const OrgContext& ctx = org.dimension(d).ctx();
+    EXPECT_EQ(info.num_tags, ctx.num_tags());
+    EXPECT_EQ(info.num_attrs, ctx.num_attrs());
+    EXPECT_EQ(info.num_tables, ctx.num_tables());
+    EXPECT_GE(info.effectiveness, 0.0);
+    EXPECT_LE(info.effectiveness, 1.0);
+  }
+  EXPECT_GE(org.TotalDimensionSeconds(), org.MaxDimensionSeconds());
+}
+
+TEST(MultiDimTest, ExplicitPartition) {
+  BenchBundle b = MakeBench(64);
+  const std::vector<TagId>& tags = b.index.NonEmptyTags();
+  ASSERT_GE(tags.size(), 4u);
+  std::vector<std::vector<TagId>> partition(2);
+  for (size_t i = 0; i < tags.size(); ++i) {
+    partition[i % 2].push_back(tags[i]);
+  }
+  MultiDimOptions opts = FastOptions(2);
+  MultiDimOrganization org =
+      BuildMultiDimFromPartition(b.bench.lake, b.index, partition, opts);
+  ASSERT_EQ(org.num_dimensions(), 2u);
+  EXPECT_EQ(org.dimension(0).ctx().num_tags(), partition[0].size());
+  EXPECT_EQ(org.dimension(1).ctx().num_tags(), partition[1].size());
+}
+
+TEST(MultiDimTest, SkipOptimizeKeepsInitial) {
+  BenchBundle b = MakeBench(65);
+  MultiDimOptions opts = FastOptions(2);
+  opts.optimize = false;
+  MultiDimOrganization org =
+      BuildMultiDimOrganization(b.bench.lake, b.index, opts);
+  for (const DimensionInfo& info : org.info()) {
+    EXPECT_EQ(info.proposals, 0u);
+    EXPECT_DOUBLE_EQ(info.seconds, 0.0);
+  }
+}
+
+TEST(MultiDimTest, FlatInitialOption) {
+  BenchBundle b = MakeBench(66);
+  MultiDimOptions opts = FastOptions(2);
+  opts.initial = MultiDimOptions::Initial::kFlat;
+  opts.optimize = false;
+  MultiDimOrganization org =
+      BuildMultiDimOrganization(b.bench.lake, b.index, opts);
+  for (size_t d = 0; d < org.num_dimensions(); ++d) {
+    // Flat: every root child is a tag state.
+    const Organization& dim = org.dimension(d);
+    for (StateId c : dim.state(dim.root()).children) {
+      EXPECT_EQ(dim.state(c).kind, StateKind::kTag);
+    }
+  }
+}
+
+TEST(MultiDimTest, DiscoveryCombinesWithNoisyOr) {
+  BenchBundle b = MakeBench(67);
+  MultiDimOptions opts = FastOptions(2);
+  opts.optimize = false;
+  MultiDimOrganization org =
+      BuildMultiDimOrganization(b.bench.lake, b.index, opts);
+  MultiDimSuccess combined =
+      EvaluateMultiDimDiscovery(org, opts.search.transition);
+  ASSERT_FALSE(combined.tables.empty());
+
+  // Reference: per-dimension Equation 5 probabilities combined by hand.
+  OrgEvaluator eval(opts.search.transition);
+  std::map<TableId, double> miss;
+  for (size_t d = 0; d < org.num_dimensions(); ++d) {
+    const Organization& dim = org.dimension(d);
+    std::vector<double> discovery = eval.AllAttributeDiscovery(dim);
+    for (uint32_t t = 0; t < dim.ctx().num_tables(); ++t) {
+      double p = OrgEvaluator::TableDiscovery(dim.ctx(), t, discovery);
+      auto [it, ignored] = miss.emplace(dim.ctx().lake_table(t), 1.0);
+      it->second *= 1.0 - p;
+    }
+  }
+  ASSERT_EQ(combined.tables.size(), miss.size());
+  for (size_t i = 0; i < combined.tables.size(); ++i) {
+    EXPECT_NEAR(combined.success[i], 1.0 - miss.at(combined.tables[i]),
+                1e-9);
+  }
+}
+
+TEST(MultiDimTest, MoreDimensionsDoNotHurtDiscovery) {
+  // Equation 8: adding dimensions can only add discovery paths for a
+  // table covered by both (noisy-or is monotone). Check means on the
+  // same lake with 1 vs 3 dimensions (unoptimized initial orgs, so the
+  // comparison is structural, not stochastic).
+  BenchBundle b = MakeBench(68);
+  MultiDimOptions one = FastOptions(1);
+  one.optimize = false;
+  MultiDimOptions three = FastOptions(3);
+  three.optimize = false;
+  MultiDimSuccess s1 = EvaluateMultiDimDiscovery(
+      BuildMultiDimOrganization(b.bench.lake, b.index, one),
+      one.search.transition);
+  MultiDimSuccess s3 = EvaluateMultiDimDiscovery(
+      BuildMultiDimOrganization(b.bench.lake, b.index, three),
+      three.search.transition);
+  // The paper's observation: more dimensions improve success because each
+  // is built over fewer, more similar tags.
+  EXPECT_GT(s3.mean, s1.mean * 0.9);
+}
+
+TEST(MultiDimTest, SuccessEvaluationProducesSortedSeries) {
+  BenchBundle b = MakeBench(69);
+  MultiDimOptions opts = FastOptions(2);
+  opts.optimize = false;
+  MultiDimOrganization org =
+      BuildMultiDimOrganization(b.bench.lake, b.index, opts);
+  MultiDimSuccess success =
+      EvaluateMultiDimSuccess(org, 0.9, opts.search.transition);
+  std::vector<double> series = success.SortedAscending();
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i], series[i - 1]);
+  }
+  // Padding adds leading zeros.
+  std::vector<double> padded =
+      success.SortedAscending(series.size() + 5);
+  EXPECT_EQ(padded.size(), series.size() + 5);
+  for (size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(padded[i], 0.0);
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,155 @@
+#include "core/navigation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/org_builders.h"
+#include "test_util.h"
+
+namespace lakeorg {
+namespace {
+
+using testing::MakeTinyLake;
+using testing::TinyLake;
+
+class NavigationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tiny_ = MakeTinyLake();
+    TagIndex index = TagIndex::Build(tiny_.lake);
+    ctx_ = OrgContext::BuildFull(tiny_.lake, index);
+    org_ = std::make_unique<Organization>(BuildFlatOrganization(ctx_));
+  }
+  TinyLake tiny_;
+  std::shared_ptr<const OrgContext> ctx_;
+  std::unique_ptr<Organization> org_;
+};
+
+TEST_F(NavigationTest, LeafLabelIsTableDotAttr) {
+  StateId leaf = org_->LeafOf(0);
+  std::string label = StateLabel(*org_, leaf);
+  EXPECT_EQ(label, ctx_->attr_label(0));
+}
+
+TEST_F(NavigationTest, TagStateLabelIsTagName) {
+  for (StateId c : org_->state(org_->root()).children) {
+    const OrgState& st = org_->state(c);
+    EXPECT_EQ(StateLabel(*org_, c), ctx_->tag_name(st.tags[0]));
+  }
+}
+
+TEST_F(NavigationTest, RootLabelUsesTwoMostFrequentChildTags) {
+  std::string label = StateLabel(*org_, org_->root());
+  // Children contribute one tag each -> label joins both tag names.
+  EXPECT_NE(label.find(" / "), std::string::npos);
+  EXPECT_NE(label.find("alpha"), std::string::npos);
+  EXPECT_NE(label.find("beta"), std::string::npos);
+}
+
+TEST_F(NavigationTest, SecondTagPrefersDistinctChild) {
+  // Build an interior state whose children are: one child with tags
+  // {0, 1} and one child with tag {0}. The most frequent tag is 0 (two
+  // owners); tag 1 only occurs in the same child that owns 0, but the
+  // rule still selects it because no alternative exists.
+  Organization org(ctx_);
+  StateId root = org.AddRoot({0, 1});
+  StateId both = org.AddInteriorState({0, 1});
+  StateId tag0 = org.AddTagState(0);
+  ASSERT_TRUE(org.AddEdge(root, both).ok());
+  ASSERT_TRUE(org.AddEdge(root, tag0).ok());
+  ASSERT_TRUE(org.AddEdge(both, tag0).ok());
+  org.RecomputeLevels();
+  std::string label = StateLabel(org, root);
+  EXPECT_NE(label.find("alpha"), std::string::npos);
+}
+
+TEST_F(NavigationTest, SessionStartsAtRoot) {
+  NavigationSession session(org_.get());
+  EXPECT_EQ(session.current(), org_->root());
+  EXPECT_FALSE(session.AtLeaf());
+  EXPECT_EQ(session.CurrentAttr(), kInvalidId);
+  EXPECT_EQ(session.actions(), 0u);
+}
+
+TEST_F(NavigationTest, ChoicesAreLabeledChildren) {
+  NavigationSession session(org_.get());
+  std::vector<NavChoice> choices = session.Choices();
+  ASSERT_EQ(choices.size(), 2u);
+  for (const NavChoice& c : choices) {
+    EXPECT_FALSE(c.label.empty());
+    EXPECT_NE(c.state, kInvalidId);
+  }
+}
+
+TEST_F(NavigationTest, ChooseDescendsAndCountsActions) {
+  NavigationSession session(org_.get());
+  ASSERT_TRUE(session.Choose(0).ok());
+  EXPECT_EQ(session.path().size(), 2u);
+  EXPECT_EQ(session.actions(), 1u);
+  ASSERT_TRUE(session.Choose(0).ok());
+  EXPECT_TRUE(session.AtLeaf());
+  EXPECT_NE(session.CurrentAttr(), kInvalidId);
+  EXPECT_EQ(session.actions(), 2u);
+}
+
+TEST_F(NavigationTest, ChooseOutOfRangeFails) {
+  NavigationSession session(org_.get());
+  EXPECT_EQ(session.Choose(99).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(session.path().size(), 1u);
+}
+
+TEST_F(NavigationTest, ChooseStateValidatesChild) {
+  NavigationSession session(org_.get());
+  StateId tag = org_->state(org_->root()).children[1];
+  EXPECT_TRUE(session.ChooseState(tag).ok());
+  EXPECT_EQ(session.current(), tag);
+  // A non-child target fails.
+  EXPECT_EQ(session.ChooseState(org_->root()).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(NavigationTest, BackBacktracks) {
+  NavigationSession session(org_.get());
+  ASSERT_TRUE(session.Choose(0).ok());
+  ASSERT_TRUE(session.Back().ok());
+  EXPECT_EQ(session.current(), org_->root());
+  EXPECT_EQ(session.actions(), 2u);  // Backtracking costs an action.
+  EXPECT_EQ(session.Back().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(NavigationTest, FullWalkReachesEveryLeaf) {
+  // Exhaustively walk all (choice, choice) pairs and collect leaves.
+  std::set<uint32_t> attrs_seen;
+  NavigationSession probe(org_.get());
+  size_t top_choices = probe.Choices().size();
+  for (size_t i = 0; i < top_choices; ++i) {
+    NavigationSession session(org_.get());
+    ASSERT_TRUE(session.Choose(i).ok());
+    size_t n = session.Choices().size();
+    for (size_t j = 0; j < n; ++j) {
+      ASSERT_TRUE(session.Choose(j).ok());
+      EXPECT_TRUE(session.AtLeaf());
+      attrs_seen.insert(session.CurrentAttr());
+      ASSERT_TRUE(session.Back().ok());
+    }
+  }
+  EXPECT_EQ(attrs_seen.size(), ctx_->num_attrs());
+}
+
+TEST_F(NavigationTest, InteriorLabelFallsBackToOwnTags) {
+  // An interior state whose children are leaves only (no tag sets among
+  // children) must fall back to its own tags.
+  Organization org(ctx_);
+  StateId root = org.AddRoot({0, 1});
+  for (uint32_t a = 0; a < ctx_->num_attrs(); ++a) {
+    StateId leaf = org.AddLeaf(a);
+    ASSERT_TRUE(org.AddEdge(root, leaf).ok());
+  }
+  org.RecomputeLevels();
+  std::string label = StateLabel(org, root);
+  EXPECT_NE(label.find("alpha"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,118 @@
+#include "core/org_context.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lakeorg {
+namespace {
+
+using testing::MakeTinyLake;
+using testing::TinyLake;
+
+class OrgContextTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tiny_ = MakeTinyLake();
+    index_ = std::make_unique<TagIndex>(TagIndex::Build(tiny_.lake));
+  }
+  TinyLake tiny_;
+  std::unique_ptr<TagIndex> index_;
+};
+
+TEST_F(OrgContextTest, BuildFullCoversAllTagsAndAttrs) {
+  auto ctx = OrgContext::BuildFull(tiny_.lake, *index_);
+  EXPECT_EQ(ctx->num_tags(), 2u);
+  EXPECT_EQ(ctx->num_attrs(), 4u);
+  EXPECT_EQ(ctx->num_tables(), 3u);
+  EXPECT_EQ(ctx->dim(), 4u);
+}
+
+TEST_F(OrgContextTest, LocalIdsRoundTripToLakeIds) {
+  auto ctx = OrgContext::BuildFull(tiny_.lake, *index_);
+  for (size_t t = 0; t < ctx->num_tags(); ++t) {
+    EXPECT_EQ(ctx->tag_name(t), tiny_.lake.tag_name(ctx->lake_tag(t)));
+  }
+  for (size_t a = 0; a < ctx->num_attrs(); ++a) {
+    const Attribute& attr = tiny_.lake.attribute(ctx->lake_attr(a));
+    EXPECT_EQ(ctx->attr_vector(a), attr.topic);
+    EXPECT_EQ(ctx->attr_sum(a), attr.topic_sum);
+    EXPECT_EQ(ctx->attr_value_count(a), attr.embedded_count);
+  }
+}
+
+TEST_F(OrgContextTest, TagExtentsMatchIndex) {
+  auto ctx = OrgContext::BuildFull(tiny_.lake, *index_);
+  for (size_t t = 0; t < ctx->num_tags(); ++t) {
+    const DynamicBitset& extent = ctx->tag_extent(t);
+    const std::vector<uint32_t>& list = ctx->tag_extent_list(t);
+    EXPECT_EQ(extent.Count(), list.size());
+    for (uint32_t a : list) EXPECT_TRUE(extent.Test(a));
+    // Cross-check against the lake-level index.
+    EXPECT_EQ(list.size(),
+              index_->AttributesOfTag(ctx->lake_tag(t)).size());
+  }
+}
+
+TEST_F(OrgContextTest, AttrTagsAreLocalAndSorted) {
+  auto ctx = OrgContext::BuildFull(tiny_.lake, *index_);
+  // Attribute w (lake id 3) carries both tags.
+  for (size_t a = 0; a < ctx->num_attrs(); ++a) {
+    if (ctx->lake_attr(a) == 3u) {
+      EXPECT_EQ(ctx->attr_tags(a).size(), 2u);
+      EXPECT_LT(ctx->attr_tags(a)[0], ctx->attr_tags(a)[1]);
+    }
+  }
+}
+
+TEST_F(OrgContextTest, TablesGroupAttributes) {
+  auto ctx = OrgContext::BuildFull(tiny_.lake, *index_);
+  size_t total = 0;
+  for (uint32_t t = 0; t < ctx->num_tables(); ++t) {
+    total += ctx->table_attrs(t).size();
+    for (uint32_t a : ctx->table_attrs(t)) {
+      EXPECT_EQ(ctx->attr_table(a), t);
+    }
+  }
+  EXPECT_EQ(total, ctx->num_attrs());
+}
+
+TEST_F(OrgContextTest, SubsetBuildRestrictsUniverse) {
+  auto ctx = OrgContext::Build(tiny_.lake, *index_, {tiny_.beta});
+  EXPECT_EQ(ctx->num_tags(), 1u);
+  // beta covers z (lake 2) and w (lake 3).
+  EXPECT_EQ(ctx->num_attrs(), 2u);
+  EXPECT_EQ(ctx->num_tables(), 2u);
+  // Attribute w's tag list is restricted to the dimension's tags.
+  for (size_t a = 0; a < ctx->num_attrs(); ++a) {
+    EXPECT_EQ(ctx->attr_tags(a), (std::vector<uint32_t>{0}));
+  }
+}
+
+TEST_F(OrgContextTest, DropsEmptyAndDuplicateTags) {
+  TagId unused = tiny_.lake.GetOrCreateTag("unused");
+  ASSERT_TRUE(tiny_.lake.ComputeTopicVectors(*tiny_.store).ok());
+  TagIndex index = TagIndex::Build(tiny_.lake);
+  auto ctx = OrgContext::Build(tiny_.lake, index,
+                               {tiny_.alpha, tiny_.alpha, unused});
+  EXPECT_EQ(ctx->num_tags(), 1u);
+}
+
+TEST_F(OrgContextTest, AttrLabelsCombineTableAndName) {
+  auto ctx = OrgContext::BuildFull(tiny_.lake, *index_);
+  bool found = false;
+  for (size_t a = 0; a < ctx->num_attrs(); ++a) {
+    if (ctx->attr_label(a) == "t0.x") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(OrgContextTest, MakeAttrSetSizedToUniverse) {
+  auto ctx = OrgContext::BuildFull(tiny_.lake, *index_);
+  DynamicBitset b = ctx->MakeAttrSet();
+  EXPECT_EQ(b.size(), ctx->num_attrs());
+  EXPECT_TRUE(b.Empty());
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,90 @@
+#include "core/org_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "core/operations.h"
+#include "core/org_builders.h"
+#include "test_util.h"
+
+namespace lakeorg {
+namespace {
+
+using testing::MakeTinyLake;
+using testing::TinyLake;
+
+std::shared_ptr<const OrgContext> TinyContext(TinyLake* tiny) {
+  TagIndex index = TagIndex::Build(tiny->lake);
+  return OrgContext::BuildFull(tiny->lake, index);
+}
+
+TEST(OrgStatsTest, FlatOrgShape) {
+  TinyLake tiny = MakeTinyLake();
+  Organization org = BuildFlatOrganization(TinyContext(&tiny));
+  OrgStats stats = ComputeOrgStats(org);
+  EXPECT_EQ(stats.num_states, 7u);   // root + 2 tags + 4 leaves.
+  EXPECT_EQ(stats.num_interior, 1u);
+  EXPECT_EQ(stats.num_tag_states, 2u);
+  EXPECT_EQ(stats.num_leaves, 4u);
+  EXPECT_EQ(stats.num_edges, 7u);
+  EXPECT_EQ(stats.max_leaf_depth, 2);
+  EXPECT_DOUBLE_EQ(stats.mean_leaf_depth, 2.0);
+  EXPECT_EQ(stats.max_branching, 3u);  // alpha over x, y, w.
+  // w has two parents.
+  EXPECT_EQ(stats.multi_parent_states, 1u);
+}
+
+TEST(OrgStatsTest, MeanBranchingIsEdgePerParentAverage) {
+  TinyLake tiny = MakeTinyLake();
+  Organization org = BuildFlatOrganization(TinyContext(&tiny));
+  OrgStats stats = ComputeOrgStats(org);
+  // Parents: root (2 children), alpha (3), beta (2) -> mean 7/3.
+  EXPECT_NEAR(stats.mean_branching, 7.0 / 3.0, 1e-12);
+}
+
+TEST(OrgStatsTest, ClusteringOrgIsDeeperThanFlat) {
+  TinyLake tiny = MakeTinyLake();
+  auto ctx = TinyContext(&tiny);
+  OrgStats flat = ComputeOrgStats(BuildFlatOrganization(ctx));
+  OrgStats clustered = ComputeOrgStats(BuildClusteringOrganization(ctx));
+  EXPECT_GE(clustered.max_leaf_depth, flat.max_leaf_depth);
+  EXPECT_LE(clustered.max_branching, flat.max_branching);
+}
+
+TEST(OrgStatsTest, AddParentIncreasesMultiParentCount) {
+  TinyLake tiny = MakeTinyLake();
+  auto ctx = TinyContext(&tiny);
+  Organization org = BuildFlatOrganization(ctx);
+  size_t before = ComputeOrgStats(org).multi_parent_states;
+  // Graft a second tag-state parent onto an alpha-only leaf.
+  uint32_t x = kInvalidId;
+  for (uint32_t a = 0; a < ctx->num_attrs(); ++a) {
+    if (ctx->lake_attr(a) == 0u) x = a;
+  }
+  OpResult op = ApplyAddParent(&org, org.LeafOf(x),
+                               [](StateId) { return 1.0; });
+  ASSERT_TRUE(op.applied);
+  EXPECT_EQ(ComputeOrgStats(org).multi_parent_states, before + 1);
+}
+
+TEST(OrgStatsTest, IgnoresDeadAndUnreachableStates) {
+  TinyLake tiny = MakeTinyLake();
+  auto ctx = TinyContext(&tiny);
+  Organization org = BuildFlatOrganization(ctx);
+  StateId interior = org.AddInteriorState({0});
+  ASSERT_TRUE(org.AddEdge(org.root(), interior).ok());
+  ASSERT_TRUE(org.RemoveState(interior).ok());
+  org.RecomputeLevels();
+  OrgStats stats = ComputeOrgStats(org);
+  EXPECT_EQ(stats.num_states, 7u);
+}
+
+TEST(OrgStatsTest, FormatMentionsKeyNumbers) {
+  TinyLake tiny = MakeTinyLake();
+  Organization org = BuildFlatOrganization(TinyContext(&tiny));
+  std::string text = FormatOrgStats(ComputeOrgStats(org));
+  EXPECT_NE(text.find("states=7"), std::string::npos);
+  EXPECT_NE(text.find("leaves=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lakeorg

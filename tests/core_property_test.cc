@@ -1,0 +1,130 @@
+// Cross-cutting randomized property suites over the core: arbitrary
+// accepted operation sequences must preserve every model invariant, the
+// serializer must round-trip any reachable organization, and the
+// evaluator must stay exact for any gamma.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchgen/tagcloud.h"
+#include "core/evaluator.h"
+#include "core/operations.h"
+#include "core/org_builders.h"
+#include "core/serialization.h"
+
+namespace lakeorg {
+namespace {
+
+TagCloudBenchmark Bench(uint64_t seed) {
+  TagCloudOptions opts;
+  opts.num_tags = 14;
+  opts.target_attributes = 60;
+  opts.min_values = 5;
+  opts.max_values = 14;
+  opts.seed = seed;
+  return GenerateTagCloud(opts);
+}
+
+/// Applies `steps` random applicable operations to a clustering org.
+Organization RandomlyMutatedOrg(const TagCloudBenchmark& bench,
+                                uint64_t op_seed, int steps) {
+  TagIndex index = TagIndex::Build(bench.lake);
+  auto ctx = OrgContext::BuildFull(bench.lake, index);
+  Organization org = BuildClusteringOrganization(ctx);
+  Rng rng(op_seed);
+  auto uniform_reach = [](StateId) { return 1.0; };
+  for (int i = 0; i < steps; ++i) {
+    StateId target = static_cast<StateId>(
+        rng.UniformInt(0, static_cast<int64_t>(org.num_states() - 1)));
+    if (!org.state(target).alive || target == org.root() ||
+        org.state(target).level < 0) {
+      continue;
+    }
+    if (rng.Bernoulli(0.5)) {
+      ApplyAddParent(&org, target, uniform_reach);
+    } else {
+      ApplyDeleteParent(&org, target, uniform_reach);
+    }
+  }
+  return org;
+}
+
+class RandomOpSequence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomOpSequence, InvariantsSurviveArbitraryOperations) {
+  TagCloudBenchmark bench = Bench(GetParam());
+  Organization org = RandomlyMutatedOrg(bench, GetParam() * 31 + 7, 40);
+  // Structural invariants.
+  ASSERT_TRUE(org.Validate().ok()) << org.Validate().ToString();
+  const OrgContext& ctx = org.ctx();
+  // Every leaf reachable.
+  for (uint32_t a = 0; a < ctx.num_attrs(); ++a) {
+    EXPECT_GE(org.state(org.LeafOf(a)).level, 1);
+  }
+  // Probability mass conserved for a sample of queries.
+  OrgEvaluator eval;
+  for (uint32_t a = 0; a < ctx.num_attrs(); a += 9) {
+    std::vector<double> reach =
+        eval.ReachProbabilities(org, ctx.attr_vector(a));
+    double mass = 0.0;
+    for (uint32_t b = 0; b < ctx.num_attrs(); ++b) {
+      mass += reach[org.LeafOf(b)];
+    }
+    EXPECT_NEAR(mass, 1.0, 1e-9);
+    // Reach values are probabilities.
+    for (double r : reach) {
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST_P(RandomOpSequence, SerializationRoundTripsMutatedOrgs) {
+  TagCloudBenchmark bench = Bench(GetParam());
+  TagIndex index = TagIndex::Build(bench.lake);
+  auto ctx = OrgContext::BuildFull(bench.lake, index);
+  Organization org = RandomlyMutatedOrg(bench, GetParam() * 17 + 3, 30);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveOrganization(org, &buffer).ok());
+  Result<Organization> loaded = LoadOrganization(ctx, &buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().Validate().ok())
+      << loaded.value().Validate().ToString();
+  EXPECT_EQ(loaded.value().NumAliveStates(), org.NumAliveStates());
+  EXPECT_EQ(loaded.value().NumEdges(), org.NumEdges());
+  OrgEvaluator eval;
+  for (uint32_t a = 0; a < ctx->num_attrs(); a += 5) {
+    EXPECT_NEAR(eval.AttributeDiscovery(org, a),
+                eval.AttributeDiscovery(loaded.value(), a), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomOpSequence,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+class GammaSweepEvaluator : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaSweepEvaluator, EffectivenessWellFormedAcrossGamma) {
+  TagCloudBenchmark bench = Bench(909);
+  TagIndex index = TagIndex::Build(bench.lake);
+  auto ctx = OrgContext::BuildFull(bench.lake, index);
+  Organization org = BuildClusteringOrganization(ctx);
+  TransitionConfig config;
+  config.gamma = GetParam();
+  OrgEvaluator eval(config);
+  double eff = eval.Effectiveness(org);
+  EXPECT_GT(eff, 0.0);
+  EXPECT_LE(eff, 1.0);
+  // Incremental evaluator agrees exactly at this gamma.
+  IncrementalEvaluator inc(config, ctx, IdentityRepresentatives(*ctx));
+  org.RecomputeLevels();
+  inc.Initialize(org);
+  EXPECT_NEAR(inc.effectiveness(), eff, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, GammaSweepEvaluator,
+                         ::testing::Values(0.5, 2.0, 8.0, 20.0, 60.0,
+                                           200.0));
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,129 @@
+#include "core/representatives.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchgen/tagcloud.h"
+#include "core/multidim.h"
+
+namespace lakeorg {
+namespace {
+
+std::shared_ptr<const OrgContext> BenchCtx(uint64_t seed) {
+  TagCloudOptions opts;
+  opts.num_tags = 15;
+  opts.target_attributes = 80;
+  opts.min_values = 5;
+  opts.max_values = 15;
+  opts.seed = seed;
+  static std::vector<TagCloudBenchmark>* keep_alive =
+      new std::vector<TagCloudBenchmark>();
+  keep_alive->push_back(GenerateTagCloud(opts));
+  TagIndex index = TagIndex::Build(keep_alive->back().lake);
+  return OrgContext::BuildFull(keep_alive->back().lake, index);
+}
+
+TEST(RepresentativesTest, PartitionIsCompleteAndConsistent) {
+  auto ctx = BenchCtx(1);
+  Rng rng(5);
+  RepresentativeOptions opts;
+  opts.fraction = 0.1;
+  RepresentativeSet reps = SelectRepresentatives(*ctx, opts, &rng);
+  EXPECT_EQ(reps.query_attrs.size(),
+            static_cast<size_t>(0.1 * ctx->num_attrs() + 0.5));
+  ASSERT_EQ(reps.rep_of.size(), ctx->num_attrs());
+  // Members partition the attribute universe.
+  std::set<uint32_t> covered;
+  for (size_t q = 0; q < reps.members.size(); ++q) {
+    for (uint32_t a : reps.members[q]) {
+      EXPECT_EQ(reps.rep_of[a], q);
+      EXPECT_TRUE(covered.insert(a).second) << "attr in two partitions";
+    }
+  }
+  EXPECT_EQ(covered.size(), ctx->num_attrs());
+  // Every representative represents itself.
+  for (size_t q = 0; q < reps.query_attrs.size(); ++q) {
+    EXPECT_EQ(reps.rep_of[reps.query_attrs[q]], q);
+  }
+}
+
+TEST(RepresentativesTest, RepresentativesAreTopicallyClose) {
+  auto ctx = BenchCtx(2);
+  Rng rng(6);
+  RepresentativeOptions opts;
+  opts.fraction = 0.15;
+  RepresentativeSet reps = SelectRepresentatives(*ctx, opts, &rng);
+  // An attribute should be closer to its own representative than to the
+  // average representative (the medoid structure carries signal).
+  double own_total = 0.0;
+  double other_total = 0.0;
+  size_t other_count = 0;
+  for (uint32_t a = 0; a < ctx->num_attrs(); ++a) {
+    own_total += Cosine(ctx->attr_vector(a),
+                        ctx->attr_vector(reps.query_attrs[reps.rep_of[a]]));
+    for (size_t q = 0; q < reps.query_attrs.size(); ++q) {
+      if (q == reps.rep_of[a]) continue;
+      other_total += Cosine(ctx->attr_vector(a),
+                            ctx->attr_vector(reps.query_attrs[q]));
+      ++other_count;
+    }
+  }
+  double own_mean = own_total / ctx->num_attrs();
+  double other_mean = other_total / static_cast<double>(other_count);
+  EXPECT_GT(own_mean, other_mean + 0.1);
+}
+
+TEST(RepresentativesTest, FractionOneIsIdentityLike) {
+  auto ctx = BenchCtx(3);
+  Rng rng(7);
+  RepresentativeOptions opts;
+  opts.fraction = 1.0;
+  RepresentativeSet reps = SelectRepresentatives(*ctx, opts, &rng);
+  EXPECT_EQ(reps.query_attrs.size(), ctx->num_attrs());
+}
+
+TEST(RepresentativesTest, MinimumOneRepresentative) {
+  auto ctx = BenchCtx(4);
+  Rng rng(8);
+  RepresentativeOptions opts;
+  opts.fraction = 1e-9;
+  RepresentativeSet reps = SelectRepresentatives(*ctx, opts, &rng);
+  EXPECT_EQ(reps.query_attrs.size(), 1u);
+  EXPECT_EQ(reps.members[0].size(), ctx->num_attrs());
+}
+
+TEST(MultiDimDeterminismTest, ThreadCountDoesNotChangeResult) {
+  TagCloudOptions opts;
+  opts.num_tags = 14;
+  opts.target_attributes = 60;
+  opts.min_values = 5;
+  opts.max_values = 12;
+  opts.seed = 33;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  TagIndex index = TagIndex::Build(bench.lake);
+
+  auto build = [&bench, &index](size_t threads) {
+    MultiDimOptions mopts;
+    mopts.dimensions = 3;
+    mopts.search.patience = 20;
+    mopts.search.max_proposals = 80;
+    mopts.num_threads = threads;
+    return BuildMultiDimOrganization(bench.lake, index, mopts);
+  };
+  MultiDimOrganization serial = build(1);
+  MultiDimOrganization parallel = build(3);
+  ASSERT_EQ(serial.num_dimensions(), parallel.num_dimensions());
+  for (size_t d = 0; d < serial.num_dimensions(); ++d) {
+    EXPECT_EQ(serial.info()[d].num_tags, parallel.info()[d].num_tags);
+    EXPECT_DOUBLE_EQ(serial.info()[d].effectiveness,
+                     parallel.info()[d].effectiveness);
+    EXPECT_EQ(serial.dimension(d).NumAliveStates(),
+              parallel.dimension(d).NumAliveStates());
+    EXPECT_EQ(serial.dimension(d).NumEdges(),
+              parallel.dimension(d).NumEdges());
+  }
+}
+
+}  // namespace
+}  // namespace lakeorg

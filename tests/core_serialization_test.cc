@@ -1,0 +1,288 @@
+#include "core/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchgen/tagcloud.h"
+#include "core/evaluator.h"
+#include "core/local_search.h"
+#include "core/org_builders.h"
+#include "test_util.h"
+
+namespace lakeorg {
+namespace {
+
+using testing::MakeTinyLake;
+using testing::TinyLake;
+
+std::shared_ptr<const OrgContext> TinyContext(TinyLake* tiny) {
+  TagIndex index = TagIndex::Build(tiny->lake);
+  return OrgContext::BuildFull(tiny->lake, index);
+}
+
+/// Structural equality over alive states, id-for-id.
+void ExpectSameStructure(const Organization& a, const Organization& b) {
+  ASSERT_EQ(a.NumAliveStates(), b.NumAliveStates());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  // Compare via leaf ids (stable across both) and reach probabilities.
+  OrgEvaluator eval;
+  const OrgContext& ctx = a.ctx();
+  for (uint32_t attr = 0; attr < ctx.num_attrs(); ++attr) {
+    // Topic sums are reassembled in a different float-summation order
+    // on load, so probabilities agree only to float precision.
+    EXPECT_NEAR(eval.AttributeDiscovery(a, attr),
+                eval.AttributeDiscovery(b, attr), 1e-6)
+        << "attr " << attr;
+  }
+}
+
+TEST(SerializationTest, RoundTripFlatOrg) {
+  TinyLake tiny = MakeTinyLake();
+  auto ctx = TinyContext(&tiny);
+  Organization org = BuildFlatOrganization(ctx);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveOrganization(org, &buffer).ok());
+  Result<Organization> loaded = LoadOrganization(ctx, &buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().Validate().ok());
+  ExpectSameStructure(org, loaded.value());
+}
+
+TEST(SerializationTest, RoundTripClusteringOrg) {
+  TinyLake tiny = MakeTinyLake();
+  auto ctx = TinyContext(&tiny);
+  Organization org = BuildClusteringOrganization(ctx);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveOrganization(org, &buffer).ok());
+  Result<Organization> loaded = LoadOrganization(ctx, &buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameStructure(org, loaded.value());
+}
+
+TEST(SerializationTest, RoundTripOptimizedOrgWithPropagatedAttrs) {
+  // Optimized organizations carry attrs propagated beyond tag extents
+  // (ADD_PARENT on leaves); the "extras" channel must preserve them.
+  TagCloudOptions opts;
+  opts.num_tags = 12;
+  opts.target_attributes = 50;
+  opts.min_values = 5;
+  opts.max_values = 12;
+  opts.seed = 3;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  TagIndex index = TagIndex::Build(bench.lake);
+  auto ctx = OrgContext::BuildFull(bench.lake, index);
+  LocalSearchOptions search;
+  search.patience = 20;
+  search.max_proposals = 120;
+  search.seed = 17;
+  LocalSearchResult optimized =
+      OptimizeOrganization(BuildClusteringOrganization(ctx), search);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveOrganization(optimized.org, &buffer).ok());
+  Result<Organization> loaded = LoadOrganization(ctx, &buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().Validate().ok())
+      << loaded.value().Validate().ToString();
+  ExpectSameStructure(optimized.org, loaded.value());
+
+  // Effectiveness identical too.
+  OrgEvaluator eval(search.transition);
+  EXPECT_NEAR(eval.Effectiveness(optimized.org),
+              eval.Effectiveness(loaded.value()), 1e-6);
+}
+
+TEST(SerializationTest, DeadStatesAreCompactedAway) {
+  TinyLake tiny = MakeTinyLake();
+  auto ctx = TinyContext(&tiny);
+  Organization org = BuildFlatOrganization(ctx);
+  StateId interior = org.AddInteriorState({0, 1});
+  ASSERT_TRUE(org.AddEdge(org.root(), interior).ok());
+  ASSERT_TRUE(org.RemoveState(interior).ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveOrganization(org, &buffer).ok());
+  Result<Organization> loaded = LoadOrganization(ctx, &buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_states(), org.NumAliveStates());
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  TinyLake tiny = MakeTinyLake();
+  auto ctx = TinyContext(&tiny);
+  Organization org = BuildFlatOrganization(ctx);
+  std::string path = ::testing::TempDir() + "/lakeorg_roundtrip.org";
+  ASSERT_TRUE(SaveOrganizationToFile(org, path).ok());
+  Result<Organization> loaded = LoadOrganizationFromFile(ctx, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameStructure(org, loaded.value());
+}
+
+TEST(SerializationTest, MissingFileFails) {
+  TinyLake tiny = MakeTinyLake();
+  auto ctx = TinyContext(&tiny);
+  Result<Organization> loaded =
+      LoadOrganizationFromFile(ctx, "/nonexistent/path.org");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SerializationTest, BadHeaderFails) {
+  TinyLake tiny = MakeTinyLake();
+  auto ctx = TinyContext(&tiny);
+  std::stringstream buffer("not-a-lakeorg-file v9\n");
+  Result<Organization> loaded = LoadOrganization(ctx, &buffer);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, TruncatedInputFails) {
+  TinyLake tiny = MakeTinyLake();
+  auto ctx = TinyContext(&tiny);
+  Organization org = BuildFlatOrganization(ctx);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveOrganization(org, &buffer).ok());
+  std::string text = buffer.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  Result<Organization> loaded = LoadOrganization(ctx, &truncated);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SerializationTest, CorruptTagIdFails) {
+  TinyLake tiny = MakeTinyLake();
+  auto ctx = TinyContext(&tiny);
+  std::stringstream buffer(
+      "lakeorg-organization v1\nstates 1\nstate 0 R -1 T 1 999 X 0\n"
+      "edges 0\nend\n");
+  Result<Organization> loaded = LoadOrganization(ctx, &buffer);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SerializationTest, EdgeAgainstInclusionFails) {
+  // A hand-written file whose edge violates the inclusion property must
+  // be rejected by the organization's own checks.
+  TinyLake tiny = MakeTinyLake();
+  auto ctx = TinyContext(&tiny);
+  // Tag state for tag 1 (beta) over leaf of attribute 0 (x, alpha-only).
+  std::stringstream buffer(
+      "lakeorg-organization v1\n"
+      "states 3\n"
+      "state 0 R -1 T 2 0 1 X 0\n"
+      "state 1 T -1 T 1 1 X 0\n"
+      "state 2 L 0 T 0 X 0\n"
+      "edges 2\n"
+      "edge 0 1\n"
+      "edge 1 2\n"
+      "end\n");
+  Result<Organization> loaded = LoadOrganization(ctx, &buffer);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("rejected"),
+            std::string::npos);
+}
+
+TEST(MultiDimSerializationTest, RoundTrip) {
+  TagCloudOptions opts;
+  opts.num_tags = 16;
+  opts.target_attributes = 70;
+  opts.min_values = 5;
+  opts.max_values = 12;
+  opts.seed = 8;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  TagIndex index = TagIndex::Build(bench.lake);
+  MultiDimOptions mopts;
+  mopts.dimensions = 3;
+  mopts.search.patience = 15;
+  mopts.search.max_proposals = 60;
+  mopts.num_threads = 1;
+  MultiDimOrganization org =
+      BuildMultiDimOrganization(bench.lake, index, mopts);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveMultiDimOrganization(org, &buffer).ok());
+  Result<MultiDimOrganization> loaded =
+      LoadMultiDimOrganization(bench.lake, index, &buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().num_dimensions(), org.num_dimensions());
+  for (size_t d = 0; d < org.num_dimensions(); ++d) {
+    const Organization& a = org.dimension(d);
+    const Organization& b = loaded.value().dimension(d);
+    EXPECT_TRUE(b.Validate().ok()) << b.Validate().ToString();
+    EXPECT_EQ(a.NumAliveStates(), b.NumAliveStates());
+    EXPECT_EQ(a.NumEdges(), b.NumEdges());
+    EXPECT_EQ(a.ctx().num_tags(), b.ctx().num_tags());
+  }
+  // Combined discovery agrees across the round trip.
+  TransitionConfig config;
+  MultiDimSuccess before = EvaluateMultiDimDiscovery(org, config);
+  MultiDimSuccess after =
+      EvaluateMultiDimDiscovery(loaded.value(), config);
+  ASSERT_EQ(before.tables.size(), after.tables.size());
+  for (size_t i = 0; i < before.tables.size(); ++i) {
+    EXPECT_EQ(before.tables[i], after.tables[i]);
+    EXPECT_NEAR(before.success[i], after.success[i], 1e-6);
+  }
+}
+
+TEST(MultiDimSerializationTest, FileRoundTrip) {
+  TagCloudOptions opts;
+  opts.num_tags = 10;
+  opts.target_attributes = 40;
+  opts.min_values = 5;
+  opts.max_values = 10;
+  opts.seed = 9;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  TagIndex index = TagIndex::Build(bench.lake);
+  MultiDimOptions mopts;
+  mopts.dimensions = 2;
+  mopts.optimize = false;
+  mopts.num_threads = 1;
+  MultiDimOrganization org =
+      BuildMultiDimOrganization(bench.lake, index, mopts);
+  std::string path = ::testing::TempDir() + "/lakeorg_multidim.org";
+  ASSERT_TRUE(SaveMultiDimOrganizationToFile(org, path).ok());
+  Result<MultiDimOrganization> loaded =
+      LoadMultiDimOrganizationFromFile(bench.lake, index, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_dimensions(), org.num_dimensions());
+}
+
+TEST(MultiDimSerializationTest, MismatchedLakeFails) {
+  TagCloudOptions opts;
+  opts.num_tags = 10;
+  opts.target_attributes = 40;
+  opts.min_values = 5;
+  opts.max_values = 10;
+  opts.seed = 9;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  TagIndex index = TagIndex::Build(bench.lake);
+  MultiDimOptions mopts;
+  mopts.dimensions = 2;
+  mopts.optimize = false;
+  mopts.num_threads = 1;
+  MultiDimOrganization org =
+      BuildMultiDimOrganization(bench.lake, index, mopts);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveMultiDimOrganization(org, &buffer).ok());
+
+  // A different lake: tag ids out of range or partition mismatch.
+  opts.seed = 10;
+  opts.num_tags = 4;
+  TagCloudBenchmark other = GenerateTagCloud(opts);
+  TagIndex other_index = TagIndex::Build(other.lake);
+  Result<MultiDimOrganization> loaded =
+      LoadMultiDimOrganization(other.lake, other_index, &buffer);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(MultiDimSerializationTest, BadHeaderFails) {
+  testing::TinyLake tiny = testing::MakeTinyLake();
+  TagIndex index = TagIndex::Build(tiny.lake);
+  std::stringstream buffer("wrong-header v1\n");
+  Result<MultiDimOrganization> loaded =
+      LoadMultiDimOrganization(tiny.lake, index, &buffer);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,144 @@
+#include "core/transition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lakeorg {
+namespace {
+
+TEST(TransitionTest, SingleChildGetsProbabilityOne) {
+  TransitionConfig config;
+  std::vector<double> probs = TransitionProbabilities({0.3}, config);
+  ASSERT_EQ(probs.size(), 1u);
+  EXPECT_DOUBLE_EQ(probs[0], 1.0);
+}
+
+TEST(TransitionTest, ProbabilitiesSumToOne) {
+  TransitionConfig config;
+  config.gamma = 7.0;
+  std::vector<double> probs =
+      TransitionProbabilities({0.9, 0.1, -0.5, 0.3}, config);
+  double total = 0.0;
+  for (double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(TransitionTest, HigherSimilarityHigherProbability) {
+  TransitionConfig config;
+  std::vector<double> probs =
+      TransitionProbabilities({0.8, 0.2, 0.5}, config);
+  EXPECT_GT(probs[0], probs[2]);
+  EXPECT_GT(probs[2], probs[1]);
+}
+
+TEST(TransitionTest, EqualSimilaritiesAreUniform) {
+  TransitionConfig config;
+  std::vector<double> probs =
+      TransitionProbabilities({0.4, 0.4, 0.4, 0.4}, config);
+  for (double p : probs) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST(TransitionTest, MatchesEquationOneExactly) {
+  // P(c|s,X) = exp(gamma/|ch| * kappa_c) / sum exp(gamma/|ch| * kappa_t).
+  TransitionConfig config;
+  config.gamma = 6.0;
+  std::vector<double> sims = {0.7, 0.1};
+  std::vector<double> probs = TransitionProbabilities(sims, config);
+  double scale = 6.0 / 2.0;
+  double e0 = std::exp(scale * 0.7);
+  double e1 = std::exp(scale * 0.1);
+  EXPECT_NEAR(probs[0], e0 / (e0 + e1), 1e-12);
+  EXPECT_NEAR(probs[1], e1 / (e0 + e1), 1e-12);
+}
+
+TEST(TransitionTest, BranchingPenaltyDilutesLargeFanout) {
+  // The same similarity gap separates children less when the fanout is
+  // larger (the 1/|ch(s)| factor of Equation 1).
+  TransitionConfig config;
+  config.gamma = 10.0;
+  std::vector<double> two = TransitionProbabilities({0.8, 0.2}, config);
+  std::vector<double> ten =
+      TransitionProbabilities({0.8, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2,
+                               0.2, 0.2},
+                              config);
+  double ratio_two = two[0] / two[1];
+  double ratio_ten = ten[0] / ten[1];
+  EXPECT_GT(ratio_two, ratio_ten);
+}
+
+TEST(TransitionTest, DisablingPenaltyKeepsScale) {
+  TransitionConfig with;
+  with.gamma = 10.0;
+  TransitionConfig without;
+  without.gamma = 10.0;
+  without.branching_penalty = false;
+  std::vector<double> sims = {0.8, 0.2, 0.1, 0.0};
+  std::vector<double> penalized = TransitionProbabilities(sims, with);
+  std::vector<double> flat = TransitionProbabilities(sims, without);
+  // Without the penalty the softmax is sharper.
+  EXPECT_GT(flat[0], penalized[0]);
+}
+
+TEST(TransitionTest, LargeGammaApproachesArgmax) {
+  TransitionConfig config;
+  config.gamma = 500.0;
+  std::vector<double> probs =
+      TransitionProbabilities({0.9, 0.5, 0.1}, config);
+  EXPECT_GT(probs[0], 0.999);
+}
+
+TEST(TransitionTest, SmallGammaApproachesUniform) {
+  TransitionConfig config;
+  config.gamma = 1e-6;
+  std::vector<double> probs =
+      TransitionProbabilities({0.9, 0.5, 0.1}, config);
+  for (double p : probs) EXPECT_NEAR(p, 1.0 / 3.0, 1e-5);
+}
+
+TEST(TransitionTest, NumericallyStableForExtremeSims) {
+  TransitionConfig config;
+  config.gamma = 1000.0;
+  config.branching_penalty = false;
+  std::vector<double> probs = TransitionProbabilities({1.0, -1.0}, config);
+  EXPECT_NEAR(probs[0], 1.0, 1e-9);
+  EXPECT_NEAR(probs[1], 0.0, 1e-9);
+  EXPECT_FALSE(std::isnan(probs[0]));
+}
+
+TEST(TransitionTest, ChildSimilaritiesComputesCosines) {
+  Vec a = {1, 0};
+  Vec b = {0, 1};
+  Vec query = {1, 0};
+  std::vector<double> sims = ChildSimilarities({&a, &b}, query);
+  EXPECT_DOUBLE_EQ(sims[0], 1.0);
+  EXPECT_DOUBLE_EQ(sims[1], 0.0);
+}
+
+// Sweep gamma as a parameterized property: probabilities always form a
+// distribution and preserve the similarity order.
+class TransitionGammaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TransitionGammaSweep, ValidDistributionAndOrderPreserving) {
+  TransitionConfig config;
+  config.gamma = GetParam();
+  std::vector<double> sims = {0.95, 0.6, 0.6, 0.2, -0.4};
+  std::vector<double> probs = TransitionProbabilities(sims, config);
+  double total = 0.0;
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GE(probs[0], probs[1]);
+  EXPECT_NEAR(probs[1], probs[2], 1e-12);  // Ties stay tied.
+  EXPECT_GE(probs[2], probs[3]);
+  EXPECT_GE(probs[3], probs[4]);
+}
+
+INSTANTIATE_TEST_SUITE_P(GammaValues, TransitionGammaSweep,
+                         ::testing::Values(0.5, 1.0, 5.0, 20.0, 100.0));
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,150 @@
+#include "discovery/unified.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/socrata.h"
+
+namespace lakeorg {
+namespace {
+
+class DiscoveryHubTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SocrataOptions opts;
+    opts.num_tables = 90;
+    opts.num_tags = 50;
+    opts.seed = 77;
+    lake_ = new SocrataLake(GenerateSocrataLake(opts));
+    index_ = new TagIndex(TagIndex::Build(lake_->lake));
+    MultiDimOptions mopts;
+    mopts.dimensions = 2;
+    mopts.optimize = false;
+    mopts.num_threads = 1;
+    org_ = new MultiDimOrganization(
+        BuildMultiDimOrganization(lake_->lake, *index_, mopts));
+    engine_ = new TableSearchEngine(&lake_->lake, lake_->store);
+    hub_ = new DiscoveryHub(&lake_->lake, org_, engine_, lake_->store);
+    // A query word guaranteed to be in the lake: an embeddable value.
+    for (const Attribute& a : lake_->lake.attributes()) {
+      if (!a.is_text) continue;
+      for (const std::string& v : a.values) {
+        if (lake_->store->Embed(v).has_value()) {
+          query_word_ = new std::string(v);
+          return;
+        }
+      }
+    }
+  }
+  static void TearDownTestSuite() {
+    delete query_word_;
+    delete hub_;
+    delete engine_;
+    delete org_;
+    delete index_;
+    delete lake_;
+  }
+
+  static SocrataLake* lake_;
+  static TagIndex* index_;
+  static MultiDimOrganization* org_;
+  static TableSearchEngine* engine_;
+  static DiscoveryHub* hub_;
+  static std::string* query_word_;
+};
+
+SocrataLake* DiscoveryHubTest::lake_ = nullptr;
+TagIndex* DiscoveryHubTest::index_ = nullptr;
+MultiDimOrganization* DiscoveryHubTest::org_ = nullptr;
+TableSearchEngine* DiscoveryHubTest::engine_ = nullptr;
+DiscoveryHub* DiscoveryHubTest::hub_ = nullptr;
+std::string* DiscoveryHubTest::query_word_ = nullptr;
+
+TEST_F(DiscoveryHubTest, QueryReturnsBothModalities) {
+  ASSERT_NE(query_word_, nullptr);
+  UnifiedResult result = hub_->Query(*query_word_);
+  EXPECT_FALSE(result.tables.empty());
+  EXPECT_FALSE(result.entry_points.empty());
+  EXPECT_LE(result.tables.size(), hub_->options().max_tables);
+  EXPECT_LE(result.entry_points.size(), hub_->options().max_entry_points);
+}
+
+TEST_F(DiscoveryHubTest, EntryPointsAreSortedAndLabeled) {
+  UnifiedResult result = hub_->Query(*query_word_);
+  for (size_t i = 1; i < result.entry_points.size(); ++i) {
+    EXPECT_GE(result.entry_points[i - 1].similarity,
+              result.entry_points[i].similarity);
+  }
+  for (const EntryPoint& e : result.entry_points) {
+    EXPECT_FALSE(e.label.empty());
+    EXPECT_GE(e.similarity, hub_->options().min_entry_similarity);
+    const Organization& dim = org_->dimension(e.dimension);
+    EXPECT_GE(dim.state(e.state).level, hub_->options().min_entry_level);
+    EXPECT_NE(dim.state(e.state).kind, StateKind::kLeaf);
+  }
+}
+
+TEST_F(DiscoveryHubTest, UnembeddableQueryGivesNoEntryPoints) {
+  UnifiedResult result = hub_->Query("zzz9 qqq8");
+  EXPECT_TRUE(result.entry_points.empty());
+}
+
+TEST_F(DiscoveryHubTest, EnterAtPositionsSessionAtEntryState) {
+  UnifiedResult result = hub_->Query(*query_word_);
+  ASSERT_FALSE(result.entry_points.empty());
+  const EntryPoint& entry = result.entry_points[0];
+  Result<NavigationSession> session = hub_->EnterAt(entry);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_EQ(session.value().current(), entry.state);
+  // The path is a real root-to-state discovery sequence.
+  const Organization& dim = org_->dimension(entry.dimension);
+  const auto& path = session.value().path();
+  EXPECT_EQ(path.front(), dim.root());
+  EXPECT_EQ(path.back(), entry.state);
+  EXPECT_EQ(static_cast<int>(path.size()) - 1,
+            dim.state(entry.state).level);
+}
+
+TEST_F(DiscoveryHubTest, EnterAtValidatesInput) {
+  EntryPoint bogus;
+  bogus.dimension = 99;
+  EXPECT_FALSE(hub_->EnterAt(bogus).ok());
+  EntryPoint bad_state;
+  bad_state.dimension = 0;
+  bad_state.state = 999999;
+  EXPECT_FALSE(hub_->EnterAt(bad_state).ok());
+}
+
+TEST_F(DiscoveryHubTest, SuggestKeywordsFromState) {
+  UnifiedResult result = hub_->Query(*query_word_);
+  ASSERT_FALSE(result.entry_points.empty());
+  const EntryPoint& entry = result.entry_points[0];
+  std::vector<std::string> keywords =
+      hub_->SuggestKeywords(entry.dimension, entry.state);
+  EXPECT_FALSE(keywords.empty());
+  EXPECT_LE(keywords.size(), hub_->options().max_keywords);
+  // Suggested keywords must be usable as a search query.
+  std::string query;
+  for (const std::string& k : keywords) query += k + " ";
+  EXPECT_FALSE(engine_->Search(query, 5).empty());
+}
+
+TEST_F(DiscoveryHubTest, SuggestKeywordsHandlesBadInput) {
+  EXPECT_TRUE(hub_->SuggestKeywords(99, 0).empty());
+  EXPECT_TRUE(hub_->SuggestKeywords(0, 999999).empty());
+}
+
+TEST_F(DiscoveryHubTest, RoundTripSearchNavigateSearch) {
+  // The unified loop: query -> entry point -> keywords -> query again.
+  UnifiedResult first = hub_->Query(*query_word_);
+  ASSERT_FALSE(first.entry_points.empty());
+  std::vector<std::string> keywords = hub_->SuggestKeywords(
+      first.entry_points[0].dimension, first.entry_points[0].state);
+  ASSERT_FALSE(keywords.empty());
+  std::string query;
+  for (const std::string& k : keywords) query += k + " ";
+  UnifiedResult second = hub_->Query(query);
+  EXPECT_FALSE(second.tables.empty());
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "embedding/embedding_store.h"
+#include "embedding/hashed_embedding.h"
+#include "embedding/synthetic_vocabulary.h"
+
+#include <future>
+
+#include "common/thread_pool.h"
+
+namespace lakeorg {
+namespace {
+
+TEST(HashedEmbeddingTest, Deterministic) {
+  HashedEmbedding model;
+  auto a = model.Embed("toronto");
+  auto b = model.Embed("toronto");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(HashedEmbeddingTest, UnitNorm) {
+  HashedEmbedding model;
+  auto v = model.Embed("fisheries");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NEAR(Norm(*v), 1.0, 1e-5);
+}
+
+TEST(HashedEmbeddingTest, CaseAndWhitespaceInsensitive) {
+  HashedEmbedding model;
+  EXPECT_EQ(*model.Embed("Ontario"), *model.Embed("  ontario "));
+}
+
+TEST(HashedEmbeddingTest, SimilarStringsAreCloserThanDissimilar) {
+  HashedEmbedding model;
+  double similar = Cosine(*model.Embed("fishing"), *model.Embed("fishery"));
+  double dissimilar =
+      Cosine(*model.Embed("fishing"), *model.Embed("economy"));
+  EXPECT_GT(similar, dissimilar);
+}
+
+TEST(HashedEmbeddingTest, RejectsShortWords) {
+  HashedEmbedding model;
+  EXPECT_FALSE(model.Embed("a").has_value());
+  EXPECT_FALSE(model.Embed("").has_value());
+  EXPECT_TRUE(model.Embed("ab").has_value());
+}
+
+TEST(HashedEmbeddingTest, RejectsNumericStrings) {
+  HashedEmbedding model;
+  EXPECT_FALSE(model.Embed("12345").has_value());
+  EXPECT_FALSE(model.Embed("3.14").has_value());
+  EXPECT_FALSE(model.Embed("-42").has_value());
+  EXPECT_TRUE(model.Embed("a1b2").has_value());  // Mixed is fine.
+}
+
+TEST(HashedEmbeddingTest, NumericAcceptanceToggle) {
+  HashedEmbeddingOptions opts;
+  opts.reject_numeric = false;
+  HashedEmbedding model(opts);
+  EXPECT_TRUE(model.Embed("12345").has_value());
+}
+
+TEST(HashedEmbeddingTest, DifferentSeedsGiveDifferentSpaces) {
+  HashedEmbeddingOptions a_opts;
+  a_opts.seed = 1;
+  HashedEmbeddingOptions b_opts;
+  b_opts.seed = 2;
+  HashedEmbedding a(a_opts);
+  HashedEmbedding b(b_opts);
+  EXPECT_NE(*a.Embed("fisheries"), *b.Embed("fisheries"));
+}
+
+TEST(HashedEmbeddingTest, RespectsDimension) {
+  HashedEmbeddingOptions opts;
+  opts.dim = 16;
+  HashedEmbedding model(opts);
+  EXPECT_EQ(model.dim(), 16u);
+  EXPECT_EQ(model.Embed("water")->size(), 16u);
+}
+
+class SyntheticVocabularyFixture : public ::testing::Test {
+ protected:
+  static SyntheticVocabularyOptions SmallOptions() {
+    SyntheticVocabularyOptions opts;
+    opts.dim = 16;
+    opts.num_topics = 8;
+    opts.words_per_topic = 20;
+    opts.seed = 11;
+    return opts;
+  }
+};
+
+TEST_F(SyntheticVocabularyFixture, SizeMatchesOptions) {
+  SyntheticVocabulary vocab(SmallOptions());
+  EXPECT_EQ(vocab.size(), 8u * 20u);
+  EXPECT_EQ(vocab.num_topics(), 8u);
+  EXPECT_EQ(vocab.dim(), 16u);
+}
+
+TEST_F(SyntheticVocabularyFixture, DeterministicAcrossInstances) {
+  SyntheticVocabulary a(SmallOptions());
+  SyntheticVocabulary b(SmallOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.word(i), b.word(i));
+    EXPECT_EQ(a.vector(i), b.vector(i));
+  }
+}
+
+TEST_F(SyntheticVocabularyFixture, WordsAreUniqueAndLookupable) {
+  SyntheticVocabulary vocab(SmallOptions());
+  std::set<std::string> seen;
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    EXPECT_TRUE(seen.insert(vocab.word(i)).second) << vocab.word(i);
+    auto idx = vocab.IndexOf(vocab.word(i));
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, i);
+    auto v = vocab.Embed(vocab.word(i));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, vocab.vector(i));
+  }
+  EXPECT_FALSE(vocab.Embed("definitely_not_a_word_9999").has_value());
+}
+
+TEST_F(SyntheticVocabularyFixture, VectorsAreUnitNorm) {
+  SyntheticVocabulary vocab(SmallOptions());
+  for (size_t i = 0; i < vocab.size(); i += 7) {
+    EXPECT_NEAR(Norm(vocab.vector(i)), 1.0, 1e-5);
+  }
+}
+
+TEST_F(SyntheticVocabularyFixture, IntraTopicCloserThanInterTopic) {
+  SyntheticVocabulary vocab(SmallOptions());
+  // Mean within-topic cosine must clearly exceed mean cross-topic cosine.
+  double intra = 0.0;
+  int intra_n = 0;
+  double inter = 0.0;
+  int inter_n = 0;
+  for (size_t i = 0; i < vocab.size(); i += 3) {
+    for (size_t j = i + 1; j < vocab.size(); j += 3) {
+      double c = Cosine(vocab.vector(i), vocab.vector(j));
+      if (vocab.topic_of(i) == vocab.topic_of(j)) {
+        intra += c;
+        ++intra_n;
+      } else {
+        inter += c;
+        ++inter_n;
+      }
+    }
+  }
+  ASSERT_GT(intra_n, 0);
+  ASSERT_GT(inter_n, 0);
+  EXPECT_GT(intra / intra_n, inter / inter_n + 0.2);
+}
+
+TEST_F(SyntheticVocabularyFixture, TopicCentersRespectSeparationBound) {
+  SyntheticVocabularyOptions opts = SmallOptions();
+  opts.max_center_cosine = 0.3;
+  SyntheticVocabulary vocab(opts);
+  // Bound may be relaxed internally, but with 8 topics in 16 dims the
+  // original bound is satisfiable.
+  for (size_t a = 0; a < vocab.num_topics(); ++a) {
+    for (size_t b = a + 1; b < vocab.num_topics(); ++b) {
+      EXPECT_LE(Cosine(vocab.topic_center(a), vocab.topic_center(b)), 0.31);
+    }
+  }
+}
+
+TEST_F(SyntheticVocabularyFixture, NearestWordsReturnsSelfFirst) {
+  SyntheticVocabulary vocab(SmallOptions());
+  std::vector<size_t> nearest = vocab.NearestWords(vocab.vector(5), 4);
+  ASSERT_EQ(nearest.size(), 4u);
+  EXPECT_EQ(nearest[0], 5u);
+  // Descending similarity.
+  for (size_t i = 1; i < nearest.size(); ++i) {
+    EXPECT_GE(Cosine(vocab.vector(5), vocab.vector(nearest[i - 1])),
+              Cosine(vocab.vector(5), vocab.vector(nearest[i])));
+  }
+}
+
+TEST_F(SyntheticVocabularyFixture, NearestWordsHonorsExclusions) {
+  SyntheticVocabulary vocab(SmallOptions());
+  std::vector<size_t> nearest = vocab.NearestWords(vocab.vector(5), 3, {5});
+  for (size_t n : nearest) EXPECT_NE(n, 5u);
+}
+
+TEST_F(SyntheticVocabularyFixture, NearestWordsMostlySameTopic) {
+  SyntheticVocabulary vocab(SmallOptions());
+  std::vector<size_t> nearest = vocab.NearestWords(vocab.topic_center(2), 5);
+  int same_topic = 0;
+  for (size_t n : nearest) {
+    if (vocab.topic_of(n) == 2) ++same_topic;
+  }
+  EXPECT_GE(same_topic, 3);
+}
+
+TEST_F(SyntheticVocabularyFixture, SampleSeparatedWordsRespectsBound) {
+  SyntheticVocabulary vocab(SmallOptions());
+  Rng rng(5);
+  std::vector<size_t> sample = vocab.SampleSeparatedWords(10, 0.5, &rng);
+  EXPECT_GE(sample.size(), 2u);
+  for (size_t i = 0; i < sample.size(); ++i) {
+    for (size_t j = i + 1; j < sample.size(); ++j) {
+      EXPECT_LE(Cosine(vocab.vector(sample[i]), vocab.vector(sample[j])),
+                0.5);
+    }
+  }
+}
+
+TEST(EmbeddingStoreTest, CachesAndCounts) {
+  auto vocab = std::make_shared<SyntheticVocabulary>(
+      SyntheticVocabularyOptions{.dim = 8,
+                                 .num_topics = 4,
+                                 .words_per_topic = 8,
+                                 .max_center_cosine = 0.5,
+                                 .word_noise = 0.3,
+                                 .seed = 3});
+  EmbeddingStore store(vocab);
+  EXPECT_EQ(store.dim(), 8u);
+  std::string known = vocab->word(0);
+  EXPECT_TRUE(store.Embed(known).has_value());
+  EXPECT_TRUE(store.Embed(known).has_value());  // Cached path.
+  EXPECT_FALSE(store.Embed("zzz_not_present").has_value());
+}
+
+TEST(EmbeddingStoreTest, DomainTopicVectorAndCoverage) {
+  auto vocab = std::make_shared<SyntheticVocabulary>(
+      SyntheticVocabularyOptions{.dim = 8,
+                                 .num_topics = 4,
+                                 .words_per_topic = 8,
+                                 .max_center_cosine = 0.5,
+                                 .word_noise = 0.3,
+                                 .seed = 3});
+  EmbeddingStore store(vocab);
+  std::vector<std::string> domain = {vocab->word(0), vocab->word(1),
+                                     "not_in_vocab"};
+  TopicAccumulator acc(store.dim());
+  size_t embedded = store.AccumulateDomain(domain, &acc);
+  EXPECT_EQ(embedded, 2u);
+  EXPECT_EQ(acc.count(), 2u);
+  CoverageStats cov = store.coverage();
+  EXPECT_EQ(cov.total_values, 3u);
+  EXPECT_EQ(cov.embedded_values, 2u);
+  EXPECT_NEAR(cov.Coverage(), 2.0 / 3.0, 1e-12);
+
+  Vec topic = store.DomainTopicVector(domain);
+  Vec expected = Add(vocab->vector(0), vocab->vector(1));
+  ScaleInPlace(&expected, 0.5f);
+  for (size_t i = 0; i < topic.size(); ++i) {
+    EXPECT_NEAR(topic[i], expected[i], 1e-6);
+  }
+}
+
+TEST(EmbeddingStoreTest, ConcurrentLookupsAreSafe) {
+  // The store memoizes lookups behind a mutex; hammer it from several
+  // threads over an overlapping key set and verify results stay exact.
+  auto vocab = std::make_shared<SyntheticVocabulary>(
+      SyntheticVocabularyOptions{.dim = 8,
+                                 .num_topics = 4,
+                                 .words_per_topic = 16,
+                                 .max_center_cosine = 0.5,
+                                 .word_noise = 0.3,
+                                 .seed = 44});
+  EmbeddingStore store(vocab);
+  ThreadPool pool(4);
+  std::vector<std::future<bool>> futures;
+  for (int t = 0; t < 8; ++t) {
+    futures.push_back(pool.Submit([&store, &vocab]() {
+      for (size_t i = 0; i < vocab->size(); ++i) {
+        std::optional<Vec> v = store.Embed(vocab->word(i));
+        if (!v.has_value() || *v != vocab->vector(i)) return false;
+      }
+      return true;
+    }));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get());
+  CoverageStats cov = store.coverage();
+  EXPECT_EQ(cov.total_values, 0u);  // Embed() alone does not count.
+}
+
+TEST(EmbeddingStoreTest, EmptyDomainGivesZeroVector) {
+  auto model = std::make_shared<HashedEmbedding>();
+  EmbeddingStore store(model);
+  Vec topic = store.DomainTopicVector({});
+  EXPECT_EQ(topic, Vec(store.dim(), 0.0f));
+}
+
+}  // namespace
+}  // namespace lakeorg

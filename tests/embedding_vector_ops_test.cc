@@ -1,0 +1,143 @@
+#include "embedding/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace lakeorg {
+namespace {
+
+TEST(VectorOpsTest, DotAndNorm) {
+  Vec a = {1, 2, 3};
+  Vec b = {4, -5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4 - 10 + 18);
+  EXPECT_DOUBLE_EQ(Norm({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm({0, 0, 0}), 0.0);
+}
+
+TEST(VectorOpsTest, CosineKnownValues) {
+  EXPECT_DOUBLE_EQ(Cosine({1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(Cosine({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(Cosine({1, 0}, {-1, 0}), -1.0);
+  EXPECT_NEAR(Cosine({1, 1}, {1, 0}), std::sqrt(0.5), 1e-12);
+}
+
+TEST(VectorOpsTest, CosineZeroVectorIsZero) {
+  EXPECT_DOUBLE_EQ(Cosine({0, 0}, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(Cosine({0, 0}, {0, 0}), 0.0);
+}
+
+TEST(VectorOpsTest, CosineClampedToUnitInterval) {
+  // Large same-direction vectors can round slightly above 1.
+  Vec a(50, 0.1f);
+  EXPECT_LE(Cosine(a, a), 1.0);
+  EXPECT_GE(Cosine(a, a), 0.999999);
+}
+
+TEST(VectorOpsTest, CosineDistanceRange) {
+  EXPECT_DOUBLE_EQ(CosineDistance({1, 0}, {1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineDistance({1, 0}, {-1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineDistance({1, 0}, {0, 1}), 0.5);
+}
+
+TEST(VectorOpsTest, AddAndScaleInPlace) {
+  Vec a = {1, 2};
+  AddInPlace(&a, {3, 4});
+  EXPECT_EQ(a, (Vec{4, 6}));
+  ScaleInPlace(&a, 0.5f);
+  EXPECT_EQ(a, (Vec{2, 3}));
+}
+
+TEST(VectorOpsTest, NormalizeInPlace) {
+  Vec a = {3, 4};
+  NormalizeInPlace(&a);
+  EXPECT_NEAR(Norm(a), 1.0, 1e-6);
+  EXPECT_NEAR(a[0], 0.6f, 1e-6);
+  Vec zero = {0, 0};
+  NormalizeInPlace(&zero);  // Must not divide by zero.
+  EXPECT_EQ(zero, (Vec{0, 0}));
+}
+
+TEST(VectorOpsTest, AddReturnsSum) {
+  EXPECT_EQ(Add({1, 1}, {2, 3}), (Vec{3, 4}));
+}
+
+TEST(TopicAccumulatorTest, EmptyMeanIsZero) {
+  TopicAccumulator acc(3);
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.Mean(), (Vec{0, 0, 0}));
+}
+
+TEST(TopicAccumulatorTest, MeanOfSamples) {
+  TopicAccumulator acc(2);
+  acc.Add({1, 0});
+  acc.Add({0, 1});
+  acc.Add({1, 1});
+  EXPECT_EQ(acc.count(), 3u);
+  Vec mean = acc.Mean();
+  EXPECT_NEAR(mean[0], 2.0f / 3.0f, 1e-6);
+  EXPECT_NEAR(mean[1], 2.0f / 3.0f, 1e-6);
+}
+
+TEST(TopicAccumulatorTest, AddSumMatchesIndividualAdds) {
+  TopicAccumulator a(2);
+  a.Add({1, 2});
+  a.Add({3, 4});
+  TopicAccumulator b(2);
+  b.AddSum({4, 6}, 2);
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.Mean(), b.Mean());
+}
+
+TEST(TopicAccumulatorTest, MergeCombinesPopulations) {
+  TopicAccumulator a(2);
+  a.Add({2, 0});
+  TopicAccumulator b(2);
+  b.Add({0, 2});
+  b.Add({0, 4});
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  Vec mean = a.Mean();
+  EXPECT_NEAR(mean[0], 2.0f / 3.0f, 1e-6);
+  EXPECT_NEAR(mean[1], 2.0f, 1e-6);
+}
+
+TEST(TopicAccumulatorTest, ResetClears) {
+  TopicAccumulator acc(2);
+  acc.Add({1, 1});
+  acc.Reset(3);
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.sum().size(), 3u);
+}
+
+// Property: mean of merged accumulators equals mean over the union of the
+// underlying samples.
+TEST(TopicAccumulatorTest, PropertyMergeEqualsPooledMean) {
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t dim = 4;
+    TopicAccumulator left(dim);
+    TopicAccumulator right(dim);
+    TopicAccumulator pooled(dim);
+    int n_left = static_cast<int>(rng.UniformInt(1, 10));
+    int n_right = static_cast<int>(rng.UniformInt(1, 10));
+    for (int i = 0; i < n_left + n_right; ++i) {
+      Vec v(dim);
+      for (float& x : v) x = static_cast<float>(rng.Gaussian());
+      (i < n_left ? left : right).Add(v);
+      pooled.Add(v);
+    }
+    left.Merge(right);
+    Vec merged_mean = left.Mean();
+    Vec pooled_mean = pooled.Mean();
+    for (size_t d = 0; d < dim; ++d) {
+      EXPECT_NEAR(merged_mean[d], pooled_mean[d], 1e-5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,176 @@
+#include "lake/data_lake.h"
+
+#include <gtest/gtest.h>
+
+#include "lake/lake_stats.h"
+#include "test_util.h"
+
+namespace lakeorg {
+namespace {
+
+using testing::MakeTinyLake;
+using testing::TinyLake;
+
+TEST(DataLakeTest, AddTableAssignsSequentialIds) {
+  DataLake lake;
+  EXPECT_EQ(lake.AddTable("t0"), 0u);
+  EXPECT_EQ(lake.AddTable("t1", "Title", "Desc"), 1u);
+  EXPECT_EQ(lake.num_tables(), 2u);
+  EXPECT_EQ(lake.table(1).title, "Title");
+  EXPECT_EQ(lake.table(1).description, "Desc");
+}
+
+TEST(DataLakeTest, FindTable) {
+  DataLake lake;
+  lake.AddTable("alpha");
+  EXPECT_EQ(lake.FindTable("alpha"), 0u);
+  EXPECT_EQ(lake.FindTable("missing"), kInvalidId);
+}
+
+TEST(DataLakeTest, AddAttributeLinksToTable) {
+  DataLake lake;
+  TableId t = lake.AddTable("t");
+  AttributeId a = lake.AddAttribute(t, "col", {"x", "y"}, true);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(lake.attribute(a).table, t);
+  EXPECT_EQ(lake.attribute(a).values.size(), 2u);
+  EXPECT_EQ(lake.table(t).attributes, (std::vector<AttributeId>{a}));
+}
+
+TEST(DataLakeTest, TagsAreDeduplicated) {
+  DataLake lake;
+  TagId a = lake.GetOrCreateTag("food");
+  TagId b = lake.GetOrCreateTag("food");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(lake.num_tags(), 1u);
+  EXPECT_EQ(lake.tag_name(a), "food");
+  EXPECT_EQ(lake.FindTag("food"), a);
+  EXPECT_EQ(lake.FindTag("nope"), kInvalidId);
+}
+
+TEST(DataLakeTest, AttachTagPropagatesToExistingAttributes) {
+  DataLake lake;
+  TableId t = lake.AddTable("t");
+  AttributeId a = lake.AddAttribute(t, "c1", {"v"});
+  TagId tag = lake.GetOrCreateTag("fish");
+  ASSERT_TRUE(lake.AttachTag(t, tag).ok());
+  EXPECT_EQ(lake.attribute(a).tags, (std::vector<TagId>{tag}));
+}
+
+TEST(DataLakeTest, AttributesInheritTagsAttachedBefore) {
+  DataLake lake;
+  TableId t = lake.AddTable("t");
+  TagId tag = lake.GetOrCreateTag("fish");
+  ASSERT_TRUE(lake.AttachTag(t, tag).ok());
+  AttributeId a = lake.AddAttribute(t, "c1", {"v"});
+  EXPECT_EQ(lake.attribute(a).tags, (std::vector<TagId>{tag}));
+}
+
+TEST(DataLakeTest, AttachTagIsIdempotent) {
+  DataLake lake;
+  TableId t = lake.AddTable("t");
+  lake.AddAttribute(t, "c1", {"v"});
+  TagId tag = lake.GetOrCreateTag("fish");
+  ASSERT_TRUE(lake.AttachTag(t, tag).ok());
+  ASSERT_TRUE(lake.AttachTag(t, tag).ok());
+  EXPECT_EQ(lake.table(t).tags.size(), 1u);
+  EXPECT_EQ(lake.attribute(0).tags.size(), 1u);
+}
+
+TEST(DataLakeTest, AttachTagValidatesIds) {
+  DataLake lake;
+  TableId t = lake.AddTable("t");
+  EXPECT_EQ(lake.AttachTag(t, 99).code(), StatusCode::kNotFound);
+  TagId tag = lake.GetOrCreateTag("x");
+  EXPECT_EQ(lake.AttachTag(99, tag).code(), StatusCode::kNotFound);
+}
+
+TEST(DataLakeTest, AttachTagToAttribute) {
+  DataLake lake;
+  TableId t = lake.AddTable("t");
+  AttributeId a = lake.AddAttribute(t, "c", {"v"});
+  TagId tag = lake.GetOrCreateTag("solo");
+  ASSERT_TRUE(lake.AttachTagToAttribute(a, tag).ok());
+  ASSERT_TRUE(lake.AttachTagToAttribute(a, tag).ok());  // Idempotent.
+  EXPECT_EQ(lake.attribute(a).tags, (std::vector<TagId>{tag}));
+  EXPECT_TRUE(lake.table(t).tags.empty());  // Table untouched.
+  EXPECT_EQ(lake.AttachTagToAttribute(42, tag).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DataLakeTest, AttachTagMetadataOnlyDoesNotPropagate) {
+  DataLake lake;
+  TableId t = lake.AddTable("t");
+  AttributeId a = lake.AddAttribute(t, "c", {"v"});
+  TagId tag = lake.GetOrCreateTag("meta");
+  ASSERT_TRUE(lake.AttachTagMetadataOnly(t, tag).ok());
+  EXPECT_EQ(lake.table(t).tags, (std::vector<TagId>{tag}));
+  EXPECT_TRUE(lake.attribute(a).tags.empty());
+}
+
+TEST(DataLakeTest, ComputeTopicVectors) {
+  TinyLake tiny = MakeTinyLake();
+  EXPECT_TRUE(tiny.lake.topic_vectors_computed());
+  const Attribute& x = tiny.lake.attribute(0);
+  EXPECT_TRUE(x.HasTopic());
+  EXPECT_EQ(x.topic, (Vec{1, 0, 0, 0}));
+  EXPECT_EQ(x.embedded_count, 1u);
+}
+
+TEST(DataLakeTest, NonTextAttributesGetNoTopic) {
+  TinyLake tiny = MakeTinyLake();
+  DataLake& lake = tiny.lake;
+  TableId t = lake.AddTable("numeric");
+  AttributeId a = lake.AddAttribute(t, "n", {"a"}, /*is_text=*/false);
+  ASSERT_TRUE(lake.ComputeTopicVectors(*tiny.store).ok());
+  EXPECT_FALSE(lake.attribute(a).HasTopic());
+}
+
+TEST(DataLakeTest, AttributeTagAssociationsCount) {
+  TinyLake tiny = MakeTinyLake();
+  // x, y carry {alpha}; z carries {beta}; w carries {alpha, beta}.
+  EXPECT_EQ(tiny.lake.NumAttributeTagAssociations(), 5u);
+}
+
+TEST(DataLakeTest, OrganizableAttributes) {
+  TinyLake tiny = MakeTinyLake();
+  DataLake& lake = tiny.lake;
+  // Add an attribute with no embeddable values and one with no tags.
+  TableId t = lake.AddTable("extra");
+  lake.AddAttribute(t, "no_embed", {"zzz"}, true);
+  TableId t2 = lake.AddTable("untagged");
+  lake.AddAttribute(t2, "col", {"a"}, true);
+  ASSERT_TRUE(lake.ComputeTopicVectors(*tiny.store).ok());
+  std::vector<AttributeId> organizable = lake.OrganizableAttributes();
+  EXPECT_EQ(organizable, (std::vector<AttributeId>{0, 1, 2, 3}));
+}
+
+TEST(LakeStatsTest, TinyLakeStats) {
+  TinyLake tiny = MakeTinyLake();
+  LakeStats stats = ComputeLakeStats(tiny.lake);
+  EXPECT_EQ(stats.num_tables, 3u);
+  EXPECT_EQ(stats.num_attributes, 4u);
+  EXPECT_EQ(stats.num_text_attributes, 4u);
+  EXPECT_EQ(stats.num_tags, 2u);
+  EXPECT_DOUBLE_EQ(stats.text_attribute_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(stats.tables_with_text_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max_tags_per_table, 2.0);
+  EXPECT_DOUBLE_EQ(stats.mean_attrs_per_table, 4.0 / 3.0);
+}
+
+TEST(LakeStatsTest, FormatContainsHeadlineNumbers) {
+  TinyLake tiny = MakeTinyLake();
+  std::string text = FormatLakeStats(ComputeLakeStats(tiny.lake));
+  EXPECT_NE(text.find("tables: 3"), std::string::npos);
+  EXPECT_NE(text.find("tags: 2"), std::string::npos);
+}
+
+TEST(LakeStatsTest, EmptyLake) {
+  DataLake lake;
+  LakeStats stats = ComputeLakeStats(lake);
+  EXPECT_EQ(stats.num_tables, 0u);
+  EXPECT_DOUBLE_EQ(stats.text_attribute_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,132 @@
+#include "lake/numeric_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace lakeorg {
+namespace {
+
+std::vector<std::string> Nums(const std::vector<double>& xs) {
+  std::vector<std::string> out;
+  for (double x : xs) out.push_back(std::to_string(x));
+  return out;
+}
+
+TEST(NumericProfileTest, BasicStatistics) {
+  NumericProfile p = ProfileNumericValues(Nums({1, 2, 3, 4, 5}), 5);
+  EXPECT_EQ(p.count, 5u);
+  EXPECT_DOUBLE_EQ(p.min, 1.0);
+  EXPECT_DOUBLE_EQ(p.max, 5.0);
+  EXPECT_DOUBLE_EQ(p.mean, 3.0);
+  EXPECT_NEAR(p.stddev * p.stddev, 2.5, 1e-9);  // Sample variance.
+  ASSERT_EQ(p.quantiles.size(), 5u);
+  EXPECT_DOUBLE_EQ(p.quantiles.front(), 1.0);
+  EXPECT_DOUBLE_EQ(p.quantiles[2], 3.0);  // Median.
+  EXPECT_DOUBLE_EQ(p.quantiles.back(), 5.0);
+  EXPECT_TRUE(p.Valid());
+}
+
+TEST(NumericProfileTest, SkipsNonNumericValues) {
+  NumericProfile p =
+      ProfileNumericValues({"1", "two", "3", "n/a", "5"}, 3);
+  EXPECT_EQ(p.count, 3u);
+  EXPECT_DOUBLE_EQ(p.min, 1.0);
+  EXPECT_DOUBLE_EQ(p.max, 5.0);
+}
+
+TEST(NumericProfileTest, EmptyAndSingleValue) {
+  NumericProfile empty = ProfileNumericValues({"abc"});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_FALSE(empty.Valid());
+  NumericProfile single = ProfileNumericValues({"7"});
+  EXPECT_EQ(single.count, 1u);
+  EXPECT_FALSE(single.Valid());  // Needs >= 2 values.
+  EXPECT_DOUBLE_EQ(single.mean, 7.0);
+}
+
+TEST(NumericProfileTest, QuantilesAreMonotone) {
+  NumericProfile p = ProfileNumericValues(
+      Nums({9, 1, 4, 7, 2, 8, 3, 6, 5, 10, 0}), 9);
+  for (size_t i = 1; i < p.quantiles.size(); ++i) {
+    EXPECT_GE(p.quantiles[i], p.quantiles[i - 1]);
+  }
+}
+
+TEST(NumericSimilarityTest, IdenticalDistributionsScoreOne) {
+  NumericProfile a = ProfileNumericValues(Nums({1, 2, 3, 4, 5}), 5);
+  NumericProfile b = ProfileNumericValues(Nums({1, 2, 3, 4, 5}), 5);
+  EXPECT_DOUBLE_EQ(NumericSimilarity(a, b), 1.0);
+}
+
+TEST(NumericSimilarityTest, SimilarDistributionsScoreHigh) {
+  // Same range and shape, disjoint actual values.
+  NumericProfile a =
+      ProfileNumericValues(Nums({10, 20, 30, 40, 50}), 5);
+  NumericProfile b =
+      ProfileNumericValues(Nums({11, 21, 31, 41, 51}), 5);
+  EXPECT_GT(NumericSimilarity(a, b), 0.9);
+}
+
+TEST(NumericSimilarityTest, DisjointRangesScoreLow) {
+  NumericProfile a = ProfileNumericValues(Nums({1, 2, 3, 4, 5}), 5);
+  NumericProfile b =
+      ProfileNumericValues(Nums({1000, 2000, 3000, 4000, 5000}), 5);
+  EXPECT_LT(NumericSimilarity(a, b), 0.45);
+}
+
+TEST(NumericSimilarityTest, InvalidProfilesScoreZero) {
+  NumericProfile a = ProfileNumericValues(Nums({1, 2, 3}), 5);
+  NumericProfile invalid = ProfileNumericValues({"abc"});
+  EXPECT_DOUBLE_EQ(NumericSimilarity(a, invalid), 0.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity(invalid, a), 0.0);
+}
+
+TEST(NumericSimilarityTest, ConstantEqualDomains) {
+  NumericProfile a = ProfileNumericValues(Nums({5, 5, 5}), 3);
+  NumericProfile b = ProfileNumericValues(Nums({5, 5}), 3);
+  EXPECT_DOUBLE_EQ(NumericSimilarity(a, b), 1.0);
+}
+
+TEST(NumericSimilarityTest, SymmetricMeasure) {
+  NumericProfile a = ProfileNumericValues(Nums({1, 5, 9}), 5);
+  NumericProfile b = ProfileNumericValues(Nums({2, 6, 14}), 5);
+  EXPECT_DOUBLE_EQ(NumericSimilarity(a, b), NumericSimilarity(b, a));
+}
+
+TEST(NumericJaccardTest, TheMisleadingBaseline) {
+  // The paper's motivating observation (section 3.1): semantically
+  // related numeric attributes can have zero value overlap, while
+  // unrelated ones can overlap heavily. Distribution similarity fixes
+  // the first case.
+  std::vector<std::string> census_2019 = Nums({10000, 20000, 30000});
+  std::vector<std::string> census_2020 = Nums({10100, 20200, 30300});
+  EXPECT_DOUBLE_EQ(NumericValueJaccard(census_2019, census_2020), 0.0);
+  NumericProfile a = ProfileNumericValues(census_2019, 5);
+  NumericProfile b = ProfileNumericValues(census_2020, 5);
+  EXPECT_GT(NumericSimilarity(a, b), 0.9);
+
+  // Unrelated attributes sharing small integers overlap perfectly under
+  // Jaccard.
+  std::vector<std::string> ratings = Nums({1, 2, 3});
+  std::vector<std::string> floor_numbers = Nums({1, 2, 3});
+  EXPECT_DOUBLE_EQ(NumericValueJaccard(ratings, floor_numbers), 1.0);
+}
+
+TEST(NumericJaccardTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(NumericValueJaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(NumericValueJaccard({"1"}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(NumericValueJaccard({"1", "1"}, {"1"}), 1.0);
+}
+
+TEST(NumericProfileTest, ProfileAttributeFromLake) {
+  DataLake lake;
+  TableId t = lake.AddTable("t");
+  AttributeId a =
+      lake.AddAttribute(t, "counts", Nums({1, 2, 3, 4}), false);
+  NumericProfile p = ProfileAttribute(lake, a, 3);
+  EXPECT_EQ(p.count, 4u);
+  EXPECT_DOUBLE_EQ(p.min, 1.0);
+  EXPECT_DOUBLE_EQ(p.max, 4.0);
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,68 @@
+#include "lake/tag_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lakeorg {
+namespace {
+
+using testing::MakeTinyLake;
+using testing::TinyLake;
+
+TEST(TagIndexTest, ExtentsMatchTagAssociations) {
+  TinyLake tiny = MakeTinyLake();
+  TagIndex index = TagIndex::Build(tiny.lake);
+  // alpha covers attributes {x=0, y=1, w=3}; beta covers {z=2, w=3}.
+  EXPECT_EQ(index.AttributesOfTag(tiny.alpha),
+            (std::vector<AttributeId>{0, 1, 3}));
+  EXPECT_EQ(index.AttributesOfTag(tiny.beta),
+            (std::vector<AttributeId>{2, 3}));
+}
+
+TEST(TagIndexTest, TagTopicVectorIsMeanOverExtentValues) {
+  TinyLake tiny = MakeTinyLake();
+  TagIndex index = TagIndex::Build(tiny.lake);
+  // alpha: values a, b, d -> mean of e0, e1, e3.
+  Vec alpha = index.TagTopicVector(tiny.alpha);
+  EXPECT_NEAR(alpha[0], 1.0f / 3.0f, 1e-6);
+  EXPECT_NEAR(alpha[1], 1.0f / 3.0f, 1e-6);
+  EXPECT_NEAR(alpha[2], 0.0f, 1e-6);
+  EXPECT_NEAR(alpha[3], 1.0f / 3.0f, 1e-6);
+  EXPECT_EQ(index.TagValueCount(tiny.alpha), 3u);
+}
+
+TEST(TagIndexTest, TagTopicSumMatchesVectorTimesCount) {
+  TinyLake tiny = MakeTinyLake();
+  TagIndex index = TagIndex::Build(tiny.lake);
+  Vec sum = index.TagTopicSum(tiny.beta);
+  // beta: values c, d -> sum = e2 + e3.
+  EXPECT_EQ(sum, (Vec{0, 0, 1, 1}));
+}
+
+TEST(TagIndexTest, NonEmptyTags) {
+  TinyLake tiny = MakeTinyLake();
+  DataLake& lake = tiny.lake;
+  TagId unused = lake.GetOrCreateTag("unused");
+  ASSERT_TRUE(lake.ComputeTopicVectors(*tiny.store).ok());
+  TagIndex index = TagIndex::Build(lake);
+  EXPECT_EQ(index.num_tags(), 3u);
+  EXPECT_EQ(index.NonEmptyTags(),
+            (std::vector<TagId>{tiny.alpha, tiny.beta}));
+  EXPECT_TRUE(index.AttributesOfTag(unused).empty());
+}
+
+TEST(TagIndexTest, SkipsUnembeddableAttributes) {
+  TinyLake tiny = MakeTinyLake();
+  DataLake& lake = tiny.lake;
+  TableId t = lake.AddTable("junk");
+  TagId tag = lake.Tag(t, "junk_tag");
+  lake.AddAttribute(t, "noise", {"not_embeddable_value"}, true);
+  ASSERT_TRUE(lake.ComputeTopicVectors(*tiny.store).ok());
+  TagIndex index = TagIndex::Build(lake);
+  // junk_tag's only attribute has no topic -> empty extent.
+  EXPECT_TRUE(index.AttributesOfTag(tag).empty());
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,147 @@
+#include "search/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchgen/socrata.h"
+#include "search/query_expansion.h"
+#include "test_util.h"
+
+namespace lakeorg {
+namespace {
+
+using testing::MakeTinyLake;
+using testing::TinyLake;
+
+TEST(SearchEngineTest, IndexesOneDocPerTable) {
+  TinyLake tiny = MakeTinyLake();
+  TableSearchEngine engine(&tiny.lake, nullptr);
+  EXPECT_EQ(engine.num_documents(), tiny.lake.num_tables());
+}
+
+TEST(SearchEngineTest, FindsTableByMetadata) {
+  TinyLake tiny = MakeTinyLake();
+  TableSearchEngine engine(&tiny.lake, nullptr);
+  // "alpha" appears in t0's description and tag.
+  std::vector<TableHit> hits = engine.Search("alpha", 5, false);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].table, tiny.lake.FindTable("t0"));
+}
+
+TEST(SearchEngineTest, FindsTableByTitle) {
+  TinyLake tiny = MakeTinyLake();
+  TableSearchEngine engine(&tiny.lake, nullptr);
+  std::vector<TableHit> hits = engine.Search("zero", 5, false);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].table, tiny.lake.FindTable("t0"));
+}
+
+TEST(SearchEngineTest, NoMatchGivesEmptyResults) {
+  TinyLake tiny = MakeTinyLake();
+  TableSearchEngine engine(&tiny.lake, nullptr);
+  EXPECT_TRUE(engine.Search("nonexistent keyword", 5, false).empty());
+}
+
+TEST(SearchEngineTest, RespectsK) {
+  TinyLake tiny = MakeTinyLake();
+  TableSearchEngine engine(&tiny.lake, nullptr);
+  // "about" is a stopword; "things" hits t0 and t1.
+  std::vector<TableHit> hits = engine.Search("things", 1, false);
+  EXPECT_LE(hits.size(), 1u);
+}
+
+TEST(SearchEngineTest, ValueSamplingCapIsApplied) {
+  DataLake lake;
+  auto store = std::make_shared<EmbeddingStore>(testing::BasisEmbedding());
+  TableId t = lake.AddTable("big");
+  std::vector<std::string> values(500, "filler");
+  values[0] = "needle";  // Within the default 50-value sample window.
+  lake.AddAttribute(t, "col", values);
+  ASSERT_TRUE(lake.ComputeTopicVectors(*store).ok());
+  SearchEngineOptions opts;
+  opts.max_values_per_attribute = 10;
+  TableSearchEngine engine(&lake, nullptr, opts);
+  EXPECT_FALSE(engine.Search("needle", 5, false).empty());
+  // Index holds at most 10 value tokens + metadata.
+  EXPECT_LE(engine.index().doc_length(0), 13u);
+}
+
+TEST(QueryExpansionTest, ExpandsWithSimilarVocabularyTerms) {
+  auto vocab = std::make_shared<SyntheticVocabulary>(
+      SyntheticVocabularyOptions{.dim = 16,
+                                 .num_topics = 6,
+                                 .words_per_topic = 12,
+                                 .max_center_cosine = 0.4,
+                                 .word_noise = 0.2,
+                                 .seed = 21});
+  auto store = std::make_shared<EmbeddingStore>(vocab);
+  QueryExpander expander(store, vocab->words());
+  ExpandedQuery q = expander.Expand({vocab->word(0)});
+  ASSERT_GE(q.terms.size(), 2u);
+  EXPECT_EQ(q.terms[0], vocab->word(0));
+  EXPECT_DOUBLE_EQ(q.weights[0], 1.0);
+  for (size_t i = 1; i < q.terms.size(); ++i) {
+    EXPECT_LT(q.weights[i], 1.0);
+    EXPECT_GT(q.weights[i], 0.0);
+    // Expansion terms are semantically close to the original.
+    EXPECT_GT(Cosine(vocab->vector(0), *vocab->Embed(q.terms[i])), 0.5);
+  }
+}
+
+TEST(QueryExpansionTest, UnknownTermsPassThrough) {
+  auto vocab = std::make_shared<SyntheticVocabulary>(
+      SyntheticVocabularyOptions{.dim = 16,
+                                 .num_topics = 4,
+                                 .words_per_topic = 8,
+                                 .max_center_cosine = 0.4,
+                                 .word_noise = 0.2,
+                                 .seed = 22});
+  auto store = std::make_shared<EmbeddingStore>(vocab);
+  QueryExpander expander(store, vocab->words());
+  ExpandedQuery q = expander.Expand({"totally_unknown"});
+  EXPECT_EQ(q.terms, (std::vector<std::string>{"totally_unknown"}));
+}
+
+TEST(QueryExpansionTest, NoDuplicateExpansions) {
+  auto vocab = std::make_shared<SyntheticVocabulary>(
+      SyntheticVocabularyOptions{.dim = 16,
+                                 .num_topics = 4,
+                                 .words_per_topic = 8,
+                                 .max_center_cosine = 0.4,
+                                 .word_noise = 0.2,
+                                 .seed = 23});
+  auto store = std::make_shared<EmbeddingStore>(vocab);
+  QueryExpander expander(store, vocab->words());
+  ExpandedQuery q = expander.Expand({vocab->word(0), vocab->word(1)});
+  std::set<std::string> unique(q.terms.begin(), q.terms.end());
+  EXPECT_EQ(unique.size(), q.terms.size());
+}
+
+TEST(SearchEngineTest, ExpansionRecallsRelatedTables) {
+  // Socrata-like lake with a shared vocabulary: searching for a word
+  // related (but not equal) to a table's content should hit via
+  // expansion.
+  SocrataOptions opts;
+  opts.num_tables = 40;
+  opts.num_tags = 30;
+  opts.seed = 31;
+  SocrataLake soc = GenerateSocrataLake(opts);
+  TableSearchEngine engine(&soc.lake, soc.store);
+  // Pick a vocabulary word present in some table's values.
+  std::string query_word;
+  for (const Attribute& a : soc.lake.attributes()) {
+    if (a.is_text && !a.values.empty() &&
+        soc.vocabulary->IndexOf(a.values[0]).has_value()) {
+      query_word = a.values[0];
+      break;
+    }
+  }
+  ASSERT_FALSE(query_word.empty());
+  std::vector<TableHit> expanded = engine.Search(query_word, 20, true);
+  std::vector<TableHit> plain = engine.Search(query_word, 20, false);
+  EXPECT_GE(expanded.size(), plain.size());
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "search/bm25.h"
+#include "search/inverted_index.h"
+
+namespace lakeorg {
+namespace {
+
+InvertedIndex ThreeDocIndex() {
+  InvertedIndex index;
+  index.AddDocument({"fish", "ocean", "fish"});           // doc 0
+  index.AddDocument({"city", "traffic", "data", "city"});  // doc 1
+  index.AddDocument({"fish", "city"});                     // doc 2
+  return index;
+}
+
+TEST(InvertedIndexTest, DocumentCountAndLengths) {
+  InvertedIndex index = ThreeDocIndex();
+  EXPECT_EQ(index.num_documents(), 3u);
+  EXPECT_EQ(index.doc_length(0), 3u);
+  EXPECT_EQ(index.doc_length(1), 4u);
+  EXPECT_EQ(index.doc_length(2), 2u);
+  EXPECT_DOUBLE_EQ(index.average_doc_length(), 3.0);
+}
+
+TEST(InvertedIndexTest, PostingsCarryTermFrequencies) {
+  InvertedIndex index = ThreeDocIndex();
+  const std::vector<Posting>& fish = index.PostingsFor("fish");
+  ASSERT_EQ(fish.size(), 2u);
+  EXPECT_EQ(fish[0].doc, 0u);
+  EXPECT_EQ(fish[0].term_frequency, 2u);
+  EXPECT_EQ(fish[1].doc, 2u);
+  EXPECT_EQ(fish[1].term_frequency, 1u);
+}
+
+TEST(InvertedIndexTest, UnknownTermHasEmptyPostings) {
+  InvertedIndex index = ThreeDocIndex();
+  EXPECT_TRUE(index.PostingsFor("unknown").empty());
+  EXPECT_EQ(index.DocumentFrequency("unknown"), 0u);
+}
+
+TEST(InvertedIndexTest, TermsEnumeratesVocabulary) {
+  InvertedIndex index = ThreeDocIndex();
+  std::vector<std::string> terms = index.Terms();
+  EXPECT_EQ(terms.size(), 5u);  // fish, ocean, city, traffic, data.
+}
+
+TEST(InvertedIndexTest, EmptyIndex) {
+  InvertedIndex index;
+  EXPECT_EQ(index.num_documents(), 0u);
+  EXPECT_DOUBLE_EQ(index.average_doc_length(), 0.0);
+}
+
+TEST(Bm25Test, IdfDecreasesWithDocumentFrequency) {
+  InvertedIndex index = ThreeDocIndex();
+  Bm25Scorer scorer(&index);
+  // "ocean" appears in 1 doc, "fish" in 2, "city" in 2.
+  EXPECT_GT(scorer.Idf("ocean"), scorer.Idf("fish"));
+  EXPECT_GT(scorer.Idf("unknown"), scorer.Idf("ocean"));
+  EXPECT_GT(scorer.Idf("fish"), 0.0);  // Always positive.
+}
+
+TEST(Bm25Test, IdfMatchesFormula) {
+  InvertedIndex index = ThreeDocIndex();
+  Bm25Scorer scorer(&index);
+  double n = 3.0;
+  double df = 1.0;  // "ocean".
+  EXPECT_NEAR(scorer.Idf("ocean"),
+              std::log((n - df + 0.5) / (df + 0.5) + 1.0), 1e-12);
+}
+
+TEST(Bm25Test, RanksMatchingDocFirst) {
+  InvertedIndex index = ThreeDocIndex();
+  Bm25Scorer scorer(&index);
+  std::vector<SearchHit> hits = scorer.TopK({"ocean"}, 10);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 0u);
+  EXPECT_GT(hits[0].score, 0.0);
+}
+
+TEST(Bm25Test, MultiTermQueryAccumulates) {
+  InvertedIndex index = ThreeDocIndex();
+  Bm25Scorer scorer(&index);
+  std::vector<SearchHit> hits = scorer.TopK({"fish", "city"}, 10);
+  ASSERT_EQ(hits.size(), 3u);
+  // Doc 2 matches both terms and is short: expect it first.
+  EXPECT_EQ(hits[0].doc, 2u);
+}
+
+TEST(Bm25Test, TopKLimitsResults) {
+  InvertedIndex index = ThreeDocIndex();
+  Bm25Scorer scorer(&index);
+  EXPECT_EQ(scorer.TopK({"fish", "city"}, 1).size(), 1u);
+  EXPECT_EQ(scorer.TopK({"fish", "city"}, 0).size(), 0u);
+}
+
+TEST(Bm25Test, ScoresAreDescending) {
+  InvertedIndex index = ThreeDocIndex();
+  Bm25Scorer scorer(&index);
+  std::vector<SearchHit> hits = scorer.TopK({"fish", "city", "data"}, 10);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+}
+
+TEST(Bm25Test, WeightsScaleContributions) {
+  InvertedIndex index = ThreeDocIndex();
+  Bm25Scorer scorer(&index);
+  // Zero weight removes the term entirely.
+  std::vector<SearchHit> weighted =
+      scorer.TopK({"fish", "city"}, 10, {1.0, 0.0});
+  ASSERT_EQ(weighted.size(), 2u);  // Only fish docs.
+  for (const SearchHit& h : weighted) EXPECT_NE(h.doc, 1u);
+}
+
+TEST(Bm25Test, TermFrequencySaturates) {
+  // BM25's tf saturation: doubling tf less than doubles the score.
+  InvertedIndex index;
+  index.AddDocument({"fish"});
+  index.AddDocument({"fish", "fish", "fish", "fish"});
+  Bm25Scorer scorer(&index);
+  std::vector<SearchHit> hits = scorer.TopK({"fish"}, 10);
+  ASSERT_EQ(hits.size(), 2u);
+  // Note doc lengths differ; simply require less than 4x gap.
+  double hi = std::max(hits[0].score, hits[1].score);
+  double lo = std::min(hits[0].score, hits[1].score);
+  EXPECT_LT(hi / lo, 4.0);
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,56 @@
+#include "search/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace lakeorg {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  EXPECT_EQ(Tokenize("Smart City Data"),
+            (std::vector<std::string>{"smart", "city", "data"}));
+}
+
+TEST(TokenizerTest, SplitsOnPunctuation) {
+  EXPECT_EQ(Tokenize("traffic-monitoring,2020 (draft)"),
+            (std::vector<std::string>{"traffic", "monitoring", "2020",
+                                      "draft"}));
+}
+
+TEST(TokenizerTest, SplitsOnUnderscore) {
+  EXPECT_EQ(Tokenize("smart_city"),
+            (std::vector<std::string>{"smart", "city"}));
+}
+
+TEST(TokenizerTest, RemovesStopwords) {
+  EXPECT_EQ(Tokenize("the fish and the ocean"),
+            (std::vector<std::string>{"fish", "ocean"}));
+}
+
+TEST(TokenizerTest, StopwordRemovalCanBeDisabled) {
+  TokenizerOptions opts;
+  opts.remove_stopwords = false;
+  EXPECT_EQ(Tokenize("the fish", opts),
+            (std::vector<std::string>{"the", "fish"}));
+}
+
+TEST(TokenizerTest, MinTokenLength) {
+  EXPECT_EQ(Tokenize("a b cd"), (std::vector<std::string>{"cd"}));
+  TokenizerOptions opts;
+  opts.min_token_length = 4;
+  EXPECT_EQ(Tokenize("one four five", opts),
+            (std::vector<std::string>{"four", "five"}));
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   \t\n").empty());
+}
+
+TEST(TokenizerTest, IsStopword) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_FALSE(IsStopword("fisheries"));
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,259 @@
+#include "study/agents.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchgen/socrata.h"
+#include "study/study_runner.h"
+
+namespace lakeorg {
+namespace {
+
+/// Shared environment: one small Socrata-like lake with an unoptimized
+/// 2-dim organization and a search engine (optimization quality is not
+/// under test here; agent mechanics are).
+class AgentsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SocrataOptions opts;
+    opts.num_tables = 80;
+    opts.num_tags = 50;
+    opts.seed = 91;
+    lake_ = new SocrataLake(GenerateSocrataLake(opts));
+    index_ = new TagIndex(TagIndex::Build(lake_->lake));
+    MultiDimOptions mopts;
+    mopts.dimensions = 2;
+    mopts.optimize = false;
+    mopts.num_threads = 1;
+    org_ = new MultiDimOrganization(
+        BuildMultiDimOrganization(lake_->lake, *index_, mopts));
+    engine_ = new TableSearchEngine(&lake_->lake, lake_->store);
+    // Scenario: the topic of some tag with a reasonably large extent.
+    TagId best_tag = index_->NonEmptyTags()[0];
+    for (TagId t : index_->NonEmptyTags()) {
+      if (index_->AttributesOfTag(t).size() >
+          index_->AttributesOfTag(best_tag).size()) {
+        best_tag = t;
+      }
+    }
+    scenario_ = new Scenario{
+        "datasets about " + lake_->lake.tag_name(best_tag),
+        index_->TagTopicVector(best_tag)};
+  }
+
+  static void TearDownTestSuite() {
+    delete scenario_;
+    delete engine_;
+    delete org_;
+    delete index_;
+    delete lake_;
+  }
+
+  static AgentOptions DefaultAgent() {
+    AgentOptions opts;
+    opts.action_budget = 120;
+    opts.intent_noise = 0.2;
+    opts.accept_threshold = 0.3;
+    return opts;
+  }
+
+  static SocrataLake* lake_;
+  static TagIndex* index_;
+  static MultiDimOrganization* org_;
+  static TableSearchEngine* engine_;
+  static Scenario* scenario_;
+};
+
+SocrataLake* AgentsTest::lake_ = nullptr;
+TagIndex* AgentsTest::index_ = nullptr;
+MultiDimOrganization* AgentsTest::org_ = nullptr;
+TableSearchEngine* AgentsTest::engine_ = nullptr;
+Scenario* AgentsTest::scenario_ = nullptr;
+
+TEST_F(AgentsTest, IntentVectorIsUnitNorm) {
+  Rng rng(1);
+  Vec intent = SampleIntentVector(scenario_->topic, 0.3, &rng);
+  EXPECT_NEAR(Norm(intent), 1.0, 1e-5);
+}
+
+TEST_F(AgentsTest, IntentNoiseZeroTracksScenario) {
+  Rng rng(2);
+  Vec intent = SampleIntentVector(scenario_->topic, 0.0, &rng);
+  EXPECT_NEAR(Cosine(intent, scenario_->topic), 1.0, 1e-6);
+}
+
+TEST_F(AgentsTest, NavigationAgentRespectsBudget) {
+  Rng rng(3);
+  AgentResult r = RunNavigationAgent(*org_, lake_->lake, *scenario_,
+                                     DefaultAgent(), &rng);
+  EXPECT_LE(r.actions_used, DefaultAgent().action_budget + 2);
+  EXPECT_GT(r.actions_used, 0u);
+}
+
+TEST_F(AgentsTest, NavigationAgentFindsSomethingRelevant) {
+  Rng rng(4);
+  AgentOptions opts = DefaultAgent();
+  opts.action_budget = 400;
+  AgentResult r =
+      RunNavigationAgent(*org_, lake_->lake, *scenario_, opts, &rng);
+  EXPECT_GT(r.probes, 0u);
+  // Everything collected passes the agent's own threshold; spot-check it
+  // is at least weakly related to the scenario.
+  for (TableId t : r.found) {
+    Vec topic = TableTopicVector(lake_->lake, t);
+    EXPECT_GT(Cosine(topic, scenario_->topic), -0.2);
+  }
+}
+
+TEST_F(AgentsTest, NavigationResultsAreDeduplicated) {
+  Rng rng(5);
+  AgentOptions opts = DefaultAgent();
+  opts.action_budget = 400;
+  AgentResult r =
+      RunNavigationAgent(*org_, lake_->lake, *scenario_, opts, &rng);
+  std::set<TableId> unique(r.found.begin(), r.found.end());
+  EXPECT_EQ(unique.size(), r.found.size());
+}
+
+TEST_F(AgentsTest, NavigationAgentScansLeafListsPerStop) {
+  // The agent inspects a ranked list of tables at leaf-parent states (the
+  // prototype's table list), so a session with a healthy budget collects
+  // more than one table per probe on average when the lake has topical
+  // clusters.
+  Rng rng(15);
+  AgentOptions opts = DefaultAgent();
+  opts.action_budget = 500;
+  opts.accept_threshold = 0.2;  // Permissive: count inspection breadth.
+  AgentResult r =
+      RunNavigationAgent(*org_, lake_->lake, *scenario_, opts, &rng);
+  ASSERT_GT(r.probes, 1u);
+  EXPECT_GT(r.found.size(), r.probes / 4);
+}
+
+TEST_F(AgentsTest, HigherIntentNoiseDiversifiesUsers) {
+  // Two users with high noise diverge more than two with low noise.
+  auto run_pair = [this](double noise, uint64_t s1, uint64_t s2) {
+    AgentOptions opts = DefaultAgent();
+    opts.action_budget = 300;
+    opts.intent_noise = noise;
+    Rng a(s1);
+    Rng b(s2);
+    AgentResult ra =
+        RunNavigationAgent(*org_, lake_->lake, *scenario_, opts, &a);
+    AgentResult rb =
+        RunNavigationAgent(*org_, lake_->lake, *scenario_, opts, &b);
+    return Disjointness(ra.found, rb.found);
+  };
+  double low = 0.0;
+  double high = 0.0;
+  for (uint64_t s = 0; s < 4; ++s) {
+    low += run_pair(0.05, 100 + s, 200 + s);
+    high += run_pair(0.8, 100 + s, 200 + s);
+  }
+  EXPECT_GE(high, low - 0.2);  // Noise should not reduce divergence.
+}
+
+TEST_F(AgentsTest, ZeroBudgetFindsNothing) {
+  Rng rng(16);
+  AgentOptions opts = DefaultAgent();
+  opts.action_budget = 0;
+  AgentResult nav =
+      RunNavigationAgent(*org_, lake_->lake, *scenario_, opts, &rng);
+  EXPECT_TRUE(nav.found.empty());
+  AgentResult search = RunSearchAgent(*engine_, lake_->lake, *scenario_,
+                                      {}, opts, &rng);
+  EXPECT_TRUE(search.found.empty());
+}
+
+TEST_F(AgentsTest, SearchAgentRespectsBudget) {
+  Rng rng(6);
+  AgentResult r = RunSearchAgent(*engine_, lake_->lake, *scenario_, {},
+                                 DefaultAgent(), &rng);
+  EXPECT_LE(r.actions_used, DefaultAgent().action_budget);
+  EXPECT_GT(r.probes, 0u);
+}
+
+TEST_F(AgentsTest, SearchAgentUsesKeywordPool) {
+  Rng rng(7);
+  AgentOptions opts = DefaultAgent();
+  opts.scenario_term_prob = 0.0;  // Force personal-pool terms.
+  AgentResult r = RunSearchAgent(*engine_, lake_->lake, *scenario_,
+                                 {"data", "city"}, opts, &rng);
+  EXPECT_GT(r.probes, 0u);
+}
+
+TEST_F(AgentsTest, DeterministicGivenRngState) {
+  Rng rng_a(8);
+  Rng rng_b(8);
+  AgentResult a = RunNavigationAgent(*org_, lake_->lake, *scenario_,
+                                     DefaultAgent(), &rng_a);
+  AgentResult b = RunNavigationAgent(*org_, lake_->lake, *scenario_,
+                                     DefaultAgent(), &rng_b);
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.actions_used, b.actions_used);
+}
+
+TEST_F(AgentsTest, StudyRunnerProducesBalancedSessions) {
+  StudyEnvironment env_a{&lake_->lake, org_, engine_, *scenario_, "A"};
+  StudyEnvironment env_b{&lake_->lake, org_, engine_, *scenario_, "B"};
+  StudyOptions opts;
+  opts.participants = 8;
+  opts.agent = DefaultAgent();
+  StudyResult result = RunUserStudy(env_a, env_b, opts);
+  EXPECT_EQ(result.sessions.size(), 16u);  // 8 participants x 2 legs.
+  size_t nav = 0;
+  size_t search = 0;
+  for (const SessionRecord& s : result.sessions) {
+    (s.navigation ? nav : search) += 1;
+  }
+  EXPECT_EQ(nav, 8u);
+  EXPECT_EQ(search, 8u);
+  // Each participant does both scenarios with different modalities.
+  for (size_t p = 0; p < 8; ++p) {
+    const SessionRecord& first = result.sessions[2 * p];
+    const SessionRecord& second = result.sessions[2 * p + 1];
+    EXPECT_EQ(first.participant, p);
+    EXPECT_NE(first.environment, second.environment);
+    EXPECT_NE(first.navigation, second.navigation);
+  }
+}
+
+TEST_F(AgentsTest, StudyRunnerStatsAreCoherent) {
+  StudyEnvironment env_a{&lake_->lake, org_, engine_, *scenario_, "A"};
+  StudyEnvironment env_b{&lake_->lake, org_, engine_, *scenario_, "B"};
+  StudyOptions opts;
+  opts.participants = 8;
+  opts.agent = DefaultAgent();
+  StudyResult result = RunUserStudy(env_a, env_b, opts);
+  EXPECT_EQ(result.navigation.found_counts.size(), 8u);
+  EXPECT_EQ(result.search.found_counts.size(), 8u);
+  for (double d : result.navigation.disjointness) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+  EXPECT_GE(result.nav_search_overlap, 0.0);
+  EXPECT_LE(result.nav_search_overlap, 1.0);
+  EXPECT_GE(result.h2_disjointness.p_two_tailed, 0.0);
+  EXPECT_LE(result.h2_disjointness.p_two_tailed, 1.0);
+  std::string report = FormatStudyResult(result);
+  EXPECT_NE(report.find("H1"), std::string::npos);
+  EXPECT_NE(report.find("H2"), std::string::npos);
+}
+
+TEST_F(AgentsTest, StudyRunnerDeterministicGivenSeed) {
+  StudyEnvironment env_a{&lake_->lake, org_, engine_, *scenario_, "A"};
+  StudyEnvironment env_b{&lake_->lake, org_, engine_, *scenario_, "B"};
+  StudyOptions opts;
+  opts.participants = 4;
+  opts.agent = DefaultAgent();
+  StudyResult r1 = RunUserStudy(env_a, env_b, opts);
+  StudyResult r2 = RunUserStudy(env_a, env_b, opts);
+  ASSERT_EQ(r1.sessions.size(), r2.sessions.size());
+  for (size_t i = 0; i < r1.sessions.size(); ++i) {
+    EXPECT_EQ(r1.sessions[i].found, r2.sessions[i].found);
+  }
+}
+
+}  // namespace
+}  // namespace lakeorg

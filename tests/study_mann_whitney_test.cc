@@ -1,0 +1,108 @@
+#include "study/mann_whitney.h"
+
+#include <gtest/gtest.h>
+
+namespace lakeorg {
+namespace {
+
+TEST(NormalSurvivalTest, KnownValues) {
+  EXPECT_NEAR(NormalSurvival(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalSurvival(1.96), 0.025, 1e-3);
+  EXPECT_NEAR(NormalSurvival(-1.96), 0.975, 1e-3);
+  EXPECT_LT(NormalSurvival(5.0), 1e-6);
+}
+
+TEST(MannWhitneyTest, EmptySamplesGivePOne) {
+  MannWhitneyResult r = MannWhitneyUTest({}, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(r.p_two_tailed, 1.0);
+  EXPECT_EQ(r.n_a, 0u);
+  EXPECT_EQ(r.n_b, 2u);
+}
+
+TEST(MannWhitneyTest, UStatisticsSumToProduct) {
+  std::vector<double> a = {1, 5, 7, 9};
+  std::vector<double> b = {2, 4, 6};
+  MannWhitneyResult r = MannWhitneyUTest(a, b);
+  EXPECT_DOUBLE_EQ(r.u_a + r.u_b,
+                   static_cast<double>(a.size() * b.size()));
+  EXPECT_DOUBLE_EQ(r.u, std::min(r.u_a, r.u_b));
+}
+
+TEST(MannWhitneyTest, HandComputedU) {
+  // a = {1, 2}, b = {3, 4}: every b beats every a, so U_a = 0, U_b = 4.
+  MannWhitneyResult r = MannWhitneyUTest({1, 2}, {3, 4});
+  EXPECT_DOUBLE_EQ(r.u_a, 0.0);
+  EXPECT_DOUBLE_EQ(r.u_b, 4.0);
+  EXPECT_DOUBLE_EQ(r.u, 0.0);
+}
+
+TEST(MannWhitneyTest, SymmetricSamplesAreInsignificant) {
+  std::vector<double> a = {1, 3, 5, 7, 9};
+  std::vector<double> b = {2, 4, 6, 8, 10};
+  MannWhitneyResult r = MannWhitneyUTest(a, b);
+  EXPECT_GT(r.p_two_tailed, 0.3);
+}
+
+TEST(MannWhitneyTest, SeparatedSamplesAreSignificant) {
+  std::vector<double> low;
+  std::vector<double> high;
+  for (int i = 0; i < 15; ++i) {
+    low.push_back(static_cast<double>(i));
+    high.push_back(static_cast<double>(i) + 100.0);
+  }
+  MannWhitneyResult r = MannWhitneyUTest(low, high);
+  EXPECT_LT(r.p_two_tailed, 0.001);
+  EXPECT_DOUBLE_EQ(r.u, 0.0);
+}
+
+TEST(MannWhitneyTest, DirectionDoesNotChangeP) {
+  std::vector<double> a = {1, 2, 3, 10, 12};
+  std::vector<double> b = {4, 5, 6, 7};
+  MannWhitneyResult ab = MannWhitneyUTest(a, b);
+  MannWhitneyResult ba = MannWhitneyUTest(b, a);
+  EXPECT_NEAR(ab.p_two_tailed, ba.p_two_tailed, 1e-12);
+  EXPECT_DOUBLE_EQ(ab.u, ba.u);
+}
+
+TEST(MannWhitneyTest, MediansReported) {
+  MannWhitneyResult r = MannWhitneyUTest({1, 2, 3}, {10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(r.median_a, 2.0);
+  EXPECT_DOUBLE_EQ(r.median_b, 25.0);
+}
+
+TEST(MannWhitneyTest, AllTiedDegeneratesGracefully) {
+  MannWhitneyResult r = MannWhitneyUTest({5, 5, 5}, {5, 5});
+  // Variance degenerates: z stays 0 and p stays 1.
+  EXPECT_DOUBLE_EQ(r.z, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_two_tailed, 1.0);
+}
+
+TEST(MannWhitneyTest, TiesAreMidranked) {
+  // a = {1, 2, 2}, b = {2, 3}: the three 2s share rank (2+3+4)/3 = 3.
+  // R_a = 1 + 3 + 3 = 7, U_a = 7 - 6 = 1.
+  MannWhitneyResult r = MannWhitneyUTest({1, 2, 2}, {2, 3});
+  EXPECT_DOUBLE_EQ(r.u_a, 1.0);
+  EXPECT_DOUBLE_EQ(r.u_b, 5.0);
+}
+
+TEST(MannWhitneyTest, AgainstScipyReference) {
+  // scipy.stats.mannwhitneyu([1,2,3,4,5],[6,7,8,9,10], method='asymptotic',
+  // use_continuity=True, alternative='two-sided'):
+  //   U = 0, z = -(12.5 - 0.5)/sqrt(275/12) = -2.5068, p ~ 0.01218.
+  MannWhitneyResult r =
+      MannWhitneyUTest({1, 2, 3, 4, 5}, {6, 7, 8, 9, 10});
+  EXPECT_DOUBLE_EQ(r.u_a, 0.0);
+  EXPECT_NEAR(r.z, -2.5068, 0.001);
+  EXPECT_NEAR(r.p_two_tailed, 0.01218, 0.001);
+
+  // Perfectly interleaved samples: U sits exactly at its mean, and the
+  // continuity correction pins z to 0 and p to 1.
+  MannWhitneyResult centered =
+      MannWhitneyUTest({1, 4, 6, 8, 9}, {2, 3, 5, 7, 10});
+  EXPECT_DOUBLE_EQ(centered.u_a, 13.0);
+  EXPECT_NEAR(centered.z, 0.104, 0.2);
+  EXPECT_GT(centered.p_two_tailed, 0.8);
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,95 @@
+#include "study/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lakeorg {
+namespace {
+
+using testing::MakeTinyLake;
+using testing::TinyLake;
+
+TEST(DisjointnessTest, IdenticalSetsAreFullyOverlapping) {
+  EXPECT_DOUBLE_EQ(Disjointness({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapFraction({1, 2, 3}, {1, 2, 3}), 1.0);
+}
+
+TEST(DisjointnessTest, DisjointSetsScoreOne) {
+  EXPECT_DOUBLE_EQ(Disjointness({1, 2}, {3, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapFraction({1, 2}, {3, 4}), 0.0);
+}
+
+TEST(DisjointnessTest, PartialOverlapMatchesFormula) {
+  // |inter| = 1, |union| = 3 -> disjointness = 1 - 1/3.
+  EXPECT_NEAR(Disjointness({1, 2}, {2, 3}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(DisjointnessTest, DuplicatesAndOrderIgnored) {
+  EXPECT_DOUBLE_EQ(Disjointness({3, 1, 1, 2}, {2, 3, 1}), 0.0);
+}
+
+TEST(DisjointnessTest, EmptySets) {
+  EXPECT_DOUBLE_EQ(Disjointness({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(Disjointness({1}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(Disjointness({}, {1}), 1.0);
+}
+
+TEST(DisjointnessTest, SymmetricInArguments) {
+  std::vector<TableId> a = {1, 2, 3, 4};
+  std::vector<TableId> b = {3, 4, 5};
+  EXPECT_DOUBLE_EQ(Disjointness(a, b), Disjointness(b, a));
+}
+
+TEST(TableTopicTest, MeanOverTextAttributes) {
+  TinyLake tiny = MakeTinyLake();
+  // t0 has attrs x {a}=e0 and y {b}=e1 -> mean (0.5, 0.5, 0, 0).
+  Vec topic = TableTopicVector(tiny.lake, 0);
+  EXPECT_NEAR(topic[0], 0.5f, 1e-6);
+  EXPECT_NEAR(topic[1], 0.5f, 1e-6);
+  EXPECT_NEAR(topic[2], 0.0f, 1e-6);
+}
+
+TEST(TableTopicTest, IgnoresNonTextAttributes) {
+  TinyLake tiny = MakeTinyLake();
+  DataLake& lake = tiny.lake;
+  TableId t = lake.AddTable("mixed");
+  lake.AddAttribute(t, "text", {"a"}, true);
+  lake.AddAttribute(t, "nums", {"b"}, false);
+  ASSERT_TRUE(lake.ComputeTopicVectors(*tiny.store).ok());
+  Vec topic = TableTopicVector(lake, t);
+  EXPECT_NEAR(topic[0], 1.0f, 1e-6);  // Only the text attr counts.
+  EXPECT_NEAR(topic[1], 0.0f, 1e-6);
+}
+
+TEST(TableTopicTest, EmptyTopicForUnembeddableTable) {
+  TinyLake tiny = MakeTinyLake();
+  DataLake& lake = tiny.lake;
+  TableId t = lake.AddTable("opaque");
+  lake.AddAttribute(t, "ids", {"zzz9"}, true);
+  ASSERT_TRUE(lake.ComputeTopicVectors(*tiny.store).ok());
+  Vec topic = TableTopicVector(lake, t);
+  EXPECT_TRUE(topic.empty());
+}
+
+TEST(RelevanceTest, ThresholdGatesRelevance) {
+  TinyLake tiny = MakeTinyLake();
+  // Scenario exactly on e0: t0's topic is (0.5, 0.5, 0, 0), cosine to e0
+  // is 1/sqrt(2) ~ 0.707.
+  Vec scenario = {1, 0, 0, 0};
+  EXPECT_TRUE(IsRelevant(tiny.lake, 0, scenario, 0.7));
+  EXPECT_FALSE(IsRelevant(tiny.lake, 0, scenario, 0.8));
+  // t1's topic is e2: orthogonal.
+  EXPECT_FALSE(IsRelevant(tiny.lake, 1, scenario, 0.1));
+}
+
+TEST(RelevanceTest, RelevantTablesScan) {
+  TinyLake tiny = MakeTinyLake();
+  Vec scenario = {0, 0, 1, 0};  // Matches t1 (z = e2) exactly.
+  std::vector<TableId> relevant =
+      RelevantTables(tiny.lake, scenario, 0.9);
+  EXPECT_EQ(relevant, (std::vector<TableId>{1}));
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,77 @@
+// Shared test fixtures: a deterministic word->vector embedding model and
+// small hand-constructed lakes whose navigation probabilities can be
+// verified by hand.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "embedding/embedding_model.h"
+#include "embedding/embedding_store.h"
+#include "lake/data_lake.h"
+#include "lake/tag_index.h"
+
+namespace lakeorg::testing {
+
+/// An embedding model backed by an explicit word -> vector map; everything
+/// else is out of vocabulary.
+class FixedEmbedding final : public EmbeddingModel {
+ public:
+  FixedEmbedding(size_t dim, std::map<std::string, Vec> table)
+      : dim_(dim), table_(std::move(table)) {}
+
+  size_t dim() const override { return dim_; }
+  std::optional<Vec> Embed(const std::string& word) const override {
+    auto it = table_.find(word);
+    if (it == table_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  size_t dim_;
+  std::map<std::string, Vec> table_;
+};
+
+/// 4-d basis-vector embedding over words "a", "b", "c", "d".
+inline std::shared_ptr<FixedEmbedding> BasisEmbedding() {
+  return std::make_shared<FixedEmbedding>(
+      4, std::map<std::string, Vec>{{"a", {1, 0, 0, 0}},
+                                    {"b", {0, 1, 0, 0}},
+                                    {"c", {0, 0, 1, 0}},
+                                    {"d", {0, 0, 0, 1}}});
+}
+
+/// A bundled tiny lake whose topic vectors are axis-aligned:
+///   table t0 (tag "alpha"):  attr x {a}, attr y {b}
+///   table t1 (tag "beta"):   attr z {c}
+///   table t2 (tags "alpha", "beta"): attr w {d}
+struct TinyLake {
+  DataLake lake;
+  std::shared_ptr<EmbeddingStore> store;
+  TagId alpha;
+  TagId beta;
+};
+
+inline TinyLake MakeTinyLake() {
+  TinyLake out;
+  out.store = std::make_shared<EmbeddingStore>(BasisEmbedding());
+  DataLake& lake = out.lake;
+  TableId t0 = lake.AddTable("t0", "Table zero", "about alpha things");
+  out.alpha = lake.Tag(t0, "alpha");
+  lake.AddAttribute(t0, "x", {"a"});
+  lake.AddAttribute(t0, "y", {"b"});
+  TableId t1 = lake.AddTable("t1", "Table one", "about beta things");
+  out.beta = lake.Tag(t1, "beta");
+  lake.AddAttribute(t1, "z", {"c"});
+  TableId t2 = lake.AddTable("t2", "Table two", "mixed");
+  Status st = lake.AttachTag(t2, out.alpha);
+  st = lake.AttachTag(t2, out.beta);
+  (void)st;
+  lake.AddAttribute(t2, "w", {"d"});
+  st = lake.ComputeTopicVectors(*out.store);
+  (void)st;
+  return out;
+}
+
+}  // namespace lakeorg::testing

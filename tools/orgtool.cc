@@ -1,0 +1,261 @@
+// orgtool: command-line front end for building, inspecting, evaluating and
+// walking organizations over CSV data lakes.
+//
+//   orgtool build  --save ORG [options] FILE.csv...   learn + save an org
+//   orgtool stats  --load ORG FILE.csv...             shape metrics
+//   orgtool eval   --load ORG FILE.csv...             effectiveness/success
+//   orgtool trace  --load ORG --query "WORDS" FILE.csv...
+//                                                     greedy walk for a topic
+//
+// Options:
+//   --tags-from-name      tag each table with its filename tokens (default)
+//   --gamma G             transition sharpness (default 20)
+//   --proposals N         local search budget (default 400)
+//   --seed S              search seed (default 7)
+//
+// The lake is rebuilt deterministically from the CSV files on every
+// invocation, so a saved organization stays loadable as long as the files
+// do not change.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/local_search.h"
+#include "core/navigation.h"
+#include "core/org_builders.h"
+#include "core/org_stats.h"
+#include "core/serialization.h"
+#include "embedding/hashed_embedding.h"
+#include "lake/csv_loader.h"
+#include "lake/lake_stats.h"
+
+using namespace lakeorg;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string save_path;
+  std::string load_path;
+  std::string query;
+  double gamma = 20.0;
+  size_t proposals = 400;
+  uint64_t seed = 7;
+  std::vector<std::string> csv_files;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: orgtool build --save ORG [--gamma G] [--proposals N]"
+               " [--seed S] FILE.csv...\n"
+               "       orgtool stats --load ORG FILE.csv...\n"
+               "       orgtool eval  --load ORG FILE.csv...\n"
+               "       orgtool trace --load ORG --query \"WORDS\""
+               " FILE.csv...\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&i, argc, argv]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--save") {
+      const char* v = next();
+      if (!v) return false;
+      args->save_path = v;
+    } else if (arg == "--load") {
+      const char* v = next();
+      if (!v) return false;
+      args->load_path = v;
+    } else if (arg == "--query") {
+      const char* v = next();
+      if (!v) return false;
+      args->query = v;
+    } else if (arg == "--gamma") {
+      const char* v = next();
+      if (!v) return false;
+      args->gamma = std::atof(v);
+    } else if (arg == "--proposals") {
+      const char* v = next();
+      if (!v) return false;
+      args->proposals = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--tags-from-name") {
+      // Default behavior; accepted for forward compatibility.
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return false;
+    } else {
+      args->csv_files.push_back(arg);
+    }
+  }
+  return !args->command.empty() && !args->csv_files.empty();
+}
+
+/// Loads the CSVs into a lake with filename-token tags + topic vectors.
+bool BuildLake(const Args& args, DataLake* lake,
+               std::shared_ptr<EmbeddingStore>* store) {
+  *store = std::make_shared<EmbeddingStore>(
+      std::make_shared<HashedEmbedding>());
+  for (const std::string& path : args.csv_files) {
+    Result<TableId> table = LoadCsvFile(lake, path, {});
+    if (!table.ok()) {
+      std::fprintf(stderr, "error loading %s: %s\n", path.c_str(),
+                   table.status().ToString().c_str());
+      return false;
+    }
+    const std::string& name = lake->table(table.value()).name;
+    for (const std::string& token : Split(name, "_- ")) {
+      if (token.size() >= 3) lake->Tag(table.value(), token);
+    }
+  }
+  Status st = lake->ComputeTopicVectors(**store);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+int RunBuild(const Args& args, std::shared_ptr<const OrgContext> ctx) {
+  LocalSearchOptions options;
+  options.transition.gamma = args.gamma;
+  options.max_proposals = args.proposals;
+  options.seed = args.seed;
+  options.use_representatives = ctx->num_attrs() > 300;
+  LocalSearchResult result =
+      OptimizeOrganization(BuildClusteringOrganization(ctx), options);
+  std::printf("effectiveness: %.4f -> %.4f (%zu proposals, %.1f s)\n",
+              result.initial_effectiveness, result.effectiveness,
+              result.proposals, result.seconds);
+  result.org.RecomputeLevels();
+  std::printf("%s\n", FormatOrgStats(ComputeOrgStats(result.org)).c_str());
+  if (!args.save_path.empty()) {
+    Status st = SaveOrganizationToFile(result.org, args.save_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved organization to %s\n", args.save_path.c_str());
+  }
+  return 0;
+}
+
+int RunStats(const Organization& org) {
+  std::printf("%s\n", FormatOrgStats(ComputeOrgStats(org)).c_str());
+  return 0;
+}
+
+int RunEval(const Args& args, const Organization& org) {
+  TransitionConfig config;
+  config.gamma = args.gamma;
+  OrgEvaluator eval(config);
+  double effectiveness = eval.Effectiveness(org);
+  auto neighbors = OrgEvaluator::AttributeNeighbors(org.ctx(), 0.9);
+  SuccessReport success = eval.Success(org, neighbors);
+  std::printf("effectiveness (Eq. 7):        %.4f\n", effectiveness);
+  std::printf("mean success (theta = 0.9):   %.4f\n", success.mean);
+  std::vector<double> sorted = success.SortedAscending();
+  std::printf("per-table success p10/p50/p90: %.4f / %.4f / %.4f\n",
+              sorted[sorted.size() / 10], sorted[sorted.size() / 2],
+              sorted[sorted.size() * 9 / 10]);
+  return 0;
+}
+
+int RunTrace(const Args& args, const DataLake& lake,
+             const EmbeddingStore& store, const Organization& org) {
+  if (args.query.empty()) {
+    std::fprintf(stderr, "trace requires --query\n");
+    return 1;
+  }
+  TopicAccumulator acc(store.dim());
+  for (const std::string& token : Split(ToLower(args.query), " ")) {
+    std::optional<Vec> v = store.Embed(token);
+    if (v.has_value()) acc.Add(*v);
+  }
+  Vec intent = acc.Mean();
+  if (acc.count() == 0) {
+    std::fprintf(stderr, "no query token is embeddable\n");
+    return 1;
+  }
+  NavigationSession session(&org);
+  while (!session.AtLeaf()) {
+    std::vector<NavChoice> choices = session.Choices();
+    if (choices.empty()) break;
+    size_t best = 0;
+    double best_sim = -2.0;
+    for (size_t i = 0; i < choices.size(); ++i) {
+      double sim = Cosine(org.state(choices[i].state).topic, intent);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best = i;
+      }
+    }
+    std::printf("at \"%s\" (%zu choices) -> \"%s\" (cos %.2f)\n",
+                StateLabel(org, session.current()).c_str(), choices.size(),
+                choices[best].label.c_str(), best_sim);
+    if (!session.Choose(best).ok()) break;
+  }
+  if (session.AtLeaf()) {
+    uint32_t attr = session.CurrentAttr();
+    const Attribute& a = lake.attribute(org.ctx().lake_attr(attr));
+    std::printf("discovered: table \"%s\", column \"%s\" in %zu actions\n",
+                lake.table(a.table).name.c_str(), a.name.c_str(),
+                session.actions());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+  DataLake lake;
+  std::shared_ptr<EmbeddingStore> store;
+  if (!BuildLake(args, &lake, &store)) return 1;
+  std::printf("%s", FormatLakeStats(ComputeLakeStats(lake)).c_str());
+  TagIndex index = TagIndex::Build(lake);
+  if (index.NonEmptyTags().empty()) {
+    std::fprintf(stderr,
+                 "no organizable attributes (text + embeddable + tagged)\n");
+    return 1;
+  }
+  auto ctx = OrgContext::BuildFull(lake, index);
+
+  if (args.command == "build") {
+    return RunBuild(args, ctx);
+  }
+  // Remaining commands need a loaded organization.
+  if (args.load_path.empty()) {
+    Usage();
+    return 2;
+  }
+  Result<Organization> org = LoadOrganizationFromFile(ctx, args.load_path);
+  if (!org.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 org.status().ToString().c_str());
+    return 1;
+  }
+  Organization loaded = std::move(org).value();
+  loaded.RecomputeLevels();
+  if (args.command == "stats") return RunStats(loaded);
+  if (args.command == "eval") return RunEval(args, loaded);
+  if (args.command == "trace") {
+    return RunTrace(args, lake, *store, loaded);
+  }
+  Usage();
+  return 2;
+}
