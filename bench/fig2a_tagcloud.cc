@@ -44,6 +44,9 @@ LocalSearchOptions SearchOptions() {
   opts.max_proposals =
       static_cast<size_t>(EnvScale("LAKEORG_MAX_PROPOSALS", 600));
   opts.seed = 71;
+  // LAKEORG_THREADS pins the evaluator's pool width (0/unset = hardware
+  // concurrency); results are identical for every value.
+  opts.num_threads = static_cast<size_t>(EnvScale("LAKEORG_THREADS", 0));
   return opts;
 }
 

@@ -98,6 +98,7 @@ int main(int argc, char** argv) {
     options.patience = 40;
     options.max_proposals = 400;
     options.use_representatives = ctx->num_attrs() > 200;
+    options.num_threads = 0;  // Hardware concurrency; 1 forces serial.
     LocalSearchResult result =
         OptimizeOrganization(BuildClusteringOrganization(ctx), options);
     std::printf("effectiveness %.3f -> %.3f after %zu proposals\n",

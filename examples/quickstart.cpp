@@ -60,6 +60,7 @@ int main() {
   options.transition.gamma = 20.0;
   options.patience = 25;
   options.max_proposals = 200;
+  options.num_threads = 0;  // Hardware concurrency; 1 forces serial.
   LocalSearchResult optimized =
       OptimizeOrganization(BuildClusteringOrganization(ctx), options);
 

@@ -4,6 +4,7 @@
 // dimension to this pool.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -58,5 +59,35 @@ class ThreadPool {
   std::condition_variable cv_;
   bool shutting_down_ = false;
 };
+
+/// Splits [0, n) into at most `max_chunks` contiguous ranges and runs
+/// fn(chunk_index, begin, end) for each, blocking until all complete.
+/// Runs inline — fn(0, 0, n) on the calling thread — when `pool` is null
+/// or only one chunk results, which is the exact serial code path.
+/// Chunk boundaries depend only on (n, max_chunks), so a chunk index can
+/// safely select a reusable per-worker scratch buffer, and any
+/// parallelism-independent computation is deterministic across thread
+/// counts. `fn` must only write state disjoint across chunks.
+template <typename Fn>
+void ParallelChunks(ThreadPool* pool, size_t n, size_t max_chunks, Fn fn) {
+  if (n == 0) return;
+  size_t chunks = std::min(n, std::max<size_t>(1, max_chunks));
+  if (pool == nullptr || chunks <= 1) {
+    fn(size_t{0}, size_t{0}, n);
+    return;
+  }
+  size_t base = n / chunks;
+  size_t remainder = n % chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    size_t end = begin + base + (c < remainder ? 1 : 0);
+    futures.push_back(
+        pool->Submit([&fn, c, begin, end]() { fn(c, begin, end); }));
+    begin = end;
+  }
+  for (std::future<void>& f : futures) f.get();
+}
 
 }  // namespace lakeorg

@@ -30,12 +30,6 @@ std::vector<double> OrgEvaluator::ReachProbabilities(const Organization& org,
   if (org.root() == kInvalidId) return reach;
   reach[org.root()] = 1.0;
 
-  // Per-state topic norms, computed lazily.
-  std::vector<double> norm(org.num_states(), -1.0);
-  auto topic_norm = [&org, &norm](StateId s) -> double {
-    if (norm[s] < 0.0) norm[s] = Norm(org.state(s).topic);
-    return norm[s];
-  };
   double query_norm = Norm(query);
 
   std::vector<StateId> topo = org.TopologicalOrder();
@@ -45,13 +39,14 @@ std::vector<double> OrgEvaluator::ReachProbabilities(const Organization& org,
     if (st.children.empty() || reach[s] == 0.0) continue;
     sims.resize(st.children.size());
     for (size_t i = 0; i < st.children.size(); ++i) {
-      StateId c = st.children[i];
-      sims[i] = CosineWithNorms(org.state(c).topic, topic_norm(c), query,
+      const OrgState& child = org.state(st.children[i]);
+      sims[i] = CosineWithNorms(child.topic, child.topic_norm, query,
                                 query_norm);
     }
-    std::vector<double> probs = TransitionProbabilities(sims, config_);
+    // In-place softmax over sims; the child loop below only needs probs.
+    TransitionProbabilitiesInto(sims, config_, sims);
     for (size_t i = 0; i < st.children.size(); ++i) {
-      reach[st.children[i]] += probs[i] * reach[s];
+      reach[st.children[i]] += sims[i] * reach[s];
     }
   }
   return reach;
@@ -68,9 +63,14 @@ std::vector<double> OrgEvaluator::AllAttributeDiscovery(
     const Organization& org) const {
   size_t n = org.ctx().num_attrs();
   std::vector<double> discovery(n, 0.0);
-  for (uint32_t a = 0; a < n; ++a) {
-    discovery[a] = AttributeDiscovery(org, a);
-  }
+  size_t chunks = pool_ != nullptr ? pool_->num_threads() : 1;
+  ParallelChunks(pool_, n, chunks,
+                 [&](size_t /*chunk*/, size_t begin, size_t end) {
+                   for (size_t a = begin; a < end; ++a) {
+                     discovery[a] =
+                         AttributeDiscovery(org, static_cast<uint32_t>(a));
+                   }
+                 });
   return discovery;
 }
 
@@ -98,7 +98,7 @@ double OrgEvaluator::Effectiveness(const Organization& org) const {
 }
 
 std::vector<std::vector<uint32_t>> OrgEvaluator::AttributeNeighbors(
-    const OrgContext& ctx, double theta) {
+    const OrgContext& ctx, double theta, ThreadPool* pool) {
   size_t n = ctx.num_attrs();
   // Pre-normalize attribute vectors once; neighbor search is then dots.
   std::vector<Vec> unit(n);
@@ -106,14 +106,28 @@ std::vector<std::vector<uint32_t>> OrgEvaluator::AttributeNeighbors(
     unit[a] = ctx.attr_vector(a);
     NormalizeInPlace(&unit[a]);
   }
+  // Upper-triangle matches, row-parallel: row a is written only by the
+  // task that owns a.
+  std::vector<std::vector<uint32_t>> upper(n);
+  size_t chunks = pool != nullptr ? pool->num_threads() : 1;
+  ParallelChunks(pool, n, chunks,
+                 [&](size_t /*chunk*/, size_t begin, size_t end) {
+                   for (size_t a = begin; a < end; ++a) {
+                     for (size_t b = a + 1; b < n; ++b) {
+                       if (Dot(unit[a], unit[b]) >= theta) {
+                         upper[a].push_back(static_cast<uint32_t>(b));
+                       }
+                     }
+                   }
+                 });
+  // Serial symmetric merge in ascending (a, b) order — the exact
+  // insertion order of the serial pair loop.
   std::vector<std::vector<uint32_t>> neighbors(n);
   for (uint32_t a = 0; a < n; ++a) neighbors[a].push_back(a);
   for (uint32_t a = 0; a < n; ++a) {
-    for (uint32_t b = a + 1; b < n; ++b) {
-      if (Dot(unit[a], unit[b]) >= theta) {
-        neighbors[a].push_back(b);
-        neighbors[b].push_back(a);
-      }
+    for (uint32_t b : upper[a]) {
+      neighbors[a].push_back(b);
+      neighbors[b].push_back(a);
     }
   }
   return neighbors;
@@ -127,14 +141,19 @@ SuccessReport OrgEvaluator::Success(
   assert(neighbors.size() == n);
 
   std::vector<double> attr_success(n, 0.0);
-  for (uint32_t a = 0; a < n; ++a) {
-    std::vector<double> reach = ReachProbabilities(org, ctx.attr_vector(a));
-    double miss = 1.0;
-    for (uint32_t nb : neighbors[a]) {
-      miss *= (1.0 - reach[org.LeafOf(nb)]);
-    }
-    attr_success[a] = 1.0 - miss;
-  }
+  size_t chunks = pool_ != nullptr ? pool_->num_threads() : 1;
+  ParallelChunks(pool_, n, chunks,
+                 [&](size_t /*chunk*/, size_t begin, size_t end) {
+                   for (size_t a = begin; a < end; ++a) {
+                     std::vector<double> reach =
+                         ReachProbabilities(org, ctx.attr_vector(a));
+                     double miss = 1.0;
+                     for (uint32_t nb : neighbors[a]) {
+                       miss *= (1.0 - reach[org.LeafOf(nb)]);
+                     }
+                     attr_success[a] = 1.0 - miss;
+                   }
+                 });
 
   SuccessReport report;
   report.per_table.resize(ctx.num_tables(), 0.0);
@@ -185,9 +204,18 @@ RepresentativeSet IdentityRepresentatives(const OrgContext& ctx) {
 
 IncrementalEvaluator::IncrementalEvaluator(
     TransitionConfig config, std::shared_ptr<const OrgContext> ctx,
-    RepresentativeSet reps)
+    RepresentativeSet reps, size_t num_threads)
     : config_(config), ctx_(std::move(ctx)), reps_(std::move(reps)) {
   assert(reps_.rep_of.size() == ctx_->num_attrs());
+  size_t threads =
+      num_threads == 0 ? ThreadPool::DefaultThreads() : num_threads;
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  scratch_.resize(threads);
+  // Query topic norms never change; compute them once.
+  query_norms_.resize(reps_.query_attrs.size());
+  for (size_t q = 0; q < reps_.query_attrs.size(); ++q) {
+    query_norms_[q] = Norm(QueryVec(static_cast<uint32_t>(q)));
+  }
   // tables_of_query_[q]: tables containing any member of q's partition.
   tables_of_query_.resize(reps_.query_attrs.size());
   for (uint32_t q = 0; q < reps_.query_attrs.size(); ++q) {
@@ -198,16 +226,21 @@ IncrementalEvaluator::IncrementalEvaluator(
   }
 }
 
-std::vector<double> IncrementalEvaluator::TransitionsFrom(
-    const Organization& org, StateId parent, const Vec& query) const {
+const std::vector<double>& IncrementalEvaluator::TransitionsFromInto(
+    const Organization& org, StateId parent, const Vec& query,
+    double query_norm, EvalScratch* scratch) const {
   const OrgState& p = org.state(parent);
-  std::vector<double> sims(p.children.size());
-  double query_norm = Norm(query);
+  std::vector<double>& sims = scratch->sims;
+  std::vector<double>& probs = scratch->probs;
+  sims.resize(p.children.size());
   for (size_t i = 0; i < p.children.size(); ++i) {
-    const Vec& topic = org.state(p.children[i]).topic;
-    sims[i] = CosineWithNorms(topic, Norm(topic), query, query_norm);
+    const OrgState& child = org.state(p.children[i]);
+    sims[i] = CosineWithNorms(child.topic, child.topic_norm, query,
+                              query_norm);
   }
-  return TransitionProbabilities(sims, config_);
+  probs.resize(p.children.size());
+  TransitionProbabilitiesInto(sims, config_, probs);
+  return probs;
 }
 
 void IncrementalEvaluator::Initialize(const Organization& org) {
@@ -217,10 +250,17 @@ void IncrementalEvaluator::Initialize(const Organization& org) {
   reach_.assign(num_q, {});
   stale_.assign(num_q, DynamicBitset(org.num_states()));
   query_discovery_.assign(num_q, 0.0);
-  for (uint32_t q = 0; q < num_q; ++q) {
-    reach_[q] = eval.ReachProbabilities(org, QueryVec(q));
-    query_discovery_[q] = reach_[q][org.LeafOf(reps_.query_attrs[q])];
-  }
+  // Each query's row is written only by its owning chunk; the table
+  // reduction below stays serial, so results match the serial loop.
+  ParallelChunks(pool_.get(), num_q, scratch_.size(),
+                 [&](size_t /*chunk*/, size_t begin, size_t end) {
+                   for (size_t qi = begin; qi < end; ++qi) {
+                     uint32_t q = static_cast<uint32_t>(qi);
+                     reach_[q] = eval.ReachProbabilities(org, QueryVec(q));
+                     query_discovery_[q] =
+                         reach_[q][org.LeafOf(reps_.query_attrs[q])];
+                   }
+                 });
   // Table probabilities through the representative mapping.
   table_prob_.assign(ctx_->num_tables(), 0.0);
   double total = 0.0;
@@ -248,30 +288,56 @@ double IncrementalEvaluator::AttrDiscovery(uint32_t attr) const {
   return query_discovery_[reps_.rep_of[attr]];
 }
 
-double IncrementalEvaluator::EnsureFresh(uint32_t q, StateId s) {
+double IncrementalEvaluator::EnsureFresh(uint32_t q, StateId s,
+                                         EvalScratch* scratch) {
   if (!stale_[q].Test(s)) return reach_[q][s];
   const Organization& org = *committed_;
-  stale_[q].Clear(s);  // Clear first: guards against cycles (there are none).
-  double value = 0.0;
-  const OrgState& st = org.state(s);
-  if (!st.alive) {
-    reach_[q][s] = 0.0;
-    return 0.0;
-  }
-  for (StateId p : st.parents) {
-    double parent_reach = EnsureFresh(q, p);
-    if (parent_reach == 0.0) continue;
-    std::vector<double> probs = TransitionsFrom(org, p, QueryVec(q));
-    const OrgState& ps = org.state(p);
-    for (size_t i = 0; i < ps.children.size(); ++i) {
-      if (ps.children[i] == s) {
-        value += probs[i] * parent_reach;
-        break;
+  // Explicit-stack DFS toward stale ancestors; a state is repaired only
+  // once all its parents are fresh, so the per-state accumulation below
+  // runs in parent-list order exactly like the recursive formulation.
+  std::vector<StateId>& stack = scratch->stack;
+  stack.clear();
+  stack.push_back(s);
+  while (!stack.empty()) {
+    StateId cur = stack.back();
+    if (!stale_[q].Test(cur)) {  // Repaired while deeper on the stack.
+      stack.pop_back();
+      continue;
+    }
+    const OrgState& st = org.state(cur);
+    if (!st.alive) {
+      stale_[q].Clear(cur);
+      reach_[q][cur] = 0.0;
+      stack.pop_back();
+      continue;
+    }
+    bool pushed = false;
+    for (StateId p : st.parents) {
+      if (stale_[q].Test(p)) {
+        stack.push_back(p);
+        pushed = true;
       }
     }
+    if (pushed) continue;  // Revisit `cur` after its parents are fresh.
+    double value = 0.0;
+    for (StateId p : st.parents) {
+      double parent_reach = reach_[q][p];
+      if (parent_reach == 0.0) continue;
+      const std::vector<double>& probs =
+          TransitionsFromInto(org, p, QueryVec(q), query_norms_[q], scratch);
+      const OrgState& ps = org.state(p);
+      for (size_t i = 0; i < ps.children.size(); ++i) {
+        if (ps.children[i] == cur) {
+          value += probs[i] * parent_reach;
+          break;
+        }
+      }
+    }
+    stale_[q].Clear(cur);
+    reach_[q][cur] = value;
+    stack.pop_back();
   }
-  reach_[q][s] = value;
-  return value;
+  return reach_[q][s];
 }
 
 void IncrementalEvaluator::EvaluateProposal(
@@ -284,13 +350,13 @@ void IncrementalEvaluator::EvaluateProposal(
          "operations must not grow the state arena");
 
   // Seeds: states whose incoming transition probabilities changed.
-  std::vector<char> dirty_mark(n, 0);
+  dirty_mark_.assign(n, 0);
   std::deque<StateId> frontier;
   auto seed_children_of = [&](StateId u) {
     if (!proposal.state(u).alive) return;
     for (StateId c : proposal.state(u).children) {
-      if (!dirty_mark[c]) {
-        dirty_mark[c] = 1;
+      if (!dirty_mark_[c]) {
+        dirty_mark_[c] = 1;
         frontier.push_back(c);
       }
     }
@@ -305,66 +371,81 @@ void IncrementalEvaluator::EvaluateProposal(
     StateId cur = frontier.front();
     frontier.pop_front();
     for (StateId c : proposal.state(cur).children) {
-      if (!dirty_mark[c]) {
-        dirty_mark[c] = 1;
+      if (!dirty_mark_[c]) {
+        dirty_mark_[c] = 1;
         frontier.push_back(c);
       }
     }
   }
   // Removed states are handled separately (reach 0), not recomputed.
-  for (StateId r : removed) dirty_mark[r] = 0;
+  for (StateId r : removed) dirty_mark_[r] = 0;
 
   out->removed = removed;
   out->dirty.clear();
   std::vector<StateId> topo = proposal.TopologicalOrder();
   for (StateId s : topo) {
-    if (dirty_mark[s]) out->dirty.push_back(s);
+    if (dirty_mark_[s]) out->dirty.push_back(s);
   }
 
   // Affected queries: those whose own leaf lies in the dirty closure.
   out->affected_queries.clear();
   for (uint32_t q = 0; q < reps_.query_attrs.size(); ++q) {
     StateId leaf = proposal.LeafOf(reps_.query_attrs[q]);
-    if (dirty_mark[leaf]) out->affected_queries.push_back(q);
+    if (dirty_mark_[leaf]) out->affected_queries.push_back(q);
   }
 
   // Recompute reach over the dirty set for each affected query, push-style
   // along the proposal's topological order. Frontier (non-dirty) parents
-  // contribute their committed-org values, repaired on demand.
+  // contribute their committed-org values, repaired on demand; those
+  // states have only non-dirty ancestors, whose edges and child topics
+  // the operation did not touch, so the repair is valid even when
+  // `proposal` is the committed organization mutated in place.
+  //
+  // Parallel over affected queries: EnsureFresh touches only reach_[q] /
+  // stale_[q] for the owning query, every other write goes to chunk-owned
+  // scratch or the query's own new_reach row.
   out->new_reach.assign(out->affected_queries.size(), {});
-  std::vector<double> scratch(n, 0.0);
-  for (size_t qi = 0; qi < out->affected_queries.size(); ++qi) {
-    uint32_t q = out->affected_queries[qi];
-    const Vec& query = QueryVec(q);
-    for (StateId d : out->dirty) scratch[d] = 0.0;
-    for (StateId s : topo) {
-      const OrgState& st = proposal.state(s);
-      if (st.children.empty()) continue;
-      bool any_dirty_child = false;
-      for (StateId c : st.children) {
-        if (dirty_mark[c]) {
-          any_dirty_child = true;
-          break;
+  ParallelChunks(
+      pool_.get(), out->affected_queries.size(), scratch_.size(),
+      [&](size_t chunk, size_t begin, size_t end) {
+        EvalScratch& sc = scratch_[chunk];
+        std::vector<double>& scr = sc.state_reach;
+        scr.resize(n);
+        for (size_t qi = begin; qi < end; ++qi) {
+          uint32_t q = out->affected_queries[qi];
+          const Vec& query = QueryVec(q);
+          for (StateId d : out->dirty) scr[d] = 0.0;
+          for (StateId s : topo) {
+            const OrgState& st = proposal.state(s);
+            if (st.children.empty()) continue;
+            bool any_dirty_child = false;
+            for (StateId c : st.children) {
+              if (dirty_mark_[c]) {
+                any_dirty_child = true;
+                break;
+              }
+            }
+            if (!any_dirty_child) continue;
+            double value = dirty_mark_[s] ? scr[s] : EnsureFresh(q, s, &sc);
+            if (value == 0.0) continue;
+            const std::vector<double>& probs = TransitionsFromInto(
+                proposal, s, query, query_norms_[q], &sc);
+            for (size_t i = 0; i < st.children.size(); ++i) {
+              if (dirty_mark_[st.children[i]]) {
+                scr[st.children[i]] += probs[i] * value;
+              }
+            }
+          }
+          out->new_reach[qi].clear();
+          out->new_reach[qi].reserve(out->dirty.size());
+          for (StateId d : out->dirty) out->new_reach[qi].push_back(scr[d]);
         }
-      }
-      if (!any_dirty_child) continue;
-      double value = dirty_mark[s] ? scratch[s] : EnsureFresh(q, s);
-      if (value == 0.0) continue;
-      std::vector<double> probs = TransitionsFrom(proposal, s, query);
-      for (size_t i = 0; i < st.children.size(); ++i) {
-        if (dirty_mark[st.children[i]]) {
-          scratch[st.children[i]] += probs[i] * value;
-        }
-      }
-    }
-    out->new_reach[qi].reserve(out->dirty.size());
-    for (StateId d : out->dirty) out->new_reach[qi].push_back(scratch[d]);
-  }
+      });
 
   // Effectiveness delta: tables containing members of affected queries.
-  std::vector<double> new_discovery(reps_.query_attrs.size(), -1.0);
+  new_discovery_.assign(reps_.query_attrs.size(), -1.0);
   out->affected_attrs = 0;
-  std::vector<uint32_t> affected_tables;
+  affected_tables_.clear();
   for (size_t qi = 0; qi < out->affected_queries.size(); ++qi) {
     uint32_t q = out->affected_queries[qi];
     StateId leaf = proposal.LeafOf(reps_.query_attrs[q]);
@@ -376,24 +457,25 @@ void IncrementalEvaluator::EvaluateProposal(
         break;
       }
     }
-    new_discovery[q] = disc;
+    new_discovery_[q] = disc;
     out->affected_attrs += reps_.members[q].size();
-    affected_tables.insert(affected_tables.end(), tables_of_query_[q].begin(),
-                           tables_of_query_[q].end());
+    affected_tables_.insert(affected_tables_.end(),
+                            tables_of_query_[q].begin(),
+                            tables_of_query_[q].end());
   }
-  std::sort(affected_tables.begin(), affected_tables.end());
-  affected_tables.erase(
-      std::unique(affected_tables.begin(), affected_tables.end()),
-      affected_tables.end());
+  std::sort(affected_tables_.begin(), affected_tables_.end());
+  affected_tables_.erase(
+      std::unique(affected_tables_.begin(), affected_tables_.end()),
+      affected_tables_.end());
 
   out->new_table_probs.clear();
   double delta = 0.0;
-  for (uint32_t t : affected_tables) {
+  for (uint32_t t : affected_tables_) {
     double miss = 1.0;
     for (uint32_t a : ctx_->table_attrs(t)) {
       uint32_t rq = reps_.rep_of[a];
-      double disc =
-          new_discovery[rq] >= 0.0 ? new_discovery[rq] : query_discovery_[rq];
+      double disc = new_discovery_[rq] >= 0.0 ? new_discovery_[rq]
+                                              : query_discovery_[rq];
       miss *= (1.0 - disc);
     }
     double prob = 1.0 - miss;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/dynamic_bitset.h"
+#include "common/thread_pool.h"
 #include "core/organization.h"
 #include "core/transition.h"
 
@@ -36,10 +37,15 @@ struct SuccessReport {
   std::vector<double> SortedAscending() const;
 };
 
-/// Stateless batch evaluator.
+/// Stateless batch evaluator. An optional non-owning thread pool
+/// parallelizes the per-attribute loops (AllAttributeDiscovery, Success);
+/// null means serial. Results are identical either way: every parallel
+/// task writes disjoint outputs and reductions run serially.
 class OrgEvaluator {
  public:
-  explicit OrgEvaluator(TransitionConfig config = {}) : config_(config) {}
+  explicit OrgEvaluator(TransitionConfig config = {},
+                        ThreadPool* pool = nullptr)
+      : config_(config), pool_(pool) {}
 
   /// Reach probability P(s | X, O) for every state (indexed by StateId;
   /// dead/unreachable states get 0), for query topic vector `query`.
@@ -67,8 +73,11 @@ class OrgEvaluator {
 
   /// neighbors[a] = attributes A_i with cosine(A_i, a) >= theta, including
   /// a itself (the success-probability candidate sets of section 4.2).
+  /// The O(n^2) pair loop runs row-parallel on `pool` when non-null;
+  /// symmetric entries are merged serially afterwards, so the result is
+  /// identical to the serial order.
   static std::vector<std::vector<uint32_t>> AttributeNeighbors(
-      const OrgContext& ctx, double theta);
+      const OrgContext& ctx, double theta, ThreadPool* pool = nullptr);
 
   /// Success probabilities per table (section 4.2): one DP per attribute
   /// query; Success(A|O) = 1 - prod_{A_i in neighbors[A]} (1 - P(A_i|A,O)).
@@ -85,6 +94,8 @@ class OrgEvaluator {
 
  private:
   TransitionConfig config_;
+  /// Non-owning; null = serial.
+  ThreadPool* pool_ = nullptr;
 };
 
 /// Attribute representatives (section 3.4): a query set (medoid attributes)
@@ -121,13 +132,21 @@ struct ProposalEvaluation {
 };
 
 /// Search-time incremental evaluator over a fixed query set.
+///
+/// Threading: `num_threads > 1` creates an owned worker pool over which
+/// Initialize and EvaluateProposal partition their per-query loops. Each
+/// query's caches (reach_[q], stale_[q]) are touched only by the task
+/// that owns that query, so the loops need no synchronization, and every
+/// reduction runs serially afterwards — results are bit-identical for
+/// any thread count. `num_threads == 1` (default) is the exact legacy
+/// serial path; 0 means hardware concurrency.
 class IncrementalEvaluator {
  public:
   /// `reps` defines the query set; use IdentityRepresentatives for exact
   /// evaluation (section 3.4 approximation disabled).
   IncrementalEvaluator(TransitionConfig config,
                        std::shared_ptr<const OrgContext> ctx,
-                       RepresentativeSet reps);
+                       RepresentativeSet reps, size_t num_threads = 1);
 
   /// Full evaluation of `org`; resets all caches. `org` becomes the
   /// committed organization (the caller must keep it alive and unmodified
@@ -142,9 +161,12 @@ class IncrementalEvaluator {
   /// the local search uses this only to order proposals.
   double StateReachability(StateId s) const;
 
-  /// Evaluates `proposal` (a mutated clone of the committed organization).
-  /// `topic_changed` / `children_changed` / `removed` come from the
-  /// operation that produced the clone.
+  /// Evaluates `proposal`: either a mutated clone of the committed
+  /// organization, or the committed organization itself mutated in place
+  /// (the local search's undo-log path — valid because cache repair only
+  /// reads non-dirty states, which the operation did not touch; callers
+  /// must Undo or Commit before the next proposal). `topic_changed` /
+  /// `children_changed` / `removed` come from the operation.
   void EvaluateProposal(const Organization& proposal,
                         const std::vector<StateId>& topic_changed,
                         const std::vector<StateId>& children_changed,
@@ -169,14 +191,31 @@ class IncrementalEvaluator {
   const std::vector<double>& table_probs() const { return table_prob_; }
 
  private:
-  /// Ensures reach_[q][s] is fresh for the committed organization,
-  /// repairing stale ancestors recursively.
-  double EnsureFresh(uint32_t q, StateId s);
+  /// Reusable per-worker-slot scratch: sims/probs for one state's child
+  /// list, a per-state accumulation vector for EvaluateProposal, and the
+  /// explicit DFS stack of EnsureFresh. Owned by chunk index, never
+  /// shared across concurrent tasks.
+  struct EvalScratch {
+    std::vector<double> sims;
+    std::vector<double> probs;
+    std::vector<double> state_reach;
+    std::vector<StateId> stack;
+  };
 
-  /// Transition probabilities from `parent` to each of its children in
-  /// `org` for query q's topic vector.
-  std::vector<double> TransitionsFrom(const Organization& org,
-                                      StateId parent, const Vec& query) const;
+  /// Ensures reach_[q][s] is fresh for the committed organization,
+  /// repairing stale ancestors with an explicit-stack DFS (deep
+  /// organizations must not overflow the call stack). Only touches
+  /// query q's caches, so concurrent calls for distinct q are safe.
+  double EnsureFresh(uint32_t q, StateId s, EvalScratch* scratch);
+
+  /// Writes the transition probabilities from `parent` to each of its
+  /// children in `org` into scratch->probs and returns it. Allocation-free
+  /// in the steady state.
+  const std::vector<double>& TransitionsFromInto(const Organization& org,
+                                                 StateId parent,
+                                                 const Vec& query,
+                                                 double query_norm,
+                                                 EvalScratch* scratch) const;
 
   const Vec& QueryVec(uint32_t q) const {
     return ctx_->attr_vector(reps_.query_attrs[q]);
@@ -185,6 +224,16 @@ class IncrementalEvaluator {
   TransitionConfig config_;
   std::shared_ptr<const OrgContext> ctx_;
   RepresentativeSet reps_;
+  /// Worker pool (null when num_threads == 1) and one scratch per slot.
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<EvalScratch> scratch_;
+  /// L2 norms of the query topic vectors, fixed for the evaluator's
+  /// lifetime.
+  std::vector<double> query_norms_;
+  /// Reusable per-proposal buffers (main thread only).
+  std::vector<char> dirty_mark_;
+  std::vector<double> new_discovery_;
+  std::vector<uint32_t> affected_tables_;
 
   const Organization* committed_ = nullptr;
   /// reach_[q][state] for the committed organization; stale_[q] marks

@@ -17,14 +17,22 @@ std::vector<StateId> BuildTargetQueue(const Organization& org,
                                       const IncrementalEvaluator& eval) {
   std::vector<StateId> queue;
   int max_level = org.MaxLevel();
+  // One StateReachability call per state (it averages over the whole
+  // query set — far too expensive to recompute inside the comparator).
+  std::vector<std::pair<double, StateId>> keyed;
   for (int level = 1; level <= max_level; ++level) {
     std::vector<StateId> states = org.StatesAtLevel(level);
-    std::stable_sort(states.begin(), states.end(),
-                     [&eval](StateId a, StateId b) {
-                       return eval.StateReachability(a) <
-                              eval.StateReachability(b);
+    keyed.clear();
+    keyed.reserve(states.size());
+    for (StateId s : states) {
+      keyed.emplace_back(eval.StateReachability(s), s);
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const std::pair<double, StateId>& a,
+                        const std::pair<double, StateId>& b) {
+                       return a.first < b.first;
                      });
-    queue.insert(queue.end(), states.begin(), states.end());
+    for (const auto& [reach, s] : keyed) queue.push_back(s);
   }
   return queue;
 }
@@ -43,7 +51,8 @@ LocalSearchResult OptimizeOrganization(Organization initial,
   } else {
     reps = IdentityRepresentatives(*ctx);
   }
-  IncrementalEvaluator evaluator(options.transition, ctx, std::move(reps));
+  IncrementalEvaluator evaluator(options.transition, ctx, std::move(reps),
+                                 options.num_threads);
 
   Organization current = std::move(initial);
   current.RecomputeLevels();
@@ -66,6 +75,10 @@ LocalSearchResult OptimizeOrganization(Organization initial,
   ReachabilityFn reach_fn = [&evaluator](StateId s) {
     return evaluator.StateReachability(s);
   };
+
+  // Proposals mutate `current` in place and roll back on reject; the
+  // undo log replaces the per-proposal full Clone of the seed design.
+  OpUndo undo;
 
   while (result.proposals < options.max_proposals &&
          plateau < options.patience) {
@@ -105,13 +118,13 @@ LocalSearchResult OptimizeOrganization(Organization initial,
       do_add = can_add;
     }
 
-    Organization proposal = current.Clone();
-    OpResult op = do_add ? ApplyAddParent(&proposal, target, reach_fn)
-                         : ApplyDeleteParent(&proposal, target, reach_fn);
+    OpResult op = do_add
+                      ? ApplyAddParent(&current, target, reach_fn, &undo)
+                      : ApplyDeleteParent(&current, target, reach_fn, &undo);
     if (!op.applied) continue;
 
     ProposalEvaluation eval;
-    evaluator.EvaluateProposal(proposal, op.topic_changed,
+    evaluator.EvaluateProposal(current, op.topic_changed,
                                op.children_changed, op.removed, &eval);
     ++result.proposals;
     ++proposals_this_sweep;
@@ -135,7 +148,9 @@ LocalSearchResult OptimizeOrganization(Organization initial,
       rec.proposal_index = result.proposals;
       rec.op = do_add ? 'A' : 'D';
       rec.accepted = accept;
-      size_t alive = current.NumAliveStates();
+      // Alive count of the pre-operation organization (the op already
+      // removed op.removed states from `current`).
+      size_t alive = current.NumAliveStates() + op.removed.size();
       rec.frac_states_evaluated =
           alive == 0 ? 0.0
                      : static_cast<double>(eval.dirty.size()) /
@@ -155,7 +170,6 @@ LocalSearchResult OptimizeOrganization(Organization initial,
     }
 
     if (accept) {
-      current = std::move(proposal);
       evaluator.Commit(current, std::move(eval));
       ++result.accepted;
       if (new_eff >
@@ -168,6 +182,7 @@ LocalSearchResult OptimizeOrganization(Organization initial,
         ++plateau;
       }
     } else {
+      current.Undo(undo);
       ++plateau;
     }
   }

@@ -56,6 +56,11 @@ struct LocalSearchOptions {
   bool enable_delete_parent = true;
   /// Keep per-proposal instrumentation (Figure 3 inputs).
   bool record_history = true;
+  /// Worker threads for the evaluator's per-query loops. 0 = hardware
+  /// concurrency, 1 = the exact legacy serial path. Results are
+  /// bit-identical for every value: parallel tasks write disjoint
+  /// per-query state and all reductions stay serial.
+  size_t num_threads = 0;
 };
 
 /// Per-proposal instrumentation record.

@@ -32,7 +32,14 @@ MultiDimOrganization BuildMultiDimFromPartition(
     DimensionInfo info;
   };
 
-  auto build_dimension = [&lake, &index, &options](
+  size_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                            : options.num_threads;
+  // When dimensions themselves run in parallel, an unset per-dimension
+  // thread count would oversubscribe the machine (dims x queries pools);
+  // keep each dimension's search serial unless the caller pinned it.
+  bool parallel_dims = threads > 1 && partition.size() > 1;
+
+  auto build_dimension = [&lake, &index, &options, parallel_dims](
                              const std::vector<TagId>& tags,
                              size_t dim_index) -> DimOutput {
     std::shared_ptr<const OrgContext> ctx =
@@ -51,6 +58,7 @@ MultiDimOrganization BuildMultiDimFromPartition(
     }
     LocalSearchOptions search = options.search;
     search.seed = options.search.seed + dim_index;
+    if (search.num_threads == 0 && parallel_dims) search.num_threads = 1;
     LocalSearchResult result =
         OptimizeOrganization(std::move(initial), search);
     info.num_reps = options.search.use_representatives
@@ -62,8 +70,6 @@ MultiDimOrganization BuildMultiDimFromPartition(
     return DimOutput{std::move(result.org), info};
   };
 
-  size_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
-                                            : options.num_threads;
   std::vector<DimOutput> outputs;
   outputs.reserve(partition.size());
   if (threads <= 1 || partition.size() <= 1) {

@@ -12,10 +12,29 @@ bool IsParentOf(const Organization& org, StateId maybe_parent, StateId s) {
          parents.end();
 }
 
+/// Activates the organization's undo journal for the enclosing scope
+/// (no-op when the caller passed no log).
+class UndoLogScope {
+ public:
+  UndoLogScope(Organization* org, OpUndo* undo)
+      : org_(undo != nullptr ? org : nullptr) {
+    if (org_ != nullptr) org_->BeginUndoLog(undo);
+  }
+  ~UndoLogScope() {
+    if (org_ != nullptr) org_->EndUndoLog();
+  }
+  UndoLogScope(const UndoLogScope&) = delete;
+  UndoLogScope& operator=(const UndoLogScope&) = delete;
+
+ private:
+  Organization* org_;
+};
+
 }  // namespace
 
 OpResult ApplyAddParent(Organization* org, StateId s,
-                        const ReachabilityFn& reachability) {
+                        const ReachabilityFn& reachability, OpUndo* undo) {
+  UndoLogScope log_scope(org, undo);
   OpResult result;
   result.kind = OpKind::kAddParent;
   result.target = s;
@@ -67,7 +86,8 @@ OpResult ApplyAddParent(Organization* org, StateId s,
 }
 
 OpResult ApplyDeleteParent(Organization* org, StateId s,
-                           const ReachabilityFn& reachability) {
+                           const ReachabilityFn& reachability, OpUndo* undo) {
+  UndoLogScope log_scope(org, undo);
   OpResult result;
   result.kind = OpKind::kDeleteParent;
   result.target = s;

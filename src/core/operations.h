@@ -46,13 +46,18 @@ struct OpResult {
 using ReachabilityFn = std::function<double(StateId)>;
 
 /// Applies ADD_PARENT to `s` in place. Requires levels to be current;
-/// recomputes them on success.
+/// recomputes them on success. When `undo` is non-null it records the
+/// prior state of every touched state, so a rejected proposal rolls back
+/// with org->Undo(*undo) instead of evaluating on a full clone; on the
+/// not-applied paths nothing is mutated and `undo` stays empty.
 OpResult ApplyAddParent(Organization* org, StateId s,
-                        const ReachabilityFn& reachability);
+                        const ReachabilityFn& reachability,
+                        OpUndo* undo = nullptr);
 
 /// Applies DELETE_PARENT to `s` in place. Requires levels to be current;
-/// recomputes them on success.
+/// recomputes them on success. `undo` as in ApplyAddParent.
 OpResult ApplyDeleteParent(Organization* org, StateId s,
-                           const ReachabilityFn& reachability);
+                           const ReachabilityFn& reachability,
+                           OpUndo* undo = nullptr);
 
 }  // namespace lakeorg

@@ -24,7 +24,64 @@ Organization::Organization(std::shared_ptr<const OrgContext> ctx)
   leaf_of_attr_.assign(ctx_->num_attrs(), kInvalidId);
 }
 
-Organization Organization::Clone() const { return *this; }
+Organization Organization::Clone() const {
+  assert(undo_ == nullptr && "cannot clone with an active undo log");
+  Organization copy = *this;
+  copy.undo_ = nullptr;
+  return copy;
+}
+
+void Organization::BeginUndoLog(OpUndo* undo) {
+  assert(undo != nullptr);
+  assert(undo_ == nullptr && "an undo log is already active");
+  undo->Clear();
+  undo_ = undo;
+}
+
+void Organization::EndUndoLog() { undo_ = nullptr; }
+
+void Organization::JournalTouch(StateId s) {
+  if (undo_ == nullptr) return;
+  // First-touch only: the touched set is small, so a linear scan beats a
+  // per-proposal O(num_states) seen-marker allocation.
+  for (const StateSnapshot& snap : undo_->states) {
+    if (snap.id == s) return;
+  }
+  const OrgState& st = states_[s];
+  StateSnapshot snap;
+  snap.id = s;
+  snap.kind = st.kind;
+  snap.alive = st.alive;
+  snap.parents = st.parents;
+  snap.children = st.children;
+  snap.tags = st.tags;
+  snap.attrs = st.attrs;
+  snap.topic_sum = st.topic_sum;
+  snap.value_count = st.value_count;
+  snap.topic = st.topic;
+  snap.topic_norm = st.topic_norm;
+  snap.level = st.level;
+  undo_->states.push_back(std::move(snap));
+}
+
+void Organization::Undo(const OpUndo& undo) {
+  assert(undo_ == nullptr && "end the undo log before rolling back");
+  for (auto it = undo.states.rbegin(); it != undo.states.rend(); ++it) {
+    OrgState& st = states_[it->id];
+    st.kind = it->kind;
+    st.alive = it->alive;
+    st.parents = it->parents;
+    st.children = it->children;
+    st.tags = it->tags;
+    st.attrs = it->attrs;
+    st.topic_sum = it->topic_sum;
+    st.value_count = it->value_count;
+    st.topic = it->topic;
+    st.topic_norm = it->topic_norm;
+    st.level = it->level;
+  }
+  if (undo.levels_changed) RecomputeLevels();
+}
 
 StateId Organization::NewState(OrgState&& state) {
   StateId id = static_cast<StateId>(states_.size());
@@ -39,6 +96,7 @@ void Organization::RefreshTopic(StateId s) {
     ScaleInPlace(&st.topic,
                  static_cast<float>(1.0 / static_cast<double>(st.value_count)));
   }
+  st.topic_norm = Norm(st.topic);
 }
 
 StateId Organization::AddLeaf(uint32_t attr) {
@@ -50,6 +108,7 @@ StateId Organization::AddLeaf(uint32_t attr) {
   st.topic_sum = ctx_->attr_sum(attr);
   st.value_count = ctx_->attr_value_count(attr);
   st.topic = ctx_->attr_vector(attr);
+  st.topic_norm = Norm(st.topic);
   StateId id = NewState(std::move(st));
   leaf_of_attr_[attr] = id;
   return id;
@@ -132,6 +191,8 @@ Status Organization::AddEdge(StateId parent, StateId child) {
     return Status::FailedPrecondition(
         "inclusion violated: child attrs not subset of parent");
   }
+  JournalTouch(parent);
+  JournalTouch(child);
   p.children.push_back(child);
   c.parents.push_back(parent);
   return Status::OK();
@@ -144,6 +205,8 @@ Status Organization::RemoveEdge(StateId parent, StateId child) {
   OrgState& p = states_[parent];
   OrgState& c = states_[child];
   if (!Contains(p.children, child)) return Status::NotFound("no such edge");
+  JournalTouch(parent);
+  JournalTouch(child);
   Erase(&p.children, child);
   Erase(&c.parents, parent);
   return Status::OK();
@@ -157,6 +220,9 @@ Status Organization::RemoveState(StateId s) {
   if (st.kind == StateKind::kLeaf) {
     return Status::InvalidArgument("cannot remove a leaf state");
   }
+  JournalTouch(s);
+  for (StateId p : st.parents) JournalTouch(p);
+  for (StateId c : st.children) JournalTouch(c);
   for (StateId p : st.parents) Erase(&states_[p].children, s);
   for (StateId c : st.children) Erase(&states_[c].parents, s);
   st.parents.clear();
@@ -189,6 +255,7 @@ void Organization::AddExtraAttrs(StateId s,
                                  const std::vector<uint32_t>& attrs) {
   OrgState& st = states_[s];
   assert(st.kind != StateKind::kLeaf);
+  JournalTouch(s);
   bool grew = false;
   for (uint32_t a : attrs) {
     if (a < st.attrs.size() && !st.attrs.Test(a)) {
@@ -207,6 +274,9 @@ void Organization::AddAttrsToState(StateId s,
                                    bool* grew) {
   OrgState& st = states_[s];
   assert(st.kind != StateKind::kLeaf);
+  // Journal unconditionally: even when no attribute grows, the tag merge
+  // below may mutate `tags` (and the kTag -> kInterior promotion).
+  JournalTouch(s);
   *grew = false;
   // Incremental topic update: fold in only attributes not already present.
   new_attrs.ForEach([this, &st, grew](size_t a) {
@@ -258,6 +328,7 @@ void Organization::PropagateAttrsUpward(StateId s,
 }
 
 void Organization::RecomputeLevels() {
+  if (undo_ != nullptr) undo_->levels_changed = true;
   for (OrgState& st : states_) st.level = -1;
   if (root_ == kInvalidId) return;
   states_[root_].level = 0;

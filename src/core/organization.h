@@ -50,9 +50,48 @@ struct OrgState {
   size_t value_count = 0;
   /// Topic vector mu_s = topic_sum / value_count (Definition 4/5).
   Vec topic;
+  /// Cached L2 norm of `topic`, maintained whenever the topic changes
+  /// (construction, attribute propagation, deserialization). The
+  /// evaluators' cosine hot path reads this instead of recomputing
+  /// Norm(topic) per child per query.
+  double topic_norm = 0.0;
   /// Shortest-path distance from the root (section 3.3's level); -1 when
   /// unreachable or not yet computed.
   int level = -1;
+};
+
+/// Snapshot of one state, captured before its first mutation within an
+/// operation (the undo-log unit).
+struct StateSnapshot {
+  StateId id = kInvalidId;
+  StateKind kind = StateKind::kInterior;
+  bool alive = true;
+  std::vector<StateId> parents;
+  std::vector<StateId> children;
+  std::vector<uint32_t> tags;
+  DynamicBitset attrs;
+  Vec topic_sum;
+  size_t value_count = 0;
+  Vec topic;
+  double topic_norm = 0.0;
+  int level = -1;
+};
+
+/// Undo log for one local-search operation. While a log is active
+/// (BeginUndoLog .. EndUndoLog), every mutating Organization entry point
+/// journals a first-touch snapshot of each state it modifies, so a
+/// rejected proposal rolls back in O(|touched states|) instead of a full
+/// O(|org|) clone. Reusable across operations (Clear keeps capacity).
+struct OpUndo {
+  std::vector<StateSnapshot> states;
+  /// True when the operation ran RecomputeLevels (undo re-runs the BFS,
+  /// since level changes are not confined to the touched set).
+  bool levels_changed = false;
+
+  void Clear() {
+    states.clear();
+    levels_changed = false;
+  }
 };
 
 /// The navigation DAG. All mutating calls keep parents/children symmetric;
@@ -111,6 +150,21 @@ class Organization {
 
   /// Recomputes `level` for all states via BFS from the root.
   void RecomputeLevels();
+
+  // Undo log -----------------------------------------------------------------
+
+  /// Activates `undo` (cleared first) as the journal for subsequent
+  /// mutations. At most one log may be active; the caller must
+  /// EndUndoLog before Clone/Undo.
+  void BeginUndoLog(OpUndo* undo);
+
+  /// Deactivates the current journal (no-op when none is active).
+  void EndUndoLog();
+
+  /// Rolls back every state snapshotted in `undo` to its pre-operation
+  /// contents and, when the operation changed levels, re-runs the level
+  /// BFS. Requires no active journal. Safe on an empty log.
+  void Undo(const OpUndo& undo);
 
   /// Recomputes the attribute set and topic of one non-leaf state from its
   /// tag set (root/interior/tag states only).
@@ -171,11 +225,16 @@ class Organization {
   void AddAttrsToState(StateId s, const DynamicBitset& new_attrs,
                        const std::vector<uint32_t>& new_tags, bool* grew);
   void RefreshTopic(StateId s);
+  /// Snapshots `s` into the active undo log on its first touch (no-op
+  /// when no log is active or `s` is already journaled).
+  void JournalTouch(StateId s);
 
   std::shared_ptr<const OrgContext> ctx_;
   std::vector<OrgState> states_;
   std::vector<StateId> leaf_of_attr_;
   StateId root_ = kInvalidId;
+  /// Active undo journal; never copied (Clone asserts none is active).
+  OpUndo* undo_ = nullptr;
 };
 
 }  // namespace lakeorg

@@ -8,20 +8,27 @@ namespace lakeorg {
 
 std::vector<double> TransitionProbabilities(const std::vector<double>& sims,
                                             const TransitionConfig& config) {
+  std::vector<double> probs(sims.size());
+  TransitionProbabilitiesInto(sims, config, probs);
+  return probs;
+}
+
+void TransitionProbabilitiesInto(std::span<const double> sims,
+                                 const TransitionConfig& config,
+                                 std::span<double> out) {
   assert(!sims.empty());
+  assert(out.size() == sims.size());
   assert(config.gamma > 0.0);
   double scale = config.branching_penalty
                      ? config.gamma / static_cast<double>(sims.size())
                      : config.gamma;
   double max_sim = *std::max_element(sims.begin(), sims.end());
-  std::vector<double> probs(sims.size());
   double total = 0.0;
   for (size_t i = 0; i < sims.size(); ++i) {
-    probs[i] = std::exp(scale * (sims[i] - max_sim));
-    total += probs[i];
+    out[i] = std::exp(scale * (sims[i] - max_sim));
+    total += out[i];
   }
-  for (double& p : probs) p /= total;
-  return probs;
+  for (double& p : out) p /= total;
 }
 
 std::vector<double> ChildSimilarities(const std::vector<const Vec*>& children,

@@ -8,6 +8,7 @@
 // branching factors.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "embedding/vector_ops.h"
@@ -29,6 +30,14 @@ struct TransitionConfig {
 /// single child gets probability 1. Requires sims non-empty.
 std::vector<double> TransitionProbabilities(const std::vector<double>& sims,
                                             const TransitionConfig& config);
+
+/// Allocation-free variant: writes P(child_i | s, X) into
+/// out[0, sims.size()). Requires out.size() == sims.size(); `out` may
+/// alias `sims` (each element is read before it is overwritten). This is
+/// the hot-path kernel behind the evaluators' reusable scratch buffers.
+void TransitionProbabilitiesInto(std::span<const double> sims,
+                                 const TransitionConfig& config,
+                                 std::span<double> out);
 
 /// Convenience: kappa values of `children` topic vectors against `query`.
 std::vector<double> ChildSimilarities(const std::vector<const Vec*>& children,

@@ -1,0 +1,142 @@
+// Determinism of the parallel proposal-evaluation engine: every parallel
+// loop in the evaluators partitions work over independent queries (or
+// attributes), so the results must match the serial path exactly — the
+// local search driven with num_threads=4 produces the same effectiveness,
+// proposal count, and accept sequence as num_threads=1 on a seeded
+// tag-cloud lake.
+#include <gtest/gtest.h>
+
+#include "benchgen/tagcloud.h"
+#include "common/thread_pool.h"
+#include "core/evaluator.h"
+#include "core/local_search.h"
+#include "core/operations.h"
+#include "core/org_builders.h"
+
+namespace lakeorg {
+namespace {
+
+TagCloudBenchmark MediumBench(uint64_t seed) {
+  TagCloudOptions opts;
+  opts.num_tags = 16;
+  opts.target_attributes = 80;
+  opts.min_values = 5;
+  opts.max_values = 15;
+  opts.seed = seed;
+  return GenerateTagCloud(opts);
+}
+
+TEST(ParallelEvalTest, LocalSearchMatchesSerialExactly) {
+  TagCloudBenchmark bench = MediumBench(42);
+  TagIndex index = TagIndex::Build(bench.lake);
+  auto ctx = OrgContext::BuildFull(bench.lake, index);
+
+  auto run = [&ctx](size_t threads) {
+    LocalSearchOptions opts;
+    opts.seed = 7;
+    opts.max_proposals = 250;
+    opts.patience = 60;
+    opts.num_threads = threads;
+    return OptimizeOrganization(BuildClusteringOrganization(ctx), opts);
+  };
+  LocalSearchResult serial = run(1);
+  LocalSearchResult parallel = run(4);
+  EXPECT_EQ(serial.proposals, parallel.proposals);
+  EXPECT_EQ(serial.accepted, parallel.accepted);
+  EXPECT_NEAR(serial.initial_effectiveness, parallel.initial_effectiveness,
+              1e-12);
+  EXPECT_NEAR(serial.effectiveness, parallel.effectiveness, 1e-12);
+  ASSERT_EQ(serial.history.size(), parallel.history.size());
+  for (size_t i = 0; i < serial.history.size(); ++i) {
+    EXPECT_EQ(serial.history[i].accepted, parallel.history[i].accepted)
+        << "proposal " << i;
+    EXPECT_NEAR(serial.history[i].effectiveness,
+                parallel.history[i].effectiveness, 1e-12)
+        << "proposal " << i;
+  }
+}
+
+TEST(ParallelEvalTest, IncrementalEvaluatorMatchesSerial) {
+  TagCloudBenchmark bench = MediumBench(23);
+  TagIndex index = TagIndex::Build(bench.lake);
+  auto ctx = OrgContext::BuildFull(bench.lake, index);
+  Organization org = BuildClusteringOrganization(ctx);
+  org.RecomputeLevels();
+
+  TransitionConfig config;
+  IncrementalEvaluator serial(config, ctx, IdentityRepresentatives(*ctx), 1);
+  IncrementalEvaluator parallel(config, ctx, IdentityRepresentatives(*ctx),
+                                4);
+  serial.Initialize(org);
+  parallel.Initialize(org);
+  EXPECT_NEAR(serial.effectiveness(), parallel.effectiveness(), 1e-12);
+  for (StateId s = 0; s < org.num_states(); ++s) {
+    EXPECT_NEAR(serial.StateReachability(s), parallel.StateReachability(s),
+                1e-12)
+        << "state " << s;
+  }
+
+  // Proposal evaluation parity on an in-place operation.
+  ReachabilityFn reach = [&serial](StateId s) {
+    return serial.StateReachability(s);
+  };
+  OpUndo undo;
+  OpResult op = ApplyAddParent(&org, org.LeafOf(0), reach, &undo);
+  ASSERT_TRUE(op.applied) << op.message;
+  ProposalEvaluation eval_serial;
+  ProposalEvaluation eval_parallel;
+  serial.EvaluateProposal(org, op.topic_changed, op.children_changed,
+                          op.removed, &eval_serial);
+  parallel.EvaluateProposal(org, op.topic_changed, op.children_changed,
+                            op.removed, &eval_parallel);
+  EXPECT_NEAR(eval_serial.effectiveness, eval_parallel.effectiveness, 1e-12);
+  ASSERT_EQ(eval_serial.dirty, eval_parallel.dirty);
+  ASSERT_EQ(eval_serial.affected_queries, eval_parallel.affected_queries);
+  ASSERT_EQ(eval_serial.new_reach.size(), eval_parallel.new_reach.size());
+  for (size_t qi = 0; qi < eval_serial.new_reach.size(); ++qi) {
+    ASSERT_EQ(eval_serial.new_reach[qi].size(),
+              eval_parallel.new_reach[qi].size());
+    for (size_t j = 0; j < eval_serial.new_reach[qi].size(); ++j) {
+      EXPECT_NEAR(eval_serial.new_reach[qi][j],
+                  eval_parallel.new_reach[qi][j], 1e-12)
+          << "query " << qi << " dirty " << j;
+    }
+  }
+  org.Undo(undo);
+  EXPECT_TRUE(org.Validate().ok());
+}
+
+TEST(ParallelEvalTest, BatchEvaluatorMatchesSerial) {
+  TagCloudBenchmark bench = MediumBench(64);
+  TagIndex index = TagIndex::Build(bench.lake);
+  auto ctx = OrgContext::BuildFull(bench.lake, index);
+  Organization org = BuildClusteringOrganization(ctx);
+  org.RecomputeLevels();
+
+  ThreadPool pool(4);
+  TransitionConfig config;
+  OrgEvaluator serial_eval(config);
+  OrgEvaluator parallel_eval(config, &pool);
+
+  std::vector<double> d1 = serial_eval.AllAttributeDiscovery(org);
+  std::vector<double> d2 = parallel_eval.AllAttributeDiscovery(org);
+  ASSERT_EQ(d1.size(), d2.size());
+  for (size_t a = 0; a < d1.size(); ++a) {
+    EXPECT_NEAR(d1[a], d2[a], 1e-12) << "attr " << a;
+  }
+
+  auto n1 = OrgEvaluator::AttributeNeighbors(*ctx, 0.6);
+  auto n2 = OrgEvaluator::AttributeNeighbors(*ctx, 0.6, &pool);
+  EXPECT_EQ(n1, n2);
+
+  SuccessReport s1 = serial_eval.Success(org, n1);
+  SuccessReport s2 = parallel_eval.Success(org, n2);
+  EXPECT_NEAR(s1.mean, s2.mean, 1e-12);
+  ASSERT_EQ(s1.per_table.size(), s2.per_table.size());
+  for (size_t t = 0; t < s1.per_table.size(); ++t) {
+    EXPECT_NEAR(s1.per_table[t], s2.per_table[t], 1e-12) << "table " << t;
+  }
+}
+
+}  // namespace
+}  // namespace lakeorg

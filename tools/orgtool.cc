@@ -44,13 +44,14 @@ struct Args {
   double gamma = 20.0;
   size_t proposals = 400;
   uint64_t seed = 7;
+  size_t threads = 0;
   std::vector<std::string> csv_files;
 };
 
 void Usage() {
   std::fprintf(stderr,
                "usage: orgtool build --save ORG [--gamma G] [--proposals N]"
-               " [--seed S] FILE.csv...\n"
+               " [--seed S] [--threads T] FILE.csv...\n"
                "       orgtool stats --load ORG FILE.csv...\n"
                "       orgtool eval  --load ORG FILE.csv...\n"
                "       orgtool trace --load ORG --query \"WORDS\""
@@ -89,6 +90,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      args->threads = static_cast<size_t>(std::atoll(v));
     } else if (arg == "--tags-from-name") {
       // Default behavior; accepted for forward compatibility.
     } else if (!arg.empty() && arg[0] == '-') {
@@ -131,6 +136,7 @@ int RunBuild(const Args& args, std::shared_ptr<const OrgContext> ctx) {
   options.transition.gamma = args.gamma;
   options.max_proposals = args.proposals;
   options.seed = args.seed;
+  options.num_threads = args.threads;
   options.use_representatives = ctx->num_attrs() > 300;
   LocalSearchResult result =
       OptimizeOrganization(BuildClusteringOrganization(ctx), options);
