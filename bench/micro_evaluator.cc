@@ -6,11 +6,16 @@
 // BM_ProposalEvaluation / BM_OrganizationClone baselines.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
 #include "benchgen/tagcloud.h"
 #include "core/evaluator.h"
 #include "core/local_search.h"
 #include "core/operations.h"
 #include "core/org_builders.h"
+#include "core/reference_evaluator.h"
 
 namespace lakeorg {
 namespace {
@@ -34,7 +39,21 @@ struct Shared {
         }()),
         index(TagIndex::Build(bench.lake)),
         ctx(OrgContext::BuildFull(bench.lake, index)),
-        clustering(BuildClusteringOrganization(ctx)) {}
+        clustering(BuildClusteringOrganization(ctx)) {
+    // Sanity-seed the fixture against the differential-testing oracle:
+    // a benchmark over an organization the optimized evaluator scores
+    // differently from the reference would measure the wrong code.
+    clustering.RecomputeLevels();
+    double want = ReferenceEvaluator().Effectiveness(clustering);
+    double got = OrgEvaluator().Effectiveness(clustering);
+    if (std::abs(got - want) > 1e-9) {
+      std::fprintf(stderr,
+                   "micro_evaluator fixture fails the oracle check: "
+                   "optimized %.12f vs reference %.12f\n",
+                   got, want);
+      std::abort();
+    }
+  }
 
   static const Shared& Get() {
     static const Shared shared;

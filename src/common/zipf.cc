@@ -8,7 +8,7 @@ namespace lakeorg {
 
 ZipfDistribution::ZipfDistribution(size_t n, double s) : s_(s) {
   assert(n > 0);
-  assert(s > 0.0);
+  assert(s >= 0.0);  // s = 0 is the uniform distribution (pow(k, 0) = 1).
   cdf_.resize(n);
   double acc = 0.0;
   for (size_t k = 1; k <= n; ++k) {

@@ -14,7 +14,8 @@ namespace lakeorg {
 /// Precomputes the CDF once; each draw is a binary search.
 class ZipfDistribution {
  public:
-  /// Creates a Zipf distribution over ranks [1, n] with exponent `s` > 0.
+  /// Creates a Zipf distribution over ranks [1, n] with exponent `s` >= 0;
+  /// s = 0 degenerates to the uniform distribution over [1, n].
   ZipfDistribution(size_t n, double s);
 
   /// Draws a rank in [1, n].

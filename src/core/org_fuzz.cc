@@ -1,0 +1,423 @@
+#include "core/org_fuzz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/evaluator.h"
+#include "core/operations.h"
+#include "core/reference_evaluator.h"
+
+namespace lakeorg {
+namespace {
+
+/// Attempts parent -> child, first through the explicit cycle check, then
+/// through AddEdge's own validation. Returns true when the edge was added.
+bool TryEdge(Organization* org, StateId parent, StateId child) {
+  if (org->WouldCreateCycle(parent, child)) return false;
+  return org->AddEdge(parent, child).ok();
+}
+
+}  // namespace
+
+FuzzLake MakeFuzzLake(Rng* rng, const FuzzLakeOptions& options) {
+  TagCloudOptions opts;
+  opts.num_tags = static_cast<size_t>(rng->UniformInt(
+      static_cast<int64_t>(options.min_tags),
+      static_cast<int64_t>(options.max_tags)));
+  opts.target_attributes = static_cast<size_t>(rng->UniformInt(
+      static_cast<int64_t>(options.min_attrs),
+      static_cast<int64_t>(options.max_attrs)));
+  opts.min_values = 5;
+  opts.max_values = 20;
+  opts.max_attrs_per_table = 6;
+  opts.seed = static_cast<uint64_t>(rng->UniformInt(1, 1 << 30));
+
+  FuzzLake out{GenerateTagCloud(opts), TagIndex(), nullptr};
+  out.index = TagIndex::Build(out.bench.lake);
+  out.ctx = OrgContext::BuildFull(out.bench.lake, out.index);
+  return out;
+}
+
+Organization RandomOrganization(std::shared_ptr<const OrgContext> ctx,
+                                Rng* rng, const RandomOrgOptions& options) {
+  size_t num_tags = ctx->num_tags();
+  size_t num_attrs = ctx->num_attrs();
+  Organization org(std::move(ctx));
+  const OrgContext& c = org.ctx();
+
+  for (uint32_t a = 0; a < num_attrs; ++a) org.AddLeaf(a);
+  std::vector<StateId> tag_state(num_tags);
+  for (uint32_t t = 0; t < num_tags; ++t) tag_state[t] = org.AddTagState(t);
+  std::vector<uint32_t> all_tags(num_tags);
+  for (uint32_t t = 0; t < num_tags; ++t) all_tags[t] = t;
+  StateId root = org.AddRoot(all_tags);
+
+  // Random interior states over random tag subsets, largest tag sets
+  // first so that superset -> subset edge attempts layer the DAG.
+  std::vector<StateId> interiors;
+  if (num_tags >= 2) {
+    size_t n = static_cast<size_t>(rng->UniformInt(
+        0, static_cast<int64_t>(options.max_interior_states)));
+    for (size_t i = 0; i < n; ++i) {
+      size_t k = static_cast<size_t>(
+          rng->UniformInt(2, static_cast<int64_t>(num_tags)));
+      std::vector<size_t> pick = rng->SampleWithoutReplacement(num_tags, k);
+      std::vector<uint32_t> tags(pick.begin(), pick.end());
+      interiors.push_back(org.AddInteriorState(std::move(tags)));
+    }
+    std::sort(interiors.begin(), interiors.end(),
+              [&org](StateId a, StateId b) {
+                size_t ca = org.state(a).attrs.Count();
+                size_t cb = org.state(b).attrs.Count();
+                return ca != cb ? ca > cb : a < b;
+              });
+  }
+
+  // Interior wiring: bigger -> smaller with probability edge_prob (AddEdge
+  // rejects inclusion violations itself); root is the fallback parent.
+  for (size_t i = 0; i < interiors.size(); ++i) {
+    for (size_t j = i + 1; j < interiors.size(); ++j) {
+      if (rng->Bernoulli(options.edge_prob)) {
+        TryEdge(&org, interiors[i], interiors[j]);
+      }
+    }
+  }
+  for (StateId s : interiors) {
+    if (rng->Bernoulli(options.edge_prob) || org.state(s).parents.empty()) {
+      TryEdge(&org, root, s);
+    }
+  }
+
+  // Tag states hang under random interiors carrying their tag; root is the
+  // fallback so every tag state is reachable.
+  for (uint32_t t = 0; t < num_tags; ++t) {
+    for (StateId s : interiors) {
+      const std::vector<uint32_t>& tags = org.state(s).tags;
+      if (std::find(tags.begin(), tags.end(), t) == tags.end()) continue;
+      if (rng->Bernoulli(options.edge_prob)) {
+        TryEdge(&org, s, tag_state[t]);
+      }
+    }
+    if (org.state(tag_state[t]).parents.empty()) {
+      TryEdge(&org, root, tag_state[t]);
+    }
+  }
+
+  // Leaves hang under the tag states of their tags: one mandatory parent
+  // (randomly chosen), the rest with probability edge_prob.
+  for (uint32_t a = 0; a < num_attrs; ++a) {
+    const std::vector<uint32_t>& tags = c.attr_tags(a);
+    size_t anchor = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(tags.size()) - 1));
+    for (size_t i = 0; i < tags.size(); ++i) {
+      if (i == anchor || rng->Bernoulli(options.edge_prob)) {
+        TryEdge(&org, tag_state[tags[i]], org.LeafOf(a));
+      }
+    }
+  }
+
+  // Rare interior -> leaf shortcuts (multi-level skips are legal DAG
+  // structure the evaluators must handle).
+  for (StateId s : interiors) {
+    org.state(s).attrs.ForEach([&](size_t a) {
+      if (rng->Bernoulli(options.shortcut_prob)) {
+        TryEdge(&org, s, org.LeafOf(static_cast<uint32_t>(a)));
+      }
+    });
+  }
+
+  org.RecomputeLevels();
+  return org;
+}
+
+namespace {
+
+/// Absolute difference helper that folds into a running max.
+void FoldDiff(double a, double b, double* max_diff) {
+  *max_diff = std::max(*max_diff, std::abs(a - b));
+}
+
+/// Random tag partition into at most `dims` non-empty groups.
+std::vector<std::vector<TagId>> RandomTagPartition(
+    const std::vector<TagId>& non_empty, size_t dims, Rng* rng) {
+  std::vector<TagId> tags = non_empty;
+  rng->Shuffle(&tags);
+  size_t k = std::min(dims, tags.size());
+  std::vector<std::vector<TagId>> parts(k);
+  for (size_t i = 0; i < tags.size(); ++i) {
+    size_t part = i < k ? i
+                        : static_cast<size_t>(rng->UniformInt(
+                              0, static_cast<int64_t>(k) - 1));
+    parts[part].push_back(tags[i]);
+  }
+  return parts;
+}
+
+}  // namespace
+
+DiffTrialResult RunDiffTrial(const DiffTrialOptions& options) {
+  DiffTrialResult res;
+  auto fail = [&res, &options](const std::string& msg) {
+    if (res.ok) {
+      res.ok = false;
+      res.error =
+          "trial --seed " + std::to_string(options.seed) + ": " + msg;
+    }
+  };
+  auto check_tol = [&](double got, double want, double* max_diff,
+                       const char* what) {
+    FoldDiff(got, want, max_diff);
+    if (std::abs(got - want) > options.tolerance) {
+      fail(std::string(what) + " mismatch: optimized " +
+           std::to_string(got) + " vs reference " + std::to_string(want));
+    }
+  };
+
+  Rng rng(options.seed);
+  FuzzLake lake = MakeFuzzLake(&rng, options.lake);
+
+  std::vector<std::shared_ptr<const OrgContext>> ctxs;
+  if (options.dims <= 1) {
+    ctxs.push_back(lake.ctx);
+  } else {
+    for (const std::vector<TagId>& part : RandomTagPartition(
+             lake.index.NonEmptyTags(), options.dims, &rng)) {
+      ctxs.push_back(OrgContext::Build(lake.bench.lake, lake.index, part));
+    }
+  }
+
+  TransitionConfig config;
+  ReferenceEvaluator ref(config);
+  ThreadPool pool(std::max<size_t>(1, options.threads));
+  OrgEvaluator serial(config);
+  OrgEvaluator pooled(config, &pool);
+
+  std::vector<Organization> orgs;
+  for (const auto& ctx : ctxs) {
+    orgs.push_back(RandomOrganization(ctx, &rng, options.org));
+  }
+  res.num_states = orgs[0].NumAliveStates();
+  res.num_attrs = orgs[0].ctx().num_attrs();
+
+  // Static comparison of every dimension's fresh random organization.
+  for (size_t d = 0; d < orgs.size() && res.ok; ++d) {
+    const Organization& org = orgs[d];
+    Status valid = org.Validate();
+    if (!valid.ok()) {
+      fail("random org invalid (dim " + std::to_string(d) +
+           "): " + valid.ToString());
+      break;
+    }
+    Status topics = CheckTopicInvariants(org);
+    if (!topics.ok()) {
+      fail("random org topic invariants (dim " + std::to_string(d) +
+           "): " + topics.ToString());
+      break;
+    }
+
+    // Per-attribute discovery: serial, pooled (bit-identical to serial by
+    // contract), and the oracle (within tolerance).
+    std::vector<double> want = ref.AllAttributeDiscovery(org);
+    std::vector<double> got = serial.AllAttributeDiscovery(org);
+    std::vector<double> got_pooled = pooled.AllAttributeDiscovery(org);
+    if (got != got_pooled) {
+      fail("pooled AllAttributeDiscovery differs bit-wise from serial");
+    }
+    for (size_t a = 0; a < want.size(); ++a) {
+      check_tol(got[a], want[a], &res.max_discovery_diff,
+                "attribute discovery");
+    }
+
+    // Per-state reachability for a few sampled attribute queries.
+    size_t samples = std::min<size_t>(5, org.ctx().num_attrs());
+    for (size_t i = 0; i < samples; ++i) {
+      uint32_t q = static_cast<uint32_t>(rng.UniformInt(
+          0, static_cast<int64_t>(org.ctx().num_attrs()) - 1));
+      std::vector<double> want_reach =
+          ref.ReachProbabilities(org, org.ctx().attr_vector(q));
+      std::vector<double> got_reach =
+          serial.ReachProbabilities(org, org.ctx().attr_vector(q));
+      for (size_t s = 0; s < want_reach.size(); ++s) {
+        check_tol(got_reach[s], want_reach[s], &res.max_reach_diff,
+                  "state reachability");
+      }
+    }
+
+    check_tol(serial.Effectiveness(org), ref.Effectiveness(org),
+              &res.max_effectiveness_diff, "effectiveness");
+
+    ReferenceSuccess want_success = ref.Success(org, options.success_theta);
+    auto neighbors = OrgEvaluator::AttributeNeighbors(
+        org.ctx(), options.success_theta, &pool);
+    SuccessReport got_success = serial.Success(org, neighbors);
+    SuccessReport got_success_pooled = pooled.Success(org, neighbors);
+    if (got_success.per_table != got_success_pooled.per_table) {
+      fail("pooled Success differs bit-wise from serial");
+    }
+    check_tol(got_success.mean, want_success.mean, &res.max_success_diff,
+              "mean success");
+    for (size_t t = 0; t < want_success.per_table.size(); ++t) {
+      check_tol(got_success.per_table[t], want_success.per_table[t],
+                &res.max_success_diff, "per-table success");
+    }
+  }
+  if (!res.ok) return res;
+
+  // Randomized op sequence with interleaved accept / reject-rollback on
+  // dimension 0, mirroring the local search's undo-log driving pattern.
+  Organization& current = orgs[0];
+  std::shared_ptr<const OrgContext> ctx0 = ctxs[0];
+  IncrementalEvaluator inc1(config, ctx0, IdentityRepresentatives(*ctx0), 1);
+  IncrementalEvaluator incT(config, ctx0, IdentityRepresentatives(*ctx0),
+                            std::max<size_t>(1, options.threads));
+  inc1.Initialize(current);
+  incT.Initialize(current);
+  if (inc1.effectiveness() != incT.effectiveness()) {
+    fail("threaded Initialize effectiveness differs bit-wise from serial");
+  }
+  double ref_eff = ref.Effectiveness(current);
+  check_tol(inc1.effectiveness(), ref_eff, &res.max_effectiveness_diff,
+            "incremental initial effectiveness");
+
+  ReachabilityFn reach = [&inc1](StateId s) {
+    return inc1.StateReachability(s);
+  };
+  OpUndo undo;
+  for (size_t step = 0; step < options.num_ops && res.ok; ++step) {
+    std::vector<StateId> topo = current.TopologicalOrder();
+    StateId target = topo[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(topo.size()) - 1))];
+    bool add = rng.Bernoulli(0.5);
+    double eff_before = inc1.effectiveness();
+
+    OpResult op = add ? ApplyAddParent(&current, target, reach, &undo)
+                      : ApplyDeleteParent(&current, target, reach, &undo);
+    if (!op.applied) {
+      if (!undo.states.empty()) {
+        fail("inapplicable op journaled state mutations");
+      }
+      continue;
+    }
+    res.ops_applied++;
+
+    Status valid = current.Validate();
+    if (!valid.ok()) {
+      fail("Validate after op " + std::to_string(step) + ": " +
+           valid.ToString());
+      break;
+    }
+    Status topics = CheckTopicInvariants(current);
+    if (!topics.ok()) {
+      fail("topic invariants after op " + std::to_string(step) + ": " +
+           topics.ToString());
+      break;
+    }
+
+    ProposalEvaluation ev1;
+    ProposalEvaluation evT;
+    inc1.EvaluateProposal(current, op.topic_changed, op.children_changed,
+                          op.removed, &ev1);
+    incT.EvaluateProposal(current, op.topic_changed, op.children_changed,
+                          op.removed, &evT);
+    if (ev1.effectiveness != evT.effectiveness) {
+      fail("threaded proposal effectiveness differs bit-wise from serial");
+    }
+    double ref_proposal_eff = ref.Effectiveness(current);
+    check_tol(ev1.effectiveness, ref_proposal_eff,
+              &res.max_effectiveness_diff, "proposal effectiveness");
+
+    // Dirty-subgraph reachability of the first affected query against a
+    // full oracle DP on the mutated organization.
+    if (!ev1.affected_queries.empty()) {
+      uint32_t q = ev1.affected_queries[0];
+      std::vector<double> want_reach = ref.ReachProbabilities(
+          current, ctx0->attr_vector(inc1.reps().query_attrs[q]));
+      for (size_t j = 0; j < ev1.dirty.size(); ++j) {
+        check_tol(ev1.new_reach[0][j], want_reach[ev1.dirty[j]],
+                  &res.max_reach_diff, "proposal dirty reachability");
+      }
+    }
+
+    if (rng.Bernoulli(options.accept_prob)) {
+      inc1.Commit(current, std::move(ev1));
+      incT.Commit(current, std::move(evT));
+      ref_eff = ref_proposal_eff;
+      res.ops_committed++;
+    } else {
+      current.Undo(undo);
+      res.ops_rolled_back++;
+      Status valid_back = current.Validate();
+      if (!valid_back.ok()) {
+        fail("Validate after rollback " + std::to_string(step) + ": " +
+             valid_back.ToString());
+        break;
+      }
+      Status topics_back = CheckTopicInvariants(current);
+      if (!topics_back.ok()) {
+        fail("topic invariants after rollback " + std::to_string(step) +
+             ": " + topics_back.ToString());
+        break;
+      }
+      if (inc1.effectiveness() != eff_before) {
+        fail("rejected proposal changed committed effectiveness");
+      }
+      // The rolled-back organization must be bit-identical as a model:
+      // the oracle's recomputation agrees with the pre-op value exactly.
+      double ref_back = ref.Effectiveness(current);
+      if (ref_back != ref_eff) {
+        fail("rollback not bit-identical: reference effectiveness " +
+             std::to_string(ref_back) + " vs " + std::to_string(ref_eff));
+      }
+    }
+  }
+  if (!res.ok) return res;
+
+  // Final cached state vs a full oracle pass over the fuzzed organization.
+  std::vector<double> want_final = ref.AllAttributeDiscovery(current);
+  for (uint32_t a = 0; a < want_final.size(); ++a) {
+    check_tol(inc1.AttrDiscovery(a), want_final[a],
+              &res.max_discovery_diff, "final cached discovery");
+    check_tol(incT.AttrDiscovery(a), want_final[a],
+              &res.max_discovery_diff, "final threaded cached discovery");
+  }
+  check_tol(inc1.effectiveness(), ref.Effectiveness(current),
+            &res.max_effectiveness_diff, "final effectiveness");
+
+  // Multi-dimensional aggregation (Eq. 8) across the final organizations.
+  if (orgs.size() > 1) {
+    std::vector<DimensionInfo> info(orgs.size());
+    MultiDimOrganization multi(std::move(orgs), std::move(info));
+    ReferenceMultiDim want_disc = ref.MultiDimDiscovery(multi);
+    MultiDimSuccess got_disc = EvaluateMultiDimDiscovery(multi, config);
+    check_tol(got_disc.mean, want_disc.mean, &res.max_discovery_diff,
+              "multi-dim mean discovery");
+    for (size_t i = 0; i < got_disc.tables.size(); ++i) {
+      auto it = want_disc.per_table.find(got_disc.tables[i]);
+      if (it == want_disc.per_table.end()) {
+        fail("multi-dim discovery covers unexpected table");
+        break;
+      }
+      check_tol(got_disc.success[i], it->second, &res.max_discovery_diff,
+                "multi-dim table discovery");
+    }
+    ReferenceMultiDim want_succ =
+        ref.MultiDimSuccess(multi, options.success_theta);
+    MultiDimSuccess got_succ =
+        EvaluateMultiDimSuccess(multi, options.success_theta, config);
+    check_tol(got_succ.mean, want_succ.mean, &res.max_success_diff,
+              "multi-dim mean success");
+    for (size_t i = 0; i < got_succ.tables.size(); ++i) {
+      auto it = want_succ.per_table.find(got_succ.tables[i]);
+      if (it == want_succ.per_table.end()) {
+        fail("multi-dim success covers unexpected table");
+        break;
+      }
+      check_tol(got_succ.success[i], it->second, &res.max_success_diff,
+                "multi-dim table success");
+    }
+  }
+  return res;
+}
+
+}  // namespace lakeorg

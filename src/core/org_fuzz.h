@@ -1,0 +1,117 @@
+// Randomized differential-testing harness for the organization model.
+//
+// Three layers, all deterministic for a fixed seed:
+//   1. MakeFuzzLake — a small random benchgen lake (TagCloud shape with
+//      randomized tag/attribute counts) plus its TagIndex and OrgContext.
+//   2. RandomOrganization — a random valid DAG over a context: leaves, tag
+//      states and the root as in section 3.2, plus random interior states
+//      over random tag subsets and random extra edges, every edge admitted
+//      through Organization::AddEdge's own inclusion/cycle checks.
+//   3. RunDiffTrial — one end-to-end differential trial: build a lake and
+//      random organization(s), compare OrgEvaluator (serial and pooled)
+//      and IncrementalEvaluator (serial and multi-threaded) against
+//      ReferenceEvaluator, then drive a random ADD_PARENT / DELETE_PARENT
+//      sequence with interleaved accept / reject-rollback, re-checking the
+//      oracle, Validate() and the topic invariants after every step. With
+//      dims > 1 the final organizations are also combined and checked
+//      against the oracle's Eq. 8 aggregation.
+//
+// tools/difftest.cc drives RunDiffTrial from the command line; the
+// fuzz-labeled CTest tier runs a fixed-seed corpus through the same code.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchgen/tagcloud.h"
+#include "common/random.h"
+#include "core/org_context.h"
+#include "core/organization.h"
+#include "lake/tag_index.h"
+
+namespace lakeorg {
+
+/// Size envelope for random fuzz lakes; actual counts are drawn uniformly
+/// from these ranges per lake.
+struct FuzzLakeOptions {
+  size_t min_tags = 5;
+  size_t max_tags = 14;
+  size_t min_attrs = 24;
+  size_t max_attrs = 70;
+};
+
+/// A generated lake with its index and full-lake context.
+struct FuzzLake {
+  TagCloudBenchmark bench;
+  TagIndex index;
+  std::shared_ptr<const OrgContext> ctx;
+};
+
+/// Generates a random lake. Deterministic given `rng`'s state.
+FuzzLake MakeFuzzLake(Rng* rng, const FuzzLakeOptions& options = {});
+
+/// Knobs for RandomOrganization.
+struct RandomOrgOptions {
+  /// Interior states sampled over random tag subsets (kept only when some
+  /// edge to them survives the inclusion/cycle checks).
+  size_t max_interior_states = 6;
+  /// Probability of each optional structural edge being attempted.
+  double edge_prob = 0.35;
+  /// Probability of an extra interior -> leaf shortcut edge per (state,
+  /// leaf-in-extent) pair that passes the inclusion check.
+  double shortcut_prob = 0.02;
+};
+
+/// Builds a random valid organization over `ctx`: every attribute gets a
+/// leaf, every tag a tag state reachable from the root, interiors and extra
+/// edges are random. Levels are recomputed and the result always passes
+/// Validate().
+Organization RandomOrganization(std::shared_ptr<const OrgContext> ctx,
+                                Rng* rng,
+                                const RandomOrgOptions& options = {});
+
+/// One differential trial's configuration.
+struct DiffTrialOptions {
+  /// Trial seed; drives the lake, organizations and op sequence. Printed
+  /// with every failure so a trial can be replayed exactly.
+  uint64_t seed = 1;
+  /// Evaluator worker threads for the parallel comparisons (serial runs
+  /// are always performed too).
+  size_t threads = 4;
+  /// Number of dimensions; 1 fuzzes a single full-lake organization,
+  /// > 1 partitions the tags randomly and also checks Eq. 8 aggregation.
+  size_t dims = 1;
+  /// Length of the random accept/reject op sequence.
+  size_t num_ops = 24;
+  /// Probability an applied operation is committed (vs rolled back).
+  double accept_prob = 0.5;
+  /// Comparison tolerance for |optimized - reference|.
+  double tolerance = 1e-9;
+  /// Success-probability neighborhood threshold (§4.2).
+  double success_theta = 0.8;
+  FuzzLakeOptions lake;
+  RandomOrgOptions org;
+};
+
+/// Outcome of one trial. Max diffs are over every comparison performed.
+struct DiffTrialResult {
+  bool ok = true;
+  /// First failure, with the trial seed embedded; empty when ok.
+  std::string error;
+  double max_reach_diff = 0.0;
+  double max_discovery_diff = 0.0;
+  double max_effectiveness_diff = 0.0;
+  double max_success_diff = 0.0;
+  size_t num_states = 0;
+  size_t num_attrs = 0;
+  size_t ops_applied = 0;
+  size_t ops_committed = 0;
+  size_t ops_rolled_back = 0;
+};
+
+/// Runs one differential trial.
+DiffTrialResult RunDiffTrial(const DiffTrialOptions& options);
+
+}  // namespace lakeorg

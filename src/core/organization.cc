@@ -525,7 +525,38 @@ Status Organization::Validate() const {
       }
     }
   }
+  // Cached norm freshness. Every mutation path ends in RefreshTopic or a
+  // journaled-snapshot restore, so the cached norm must be exactly
+  // Norm(topic) — any drift means a maintenance path skipped the refresh.
+  for (StateId s = 0; s < states_.size(); ++s) {
+    const OrgState& st = states_[s];
+    if (!st.alive) continue;
+    if (st.topic_norm != Norm(st.topic)) {
+      return Status::Internal("stale topic_norm on state " +
+                              std::to_string(s));
+    }
+  }
   return Status::OK();
+}
+
+void Organization::RecomputeAllTopics() {
+  for (StateId s = 0; s < states_.size(); ++s) {
+    OrgState& st = states_[s];
+    if (!st.alive || st.kind == StateKind::kLeaf) continue;
+    // Extras = attrs beyond the tag extents (what ADD_PARENT propagated
+    // in), ascending — exactly what SaveOrganization writes.
+    DynamicBitset from_tags = ctx_->MakeAttrSet();
+    for (uint32_t t : st.tags) from_tags.UnionWith(ctx_->tag_extent(t));
+    std::vector<uint32_t> extras;
+    st.attrs.ForEach([&from_tags, &extras](size_t a) {
+      if (!from_tags.Test(a)) extras.push_back(static_cast<uint32_t>(a));
+    });
+    // Re-accumulate in the load path's order (tag extents ascending, then
+    // extras ascending), so the result is bit-identical to what a
+    // save/load round trip produces.
+    RecomputeStateFromTags(s);
+    if (!extras.empty()) AddExtraAttrs(s, extras);
+  }
 }
 
 std::string Organization::DebugString() const {

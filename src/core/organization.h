@@ -177,6 +177,17 @@ class Organization {
   /// inclusion property intact.
   void AddExtraAttrs(StateId s, const std::vector<uint32_t>& attrs);
 
+  /// Recomputes every non-leaf state's attribute-derived fields (attrs,
+  /// topic_sum, value_count, topic, topic_norm) from scratch, accumulating
+  /// in the same order the deserialization path uses (tag extents in
+  /// ascending attribute order, then propagated extras in ascending
+  /// order). Incremental maintenance during search accumulates float sums
+  /// in operation order instead, so a save/load round trip is normally
+  /// only equal up to float accumulation error; after this call it is
+  /// bit-identical, and scores computed before saving match scores
+  /// computed after reloading exactly.
+  void RecomputeAllTopics();
+
   // Queries -------------------------------------------------------------------
 
   const OrgContext& ctx() const { return *ctx_; }

@@ -1,0 +1,287 @@
+#include "core/reference_evaluator.h"
+
+#include <cmath>
+
+namespace lakeorg {
+namespace {
+
+// Local numeric helpers: the oracle owns its arithmetic end to end. Double
+// accumulation in ascending index order over the float vectors, exactly as
+// a first-principles implementation would write it.
+
+double RefDot(const Vec& a, const Vec& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double RefNorm(const Vec& a) { return std::sqrt(RefDot(a, a)); }
+
+/// kappa(a, b): cosine similarity, 0 when either vector is all-zero.
+double RefCosine(const Vec& a, const Vec& b) {
+  double na = RefNorm(a);
+  double nb = RefNorm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return RefDot(a, b) / (na * nb);
+}
+
+}  // namespace
+
+std::vector<double> ReferenceEvaluator::TransitionProbabilities(
+    const Organization& org, StateId parent, const Vec& query) const {
+  const OrgState& p = org.state(parent);
+  std::vector<double> probs(p.children.size(), 0.0);
+  if (p.children.empty()) return probs;
+  // Eq. 1, written literally: exp(gamma / |ch(s)| * kappa(c, X)) over the
+  // sum of the same expression for every child. gamma * kappa is at most
+  // ~20 in magnitude, so the unshifted exponentials cannot overflow.
+  double scale = config_.branching_penalty
+                     ? config_.gamma / static_cast<double>(p.children.size())
+                     : config_.gamma;
+  double total = 0.0;
+  for (size_t i = 0; i < p.children.size(); ++i) {
+    const OrgState& child = org.state(p.children[i]);
+    probs[i] = std::exp(scale * RefCosine(child.topic, query));
+    total += probs[i];
+  }
+  for (double& pr : probs) pr /= total;
+  return probs;
+}
+
+std::vector<double> ReferenceEvaluator::ReachProbabilities(
+    const Organization& org, const Vec& query) const {
+  std::vector<double> reach(org.num_states(), 0.0);
+  if (org.root() == kInvalidId) return reach;
+
+  // Eq. 2-4 as a pull-based memoized recursion:
+  //   P(root | X) = 1
+  //   P(s | X)    = sum over parents p of P(s | p, X) * P(p | X).
+  // The optimized evaluators push along a topological order instead; the
+  // two only agree when both implement the same DP.
+  std::map<StateId, double> memo;
+  auto reach_of = [&](auto&& self, StateId s) -> double {
+    if (s == org.root()) return 1.0;
+    auto it = memo.find(s);
+    if (it != memo.end()) return it->second;
+    const OrgState& st = org.state(s);
+    double value = 0.0;
+    if (st.alive) {
+      for (StateId p : st.parents) {
+        double parent_reach = self(self, p);
+        if (parent_reach == 0.0) continue;
+        std::vector<double> probs = TransitionProbabilities(org, p, query);
+        const OrgState& ps = org.state(p);
+        for (size_t i = 0; i < ps.children.size(); ++i) {
+          if (ps.children[i] == s) value += probs[i] * parent_reach;
+        }
+      }
+    }
+    memo.emplace(s, value);
+    return value;
+  };
+
+  reach[org.root()] = 1.0;
+  for (StateId s = 0; s < org.num_states(); ++s) {
+    if (s == org.root()) continue;
+    if (!org.state(s).alive) continue;
+    reach[s] = reach_of(reach_of, s);
+  }
+  return reach;
+}
+
+double ReferenceEvaluator::AttributeDiscovery(const Organization& org,
+                                              uint32_t attr) const {
+  std::vector<double> reach =
+      ReachProbabilities(org, org.ctx().attr_vector(attr));
+  return reach[org.LeafOf(attr)];
+}
+
+std::vector<double> ReferenceEvaluator::AllAttributeDiscovery(
+    const Organization& org) const {
+  std::vector<double> discovery(org.ctx().num_attrs(), 0.0);
+  for (uint32_t a = 0; a < org.ctx().num_attrs(); ++a) {
+    discovery[a] = AttributeDiscovery(org, a);
+  }
+  return discovery;
+}
+
+double ReferenceEvaluator::TableDiscovery(const Organization& org,
+                                          uint32_t table) const {
+  // Eq. 5: 1 - prod over the table's attributes of (1 - P(A | O)).
+  double miss = 1.0;
+  for (uint32_t a : org.ctx().table_attrs(table)) {
+    miss *= 1.0 - AttributeDiscovery(org, a);
+  }
+  return 1.0 - miss;
+}
+
+double ReferenceEvaluator::Effectiveness(const Organization& org) const {
+  const OrgContext& ctx = org.ctx();
+  if (ctx.num_tables() == 0) return 0.0;
+  // Eq. 6-7: mean table discovery. Per-attribute discovery is evaluated
+  // once per attribute (not once per table membership) so that the
+  // product accumulates the same doubles as the optimized path.
+  std::vector<double> discovery = AllAttributeDiscovery(org);
+  double total = 0.0;
+  for (uint32_t t = 0; t < ctx.num_tables(); ++t) {
+    double miss = 1.0;
+    for (uint32_t a : ctx.table_attrs(t)) miss *= 1.0 - discovery[a];
+    total += 1.0 - miss;
+  }
+  return total / static_cast<double>(ctx.num_tables());
+}
+
+ReferenceSuccess ReferenceEvaluator::Success(const Organization& org,
+                                             double theta) const {
+  const OrgContext& ctx = org.ctx();
+  size_t n = ctx.num_attrs();
+
+  // §4.2: Success(A | O) = 1 - prod over {A_i : cos(A_i, A) >= theta} of
+  // (1 - P(A_i | A, O)), the candidate set including A itself. One DP per
+  // attribute query; the neighborhood scan is the naive O(n) cosine loop.
+  std::vector<double> attr_success(n, 0.0);
+  for (uint32_t a = 0; a < n; ++a) {
+    std::vector<double> reach = ReachProbabilities(org, ctx.attr_vector(a));
+    double miss = 1.0;
+    for (uint32_t b = 0; b < n; ++b) {
+      bool neighbor =
+          b == a ||
+          RefCosine(ctx.attr_vector(a), ctx.attr_vector(b)) >= theta;
+      if (neighbor) miss *= 1.0 - reach[org.LeafOf(b)];
+    }
+    attr_success[a] = 1.0 - miss;
+  }
+
+  ReferenceSuccess out;
+  out.per_table.resize(ctx.num_tables(), 0.0);
+  double total = 0.0;
+  for (uint32_t t = 0; t < ctx.num_tables(); ++t) {
+    double miss = 1.0;
+    for (uint32_t a : ctx.table_attrs(t)) miss *= 1.0 - attr_success[a];
+    out.per_table[t] = 1.0 - miss;
+    total += out.per_table[t];
+  }
+  out.mean = ctx.num_tables() == 0
+                 ? 0.0
+                 : total / static_cast<double>(ctx.num_tables());
+  return out;
+}
+
+namespace {
+
+/// Eq. 8: a table is discovered in the multi-dimensional organization if it
+/// is discovered in any dimension, so the miss probabilities multiply.
+ReferenceMultiDim CombineDims(
+    const MultiDimOrganization& org,
+    const std::vector<std::vector<double>>& per_dim_table_probs) {
+  ReferenceMultiDim out;
+  std::map<TableId, double> miss;
+  for (size_t d = 0; d < org.num_dimensions(); ++d) {
+    const OrgContext& ctx = org.dimension(d).ctx();
+    for (uint32_t t = 0; t < ctx.num_tables(); ++t) {
+      auto [it, inserted] = miss.emplace(ctx.lake_table(t), 1.0);
+      it->second *= 1.0 - per_dim_table_probs[d][t];
+    }
+  }
+  double total = 0.0;
+  for (const auto& [table, m] : miss) {
+    out.per_table.emplace(table, 1.0 - m);
+    total += 1.0 - m;
+  }
+  out.mean = miss.empty() ? 0.0 : total / static_cast<double>(miss.size());
+  return out;
+}
+
+}  // namespace
+
+ReferenceMultiDim ReferenceEvaluator::MultiDimDiscovery(
+    const MultiDimOrganization& org) const {
+  std::vector<std::vector<double>> per_dim(org.num_dimensions());
+  for (size_t d = 0; d < org.num_dimensions(); ++d) {
+    const Organization& dim = org.dimension(d);
+    std::vector<double> discovery = AllAttributeDiscovery(dim);
+    per_dim[d].resize(dim.ctx().num_tables(), 0.0);
+    for (uint32_t t = 0; t < dim.ctx().num_tables(); ++t) {
+      double miss = 1.0;
+      for (uint32_t a : dim.ctx().table_attrs(t)) miss *= 1.0 - discovery[a];
+      per_dim[d][t] = 1.0 - miss;
+    }
+  }
+  return CombineDims(org, per_dim);
+}
+
+ReferenceMultiDim ReferenceEvaluator::MultiDimSuccess(
+    const MultiDimOrganization& org, double theta) const {
+  std::vector<std::vector<double>> per_dim(org.num_dimensions());
+  for (size_t d = 0; d < org.num_dimensions(); ++d) {
+    per_dim[d] = Success(org.dimension(d), theta).per_table;
+  }
+  return CombineDims(org, per_dim);
+}
+
+Status CheckTopicInvariants(const Organization& org) {
+  const OrgContext& ctx = org.ctx();
+  for (StateId s = 0; s < org.num_states(); ++s) {
+    const OrgState& st = org.state(s);
+    if (!st.alive) continue;
+    // The cached norm must be exactly Norm(topic): every mutation path
+    // ends in RefreshTopic (or restores a journaled snapshot), so even
+    // bit-level drift means a maintenance path was skipped.
+    if (st.topic_norm != Norm(st.topic)) {
+      return Status::Internal("state " + std::to_string(s) +
+                              ": topic_norm != Norm(topic) (cached " +
+                              std::to_string(st.topic_norm) + ", actual " +
+                              std::to_string(Norm(st.topic)) + ")");
+    }
+    if (st.kind == StateKind::kLeaf) {
+      if (st.topic != ctx.attr_vector(st.attr) ||
+          st.topic_sum != ctx.attr_sum(st.attr) ||
+          st.value_count != ctx.attr_value_count(st.attr)) {
+        return Status::Internal("leaf " + std::to_string(s) +
+                                ": topic differs from context attribute");
+      }
+      continue;
+    }
+    // topic must be topic_sum scaled by float(1 / value_count) — the exact
+    // arithmetic RefreshTopic performs.
+    if (st.value_count > 0) {
+      float inv = static_cast<float>(
+          1.0 / static_cast<double>(st.value_count));
+      for (size_t i = 0; i < st.topic.size(); ++i) {
+        if (st.topic[i] != st.topic_sum[i] * inv) {
+          return Status::Internal("state " + std::to_string(s) +
+                                  ": topic != topic_sum / value_count");
+        }
+      }
+    } else if (st.topic != st.topic_sum) {
+      return Status::Internal("state " + std::to_string(s) +
+                              ": zero-count topic != topic_sum");
+    }
+    // topic_sum / value_count must match a from-scratch recomputation over
+    // the attribute set. Incremental float accumulation is order-dependent,
+    // so the sum check carries the same relative tolerance Validate() uses.
+    Vec sum(ctx.dim(), 0.0f);
+    size_t count = 0;
+    st.attrs.ForEach([&ctx, &sum, &count](size_t a) {
+      AddInPlace(&sum, ctx.attr_sum(a));
+      count += ctx.attr_value_count(a);
+    });
+    if (count != st.value_count) {
+      return Status::Internal("state " + std::to_string(s) +
+                              ": value_count inconsistent with attrs");
+    }
+    for (size_t i = 0; i < sum.size(); ++i) {
+      float delta = sum[i] - st.topic_sum[i];
+      float scale = std::max(1.0f, std::abs(sum[i]));
+      if (std::abs(delta) > 1e-3f * scale) {
+        return Status::Internal("state " + std::to_string(s) +
+                                ": topic_sum drifted from attribute set");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lakeorg

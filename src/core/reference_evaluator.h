@@ -1,0 +1,111 @@
+// ReferenceEvaluator: a deliberately naive, single-threaded, paper-faithful
+// implementation of the full navigation model, used as a differential-testing
+// oracle for the optimized evaluators.
+//
+// Everything is computed straight from the equations on every call:
+//   - Eq. 1   transition probabilities (plain softmax, no max-shift trick)
+//   - Eq. 2-4 reachability as a memoized recursion over parents (pull-based,
+//             unlike the evaluators' push-based topological sweep)
+//   - Eq. 5   table discovery from per-attribute discovery
+//   - Eq. 6-7 organization effectiveness
+//   - Eq. 8   multi-dimensional combination across organizations
+//   - §4.2    per-table success probability with naively recomputed
+//             attribute neighborhoods
+//
+// It deliberately shares no code with OrgEvaluator / IncrementalEvaluator
+// beyond the Organization / OrgContext accessors: cosines, norms and
+// softmaxes are local loops, there is no caching across calls, no pruning,
+// no scratch reuse, no thread pool, and no reliance on the cached
+// `topic_norm` (norms are recomputed from the topic vectors). Allocation
+// per call is intentional — clarity over speed.
+//
+// Numerics: the reference reads the same `OrgState::topic` vectors the
+// optimized evaluators read (the organization IS the model state; the
+// incremental float maintenance of topic sums is checked separately by
+// CheckTopicInvariants), and accumulates in double in ascending index
+// order, so agreement with the optimized paths is far inside the 1e-9
+// difftest tolerance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/multidim.h"
+#include "core/organization.h"
+#include "core/transition.h"
+
+namespace lakeorg {
+
+/// Per-table success probabilities (§4.2) computed by the oracle.
+struct ReferenceSuccess {
+  /// Success probability per local table id.
+  std::vector<double> per_table;
+  /// Mean over tables.
+  double mean = 0.0;
+};
+
+/// Per-table discovery of a multi-dimensional organization (Eq. 5 + Eq. 8),
+/// keyed by lake table id.
+struct ReferenceMultiDim {
+  /// probability[lake table id] = combined probability over dimensions.
+  std::map<TableId, double> per_table;
+  /// Mean over covered tables.
+  double mean = 0.0;
+};
+
+class ReferenceEvaluator {
+ public:
+  explicit ReferenceEvaluator(TransitionConfig config = {})
+      : config_(config) {}
+
+  /// Eq. 1: P(child_i | s, X) over the children of `parent`, in child-list
+  /// order. Empty when `parent` has no children.
+  std::vector<double> TransitionProbabilities(const Organization& org,
+                                              StateId parent,
+                                              const Vec& query) const;
+
+  /// Eq. 2-4: P(s | X, O) for every state (indexed by StateId; dead or
+  /// unreachable states get 0).
+  std::vector<double> ReachProbabilities(const Organization& org,
+                                         const Vec& query) const;
+
+  /// Definition 1: discovery probability of one attribute (reach of its
+  /// leaf under the attribute's own topic vector).
+  double AttributeDiscovery(const Organization& org, uint32_t attr) const;
+
+  /// Discovery probabilities of all context attributes.
+  std::vector<double> AllAttributeDiscovery(const Organization& org) const;
+
+  /// Eq. 5: table discovery probability.
+  double TableDiscovery(const Organization& org, uint32_t table) const;
+
+  /// Eq. 6-7: organization effectiveness.
+  double Effectiveness(const Organization& org) const;
+
+  /// §4.2: per-table success with neighborhoods cos(A_i, A) >= theta
+  /// (including A itself), recomputed naively per call.
+  ReferenceSuccess Success(const Organization& org, double theta) const;
+
+  /// Eq. 5 + Eq. 8: combined per-table discovery across dimensions.
+  ReferenceMultiDim MultiDimDiscovery(const MultiDimOrganization& org) const;
+
+  /// §4.2 + Eq. 8: combined per-table success across dimensions.
+  ReferenceMultiDim MultiDimSuccess(const MultiDimOrganization& org,
+                                    double theta) const;
+
+  const TransitionConfig& config() const { return config_; }
+
+ private:
+  TransitionConfig config_;
+};
+
+/// Checks the incremental model-state maintenance the evaluators depend on:
+/// for every alive state, `topic_norm` must equal Norm(topic) bit-for-bit,
+/// `topic` must equal topic_sum / value_count, and `topic_sum` /
+/// `value_count` must match a from-scratch recomputation over the state's
+/// attribute set (float accumulation-order tolerance). Returns the first
+/// violation found.
+Status CheckTopicInvariants(const Organization& org);
+
+}  // namespace lakeorg

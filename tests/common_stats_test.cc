@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/string_util.h"
 
 namespace lakeorg {
@@ -49,6 +51,27 @@ TEST(StatsTest, MinMax) {
   EXPECT_DOUBLE_EQ(Max({}), 0.0);
   EXPECT_DOUBLE_EQ(Min({3.0, -1.0, 2.0}), -1.0);
   EXPECT_DOUBLE_EQ(Max({3.0, -1.0, 2.0}), 3.0);
+}
+
+TEST(StatsTest, StdDevDegenerateInputs) {
+  // Fewer than two samples: variance is defined as 0, so StdDev must be an
+  // exact 0.0 rather than a NaN from a 0/0 in the n-1 denominator.
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({42.0}), 0.0);
+  EXPECT_FALSE(std::isnan(StdDev({})));
+  EXPECT_FALSE(std::isnan(StdDev({42.0})));
+}
+
+TEST(StatsTest, SingleElementIsItsOwnSummary) {
+  EXPECT_DOUBLE_EQ(Min({8.0}), 8.0);
+  EXPECT_DOUBLE_EQ(Max({8.0}), 8.0);
+  EXPECT_DOUBLE_EQ(Percentile({8.0}, 0), 8.0);
+  EXPECT_DOUBLE_EQ(Percentile({8.0}, 100), 8.0);
+}
+
+TEST(StatsTest, MidRanksDegenerateInputs) {
+  EXPECT_TRUE(MidRanks({}).empty());
+  EXPECT_EQ(MidRanks({3.5}), (std::vector<double>{1.0}));
 }
 
 TEST(StatsTest, MidRanksNoTies) {

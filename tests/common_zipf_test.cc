@@ -1,0 +1,78 @@
+// Edge cases of the Zipfian sampler: the degenerate single-rank
+// distribution, the skew-0 (uniform) special case, and PMF/CDF sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace lakeorg {
+namespace {
+
+TEST(ZipfTest, SingleRankAlwaysSamplesOne) {
+  ZipfDistribution zipf(1, 1.5);
+  EXPECT_EQ(zipf.n(), 1u);
+  EXPECT_EQ(zipf.Pmf(1), 1.0);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Sample(&rng), 1u);
+  }
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  const size_t n = 7;
+  ZipfDistribution zipf(n, 0.0);
+  for (size_t k = 1; k <= n; ++k) {
+    EXPECT_NEAR(zipf.Pmf(k), 1.0 / static_cast<double>(n), 1e-12)
+        << "rank " << k;
+  }
+  // Empirical check: every rank shows up, frequencies roughly equal.
+  Rng rng(11);
+  std::vector<size_t> counts(n, 0);
+  const size_t draws = 70000;
+  for (size_t i = 0; i < draws; ++i) {
+    size_t k = zipf.Sample(&rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, n);
+    counts[k - 1]++;
+  }
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / draws, 1.0 / n, 0.01)
+        << "rank " << (k + 1);
+  }
+}
+
+TEST(ZipfTest, ZeroSkewSingleRank) {
+  ZipfDistribution zipf(1, 0.0);
+  EXPECT_EQ(zipf.Pmf(1), 1.0);
+  Rng rng(3);
+  EXPECT_EQ(zipf.Sample(&rng), 1u);
+}
+
+TEST(ZipfTest, PmfSumsToOneAndIsMonotoneForPositiveSkew) {
+  ZipfDistribution zipf(20, 1.1);
+  double total = 0.0;
+  double prev = 2.0;
+  for (size_t k = 1; k <= zipf.n(); ++k) {
+    double p = zipf.Pmf(k);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, prev) << "rank " << k;
+    prev = p;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  ZipfDistribution zipf(5, 2.0);
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    size_t k = zipf.Sample(&rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 5u);
+  }
+}
+
+}  // namespace
+}  // namespace lakeorg

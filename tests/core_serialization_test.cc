@@ -93,6 +93,99 @@ TEST(SerializationTest, RoundTripOptimizedOrgWithPropagatedAttrs) {
               eval.Effectiveness(loaded.value()), 1e-6);
 }
 
+TEST(SerializationTest, RoundTripPreservesTopicInvariants) {
+  // Every loaded state must come back with a fresh cached norm
+  // (topic_norm == Norm(topic) bit-for-bit) and pass full validation —
+  // the load path rebuilds topics through the same RefreshTopic the
+  // mutation paths use, and Validate() now checks the cached norm.
+  TagCloudOptions opts;
+  opts.num_tags = 12;
+  opts.target_attributes = 50;
+  opts.min_values = 5;
+  opts.max_values = 12;
+  opts.seed = 29;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  TagIndex index = TagIndex::Build(bench.lake);
+  auto ctx = OrgContext::BuildFull(bench.lake, index);
+  LocalSearchOptions search;
+  search.patience = 20;
+  search.max_proposals = 120;
+  search.seed = 5;
+  LocalSearchResult optimized =
+      OptimizeOrganization(BuildClusteringOrganization(ctx), search);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveOrganization(optimized.org, &buffer).ok());
+  Result<Organization> loaded = LoadOrganization(ctx, &buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Status valid = loaded.value().Validate();
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  for (StateId s = 0; s < loaded.value().num_states(); ++s) {
+    const OrgState& st = loaded.value().state(s);
+    if (!st.alive) continue;
+    EXPECT_EQ(st.topic_norm, Norm(st.topic)) << "state " << s;
+  }
+}
+
+TEST(SerializationTest, RecomputeAllTopicsMakesRoundTripBitIdentical) {
+  // Search-optimized organizations carry incrementally accumulated float
+  // topic sums (operation order), while the load path re-accumulates in
+  // tag-extent-then-extras ascending order — so a plain round trip only
+  // agrees to float precision. RecomputeAllTopics() canonicalizes the
+  // in-memory organization to the load path's accumulation order, after
+  // which the round trip is bit-identical, topics and scores included.
+  TagCloudOptions opts;
+  opts.num_tags = 12;
+  opts.target_attributes = 50;
+  opts.min_values = 5;
+  opts.max_values = 12;
+  opts.seed = 41;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  TagIndex index = TagIndex::Build(bench.lake);
+  auto ctx = OrgContext::BuildFull(bench.lake, index);
+  LocalSearchOptions search;
+  search.patience = 20;
+  search.max_proposals = 120;
+  search.seed = 13;
+  LocalSearchResult optimized =
+      OptimizeOrganization(BuildClusteringOrganization(ctx), search);
+
+  Organization canonical = optimized.org.Clone();
+  canonical.RecomputeAllTopics();
+  Status valid = canonical.Validate();
+  ASSERT_TRUE(valid.ok()) << valid.ToString();
+  // Canonicalization must not change structure, only re-accumulate sums.
+  ExpectSameStructure(optimized.org, canonical);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveOrganization(canonical, &buffer).ok());
+  Result<Organization> loaded = LoadOrganization(ctx, &buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Save compacts ids to alive states in root-first order; rebuild that
+  // mapping to compare states pairwise.
+  std::vector<StateId> order = {canonical.root()};
+  for (StateId s = 0; s < canonical.num_states(); ++s) {
+    if (canonical.state(s).alive && s != canonical.root()) {
+      order.push_back(s);
+    }
+  }
+  ASSERT_EQ(order.size(), loaded.value().num_states());
+  for (size_t i = 0; i < order.size(); ++i) {
+    const OrgState& want = canonical.state(order[i]);
+    const OrgState& got = loaded.value().state(static_cast<StateId>(i));
+    EXPECT_EQ(want.topic_sum, got.topic_sum) << "state " << i;
+    EXPECT_EQ(want.topic, got.topic) << "state " << i;
+    EXPECT_EQ(want.topic_norm, got.topic_norm) << "state " << i;
+    EXPECT_EQ(want.value_count, got.value_count) << "state " << i;
+  }
+
+  // Scores bit-identical across the round trip.
+  OrgEvaluator eval(search.transition);
+  EXPECT_EQ(eval.Effectiveness(canonical),
+            eval.Effectiveness(loaded.value()));
+}
+
 TEST(SerializationTest, DeadStatesAreCompactedAway) {
   TinyLake tiny = MakeTinyLake();
   auto ctx = TinyContext(&tiny);

@@ -1,0 +1,227 @@
+// Metamorphic properties of the differential-testing harness (the fuzz
+// tier's fixed-seed companion to the difftest CLI driver):
+//
+//   1. A rejected proposal leaves every committed evaluator score
+//      bit-identical — EvaluateProposal must not touch committed caches,
+//      and the organization itself rolls back bit-for-bit via the undo log.
+//   2. Operations are exactly invertible through the undo log. (The paper's
+//      DELETE_PARENT is NOT the literal graph inverse of ADD_PARENT:
+//      elimination reconnects the removed parent's children to its own
+//      parents, so a delete after an add always leaves the shortcut edges
+//      behind. The undo log is the exact inverse; that is what rollback
+//      correctness rests on, and what this property pins down.)
+//   3. Queries whose leaf lies outside the operation's affected subgraph
+//      keep bit-identical discovery probabilities across a commit.
+//   4. A small fixed-seed RunDiffTrial corpus passes end to end (the same
+//      code path the difftest CLI drives with random seeds).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "common/random.h"
+#include "core/evaluator.h"
+#include "core/operations.h"
+#include "core/org_fuzz.h"
+#include "core/reference_evaluator.h"
+
+namespace lakeorg {
+namespace {
+
+void ExpectStatesEqual(const Organization& a, const Organization& b) {
+  ASSERT_EQ(a.num_states(), b.num_states());
+  ASSERT_EQ(a.root(), b.root());
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    const OrgState& x = a.state(s);
+    const OrgState& y = b.state(s);
+    EXPECT_EQ(x.kind, y.kind) << "state " << s;
+    EXPECT_EQ(x.alive, y.alive) << "state " << s;
+    EXPECT_EQ(x.parents, y.parents) << "state " << s;
+    EXPECT_EQ(x.children, y.children) << "state " << s;
+    EXPECT_EQ(x.tags, y.tags) << "state " << s;
+    EXPECT_EQ(x.attr, y.attr) << "state " << s;
+    EXPECT_TRUE(x.attrs == y.attrs) << "state " << s;
+    EXPECT_EQ(x.topic_sum, y.topic_sum) << "state " << s;
+    EXPECT_EQ(x.value_count, y.value_count) << "state " << s;
+    EXPECT_EQ(x.topic, y.topic) << "state " << s;
+    EXPECT_EQ(x.topic_norm, y.topic_norm) << "state " << s;
+    EXPECT_EQ(x.level, y.level) << "state " << s;
+  }
+}
+
+class DiffTestPropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(4242);
+    lake_ = std::make_unique<FuzzLake>(MakeFuzzLake(&rng));
+    org_ = std::make_unique<Organization>(
+        RandomOrganization(lake_->ctx, &rng));
+    ASSERT_TRUE(org_->Validate().ok());
+    ASSERT_TRUE(CheckTopicInvariants(*org_).ok());
+  }
+
+  /// Applies random ops until one actually mutates the organization;
+  /// returns the result, with the undo journal in `undo`.
+  OpResult ApplyOneOp(Rng* rng, const ReachabilityFn& reach, OpUndo* undo) {
+    for (int tries = 0; tries < 200; ++tries) {
+      std::vector<StateId> topo = org_->TopologicalOrder();
+      StateId target = topo[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(topo.size()) - 1))];
+      OpResult op =
+          rng->Bernoulli(0.5)
+              ? ApplyAddParent(org_.get(), target, reach, undo)
+              : ApplyDeleteParent(org_.get(), target, reach, undo);
+      if (op.applied) return op;
+      EXPECT_TRUE(undo->states.empty())
+          << "inapplicable op journaled mutations";
+    }
+    ADD_FAILURE() << "no applicable operation found";
+    return {};
+  }
+
+  std::unique_ptr<FuzzLake> lake_;
+  std::unique_ptr<Organization> org_;
+};
+
+TEST_F(DiffTestPropertyTest, RejectedProposalLeavesScoresBitIdentical) {
+  TransitionConfig config;
+  IncrementalEvaluator eval(config, lake_->ctx,
+                            IdentityRepresentatives(*lake_->ctx), 2);
+  eval.Initialize(*org_);
+
+  const size_t num_attrs = lake_->ctx->num_attrs();
+  double eff_before = eval.effectiveness();
+  std::vector<double> discovery_before(num_attrs);
+  for (uint32_t a = 0; a < num_attrs; ++a) {
+    discovery_before[a] = eval.AttrDiscovery(a);
+  }
+  std::vector<double> reach_before(org_->num_states());
+  for (StateId s = 0; s < org_->num_states(); ++s) {
+    reach_before[s] = eval.StateReachability(s);
+  }
+  Organization before = org_->Clone();
+
+  Rng rng(7);
+  ReachabilityFn reach = [&eval](StateId s) {
+    return eval.StateReachability(s);
+  };
+  for (int round = 0; round < 8; ++round) {
+    OpUndo undo;
+    OpResult op = ApplyOneOp(&rng, reach, &undo);
+    ASSERT_TRUE(op.applied);
+    ProposalEvaluation ev;
+    eval.EvaluateProposal(*org_, op.topic_changed, op.children_changed,
+                          op.removed, &ev);
+    // Reject: roll back and require every committed score bit-identical.
+    org_->Undo(undo);
+    ExpectStatesEqual(before, *org_);
+    EXPECT_EQ(eval.effectiveness(), eff_before) << "round " << round;
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      EXPECT_EQ(eval.AttrDiscovery(a), discovery_before[a])
+          << "round " << round << " attr " << a;
+    }
+    for (StateId s = 0; s < org_->num_states(); ++s) {
+      EXPECT_EQ(eval.StateReachability(s), reach_before[s])
+          << "round " << round << " state " << s;
+    }
+  }
+}
+
+TEST_F(DiffTestPropertyTest, UndoLogIsExactInverseOfEveryOp) {
+  Rng rng(11);
+  ReachabilityFn uniform = [](StateId) { return 1.0; };
+  for (int round = 0; round < 20; ++round) {
+    Organization before = org_->Clone();
+    OpUndo undo;
+    OpResult op = ApplyOneOp(&rng, uniform, &undo);
+    ASSERT_TRUE(op.applied);
+    org_->Undo(undo);
+    ExpectStatesEqual(before, *org_);
+    ASSERT_TRUE(org_->Validate().ok()) << "round " << round;
+    ASSERT_TRUE(CheckTopicInvariants(*org_).ok()) << "round " << round;
+  }
+}
+
+TEST_F(DiffTestPropertyTest, DeleteParentIsNotTheLiteralInverseOfAddParent) {
+  // Documented deviation from the naive metamorphic statement: eliminating
+  // the grafted parent reconnects its children to ITS parents, so the
+  // shortcut edges survive and the graph does not return to the original.
+  // (Exact rollback is the undo log's job, covered above.) Here we pin the
+  // weaker true property: after add + delete, the organization is still
+  // valid and every topic invariant still holds.
+  Rng rng(23);
+  ReachabilityFn uniform = [](StateId) { return 1.0; };
+  size_t exercised = 0;
+  for (StateId target = 0; target < org_->num_states() && exercised < 6;
+       ++target) {
+    if (!org_->state(target).alive || target == org_->root()) continue;
+    OpResult add = ApplyAddParent(org_.get(), target, uniform, nullptr);
+    if (!add.applied) continue;
+    OpResult del = ApplyDeleteParent(org_.get(), target, uniform, nullptr);
+    if (del.applied) ++exercised;
+    ASSERT_TRUE(org_->Validate().ok()) << "target " << target;
+    ASSERT_TRUE(CheckTopicInvariants(*org_).ok()) << "target " << target;
+  }
+  EXPECT_GT(exercised, 0u);
+}
+
+TEST_F(DiffTestPropertyTest, UnaffectedQueriesKeepBitIdenticalDiscovery) {
+  TransitionConfig config;
+  IncrementalEvaluator eval(config, lake_->ctx,
+                            IdentityRepresentatives(*lake_->ctx), 1);
+  eval.Initialize(*org_);
+  const size_t num_attrs = lake_->ctx->num_attrs();
+
+  Rng rng(31);
+  ReachabilityFn reach = [&eval](StateId s) {
+    return eval.StateReachability(s);
+  };
+  for (int round = 0; round < 8; ++round) {
+    std::vector<double> before(num_attrs);
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      before[a] = eval.AttrDiscovery(a);
+    }
+    OpUndo undo;
+    OpResult op = ApplyOneOp(&rng, reach, &undo);
+    ASSERT_TRUE(op.applied);
+    ProposalEvaluation ev;
+    eval.EvaluateProposal(*org_, op.topic_changed, op.children_changed,
+                          op.removed, &ev);
+    std::vector<char> affected(num_attrs, 0);
+    for (uint32_t q : ev.affected_queries) {
+      affected[eval.reps().query_attrs[q]] = 1;
+    }
+    eval.Commit(*org_, std::move(ev));
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      if (affected[a]) continue;
+      EXPECT_EQ(eval.AttrDiscovery(a), before[a])
+          << "round " << round << " unaffected attr " << a;
+    }
+  }
+}
+
+TEST(DiffTestCorpusTest, FixedSeedTrialsPass) {
+  for (uint64_t seed : {3u, 17u, 91u}) {
+    DiffTrialOptions options;
+    options.seed = seed;
+    options.threads = 2;
+    DiffTrialResult res = RunDiffTrial(options);
+    EXPECT_TRUE(res.ok) << res.error;
+    EXPECT_LE(res.max_effectiveness_diff, options.tolerance);
+    EXPECT_LE(res.max_discovery_diff, options.tolerance);
+    EXPECT_LE(res.max_reach_diff, options.tolerance);
+    EXPECT_LE(res.max_success_diff, options.tolerance);
+  }
+}
+
+TEST(DiffTestCorpusTest, MultiDimFixedSeedTrialPasses) {
+  DiffTrialOptions options;
+  options.seed = 57;
+  options.dims = 3;
+  options.threads = 2;
+  DiffTrialResult res = RunDiffTrial(options);
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+}  // namespace
+}  // namespace lakeorg

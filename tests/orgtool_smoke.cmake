@@ -1,0 +1,59 @@
+# End-to-end orgtool smoke test (run via `cmake -P` from CTest):
+#   1. build + optimize an organization over the tiny CSV fixture lake and
+#      save it ("final effectiveness (exact)" is printed after the topic
+#      sums are canonicalized to the load path's accumulation order),
+#   2. load the saved organization and re-evaluate it,
+#   3. require both scores to match.
+# The two %.10f strings must be EXACTLY equal: canonicalization makes the
+# save/load round trip bit-identical, which is stronger than the 1e-9
+# score-tolerance policy this test enforces.
+#
+# Inputs: ORGTOOL (binary path), FIXTURE_DIR (directory of *.csv),
+# WORK_DIR (scratch directory).
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+file(GLOB FIXTURES ${FIXTURE_DIR}/*.csv)
+list(LENGTH FIXTURES n_fixtures)
+if(n_fixtures EQUAL 0)
+  message(FATAL_ERROR "no CSV fixtures in ${FIXTURE_DIR}")
+endif()
+set(ORG_FILE ${WORK_DIR}/org.txt)
+
+execute_process(
+  COMMAND ${ORGTOOL} build --save ${ORG_FILE} --proposals 80 --seed 3
+          ${FIXTURES}
+  OUTPUT_VARIABLE build_out
+  ERROR_VARIABLE build_err
+  RESULT_VARIABLE build_rc)
+if(NOT build_rc EQUAL 0)
+  message(FATAL_ERROR "orgtool build failed (${build_rc}):\n"
+                      "${build_out}\n${build_err}")
+endif()
+if(NOT build_out MATCHES "final effectiveness \\(exact\\): ([0-9]+\\.[0-9]+)")
+  message(FATAL_ERROR "no final effectiveness in build output:\n${build_out}")
+endif()
+set(built_score ${CMAKE_MATCH_1})
+if(NOT EXISTS ${ORG_FILE})
+  message(FATAL_ERROR "orgtool build did not write ${ORG_FILE}")
+endif()
+
+execute_process(
+  COMMAND ${ORGTOOL} eval --load ${ORG_FILE} ${FIXTURES}
+  OUTPUT_VARIABLE eval_out
+  ERROR_VARIABLE eval_err
+  RESULT_VARIABLE eval_rc)
+if(NOT eval_rc EQUAL 0)
+  message(FATAL_ERROR "orgtool eval failed (${eval_rc}):\n"
+                      "${eval_out}\n${eval_err}")
+endif()
+if(NOT eval_out MATCHES "effectiveness \\(Eq\\. 7\\): +([0-9]+\\.[0-9]+)")
+  message(FATAL_ERROR "no effectiveness in eval output:\n${eval_out}")
+endif()
+set(reloaded_score ${CMAKE_MATCH_1})
+
+if(NOT built_score STREQUAL reloaded_score)
+  message(FATAL_ERROR "reloaded effectiveness ${reloaded_score} differs "
+                      "from built effectiveness ${built_score}")
+endif()
+message(STATUS "orgtool smoke ok: effectiveness ${built_score} "
+               "(${n_fixtures} fixtures)")

@@ -1,0 +1,112 @@
+// Unit tests for the embedding-based query expander (section 4.4): empty
+// queries, out-of-vocabulary terms, duplicate suppression, threshold and
+// per-term caps, and determinism across repeated calls.
+#include "search/query_expansion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "test_util.h"
+
+namespace lakeorg {
+namespace {
+
+using ::lakeorg::testing::FixedEmbedding;
+
+/// Vocabulary on a 2-d circle: "north" and "norther" are nearly parallel,
+/// "east" is orthogonal to both, "tilted" sits between.
+std::shared_ptr<const EmbeddingStore> CircleStore() {
+  const double c = std::cos(0.2), s = std::sin(0.2);
+  const double tc = std::cos(0.7), ts = std::sin(0.7);
+  auto model = std::make_shared<FixedEmbedding>(
+      2, std::map<std::string, Vec>{
+             {"north", {0.0f, 1.0f}},
+             {"norther", {static_cast<float>(s), static_cast<float>(c)}},
+             {"tilted", {static_cast<float>(ts), static_cast<float>(tc)}},
+             {"east", {1.0f, 0.0f}},
+         });
+  return std::make_shared<EmbeddingStore>(model);
+}
+
+std::vector<std::string> Vocab() {
+  return {"north", "norther", "tilted", "east", "no_embedding"};
+}
+
+TEST(QueryExpansionTest, EmptyQueryExpandsToEmpty) {
+  QueryExpander expander(CircleStore(), Vocab());
+  ExpandedQuery out = expander.Expand({});
+  EXPECT_TRUE(out.terms.empty());
+  EXPECT_TRUE(out.weights.empty());
+}
+
+TEST(QueryExpansionTest, OutOfVocabularyTermPassesThroughUnexpanded) {
+  QueryExpander expander(CircleStore(), Vocab());
+  ExpandedQuery out = expander.Expand({"zzz_not_a_word"});
+  ASSERT_EQ(out.terms.size(), 1u);
+  EXPECT_EQ(out.terms[0], "zzz_not_a_word");
+  EXPECT_EQ(out.weights[0], 1.0);
+}
+
+TEST(QueryExpansionTest, UnembeddableVocabularyTermsAreDropped) {
+  // "no_embedding" is in the candidate pool but has no vector, so it can
+  // never be proposed as an expansion.
+  QueryExpander expander(CircleStore(), Vocab(),
+                         {.expansions_per_term = 10, .min_similarity = -1.0});
+  ExpandedQuery out = expander.Expand({"north"});
+  for (const std::string& term : out.terms) {
+    EXPECT_NE(term, "no_embedding");
+  }
+}
+
+TEST(QueryExpansionTest, ExpandsSimilarTermsWithScaledWeights) {
+  QueryExpansionOptions options;
+  options.expansions_per_term = 1;
+  options.min_similarity = 0.9;
+  options.expansion_weight = 0.6;
+  QueryExpander expander(CircleStore(), Vocab(), options);
+  ExpandedQuery out = expander.Expand({"north"});
+  // cos(north, norther) = cos(0.2) ~ 0.98 passes; "tilted" (cos 0.7 ~ 0.76)
+  // and "east" (0) do not.
+  ASSERT_EQ(out.terms.size(), 2u);
+  EXPECT_EQ(out.terms[0], "north");
+  EXPECT_EQ(out.weights[0], 1.0);
+  EXPECT_EQ(out.terms[1], "norther");
+  EXPECT_NEAR(out.weights[1], std::cos(0.2) * 0.6, 1e-6);
+}
+
+TEST(QueryExpansionTest, OriginalsAreNeverDuplicated) {
+  QueryExpander expander(CircleStore(), Vocab(),
+                         {.expansions_per_term = 10, .min_similarity = -1.0});
+  ExpandedQuery out = expander.Expand({"north", "norther", "east"});
+  std::map<std::string, int> seen;
+  for (const std::string& term : out.terms) seen[term]++;
+  for (const auto& [term, count] : seen) {
+    EXPECT_EQ(count, 1) << "duplicated term: " << term;
+  }
+  // Originals first, weight exactly 1.
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(out.weights[i], 1.0);
+}
+
+TEST(QueryExpansionTest, RespectsPerTermCap) {
+  QueryExpander expander(CircleStore(), Vocab(),
+                         {.expansions_per_term = 2, .min_similarity = -1.0});
+  ExpandedQuery out = expander.Expand({"north"});
+  EXPECT_LE(out.terms.size(), 3u);  // original + at most 2 expansions.
+}
+
+TEST(QueryExpansionTest, DeterministicAcrossCalls) {
+  QueryExpander expander(CircleStore(), Vocab());
+  ExpandedQuery a = expander.Expand({"north", "east"});
+  for (int i = 0; i < 5; ++i) {
+    ExpandedQuery b = expander.Expand({"north", "east"});
+    EXPECT_EQ(a.terms, b.terms);
+    EXPECT_EQ(a.weights, b.weights);
+  }
+}
+
+}  // namespace
+}  // namespace lakeorg

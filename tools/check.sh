@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Full pre-merge check: the tier-1 test suite on the normal build, then a
+# 60-second fixed-seed differential-testing run under AddressSanitizer and
+# ThreadSanitizer instrumented builds (LAKEORG_SANITIZE=address / thread).
+#
+#   tools/check.sh            # everything (three builds; several minutes)
+#   tools/check.sh --fast     # tier-1 only, no sanitizer builds
+#
+# Build trees: build/ (plain), build-asan/, build-tsan/. Each sanitizer
+# tree is configured on first use and reused afterwards.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== tier 1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+(cd build && ctest --output-on-failure -j "$jobs")
+
+if [[ "$fast" == 1 ]]; then
+  echo "check.sh: tier-1 ok (sanitizer tiers skipped with --fast)"
+  exit 0
+fi
+
+# 60 seconds of fixed-seed fuzz per sanitizer: the difftest driver stops at
+# the time budget, so the seed range it covers grows with machine speed but
+# every run starts from the same seeds.
+for san in address thread; do
+  tree="build-$([[ "$san" == address ]] && echo asan || echo tsan)"
+  echo "== sanitizer tier: LAKEORG_SANITIZE=$san ($tree) =="
+  cmake -B "$tree" -S . -DLAKEORG_SANITIZE="$san" >/dev/null
+  cmake --build "$tree" -j "$jobs" --target difftest difftest_property_test
+  (cd "$tree" && ctest --output-on-failure -j "$jobs" -L fuzz || exit 1)
+  "./$tree/tools/difftest" --seed 1000 --trials 100000 --threads 4 \
+    --max-seconds 60
+done
+
+echo "check.sh: all tiers ok"

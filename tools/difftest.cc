@@ -1,0 +1,113 @@
+// difftest: randomized differential-testing driver.
+//
+// Runs RunDiffTrial over a range of seeds, comparing the optimized
+// evaluators (OrgEvaluator serial + pooled, IncrementalEvaluator with 1 and
+// --threads workers) against the naive ReferenceEvaluator oracle, and
+// checking Organization::Validate() plus the topic invariants after every
+// operation and rollback. Any per-value difference above --tolerance fails
+// the trial and prints the seed needed to replay it.
+//
+//   difftest --seed 1 --trials 200 --threads 4 --dims 1
+//   difftest --seed 7 --trials 50 --dims 3 --max-seconds 60
+//
+// Exit status 0 iff every trial passed.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/timer.h"
+#include "core/org_fuzz.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: difftest [--seed N] [--trials N] [--threads N]\n"
+               "                [--dims N] [--ops N] [--tolerance X]\n"
+               "                [--max-seconds X] [--verbose]\n");
+  std::exit(2);
+}
+
+uint64_t ParseU64(const char* s) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') Usage();
+  return static_cast<uint64_t>(v);
+}
+
+double ParseF64(const char* s) {
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') Usage();
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = 1;
+  size_t trials = 20;
+  double max_seconds = 0.0;  // 0 = no time limit
+  bool verbose = false;
+  lakeorg::DiffTrialOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage();
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = ParseU64(next());
+    } else if (std::strcmp(argv[i], "--trials") == 0) {
+      trials = static_cast<size_t>(ParseU64(next()));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      options.threads = static_cast<size_t>(ParseU64(next()));
+    } else if (std::strcmp(argv[i], "--dims") == 0) {
+      options.dims = static_cast<size_t>(ParseU64(next()));
+    } else if (std::strcmp(argv[i], "--ops") == 0) {
+      options.num_ops = static_cast<size_t>(ParseU64(next()));
+    } else if (std::strcmp(argv[i], "--tolerance") == 0) {
+      options.tolerance = ParseF64(next());
+    } else if (std::strcmp(argv[i], "--max-seconds") == 0) {
+      max_seconds = ParseF64(next());
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else {
+      Usage();
+    }
+  }
+
+  lakeorg::WallTimer timer;
+  size_t ran = 0;
+  size_t failures = 0;
+  double worst = 0.0;
+  for (size_t t = 0; t < trials; ++t) {
+    if (max_seconds > 0.0 && timer.ElapsedSeconds() >= max_seconds) break;
+    options.seed = seed + t;
+    lakeorg::DiffTrialResult res = lakeorg::RunDiffTrial(options);
+    ++ran;
+    double trial_worst =
+        std::max(std::max(res.max_reach_diff, res.max_discovery_diff),
+                 std::max(res.max_effectiveness_diff, res.max_success_diff));
+    worst = std::max(worst, trial_worst);
+    if (!res.ok) {
+      ++failures;
+      std::fprintf(stderr, "FAIL %s\n", res.error.c_str());
+    } else if (verbose) {
+      std::printf(
+          "seed %" PRIu64 ": ok  states=%zu attrs=%zu ops=%zu "
+          "(commit %zu, rollback %zu)  max_diff=%.3g\n",
+          options.seed, res.num_states, res.num_attrs, res.ops_applied,
+          res.ops_committed, res.ops_rolled_back, trial_worst);
+    }
+  }
+
+  std::printf(
+      "difftest: %zu/%zu trials ok (%zu failed), threads=%zu dims=%zu, "
+      "worst |optimized - reference| = %.3g, %.1fs\n",
+      ran - failures, ran, failures, options.threads, options.dims, worst,
+      timer.ElapsedSeconds());
+  return failures == 0 ? 0 : 1;
+}

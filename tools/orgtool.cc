@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "core/evaluator.h"
 #include "core/local_search.h"
 #include "core/navigation.h"
 #include "core/org_builders.h"
@@ -145,6 +146,14 @@ int RunBuild(const Args& args, std::shared_ptr<const OrgContext> ctx) {
               result.proposals, result.seconds);
   result.org.RecomputeLevels();
   std::printf("%s\n", FormatOrgStats(ComputeOrgStats(result.org)).c_str());
+  // Canonicalize the incremental float topic sums to the load path's
+  // accumulation order, so the organization we save re-evaluates to the
+  // exact score we print here (a save/load round trip is bit-identical
+  // after canonicalization).
+  result.org.RecomputeAllTopics();
+  OrgEvaluator exact(options.transition);
+  std::printf("final effectiveness (exact): %.10f\n",
+              exact.Effectiveness(result.org));
   if (!args.save_path.empty()) {
     Status st = SaveOrganizationToFile(result.org, args.save_path);
     if (!st.ok()) {
@@ -168,8 +177,8 @@ int RunEval(const Args& args, const Organization& org) {
   double effectiveness = eval.Effectiveness(org);
   auto neighbors = OrgEvaluator::AttributeNeighbors(org.ctx(), 0.9);
   SuccessReport success = eval.Success(org, neighbors);
-  std::printf("effectiveness (Eq. 7):        %.4f\n", effectiveness);
-  std::printf("mean success (theta = 0.9):   %.4f\n", success.mean);
+  std::printf("effectiveness (Eq. 7):        %.10f\n", effectiveness);
+  std::printf("mean success (theta = 0.9):   %.10f\n", success.mean);
   std::vector<double> sorted = success.SortedAscending();
   std::printf("per-table success p10/p50/p90: %.4f / %.4f / %.4f\n",
               sorted[sorted.size() / 10], sorted[sorted.size() / 2],
