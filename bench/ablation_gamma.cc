@@ -6,6 +6,7 @@
 // this bench quantifies both choices.
 #include <cstdio>
 
+#include "bench/bench_main.h"
 #include "bench/bench_util.h"
 #include "benchgen/tagcloud.h"
 #include "core/local_search.h"
@@ -13,13 +14,12 @@
 
 namespace lakeorg {
 
-int Main() {
-  using bench::EnvScale;
+int Main(const bench::BenchOptions& bopts) {
   using bench::PrintHeader;
   using bench::PrintRule;
   using bench::Scaled;
 
-  double scale = EnvScale("LAKEORG_SCALE", 0.15);
+  double scale = bopts.Scale(0.15, 0.02);
   TagCloudOptions opts;
   opts.num_tags = Scaled(365, scale, 12);
   opts.target_attributes = Scaled(2651, scale, 60);
@@ -50,7 +50,7 @@ int Main() {
       LocalSearchOptions search;
       search.transition = config;
       search.patience = 30;
-      search.max_proposals = 150;
+      search.max_proposals = bopts.smoke ? 25 : 150;
       search.seed = 71;
       search.record_history = false;
       LocalSearchResult optimized = OptimizeOrganization(
@@ -70,4 +70,7 @@ int Main() {
 
 }  // namespace lakeorg
 
-int main() { return lakeorg::Main(); }
+int main(int argc, char** argv) {
+  return lakeorg::bench::BenchMain(argc, argv, "ablation_gamma",
+                                   lakeorg::Main);
+}

@@ -7,6 +7,7 @@
 // which is exactly why the paper initializes with a hierarchy.
 #include <cstdio>
 
+#include "bench/bench_main.h"
 #include "bench/bench_util.h"
 #include "benchgen/tagcloud.h"
 #include "core/local_search.h"
@@ -15,13 +16,12 @@
 
 namespace lakeorg {
 
-int Main() {
-  using bench::EnvScale;
+int Main(const bench::BenchOptions& bopts) {
   using bench::PrintHeader;
   using bench::PrintRule;
   using bench::Scaled;
 
-  double scale = EnvScale("LAKEORG_SCALE", 0.15);
+  double scale = bopts.Scale(0.15, 0.02);
   TagCloudOptions opts;
   opts.num_tags = Scaled(365, scale, 12);
   opts.target_attributes = Scaled(2651, scale, 60);
@@ -38,8 +38,7 @@ int Main() {
   LocalSearchOptions search;
   search.transition.gamma = 20.0;
   search.patience = 60;
-  search.max_proposals =
-      static_cast<size_t>(EnvScale("LAKEORG_MAX_PROPOSALS", 400));
+  search.max_proposals = bopts.MaxProposals(400);
   search.seed = 71;
   search.record_history = false;
 
@@ -73,4 +72,7 @@ int Main() {
 
 }  // namespace lakeorg
 
-int main() { return lakeorg::Main(); }
+int main(int argc, char** argv) {
+  return lakeorg::bench::BenchMain(argc, argv, "ablation_init",
+                                   lakeorg::Main);
+}

@@ -5,6 +5,7 @@
 // discovery paths for poorly reachable states.
 #include <cstdio>
 
+#include "bench/bench_main.h"
 #include "bench/bench_util.h"
 #include "benchgen/tagcloud.h"
 #include "core/local_search.h"
@@ -12,13 +13,12 @@
 
 namespace lakeorg {
 
-int Main() {
-  using bench::EnvScale;
+int Main(const bench::BenchOptions& bopts) {
   using bench::PrintHeader;
   using bench::PrintRule;
   using bench::Scaled;
 
-  double scale = EnvScale("LAKEORG_SCALE", 0.15);
+  double scale = bopts.Scale(0.15, 0.02);
   TagCloudOptions opts;
   opts.num_tags = Scaled(365, scale, 12);
   opts.target_attributes = Scaled(2651, scale, 60);
@@ -51,7 +51,7 @@ int Main() {
     LocalSearchOptions search;
     search.transition.gamma = 20.0;
     search.patience = 40;
-    search.max_proposals = 300;
+    search.max_proposals = bopts.smoke ? 25 : 300;
     search.seed = 71;
     search.enable_add_parent = variant.add;
     search.enable_delete_parent = variant.del;
@@ -72,4 +72,7 @@ int Main() {
 
 }  // namespace lakeorg
 
-int main() { return lakeorg::Main(); }
+int main(int argc, char** argv) {
+  return lakeorg::bench::BenchMain(argc, argv, "ablation_ops",
+                                   lakeorg::Main);
+}

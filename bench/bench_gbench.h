@@ -1,0 +1,108 @@
+// BenchMain's sibling for the google-benchmark micro binaries
+// (micro_core, micro_evaluator). Replaces BENCHMARK_MAIN() with
+//
+//   int main(int argc, char** argv) {
+//     return lakeorg::bench::GoogleBenchMain(argc, argv, "micro_core");
+//   }
+//
+// adding the harness flags on top of the usual --benchmark_* set:
+//   --smoke        minimal timing (--benchmark_min_time=0.001)
+//   --json[=PATH]  capture every series into BENCH_<name>.json
+//   --no-metrics   leave telemetry disabled (for measuring its overhead)
+// Unrecognized flags pass through to google-benchmark untouched.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/bench_report.h"
+#include "obs/metrics.h"
+
+namespace lakeorg::bench {
+
+/// ConsoleReporter that also records each series for the JSON report.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      // Aggregates (mean/median/stddev) restate the iteration runs.
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      obs::BenchResultEntry entry;
+      entry.name = run.benchmark_name();
+      // real_accumulated_time is total seconds across `iterations`
+      // (time_unit only affects display).
+      if (run.iterations > 0) {
+        entry.iterations = static_cast<uint64_t>(run.iterations);
+        entry.real_seconds =
+            run.real_accumulated_time / static_cast<double>(run.iterations);
+      } else {
+        entry.iterations = 1;
+        entry.real_seconds = run.real_accumulated_time;
+      }
+      captured.push_back(entry);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<obs::BenchResultEntry> captured;
+};
+
+inline int GoogleBenchMain(int argc, char** argv, const std::string& name) {
+  bool smoke = false;
+  bool emit_json = false;
+  bool metrics = true;
+  std::string json_path;
+  std::vector<char*> bench_argv;
+  bench_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--no-metrics") {
+      metrics = false;
+    } else if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      emit_json = true;
+      if (arg.size() > 7) json_path = arg.substr(7);
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  // 1.7.x takes min_time as double seconds (the "<N>x" form is newer).
+  std::string min_time = "--benchmark_min_time=0.001";
+  if (smoke) bench_argv.push_back(min_time.data());
+
+  obs::SetMetricsEnabled(metrics);
+  obs::ResetAllMetrics();
+
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 2;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (emit_json) {
+    obs::BenchReport report = obs::MakeBenchReport(name, smoke);
+    report.results = std::move(reporter.captured);
+    report.metrics = obs::SnapshotMetrics().ToJson();
+    const std::string path =
+        json_path.empty() ? "BENCH_" + name + ".json" : json_path;
+    Status status = obs::WriteBenchReportFile(report, path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   status.message().c_str());
+      return 1;
+    }
+    if (path != "-") {
+      std::printf("[%s] wrote %s\n", name.c_str(), path.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace lakeorg::bench

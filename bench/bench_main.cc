@@ -1,0 +1,124 @@
+#include "bench_main.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "obs/bench_report.h"
+#include "obs/metrics.h"
+
+namespace lakeorg::bench {
+
+double BenchOptions::Scale(double fallback, double smoke_scale) const {
+  if (smoke) return smoke_scale;
+  return EnvScale("LAKEORG_SCALE", fallback);
+}
+
+size_t BenchOptions::MaxProposals(size_t fallback, size_t smoke_value) const {
+  if (smoke) return smoke_value;
+  const char* value = std::getenv("LAKEORG_MAX_PROPOSALS");
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(value, &end, 10);
+  if (end == value || parsed <= 0) return fallback;
+  return static_cast<size_t>(parsed);
+}
+
+namespace {
+
+void PrintUsage(const std::string& name) {
+  std::printf(
+      "usage: %s [--smoke] [--reps N] [--json[=PATH]] [--no-metrics] "
+      "[--help]\n"
+      "  --smoke        tiny fixture, finishes in seconds (CTest tier)\n"
+      "  --reps N       repeat the workload N times; timings average\n"
+      "  --json[=PATH]  write BENCH_%s.json (PATH overrides, '-' = stdout)\n"
+      "  --no-metrics   leave telemetry disabled (overhead measurements)\n",
+      name.c_str(), name.c_str());
+}
+
+}  // namespace
+
+int BenchMain(int argc, char** argv, const std::string& name, BenchFn run) {
+  BenchOptions opts;
+  bool metrics = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      opts.smoke = true;
+    } else if (arg == "--reps") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --reps needs a value\n", name.c_str());
+        return 2;
+      }
+      long reps = std::strtol(argv[++i], nullptr, 10);
+      if (reps <= 0) {
+        std::fprintf(stderr, "%s: --reps must be positive\n", name.c_str());
+        return 2;
+      }
+      opts.reps = static_cast<size_t>(reps);
+    } else if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      opts.emit_json = true;
+      if (arg.size() > 7) opts.json_path = arg.substr(7);
+    } else if (arg == "--no-metrics") {
+      metrics = false;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(name);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", name.c_str(),
+                   arg.c_str());
+      PrintUsage(name);
+      return 2;
+    }
+  }
+
+  // Telemetry rides along in the report; counters start from a clean slate
+  // so reps accumulate from zero.
+  obs::SetMetricsEnabled(metrics);
+  obs::ResetAllMetrics();
+
+  obs::BenchReport report = obs::MakeBenchReport(name, opts.smoke);
+  int rc = 0;
+  double total_seconds = 0.0;
+  for (size_t rep = 0; rep < opts.reps; ++rep) {
+    WallTimer timer;
+    rc = run(opts);
+    total_seconds += timer.ElapsedSeconds();
+    if (rc != 0) break;
+  }
+  if (rc != 0) {
+    std::fprintf(stderr, "%s: workload failed (exit %d)\n", name.c_str(), rc);
+    return rc;
+  }
+
+  obs::BenchResultEntry entry;
+  entry.name = name + "/workload";
+  entry.iterations = opts.reps;
+  entry.real_seconds = total_seconds / static_cast<double>(opts.reps);
+  report.results.push_back(entry);
+  report.metrics = obs::SnapshotMetrics().ToJson();
+
+  std::printf("\n[%s] %zu rep(s), %.3f s/rep\n", name.c_str(), opts.reps,
+              entry.real_seconds);
+
+  if (opts.emit_json) {
+    std::string path =
+        opts.json_path.empty() ? "BENCH_" + name + ".json" : opts.json_path;
+    Status status = obs::WriteBenchReportFile(report, path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   status.message().c_str());
+      return 1;
+    }
+    if (path != "-") {
+      std::printf("[%s] wrote %s\n", name.c_str(), path.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace lakeorg::bench

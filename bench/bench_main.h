@@ -1,0 +1,46 @@
+// Shared entry point for the paper-artifact bench binaries. Every bench's
+// Main(const BenchOptions&) runs under BenchMain, which provides:
+//
+//   --smoke            tiny fixture, 1 rep — the CTest "bench" tier uses
+//                      this so bench code is always compiled AND executed
+//   --reps N           repeat the workload N times (wall times averaged)
+//   --json[=PATH]      emit a canonical BENCH_<name>.json report (wall
+//                      times, metric snapshot, git SHA, build flags);
+//                      default path is BENCH_<name>.json in the cwd
+//   --no-metrics       leave telemetry disabled (overhead measurements)
+//   --help             usage
+//
+// Metrics are enabled for the duration of the run, so the report's
+// "metrics" object carries the optimizer/evaluator/pool telemetry of
+// docs/OBSERVABILITY.md. Compare two reports with tools/bench_compare.
+#pragma once
+
+#include <string>
+
+namespace lakeorg::bench {
+
+struct BenchOptions {
+  /// Tiny fixture + minimal iterations; must finish in seconds.
+  bool smoke = false;
+  /// Workload repetitions (timing averages over them).
+  size_t reps = 1;
+  /// Emit BENCH_<name>.json.
+  bool emit_json = false;
+  /// Report path ("" = BENCH_<name>.json in the cwd, "-" = stdout).
+  std::string json_path;
+
+  /// The bench's workload scale: LAKEORG_SCALE (or `fallback`) normally,
+  /// `smoke_scale` under --smoke (environment ignored so the smoke tier
+  /// is immune to stray env).
+  double Scale(double fallback, double smoke_scale = 0.02) const;
+  /// Same pattern for the LAKEORG_MAX_PROPOSALS cap.
+  size_t MaxProposals(size_t fallback, size_t smoke_value = 25) const;
+};
+
+using BenchFn = int (*)(const BenchOptions&);
+
+/// Parses flags, runs `run` opts.reps times, and (with --json) writes the
+/// BENCH_<name>.json report. Returns the bench's exit code.
+int BenchMain(int argc, char** argv, const std::string& name, BenchFn run);
+
+}  // namespace lakeorg::bench

@@ -10,6 +10,7 @@
 // is several times faster than exact 2-dim.
 #include <cstdio>
 
+#include "bench/bench_main.h"
 #include "bench/bench_util.h"
 #include "benchgen/tagcloud.h"
 #include "common/timer.h"
@@ -18,13 +19,12 @@
 
 namespace lakeorg {
 
-int Main() {
-  using bench::EnvScale;
+int Main(const bench::BenchOptions& bopts) {
   using bench::PrintHeader;
   using bench::PrintRule;
   using bench::Scaled;
 
-  double scale = EnvScale("LAKEORG_SCALE", 0.2);
+  double scale = bopts.Scale(0.2, 0.04);
   TagCloudOptions opts;
   opts.num_tags = Scaled(365, scale, 12);
   opts.target_attributes = Scaled(2651, scale, 60);
@@ -43,8 +43,7 @@ int Main() {
   LocalSearchOptions search;
   search.transition.gamma = 20.0;
   search.patience = 50;
-  search.max_proposals =
-      static_cast<size_t>(EnvScale("LAKEORG_MAX_PROPOSALS", 500));
+  search.max_proposals = bopts.MaxProposals(500);
   search.seed = 71;
   search.record_history = false;
 
@@ -119,4 +118,7 @@ int Main() {
 
 }  // namespace lakeorg
 
-int main() { return lakeorg::Main(); }
+int main(int argc, char** argv) {
+  return lakeorg::bench::BenchMain(argc, argv, "construction_time",
+                                   lakeorg::Main);
+}

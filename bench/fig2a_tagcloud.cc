@@ -14,6 +14,7 @@
 // paper's 365 tags / 2,651 attributes.
 #include <cstdio>
 
+#include "bench/bench_main.h"
 #include "bench/bench_util.h"
 #include "benchgen/tagcloud.h"
 #include "common/timer.h"
@@ -24,7 +25,6 @@
 namespace lakeorg {
 namespace {
 
-using bench::EnvScale;
 using bench::PrintHeader;
 using bench::PrintRule;
 using bench::Scaled;
@@ -37,16 +37,16 @@ struct Row {
   std::vector<double> series;
 };
 
-LocalSearchOptions SearchOptions() {
+LocalSearchOptions SearchOptions(const bench::BenchOptions& bopts) {
   LocalSearchOptions opts;
   opts.transition.gamma = 20.0;
   opts.patience = 50;  // The paper's plateau termination.
-  opts.max_proposals =
-      static_cast<size_t>(EnvScale("LAKEORG_MAX_PROPOSALS", 600));
+  opts.max_proposals = bopts.MaxProposals(600);
   opts.seed = 71;
   // LAKEORG_THREADS pins the evaluator's pool width (0/unset = hardware
   // concurrency); results are identical for every value.
-  opts.num_threads = static_cast<size_t>(EnvScale("LAKEORG_THREADS", 0));
+  opts.num_threads =
+      static_cast<size_t>(bench::EnvScale("LAKEORG_THREADS", 0));
   return opts;
 }
 
@@ -75,8 +75,8 @@ Row EvaluateMulti(const std::string& name, const MultiDimOrganization& org,
 
 }  // namespace
 
-int Main() {
-  double scale = EnvScale("LAKEORG_SCALE", 0.25);
+int Main(const bench::BenchOptions& bopts) {
+  double scale = bopts.Scale(0.25, 0.04);
   TagCloudOptions opts;
   opts.num_tags = Scaled(365, scale, 12);
   opts.target_attributes = Scaled(2651, scale, 60);
@@ -97,7 +97,7 @@ int Main() {
   TagIndex index = TagIndex::Build(bench.lake);
   auto ctx = OrgContext::BuildFull(bench.lake, index);
   size_t total_tables = ctx->num_tables();
-  TransitionConfig config = SearchOptions().transition;
+  TransitionConfig config = SearchOptions(bopts).transition;
 
   std::vector<Row> rows;
 
@@ -119,7 +119,7 @@ int Main() {
   for (size_t dims : {1u, 2u, 3u, 4u}) {
     MultiDimOptions mopts;
     mopts.dimensions = dims;
-    mopts.search = SearchOptions();
+    mopts.search = SearchOptions(bopts);
     mopts.num_threads = 0;
     WallTimer t;
     MultiDimOrganization org =
@@ -137,7 +137,7 @@ int Main() {
     TagIndex enriched_index = TagIndex::Build(enriched.lake);
     MultiDimOptions mopts;
     mopts.dimensions = 2;
-    mopts.search = SearchOptions();
+    mopts.search = SearchOptions(bopts);
     MultiDimOrganization org =
         BuildMultiDimOrganization(enriched.lake, enriched_index, mopts);
     rows.push_back(
@@ -147,7 +147,7 @@ int Main() {
   {
     MultiDimOptions mopts;
     mopts.dimensions = 2;
-    mopts.search = SearchOptions();
+    mopts.search = SearchOptions(bopts);
     mopts.search.use_representatives = true;
     mopts.search.representatives.fraction = 0.1;
     MultiDimOrganization org =
@@ -176,4 +176,7 @@ int Main() {
 
 }  // namespace lakeorg
 
-int main() { return lakeorg::Main(); }
+int main(int argc, char** argv) {
+  return lakeorg::bench::BenchMain(argc, argv, "fig2a_tagcloud",
+                                   lakeorg::Main);
+}

@@ -8,6 +8,7 @@
 // approximates the published lake size.
 #include <cstdio>
 
+#include "bench/bench_main.h"
 #include "bench/bench_util.h"
 #include "benchgen/socrata.h"
 #include "common/timer.h"
@@ -18,7 +19,6 @@
 namespace lakeorg {
 namespace {
 
-using bench::EnvScale;
 using bench::PrintHeader;
 using bench::PrintRule;
 using bench::Scaled;
@@ -26,8 +26,8 @@ using bench::SeriesSummary;
 
 }  // namespace
 
-int Main() {
-  double scale = EnvScale("LAKEORG_SCALE", 0.12);
+int Main(const bench::BenchOptions& bopts) {
+  double scale = bopts.Scale(0.12, 0.01);
   SocrataOptions opts;
   opts.num_tables = Scaled(7553, scale, 80);
   opts.num_tags = Scaled(11083, scale, 60);
@@ -63,8 +63,7 @@ int Main() {
   mopts.dimensions = 10;
   mopts.search.transition = config;
   mopts.search.patience = 50;
-  mopts.search.max_proposals =
-      static_cast<size_t>(EnvScale("LAKEORG_MAX_PROPOSALS", 400));
+  mopts.search.max_proposals = bopts.MaxProposals(400);
   mopts.search.use_representatives = true;
   mopts.search.representatives.fraction = 0.1;
   mopts.partition_seed = 99;
@@ -108,4 +107,7 @@ int Main() {
 
 }  // namespace lakeorg
 
-int main() { return lakeorg::Main(); }
+int main(int argc, char** argv) {
+  return lakeorg::bench::BenchMain(argc, argv, "fig2b_socrata",
+                                   lakeorg::Main);
+}

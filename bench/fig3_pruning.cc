@@ -11,6 +11,7 @@
 // of the attributes.
 #include <cstdio>
 
+#include "bench/bench_main.h"
 #include "bench/bench_util.h"
 #include "benchgen/tagcloud.h"
 #include "common/stats.h"
@@ -20,7 +21,6 @@
 namespace lakeorg {
 namespace {
 
-using bench::EnvScale;
 using bench::PrintHeader;
 using bench::PrintRule;
 using bench::Scaled;
@@ -63,8 +63,8 @@ PruningStats Collect(const LocalSearchResult& result) {
 
 }  // namespace
 
-int Main() {
-  double scale = EnvScale("LAKEORG_SCALE", 0.2);
+int Main(const bench::BenchOptions& bopts) {
+  double scale = bopts.Scale(0.2, 0.04);
   TagCloudOptions opts;
   opts.num_tags = Scaled(365, scale, 12);
   opts.target_attributes = Scaled(2651, scale, 60);
@@ -84,8 +84,7 @@ int Main() {
   LocalSearchOptions base;
   base.transition.gamma = 20.0;
   base.patience = 50;
-  base.max_proposals =
-      static_cast<size_t>(EnvScale("LAKEORG_MAX_PROPOSALS", 500));
+  base.max_proposals = bopts.MaxProposals(500);
   base.seed = 71;
   base.record_history = true;
 
@@ -141,4 +140,7 @@ int Main() {
 
 }  // namespace lakeorg
 
-int main() { return lakeorg::Main(); }
+int main(int argc, char** argv) {
+  return lakeorg::bench::BenchMain(argc, argv, "fig3_pruning",
+                                   lakeorg::Main);
+}

@@ -3,6 +3,8 @@
 // application, incremental proposal evaluation, and BM25 query latency.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_gbench.h"
+
 #include "benchgen/tagcloud.h"
 #include "core/evaluator.h"
 #include "core/local_search.h"
@@ -144,4 +146,6 @@ BENCHMARK(BM_Bm25Query);
 }  // namespace
 }  // namespace lakeorg
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return lakeorg::bench::GoogleBenchMain(argc, argv, "micro_core");
+}

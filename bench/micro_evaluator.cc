@@ -6,6 +6,8 @@
 // BM_ProposalEvaluation / BM_OrganizationClone baselines.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_gbench.h"
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -158,4 +160,6 @@ BENCHMARK(BM_LocalSearch)->Arg(1)->Arg(4)->UseRealTime()
 }  // namespace
 }  // namespace lakeorg
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return lakeorg::bench::GoogleBenchMain(argc, argv, "micro_evaluator");
+}

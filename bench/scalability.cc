@@ -8,6 +8,9 @@
 // tags).
 #include <cstdio>
 
+#include <vector>
+
+#include "bench/bench_main.h"
 #include "bench/bench_util.h"
 #include "benchgen/tagcloud.h"
 #include "common/timer.h"
@@ -16,13 +19,12 @@
 
 namespace lakeorg {
 
-int Main() {
-  using bench::EnvScale;
+int Main(const bench::BenchOptions& bopts) {
   using bench::PrintHeader;
   using bench::PrintRule;
   using bench::Scaled;
 
-  double scale = EnvScale("LAKEORG_SCALE", 1.0);
+  double scale = bopts.Scale(1.0, 0.5);
   PrintHeader("Scalability — construction/evaluation time vs lake size "
               "(TagCloud, scale " + std::to_string(scale) + ")");
   PrintRule();
@@ -31,7 +33,9 @@ int Main() {
               "opt succ");
   PrintRule();
 
-  const size_t tag_steps[] = {30, 60, 120, 240, 360};
+  // Smoke keeps only the two smallest lake sizes.
+  std::vector<size_t> tag_steps = {30, 60, 120, 240, 360};
+  if (bopts.smoke) tag_steps.resize(2);
   for (size_t base_tags : tag_steps) {
     TagCloudOptions opts;
     opts.num_tags = Scaled(base_tags, scale, 10);
@@ -54,8 +58,7 @@ int Main() {
     LocalSearchOptions search;
     search.transition = config;
     search.patience = 50;
-    search.max_proposals =
-        static_cast<size_t>(EnvScale("LAKEORG_MAX_PROPOSALS", 300));
+    search.max_proposals = bopts.MaxProposals(300);
     search.use_representatives = true;
     search.representatives.fraction = 0.1;
     search.seed = 11;
@@ -87,4 +90,7 @@ int Main() {
 
 }  // namespace lakeorg
 
-int main() { return lakeorg::Main(); }
+int main(int argc, char** argv) {
+  return lakeorg::bench::BenchMain(argc, argv, "scalability",
+                                   lakeorg::Main);
+}

@@ -7,6 +7,7 @@
 // attrs; #Reps ~ #Atts / 10.
 #include <cstdio>
 
+#include "bench/bench_main.h"
 #include "bench/bench_util.h"
 #include "benchgen/socrata.h"
 #include "core/multidim.h"
@@ -14,13 +15,12 @@
 
 namespace lakeorg {
 
-int Main() {
-  using bench::EnvScale;
+int Main(const bench::BenchOptions& bopts) {
   using bench::PrintHeader;
   using bench::PrintRule;
   using bench::Scaled;
 
-  double scale = EnvScale("LAKEORG_SCALE", 0.12);
+  double scale = bopts.Scale(0.12, 0.01);
   SocrataOptions opts;
   opts.num_tables = Scaled(7553, scale, 80);
   opts.num_tags = Scaled(11083, scale, 60);
@@ -36,8 +36,7 @@ int Main() {
   mopts.dimensions = 10;
   mopts.search.transition.gamma = 20.0;
   mopts.search.patience = 50;
-  mopts.search.max_proposals =
-      static_cast<size_t>(EnvScale("LAKEORG_MAX_PROPOSALS", 300));
+  mopts.search.max_proposals = bopts.MaxProposals(300);
   mopts.search.use_representatives = true;
   mopts.search.representatives.fraction = 0.1;
   mopts.partition_seed = 99;
@@ -75,4 +74,7 @@ int Main() {
 
 }  // namespace lakeorg
 
-int main() { return lakeorg::Main(); }
+int main(int argc, char** argv) {
+  return lakeorg::bench::BenchMain(argc, argv, "table1_stats",
+                                   lakeorg::Main);
+}

@@ -10,6 +10,7 @@
 // result overlap ~5%; <1% of found tables judged irrelevant.
 #include <cstdio>
 
+#include "bench/bench_main.h"
 #include "bench/bench_util.h"
 #include "benchgen/socrata.h"
 #include "core/multidim.h"
@@ -18,7 +19,6 @@
 namespace lakeorg {
 namespace {
 
-using bench::EnvScale;
 using bench::PrintHeader;
 using bench::PrintRule;
 using bench::Scaled;
@@ -39,8 +39,8 @@ Scenario ScenarioFor(const TagIndex& index, const DataLake& lake) {
 
 }  // namespace
 
-int Main() {
-  double scale = EnvScale("LAKEORG_SCALE", 0.25);
+int Main(const bench::BenchOptions& bopts) {
+  double scale = bopts.Scale(0.25, 0.04);
   PrintHeader("Section 4.4 — simulated user study  (scale " +
               std::to_string(scale) + ")");
 
@@ -70,8 +70,7 @@ int Main() {
   mopts.dimensions = 4;
   mopts.search.transition.gamma = 20.0;
   mopts.search.patience = 40;
-  mopts.search.max_proposals =
-      static_cast<size_t>(EnvScale("LAKEORG_MAX_PROPOSALS", 250));
+  mopts.search.max_proposals = bopts.MaxProposals(250);
   mopts.search.use_representatives = true;
   mopts.search.representatives.fraction = 0.1;
   MultiDimOrganization org_a =
@@ -91,7 +90,8 @@ int Main() {
 
   StudyOptions sopts;
   sopts.participants = 12;
-  sopts.agent.action_budget = 300;  // The 20-minute session budget.
+  // The 20-minute session budget; smoke trims it to keep the tier quick.
+  sopts.agent.action_budget = bopts.smoke ? 40 : 300;
   sopts.agent.intent_noise = 0.30;
   sopts.agent.accept_threshold = 0.35;
   sopts.oracle_threshold = 0.30;
@@ -120,4 +120,6 @@ int Main() {
 
 }  // namespace lakeorg
 
-int main() { return lakeorg::Main(); }
+int main(int argc, char** argv) {
+  return lakeorg::bench::BenchMain(argc, argv, "user_study", lakeorg::Main);
+}

@@ -1,0 +1,371 @@
+#include "common/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lakeorg {
+namespace {
+
+/// Escapes a string into a JSON string literal (quotes included).
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);  // UTF-8 bytes pass through unchanged.
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Deterministic number rendering: exact integers in the safe range print
+/// as integers, everything else as %.17g (enough digits to round-trip).
+void AppendNumber(double v, std::string* out) {
+  assert(std::isfinite(v) && "JSON cannot represent NaN/Inf");
+  char buf[40];
+  double rounded = std::nearbyint(v);
+  if (v == rounded && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  *out += buf;
+}
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string error;
+
+  bool Fail(const std::string& message) {
+    if (error.empty()) error = message;
+    return false;
+  }
+
+  void SkipSpace() {
+    while (p < end &&
+           (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const char* q = p;
+    while (*lit != '\0') {
+      if (q >= end || *q != *lit) return Fail("invalid literal");
+      ++q;
+      ++lit;
+    }
+    p = q;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (p >= end || *p != '"') return Fail("expected string");
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p >= end) return Fail("truncated escape");
+      char esc = *p++;
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (end - p < 4) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = *p++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("invalid \\u escape");
+            }
+          }
+          // Encode the code point as UTF-8 (surrogate pairs are not
+          // recombined; the snapshot writer never emits them).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+    if (p >= end) return Fail("unterminated string");
+    ++p;  // Closing quote.
+    return true;
+  }
+
+  bool ParseValue(Json* out, int depth) {
+    if (depth > 200) return Fail("nesting too deep");
+    SkipSpace();
+    if (p >= end) return Fail("unexpected end of input");
+    switch (*p) {
+      case 'n':
+        if (!Literal("null")) return false;
+        *out = Json();
+        return true;
+      case 't':
+        if (!Literal("true")) return false;
+        *out = Json(true);
+        return true;
+      case 'f':
+        if (!Literal("false")) return false;
+        *out = Json(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *out = Json(std::move(s));
+        return true;
+      }
+      case '[': {
+        ++p;
+        *out = Json::MakeArray();
+        SkipSpace();
+        if (p < end && *p == ']') {
+          ++p;
+          return true;
+        }
+        for (;;) {
+          Json element;
+          if (!ParseValue(&element, depth + 1)) return false;
+          out->array().push_back(std::move(element));
+          SkipSpace();
+          if (p >= end) return Fail("unterminated array");
+          if (*p == ',') {
+            ++p;
+            continue;
+          }
+          if (*p == ']') {
+            ++p;
+            return true;
+          }
+          return Fail("expected ',' or ']' in array");
+        }
+      }
+      case '{': {
+        ++p;
+        *out = Json::MakeObject();
+        SkipSpace();
+        if (p < end && *p == '}') {
+          ++p;
+          return true;
+        }
+        for (;;) {
+          SkipSpace();
+          std::string key;
+          if (!ParseString(&key)) return false;
+          SkipSpace();
+          if (p >= end || *p != ':') return Fail("expected ':' in object");
+          ++p;
+          Json value;
+          if (!ParseValue(&value, depth + 1)) return false;
+          out->object()[std::move(key)] = std::move(value);
+          SkipSpace();
+          if (p >= end) return Fail("unterminated object");
+          if (*p == ',') {
+            ++p;
+            continue;
+          }
+          if (*p == '}') {
+            ++p;
+            return true;
+          }
+          return Fail("expected ',' or '}' in object");
+        }
+      }
+      default: {
+        // Number.
+        char* num_end = nullptr;
+        double v = std::strtod(p, &num_end);
+        if (num_end == p) return Fail("invalid value");
+        if (num_end > end) return Fail("number past end of input");
+        if (!std::isfinite(v)) return Fail("number out of range");
+        p = num_end;
+        *out = Json(v);
+        return true;
+      }
+    }
+  }
+};
+
+void DumpTo(const Json& v, int indent, int depth, std::string* out) {
+  auto newline = [&](int d) {
+    if (indent < 0) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent) * static_cast<size_t>(d), ' ');
+  };
+  switch (v.type()) {
+    case Json::Type::kNull:
+      *out += "null";
+      break;
+    case Json::Type::kBool:
+      *out += v.bool_value() ? "true" : "false";
+      break;
+    case Json::Type::kNumber:
+      AppendNumber(v.number(), out);
+      break;
+    case Json::Type::kString:
+      AppendEscaped(v.string(), out);
+      break;
+    case Json::Type::kArray: {
+      const Json::Array& a = v.array();
+      if (a.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      bool first = true;
+      for (const Json& element : a) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        DumpTo(element, indent, depth + 1, out);
+      }
+      newline(depth);
+      out->push_back(']');
+      break;
+    }
+    case Json::Type::kObject: {
+      const Json::Object& o = v.object();
+      if (o.empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : o) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        AppendEscaped(key, out);
+        out->push_back(':');
+        if (indent >= 0) out->push_back(' ');
+        DumpTo(value, indent, depth + 1, out);
+      }
+      newline(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+bool Json::bool_value() const {
+  assert(type_ == Type::kBool);
+  return bool_;
+}
+
+double Json::number() const {
+  assert(type_ == Type::kNumber);
+  return number_;
+}
+
+const std::string& Json::string() const {
+  assert(type_ == Type::kString);
+  return string_;
+}
+
+const Json::Array& Json::array() const {
+  assert(type_ == Type::kArray);
+  return array_;
+}
+
+Json::Array& Json::array() {
+  assert(type_ == Type::kArray);
+  return array_;
+}
+
+const Json::Object& Json::object() const {
+  assert(type_ == Type::kObject);
+  return object_;
+}
+
+Json::Object& Json::object() {
+  assert(type_ == Type::kObject);
+  return object_;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) *this = MakeObject();
+  assert(type_ == Type::kObject);
+  return object_[key];
+}
+
+void Json::push_back(Json value) {
+  if (type_ == Type::kNull) *this = MakeArray();
+  assert(type_ == Type::kArray);
+  array_.push_back(std::move(value));
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(*this, indent, 0, &out);
+  if (indent >= 0) out.push_back('\n');
+  return out;
+}
+
+Result<Json> Json::Parse(const std::string& text) {
+  Parser parser{text.data(), text.data() + text.size(), {}};
+  Json value;
+  if (!parser.ParseValue(&value, 0)) {
+    return Status::InvalidArgument(
+        "JSON parse error at offset " +
+        std::to_string(parser.p - text.data()) + ": " + parser.error);
+  }
+  parser.SkipSpace();
+  if (parser.p != parser.end) {
+    return Status::InvalidArgument("trailing characters after JSON value");
+  }
+  return value;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,92 @@
+// Minimal JSON: a tagged value tree, a strict recursive-descent parser,
+// and a deterministic writer. Built for the observability subsystem's
+// machine-readable artifacts (metric snapshots, BENCH_*.json reports):
+// object keys are stored in a sorted map and numbers print through one
+// fixed format, so serializing the same value twice — or the same metrics
+// from two runs — yields byte-identical text. Not a general-purpose JSON
+// library: no comments, no NaN/Inf (rejected on write), UTF-8 passthrough.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lakeorg {
+
+/// One JSON value (null, bool, number, string, array, or object).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  /// std::map keeps keys sorted: object serialization order is
+  /// deterministic and independent of insertion order.
+  using Object = std::map<std::string, Json>;
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT: implicit
+  Json(double d) : type_(Type::kNumber), number_(d) {}  // NOLINT
+  Json(int i)  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  Json(int64_t i)  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  Json(uint64_t u)  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(u)) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+
+  static Json MakeArray() { return Json(Type::kArray); }
+  static Json MakeObject() { return Json(Type::kObject); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; requires the matching type.
+  bool bool_value() const;
+  double number() const;
+  const std::string& string() const;
+  const Array& array() const;
+  Array& array();
+  const Object& object() const;
+  Object& object();
+
+  /// Object lookup: the member value, or nullptr when absent (or when this
+  /// is not an object).
+  const Json* Find(const std::string& key) const;
+  /// Object member access, inserting null for a missing key. Requires an
+  /// object (a null value silently becomes an empty object first, so
+  /// `Json j; j["a"] = 1;` works).
+  Json& operator[](const std::string& key);
+  /// Array append. Requires an array (a null value becomes an empty array).
+  void push_back(Json value);
+
+  /// Serializes deterministically. `indent < 0` emits the compact one-line
+  /// form; `indent >= 0` pretty-prints with that many spaces per level.
+  /// Numbers that hold an exact integer in the +-2^53 range print without
+  /// a decimal point; all other finite numbers print with %.17g (shortest
+  /// form that round-trips a double is not needed — stability is).
+  std::string Dump(int indent = -1) const;
+
+  /// Strict parse of a complete JSON document (trailing garbage is an
+  /// error). Numbers parse into double.
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  explicit Json(Type type) : type_(type) {}
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace lakeorg

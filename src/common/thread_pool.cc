@@ -4,6 +4,25 @@
 
 namespace lakeorg {
 
+namespace internal {
+
+obs::Counter& PoolTasksTotal() {
+  static obs::Counter& counter = obs::GetCounter("pool.tasks_total");
+  return counter;
+}
+
+obs::Gauge& PoolQueueDepth() {
+  static obs::Gauge& gauge = obs::GetGauge("pool.queue_depth");
+  return gauge;
+}
+
+obs::Histogram& PoolTaskUs() {
+  static obs::Histogram& hist = obs::GetHistogram("pool.task_us");
+  return hist;
+}
+
+}  // namespace internal
+
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -15,7 +16,17 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace lakeorg {
+
+namespace internal {
+/// Shared pool telemetry (all ThreadPool instances aggregate into the
+/// same metrics; defined in thread_pool.cc).
+obs::Counter& PoolTasksTotal();
+obs::Gauge& PoolQueueDepth();
+obs::Histogram& PoolTaskUs();
+}  // namespace internal
 
 /// A minimal fixed-size thread pool with a FIFO task queue.
 class ThreadPool {
@@ -38,7 +49,21 @@ class ThreadPool {
     std::future<ReturnType> future = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace([task]() { (*task)(); });
+      if (obs::MetricsEnabled()) {
+        // Task latency covers queue wait + execution, observed on the
+        // worker; queue depth is sampled under the lock at enqueue time.
+        auto enqueued = std::chrono::steady_clock::now();
+        queue_.emplace([task, enqueued]() {
+          (*task)();
+          std::chrono::duration<double, std::micro> elapsed =
+              std::chrono::steady_clock::now() - enqueued;
+          internal::PoolTaskUs().Observe(elapsed.count());
+        });
+        internal::PoolTasksTotal().Add();
+        internal::PoolQueueDepth().Set(static_cast<double>(queue_.size()));
+      } else {
+        queue_.emplace([task]() { (*task)(); });
+      }
     }
     cv_.notify_one();
     return future;

@@ -5,8 +5,33 @@
 #include <cmath>
 #include <deque>
 
+#include "obs/metrics.h"
+
 namespace lakeorg {
 namespace {
+
+/// Telemetry handles for the incremental evaluator (docs/OBSERVABILITY.md).
+struct EvalMetrics {
+  obs::Counter& proposals = obs::GetCounter("eval.proposals_total");
+  obs::Counter& initializes = obs::GetCounter("eval.initializes_total");
+  obs::Counter& dirty_states = obs::GetCounter("eval.dirty_states_total");
+  obs::Counter& alive_states = obs::GetCounter("eval.alive_states_total");
+  obs::Counter& affected_queries =
+      obs::GetCounter("eval.affected_queries_total");
+  obs::Counter& queries = obs::GetCounter("eval.queries_total");
+  obs::Counter& affected_attrs =
+      obs::GetCounter("eval.affected_attrs_total");
+  obs::Counter& cache_hits = obs::GetCounter("eval.reach_cache_hits_total");
+  obs::Counter& cache_repairs =
+      obs::GetCounter("eval.reach_cache_repairs_total");
+  obs::Histogram& initialize_us = obs::GetHistogram("eval.initialize_us");
+  obs::Histogram& proposal_us = obs::GetHistogram("eval.proposal_us");
+
+  static EvalMetrics& Get() {
+    static EvalMetrics metrics;
+    return metrics;
+  }
+};
 
 /// Cosine via precomputed norms (0 when either side has zero norm).
 double CosineWithNorms(const Vec& a, double norm_a, const Vec& b,
@@ -244,6 +269,9 @@ const std::vector<double>& IncrementalEvaluator::TransitionsFromInto(
 }
 
 void IncrementalEvaluator::Initialize(const Organization& org) {
+  EvalMetrics& em = EvalMetrics::Get();
+  obs::ScopedTimer span(&em.initialize_us);
+  em.initializes.Add();
   committed_ = &org;
   size_t num_q = reps_.query_attrs.size();
   OrgEvaluator eval(config_);
@@ -290,7 +318,11 @@ double IncrementalEvaluator::AttrDiscovery(uint32_t attr) const {
 
 double IncrementalEvaluator::EnsureFresh(uint32_t q, StateId s,
                                          EvalScratch* scratch) {
-  if (!stale_[q].Test(s)) return reach_[q][s];
+  if (!stale_[q].Test(s)) {
+    // Non-atomic per-chunk tally; flushed after the parallel region.
+    ++scratch->cache_hits;
+    return reach_[q][s];
+  }
   const Organization& org = *committed_;
   // Explicit-stack DFS toward stale ancestors; a state is repaired only
   // once all its parents are fresh, so the per-state accumulation below
@@ -308,6 +340,7 @@ double IncrementalEvaluator::EnsureFresh(uint32_t q, StateId s,
     if (!st.alive) {
       stale_[q].Clear(cur);
       reach_[q][cur] = 0.0;
+      ++scratch->cache_repairs;
       stack.pop_back();
       continue;
     }
@@ -335,6 +368,7 @@ double IncrementalEvaluator::EnsureFresh(uint32_t q, StateId s,
     }
     stale_[q].Clear(cur);
     reach_[q][cur] = value;
+    ++scratch->cache_repairs;
     stack.pop_back();
   }
   return reach_[q][s];
@@ -345,6 +379,8 @@ void IncrementalEvaluator::EvaluateProposal(
     const std::vector<StateId>& children_changed,
     const std::vector<StateId>& removed, ProposalEvaluation* out) {
   assert(committed_ != nullptr);
+  EvalMetrics& em = EvalMetrics::Get();
+  obs::ScopedTimer span(&em.proposal_us);
   size_t n = proposal.num_states();
   assert(n == committed_->num_states() &&
          "operations must not grow the state arena");
@@ -486,6 +522,28 @@ void IncrementalEvaluator::EvaluateProposal(
       effectiveness_ + (ctx_->num_tables() == 0
                             ? 0.0
                             : delta / static_cast<double>(ctx_->num_tables()));
+
+  // Pruning/cache telemetry. The per-chunk tallies are drained even when
+  // metrics are off, so a later enable never flushes stale garbage; the
+  // atomic adds happen once per proposal, not per state.
+  uint64_t hits = 0;
+  uint64_t repairs = 0;
+  for (EvalScratch& sc : scratch_) {
+    hits += sc.cache_hits;
+    repairs += sc.cache_repairs;
+    sc.cache_hits = 0;
+    sc.cache_repairs = 0;
+  }
+  if (obs::MetricsEnabled()) {
+    em.proposals.Add();
+    em.dirty_states.Add(out->dirty.size());
+    em.alive_states.Add(proposal.NumAliveStates());
+    em.affected_queries.Add(out->affected_queries.size());
+    em.queries.Add(reps_.query_attrs.size());
+    em.affected_attrs.Add(out->affected_attrs);
+    em.cache_hits.Add(hits);
+    em.cache_repairs.Add(repairs);
+  }
 }
 
 void IncrementalEvaluator::Commit(const Organization& new_org,

@@ -200,6 +200,10 @@ class IncrementalEvaluator {
     std::vector<double> probs;
     std::vector<double> state_reach;
     std::vector<StateId> stack;
+    /// Per-chunk telemetry, flushed serially into the shared counters
+    /// after each parallel region so the hot loops never touch an atomic.
+    uint64_t cache_hits = 0;
+    uint64_t cache_repairs = 0;
   };
 
   /// Ensures reach_[q][s] is fresh for the committed organization,

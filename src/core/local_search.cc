@@ -6,9 +6,46 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace lakeorg {
 namespace {
+
+/// Telemetry handles for the optimizer loop (docs/OBSERVABILITY.md lists
+/// the names). Resolved once; every update is a relaxed atomic op gated
+/// on the global enable flag.
+struct SearchMetrics {
+  obs::Counter& proposals = obs::GetCounter("search.proposals_total");
+  obs::Counter& accepted = obs::GetCounter("search.accepted_total");
+  obs::Counter& rejected = obs::GetCounter("search.rejected_total");
+  obs::Counter& add_proposed =
+      obs::GetCounter("search.add_parent_proposed_total");
+  obs::Counter& add_accepted =
+      obs::GetCounter("search.add_parent_accepted_total");
+  obs::Counter& delete_proposed =
+      obs::GetCounter("search.delete_parent_proposed_total");
+  obs::Counter& delete_accepted =
+      obs::GetCounter("search.delete_parent_accepted_total");
+  obs::Counter& sweeps = obs::GetCounter("search.sweeps_total");
+  obs::Counter& restarts = obs::GetCounter("search.restarts_total");
+  obs::Counter& uphill_accepted =
+      obs::GetCounter("search.metropolis_uphill_accepted_total");
+  obs::Gauge& effectiveness = obs::GetGauge("search.effectiveness");
+  obs::Gauge& best_effectiveness = obs::GetGauge("search.best_effectiveness");
+  obs::Gauge& sharpness = obs::GetGauge("search.acceptance_sharpness");
+  obs::Histogram& affected_state_frac = obs::GetHistogram(
+      "search.affected_state_frac", obs::FractionBuckets());
+  obs::Histogram& affected_query_frac = obs::GetHistogram(
+      "search.affected_query_frac", obs::FractionBuckets());
+  obs::Histogram& undo_depth = obs::GetHistogram(
+      "search.undo_depth", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  obs::Histogram& iteration_us = obs::GetHistogram("search.iteration_us");
+
+  static SearchMetrics& Get() {
+    static SearchMetrics metrics;
+    return metrics;
+  }
+};
 
 /// Level-ordered target queue: all alive non-root states, levels ascending
 /// (downward traversal), states within a level ordered by ascending
@@ -63,6 +100,11 @@ LocalSearchResult OptimizeOrganization(Organization initial,
   result.initial_effectiveness = evaluator.effectiveness();
   result.num_queries = evaluator.num_queries();
 
+  SearchMetrics& sm = SearchMetrics::Get();
+  sm.sharpness.Set(options.acceptance_sharpness);
+  sm.effectiveness.Set(evaluator.effectiveness());
+  sm.best_effectiveness.Set(evaluator.effectiveness());
+
   double best_eff = evaluator.effectiveness();
   size_t plateau = 0;
   std::vector<StateId> queue;
@@ -93,7 +135,9 @@ LocalSearchResult OptimizeOrganization(Organization initial,
         current = result.org.Clone();
         current.RecomputeLevels();
         evaluator.Initialize(current);
+        sm.restarts.Add();
       }
+      sm.sweeps.Add();
       queue = BuildTargetQueue(current, evaluator);
       queue_pos = 0;
       if (queue.empty()) break;
@@ -118,6 +162,7 @@ LocalSearchResult OptimizeOrganization(Organization initial,
       do_add = can_add;
     }
 
+    obs::ScopedTimer iteration_span(&sm.iteration_us);
     OpResult op = do_add
                       ? ApplyAddParent(&current, target, reach_fn, &undo)
                       : ApplyDeleteParent(&current, target, reach_fn, &undo);
@@ -132,6 +177,7 @@ LocalSearchResult OptimizeOrganization(Organization initial,
     double old_eff = evaluator.effectiveness();
     double new_eff = eval.effectiveness;
     bool accept;
+    bool uphill = false;
     if (new_eff >= old_eff) {
       accept = true;
     } else {
@@ -141,6 +187,34 @@ LocalSearchResult OptimizeOrganization(Organization initial,
       double ratio = old_eff > 0.0 ? new_eff / old_eff : 1.0;
       accept = rng.Bernoulli(
           std::pow(ratio, options.acceptance_sharpness));
+      uphill = accept;
+    }
+
+    if (obs::MetricsEnabled()) {
+      sm.proposals.Add();
+      (do_add ? sm.add_proposed : sm.delete_proposed).Add();
+      if (accept) {
+        sm.accepted.Add();
+        (do_add ? sm.add_accepted : sm.delete_accepted).Add();
+        if (uphill) sm.uphill_accepted.Add();
+      } else {
+        sm.rejected.Add();
+      }
+      // Alive count of the pre-operation organization (the op already
+      // removed op.removed states from `current`).
+      size_t alive_states = current.NumAliveStates() + op.removed.size();
+      if (alive_states > 0) {
+        sm.affected_state_frac.Observe(
+            static_cast<double>(eval.dirty.size()) /
+            static_cast<double>(alive_states));
+      }
+      if (evaluator.num_queries() > 0) {
+        sm.affected_query_frac.Observe(
+            static_cast<double>(eval.affected_queries.size()) /
+            static_cast<double>(evaluator.num_queries()));
+      }
+      sm.undo_depth.Observe(static_cast<double>(undo.states.size()));
+      sm.effectiveness.Set(accept ? new_eff : old_eff);
     }
 
     if (options.record_history) {
@@ -177,6 +251,7 @@ LocalSearchResult OptimizeOrganization(Organization initial,
         best_eff = new_eff;
         result.org = current.Clone();
         result.effectiveness = new_eff;
+        sm.best_effectiveness.Set(new_eff);
         plateau = 0;
       } else {
         ++plateau;

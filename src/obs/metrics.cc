@@ -1,0 +1,207 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace lakeorg::obs {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::Observe(double v) {
+  if (!MetricsEnabled()) return;
+  size_t bucket = static_cast<size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20; a CAS loop keeps us portable to
+  // toolchains that lower it through libatomic.
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + v,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& LatencyBucketsUs() {
+  // 1 us .. 10 s at 1-2-5 stops; the overflow bucket catches the rest.
+  static const std::vector<double> kBuckets = {
+      1,     2,     5,     10,    20,    50,    100,    200,    500,
+      1000,  2000,  5000,  10000, 20000, 50000, 100000, 200000, 500000,
+      1e6,   2e6,   5e6,   1e7};
+  return kBuckets;
+}
+
+const std::vector<double>& FractionBuckets() {
+  static const std::vector<double> kBuckets = {
+      0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  return kBuckets;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// The process-wide metric registry. Maps own the metrics through
+/// unique_ptr, so references handed out stay stable while the registry
+/// grows. Construct-on-first-use and never destroyed: metrics registered
+/// from static initializers or other threads must outlive every user.
+class Registry {
+ public:
+  static Registry& Get() {
+    static Registry* instance = new Registry();
+    return *instance;
+  }
+
+  Counter& GetCounter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Counter>& slot = counters_[name];
+    if (slot == nullptr) slot.reset(new Counter());
+    return *slot;
+  }
+
+  Gauge& GetGauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Gauge>& slot = gauges_[name];
+    if (slot == nullptr) slot.reset(new Gauge());
+    return *slot;
+  }
+
+  Histogram& GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Histogram>& slot = histograms_[name];
+    if (slot == nullptr) slot.reset(new Histogram(bounds));
+    return *slot;
+  }
+
+  MetricsSnapshot Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      snap.counters.emplace_back(name, counter->value());
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_) {
+      snap.gauges.emplace_back(name, gauge->value());
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, hist] : histograms_) {
+      MetricsSnapshot::HistogramData data;
+      data.name = name;
+      data.bounds = hist->bounds();
+      data.counts = hist->bucket_counts();
+      data.count = hist->count();
+      data.sum = hist->sum();
+      snap.histograms.push_back(std::move(data));
+    }
+    return snap;
+  }
+
+  void ResetAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, counter] : counters_) counter->Reset();
+    for (auto& [name, gauge] : gauges_) gauge->Reset();
+    for (auto& [name, hist] : histograms_) hist->Reset();
+  }
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  /// std::map: snapshots iterate in sorted name order.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+Counter& GetCounter(const std::string& name) {
+  return Registry::Get().GetCounter(name);
+}
+
+Gauge& GetGauge(const std::string& name) {
+  return Registry::Get().GetGauge(name);
+}
+
+Histogram& GetHistogram(const std::string& name,
+                        const std::vector<double>& bounds) {
+  return Registry::Get().GetHistogram(name, bounds);
+}
+
+MetricsSnapshot SnapshotMetrics() { return Registry::Get().Snapshot(); }
+
+void ResetAllMetrics() { Registry::Get().ResetAll(); }
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------------
+
+bool MetricsSnapshot::IsTimingName(const std::string& name) {
+  return name.ends_with("_us") || name.ends_with("_seconds");
+}
+
+Json MetricsSnapshot::ToJson(bool include_timings) const {
+  Json counters_obj = Json::MakeObject();
+  for (const auto& [name, value] : counters) {
+    if (!include_timings && IsTimingName(name)) continue;
+    counters_obj[name] = Json(value);
+  }
+  Json gauges_obj = Json::MakeObject();
+  for (const auto& [name, value] : gauges) {
+    if (!include_timings && IsTimingName(name)) continue;
+    gauges_obj[name] = Json(value);
+  }
+  Json hists_obj = Json::MakeObject();
+  for (const HistogramData& h : histograms) {
+    if (!include_timings && IsTimingName(h.name)) continue;
+    Json entry = Json::MakeObject();
+    Json bounds = Json::MakeArray();
+    for (double b : h.bounds) bounds.push_back(Json(b));
+    Json counts = Json::MakeArray();
+    for (uint64_t c : h.counts) counts.push_back(Json(c));
+    entry["bounds"] = std::move(bounds);
+    entry["counts"] = std::move(counts);
+    entry["count"] = Json(h.count);
+    entry["sum"] = Json(h.sum);
+    hists_obj[h.name] = std::move(entry);
+  }
+  Json out = Json::MakeObject();
+  out["counters"] = std::move(counters_obj);
+  out["gauges"] = std::move(gauges_obj);
+  out["histograms"] = std::move(hists_obj);
+  return out;
+}
+
+}  // namespace lakeorg::obs

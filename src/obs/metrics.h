@@ -1,0 +1,171 @@
+// Lightweight observability: a process-wide registry of named counters,
+// gauges, and fixed-bucket histograms, plus RAII timer spans.
+//
+// Design constraints (docs/OBSERVABILITY.md):
+//  - Near-zero cost when disabled. Collection is gated on one global
+//    atomic flag (default off); a disabled Add/Set/Observe is a relaxed
+//    load + branch and never allocates. Benchmarks and tools enable it
+//    explicitly via SetMetricsEnabled(true).
+//  - Thread-safe updates without locks. Metric values are std::atomic
+//    and updated with relaxed ordering; only registration (first lookup
+//    of a name) and snapshotting take the registry mutex. Hot paths cache
+//    the returned reference in a function-local static.
+//  - Deterministic snapshots. MetricsSnapshot sorts by name and
+//    serializes through common/json's canonical writer, so two runs with
+//    the same seed produce byte-identical JSON once timing-valued metrics
+//    (names ending in "_us" or "_seconds") are excluded.
+//
+// Metric naming: "<subsystem>.<what>[_total|_us|_seconds]" —
+// e.g. "search.proposals_total", "eval.proposal_us", "pool.queue_depth".
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace lakeorg::obs {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// True when metric collection is on (default off).
+inline bool MetricsEnabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns collection on or off globally. Existing values are kept.
+void SetMetricsEnabled(bool enabled);
+
+/// A monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) {
+    if (!MetricsEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed-bucket histogram: bucket i counts observations <= bounds[i],
+/// with one implicit overflow bucket, plus a running count and sum.
+/// Bounds are fixed at registration and never reallocated, so Observe is
+/// lock-free.
+class Histogram {
+ public:
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Bucket counts, one per bound plus the overflow bucket.
+  std::vector<uint64_t> bucket_counts() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> bounds);
+  std::vector<double> bounds_;
+  /// bounds_.size() + 1 slots; unique_ptr keeps the atomics immovable.
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default bucket bounds for "*_us" latency histograms: 1 us .. ~10 s,
+/// roughly 3 stops per decade.
+const std::vector<double>& LatencyBucketsUs();
+/// Default bounds for fractions in [0, 1] (affected-subgraph ratios).
+const std::vector<double>& FractionBuckets();
+
+/// Registers (on first use) and returns a metric with process lifetime.
+/// The returned references stay valid forever; hot paths should cache
+/// them: `static obs::Counter& c = obs::GetCounter("x.y_total");`.
+Counter& GetCounter(const std::string& name);
+Gauge& GetGauge(const std::string& name);
+/// `bounds` applies on first registration only (ascending upper bounds);
+/// later lookups of the same name ignore it.
+Histogram& GetHistogram(const std::string& name,
+                        const std::vector<double>& bounds = LatencyBucketsUs());
+
+/// A point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  ///< Per bucket, overflow last.
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramData> histograms;
+
+  /// True for metric names that carry wall-clock time ("_us"/"_seconds"
+  /// suffix) — the fields excluded from byte-identical-run comparisons.
+  static bool IsTimingName(const std::string& name);
+
+  /// The snapshot as a canonical JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{...}}}.
+  /// With include_timings = false, timing-named metrics are dropped —
+  /// the deterministic projection.
+  Json ToJson(bool include_timings = true) const;
+};
+
+/// Snapshots the registry.
+MetricsSnapshot SnapshotMetrics();
+
+/// Resets every registered metric to zero (names stay registered).
+void ResetAllMetrics();
+
+/// RAII span: observes its lifetime in microseconds into a histogram on
+/// destruction. Samples the clock only when metrics are enabled at
+/// construction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(MetricsEnabled() ? hist : nullptr) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (hist_ == nullptr) return;
+    std::chrono::duration<double, std::micro> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    hist_->Observe(elapsed.count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace lakeorg::obs

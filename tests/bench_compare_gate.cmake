@@ -1,0 +1,59 @@
+# Regression-gate acceptance test for tools/bench_compare: a doctored
+# report 20% slower than its baseline must fail --threshold 0.10, pass
+# --threshold 0.50, and malformed input must be rejected.
+#
+# Expected -D arguments: BENCH_COMPARE (binary), WORK_DIR (scratch dir).
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(COMMON [[
+  "schema_version": 1,
+  "bench": "gate_fixture",
+  "git_sha": "test",
+  "build_type": "test",
+  "build_flags": "",
+  "smoke": true,
+  "environment": {"LAKEORG_SCALE": ""},
+]])
+
+file(WRITE ${WORK_DIR}/baseline.json
+  "{\n${COMMON}\n  \"results\": [\n"
+  "    {\"name\": \"series/a\", \"real_seconds\": 0.0100, \"iterations\": 10},\n"
+  "    {\"name\": \"series/b\", \"real_seconds\": 0.0020, \"iterations\": 50}\n"
+  "  ]\n}\n")
+# series/a injected 20% slower; series/b unchanged.
+file(WRITE ${WORK_DIR}/slower.json
+  "{\n${COMMON}\n  \"results\": [\n"
+  "    {\"name\": \"series/a\", \"real_seconds\": 0.0120, \"iterations\": 10},\n"
+  "    {\"name\": \"series/b\", \"real_seconds\": 0.0020, \"iterations\": 50}\n"
+  "  ]\n}\n")
+
+execute_process(
+  COMMAND ${BENCH_COMPARE} ${WORK_DIR}/baseline.json ${WORK_DIR}/slower.json
+          --threshold 0.10
+  RESULT_VARIABLE gate_rc OUTPUT_VARIABLE gate_out)
+if(gate_rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench_compare passed a 20% slowdown at --threshold 0.10:\n"
+          "${gate_out}")
+endif()
+if(NOT gate_out MATCHES "REGRESSION")
+  message(FATAL_ERROR "bench_compare output lacks a REGRESSION marker:\n"
+          "${gate_out}")
+endif()
+
+execute_process(
+  COMMAND ${BENCH_COMPARE} ${WORK_DIR}/baseline.json ${WORK_DIR}/slower.json
+          --threshold 0.50
+  RESULT_VARIABLE loose_rc)
+if(NOT loose_rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench_compare failed a 20% slowdown at --threshold 0.50")
+endif()
+
+file(WRITE ${WORK_DIR}/broken.json "{\"schema_version\": 1}")
+execute_process(
+  COMMAND ${BENCH_COMPARE} --check ${WORK_DIR}/broken.json
+  RESULT_VARIABLE broken_rc ERROR_QUIET OUTPUT_QUIET)
+if(broken_rc EQUAL 0)
+  message(FATAL_ERROR "bench_compare --check accepted a malformed report")
+endif()

@@ -1,0 +1,34 @@
+# Bench smoke tier: run one bench binary with --smoke --json, then require
+# the emitted BENCH_<name>.json to pass schema validation and a self-
+# comparison at the default regression threshold.
+#
+# Expected -D arguments: BENCH (binary), BENCH_COMPARE (binary),
+# NAME (bench name), WORK_DIR (scratch directory).
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(REPORT ${WORK_DIR}/BENCH_${NAME}.json)
+
+execute_process(
+  COMMAND ${BENCH} --smoke --json=${REPORT}
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "${NAME} --smoke failed (exit ${run_rc})")
+endif()
+if(NOT EXISTS ${REPORT})
+  message(FATAL_ERROR "${NAME} --smoke --json did not write ${REPORT}")
+endif()
+
+execute_process(
+  COMMAND ${BENCH_COMPARE} --check ${REPORT}
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "${REPORT} failed schema validation")
+endif()
+
+# A report always matches itself: guards the comparison plumbing.
+execute_process(
+  COMMAND ${BENCH_COMPARE} ${REPORT} ${REPORT} --threshold 0.10
+  RESULT_VARIABLE self_rc)
+if(NOT self_rc EQUAL 0)
+  message(FATAL_ERROR "${REPORT} does not compare clean against itself")
+endif()

@@ -1,0 +1,100 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace lakeorg {
+namespace {
+
+TEST(Json, DumpScalars) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(-7).Dump(), "-7");
+  EXPECT_EQ(Json(uint64_t{9007199254740992ULL}).Dump(), "9007199254740992");
+  EXPECT_EQ(Json(0.5).Dump(), "0.5");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\n\t").Dump(), "\"a\\\"b\\\\c\\n\\t\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).Dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectKeysSorted) {
+  Json obj = Json::MakeObject();
+  obj["zebra"] = Json(1);
+  obj["alpha"] = Json(2);
+  obj["mid"] = Json(3);
+  EXPECT_EQ(obj.Dump(), "{\"alpha\":2,\"mid\":3,\"zebra\":1}");
+}
+
+TEST(Json, DumpDeterministicAcrossInsertionOrder) {
+  Json a = Json::MakeObject();
+  a["x"] = Json(1);
+  a["y"] = Json(2);
+  Json b = Json::MakeObject();
+  b["y"] = Json(2);
+  b["x"] = Json(1);
+  EXPECT_EQ(a.Dump(), b.Dump());
+  EXPECT_EQ(a.Dump(2), b.Dump(2));
+}
+
+TEST(Json, PrettyPrint) {
+  Json obj = Json::MakeObject();
+  obj["a"] = Json::MakeArray();
+  obj["a"].push_back(Json(1));
+  obj["a"].push_back(Json(2));
+  // Pretty form ends with a newline, ready for file output.
+  EXPECT_EQ(obj.Dump(2), "{\n  \"a\": [\n    1,\n    2\n  ]\n}\n");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string text =
+      "{\"arr\":[1,2.5,true,null,\"s\"],\"nested\":{\"k\":-3}}";
+  Result<Json> parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().Dump(), text);
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  Result<Json> parsed = Json::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().string(), "A\xc3\xa9");
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(Json::Parse("{'a':1}").ok());
+  EXPECT_FALSE(Json::Parse("nul").ok());
+  EXPECT_FALSE(Json::Parse("1 trailing").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+}
+
+TEST(Json, FindAndAccessors) {
+  Result<Json> parsed = Json::Parse("{\"n\":3,\"s\":\"v\",\"b\":true}");
+  ASSERT_TRUE(parsed.ok());
+  const Json& doc = parsed.value();
+  ASSERT_NE(doc.Find("n"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.Find("n")->number(), 3.0);
+  EXPECT_EQ(doc.Find("s")->string(), "v");
+  EXPECT_TRUE(doc.Find("b")->bool_value());
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+  EXPECT_EQ(Json(1).Find("k"), nullptr);
+}
+
+TEST(Json, NullPromotesOnMutation) {
+  Json obj;
+  obj["k"] = Json(1);
+  EXPECT_TRUE(obj.is_object());
+  Json arr;
+  arr.push_back(Json(2));
+  EXPECT_TRUE(arr.is_array());
+  EXPECT_EQ(arr.array().size(), 1u);
+}
+
+}  // namespace
+}  // namespace lakeorg

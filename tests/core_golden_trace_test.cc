@@ -1,0 +1,107 @@
+// Golden-trace regression test for the optimizer: a fixed-seed,
+// single-threaded local-search run must reproduce the exact checked-in
+// accept/reject sequence, proposal totals, and telemetry counters. Any
+// change to proposal generation, Metropolis acceptance, or the
+// incremental evaluator's accept/reject arithmetic shows up here as a
+// trace diff (if the change is intentional, regenerate the constants from
+// the test's failure output).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "benchgen/tagcloud.h"
+#include "core/local_search.h"
+#include "core/org_builders.h"
+#include "obs/metrics.h"
+
+namespace lakeorg {
+namespace {
+
+// One char per proposal: 'A'/'D' = accepted ADD_PARENT/DELETE_PARENT,
+// 'a'/'d' = rejected.
+constexpr char kGoldenTrace[] =
+    "adAaaaaaaaaaadaaaaaaadaaadaaaaaaAaaddDAAAaaaAAaAAAdaaaAAaaAaaaaaaaaaA"
+    "aAaaaaaAa";
+constexpr size_t kGoldenProposals = 78;
+constexpr size_t kGoldenAccepted = 17;
+
+LocalSearchResult RunFixedSeedSearch() {
+  TagCloudOptions topts;
+  topts.num_tags = 14;
+  topts.target_attributes = 70;
+  topts.min_values = 5;
+  topts.max_values = 15;
+  topts.seed = 2024;
+  TagCloudBenchmark bench = GenerateTagCloud(topts);
+  TagIndex index = TagIndex::Build(bench.lake);
+  auto ctx = OrgContext::BuildFull(bench.lake, index);
+
+  LocalSearchOptions opts;
+  opts.transition.gamma = 15.0;
+  opts.patience = 40;
+  opts.max_proposals = 80;
+  opts.seed = 31;
+  opts.num_threads = 1;
+  opts.record_history = true;
+  return OptimizeOrganization(BuildClusteringOrganization(ctx), opts);
+}
+
+std::string TraceOf(const LocalSearchResult& result) {
+  std::string trace;
+  trace.reserve(result.history.size());
+  for (const IterationRecord& rec : result.history) {
+    char op = rec.op;
+    trace.push_back(rec.accepted ? op
+                                 : static_cast<char>(op - 'A' + 'a'));
+  }
+  return trace;
+}
+
+TEST(GoldenTrace, FixedSeedRunMatchesCheckedInTrace) {
+  LocalSearchResult result = RunFixedSeedSearch();
+  EXPECT_EQ(TraceOf(result), kGoldenTrace);
+  EXPECT_EQ(result.proposals, kGoldenProposals);
+  EXPECT_EQ(result.accepted, kGoldenAccepted);
+  EXPECT_EQ(result.history.size(), result.proposals);
+}
+
+TEST(GoldenTrace, TelemetryCountersMatchSearchResult) {
+  obs::SetMetricsEnabled(true);
+  obs::ResetAllMetrics();
+  LocalSearchResult result = RunFixedSeedSearch();
+  obs::MetricsSnapshot snap = obs::SnapshotMetrics();
+  obs::SetMetricsEnabled(false);
+
+  auto counter = [&snap](const std::string& name) -> uint64_t {
+    for (const auto& [counter_name, value] : snap.counters) {
+      if (counter_name == name) return value;
+    }
+    ADD_FAILURE() << "counter not found: " << name;
+    return 0;
+  };
+
+  EXPECT_EQ(counter("search.proposals_total"), result.proposals);
+  EXPECT_EQ(counter("search.accepted_total"), result.accepted);
+  EXPECT_EQ(counter("search.rejected_total"),
+            result.proposals - result.accepted);
+  EXPECT_EQ(counter("search.add_parent_proposed_total") +
+                counter("search.delete_parent_proposed_total"),
+            result.proposals);
+  EXPECT_EQ(counter("search.add_parent_accepted_total") +
+                counter("search.delete_parent_accepted_total"),
+            result.accepted);
+  // Every search proposal went through the incremental evaluator.
+  EXPECT_EQ(counter("eval.proposals_total"), result.proposals);
+}
+
+TEST(GoldenTrace, TraceIsDeterministicAcrossRuns) {
+  LocalSearchResult first = RunFixedSeedSearch();
+  LocalSearchResult second = RunFixedSeedSearch();
+  EXPECT_EQ(TraceOf(first), TraceOf(second));
+  EXPECT_EQ(first.proposals, second.proposals);
+  EXPECT_EQ(first.accepted, second.accepted);
+  EXPECT_DOUBLE_EQ(first.effectiveness, second.effectiveness);
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates the committed benchmark baselines at the repo root:
+#
+#   BENCH_fig2a_tagcloud.json   — the paper's headline artifact (E1)
+#   BENCH_micro_core.json       — hot-kernel microbenchmarks (M1)
+#   BENCH_micro_evaluator.json  — proposal-evaluation engine (M2)
+#
+# Run on a quiet machine, then commit the refreshed files. Gate future
+# changes with:
+#
+#   build/tools/bench_compare BENCH_micro_evaluator.json \
+#       <fresh run>.json --threshold 0.10
+#
+# The reports embed the LAKEORG_* environment; run this script with the
+# same (unset) environment the baselines were made with, or bench_compare
+# will refuse the diff.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" \
+  --target fig2a_tagcloud micro_core micro_evaluator bench_compare
+
+./build/bench/fig2a_tagcloud --json=BENCH_fig2a_tagcloud.json
+./build/bench/micro_core --json=BENCH_micro_core.json
+./build/bench/micro_evaluator --json=BENCH_micro_evaluator.json
+
+for report in BENCH_fig2a_tagcloud.json BENCH_micro_core.json \
+              BENCH_micro_evaluator.json; do
+  ./build/tools/bench_compare --check "$report"
+done
+echo "bench_baseline.sh: baselines refreshed"

@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
-# Full pre-merge check: the tier-1 test suite on the normal build, then a
-# 60-second fixed-seed differential-testing run under AddressSanitizer and
-# ThreadSanitizer instrumented builds (LAKEORG_SANITIZE=address / thread).
+# Full pre-merge check:
+#   1. tier 1  — full test suite on the normal build (includes the unit,
+#                fuzz, and bench-smoke labels)
+#   2. bench   — explicit bench smoke tier: every bench binary's --smoke
+#                run must emit a schema-valid BENCH_*.json
+#   3. sanitizers — AddressSanitizer and ThreadSanitizer builds run the
+#                fixed-seed differential fuzz tier, the golden-trace and
+#                telemetry tests, and a 60-second difftest soak
 #
 #   tools/check.sh            # everything (three builds; several minutes)
-#   tools/check.sh --fast     # tier-1 only, no sanitizer builds
+#   tools/check.sh --fast     # tiers 1-2 only, no sanitizer builds
 #
 # Build trees: build/ (plain), build-asan/, build-tsan/. Each sanitizer
-# tree is configured on first use and reused afterwards.
+# tree is configured on first use and reused afterwards. Every command
+# below runs under `set -e` with its exit status intact: a failing ctest
+# or difftest phase fails the script even when a build tree already
+# existed and only needed an incremental rebuild.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,20 +28,32 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 (cd build && ctest --output-on-failure -j "$jobs")
 
+echo "== bench smoke tier (ctest -L bench) =="
+(cd build && ctest --output-on-failure -j "$jobs" -L bench)
+
 if [[ "$fast" == 1 ]]; then
-  echo "check.sh: tier-1 ok (sanitizer tiers skipped with --fast)"
+  echo "check.sh: tier-1 + bench ok (sanitizer tiers skipped with --fast)"
   exit 0
 fi
 
-# 60 seconds of fixed-seed fuzz per sanitizer: the difftest driver stops at
-# the time budget, so the seed range it covers grows with machine speed but
-# every run starts from the same seeds.
+# Sanitizer tiers. Targets are built explicitly so an out-of-date tree is
+# rebuilt before anything runs; the ctest/difftest invocations are plain
+# statements whose exit codes propagate through set -e.
 for san in address thread; do
   tree="build-$([[ "$san" == address ]] && echo asan || echo tsan)"
   echo "== sanitizer tier: LAKEORG_SANITIZE=$san ($tree) =="
   cmake -B "$tree" -S . -DLAKEORG_SANITIZE="$san" >/dev/null
-  cmake --build "$tree" -j "$jobs" --target difftest difftest_property_test
-  (cd "$tree" && ctest --output-on-failure -j "$jobs" -L fuzz || exit 1)
+  cmake --build "$tree" -j "$jobs" \
+    --target difftest difftest_property_test core_test obs_test
+  # Fixed-seed differential fuzz corpus.
+  (cd "$tree" && ctest --output-on-failure -j "$jobs" -L fuzz)
+  # Optimizer golden trace + telemetry (incl. the 8-thread counter
+  # exactness test — the TSan run is the lock-freedom proof).
+  (cd "$tree" && ctest --output-on-failure -j "$jobs" \
+    -R '^(GoldenTrace|MetricsTest|BenchReport|Json)')
+  # 60 seconds of fixed-seed fuzz: the difftest driver stops at the time
+  # budget, so the seed range it covers grows with machine speed but
+  # every run starts from the same seeds.
   "./$tree/tools/difftest" --seed 1000 --trials 100000 --threads 4 \
     --max-seconds 60
 done
