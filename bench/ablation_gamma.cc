@@ -54,7 +54,7 @@ int Main(const bench::BenchOptions& bopts) {
       search.seed = 71;
       search.record_history = false;
       LocalSearchResult optimized = OptimizeOrganization(
-          BuildClusteringOrganization(ctx), search);
+          BuildClusteringOrganization(ctx), search).value();
       std::printf("%8.1f %10s | %12.4f %12.4f %12.4f\n", gamma,
                   penalty ? "on" : "off", flat_eff, cluster_eff,
                   optimized.effectiveness);

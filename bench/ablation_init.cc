@@ -56,7 +56,7 @@ int Main(const bench::BenchOptions& bopts) {
   };
   for (Variant& variant : variants) {
     LocalSearchResult result =
-        OptimizeOrganization(std::move(variant.org), search);
+        OptimizeOrganization(std::move(variant.org), search).value();
     result.org.RecomputeLevels();
     std::printf("%-22s %10.4f %10.4f %8zu | %s\n", variant.name,
                 result.initial_effectiveness, result.effectiveness,

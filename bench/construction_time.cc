@@ -64,7 +64,7 @@ int Main(const bench::BenchOptions& bopts) {
     mopts.dimensions = dims;
     mopts.search = search;
     MultiDimOrganization org =
-        BuildMultiDimOrganization(bench.lake, index, mopts);
+        BuildMultiDimOrganization(bench.lake, index, mopts).value();
     double paper[] = {231.3, 148.9, 113.5, 112.7};
     rows.push_back({std::to_string(dims) + "-dim",
                     org.MaxDimensionSeconds(), paper[dims - 1]});
@@ -77,7 +77,7 @@ int Main(const bench::BenchOptions& bopts) {
     mopts.dimensions = 2;
     mopts.search = search;
     MultiDimOrganization org =
-        BuildMultiDimOrganization(enriched.lake, enriched_index, mopts);
+        BuildMultiDimOrganization(enriched.lake, enriched_index, mopts).value();
     rows.push_back({"enriched 2-dim", org.MaxDimensionSeconds(), 217.0});
   }
   {
@@ -87,7 +87,7 @@ int Main(const bench::BenchOptions& bopts) {
     mopts.search.use_representatives = true;
     mopts.search.representatives.fraction = 0.1;
     MultiDimOrganization org =
-        BuildMultiDimOrganization(bench.lake, index, mopts);
+        BuildMultiDimOrganization(bench.lake, index, mopts).value();
     rows.push_back({"2-dim approx", org.MaxDimensionSeconds(), 30.3});
   }
 

@@ -123,7 +123,7 @@ int Main(const bench::BenchOptions& bopts) {
     mopts.num_threads = 0;
     WallTimer t;
     MultiDimOrganization org =
-        BuildMultiDimOrganization(bench.lake, index, mopts);
+        BuildMultiDimOrganization(bench.lake, index, mopts).value();
     Row row = EvaluateMulti(std::to_string(dims) + "-dim", org, config,
                             total_tables);
     row.seconds = org.MaxDimensionSeconds();
@@ -139,7 +139,7 @@ int Main(const bench::BenchOptions& bopts) {
     mopts.dimensions = 2;
     mopts.search = SearchOptions(bopts);
     MultiDimOrganization org =
-        BuildMultiDimOrganization(enriched.lake, enriched_index, mopts);
+        BuildMultiDimOrganization(enriched.lake, enriched_index, mopts).value();
     rows.push_back(
         EvaluateMulti("enriched 2-dim", org, config, total_tables));
   }
@@ -151,7 +151,7 @@ int Main(const bench::BenchOptions& bopts) {
     mopts.search.use_representatives = true;
     mopts.search.representatives.fraction = 0.1;
     MultiDimOrganization org =
-        BuildMultiDimOrganization(bench.lake, index, mopts);
+        BuildMultiDimOrganization(bench.lake, index, mopts).value();
     rows.push_back(
         EvaluateMulti("2-dim approx", org, config, total_tables));
   }

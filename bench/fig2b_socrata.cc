@@ -69,7 +69,7 @@ int Main(const bench::BenchOptions& bopts) {
   mopts.partition_seed = 99;
   WallTimer multi_timer;
   MultiDimOrganization multi =
-      BuildMultiDimOrganization(soc.lake, index, mopts);
+      BuildMultiDimOrganization(soc.lake, index, mopts).value();
   double multi_build = multi_timer.ElapsedSeconds();
   MultiDimSuccess multi_success = EvaluateMultiDimSuccess(multi, 0.9,
                                                           config);

@@ -90,7 +90,7 @@ int Main(const bench::BenchOptions& bopts) {
 
   // Exact evaluation with affected-subgraph pruning.
   LocalSearchResult exact =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), base);
+      OptimizeOrganization(BuildClusteringOrganization(ctx), base).value();
   PruningStats exact_stats = Collect(exact);
 
   // Representative approximation (10%), same pruning.
@@ -98,7 +98,7 @@ int Main(const bench::BenchOptions& bopts) {
   approx.use_representatives = true;
   approx.representatives.fraction = 0.1;
   LocalSearchResult approx_run =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), approx);
+      OptimizeOrganization(BuildClusteringOrganization(ctx), approx).value();
   PruningStats approx_stats = Collect(approx_run);
   // Attribute evaluations under approximation = affected queries x
   // (1 query per representative); relative to ALL attributes that is

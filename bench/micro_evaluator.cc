@@ -149,7 +149,7 @@ void BM_LocalSearch(benchmark::State& state) {
     opts.record_history = false;
     opts.num_threads = threads;
     LocalSearchResult result =
-        OptimizeOrganization(shared.clustering.Clone(), opts);
+        OptimizeOrganization(shared.clustering.Clone(), opts).value();
     benchmark::DoNotOptimize(result.effectiveness);
   }
   state.SetLabel(std::to_string(threads) + " threads");

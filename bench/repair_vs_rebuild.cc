@@ -1,0 +1,162 @@
+// E7 — incremental repair vs full rebuild on live lake evolution: on the
+// 400-attribute tag cloud (the micro_* fixture), optimize an initial
+// organization, then apply a stream of single-table deltas and compare
+// RepairOrganization (splice + localized re-optimization) against the
+// from-scratch path (TagIndex + OrgContext + clustering + full
+// OptimizeOrganization) on wall time and effectiveness. The ISSUE's
+// acceptance bar — repair >= 5x faster than rebuild — is enforced on the
+// full (non-smoke) workload; the mean effectiveness gap and speedup land
+// in the BENCH json via the repair.bench_* gauges.
+#include <cstdio>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_main.h"
+#include "bench/bench_util.h"
+#include "benchgen/tagcloud.h"
+#include "common/timer.h"
+#include "core/local_search.h"
+#include "core/org_builders.h"
+#include "core/repair.h"
+#include "obs/metrics.h"
+
+namespace lakeorg {
+
+int Main(const bench::BenchOptions& bopts) {
+  using bench::PrintHeader;
+  using bench::PrintRule;
+  using bench::Scaled;
+
+  double scale = bopts.Scale(1.0, 0.1);
+  TagCloudOptions opts;
+  opts.num_tags = Scaled(60, scale, 8);
+  opts.target_attributes = Scaled(400, scale, 40);
+  opts.min_values = 10;
+  opts.max_values = 60;
+  opts.seed = 9;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  TagIndex index = TagIndex::Build(bench.lake);
+  auto ctx = OrgContext::BuildFull(bench.lake, index);
+
+  PrintHeader("Repair vs rebuild — single-table deltas (TagCloud, " +
+              std::to_string(ctx->num_attrs()) + " attrs, scale " +
+              std::to_string(scale) + ")");
+
+  LocalSearchOptions search;
+  search.patience = 100;
+  search.max_proposals = bopts.MaxProposals(2000, 40);
+  search.seed = 11;
+  search.record_history = false;
+
+  Organization clustering = BuildClusteringOrganization(ctx);
+  WallTimer timer;
+  Result<LocalSearchResult> base =
+      OptimizeOrganization(std::move(clustering), search);
+  if (!base.ok()) {
+    std::fprintf(stderr, "initial optimize failed: %s\n",
+                 base.status().ToString().c_str());
+    return 1;
+  }
+  double initial_secs = timer.ElapsedSeconds();
+  const Organization& base_org = base.value().org;
+  std::printf("initial build: %.3fs, effectiveness %.6f (%zu proposals)\n",
+              initial_secs, base.value().effectiveness,
+              base.value().proposals);
+  PrintRule();
+  std::printf("%6s | %10s %10s %8s | %10s %10s %11s\n", "delta",
+              "repair(s)", "rebuild(s)", "speedup", "eff repair",
+              "eff rebuild", "gap");
+  PrintRule();
+
+  RepairOptions ropts;
+  ropts.reopt_max_proposals = bopts.MaxProposals(200, 25);
+  ropts.reopt_patience = 25;
+
+  size_t num_deltas = bopts.smoke ? 2 : 5;
+  double repair_total = 0.0, rebuild_total = 0.0, gap_total = 0.0;
+  for (size_t i = 0; i < num_deltas; ++i) {
+    // Each delta is independent: one new table with three columns whose
+    // values are cloned from existing attributes (guaranteed
+    // embeddable), tagged with an existing tag.
+    DataLake lake = bench.lake;
+    if (!lake.BeginDelta().ok()) return 1;
+    TableId t = lake.AddTable("incoming_" + std::to_string(i));
+    std::vector<AttributeId> organizable = lake.OrganizableAttributes();
+    TagId tag = lake.attribute(organizable[(i * 37) % organizable.size()])
+                    .tags.front();
+    if (!lake.AttachTag(t, tag).ok()) return 1;
+    for (size_t c = 0; c < 3; ++c) {
+      AttributeId donor = organizable[(i * 131 + c * 17) % organizable.size()];
+      lake.AddAttribute(t, "col" + std::to_string(c),
+                        lake.attribute(donor).values);
+    }
+    Result<LakeDelta> delta = lake.TakeDelta();
+    if (!delta.ok()) return 1;
+    if (!lake.ComputeMissingTopicVectors(*bench.store).ok()) return 1;
+    TagIndex new_index = TagIndex::Build(lake);
+
+    ropts.seed = 7001 + i;
+    timer.Restart();
+    Result<RepairResult> repaired =
+        RepairOrganization(base_org, lake, new_index, delta.value(), ropts);
+    double repair_secs = timer.ElapsedSeconds();
+    if (!repaired.ok()) {
+      std::fprintf(stderr, "repair failed: %s\n",
+                   repaired.status().ToString().c_str());
+      return 1;
+    }
+
+    search.seed = 11 + i;
+    timer.Restart();
+    TagIndex rebuild_index = TagIndex::Build(lake);
+    auto rebuild_ctx = OrgContext::BuildFull(lake, rebuild_index);
+    Result<LocalSearchResult> rebuilt = OptimizeOrganization(
+        BuildClusteringOrganization(rebuild_ctx), search);
+    double rebuild_secs = timer.ElapsedSeconds();
+    if (!rebuilt.ok()) {
+      std::fprintf(stderr, "rebuild failed: %s\n",
+                   rebuilt.status().ToString().c_str());
+      return 1;
+    }
+
+    double gap =
+        rebuilt.value().effectiveness - repaired.value().effectiveness;
+    repair_total += repair_secs;
+    rebuild_total += rebuild_secs;
+    gap_total += gap;
+    std::printf("%6zu | %10.4f %10.4f %7.1fx | %10.6f %10.6f %+11.6f\n", i,
+                repair_secs, rebuild_secs, rebuild_secs / repair_secs,
+                repaired.value().effectiveness,
+                rebuilt.value().effectiveness, gap);
+  }
+  PrintRule();
+
+  double speedup = rebuild_total / repair_total;
+  double mean_gap = gap_total / static_cast<double>(num_deltas);
+  // Land the headline numbers in the BENCH json metric snapshot.
+  obs::GetGauge("repair.bench_speedup").Set(speedup);
+  obs::GetGauge("repair.bench_rebuild_effectiveness_gap").Set(mean_gap);
+  std::printf(
+      "mean over %zu deltas: repair %.4fs, rebuild %.4fs -> %.1fx "
+      "speedup, effectiveness gap %+.6f\n",
+      num_deltas, repair_total / static_cast<double>(num_deltas),
+      rebuild_total / static_cast<double>(num_deltas), speedup, mean_gap);
+
+  if (!bopts.smoke && speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: repair speedup %.2fx is below the 5x acceptance "
+                 "bar\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace lakeorg
+
+int main(int argc, char** argv) {
+  return lakeorg::bench::BenchMain(argc, argv, "repair_vs_rebuild",
+                                   lakeorg::Main);
+}

@@ -65,7 +65,7 @@ int Main(const bench::BenchOptions& bopts) {
     search.record_history = false;
     t.Restart();
     LocalSearchResult optimized =
-        OptimizeOrganization(clustering.Clone(), search);
+        OptimizeOrganization(clustering.Clone(), search).value();
     double opt_secs = t.ElapsedSeconds();
 
     t.Restart();

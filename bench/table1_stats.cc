@@ -41,7 +41,7 @@ int Main(const bench::BenchOptions& bopts) {
   mopts.search.representatives.fraction = 0.1;
   mopts.partition_seed = 99;
   MultiDimOrganization multi =
-      BuildMultiDimOrganization(soc.lake, index, mopts);
+      BuildMultiDimOrganization(soc.lake, index, mopts).value();
 
   // Rows sorted by #Tags descending, as in the paper.
   std::vector<size_t> order(multi.num_dimensions());

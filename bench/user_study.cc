@@ -74,9 +74,9 @@ int Main(const bench::BenchOptions& bopts) {
   mopts.search.use_representatives = true;
   mopts.search.representatives.fraction = 0.1;
   MultiDimOrganization org_a =
-      BuildMultiDimOrganization(lake_a.lake, index_a, mopts);
+      BuildMultiDimOrganization(lake_a.lake, index_a, mopts).value();
   MultiDimOrganization org_b =
-      BuildMultiDimOrganization(lake_b.lake, index_b, mopts);
+      BuildMultiDimOrganization(lake_b.lake, index_b, mopts).value();
   TableSearchEngine engine_a(&lake_a.lake, lake_a.store);
   TableSearchEngine engine_b(&lake_b.lake, lake_b.store);
 

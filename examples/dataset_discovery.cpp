@@ -42,7 +42,7 @@ int main() {
   mopts.search.max_proposals = 150;
   mopts.search.use_representatives = true;
   MultiDimOrganization org =
-      BuildMultiDimOrganization(soc.lake, index, mopts);
+      BuildMultiDimOrganization(soc.lake, index, mopts).value();
   TableSearchEngine engine(&soc.lake, soc.store);
 
   AgentOptions agent;

@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
     options.use_representatives = ctx->num_attrs() > 200;
     options.num_threads = 0;  // Hardware concurrency; 1 forces serial.
     LocalSearchResult result =
-        OptimizeOrganization(BuildClusteringOrganization(ctx), options);
+        OptimizeOrganization(BuildClusteringOrganization(ctx), options).value();
     std::printf("effectiveness %.3f -> %.3f after %zu proposals\n",
                 result.initial_effectiveness, result.effectiveness,
                 result.proposals);

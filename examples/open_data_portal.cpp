@@ -40,7 +40,7 @@ int main() {
   std::printf("building a %zu-dimensional organization...\n",
               mopts.dimensions);
   MultiDimOrganization multi =
-      BuildMultiDimOrganization(soc.lake, index, mopts);
+      BuildMultiDimOrganization(soc.lake, index, mopts).value();
 
   std::printf("\nper-dimension statistics:\n");
   std::printf("%4s %7s %7s %8s %7s %7s\n", "dim", "#tags", "#attrs",

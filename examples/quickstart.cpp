@@ -62,7 +62,7 @@ int main() {
   options.max_proposals = 200;
   options.num_threads = 0;  // Hardware concurrency; 1 forces serial.
   LocalSearchResult optimized =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), options);
+      OptimizeOrganization(BuildClusteringOrganization(ctx), options).value();
 
   OrgEvaluator eval(options.transition);
   std::printf("organization effectiveness (expected table-discovery "

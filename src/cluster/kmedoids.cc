@@ -75,7 +75,31 @@ KMedoidsResult RunOnce(const std::vector<Vec>& items, size_t k, Rng* rng,
     }
     for (size_t c = 0; c < medoids.size(); ++c) {
       const std::vector<size_t>& ms = members[c];
-      if (ms.empty()) continue;
+      if (ms.empty()) {
+        // Reseed an emptied cluster deterministically: move its medoid to
+        // the non-medoid point farthest from every current medoid. Leaving
+        // the stale medoid in place collapses the clustering below k.
+        double far_dist = -1.0;
+        size_t far_i = medoids[c];
+        for (size_t i = 0; i < n; ++i) {
+          if (std::find(medoids.begin(), medoids.end(), i) != medoids.end()) {
+            continue;
+          }
+          double nearest_m = std::numeric_limits<double>::infinity();
+          for (size_t m : medoids) {
+            nearest_m = std::min(nearest_m, CosineDistance(items[i], items[m]));
+          }
+          if (nearest_m > far_dist) {
+            far_dist = nearest_m;
+            far_i = i;
+          }
+        }
+        if (far_i != medoids[c]) {
+          medoids[c] = far_i;
+          changed = true;
+        }
+        continue;
+      }
       double best_cost = std::numeric_limits<double>::infinity();
       size_t best_m = medoids[c];
       for (size_t cand : ms) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
 
 namespace lakeorg {
 namespace {
@@ -36,8 +38,19 @@ void AppendEscaped(const std::string& s, std::string* out) {
 
 /// Deterministic number rendering: exact integers in the safe range print
 /// as integers, everything else as %.17g (enough digits to round-trip).
+/// Non-finite doubles (an empty histogram's mean, a 0/0 ratio) encode as
+/// the explicit tokens NaN / Infinity / -Infinity — the same extension
+/// Python's json and RapidJSON use — instead of the bare `nan`/`inf` that
+/// %g would emit, which no parser (including ours) accepts.
 void AppendNumber(double v, std::string* out) {
-  assert(std::isfinite(v) && "JSON cannot represent NaN/Inf");
+  if (std::isnan(v)) {
+    *out += "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    *out += v > 0 ? "Infinity" : "-Infinity";
+    return;
+  }
   char buf[40];
   double rounded = std::nearbyint(v);
   if (v == rounded && std::fabs(v) < 9.007199254740992e15) {
@@ -153,6 +166,14 @@ struct Parser {
         if (!Literal("false")) return false;
         *out = Json(false);
         return true;
+      case 'N':
+        if (!Literal("NaN")) return false;
+        *out = Json(std::numeric_limits<double>::quiet_NaN());
+        return true;
+      case 'I':
+        if (!Literal("Infinity")) return false;
+        *out = Json(std::numeric_limits<double>::infinity());
+        return true;
       case '"': {
         std::string s;
         if (!ParseString(&s)) return false;
@@ -216,6 +237,14 @@ struct Parser {
         }
       }
       default: {
+        // The writer's explicit non-finite token (checked before strtod so
+        // that genuine overflow like 1e999 still fails below).
+        if (*p == '-' && end - p >= 9 &&
+            std::strncmp(p, "-Infinity", 9) == 0) {
+          p += 9;
+          *out = Json(-std::numeric_limits<double>::infinity());
+          return true;
+        }
         // Number.
         char* num_end = nullptr;
         double v = std::strtod(p, &num_end);

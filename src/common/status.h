@@ -26,8 +26,10 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy on the OK path (no message
-/// allocation); carries a code and message otherwise.
-class Status {
+/// allocation); carries a code and message otherwise. [[nodiscard]] so a
+/// dropped error is a compile-time warning; genuinely intentional drops
+/// spell it out with `(void)`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -79,7 +81,7 @@ class Status {
 /// Mirrors arrow::Result: `value()` asserts on the error path, so callers
 /// must check `ok()` first (or use `value_or`).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design

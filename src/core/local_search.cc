@@ -49,9 +49,12 @@ struct SearchMetrics {
 
 /// Level-ordered target queue: all alive non-root states, levels ascending
 /// (downward traversal), states within a level ordered by ascending
-/// reachability (the least reachable are attended to first).
+/// reachability (the least reachable are attended to first). A non-null
+/// `allowed` mask (indexed by StateId) restricts the queue to a subset —
+/// the localized re-optimization path.
 std::vector<StateId> BuildTargetQueue(const Organization& org,
-                                      const IncrementalEvaluator& eval) {
+                                      const IncrementalEvaluator& eval,
+                                      const std::vector<char>* allowed) {
   std::vector<StateId> queue;
   int max_level = org.MaxLevel();
   // One StateReachability call per state (it averages over the whole
@@ -62,6 +65,9 @@ std::vector<StateId> BuildTargetQueue(const Organization& org,
     keyed.clear();
     keyed.reserve(states.size());
     for (StateId s : states) {
+      if (allowed != nullptr && (s >= allowed->size() || !(*allowed)[s])) {
+        continue;
+      }
       keyed.emplace_back(eval.StateReachability(s), s);
     }
     std::stable_sort(keyed.begin(), keyed.end(),
@@ -76,8 +82,59 @@ std::vector<StateId> BuildTargetQueue(const Organization& org,
 
 }  // namespace
 
-LocalSearchResult OptimizeOrganization(Organization initial,
-                                       const LocalSearchOptions& options) {
+Status ValidateLocalSearchOptions(const LocalSearchOptions& options) {
+  if (!(options.acceptance_sharpness > 0.0) ||
+      !std::isfinite(options.acceptance_sharpness)) {
+    return Status::InvalidArgument(
+        "acceptance_sharpness must be positive and finite (k <= 0 makes "
+        "pow(ratio, k) accept every worsening move — a pure random walk)");
+  }
+  if (options.max_proposals == 0) {
+    return Status::InvalidArgument("max_proposals must be >= 1");
+  }
+  if (options.patience == 0) {
+    return Status::InvalidArgument("patience must be >= 1");
+  }
+  if (!(options.min_relative_improvement >= 0.0) ||
+      !std::isfinite(options.min_relative_improvement)) {
+    return Status::InvalidArgument(
+        "min_relative_improvement must be finite and >= 0");
+  }
+  if (!(options.restart_margin >= 0.0) ||
+      !std::isfinite(options.restart_margin)) {
+    return Status::InvalidArgument("restart_margin must be finite and >= 0");
+  }
+  if (!(options.add_parent_prob >= 0.0 && options.add_parent_prob <= 1.0)) {
+    return Status::InvalidArgument("add_parent_prob must be in [0, 1]");
+  }
+  if (!options.enable_add_parent && !options.enable_delete_parent) {
+    return Status::InvalidArgument(
+        "at least one of enable_add_parent / enable_delete_parent must be "
+        "set");
+  }
+  return Status::OK();
+}
+
+Result<LocalSearchResult> OptimizeOrganization(
+    Organization initial, const LocalSearchOptions& options) {
+  LAKEORG_RETURN_NOT_OK(ValidateLocalSearchOptions(options));
+  // The restriction mask, when present, must name alive states of the
+  // initial organization.
+  std::vector<char> allowed_mask;
+  const std::vector<char>* allowed = nullptr;
+  if (!options.restrict_targets.empty()) {
+    allowed_mask.assign(initial.num_states(), 0);
+    for (StateId s : options.restrict_targets) {
+      if (s >= initial.num_states() || !initial.state(s).alive) {
+        return Status::InvalidArgument(
+            "restrict_targets names dead or out-of-range state " +
+            std::to_string(s));
+      }
+      allowed_mask[s] = 1;
+    }
+    allowed = &allowed_mask;
+  }
+
   WallTimer timer;
   Rng rng(options.seed);
 
@@ -138,7 +195,7 @@ LocalSearchResult OptimizeOrganization(Organization initial,
         sm.restarts.Add();
       }
       sm.sweeps.Add();
-      queue = BuildTargetQueue(current, evaluator);
+      queue = BuildTargetQueue(current, evaluator, allowed);
       queue_pos = 0;
       if (queue.empty()) break;
     }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "core/evaluator.h"
 #include "core/operations.h"
 #include "core/organization.h"
@@ -61,7 +62,23 @@ struct LocalSearchOptions {
   /// bit-identical for every value: parallel tasks write disjoint
   /// per-query state and all reductions stay serial.
   size_t num_threads = 0;
+  /// When non-empty, only these states are eligible proposal targets —
+  /// the localized re-optimization RepairOrganization runs over the
+  /// spliced subgraph. Empty = every alive non-root state (the normal
+  /// full search; target-queue order is unchanged, so existing fixed-seed
+  /// traces are unaffected). Ids must be alive states of the initial
+  /// organization.
+  std::vector<StateId> restrict_targets;
 };
+
+/// Validates optimizer tunables: rejects non-positive or non-finite
+/// acceptance_sharpness (k = 0 turns Equation 9 into pow(ratio, 0) == 1 —
+/// every worsening move accepted, a pure random walk), zero iteration
+/// budgets, probabilities outside [0, 1], negative margins, and option
+/// sets with every operation disabled. OptimizeOrganization calls this
+/// first and refuses to run on invalid options instead of silently
+/// degenerating.
+Status ValidateLocalSearchOptions(const LocalSearchOptions& options);
 
 /// Per-proposal instrumentation record.
 struct IterationRecord {
@@ -100,7 +117,10 @@ struct LocalSearchResult {
 };
 
 /// Runs local search from `initial` and returns the best organization.
-LocalSearchResult OptimizeOrganization(Organization initial,
-                                       const LocalSearchOptions& options);
+/// Fails (without running) on invalid options — see
+/// ValidateLocalSearchOptions — or on restrict_targets naming dead or
+/// out-of-range states.
+Result<LocalSearchResult> OptimizeOrganization(
+    Organization initial, const LocalSearchOptions& options);
 
 }  // namespace lakeorg

@@ -23,10 +23,22 @@ double MultiDimOrganization::TotalDimensionSeconds() const {
   return total;
 }
 
-MultiDimOrganization BuildMultiDimFromPartition(
+Result<MultiDimOrganization> BuildMultiDimFromPartition(
     const DataLake& lake, const TagIndex& index,
     const std::vector<std::vector<TagId>>& partition,
     const MultiDimOptions& options) {
+  // Fail fast, before any dimension spins up a worker pool. With valid
+  // options and no target restriction the per-dimension searches below
+  // cannot fail, so the parallel lambdas stay Status-free.
+  if (options.optimize) {
+    LAKEORG_RETURN_NOT_OK(ValidateLocalSearchOptions(options.search));
+    if (!options.search.restrict_targets.empty()) {
+      return Status::InvalidArgument(
+          "restrict_targets is per-organization and cannot apply across "
+          "dimensions");
+    }
+  }
+
   struct DimOutput {
     Organization org;
     DimensionInfo info;
@@ -60,7 +72,7 @@ MultiDimOrganization BuildMultiDimFromPartition(
     search.seed = options.search.seed + dim_index;
     if (search.num_threads == 0 && parallel_dims) search.num_threads = 1;
     LocalSearchResult result =
-        OptimizeOrganization(std::move(initial), search);
+        OptimizeOrganization(std::move(initial), search).value();
     info.num_reps = options.search.use_representatives
                         ? result.num_queries
                         : 0;
@@ -100,7 +112,7 @@ MultiDimOrganization BuildMultiDimFromPartition(
   return MultiDimOrganization(std::move(dims), std::move(info));
 }
 
-MultiDimOrganization BuildMultiDimOrganization(
+Result<MultiDimOrganization> BuildMultiDimOrganization(
     const DataLake& lake, const TagIndex& index,
     const MultiDimOptions& options) {
   const std::vector<TagId>& tags = index.NonEmptyTags();

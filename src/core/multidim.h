@@ -73,17 +73,18 @@ class MultiDimOrganization {
 };
 
 /// Builds organizations over an explicit tag partition (each entry is a set
-/// of lake tag ids).
-MultiDimOrganization BuildMultiDimFromPartition(
+/// of lake tag ids). Fails on invalid `options.search` (see
+/// ValidateLocalSearchOptions).
+Result<MultiDimOrganization> BuildMultiDimFromPartition(
     const DataLake& lake, const TagIndex& index,
     const std::vector<std::vector<TagId>>& partition,
     const MultiDimOptions& options);
 
 /// Partitions all non-empty tags with k-medoids and builds one organization
-/// per cluster.
-MultiDimOrganization BuildMultiDimOrganization(const DataLake& lake,
-                                               const TagIndex& index,
-                                               const MultiDimOptions& options);
+/// per cluster. Fails on invalid `options.search`.
+Result<MultiDimOrganization> BuildMultiDimOrganization(
+    const DataLake& lake, const TagIndex& index,
+    const MultiDimOptions& options);
 
 /// Combined per-table success probabilities across dimensions
 /// (section 4.2 measure + Equation 8 combination).

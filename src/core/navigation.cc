@@ -1,6 +1,7 @@
 #include "core/navigation.h"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 
 namespace lakeorg {
@@ -77,6 +78,13 @@ std::string StateLabel(const Organization& org, StateId s) {
 }
 
 NavigationSession::NavigationSession(const Organization* org) : org_(org) {
+  path_.push_back(org_->root());
+}
+
+NavigationSession::NavigationSession(
+    std::shared_ptr<const OrgSnapshot> snapshot)
+    : org_(snapshot->org.get()), snapshot_(std::move(snapshot)) {
+  assert(org_ != nullptr && "snapshot session requires snapshot->org");
   path_.push_back(org_->root());
 }
 

@@ -9,10 +9,12 @@
 // from the same child, the third most occurring is used, and so on.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "core/org_snapshot.h"
 #include "core/organization.h"
 
 namespace lakeorg {
@@ -31,6 +33,12 @@ class NavigationSession {
  public:
   /// Starts at the root of `org` (borrowed; must outlive the session).
   explicit NavigationSession(const Organization* org);
+
+  /// Starts at the root of `snapshot->org`, pinning the whole snapshot
+  /// for the session's lifetime (the RCU read side: a repair publishing
+  /// a newer version never invalidates a session in flight). Requires
+  /// snapshot->org != nullptr.
+  explicit NavigationSession(std::shared_ptr<const OrgSnapshot> snapshot);
 
   /// The state the user is currently at.
   StateId current() const { return path_.back(); }
@@ -62,6 +70,9 @@ class NavigationSession {
 
  private:
   const Organization* org_;
+  /// Keeps the snapshot (and everything it references) alive for
+  /// snapshot-pinned sessions; null for borrowed-pointer sessions.
+  std::shared_ptr<const OrgSnapshot> snapshot_;
   std::vector<StateId> path_;
   size_t actions_ = 0;
 };

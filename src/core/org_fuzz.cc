@@ -7,6 +7,8 @@
 #include "core/evaluator.h"
 #include "core/operations.h"
 #include "core/reference_evaluator.h"
+#include "core/repair.h"
+#include "core/representatives.h"
 
 namespace lakeorg {
 namespace {
@@ -416,6 +418,171 @@ DiffTrialResult RunDiffTrial(const DiffTrialOptions& options) {
       check_tol(got_succ.success[i], it->second, &res.max_success_diff,
                 "multi-dim table success");
     }
+  }
+  return res;
+}
+
+RepairTrialResult RunRepairTrial(const RepairTrialOptions& options) {
+  RepairTrialResult res;
+  auto fail = [&res, &options](const std::string& msg) {
+    if (res.ok) {
+      res.ok = false;
+      res.error =
+          "repair trial --seed " + std::to_string(options.seed) + ": " + msg;
+    }
+  };
+
+  Rng rng(options.seed);
+  FuzzLake fl = MakeFuzzLake(&rng, options.lake);
+  Organization org = RandomOrganization(fl.ctx, &rng, options.org);
+
+  // Random mutation batch on a copy of the generated lake, recorded as a
+  // delta the way LiveLakeService::Apply records one.
+  DataLake lake = fl.bench.lake;
+  Status begin = lake.BeginDelta();
+  if (!begin.ok()) {
+    fail("BeginDelta: " + begin.ToString());
+    return res;
+  }
+  auto alive_organizable = [&lake]() {
+    return lake.OrganizableAttributes();
+  };
+  for (size_t m = 0; m < options.num_mutations; ++m) {
+    switch (rng.UniformInt(0, 2)) {
+      case 0: {  // Add a table: 1-3 attributes with domains borrowed from
+                 // existing attributes (guaranteed embeddable values).
+        std::vector<AttributeId> donors = alive_organizable();
+        if (donors.empty()) break;
+        TableId t = lake.AddTable("fuzz_added_" + std::to_string(options.seed) +
+                                  "_" + std::to_string(m));
+        TagId tag;
+        if (rng.Bernoulli(0.7)) {
+          tag = static_cast<TagId>(rng.UniformInt(
+              0, static_cast<int64_t>(lake.num_tags()) - 1));
+        } else {
+          tag = lake.GetOrCreateTag("fuzz_tag_" + std::to_string(options.seed) +
+                                    "_" + std::to_string(m));
+        }
+        Status st = lake.AttachTag(t, tag);
+        if (!st.ok()) {
+          fail("AttachTag: " + st.ToString());
+          return res;
+        }
+        size_t n = static_cast<size_t>(rng.UniformInt(1, 3));
+        for (size_t i = 0; i < n; ++i) {
+          AttributeId donor = donors[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(donors.size()) - 1))];
+          lake.AddAttribute(t, "col" + std::to_string(i),
+                            lake.attribute(donor).values);
+        }
+        break;
+      }
+      case 1: {  // Remove a random alive table (keep the lake non-trivial).
+        if (lake.NumAliveTables() <= 2) break;
+        std::vector<TableId> alive;
+        for (const Table& t : lake.tables()) {
+          if (!t.removed) alive.push_back(t.id);
+        }
+        TableId victim = alive[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(alive.size()) - 1))];
+        Status st = lake.RemoveTable(victim);
+        if (!st.ok()) {
+          fail("RemoveTable: " + st.ToString());
+          return res;
+        }
+        break;
+      }
+      default: {  // Retag a random alive attribute to 1-2 random tags.
+        std::vector<AttributeId> attrs = alive_organizable();
+        if (attrs.empty()) break;
+        AttributeId a = attrs[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(attrs.size()) - 1))];
+        std::vector<TagId> tags;
+        size_t n = static_cast<size_t>(rng.UniformInt(1, 2));
+        for (size_t i = 0; i < n; ++i) {
+          tags.push_back(static_cast<TagId>(rng.UniformInt(
+              0, static_cast<int64_t>(lake.num_tags()) - 1)));
+        }
+        Status st = lake.RetagAttribute(a, std::move(tags));
+        if (!st.ok()) {
+          fail("RetagAttribute: " + st.ToString());
+          return res;
+        }
+        break;
+      }
+    }
+  }
+  Result<LakeDelta> delta_result = lake.TakeDelta();
+  if (!delta_result.ok()) {
+    fail("TakeDelta: " + delta_result.status().ToString());
+    return res;
+  }
+  LakeDelta delta = std::move(delta_result).value();
+  Status topics = lake.ComputeMissingTopicVectors(*fl.bench.store);
+  if (!topics.ok()) {
+    fail("ComputeMissingTopicVectors: " + topics.ToString());
+    return res;
+  }
+  TagIndex index = TagIndex::Build(lake);
+  if (index.NonEmptyTags().empty()) return res;  // Trivially emptied lake.
+
+  RepairOptions ropts;
+  ropts.num_threads = options.threads;
+  ropts.reopt_max_proposals = options.reopt_max_proposals;
+  ropts.seed = options.seed * 7919 + 13;
+  Result<RepairResult> repaired =
+      RepairOrganization(org, lake, index, delta, ropts);
+  if (!repaired.ok()) {
+    fail("RepairOrganization: " + repaired.status().ToString());
+    return res;
+  }
+  RepairResult rep = std::move(repaired).value();
+  res.reopt_gain = rep.effectiveness - rep.splice_effectiveness;
+  res.leaves_added = rep.leaves_added;
+  res.leaves_removed = rep.leaves_removed;
+  res.states_dropped = rep.states_dropped;
+  res.states_touched = rep.states_touched;
+
+  Status valid = rep.org.Validate();
+  if (!valid.ok()) {
+    fail("repaired org invalid: " + valid.ToString());
+    return res;
+  }
+  Status inv = CheckTopicInvariants(rep.org);
+  if (!inv.ok()) {
+    fail("repaired org topic invariants: " + inv.ToString());
+    return res;
+  }
+  // Every organizable attribute of the post-delta lake must have a leaf.
+  size_t leaves = 0;
+  for (StateId s = 0; s < rep.org.num_states(); ++s) {
+    const OrgState& st = rep.org.state(s);
+    if (st.alive && st.kind == StateKind::kLeaf) ++leaves;
+  }
+  if (leaves != rep.ctx->num_attrs()) {
+    fail("leaf count " + std::to_string(leaves) + " != context attrs " +
+         std::to_string(rep.ctx->num_attrs()));
+    return res;
+  }
+  if (rep.effectiveness + options.tolerance < rep.splice_effectiveness) {
+    fail("re-optimized effectiveness " + std::to_string(rep.effectiveness) +
+         " below splice-only " + std::to_string(rep.splice_effectiveness));
+    return res;
+  }
+
+  // Differential check: the incremental evaluator (at the trial's thread
+  // count) and the brute-force reference must agree on the repaired
+  // organization.
+  IncrementalEvaluator inc(ropts.transition, rep.ctx,
+                           IdentityRepresentatives(*rep.ctx),
+                           options.threads);
+  inc.Initialize(rep.org);
+  double want = ReferenceEvaluator(ropts.transition).Effectiveness(rep.org);
+  res.effectiveness_diff = std::abs(inc.effectiveness() - want);
+  if (res.effectiveness_diff > options.tolerance) {
+    fail("effectiveness mismatch: incremental " +
+         std::to_string(inc.effectiveness()) + " vs reference " +
+         std::to_string(want));
   }
   return res;
 }

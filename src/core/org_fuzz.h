@@ -114,4 +114,48 @@ struct DiffTrialResult {
 /// Runs one differential trial.
 DiffTrialResult RunDiffTrial(const DiffTrialOptions& options);
 
+/// One repair differential trial's configuration (tools/difftest.cc
+/// --repair). Deterministic for a fixed seed, like RunDiffTrial.
+struct RepairTrialOptions {
+  /// Trial seed; drives the lake, the organization and the mutation batch.
+  uint64_t seed = 1;
+  /// Evaluator worker threads for the repair (the reference re-evaluation
+  /// is always serial).
+  size_t threads = 1;
+  /// |incremental - reference| tolerance on the repaired organization.
+  double tolerance = 1e-9;
+  /// Mutations per batch; each is an add-table, remove-table or
+  /// retag-attribute drawn at random.
+  size_t num_mutations = 3;
+  /// Proposal budget of the localized re-optimization (0 = splice only).
+  size_t reopt_max_proposals = 60;
+  FuzzLakeOptions lake;
+  RandomOrgOptions org;
+};
+
+/// Outcome of one repair trial.
+struct RepairTrialResult {
+  bool ok = true;
+  /// First failure, with the trial seed embedded; empty when ok.
+  std::string error;
+  /// |IncrementalEvaluator - ReferenceEvaluator| on the repaired
+  /// organization.
+  double effectiveness_diff = 0.0;
+  /// effectiveness - splice_effectiveness of the repair (the localized
+  /// re-optimization's contribution; >= 0 by construction).
+  double reopt_gain = 0.0;
+  size_t leaves_added = 0;
+  size_t leaves_removed = 0;
+  size_t states_dropped = 0;
+  size_t states_touched = 0;
+};
+
+/// Runs one repair differential trial: random lake -> random organization
+/// -> random BeginDelta/TakeDelta mutation batch -> RepairOrganization.
+/// Checks that the repaired organization passes Validate() and the topic
+/// invariants, that its effectiveness matches ReferenceEvaluator to the
+/// tolerance, and that repair + re-optimization is never worse than the
+/// splice alone.
+RepairTrialResult RunRepairTrial(const RepairTrialOptions& options);
+
 }  // namespace lakeorg

@@ -1,0 +1,29 @@
+#include "core/org_snapshot.h"
+
+#include "obs/metrics.h"
+
+namespace lakeorg {
+
+uint64_t OrgSnapshotStore::Publish(OrgSnapshot snapshot) {
+  uint64_t version =
+      next_version_.fetch_add(1, std::memory_order_relaxed);
+  snapshot.version = version;
+  auto published =
+      std::make_shared<const OrgSnapshot>(std::move(snapshot));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = std::move(published);
+  }
+  // published_version_ trails the swap: a reader that observes version v
+  // here is guaranteed to load a snapshot >= v from Current().
+  uint64_t prev = published_version_.load(std::memory_order_relaxed);
+  while (prev < version && !published_version_.compare_exchange_weak(
+                               prev, version, std::memory_order_release,
+                               std::memory_order_relaxed)) {
+  }
+  obs::GetCounter("snapshot.publishes_total").Add();
+  obs::GetGauge("snapshot.version").Set(static_cast<double>(version));
+  return version;
+}
+
+}  // namespace lakeorg

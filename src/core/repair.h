@@ -1,0 +1,86 @@
+// Incremental organization repair for live lake evolution: instead of
+// rebuilding (and re-optimizing) the whole navigation DAG after a batch
+// of catalog mutations, RepairOrganization splices the LakeDelta into the
+// existing organization — new leaves hang under the tag states of their
+// tags, dead leaves and dead tag states are pruned with their edges
+// lifted to surviving ancestors, retagged attributes are re-homed — and
+// then runs a short localized re-optimization restricted to the affected
+// states (LocalSearchOptions::restrict_targets). See docs/EVOLUTION.md.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/local_search.h"
+#include "core/organization.h"
+#include "lake/data_lake.h"
+#include "lake/lake_delta.h"
+#include "lake/tag_index.h"
+
+namespace lakeorg {
+
+/// Tunables of the repair path.
+struct RepairOptions {
+  /// Transition-model hyperparameters (shared with the evaluators).
+  TransitionConfig transition;
+  /// Explicit dimension tag set (lake tag ids) for the repaired context.
+  /// Empty = derive it: the old context's tags, plus delta.added_tags,
+  /// plus the tags of added/retagged attributes. Repairing one dimension
+  /// of a multi-dimensional organization should pass the dimension's tag
+  /// partition here so another dimension's tags are not pulled in.
+  std::vector<TagId> dimension_tags;
+  /// Proposal budget of the localized re-optimization (0 = splice only).
+  size_t reopt_max_proposals = 200;
+  /// Plateau patience of the localized re-optimization.
+  size_t reopt_patience = 25;
+  /// Metropolis acceptance sharpness of the re-optimization.
+  double acceptance_sharpness = 400.0;
+  /// RNG seed of the re-optimization.
+  uint64_t seed = 1234;
+  /// Evaluator worker threads (0 = hardware concurrency; results are
+  /// bit-identical for every value).
+  size_t num_threads = 1;
+  /// Run Organization::Validate() on the spliced DAG before evaluating
+  /// (cheap relative to a rebuild; returns Internal on violation).
+  bool validate = true;
+};
+
+/// Output of one repair.
+struct RepairResult {
+  /// The repaired organization, over `ctx`.
+  Organization org;
+  /// The freshly built context the repaired organization lives in.
+  std::shared_ptr<const OrgContext> ctx;
+  /// Effectiveness after splice + localized re-optimization.
+  double effectiveness = 0.0;
+  /// Effectiveness of the splice alone (the re-optimization starts here;
+  /// effectiveness >= splice_effectiveness by construction).
+  double splice_effectiveness = 0.0;
+  /// Distinct states the splice touched (created, re-homed, propagated
+  /// into, or left with changed children) — the re-optimization targets.
+  size_t states_touched = 0;
+  /// New-context state ids of those states.
+  std::vector<StateId> affected_states;
+  size_t leaves_added = 0;
+  size_t leaves_removed = 0;
+  /// Non-leaf states of the old organization dropped by the splice
+  /// (dead tags, emptied interiors).
+  size_t states_dropped = 0;
+  /// Proposals the localized re-optimization evaluated.
+  size_t reopt_proposals = 0;
+  /// Wall-clock seconds for the whole repair.
+  double seconds = 0.0;
+};
+
+/// Splices `delta` into `org` and locally re-optimizes. `lake` and
+/// `index` must reflect the post-delta catalog (topics computed for the
+/// appended attributes, TagIndex rebuilt); `org` must be a valid
+/// organization over the pre-delta catalog. Fails on invalid options or
+/// when the splice produces an invalid DAG (with options.validate).
+Result<RepairResult> RepairOrganization(const Organization& org,
+                                        const DataLake& lake,
+                                        const TagIndex& index,
+                                        const LakeDelta& delta,
+                                        const RepairOptions& options);
+
+}  // namespace lakeorg

@@ -1,0 +1,113 @@
+#include "discovery/live_lake.h"
+
+#include <cassert>
+#include <utility>
+
+#include "core/org_builders.h"
+#include "lake/tag_index.h"
+
+namespace lakeorg {
+
+LiveLakeService::LiveLakeService(DataLake lake,
+                                 std::shared_ptr<const EmbeddingStore> store,
+                                 Options options)
+    : initial_lake_(std::move(lake)),
+      store_(std::move(store)),
+      options_(std::move(options)) {
+  assert(store_ != nullptr && "LiveLakeService requires an embedding store");
+}
+
+LiveLakeService::LiveLakeService(DataLake lake,
+                                 std::shared_ptr<const EmbeddingStore> store)
+    : LiveLakeService(std::move(lake), std::move(store), Options()) {}
+
+Status LiveLakeService::Initialize() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (initialized_) {
+    return Status::FailedPrecondition("LiveLakeService already initialized");
+  }
+  if (!initial_lake_.topic_vectors_computed()) {
+    LAKEORG_RETURN_NOT_OK(initial_lake_.ComputeTopicVectors(*store_));
+  }
+  auto index = std::make_shared<const TagIndex>(TagIndex::Build(initial_lake_));
+  if (index->NonEmptyTags().empty()) {
+    return Status::FailedPrecondition(
+        "lake has no non-empty tags to organize");
+  }
+  std::shared_ptr<const OrgContext> ctx =
+      OrgContext::BuildFull(initial_lake_, *index);
+  Organization initial = BuildClusteringOrganization(ctx);
+
+  OrgSnapshot snap;
+  if (options_.optimize_initial) {
+    Result<LocalSearchResult> opt =
+        OptimizeOrganization(std::move(initial), options_.initial_search);
+    if (!opt.ok()) return opt.status();
+    LocalSearchResult lsr = std::move(opt).value();
+    snap.org = std::make_shared<const Organization>(std::move(lsr.org));
+    snap.effectiveness = lsr.effectiveness;
+  } else {
+    initial.RecomputeLevels();
+    snap.org = std::make_shared<const Organization>(std::move(initial));
+  }
+
+  auto lake_ptr = std::make_shared<const DataLake>(std::move(initial_lake_));
+  snap.lake = lake_ptr;
+  snap.index = index;
+  snap.ctx = ctx;
+  snap.engine = std::make_shared<const TableSearchEngine>(
+      lake_ptr.get(), store_, options_.engine);
+  snapshots_.Publish(std::move(snap));
+  initialized_ = true;
+  return Status::OK();
+}
+
+Result<LiveApplyReport> LiveLakeService::Apply(
+    const std::function<Status(DataLake*)>& mutate) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const OrgSnapshot> cur = snapshots_.Current();
+  if (cur == nullptr) {
+    return Status::FailedPrecondition(
+        "LiveLakeService::Apply before Initialize");
+  }
+
+  // Copy-on-write: mutate a private copy; readers keep seeing `cur`.
+  DataLake lake = *cur->lake;
+  LAKEORG_RETURN_NOT_OK(lake.BeginDelta());
+  LAKEORG_RETURN_NOT_OK(mutate(&lake));
+  Result<LakeDelta> delta_result = lake.TakeDelta();
+  if (!delta_result.ok()) return delta_result.status();
+  LakeDelta delta = std::move(delta_result).value();
+  LAKEORG_RETURN_NOT_OK(lake.ComputeMissingTopicVectors(*store_));
+
+  auto index = std::make_shared<const TagIndex>(TagIndex::Build(lake));
+  Result<RepairResult> repaired = RepairOrganization(
+      *cur->org, lake, *index, delta, options_.repair);
+  if (!repaired.ok()) return repaired.status();
+  RepairResult rep = std::move(repaired).value();
+
+  LiveApplyReport report;
+  report.delta = std::move(delta);
+  report.effectiveness = rep.effectiveness;
+  report.splice_effectiveness = rep.splice_effectiveness;
+  report.states_touched = rep.states_touched;
+  report.leaves_added = rep.leaves_added;
+  report.leaves_removed = rep.leaves_removed;
+  report.states_dropped = rep.states_dropped;
+  report.reopt_proposals = rep.reopt_proposals;
+  report.repair_seconds = rep.seconds;
+
+  auto lake_ptr = std::make_shared<const DataLake>(std::move(lake));
+  OrgSnapshot snap;
+  snap.lake = lake_ptr;
+  snap.index = index;
+  snap.ctx = rep.ctx;
+  snap.org = std::make_shared<const Organization>(std::move(rep.org));
+  snap.effectiveness = rep.effectiveness;
+  snap.engine = std::make_shared<const TableSearchEngine>(
+      lake_ptr.get(), store_, options_.engine);
+  report.version = snapshots_.Publish(std::move(snap));
+  return report;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,96 @@
+// LiveLakeService: the writer side of live lake evolution. Owns the
+// master catalog, applies batches of mutations on a private copy
+// (copy-on-write against the published snapshot), repairs the
+// organization incrementally with RepairOrganization, rebuilds the
+// keyword-search index over the new catalog, and publishes the result
+// as the next immutable OrgSnapshot. Readers never wait on a repair:
+// they pin whatever snapshot was current when they started (see
+// core/org_snapshot.h and docs/EVOLUTION.md).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "core/local_search.h"
+#include "core/org_snapshot.h"
+#include "core/repair.h"
+#include "embedding/embedding_store.h"
+#include "lake/data_lake.h"
+#include "search/engine.h"
+
+namespace lakeorg {
+
+/// What one Apply published.
+struct LiveApplyReport {
+  /// Version of the published snapshot.
+  uint64_t version = 0;
+  /// The normalized catalog delta the batch produced.
+  LakeDelta delta;
+  /// Repair statistics (see RepairResult).
+  double effectiveness = 0.0;
+  double splice_effectiveness = 0.0;
+  size_t states_touched = 0;
+  size_t leaves_added = 0;
+  size_t leaves_removed = 0;
+  size_t states_dropped = 0;
+  size_t reopt_proposals = 0;
+  double repair_seconds = 0.0;
+};
+
+/// Single-writer service around an evolving lake. All mutating entry
+/// points serialize on an internal mutex; Current() only takes the
+/// snapshot store's pointer-copy lock, never the service mutex, so
+/// readers are never stuck behind a repair.
+class LiveLakeService {
+ public:
+  struct Options {
+    /// Repair tunables for Apply.
+    RepairOptions repair;
+    /// Full-build optimizer tunables for Initialize.
+    LocalSearchOptions initial_search;
+    /// Whether Initialize optimizes the initial clustering organization
+    /// (false = serve the agglomerative clustering as-is).
+    bool optimize_initial = true;
+    /// Keyword-search engine options (applied at every publish).
+    SearchEngineOptions engine;
+  };
+
+  /// Takes ownership of the initial catalog. `store` embeds attribute
+  /// values and search expansions; must not be null.
+  LiveLakeService(DataLake lake, std::shared_ptr<const EmbeddingStore> store,
+                  Options options);
+  LiveLakeService(DataLake lake, std::shared_ptr<const EmbeddingStore> store);
+
+  /// Builds version 1 from scratch: topic vectors (if not yet computed),
+  /// tag index, full context, clustering organization (+ optimization),
+  /// search engine — then publishes. Must be called exactly once, before
+  /// Apply.
+  Status Initialize();
+
+  /// Applies one batch of catalog mutations and publishes the repaired
+  /// snapshot. `mutate` runs against a private copy of the current lake
+  /// with delta recording active; returning a non-OK status abandons the
+  /// batch (nothing is published). Requires Initialize() to have run.
+  Result<LiveApplyReport> Apply(
+      const std::function<Status(DataLake*)>& mutate);
+
+  /// The latest published snapshot (null before Initialize).
+  std::shared_ptr<const OrgSnapshot> Current() const {
+    return snapshots_.Current();
+  }
+
+  /// Latest published version (0 before Initialize).
+  uint64_t version() const { return snapshots_.version(); }
+
+ private:
+  std::mutex writer_mu_;
+  /// The pre-Initialize catalog; moved into snapshot v1.
+  DataLake initial_lake_;
+  bool initialized_ = false;
+  std::shared_ptr<const EmbeddingStore> store_;
+  Options options_;
+  OrgSnapshotStore snapshots_;
+};
+
+}  // namespace lakeorg

@@ -14,6 +14,7 @@ TableId DataLake::AddTable(std::string name, std::string title,
   t.description = std::move(description);
   table_ids_.emplace(t.name, id);
   tables_.push_back(std::move(t));
+  if (recording_delta_) delta_.added_tables.push_back(id);
   return id;
 }
 
@@ -30,6 +31,7 @@ AttributeId DataLake::AddAttribute(TableId table, std::string name,
   a.tags = tables_.at(table).tags;  // Inherit current table tags.
   tables_.at(table).attributes.push_back(id);
   attributes_.push_back(std::move(a));
+  if (recording_delta_) delta_.added_attrs.push_back(id);
   return id;
 }
 
@@ -39,6 +41,7 @@ TagId DataLake::GetOrCreateTag(const std::string& name) {
   TagId id = static_cast<TagId>(tag_names_.size());
   tag_ids_.emplace(name, id);
   tag_names_.push_back(name);
+  if (recording_delta_) delta_.added_tags.push_back(id);
   return id;
 }
 
@@ -58,6 +61,7 @@ Status DataLake::AttachTag(TableId table, TagId tag) {
     Attribute& a = attributes_[aid];
     if (std::find(a.tags.begin(), a.tags.end(), tag) == a.tags.end()) {
       a.tags.push_back(tag);
+      if (recording_delta_) delta_.retagged_attrs.push_back(aid);
     }
   }
   return Status::OK();
@@ -87,6 +91,7 @@ Status DataLake::AttachTagToAttribute(AttributeId attr, TagId tag) {
   Attribute& a = attributes_[attr];
   if (std::find(a.tags.begin(), a.tags.end(), tag) == a.tags.end()) {
     a.tags.push_back(tag);
+    if (recording_delta_) delta_.retagged_attrs.push_back(attr);
   }
   return Status::OK();
 }
@@ -109,7 +114,89 @@ Status DataLake::ComputeTopicVectors(const EmbeddingStore& store) {
     a.topic = acc.Mean();
   }
   topic_vectors_computed_ = true;
+  topics_computed_upto_ = attributes_.size();
   return Status::OK();
+}
+
+Status DataLake::RemoveTable(TableId table) {
+  if (table >= tables_.size()) {
+    return Status::NotFound("no such table id " + std::to_string(table));
+  }
+  Table& t = tables_[table];
+  if (t.removed) {
+    return Status::InvalidArgument("table " + std::to_string(table) +
+                                   " already removed");
+  }
+  t.removed = true;
+  table_ids_.erase(t.name);  // Release the name for reuse.
+  for (AttributeId aid : t.attributes) {
+    attributes_[aid].removed = true;
+    if (recording_delta_) delta_.removed_attrs.push_back(aid);
+  }
+  if (recording_delta_) delta_.removed_tables.push_back(table);
+  return Status::OK();
+}
+
+Status DataLake::RetagAttribute(AttributeId attr, std::vector<TagId> tags) {
+  if (attr >= attributes_.size()) {
+    return Status::NotFound("no such attribute id " + std::to_string(attr));
+  }
+  Attribute& a = attributes_[attr];
+  if (a.removed) {
+    return Status::InvalidArgument("attribute " + std::to_string(attr) +
+                                   " is removed");
+  }
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  for (TagId t : tags) {
+    if (t >= tag_names_.size()) {
+      return Status::NotFound("no such tag id " + std::to_string(t));
+    }
+  }
+  if (tags == a.tags) return Status::OK();  // No net change.
+  a.tags = std::move(tags);
+  if (recording_delta_) delta_.retagged_attrs.push_back(attr);
+  return Status::OK();
+}
+
+Status DataLake::ComputeMissingTopicVectors(const EmbeddingStore& store) {
+  if (!topic_vectors_computed_) {
+    return Status::FailedPrecondition(
+        "ComputeMissingTopicVectors requires an initial "
+        "ComputeTopicVectors pass");
+  }
+  for (size_t i = topics_computed_upto_; i < attributes_.size(); ++i) {
+    Attribute& a = attributes_[i];
+    TopicAccumulator acc(store.dim());
+    if (a.is_text) {
+      store.AccumulateDomain(a.values, &acc);
+    }
+    a.topic_sum = acc.sum();
+    a.embedded_count = acc.count();
+    a.topic = acc.Mean();
+  }
+  topics_computed_upto_ = attributes_.size();
+  return Status::OK();
+}
+
+Status DataLake::BeginDelta() {
+  if (recording_delta_) {
+    return Status::FailedPrecondition("delta recording already active");
+  }
+  delta_ = LakeDelta();
+  recording_delta_ = true;
+  return Status::OK();
+}
+
+Result<LakeDelta> DataLake::TakeDelta() {
+  if (!recording_delta_) {
+    return Status::FailedPrecondition("no delta recording active");
+  }
+  recording_delta_ = false;
+  LakeDelta out = std::move(delta_);
+  delta_ = LakeDelta();
+  out.Normalize();
+  return out;
 }
 
 TagId DataLake::FindTag(const std::string& name) const {
@@ -128,9 +215,18 @@ size_t DataLake::NumAttributeTagAssociations() const {
   return n;
 }
 
+size_t DataLake::NumAliveTables() const {
+  size_t n = 0;
+  for (const Table& t : tables_) {
+    if (!t.removed) ++n;
+  }
+  return n;
+}
+
 std::vector<AttributeId> DataLake::OrganizableAttributes() const {
   std::vector<AttributeId> out;
   for (const Attribute& a : attributes_) {
+    if (a.removed) continue;
     if (a.is_text && a.HasTopic() && !a.tags.empty()) out.push_back(a.id);
   }
   return out;

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "embedding/embedding_store.h"
+#include "lake/lake_delta.h"
 #include "lake/types.h"
 
 namespace lakeorg {
@@ -34,6 +35,9 @@ struct Attribute {
   size_t embedded_count = 0;
   /// Topic vector: sample mean of embeddable value vectors (Definition 4).
   Vec topic;
+  /// Tombstone: true once the owning table was removed. Ids stay stable;
+  /// removed attributes are skipped by OrganizableAttributes().
+  bool removed = false;
 
   /// True once ComputeTopicVectors found at least one embeddable value.
   bool HasTopic() const { return embedded_count > 0; }
@@ -52,11 +56,21 @@ struct Table {
   std::vector<AttributeId> attributes;
   /// Tag ids attached to this table.
   std::vector<TagId> tags;
+  /// Tombstone: true once RemoveTable dropped this table.
+  bool removed = false;
 };
 
 /// An in-memory data lake catalog. Construction is append-only: add tables,
 /// add attributes to tables, attach tags, then call ComputeTopicVectors
 /// once to derive attribute topic representations.
+///
+/// Live evolution: after the initial build the lake can keep mutating —
+/// RemoveTable tombstones a table (ids stay stable), RetagAttribute
+/// rewrites an attribute's tag set, and new tables/attributes/tags append
+/// as usual. Wrap a batch of mutations in BeginDelta()/TakeDelta() to
+/// capture a LakeDelta for RepairOrganization, then call
+/// ComputeMissingTopicVectors to derive topics for the appended
+/// attributes only.
 class DataLake {
  public:
   /// Adds a table and returns its id.
@@ -97,11 +111,40 @@ class DataLake {
   /// True once ComputeTopicVectors has run.
   bool topic_vectors_computed() const { return topic_vectors_computed_; }
 
+  // Live evolution ----------------------------------------------------------
+
+  /// Tombstones `table` and all of its attributes. Ids remain stable (no
+  /// reindexing); the table's name is released for reuse. Idempotent
+  /// failure: removing an already-removed table is an error.
+  Status RemoveTable(TableId table);
+
+  /// Replaces the tag set of `attr` (all tag ids must already exist).
+  /// The owning table's tag metadata is left untouched.
+  Status RetagAttribute(AttributeId attr, std::vector<TagId> tags);
+
+  /// Computes topic vectors only for attributes appended since the last
+  /// ComputeTopicVectors / ComputeMissingTopicVectors call. Requires an
+  /// initial full ComputeTopicVectors.
+  Status ComputeMissingTopicVectors(const EmbeddingStore& store);
+
+  /// Starts recording mutations into an internal LakeDelta. Nested
+  /// recording is an error.
+  Status BeginDelta();
+
+  /// Stops recording and returns the normalized delta of the batch.
+  Result<LakeDelta> TakeDelta();
+
+  /// True while a BeginDelta batch is open.
+  bool recording_delta() const { return recording_delta_; }
+
   // Accessors ---------------------------------------------------------------
 
   size_t num_tables() const { return tables_.size(); }
   size_t num_attributes() const { return attributes_.size(); }
   size_t num_tags() const { return tag_names_.size(); }
+
+  /// Tables that are not tombstoned.
+  size_t NumAliveTables() const;
 
   const Table& table(TableId id) const { return tables_.at(id); }
   const Attribute& attribute(AttributeId id) const {
@@ -133,6 +176,11 @@ class DataLake {
   std::unordered_map<std::string, TagId> tag_ids_;
   std::unordered_map<std::string, TableId> table_ids_;
   bool topic_vectors_computed_ = false;
+  /// Attributes with id < this already have topic vectors.
+  size_t topics_computed_upto_ = 0;
+  /// Mutation recording for RepairOrganization.
+  bool recording_delta_ = false;
+  LakeDelta delta_;
 };
 
 }  // namespace lakeorg

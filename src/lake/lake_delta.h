@@ -1,0 +1,92 @@
+// A LakeDelta records the net effect of a batch of catalog mutations
+// (table/attribute/tag additions and removals, attribute retagging) so
+// that RepairOrganization can splice the change into an existing
+// navigation DAG instead of rebuilding it from scratch (the live-lake
+// evolution path; see docs/EVOLUTION.md).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "lake/types.h"
+
+namespace lakeorg {
+
+/// Net catalog change between two lake versions. Ids refer to the *new*
+/// lake (ids are stable: removals tombstone, additions append).
+struct LakeDelta {
+  /// Tables added since recording started.
+  std::vector<TableId> added_tables;
+  /// Tables tombstoned (their attributes land in removed_attrs too).
+  std::vector<TableId> removed_tables;
+  /// Attributes appended (includes attributes of added tables).
+  std::vector<AttributeId> added_attrs;
+  /// Attributes tombstoned.
+  std::vector<AttributeId> removed_attrs;
+  /// Attributes whose tag set changed in place.
+  std::vector<AttributeId> retagged_attrs;
+  /// Tags created since recording started.
+  std::vector<TagId> added_tags;
+
+  bool Empty() const {
+    return added_tables.empty() && removed_tables.empty() &&
+           added_attrs.empty() && removed_attrs.empty() &&
+           retagged_attrs.empty() && added_tags.empty();
+  }
+
+  /// Canonicalizes the delta: sorts and dedups every id list, drops
+  /// attributes that were both added and removed inside the batch (net
+  /// no-op for organizations built before the batch), and drops retag
+  /// records for attributes that were also added or removed (the
+  /// add/remove subsumes the retag).
+  void Normalize() {
+    auto sort_unique = [](std::vector<uint32_t>* v) {
+      std::sort(v->begin(), v->end());
+      v->erase(std::unique(v->begin(), v->end()), v->end());
+    };
+    sort_unique(&added_tables);
+    sort_unique(&removed_tables);
+    sort_unique(&added_attrs);
+    sort_unique(&removed_attrs);
+    sort_unique(&retagged_attrs);
+    sort_unique(&added_tags);
+
+    auto in = [](const std::vector<uint32_t>& v, uint32_t x) {
+      return std::binary_search(v.begin(), v.end(), x);
+    };
+    // Retags of added/removed attributes are subsumed. Must run before
+    // the add/remove cancellation below, or a retag of an
+    // added-then-removed attribute would escape both filters.
+    retagged_attrs.erase(
+        std::remove_if(retagged_attrs.begin(), retagged_attrs.end(),
+                       [&](AttributeId a) {
+                         return in(added_attrs, a) || in(removed_attrs, a);
+                       }),
+        retagged_attrs.end());
+    // Added-then-removed attributes never existed for the old org.
+    std::vector<AttributeId> both;
+    for (AttributeId a : added_attrs) {
+      if (in(removed_attrs, a)) both.push_back(a);
+    }
+    auto drop = [&in](std::vector<uint32_t>* v,
+                      const std::vector<uint32_t>& gone) {
+      v->erase(std::remove_if(v->begin(), v->end(),
+                              [&](uint32_t x) { return in(gone, x); }),
+               v->end());
+    };
+    if (!both.empty()) {
+      drop(&added_attrs, both);
+      drop(&removed_attrs, both);
+    }
+    std::vector<TableId> both_tables;
+    for (TableId t : added_tables) {
+      if (in(removed_tables, t)) both_tables.push_back(t);
+    }
+    if (!both_tables.empty()) {
+      drop(&added_tables, both_tables);
+      drop(&removed_tables, both_tables);
+    }
+  }
+};
+
+}  // namespace lakeorg

@@ -9,7 +9,9 @@ TableSearchEngine::TableSearchEngine(
     SearchEngineOptions options)
     : lake_(lake), options_(options) {
   // One document per table: metadata + attribute names + value samples.
+  // Tombstoned tables (live lake evolution) are not indexed.
   for (const Table& table : lake_->tables()) {
+    if (table.removed) continue;
     std::vector<std::string> tokens;
     auto add_text = [this, &tokens](const std::string& text) {
       std::vector<std::string> ts = Tokenize(text, options_.tokenizer);

@@ -102,6 +102,34 @@ TEST(KMedoidsTest, MoreClustersNeverIncreaseCost) {
   }
 }
 
+TEST(KMedoidsTest, EmptyClusterReseedPreservesK) {
+  // A zero vector is cosine-distance 0.5 from everything, itself included,
+  // so whenever it is seeded as a medoid its cluster empties on the first
+  // assignment (distance ties break toward the lowest cluster index).
+  // The farthest-point reseed must then move that medoid onto a real
+  // point; before the fix the stale medoid survived to the final result
+  // and the k requested clusters silently collapsed to k - 1.
+  std::vector<Vec> pts = {
+      {1.0f, 0.0f}, {0.99f, 0.14f}, {0.97f, 0.24f},
+      {0.0f, 1.0f}, {0.14f, 0.99f},
+      {0.0f, 0.0f},
+  };
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    KMedoidsOptions opts;
+    opts.restarts = 1;
+    KMedoidsResult r = KMedoids(pts, 3, &rng, opts);
+    ASSERT_EQ(r.medoids.size(), 3u) << "seed " << seed;
+    std::vector<size_t> sizes(3, 0);
+    for (int a : r.assignment) ++sizes[static_cast<size_t>(a)];
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_GT(sizes[c], 0u) << "seed " << seed << " cluster " << c;
+      EXPECT_EQ(r.assignment[r.medoids[c]], static_cast<int>(c))
+          << "seed " << seed << " cluster " << c;
+    }
+  }
+}
+
 TEST(KMedoidsTest, AssignmentIsNearestMedoid) {
   Rng rng(11);
   std::vector<Vec> items = TwoBlobs();

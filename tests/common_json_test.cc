@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace lakeorg {
 namespace {
 
@@ -84,6 +87,56 @@ TEST(Json, FindAndAccessors) {
   EXPECT_TRUE(doc.Find("b")->bool_value());
   EXPECT_EQ(doc.Find("missing"), nullptr);
   EXPECT_EQ(Json(1).Find("k"), nullptr);
+}
+
+TEST(Json, NonFiniteDumpTokens) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).Dump(), "NaN");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).Dump(), "Infinity");
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).Dump(),
+            "-Infinity");
+}
+
+TEST(Json, NonFiniteRoundTrip) {
+  Json obj = Json::MakeObject();
+  obj["nan"] = Json(std::numeric_limits<double>::quiet_NaN());
+  obj["pinf"] = Json(std::numeric_limits<double>::infinity());
+  obj["ninf"] = Json(-std::numeric_limits<double>::infinity());
+  obj["x"] = Json(1.5);
+  Result<Json> parsed = Json::Parse(obj.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& doc = parsed.value();
+  EXPECT_TRUE(std::isnan(doc.Find("nan")->number()));
+  EXPECT_EQ(doc.Find("pinf")->number(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(doc.Find("ninf")->number(),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(doc.Find("x")->number(), 1.5);
+}
+
+TEST(Json, NonFiniteParseTokens) {
+  Result<Json> nan = Json::Parse("NaN");
+  ASSERT_TRUE(nan.ok());
+  EXPECT_TRUE(std::isnan(nan.value().number()));
+  Result<Json> inf = Json::Parse("[Infinity,-Infinity]");
+  ASSERT_TRUE(inf.ok());
+  EXPECT_EQ(inf.value().array()[0].number(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(inf.value().array()[1].number(),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(Json, NonFiniteParseRejectsVariants) {
+  // Only the exact Python/RapidJSON-style tokens are accepted; lowercase
+  // forms, strtod's own "inf"/"nan" spellings, and overflow literals stay
+  // rejected.
+  EXPECT_FALSE(Json::Parse("nan").ok());
+  EXPECT_FALSE(Json::Parse("inf").ok());
+  EXPECT_FALSE(Json::Parse("infinity").ok());
+  EXPECT_FALSE(Json::Parse("-inf").ok());
+  EXPECT_FALSE(Json::Parse("Inf").ok());
+  EXPECT_FALSE(Json::Parse("NAN").ok());
+  EXPECT_FALSE(Json::Parse("1e999").ok());
+  EXPECT_FALSE(Json::Parse("-1e999").ok());
 }
 
 TEST(Json, NullPromotesOnMutation) {

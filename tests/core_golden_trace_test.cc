@@ -43,7 +43,7 @@ LocalSearchResult RunFixedSeedSearch() {
   opts.seed = 31;
   opts.num_threads = 1;
   opts.record_history = true;
-  return OptimizeOrganization(BuildClusteringOrganization(ctx), opts);
+  return OptimizeOrganization(BuildClusteringOrganization(ctx), opts).value();
 }
 
 std::string TraceOf(const LocalSearchResult& result) {

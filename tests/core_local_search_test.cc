@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "benchgen/tagcloud.h"
 #include "core/org_builders.h"
 
@@ -38,7 +40,7 @@ TEST(LocalSearchTest, NeverReturnsWorseThanInitial) {
   auto ctx = Ctx(bench);
   Organization initial = BuildClusteringOrganization(ctx);
   LocalSearchResult result =
-      OptimizeOrganization(std::move(initial), FastOptions());
+      OptimizeOrganization(std::move(initial), FastOptions()).value();
   EXPECT_GE(result.effectiveness, result.initial_effectiveness - 1e-12);
   EXPECT_TRUE(result.org.Validate().ok())
       << result.org.Validate().ToString();
@@ -52,7 +54,7 @@ TEST(LocalSearchTest, ImprovesClusteringOrganization) {
   opts.patience = 60;
   opts.max_proposals = 400;
   LocalSearchResult result =
-      OptimizeOrganization(std::move(initial), opts);
+      OptimizeOrganization(std::move(initial), opts).value();
   // The paper reports large improvements over clustering on its fastText
   // space; our synthetic geometry leaves the clustering initialization
   // much closer to the optimum (see EXPERIMENTS.md), so demand a clear
@@ -66,7 +68,7 @@ TEST(LocalSearchTest, ReportedEffectivenessMatchesReturnedOrg) {
   auto ctx = Ctx(bench);
   LocalSearchOptions opts = FastOptions();
   LocalSearchResult result =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), opts);
+      OptimizeOrganization(BuildClusteringOrganization(ctx), opts).value();
   OrgEvaluator eval(opts.transition);
   EXPECT_NEAR(result.effectiveness, eval.Effectiveness(result.org), 1e-9);
 }
@@ -76,10 +78,10 @@ TEST(LocalSearchTest, DeterministicGivenSeed) {
   auto ctx = Ctx(bench);
   LocalSearchResult a =
       OptimizeOrganization(BuildClusteringOrganization(ctx),
-                           FastOptions(11));
+                           FastOptions(11)).value();
   LocalSearchResult b =
       OptimizeOrganization(BuildClusteringOrganization(ctx),
-                           FastOptions(11));
+                           FastOptions(11)).value();
   EXPECT_DOUBLE_EQ(a.effectiveness, b.effectiveness);
   EXPECT_EQ(a.proposals, b.proposals);
   EXPECT_EQ(a.accepted, b.accepted);
@@ -92,7 +94,7 @@ TEST(LocalSearchTest, RespectsMaxProposals) {
   opts.max_proposals = 10;
   opts.patience = 1000;
   LocalSearchResult result =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), opts);
+      OptimizeOrganization(BuildClusteringOrganization(ctx), opts).value();
   EXPECT_LE(result.proposals, 10u);
 }
 
@@ -103,7 +105,7 @@ TEST(LocalSearchTest, PlateauTerminates) {
   opts.patience = 5;
   opts.max_proposals = 100000;
   LocalSearchResult result =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), opts);
+      OptimizeOrganization(BuildClusteringOrganization(ctx), opts).value();
   EXPECT_LT(result.proposals, 100000u);
 }
 
@@ -112,7 +114,7 @@ TEST(LocalSearchTest, HistoryRecordsFractionsInUnitInterval) {
   auto ctx = Ctx(bench);
   LocalSearchOptions opts = FastOptions();
   LocalSearchResult result =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), opts);
+      OptimizeOrganization(BuildClusteringOrganization(ctx), opts).value();
   ASSERT_FALSE(result.history.empty());
   for (const IterationRecord& rec : result.history) {
     EXPECT_GE(rec.frac_states_evaluated, 0.0);
@@ -133,7 +135,7 @@ TEST(LocalSearchTest, HistoryDisabled) {
   LocalSearchOptions opts = FastOptions();
   opts.record_history = false;
   LocalSearchResult result =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), opts);
+      OptimizeOrganization(BuildClusteringOrganization(ctx), opts).value();
   EXPECT_TRUE(result.history.empty());
 }
 
@@ -144,7 +146,7 @@ TEST(LocalSearchTest, RepresentativeModeRuns) {
   opts.use_representatives = true;
   opts.representatives.fraction = 0.2;
   LocalSearchResult result =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), opts);
+      OptimizeOrganization(BuildClusteringOrganization(ctx), opts).value();
   EXPECT_EQ(result.num_queries,
             static_cast<size_t>(0.2 * ctx->num_attrs() + 0.5));
   EXPECT_TRUE(result.org.Validate().ok());
@@ -152,7 +154,7 @@ TEST(LocalSearchTest, RepresentativeModeRuns) {
   // search started from the same organization (paper: negligible impact).
   LocalSearchOptions exact = FastOptions();
   LocalSearchResult exact_result =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), exact);
+      OptimizeOrganization(BuildClusteringOrganization(ctx), exact).value();
   OrgEvaluator eval(opts.transition);
   double approx_true_eff = eval.Effectiveness(result.org);
   EXPECT_GT(approx_true_eff, 0.5 * exact_result.effectiveness);
@@ -164,13 +166,13 @@ TEST(LocalSearchTest, AddOnlyAndDeleteOnlyModes) {
   LocalSearchOptions add_only = FastOptions();
   add_only.enable_delete_parent = false;
   LocalSearchResult a =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), add_only);
+      OptimizeOrganization(BuildClusteringOrganization(ctx), add_only).value();
   for (const IterationRecord& rec : a.history) EXPECT_EQ(rec.op, 'A');
 
   LocalSearchOptions delete_only = FastOptions();
   delete_only.enable_add_parent = false;
   LocalSearchResult d =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), delete_only);
+      OptimizeOrganization(BuildClusteringOrganization(ctx), delete_only).value();
   for (const IterationRecord& rec : d.history) EXPECT_EQ(rec.op, 'D');
   EXPECT_TRUE(a.org.Validate().ok());
   EXPECT_TRUE(d.org.Validate().ok());
@@ -184,7 +186,7 @@ TEST(LocalSearchTest, OptimizedOrgConservesLeafReachMass) {
   auto ctx = Ctx(bench);
   LocalSearchResult result =
       OptimizeOrganization(BuildClusteringOrganization(ctx),
-                           FastOptions(3));
+                           FastOptions(3)).value();
   OrgEvaluator eval(FastOptions().transition);
   for (uint32_t a = 0; a < ctx->num_attrs(); a += 7) {
     std::vector<double> reach =
@@ -197,12 +199,105 @@ TEST(LocalSearchTest, OptimizedOrgConservesLeafReachMass) {
   }
 }
 
+TEST(LocalSearchValidationTest, RejectsZeroAcceptanceSharpness) {
+  // k == 0 turns the Equation 9 acceptance ratio into pow(ratio, 0) == 1:
+  // every worsening move accepted, a pure random walk. Must be refused,
+  // not silently run.
+  LocalSearchOptions opts = FastOptions();
+  opts.acceptance_sharpness = 0.0;
+  EXPECT_EQ(ValidateLocalSearchOptions(opts).code(),
+            StatusCode::kInvalidArgument);
+  opts.acceptance_sharpness = -3.0;
+  EXPECT_EQ(ValidateLocalSearchOptions(opts).code(),
+            StatusCode::kInvalidArgument);
+  opts.acceptance_sharpness =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(ValidateLocalSearchOptions(opts).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LocalSearchValidationTest, RejectsDegenerateBudgetsAndProbs) {
+  LocalSearchOptions opts = FastOptions();
+  EXPECT_TRUE(ValidateLocalSearchOptions(opts).ok());
+  opts.max_proposals = 0;
+  EXPECT_EQ(ValidateLocalSearchOptions(opts).code(),
+            StatusCode::kInvalidArgument);
+  opts = FastOptions();
+  opts.patience = 0;
+  EXPECT_EQ(ValidateLocalSearchOptions(opts).code(),
+            StatusCode::kInvalidArgument);
+  opts = FastOptions();
+  opts.add_parent_prob = 1.5;
+  EXPECT_EQ(ValidateLocalSearchOptions(opts).code(),
+            StatusCode::kInvalidArgument);
+  opts = FastOptions();
+  opts.min_relative_improvement = -0.1;
+  EXPECT_EQ(ValidateLocalSearchOptions(opts).code(),
+            StatusCode::kInvalidArgument);
+  opts = FastOptions();
+  opts.enable_add_parent = false;
+  opts.enable_delete_parent = false;
+  EXPECT_EQ(ValidateLocalSearchOptions(opts).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LocalSearchValidationTest, OptimizeFailsOnInvalidOptions) {
+  TagCloudBenchmark bench = Bench(44, 8, 30);
+  auto ctx = Ctx(bench);
+  LocalSearchOptions opts = FastOptions();
+  opts.acceptance_sharpness = 0.0;
+  Result<LocalSearchResult> r =
+      OptimizeOrganization(BuildClusteringOrganization(ctx), opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LocalSearchValidationTest, RejectsBadRestrictTargets) {
+  TagCloudBenchmark bench = Bench(45, 8, 30);
+  auto ctx = Ctx(bench);
+  LocalSearchOptions opts = FastOptions();
+  opts.restrict_targets = {static_cast<StateId>(1u << 30)};
+  Result<LocalSearchResult> r =
+      OptimizeOrganization(BuildClusteringOrganization(ctx), opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LocalSearchTest, RestrictTargetsOnlyMovesListedStates) {
+  TagCloudBenchmark bench = Bench(46, 10, 40);
+  auto ctx = Ctx(bench);
+  Organization initial = BuildClusteringOrganization(ctx);
+  // Restrict to the leaves of the first three attributes; every other
+  // state's parent lists must come through untouched.
+  LocalSearchOptions opts = FastOptions();
+  opts.max_proposals = 120;
+  opts.restrict_targets = {initial.LeafOf(0), initial.LeafOf(1),
+                           initial.LeafOf(2)};
+  Organization reference = initial.Clone();
+  LocalSearchResult result =
+      OptimizeOrganization(std::move(initial), opts).value();
+  EXPECT_GE(result.effectiveness, result.initial_effectiveness - 1e-12);
+  std::vector<char> allowed(reference.num_states(), 0);
+  for (StateId s : opts.restrict_targets) allowed[s] = 1;
+  for (StateId s = 0; s < reference.num_states(); ++s) {
+    if (allowed[s]) continue;
+    if (!reference.state(s).alive) continue;
+    if (reference.state(s).kind == StateKind::kLeaf) {
+      EXPECT_EQ(result.org.state(s).parents.size() +
+                    result.org.state(s).children.size(),
+                reference.state(s).parents.size() +
+                    reference.state(s).children.size())
+          << "state " << s;
+    }
+  }
+}
+
 TEST(LocalSearchTest, OptimizedBeatsFlatBaseline) {
   TagCloudBenchmark bench = Bench(51, 20, 90);
   auto ctx = Ctx(bench);
   LocalSearchOptions opts = FastOptions();
   LocalSearchResult result =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), opts);
+      OptimizeOrganization(BuildClusteringOrganization(ctx), opts).value();
   OrgEvaluator eval(opts.transition);
   double flat = eval.Effectiveness(BuildFlatOrganization(ctx));
   EXPECT_GT(result.effectiveness, flat);

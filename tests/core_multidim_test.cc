@@ -42,7 +42,7 @@ MultiDimOptions FastOptions(size_t dims) {
 TEST(MultiDimTest, PartitionCoversAllTags) {
   BenchBundle b = MakeBench(61);
   MultiDimOrganization org =
-      BuildMultiDimOrganization(b.bench.lake, b.index, FastOptions(3));
+      BuildMultiDimOrganization(b.bench.lake, b.index, FastOptions(3)).value();
   EXPECT_GE(org.num_dimensions(), 2u);
   size_t total_tags = 0;
   for (size_t d = 0; d < org.num_dimensions(); ++d) {
@@ -55,7 +55,7 @@ TEST(MultiDimTest, PartitionCoversAllTags) {
 TEST(MultiDimTest, EveryAttributeReachableInSomeDimension) {
   BenchBundle b = MakeBench(62);
   MultiDimOrganization org =
-      BuildMultiDimOrganization(b.bench.lake, b.index, FastOptions(3));
+      BuildMultiDimOrganization(b.bench.lake, b.index, FastOptions(3)).value();
   std::set<AttributeId> covered;
   for (size_t d = 0; d < org.num_dimensions(); ++d) {
     const OrgContext& ctx = org.dimension(d).ctx();
@@ -71,7 +71,7 @@ TEST(MultiDimTest, EveryAttributeReachableInSomeDimension) {
 TEST(MultiDimTest, InfoMatchesContexts) {
   BenchBundle b = MakeBench(63);
   MultiDimOrganization org =
-      BuildMultiDimOrganization(b.bench.lake, b.index, FastOptions(2));
+      BuildMultiDimOrganization(b.bench.lake, b.index, FastOptions(2)).value();
   ASSERT_EQ(org.info().size(), org.num_dimensions());
   for (size_t d = 0; d < org.num_dimensions(); ++d) {
     const DimensionInfo& info = org.info()[d];
@@ -95,7 +95,7 @@ TEST(MultiDimTest, ExplicitPartition) {
   }
   MultiDimOptions opts = FastOptions(2);
   MultiDimOrganization org =
-      BuildMultiDimFromPartition(b.bench.lake, b.index, partition, opts);
+      BuildMultiDimFromPartition(b.bench.lake, b.index, partition, opts).value();
   ASSERT_EQ(org.num_dimensions(), 2u);
   EXPECT_EQ(org.dimension(0).ctx().num_tags(), partition[0].size());
   EXPECT_EQ(org.dimension(1).ctx().num_tags(), partition[1].size());
@@ -106,7 +106,7 @@ TEST(MultiDimTest, SkipOptimizeKeepsInitial) {
   MultiDimOptions opts = FastOptions(2);
   opts.optimize = false;
   MultiDimOrganization org =
-      BuildMultiDimOrganization(b.bench.lake, b.index, opts);
+      BuildMultiDimOrganization(b.bench.lake, b.index, opts).value();
   for (const DimensionInfo& info : org.info()) {
     EXPECT_EQ(info.proposals, 0u);
     EXPECT_DOUBLE_EQ(info.seconds, 0.0);
@@ -119,7 +119,7 @@ TEST(MultiDimTest, FlatInitialOption) {
   opts.initial = MultiDimOptions::Initial::kFlat;
   opts.optimize = false;
   MultiDimOrganization org =
-      BuildMultiDimOrganization(b.bench.lake, b.index, opts);
+      BuildMultiDimOrganization(b.bench.lake, b.index, opts).value();
   for (size_t d = 0; d < org.num_dimensions(); ++d) {
     // Flat: every root child is a tag state.
     const Organization& dim = org.dimension(d);
@@ -134,7 +134,7 @@ TEST(MultiDimTest, DiscoveryCombinesWithNoisyOr) {
   MultiDimOptions opts = FastOptions(2);
   opts.optimize = false;
   MultiDimOrganization org =
-      BuildMultiDimOrganization(b.bench.lake, b.index, opts);
+      BuildMultiDimOrganization(b.bench.lake, b.index, opts).value();
   MultiDimSuccess combined =
       EvaluateMultiDimDiscovery(org, opts.search.transition);
   ASSERT_FALSE(combined.tables.empty());
@@ -169,10 +169,10 @@ TEST(MultiDimTest, MoreDimensionsDoNotHurtDiscovery) {
   MultiDimOptions three = FastOptions(3);
   three.optimize = false;
   MultiDimSuccess s1 = EvaluateMultiDimDiscovery(
-      BuildMultiDimOrganization(b.bench.lake, b.index, one),
+      BuildMultiDimOrganization(b.bench.lake, b.index, one).value(),
       one.search.transition);
   MultiDimSuccess s3 = EvaluateMultiDimDiscovery(
-      BuildMultiDimOrganization(b.bench.lake, b.index, three),
+      BuildMultiDimOrganization(b.bench.lake, b.index, three).value(),
       three.search.transition);
   // The paper's observation: more dimensions improve success because each
   // is built over fewer, more similar tags.
@@ -184,7 +184,7 @@ TEST(MultiDimTest, SuccessEvaluationProducesSortedSeries) {
   MultiDimOptions opts = FastOptions(2);
   opts.optimize = false;
   MultiDimOrganization org =
-      BuildMultiDimOrganization(b.bench.lake, b.index, opts);
+      BuildMultiDimOrganization(b.bench.lake, b.index, opts).value();
   MultiDimSuccess success =
       EvaluateMultiDimSuccess(org, 0.9, opts.search.transition);
   std::vector<double> series = success.SortedAscending();

@@ -37,7 +37,7 @@ TEST(ParallelEvalTest, LocalSearchMatchesSerialExactly) {
     opts.max_proposals = 250;
     opts.patience = 60;
     opts.num_threads = threads;
-    return OptimizeOrganization(BuildClusteringOrganization(ctx), opts);
+    return OptimizeOrganization(BuildClusteringOrganization(ctx), opts).value();
   };
   LocalSearchResult serial = run(1);
   LocalSearchResult parallel = run(4);

@@ -109,7 +109,7 @@ TEST(MultiDimDeterminismTest, ThreadCountDoesNotChangeResult) {
     mopts.search.patience = 20;
     mopts.search.max_proposals = 80;
     mopts.num_threads = threads;
-    return BuildMultiDimOrganization(bench.lake, index, mopts);
+    return BuildMultiDimOrganization(bench.lake, index, mopts).value();
   };
   MultiDimOrganization serial = build(1);
   MultiDimOrganization parallel = build(3);

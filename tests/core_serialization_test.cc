@@ -77,7 +77,7 @@ TEST(SerializationTest, RoundTripOptimizedOrgWithPropagatedAttrs) {
   search.max_proposals = 120;
   search.seed = 17;
   LocalSearchResult optimized =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), search);
+      OptimizeOrganization(BuildClusteringOrganization(ctx), search).value();
 
   std::stringstream buffer;
   ASSERT_TRUE(SaveOrganization(optimized.org, &buffer).ok());
@@ -112,7 +112,7 @@ TEST(SerializationTest, RoundTripPreservesTopicInvariants) {
   search.max_proposals = 120;
   search.seed = 5;
   LocalSearchResult optimized =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), search);
+      OptimizeOrganization(BuildClusteringOrganization(ctx), search).value();
 
   std::stringstream buffer;
   ASSERT_TRUE(SaveOrganization(optimized.org, &buffer).ok());
@@ -148,7 +148,7 @@ TEST(SerializationTest, RecomputeAllTopicsMakesRoundTripBitIdentical) {
   search.max_proposals = 120;
   search.seed = 13;
   LocalSearchResult optimized =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), search);
+      OptimizeOrganization(BuildClusteringOrganization(ctx), search).value();
 
   Organization canonical = optimized.org.Clone();
   canonical.RecomputeAllTopics();
@@ -288,7 +288,7 @@ TEST(MultiDimSerializationTest, RoundTrip) {
   mopts.search.max_proposals = 60;
   mopts.num_threads = 1;
   MultiDimOrganization org =
-      BuildMultiDimOrganization(bench.lake, index, mopts);
+      BuildMultiDimOrganization(bench.lake, index, mopts).value();
 
   std::stringstream buffer;
   ASSERT_TRUE(SaveMultiDimOrganization(org, &buffer).ok());
@@ -330,7 +330,7 @@ TEST(MultiDimSerializationTest, FileRoundTrip) {
   mopts.optimize = false;
   mopts.num_threads = 1;
   MultiDimOrganization org =
-      BuildMultiDimOrganization(bench.lake, index, mopts);
+      BuildMultiDimOrganization(bench.lake, index, mopts).value();
   std::string path = ::testing::TempDir() + "/lakeorg_multidim.org";
   ASSERT_TRUE(SaveMultiDimOrganizationToFile(org, path).ok());
   Result<MultiDimOrganization> loaded =
@@ -353,7 +353,7 @@ TEST(MultiDimSerializationTest, MismatchedLakeFails) {
   mopts.optimize = false;
   mopts.num_threads = 1;
   MultiDimOrganization org =
-      BuildMultiDimOrganization(bench.lake, index, mopts);
+      BuildMultiDimOrganization(bench.lake, index, mopts).value();
   std::stringstream buffer;
   ASSERT_TRUE(SaveMultiDimOrganization(org, &buffer).ok());
 

@@ -1,0 +1,142 @@
+#include "discovery/live_lake.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/navigation.h"
+#include "test_util.h"
+
+namespace lakeorg {
+namespace {
+
+using testing::MakeTinyLake;
+using testing::TinyLake;
+
+LiveLakeService::Options FastOptions() {
+  LiveLakeService::Options opts;
+  opts.initial_search.max_proposals = 60;
+  opts.initial_search.patience = 15;
+  opts.repair.reopt_max_proposals = 30;
+  opts.repair.reopt_patience = 10;
+  return opts;
+}
+
+TEST(LiveLakeTest, InitializePublishesVersionOne) {
+  TinyLake tiny = MakeTinyLake();
+  LiveLakeService service(tiny.lake, tiny.store, FastOptions());
+  EXPECT_EQ(service.Current(), nullptr);
+  ASSERT_TRUE(service.Initialize().ok());
+  EXPECT_EQ(service.version(), 1u);
+  std::shared_ptr<const OrgSnapshot> snap = service.Current();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_NE(snap->org, nullptr);
+  EXPECT_NE(snap->lake, nullptr);
+  EXPECT_NE(snap->engine, nullptr);
+  EXPECT_GT(snap->effectiveness, 0.0);
+  EXPECT_TRUE(snap->org->Validate().ok());
+  // Initialize is one-shot.
+  EXPECT_FALSE(service.Initialize().ok());
+}
+
+TEST(LiveLakeTest, ApplyRequiresInitialize) {
+  TinyLake tiny = MakeTinyLake();
+  LiveLakeService service(tiny.lake, tiny.store, FastOptions());
+  Result<LiveApplyReport> report =
+      service.Apply([](DataLake*) { return Status::OK(); });
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LiveLakeTest, ApplyAddTablePublishesRepairedSnapshot) {
+  TinyLake tiny = MakeTinyLake();
+  LiveLakeService service(tiny.lake, tiny.store, FastOptions());
+  ASSERT_TRUE(service.Initialize().ok());
+  std::shared_ptr<const OrgSnapshot> before = service.Current();
+
+  Result<LiveApplyReport> report = service.Apply([](DataLake* lake) {
+    TableId t = lake->AddTable("t3");
+    lake->Tag(t, "gamma");
+    lake->AddAttribute(t, "v", {"c", "d"});
+    return Status::OK();
+  });
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().version, 2u);
+  EXPECT_EQ(report.value().leaves_added, 1u);
+  EXPECT_EQ(report.value().delta.added_tables.size(), 1u);
+  EXPECT_GE(report.value().effectiveness,
+            report.value().splice_effectiveness - 1e-12);
+
+  std::shared_ptr<const OrgSnapshot> after = service.Current();
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->version, 2u);
+  EXPECT_EQ(after->lake->NumAliveTables(), 4u);
+  // Snapshot isolation: the pre-Apply snapshot is untouched.
+  EXPECT_EQ(before->version, 1u);
+  EXPECT_EQ(before->lake->NumAliveTables(), 3u);
+  EXPECT_TRUE(after->org->Validate().ok());
+}
+
+TEST(LiveLakeTest, FailedMutationPublishesNothing) {
+  TinyLake tiny = MakeTinyLake();
+  LiveLakeService service(tiny.lake, tiny.store, FastOptions());
+  ASSERT_TRUE(service.Initialize().ok());
+  Result<LiveApplyReport> report = service.Apply([](DataLake* lake) {
+    lake->AddTable("doomed");
+    return Status::InvalidArgument("abandon this batch");
+  });
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(service.version(), 1u);
+  // The published catalog never saw the mutation.
+  EXPECT_EQ(service.Current()->lake->FindTable("doomed"), kInvalidId);
+}
+
+TEST(LiveLakeTest, RemoveTableShrinksServedCatalog) {
+  TinyLake tiny = MakeTinyLake();
+  LiveLakeService service(tiny.lake, tiny.store, FastOptions());
+  ASSERT_TRUE(service.Initialize().ok());
+  Result<LiveApplyReport> report = service.Apply([](DataLake* lake) {
+    return lake->RemoveTable(1);
+  });
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().leaves_removed, 1u);
+  EXPECT_EQ(service.Current()->lake->NumAliveTables(), 2u);
+  // The search engine rebuilt over the new catalog skips the tombstone.
+  EXPECT_NE(service.Current()->engine, nullptr);
+}
+
+TEST(LiveLakeTest, PinnedSessionNavigatesOldVersionDuringApply) {
+  TinyLake tiny = MakeTinyLake();
+  LiveLakeService service(tiny.lake, tiny.store, FastOptions());
+  ASSERT_TRUE(service.Initialize().ok());
+  NavigationSession session(service.Current());
+  Result<LiveApplyReport> report = service.Apply([](DataLake* lake) {
+    return lake->RemoveTable(0);
+  });
+  ASSERT_TRUE(report.ok());
+  // The in-flight session still walks the version-1 organization.
+  EXPECT_FALSE(session.Choices().empty());
+  EXPECT_TRUE(session.Choose(0).ok());
+}
+
+TEST(LiveLakeTest, SequentialAppliesBumpVersions) {
+  TinyLake tiny = MakeTinyLake();
+  LiveLakeService service(tiny.lake, tiny.store, FastOptions());
+  ASSERT_TRUE(service.Initialize().ok());
+  for (uint64_t i = 0; i < 3; ++i) {
+    Result<LiveApplyReport> report =
+        service.Apply([i](DataLake* lake) {
+          TableId t = lake->AddTable("extra_" + std::to_string(i));
+          lake->Tag(t, "gamma");
+          lake->AddAttribute(t, "v", {"d"});
+          return Status::OK();
+        });
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report.value().version, i + 2);
+  }
+  EXPECT_EQ(service.version(), 4u);
+  EXPECT_EQ(service.Current()->lake->NumAliveTables(), 6u);
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -21,7 +21,7 @@ class DiscoveryHubTest : public ::testing::Test {
     mopts.optimize = false;
     mopts.num_threads = 1;
     org_ = new MultiDimOrganization(
-        BuildMultiDimOrganization(lake_->lake, *index_, mopts));
+        BuildMultiDimOrganization(lake_->lake, *index_, mopts).value());
     engine_ = new TableSearchEngine(&lake_->lake, lake_->store);
     hub_ = new DiscoveryHub(&lake_->lake, org_, engine_, lake_->store);
     // A query word guaranteed to be in the lake: an embeddable value.

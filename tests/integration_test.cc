@@ -66,7 +66,7 @@ TEST_F(TagCloudPipelineTest, PaperOrderingFlatClusteringOptimized) {
   search.max_proposals = 400;
   search.seed = 5;
   LocalSearchResult optimized =
-      OptimizeOrganization(clustering.Clone(), search);
+      OptimizeOrganization(clustering.Clone(), search).value();
   double optimized_success = eval.Success(optimized.org, neighbors).mean;
 
   // Figure 2a's qualitative ordering: any organization beats the flat
@@ -129,7 +129,7 @@ TEST_F(TagCloudPipelineTest, MultiDimBeatsFlatBaseline) {
   mopts.search.representatives.fraction = 0.25;
   mopts.num_threads = 2;
   MultiDimOrganization multi =
-      BuildMultiDimOrganization(bench_->lake, *index_, mopts);
+      BuildMultiDimOrganization(bench_->lake, *index_, mopts).value();
   MultiDimSuccess multi_success =
       EvaluateMultiDimSuccess(multi, 0.9, mopts.search.transition);
 
@@ -155,7 +155,7 @@ TEST(SocrataPipelineTest, EndToEndNavigationAndSearch) {
   mopts.search.use_representatives = true;
   mopts.num_threads = 2;
   MultiDimOrganization org =
-      BuildMultiDimOrganization(soc.lake, index, mopts);
+      BuildMultiDimOrganization(soc.lake, index, mopts).value();
 
   // Navigation: a session over dimension 0 reaches a leaf.
   const Organization& dim = org.dimension(0);
@@ -199,9 +199,9 @@ TEST(UserStudyPipelineTest, NavigationDiversifiesResults) {
   mopts.optimize = false;  // Keep runtime small; agents are under test.
   mopts.num_threads = 1;
   MultiDimOrganization org_a =
-      BuildMultiDimOrganization(lake_a.lake, index_a, mopts);
+      BuildMultiDimOrganization(lake_a.lake, index_a, mopts).value();
   MultiDimOrganization org_b =
-      BuildMultiDimOrganization(lake_b.lake, index_b, mopts);
+      BuildMultiDimOrganization(lake_b.lake, index_b, mopts).value();
   TableSearchEngine engine_a(&lake_a.lake, lake_a.store);
   TableSearchEngine engine_b(&lake_b.lake, lake_b.store);
 

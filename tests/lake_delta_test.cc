@@ -1,0 +1,150 @@
+#include "lake/lake_delta.h"
+
+#include <gtest/gtest.h>
+
+#include "lake/data_lake.h"
+#include "test_util.h"
+
+namespace lakeorg {
+namespace {
+
+using testing::MakeTinyLake;
+using testing::TinyLake;
+
+TEST(LakeDeltaTest, EmptyAndNormalize) {
+  LakeDelta d;
+  EXPECT_TRUE(d.Empty());
+  d.added_attrs = {3, 1, 3, 2};
+  d.Normalize();
+  EXPECT_EQ(d.added_attrs, (std::vector<AttributeId>{1, 2, 3}));
+  EXPECT_FALSE(d.Empty());
+}
+
+TEST(LakeDeltaTest, NormalizeCancelsAddThenRemove) {
+  // A table added and removed inside the same batch is a net no-op: both
+  // sides drop out, as do retags of attributes that no longer exist.
+  LakeDelta d;
+  d.added_tables = {5};
+  d.removed_tables = {5};
+  d.added_attrs = {10, 11};
+  d.removed_attrs = {10, 11};
+  d.retagged_attrs = {10, 11};
+  d.Normalize();
+  EXPECT_TRUE(d.Empty());
+}
+
+TEST(LakeDeltaTest, RecordingCapturesMutations) {
+  TinyLake tiny = MakeTinyLake();
+  DataLake& lake = tiny.lake;
+  ASSERT_TRUE(lake.BeginDelta().ok());
+  EXPECT_TRUE(lake.recording_delta());
+
+  TableId t = lake.AddTable("t3");
+  TagId gamma = lake.Tag(t, "gamma");
+  AttributeId a = lake.AddAttribute(t, "v", {"a", "b"});
+  ASSERT_TRUE(lake.RemoveTable(1).ok());  // t1 owns attribute z (id 2).
+
+  Result<LakeDelta> got = lake.TakeDelta();
+  ASSERT_TRUE(got.ok());
+  const LakeDelta& d = got.value();
+  EXPECT_FALSE(lake.recording_delta());
+  EXPECT_EQ(d.added_tables, (std::vector<TableId>{t}));
+  EXPECT_EQ(d.added_attrs, (std::vector<AttributeId>{a}));
+  EXPECT_EQ(d.added_tags, (std::vector<TagId>{gamma}));
+  EXPECT_EQ(d.removed_tables, (std::vector<TableId>{1}));
+  EXPECT_EQ(d.removed_attrs, (std::vector<AttributeId>{2}));
+  // The new attribute is recorded as added, not retagged.
+  EXPECT_TRUE(d.retagged_attrs.empty());
+}
+
+TEST(LakeDeltaTest, NestedBeginAndBareTakeAreErrors) {
+  DataLake lake;
+  EXPECT_FALSE(lake.TakeDelta().ok());
+  ASSERT_TRUE(lake.BeginDelta().ok());
+  EXPECT_FALSE(lake.BeginDelta().ok());
+  ASSERT_TRUE(lake.TakeDelta().ok());
+  EXPECT_TRUE(lake.BeginDelta().ok());
+}
+
+TEST(LakeDeltaTest, RemoveTableTombstones) {
+  TinyLake tiny = MakeTinyLake();
+  DataLake& lake = tiny.lake;
+  size_t tables_before = lake.num_tables();
+  size_t alive_before = lake.NumAliveTables();
+  size_t organizable_before = lake.OrganizableAttributes().size();
+
+  ASSERT_TRUE(lake.RemoveTable(0).ok());  // t0 owns attributes x, y.
+  EXPECT_EQ(lake.num_tables(), tables_before);  // Ids stay stable.
+  EXPECT_EQ(lake.NumAliveTables(), alive_before - 1);
+  EXPECT_TRUE(lake.table(0).removed);
+  EXPECT_TRUE(lake.attribute(0).removed);
+  EXPECT_TRUE(lake.attribute(1).removed);
+  EXPECT_EQ(lake.OrganizableAttributes().size(), organizable_before - 2);
+  // The name is released for reuse; the old id stays tombstoned.
+  EXPECT_EQ(lake.FindTable("t0"), kInvalidId);
+  TableId again = lake.AddTable("t0");
+  EXPECT_NE(again, 0u);
+
+  // Double removal is an error; removing a bogus id is an error.
+  EXPECT_FALSE(lake.RemoveTable(0).ok());
+  EXPECT_FALSE(lake.RemoveTable(999).ok());
+}
+
+TEST(LakeDeltaTest, RemovedTablesLeaveTagIndex) {
+  TinyLake tiny = MakeTinyLake();
+  DataLake& lake = tiny.lake;
+  ASSERT_TRUE(lake.RemoveTable(1).ok());  // The only "beta"-exclusive table.
+  TagIndex index = TagIndex::Build(lake);
+  // beta survives through t2's attribute w; alpha keeps x, y gone.
+  for (TagId t : index.NonEmptyTags()) {
+    for (AttributeId a : index.AttributesOfTag(t)) {
+      EXPECT_FALSE(lake.attribute(a).removed);
+    }
+  }
+}
+
+TEST(LakeDeltaTest, RetagAttributeReplacesTags) {
+  TinyLake tiny = MakeTinyLake();
+  DataLake& lake = tiny.lake;
+  // Attribute x (id 0) carries alpha; move it to beta.
+  ASSERT_TRUE(lake.BeginDelta().ok());
+  ASSERT_TRUE(lake.RetagAttribute(0, {tiny.beta}).ok());
+  Result<LakeDelta> got = lake.TakeDelta();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(lake.attribute(0).tags, (std::vector<TagId>{tiny.beta}));
+  EXPECT_EQ(got.value().retagged_attrs, (std::vector<AttributeId>{0}));
+
+  // Duplicates collapse; unknown tags and attrs are rejected; retagging a
+  // removed attribute is rejected.
+  ASSERT_TRUE(
+      lake.RetagAttribute(0, {tiny.alpha, tiny.alpha, tiny.beta}).ok());
+  EXPECT_EQ(lake.attribute(0).tags.size(), 2u);
+  EXPECT_FALSE(lake.RetagAttribute(0, {999}).ok());
+  EXPECT_FALSE(lake.RetagAttribute(999, {tiny.alpha}).ok());
+  ASSERT_TRUE(lake.RemoveTable(0).ok());
+  EXPECT_FALSE(lake.RetagAttribute(0, {tiny.beta}).ok());
+}
+
+TEST(LakeDeltaTest, ComputeMissingTopicVectors) {
+  TinyLake tiny = MakeTinyLake();
+  DataLake& lake = tiny.lake;
+  TableId t = lake.AddTable("t3");
+  lake.Tag(t, "gamma");
+  AttributeId a = lake.AddAttribute(t, "v", {"c", "d"});
+  EXPECT_FALSE(lake.attribute(a).HasTopic());
+  ASSERT_TRUE(lake.ComputeMissingTopicVectors(*tiny.store).ok());
+  EXPECT_TRUE(lake.attribute(a).HasTopic());
+  // Idempotent: a second call finds nothing to do.
+  EXPECT_TRUE(lake.ComputeMissingTopicVectors(*tiny.store).ok());
+}
+
+TEST(LakeDeltaTest, ComputeMissingRequiresInitialFullPass) {
+  TinyLake tiny = MakeTinyLake();
+  DataLake fresh;
+  TableId t = fresh.AddTable("t");
+  fresh.AddAttribute(t, "v", {"a"});
+  EXPECT_FALSE(fresh.ComputeMissingTopicVectors(*tiny.store).ok());
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -215,7 +215,7 @@ TEST_F(MetricsTest, SnapshotDeterministicAcrossIdenticalRuns) {
     opts.max_proposals = 120;
     opts.seed = 7;
     opts.num_threads = 1;
-    OptimizeOrganization(BuildClusteringOrganization(ctx), opts);
+    OptimizeOrganization(BuildClusteringOrganization(ctx), opts).value();
     return SnapshotMetrics().ToJson(false).Dump(2);
   };
 

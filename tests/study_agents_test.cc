@@ -27,7 +27,7 @@ class AgentsTest : public ::testing::Test {
     mopts.optimize = false;
     mopts.num_threads = 1;
     org_ = new MultiDimOrganization(
-        BuildMultiDimOrganization(lake_->lake, *index_, mopts));
+        BuildMultiDimOrganization(lake_->lake, *index_, mopts).value());
     engine_ = new TableSearchEngine(&lake_->lake, lake_->store);
     // Scenario: the topic of some tag with a reasonably large extent.
     TagId best_tag = index_->NonEmptyTags()[0];

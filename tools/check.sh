@@ -44,13 +44,18 @@ for san in address thread; do
   echo "== sanitizer tier: LAKEORG_SANITIZE=$san ($tree) =="
   cmake -B "$tree" -S . -DLAKEORG_SANITIZE="$san" >/dev/null
   cmake --build "$tree" -j "$jobs" \
-    --target difftest difftest_property_test core_test obs_test
-  # Fixed-seed differential fuzz corpus.
+    --target difftest difftest_property_test core_test obs_test \
+             lake_test discovery_test
+  # Fixed-seed differential fuzz corpus (includes the repair-delta
+  # property corpus: difftest --repair, serial and threaded).
   (cd "$tree" && ctest --output-on-failure -j "$jobs" -L fuzz)
   # Optimizer golden trace + telemetry (incl. the 8-thread counter
-  # exactness test — the TSan run is the lock-freedom proof).
+  # exactness test — the TSan run is the lock-freedom proof), plus the
+  # live-evolution surface: snapshot publish/pin (the RCU concurrency
+  # test is the TSan target), repair splicing, delta recording, and the
+  # live lake service.
   (cd "$tree" && ctest --output-on-failure -j "$jobs" \
-    -R '^(GoldenTrace|MetricsTest|BenchReport|Json)')
+    -R '^(GoldenTrace|MetricsTest|BenchReport|Json|OrgSnapshot|Repair|LakeDelta|LiveLake)')
   # 60 seconds of fixed-seed fuzz: the difftest driver stops at the time
   # budget, so the seed range it covers grows with machine speed but
   # every run starts from the same seeds.

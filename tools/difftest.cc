@@ -10,6 +10,12 @@
 //   difftest --seed 1 --trials 200 --threads 4 --dims 1
 //   difftest --seed 7 --trials 50 --dims 3 --max-seconds 60
 //
+// --repair switches to the repair property (RunRepairTrial): random
+// mutation batches spliced with RepairOrganization, checked against the
+// reference evaluator, Validate(), and the repair >= splice guarantee.
+//
+//   difftest --repair --seed 1 --trials 100 --threads 4
+//
 // Exit status 0 iff every trial passed.
 #include <cinttypes>
 #include <cstdio>
@@ -26,7 +32,8 @@ void Usage() {
   std::fprintf(stderr,
                "usage: difftest [--seed N] [--trials N] [--threads N]\n"
                "                [--dims N] [--ops N] [--tolerance X]\n"
-               "                [--max-seconds X] [--verbose]\n");
+               "                [--max-seconds X] [--verbose] [--repair]\n"
+               "                [--mutations N]\n");
   std::exit(2);
 }
 
@@ -51,6 +58,8 @@ int main(int argc, char** argv) {
   size_t trials = 20;
   double max_seconds = 0.0;  // 0 = no time limit
   bool verbose = false;
+  bool repair = false;
+  size_t mutations = 3;
   lakeorg::DiffTrialOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -74,9 +83,48 @@ int main(int argc, char** argv) {
       max_seconds = ParseF64(next());
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
+    } else if (std::strcmp(argv[i], "--repair") == 0) {
+      repair = true;
+    } else if (std::strcmp(argv[i], "--mutations") == 0) {
+      mutations = static_cast<size_t>(ParseU64(next()));
     } else {
       Usage();
     }
+  }
+
+  if (repair) {
+    lakeorg::RepairTrialOptions ropts;
+    ropts.threads = options.threads;
+    ropts.tolerance = options.tolerance;
+    ropts.num_mutations = mutations;
+    lakeorg::WallTimer timer;
+    size_t ran = 0;
+    size_t failures = 0;
+    double worst = 0.0;
+    for (size_t t = 0; t < trials; ++t) {
+      if (max_seconds > 0.0 && timer.ElapsedSeconds() >= max_seconds) break;
+      ropts.seed = seed + t;
+      lakeorg::RepairTrialResult res = lakeorg::RunRepairTrial(ropts);
+      ++ran;
+      worst = std::max(worst, res.effectiveness_diff);
+      if (!res.ok) {
+        ++failures;
+        std::fprintf(stderr, "FAIL %s\n", res.error.c_str());
+      } else if (verbose) {
+        std::printf(
+            "seed %" PRIu64 ": ok  +%zu/-%zu leaves, %zu dropped, "
+            "%zu touched, reopt_gain=%.3g, diff=%.3g\n",
+            ropts.seed, res.leaves_added, res.leaves_removed,
+            res.states_dropped, res.states_touched, res.reopt_gain,
+            res.effectiveness_diff);
+      }
+    }
+    std::printf(
+        "difftest --repair: %zu/%zu trials ok (%zu failed), threads=%zu, "
+        "worst |incremental - reference| = %.3g, %.1fs\n",
+        ran - failures, ran, failures, ropts.threads, worst,
+        timer.ElapsedSeconds());
+    return failures == 0 ? 0 : 1;
   }
 
   lakeorg::WallTimer timer;

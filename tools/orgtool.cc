@@ -139,8 +139,14 @@ int RunBuild(const Args& args, std::shared_ptr<const OrgContext> ctx) {
   options.seed = args.seed;
   options.num_threads = args.threads;
   options.use_representatives = ctx->num_attrs() > 300;
-  LocalSearchResult result =
+  Result<LocalSearchResult> optimized =
       OptimizeOrganization(BuildClusteringOrganization(ctx), options);
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "optimize failed: %s\n",
+                 optimized.status().ToString().c_str());
+    return 1;
+  }
+  LocalSearchResult result = std::move(optimized).value();
   std::printf("effectiveness: %.4f -> %.4f (%zu proposals, %.1f s)\n",
               result.initial_effectiveness, result.effectiveness,
               result.proposals, result.seconds);
