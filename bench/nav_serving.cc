@@ -1,0 +1,214 @@
+// E8 — concurrent navigation serving: a closed-loop load generator over
+// NavService on the 400-attribute tag cloud (the micro_* fixture). N
+// client threads each drive a set of sessions whose query attributes are
+// Zipf-distributed (hot topics shared across users), stepping through
+// batched requests with a simple walk policy: descend rank 0 with
+// probability 0.7 (otherwise a uniform rank among the top 3), backtrack
+// with probability 0.1, and restart via Refresh at a leaf or depth 12.
+// The same seeded workload runs twice — transition-row cache enabled vs
+// disabled — and the ISSUE 5 acceptance bar (cached >= 3x uncached step
+// throughput at 4 threads) is enforced on the full (non-smoke) workload.
+// Headline numbers land in the BENCH json via the nav.bench_* gauges.
+#include <cstdio>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_main.h"
+#include "bench/bench_util.h"
+#include "benchgen/tagcloud.h"
+#include "common/timer.h"
+#include "common/zipf.h"
+#include "core/org_builders.h"
+#include "core/org_snapshot.h"
+#include "discovery/nav_service.h"
+#include "obs/metrics.h"
+
+namespace lakeorg {
+namespace {
+
+constexpr size_t kSessionsPerThread = 8;
+constexpr size_t kMaxDepth = 12;
+
+struct LoadResult {
+  size_t steps = 0;
+  double seconds = 0.0;
+
+  double StepsPerSec() const {
+    return seconds > 0.0 ? static_cast<double>(steps) / seconds : 0.0;
+  }
+};
+
+/// Drives `rounds` batched walk rounds per thread against `service`.
+/// Deterministic workload shape for a fixed seed (wall time aside).
+LoadResult RunLoad(NavService* service, const ZipfDistribution& zipf,
+                   size_t num_threads, size_t rounds, uint64_t seed) {
+  std::atomic<size_t> total_steps{0};
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([service, &zipf, &total_steps, rounds, seed, t] {
+      Rng rng(seed + t * 7919);
+      std::vector<NavSessionId> ids;
+      std::vector<NavView> views;
+      for (size_t i = 0; i < kSessionsPerThread; ++i) {
+        uint32_t attr = static_cast<uint32_t>(zipf.Sample(&rng) - 1);
+        Result<NavSessionId> opened = service->Open(attr);
+        if (!opened.ok()) continue;
+        Result<NavView> view = service->Peek(opened.value());
+        if (!view.ok()) continue;
+        ids.push_back(opened.value());
+        views.push_back(std::move(view).value());
+      }
+      size_t steps = 0;
+      std::vector<NavStepRequest> batch;
+      std::vector<size_t> owner;
+      for (size_t round = 0; round < rounds; ++round) {
+        batch.clear();
+        owner.clear();
+        for (size_t i = 0; i < ids.size(); ++i) {
+          const NavView& view = views[i];
+          if (view.NumChoices() == 0 || view.depth >= kMaxDepth) {
+            // End of a walk: the user starts over at the root.
+            Result<NavView> restarted = service->Refresh(ids[i]);
+            if (restarted.ok()) views[i] = std::move(restarted).value();
+            ++steps;
+            continue;
+          }
+          NavStepRequest req;
+          req.session = ids[i];
+          if (view.depth > 0 && rng.Bernoulli(0.1)) {
+            req.kind = NavStepRequest::Kind::kBack;
+          } else {
+            req.kind = NavStepRequest::Kind::kDescend;
+            size_t top = std::min<size_t>(3, view.NumChoices());
+            req.rank = rng.Bernoulli(0.7)
+                           ? 0
+                           : static_cast<size_t>(rng.UniformInt(
+                                 0, static_cast<int64_t>(top) - 1));
+          }
+          batch.push_back(req);
+          owner.push_back(i);
+        }
+        std::vector<Result<NavView>> results = service->ExecuteBatch(batch);
+        for (size_t j = 0; j < results.size(); ++j) {
+          if (results[j].ok()) {
+            views[owner[j]] = std::move(results[j]).value();
+            ++steps;
+          }
+        }
+      }
+      for (NavSessionId id : ids) (void)service->Close(id);
+      total_steps.fetch_add(steps);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  LoadResult out;
+  out.steps = total_steps.load();
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace
+
+int Main(const bench::BenchOptions& bopts) {
+  using bench::PrintHeader;
+  using bench::PrintRule;
+  using bench::Scaled;
+
+  double scale = bopts.Scale(1.0, 0.1);
+  TagCloudOptions opts;
+  opts.num_tags = Scaled(60, scale, 8);
+  opts.target_attributes = Scaled(400, scale, 40);
+  opts.min_values = 10;
+  opts.max_values = 60;
+  opts.seed = 9;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  TagIndex index = TagIndex::Build(bench.lake);
+  auto ctx = OrgContext::BuildFull(bench.lake, index);
+
+  // Serving throughput is independent of organization quality; the
+  // agglomerative clustering DAG (no optimization pass) keeps fixture
+  // setup cheap.
+  Organization clustering = BuildClusteringOrganization(ctx);
+  clustering.RecomputeLevels();
+  OrgSnapshotStore store;
+  {
+    OrgSnapshot snap;
+    snap.ctx = ctx;
+    snap.index = std::make_shared<const TagIndex>(std::move(index));
+    snap.org = std::make_shared<const Organization>(std::move(clustering));
+    store.Publish(std::move(snap));
+  }
+  NavService::SnapshotSource source = [&store] { return store.Current(); };
+
+  size_t num_threads = bopts.smoke ? 2 : 4;
+  size_t rounds = bopts.smoke ? 30 : 300;
+  ZipfDistribution zipf(ctx->num_attrs(), 1.2);
+
+  PrintHeader("Navigation serving — cached vs uncached transition rows "
+              "(TagCloud, " +
+              std::to_string(ctx->num_attrs()) + " attrs, " +
+              std::to_string(num_threads) + " client threads, " +
+              std::to_string(num_threads * kSessionsPerThread) +
+              " sessions, scale " + std::to_string(scale) + ")");
+
+  NavServiceOptions cached_opts;
+  cached_opts.batch_threads = 2;
+  NavServiceOptions uncached_opts = cached_opts;
+  uncached_opts.cache_capacity = 0;
+
+  PrintRule();
+  std::printf("%10s | %10s %10s %12s\n", "config", "steps", "seconds",
+              "steps/sec");
+  PrintRule();
+
+  NavService uncached(source, uncached_opts);
+  LoadResult cold = RunLoad(&uncached, zipf, num_threads, rounds, 42);
+  std::printf("%10s | %10zu %10.3f %12.0f\n", "uncached", cold.steps,
+              cold.seconds, cold.StepsPerSec());
+
+  NavService cached(source, cached_opts);
+  LoadResult warm = RunLoad(&cached, zipf, num_threads, rounds, 42);
+  std::printf("%10s | %10zu %10.3f %12.0f\n", "cached", warm.steps,
+              warm.seconds, warm.StepsPerSec());
+  PrintRule();
+
+  double speedup = cold.StepsPerSec() > 0.0
+                       ? warm.StepsPerSec() / cold.StepsPerSec()
+                       : 0.0;
+  NavServiceStats stats = cached.Stats();
+  uint64_t lookups = stats.cache_hits + stats.cache_misses;
+  double hit_rate =
+      lookups > 0 ? static_cast<double>(stats.cache_hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  obs::GetGauge("nav.bench_cached_steps_per_sec").Set(warm.StepsPerSec());
+  obs::GetGauge("nav.bench_uncached_steps_per_sec").Set(cold.StepsPerSec());
+  obs::GetGauge("nav.bench_speedup").Set(speedup);
+  obs::GetGauge("nav.bench_cache_hit_rate").Set(hit_rate);
+  std::printf(
+      "row cache: %.1f%% hit rate (%zu hits / %zu lookups) -> %.1fx step "
+      "throughput\n",
+      hit_rate * 100.0, static_cast<size_t>(stats.cache_hits),
+      static_cast<size_t>(lookups), speedup);
+
+  if (!bopts.smoke && speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: cached serving speedup %.2fx is below the 3x "
+                 "acceptance bar\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace lakeorg
+
+int main(int argc, char** argv) {
+  return lakeorg::bench::BenchMain(argc, argv, "nav_serving", lakeorg::Main);
+}

@@ -1,0 +1,214 @@
+// Sharded LRU cache: a fixed-capacity key -> shared_ptr<const V> map with
+// least-recently-used eviction, split into independently locked shards so
+// concurrent readers on different keys rarely contend. Values are shared
+// pointers, so an entry evicted while a reader still holds it stays alive
+// until the last reference drops — the same lifetime discipline as
+// OrgSnapshot. The serving layer's transition-row cache
+// (discovery/nav_service) is the primary user.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace lakeorg {
+
+/// Aggregate occupancy and hit/miss tallies of a ShardedLruCache.
+struct LruCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+};
+
+/// Outcome of one GetOrCompute/Put call (optional out-parameter; the
+/// caller flushes these into its own telemetry so the cache itself stays
+/// metrics-agnostic).
+struct LruCacheOutcome {
+  /// The value was already present.
+  bool hit = false;
+  /// This call inserted the value (false on hit, and on a lost insert
+  /// race where another thread's value won).
+  bool inserted = false;
+  /// Entries evicted to make room (0 or 1).
+  size_t evicted = 0;
+};
+
+/// A sharded LRU map. `capacity` is the total entry budget, split evenly
+/// across `num_shards` shards (each shard evicts independently, so the
+/// instantaneous total can deviate from a global LRU by at most one
+/// shard's worth of skew). capacity == 0 disables the cache entirely:
+/// every Get misses and Put/GetOrCompute store nothing — the "serve
+/// uncached" configuration benchmarks compare against.
+///
+/// Thread safety: every method is safe to call concurrently; each shard
+/// serializes on its own mutex. GetOrCompute runs the compute function
+/// OUTSIDE the shard lock, so a slow fill never blocks other keys of the
+/// same shard; two racing fills of one key both compute, and the first
+/// insert wins (callers must make compute deterministic per key, which
+/// also makes the race unobservable).
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ShardedLruCache {
+ public:
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = 8)
+      : capacity_(capacity),
+        shards_(capacity == 0 ? 1 : std::max<size_t>(1, num_shards)) {
+    // Per-shard budget, rounded up so the total is never below `capacity`.
+    per_shard_ = shards_.size() == 0
+                     ? 0
+                     : (capacity_ + shards_.size() - 1) / shards_.size();
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// The value for `key`, or null. Promotes the entry to most recent.
+  std::shared_ptr<const V> Get(const K& key) {
+    if (capacity_ == 0) return nullptr;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.misses;
+      return nullptr;
+    }
+    ++shard.hits;
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts (or refreshes) `key`, evicting the shard's least recently
+  /// used entry when over budget.
+  void Put(const K& key, std::shared_ptr<const V> value,
+           LruCacheOutcome* outcome = nullptr) {
+    if (outcome != nullptr) *outcome = LruCacheOutcome{};
+    if (capacity_ == 0) return;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    InsertLocked(shard, key, std::move(value), outcome);
+  }
+
+  /// Returns the cached value, computing and inserting it on a miss.
+  /// `compute` must return a non-null shared_ptr<const V> and be
+  /// deterministic for the key (racing fills keep the first insert).
+  template <typename Fn>
+  std::shared_ptr<const V> GetOrCompute(const K& key, Fn compute,
+                                        LruCacheOutcome* outcome = nullptr) {
+    if (outcome != nullptr) *outcome = LruCacheOutcome{};
+    if (capacity_ == 0) {
+      if (outcome != nullptr) outcome->hit = false;
+      return compute();
+    }
+    Shard& shard = ShardFor(key);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        ++shard.hits;
+        if (outcome != nullptr) outcome->hit = true;
+        shard.order.splice(shard.order.begin(), shard.order, it->second);
+        return it->second->second;
+      }
+      ++shard.misses;
+    }
+    std::shared_ptr<const V> value = compute();
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      // Lost the fill race; adopt the winner (identical by determinism).
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return it->second->second;
+    }
+    InsertLocked(shard, key, std::move(value), outcome);
+    return shard.order.front().second;
+  }
+
+  /// Drops every entry (stats tallies are kept).
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.order.clear();
+      shard.map.clear();
+    }
+  }
+
+  /// Entries currently resident, summed over shards.
+  size_t size() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.map.size();
+    }
+    return total;
+  }
+
+  /// Aggregate hit/miss/eviction tallies over all shards.
+  LruCacheStats Stats() const {
+    LruCacheStats stats;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      stats.hits += shard.hits;
+      stats.misses += shard.misses;
+      stats.evictions += shard.evictions;
+      stats.entries += shard.map.size();
+    }
+    return stats;
+  }
+
+  /// Total entry budget (0 = disabled).
+  size_t capacity() const { return capacity_; }
+  /// True when the cache stores anything at all.
+  bool enabled() const { return capacity_ > 0; }
+  /// Number of independently locked shards.
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<K, std::shared_ptr<const V>>> order;
+    std::unordered_map<
+        K, typename std::list<std::pair<K, std::shared_ptr<const V>>>::iterator,
+        Hash>
+        map;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const K& key) {
+    return shards_[Hash{}(key) % shards_.size()];
+  }
+
+  void InsertLocked(Shard& shard, const K& key, std::shared_ptr<const V> value,
+                    LruCacheOutcome* outcome) {
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second->second = std::move(value);
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      if (outcome != nullptr) outcome->inserted = true;
+      return;
+    }
+    shard.order.emplace_front(key, std::move(value));
+    shard.map.emplace(key, shard.order.begin());
+    if (outcome != nullptr) outcome->inserted = true;
+    while (shard.map.size() > per_shard_) {
+      shard.map.erase(shard.order.back().first);
+      shard.order.pop_back();
+      ++shard.evictions;
+      if (outcome != nullptr) ++outcome->evicted;
+    }
+  }
+
+  size_t capacity_;
+  size_t per_shard_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace lakeorg

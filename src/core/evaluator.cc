@@ -33,14 +33,6 @@ struct EvalMetrics {
   }
 };
 
-/// Cosine via precomputed norms (0 when either side has zero norm).
-double CosineWithNorms(const Vec& a, double norm_a, const Vec& b,
-                       double norm_b) {
-  if (norm_a == 0.0 || norm_b == 0.0) return 0.0;
-  double c = Dot(a, b) / (norm_a * norm_b);
-  return std::clamp(c, -1.0, 1.0);
-}
-
 }  // namespace
 
 std::vector<double> SuccessReport::SortedAscending() const {

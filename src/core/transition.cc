@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <numeric>
 
 namespace lakeorg {
 
@@ -38,6 +39,33 @@ std::vector<double> ChildSimilarities(const std::vector<const Vec*>& children,
     sims[i] = Cosine(*children[i], query);
   }
   return sims;
+}
+
+void ComputeTransitionRow(const Organization& org, StateId s, const Vec& query,
+                          double query_norm, const TransitionConfig& config,
+                          TransitionRow* out) {
+  const OrgState& st = org.state(s);
+  out->children.assign(st.children.begin(), st.children.end());
+  out->probs.resize(st.children.size());
+  out->ranking.resize(st.children.size());
+  if (st.children.empty()) return;
+  // Similarities land in `probs`, then the softmax runs in place — the
+  // same CosineWithNorms + TransitionProbabilitiesInto sequence as the
+  // evaluators, so results are bit-identical to a reach-DP row.
+  for (size_t i = 0; i < st.children.size(); ++i) {
+    const OrgState& child = org.state(st.children[i]);
+    out->probs[i] =
+        CosineWithNorms(child.topic, child.topic_norm, query, query_norm);
+  }
+  TransitionProbabilitiesInto(out->probs, config, out->probs);
+  std::iota(out->ranking.begin(), out->ranking.end(), 0u);
+  std::sort(out->ranking.begin(), out->ranking.end(),
+            [out](uint32_t a, uint32_t b) {
+              if (out->probs[a] != out->probs[b]) {
+                return out->probs[a] > out->probs[b];
+              }
+              return a < b;
+            });
 }
 
 }  // namespace lakeorg

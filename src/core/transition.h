@@ -8,9 +8,11 @@
 // branching factors.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "core/organization.h"
 #include "embedding/vector_ops.h"
 
 namespace lakeorg {
@@ -42,5 +44,31 @@ void TransitionProbabilitiesInto(std::span<const double> sims,
 /// Convenience: kappa values of `children` topic vectors against `query`.
 std::vector<double> ChildSimilarities(const std::vector<const Vec*>& children,
                                       const Vec& query);
+
+/// One state's full outgoing transition row for a fixed query: the child
+/// list (in organization child order), the Eq. 1 probabilities over it,
+/// and the children ranked by descending probability — everything a
+/// navigation step needs to present and resolve choices. Immutable once
+/// computed, which is what makes it cacheable per (snapshot, state,
+/// query) in the serving layer (discovery/nav_service).
+struct TransitionRow {
+  /// Children of the state, in organization child order.
+  std::vector<StateId> children;
+  /// probs[i] = P(children[i] | s, X, O) per Equation 1.
+  std::vector<double> probs;
+  /// Indices into `children`/`probs` sorted by descending probability;
+  /// ties break on the lower index, so the ranking is deterministic.
+  std::vector<uint32_t> ranking;
+};
+
+/// Computes the transition row of state `s` against `query` (whose L2
+/// norm is passed in, as in the evaluators' hot path). Uses the states'
+/// cached topic norms; the arithmetic is bit-identical to
+/// OrgEvaluator::ReachProbabilities' per-state softmax, so a cached row
+/// and a freshly recomputed one compare exactly. A leaf (or any state
+/// with no children) yields an empty row.
+void ComputeTransitionRow(const Organization& org, StateId s, const Vec& query,
+                          double query_norm, const TransitionConfig& config,
+                          TransitionRow* out);
 
 }  // namespace lakeorg

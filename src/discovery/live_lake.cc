@@ -57,9 +57,16 @@ Status LiveLakeService::Initialize() {
   snap.ctx = ctx;
   snap.engine = std::make_shared<const TableSearchEngine>(
       lake_ptr.get(), store_, options_.engine);
-  snapshots_.Publish(std::move(snap));
+  uint64_t version = snapshots_.Publish(std::move(snap));
   initialized_ = true;
+  if (publish_listener_) publish_listener_(version);
   return Status::OK();
+}
+
+void LiveLakeService::SetPublishListener(
+    std::function<void(uint64_t)> listener) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  publish_listener_ = std::move(listener);
 }
 
 Result<LiveApplyReport> LiveLakeService::Apply(
@@ -107,6 +114,7 @@ Result<LiveApplyReport> LiveLakeService::Apply(
   snap.engine = std::make_shared<const TableSearchEngine>(
       lake_ptr.get(), store_, options_.engine);
   report.version = snapshots_.Publish(std::move(snap));
+  if (publish_listener_) publish_listener_(report.version);
   return report;
 }
 

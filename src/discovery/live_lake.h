@@ -83,8 +83,18 @@ class LiveLakeService {
   /// Latest published version (0 before Initialize).
   uint64_t version() const { return snapshots_.version(); }
 
+  /// Registers a callback invoked with the new version after every
+  /// successful publish (Initialize and Apply), while the writer lock is
+  /// still held — so a listener observes publishes in order and never
+  /// races a concurrent Apply. The listener must be fast and must not
+  /// call back into mutating service entry points (Current() is fine).
+  /// Pass nullptr to unregister; NavService uses this for session
+  /// invalidation and per-version cache retirement.
+  void SetPublishListener(std::function<void(uint64_t)> listener);
+
  private:
   std::mutex writer_mu_;
+  std::function<void(uint64_t)> publish_listener_;
   /// The pre-Initialize catalog; moved into snapshot v1.
   DataLake initial_lake_;
   bool initialized_ = false;

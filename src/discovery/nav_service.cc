@@ -1,0 +1,498 @@
+#include "discovery/nav_service.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "core/navigation.h"
+#include "discovery/live_lake.h"
+#include "obs/metrics.h"
+
+namespace lakeorg {
+
+namespace {
+
+/// Bucket bounds for batch-size histograms (requests per batch, distinct
+/// row groups per batch): powers of two up to 1024.
+const std::vector<double>& BatchSizeBuckets() {
+  static const std::vector<double> bounds = {1,  2,   4,   8,   16,  32,
+                                             64, 128, 256, 512, 1024};
+  return bounds;
+}
+
+struct NavMetrics {
+  obs::Counter& opened = obs::GetCounter("nav.sessions_opened_total");
+  obs::Counter& closed = obs::GetCounter("nav.sessions_closed_total");
+  obs::Counter& expired = obs::GetCounter("nav.sessions_expired_total");
+  obs::Counter& rejected = obs::GetCounter("nav.sessions_rejected_total");
+  obs::Counter& steps = obs::GetCounter("nav.steps_total");
+  obs::Counter& refreshes = obs::GetCounter("nav.refreshes_total");
+  obs::Counter& cache_hits = obs::GetCounter("nav.row_cache_hits_total");
+  obs::Counter& cache_misses = obs::GetCounter("nav.row_cache_misses_total");
+  obs::Counter& cache_evictions =
+      obs::GetCounter("nav.row_cache_evictions_total");
+  obs::Counter& versions_retired =
+      obs::GetCounter("nav.cache_versions_retired_total");
+  obs::Counter& batches = obs::GetCounter("nav.batches_total");
+  obs::Gauge& live = obs::GetGauge("nav.sessions_live");
+  obs::Gauge& snapshot_version = obs::GetGauge("nav.snapshot_version");
+  obs::Histogram& step_us = obs::GetHistogram("nav.step_us");
+  obs::Histogram& batch_occupancy =
+      obs::GetHistogram("nav.batch_occupancy", BatchSizeBuckets());
+  obs::Histogram& batch_groups =
+      obs::GetHistogram("nav.batch_groups", BatchSizeBuckets());
+};
+
+NavMetrics& Metrics() {
+  static NavMetrics m;
+  return m;
+}
+
+/// Row-cache key within one snapshot version: (state, query attribute).
+uint64_t RowKey(StateId state, uint32_t query_attr) {
+  return (static_cast<uint64_t>(state) << 32) |
+         static_cast<uint64_t>(query_attr);
+}
+
+}  // namespace
+
+NavService::NavService(SnapshotSource source, NavServiceOptions options)
+    : options_(std::move(options)), source_(std::move(source)) {
+  if (options_.batch_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.batch_threads);
+  }
+}
+
+NavService::NavService(LiveLakeService* live, NavServiceOptions options)
+    : NavService(SnapshotSource([live] { return live->Current(); }),
+                 std::move(options)) {
+  live_ = live;
+  latest_version_.store(live->version(), std::memory_order_relaxed);
+  live_->SetPublishListener([this](uint64_t version) { OnPublish(version); });
+}
+
+NavService::~NavService() {
+  // Blocks on the writer lock, so no listener invocation is in flight
+  // once unregistration returns.
+  if (live_ != nullptr) live_->SetPublishListener(nullptr);
+}
+
+double NavService::NowSeconds() const {
+  if (options_.clock) return options_.clock();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Result<NavSessionId> NavService::Open(uint32_t query_attr) {
+  std::shared_ptr<const OrgSnapshot> snap =
+      source_ ? source_() : nullptr;
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no organization snapshot published yet");
+  }
+  if (snap->org == nullptr || snap->ctx == nullptr) {
+    return Status::FailedPrecondition(
+        "snapshot is not navigable (missing organization or context)");
+  }
+  if (query_attr >= snap->ctx->num_attrs()) {
+    return Status::InvalidArgument(
+        "query attribute " + std::to_string(query_attr) +
+        " out of range (context has " +
+        std::to_string(snap->ctx->num_attrs()) + " attributes)");
+  }
+
+  double now = NowSeconds();
+  auto session = std::make_shared<Session>();
+  session->snapshot = snap;
+  session->cache = CacheForVersion(snap->version);
+  session->query_attr = query_attr;
+  session->query_norm = Norm(snap->ctx->attr_vector(query_attr));
+  session->path.push_back(snap->org->root());
+  session->last_active.store(now, std::memory_order_relaxed);
+  session->version.store(snap->version, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.size() >= options_.max_sessions) {
+      SweepExpiredLocked(now);
+      if (sessions_.size() >= options_.max_sessions) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().rejected.Add();
+        return Status::FailedPrecondition(
+            "session limit reached (" + std::to_string(options_.max_sessions) +
+            " live sessions)");
+      }
+    }
+    session->id = next_id_++;
+    sessions_.emplace(session->id, session);
+    ++version_sessions_[snap->version];
+    if (snap->version > latest_version_.load(std::memory_order_relaxed)) {
+      latest_version_.store(snap->version, std::memory_order_relaxed);
+    }
+    Metrics().live.Set(static_cast<double>(sessions_.size()));
+  }
+  opened_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().opened.Add();
+  return session->id;
+}
+
+Result<std::shared_ptr<NavService::Session>> NavService::FindSession(
+    NavSessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown navigation session " + std::to_string(id));
+  }
+  if (options_.idle_ttl_seconds > 0) {
+    double idle =
+        NowSeconds() - it->second->last_active.load(std::memory_order_relaxed);
+    if (idle > options_.idle_ttl_seconds) {
+      ReleaseVersionLocked(it->second->version.load(std::memory_order_relaxed));
+      sessions_.erase(it);
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().expired.Add();
+      Metrics().live.Set(static_cast<double>(sessions_.size()));
+      return Status::NotFound("navigation session " + std::to_string(id) +
+                              " expired");
+    }
+  }
+  return it->second;
+}
+
+std::shared_ptr<NavService::RowCache> NavService::CacheForVersion(
+    uint64_t version) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  std::shared_ptr<RowCache>& cache = caches_[version];
+  if (cache == nullptr) {
+    cache = std::make_shared<RowCache>(options_.cache_capacity,
+                                       options_.cache_shards);
+  }
+  return cache;
+}
+
+std::shared_ptr<const NavRow> NavService::RowFor(Session& session,
+                                                 StateId state) {
+  LruCacheOutcome outcome;
+  std::shared_ptr<const NavRow> row = session.cache->GetOrCompute(
+      RowKey(state, session.query_attr),
+      [&session, state, this] {
+        NavRow fresh;
+        const Organization& org = *session.snapshot->org;
+        const Vec& query =
+            session.snapshot->ctx->attr_vector(session.query_attr);
+        ComputeTransitionRow(org, state, query, session.query_norm,
+                             options_.transition, &fresh.row);
+        fresh.labels.reserve(fresh.row.children.size());
+        for (StateId child : fresh.row.children) {
+          fresh.labels.push_back(StateLabel(org, child));
+        }
+        return std::make_shared<const NavRow>(std::move(fresh));
+      },
+      &outcome);
+  if (outcome.hit) {
+    Metrics().cache_hits.Add();
+  } else {
+    Metrics().cache_misses.Add();
+  }
+  if (outcome.evicted > 0) Metrics().cache_evictions.Add(outcome.evicted);
+  return row;
+}
+
+NavView NavService::BuildView(Session& session) {
+  NavView view;
+  view.session = session.id;
+  view.snapshot_version = session.snapshot->version;
+  uint64_t latest = latest_version_.load(std::memory_order_relaxed);
+  view.snapshot_stale = latest != 0 && session.snapshot->version < latest;
+  view.state = session.path.back();
+  const OrgState& st = session.snapshot->org->state(view.state);
+  view.at_leaf = st.kind == StateKind::kLeaf;
+  view.attr = st.attr;
+  view.depth = session.path.size() - 1;
+  view.actions = session.actions;
+  view.row = RowFor(session, view.state);
+  return view;
+}
+
+Result<NavView> NavService::ApplyLocked(Session& session,
+                                        NavStepRequest::Kind kind,
+                                        size_t rank) {
+  obs::ScopedTimer timer(&Metrics().step_us);
+  session.last_active.store(NowSeconds(), std::memory_order_relaxed);
+  switch (kind) {
+    case NavStepRequest::Kind::kPeek:
+      break;
+    case NavStepRequest::Kind::kDescend: {
+      std::shared_ptr<const NavRow> row = RowFor(session, session.path.back());
+      if (row->row.ranking.empty()) {
+        return Status::FailedPrecondition(
+            "cannot descend: current state has no children (leaf or dead "
+            "end)");
+      }
+      if (rank >= row->row.ranking.size()) {
+        return Status::OutOfRange(
+            "choice rank " + std::to_string(rank) + " out of range (state has " +
+            std::to_string(row->row.ranking.size()) + " choices)");
+      }
+      session.path.push_back(row->row.children[row->row.ranking[rank]]);
+      ++session.actions;
+      break;
+    }
+    case NavStepRequest::Kind::kBack: {
+      if (session.path.size() <= 1) {
+        return Status::FailedPrecondition("already at the root");
+      }
+      session.path.pop_back();
+      ++session.actions;
+      break;
+    }
+  }
+  steps_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().steps.Add();
+  return BuildView(session);
+}
+
+Result<NavView> NavService::Peek(NavSessionId session) {
+  Result<std::shared_ptr<Session>> found = FindSession(session);
+  if (!found.ok()) return found.status();
+  std::shared_ptr<Session> s = std::move(found).value();
+  std::lock_guard<std::mutex> lock(s->mu);
+  return ApplyLocked(*s, NavStepRequest::Kind::kPeek, 0);
+}
+
+Result<NavView> NavService::Descend(NavSessionId session, size_t rank) {
+  Result<std::shared_ptr<Session>> found = FindSession(session);
+  if (!found.ok()) return found.status();
+  std::shared_ptr<Session> s = std::move(found).value();
+  std::lock_guard<std::mutex> lock(s->mu);
+  return ApplyLocked(*s, NavStepRequest::Kind::kDescend, rank);
+}
+
+Result<NavView> NavService::Back(NavSessionId session) {
+  Result<std::shared_ptr<Session>> found = FindSession(session);
+  if (!found.ok()) return found.status();
+  std::shared_ptr<Session> s = std::move(found).value();
+  std::lock_guard<std::mutex> lock(s->mu);
+  return ApplyLocked(*s, NavStepRequest::Kind::kBack, 0);
+}
+
+Result<NavView> NavService::Refresh(NavSessionId session) {
+  Result<std::shared_ptr<Session>> found = FindSession(session);
+  if (!found.ok()) return found.status();
+  std::shared_ptr<Session> s = std::move(found).value();
+  std::lock_guard<std::mutex> lock(s->mu);
+
+  std::shared_ptr<const OrgSnapshot> snap = source_ ? source_() : nullptr;
+  if (snap == nullptr || snap->org == nullptr || snap->ctx == nullptr) {
+    return Status::FailedPrecondition("no navigable snapshot to refresh to");
+  }
+  if (s->query_attr >= snap->ctx->num_attrs()) {
+    return Status::FailedPrecondition(
+        "query attribute " + std::to_string(s->query_attr) +
+        " no longer exists in snapshot version " +
+        std::to_string(snap->version));
+  }
+  uint64_t old_version = s->snapshot->version;
+  if (snap->version != old_version) {
+    std::lock_guard<std::mutex> service_lock(mu_);
+    ReleaseVersionLocked(old_version);
+    ++version_sessions_[snap->version];
+    if (snap->version > latest_version_.load(std::memory_order_relaxed)) {
+      latest_version_.store(snap->version, std::memory_order_relaxed);
+    }
+    s->version.store(snap->version, std::memory_order_relaxed);
+  }
+  s->snapshot = snap;
+  s->cache = CacheForVersion(snap->version);
+  s->query_norm = Norm(snap->ctx->attr_vector(s->query_attr));
+  s->path.assign(1, snap->org->root());
+  s->last_active.store(NowSeconds(), std::memory_order_relaxed);
+  refreshes_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().refreshes.Add();
+  return BuildView(*s);
+}
+
+Status NavService::Close(NavSessionId session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown navigation session " +
+                            std::to_string(session));
+  }
+  ReleaseVersionLocked(it->second->version.load(std::memory_order_relaxed));
+  sessions_.erase(it);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().closed.Add();
+  Metrics().live.Set(static_cast<double>(sessions_.size()));
+  return Status::OK();
+}
+
+std::vector<Result<NavView>> NavService::ExecuteBatch(
+    const std::vector<NavStepRequest>& requests) {
+  Metrics().batches.Add();
+  Metrics().batch_occupancy.Observe(static_cast<double>(requests.size()));
+
+  // Phase 1: resolve every request's session (expiry applies here, once
+  // per request, exactly as in the scalar API).
+  std::vector<std::shared_ptr<Session>> resolved(requests.size());
+  std::vector<Status> errors(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Result<std::shared_ptr<Session>> found = FindSession(requests[i].session);
+    if (found.ok()) {
+      resolved[i] = std::move(found).value();
+    } else {
+      errors[i] = found.status();
+    }
+  }
+
+  // Phase 2: warm the row cache for the distinct (version, state, query)
+  // groups at the sessions' current positions, in parallel on the pool.
+  // Descents additionally need the destination row; those fills happen in
+  // phase 3 but are usually shared across the batch via the cache anyway.
+  struct WarmItem {
+    Session* session;
+    StateId state;
+  };
+  std::vector<WarmItem> warm;
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (const std::shared_ptr<Session>& s : resolved) {
+    if (s == nullptr) continue;
+    StateId state;
+    uint64_t version;
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      state = s->path.back();
+      version = s->snapshot->version;
+    }
+    if (seen.emplace(version, RowKey(state, s->query_attr)).second) {
+      warm.push_back(WarmItem{s.get(), state});
+    }
+  }
+  Metrics().batch_groups.Observe(static_cast<double>(warm.size()));
+  ParallelChunks(pool_.get(), warm.size(),
+                 pool_ == nullptr ? 1 : pool_->num_threads(),
+                 [this, &warm](size_t, size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     std::lock_guard<std::mutex> lock(warm[i].session->mu);
+                     RowFor(*warm[i].session, warm[i].state);
+                   }
+                 });
+
+  // Phase 3: apply the requests in order.
+  std::vector<Result<NavView>> results;
+  results.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (resolved[i] == nullptr) {
+      results.push_back(errors[i]);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(resolved[i]->mu);
+    results.push_back(ApplyLocked(*resolved[i], requests[i].kind,
+                                  requests[i].rank));
+  }
+  return results;
+}
+
+size_t NavService::SweepExpired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SweepExpiredLocked(NowSeconds());
+}
+
+size_t NavService::SweepExpiredLocked(double now) {
+  if (options_.idle_ttl_seconds <= 0) return 0;
+  size_t swept = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    double idle = now - it->second->last_active.load(std::memory_order_relaxed);
+    if (idle > options_.idle_ttl_seconds) {
+      ReleaseVersionLocked(it->second->version.load(std::memory_order_relaxed));
+      it = sessions_.erase(it);
+      ++swept;
+    } else {
+      ++it;
+    }
+  }
+  if (swept > 0) {
+    expired_.fetch_add(swept, std::memory_order_relaxed);
+    Metrics().expired.Add(swept);
+    Metrics().live.Set(static_cast<double>(sessions_.size()));
+  }
+  return swept;
+}
+
+void NavService::ReleaseVersionLocked(uint64_t version) {
+  auto it = version_sessions_.find(version);
+  if (it == version_sessions_.end()) return;
+  if (it->second > 0) --it->second;
+  if (it->second == 0) {
+    version_sessions_.erase(it);
+    if (version != latest_version_.load(std::memory_order_relaxed)) {
+      RetireCache(version);
+    }
+  }
+}
+
+void NavService::RetireCache(uint64_t version) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = caches_.find(version);
+  if (it == caches_.end()) return;
+  LruCacheStats stats = it->second->Stats();
+  retired_cache_stats_.hits += stats.hits;
+  retired_cache_stats_.misses += stats.misses;
+  retired_cache_stats_.evictions += stats.evictions;
+  caches_.erase(it);
+  Metrics().versions_retired.Add();
+}
+
+void NavService::OnPublish(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (version > latest_version_.load(std::memory_order_relaxed)) {
+    latest_version_.store(version, std::memory_order_relaxed);
+  }
+  Metrics().snapshot_version.Set(static_cast<double>(version));
+  // Retire row caches of superseded versions nobody is pinned to.
+  std::vector<uint64_t> retire;
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    for (const auto& [ver, cache] : caches_) {
+      auto live = version_sessions_.find(ver);
+      bool pinned = live != version_sessions_.end() && live->second > 0;
+      if (!pinned && ver != version) retire.push_back(ver);
+    }
+  }
+  for (uint64_t ver : retire) RetireCache(ver);
+}
+
+size_t NavService::live_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+NavServiceStats NavService::Stats() const {
+  NavServiceStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.sessions_live = sessions_.size();
+  }
+  stats.sessions_opened = opened_.load(std::memory_order_relaxed);
+  stats.sessions_closed = closed_.load(std::memory_order_relaxed);
+  stats.sessions_expired = expired_.load(std::memory_order_relaxed);
+  stats.sessions_rejected = rejected_.load(std::memory_order_relaxed);
+  stats.steps = steps_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    stats.cache_hits = retired_cache_stats_.hits;
+    stats.cache_misses = retired_cache_stats_.misses;
+    stats.cache_evictions = retired_cache_stats_.evictions;
+    for (const auto& [ver, cache] : caches_) {
+      LruCacheStats cs = cache->Stats();
+      stats.cache_hits += cs.hits;
+      stats.cache_misses += cs.misses;
+      stats.cache_evictions += cs.evictions;
+    }
+    stats.cached_versions = caches_.size();
+  }
+  return stats;
+}
+
+}  // namespace lakeorg

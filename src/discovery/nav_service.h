@@ -1,0 +1,292 @@
+// NavService: the concurrent navigation-session serving layer. Where
+// core/navigation.h gives one caller a stateful walk over one
+// organization, NavService manages the live-traffic regime the ROADMAP
+// targets: many concurrent user sessions, each pinned to the OrgSnapshot
+// that was current when it opened (the RCU read side — a
+// LiveLakeService::Apply publishing a newer version never invalidates an
+// in-flight step), with
+//
+//  - admission control: at most max_sessions live sessions; opens beyond
+//    that first sweep idle sessions (idle_ttl_seconds) and are rejected
+//    when the table is still full, so session memory is bounded;
+//  - a per-snapshot sharded LRU transition-row cache: the Eq. 1 softmax
+//    row, the probability-ranked child ordering, and the section 4.4
+//    display labels of a state are computed once per (snapshot, state,
+//    query attribute) and shared by every session walking that snapshot,
+//    instead of being recomputed on every step of every user;
+//  - a batched step API (ExecuteBatch): concurrent step/peek requests
+//    are grouped by (snapshot, state, query) and their cache fills run
+//    on the service thread pool, amortizing row computation across the
+//    batch before the per-request bookkeeping applies serially;
+//  - publish integration: constructed over a LiveLakeService, the
+//    service observes every publish (SetPublishListener), flags sessions
+//    on superseded snapshots as stale, and retires the row caches of
+//    versions no live session pins any more.
+//
+// Thread safety: every public method is safe to call concurrently.
+// Operations on one session serialize on that session's mutex; the
+// session table and version bookkeeping serialize on a service mutex
+// that is never held across row computation. See docs/SERVING.md.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/org_snapshot.h"
+#include "core/transition.h"
+
+namespace lakeorg {
+
+class LiveLakeService;
+
+/// Opaque session handle; never reused within one service.
+using NavSessionId = uint64_t;
+
+/// Serving-engine tuning knobs (defaults documented in docs/SERVING.md).
+struct NavServiceOptions {
+  /// Admission-control bound on live sessions.
+  size_t max_sessions = 4096;
+  /// Sessions idle longer than this are expired by the sweep; <= 0
+  /// disables expiry.
+  double idle_ttl_seconds = 900.0;
+  /// Total transition-row cache entries per snapshot version; 0 disables
+  /// caching (every step recomputes its row — the benchmark's baseline).
+  size_t cache_capacity = 1 << 16;
+  /// Independently locked cache shards per snapshot version.
+  size_t cache_shards = 8;
+  /// Worker threads for batched cache warming; <= 1 warms serially on
+  /// the calling thread.
+  size_t batch_threads = 1;
+  /// Transition-model hyperparameters of the served Eq. 1 rows.
+  TransitionConfig transition;
+  /// Clock override returning seconds (tests inject a fake clock to
+  /// drive expiry deterministically); null uses steady_clock.
+  std::function<double()> clock;
+};
+
+/// One state's served row: the transition probabilities and ranking
+/// (core TransitionRow) plus the display label of every child. This is
+/// the row-cache value type; immutable and shared across sessions.
+struct NavRow {
+  TransitionRow row;
+  /// labels[i] labels row.children[i] (section 4.4 rules).
+  std::vector<std::string> labels;
+};
+
+/// What one navigation operation returns: the session's position plus
+/// the ranked, labeled choices of the current state. Choices are exposed
+/// through rank accessors over the shared row (no per-step copies).
+struct NavView {
+  NavSessionId session = 0;
+  /// Version of the snapshot the session is pinned to.
+  uint64_t snapshot_version = 0;
+  /// True when a newer snapshot has been published since (the client may
+  /// Refresh() to rebind; the pinned walk stays fully consistent).
+  bool snapshot_stale = false;
+  StateId state = kInvalidId;
+  bool at_leaf = false;
+  /// Local attribute id when at a leaf; kInvalidId otherwise.
+  uint32_t attr = kInvalidId;
+  /// Root-to-current path length minus one.
+  size_t depth = 0;
+  /// Total navigation actions this session has taken.
+  size_t actions = 0;
+  /// The current state's row (never null for a view returned OK).
+  std::shared_ptr<const NavRow> row;
+
+  /// Number of navigable choices at the current state (0 at leaves).
+  size_t NumChoices() const { return row == nullptr ? 0 : row->row.ranking.size(); }
+  /// The rank-th best choice (rank 0 = highest transition probability).
+  StateId ChoiceState(size_t rank) const {
+    return row->row.children[row->row.ranking[rank]];
+  }
+  const std::string& ChoiceLabel(size_t rank) const {
+    return row->labels[row->row.ranking[rank]];
+  }
+  double ChoiceProb(size_t rank) const {
+    return row->row.probs[row->row.ranking[rank]];
+  }
+};
+
+/// One request of a batched step (ExecuteBatch).
+struct NavStepRequest {
+  enum class Kind {
+    kPeek,     ///< Return the current view without moving.
+    kDescend,  ///< Descend into the rank-th ranked choice.
+    kBack,     ///< Backtrack one state.
+  };
+  NavSessionId session = 0;
+  Kind kind = Kind::kPeek;
+  /// Rank for kDescend (index into the ranked choices).
+  size_t rank = 0;
+};
+
+/// Point-in-time serving statistics (see also the nav.* metrics).
+struct NavServiceStats {
+  size_t sessions_live = 0;
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_closed = 0;
+  uint64_t sessions_expired = 0;
+  uint64_t sessions_rejected = 0;
+  uint64_t steps = 0;
+  /// Row-cache tallies aggregated over live and retired snapshot caches.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  /// Snapshot versions with a live row cache.
+  size_t cached_versions = 0;
+};
+
+/// The serving engine. See the file comment for the design.
+class NavService {
+ public:
+  /// Where new (and refreshed) sessions get their snapshot; returning
+  /// null makes Open fail until a snapshot is available.
+  using SnapshotSource = std::function<std::shared_ptr<const OrgSnapshot>()>;
+
+  explicit NavService(SnapshotSource source, NavServiceOptions options = {});
+
+  /// Serves `live->Current()` and registers for publish notifications
+  /// (stale flags + per-version cache retirement). `live` must outlive
+  /// this service; the destructor unregisters the listener.
+  explicit NavService(LiveLakeService* live, NavServiceOptions options = {});
+
+  ~NavService();
+
+  NavService(const NavService&) = delete;
+  NavService& operator=(const NavService&) = delete;
+
+  /// Opens a session navigating toward local attribute `query_attr` of
+  /// the current snapshot's context (the query topic vector X of Eq. 1).
+  /// Fails when no snapshot is published, the attribute is out of range,
+  /// or admission control rejects the session.
+  Result<NavSessionId> Open(uint32_t query_attr);
+
+  /// The session's current view; refreshes its idle timer.
+  Result<NavView> Peek(NavSessionId session);
+
+  /// Descends into the rank-th ranked choice (rank 0 = most probable).
+  /// Fails with FailedPrecondition at a leaf/dead end and OutOfRange for
+  /// a bad rank.
+  Result<NavView> Descend(NavSessionId session, size_t rank);
+
+  /// Backtracks one state; fails at the root.
+  Result<NavView> Back(NavSessionId session);
+
+  /// Rebinds the session to the latest snapshot and restarts it at the
+  /// root (the explicit upgrade path for stale sessions). Fails — and
+  /// leaves the session untouched — when the query attribute no longer
+  /// exists in the new snapshot's context.
+  Result<NavView> Refresh(NavSessionId session);
+
+  /// Closes a session; NotFound when unknown (or already expired).
+  Status Close(NavSessionId session);
+
+  /// Executes a batch of requests: cache fills for the distinct
+  /// (snapshot, state, query) groups in the batch run first (in parallel
+  /// on the service pool when batch_threads > 1), then every request is
+  /// applied in order. results[i] corresponds to requests[i]; per-request
+  /// failures do not affect the rest of the batch.
+  std::vector<Result<NavView>> ExecuteBatch(
+      const std::vector<NavStepRequest>& requests);
+
+  /// Expires idle sessions now; returns how many were expired. Open also
+  /// sweeps when the session table is full.
+  size_t SweepExpired();
+
+  /// Publish notification: flags older sessions stale and retires row
+  /// caches of versions without live sessions. Wired automatically when
+  /// constructed over a LiveLakeService.
+  void OnPublish(uint64_t version);
+
+  /// Live session count.
+  size_t live_sessions() const;
+
+  /// Aggregate serving statistics.
+  NavServiceStats Stats() const;
+
+ private:
+  using RowCache = ShardedLruCache<uint64_t, NavRow>;
+
+  struct Session {
+    NavSessionId id = 0;
+    std::shared_ptr<const OrgSnapshot> snapshot;
+    std::shared_ptr<RowCache> cache;
+    uint32_t query_attr = 0;
+    double query_norm = 0.0;
+    std::vector<StateId> path;
+    size_t actions = 0;
+    /// Pinned snapshot version; atomic so the sweep and version
+    /// bookkeeping can read it without taking the session mutex (Refresh
+    /// writes it while holding both the session and service mutexes).
+    std::atomic<uint64_t> version{0};
+    /// Last-activity time in NowSeconds() units; atomic so the sweep can
+    /// read it without taking the session mutex.
+    std::atomic<double> last_active{0.0};
+    /// Serializes operations on this session.
+    std::mutex mu;
+  };
+
+  double NowSeconds() const;
+  /// Looks up a live session, expiring it instead when idle past the
+  /// TTL. Never holds the service mutex on return.
+  Result<std::shared_ptr<Session>> FindSession(NavSessionId id);
+  /// The (shared) row cache of a snapshot version, created on demand.
+  std::shared_ptr<RowCache> CacheForVersion(uint64_t version);
+  /// The served row of `state` for the session's query: cache hit or
+  /// compute-and-fill. Never null.
+  std::shared_ptr<const NavRow> RowFor(Session& session, StateId state);
+  NavView BuildView(Session& session);
+  /// Applies one step kind to a locked session (shared by the scalar API
+  /// and ExecuteBatch).
+  Result<NavView> ApplyLocked(Session& session, NavStepRequest::Kind kind,
+                              size_t rank);
+  /// Requires mu_. Expires idle sessions; returns the count.
+  size_t SweepExpiredLocked(double now);
+  /// Requires mu_. Decrements a version's session count and retires its
+  /// cache when it reaches zero on a superseded version.
+  void ReleaseVersionLocked(uint64_t version);
+  /// Retires the cache of `version`, folding its stats into the retired
+  /// tally.
+  void RetireCache(uint64_t version);
+
+  NavServiceOptions options_;
+  SnapshotSource source_;
+  /// Non-null only for the LiveLakeService constructor (listener cleanup).
+  LiveLakeService* live_ = nullptr;
+  /// Batch cache-warming pool (null when batch_threads <= 1).
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// Guards sessions_, version_sessions_, next_id_. Never held while
+  /// computing rows or calling out.
+  mutable std::mutex mu_;
+  std::unordered_map<NavSessionId, std::shared_ptr<Session>> sessions_;
+  std::unordered_map<uint64_t, size_t> version_sessions_;
+  NavSessionId next_id_ = 1;
+  std::atomic<uint64_t> latest_version_{0};
+
+  /// Guards caches_ and retired_cache_stats_. Acquired after mu_ when
+  /// both are needed; never before it.
+  mutable std::mutex cache_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<RowCache>> caches_;
+  LruCacheStats retired_cache_stats_;
+
+  std::atomic<uint64_t> opened_{0};
+  std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> steps_{0};
+  std::atomic<uint64_t> refreshes_{0};
+};
+
+}  // namespace lakeorg

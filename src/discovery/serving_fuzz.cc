@@ -1,0 +1,253 @@
+#include "discovery/serving_fuzz.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/navigation.h"
+#include "core/org_snapshot.h"
+#include "core/transition.h"
+#include "discovery/nav_service.h"
+#include "embedding/vector_ops.h"
+
+namespace lakeorg {
+namespace {
+
+/// Bit-exact comparison of two views of the same session position.
+/// Returns an empty string on match.
+std::string CompareViews(const NavView& a, const NavView& b,
+                         const char* what) {
+  if (a.state != b.state) {
+    return std::string(what) + ": state mismatch";
+  }
+  if (a.at_leaf != b.at_leaf || a.depth != b.depth) {
+    return std::string(what) + ": position mismatch";
+  }
+  if (a.NumChoices() != b.NumChoices()) {
+    return std::string(what) + ": choice count mismatch";
+  }
+  for (size_t r = 0; r < a.NumChoices(); ++r) {
+    if (a.ChoiceState(r) != b.ChoiceState(r)) {
+      return std::string(what) + ": ranked child mismatch";
+    }
+    if (a.ChoiceProb(r) != b.ChoiceProb(r)) {
+      return std::string(what) + ": probability not bit-identical";
+    }
+    if (a.ChoiceLabel(r) != b.ChoiceLabel(r)) {
+      return std::string(what) + ": label mismatch";
+    }
+  }
+  return "";
+}
+
+/// Checks a view against a freshly computed TransitionRow + StateLabel
+/// oracle. Returns an empty string on match.
+std::string CheckOracle(const NavView& view, const Organization& org,
+                        const Vec& query, double query_norm,
+                        const TransitionConfig& config) {
+  TransitionRow oracle;
+  ComputeTransitionRow(org, view.state, query, query_norm, config, &oracle);
+  if (view.NumChoices() != oracle.ranking.size()) {
+    return "oracle: choice count mismatch";
+  }
+  for (size_t r = 0; r < oracle.ranking.size(); ++r) {
+    uint32_t idx = oracle.ranking[r];
+    if (view.ChoiceState(r) != oracle.children[idx]) {
+      return "oracle: ranked child mismatch";
+    }
+    if (view.ChoiceProb(r) != oracle.probs[idx]) {
+      return "oracle: probability not bit-identical";
+    }
+    if (view.ChoiceLabel(r) != StateLabel(org, oracle.children[idx])) {
+      return "oracle: label mismatch";
+    }
+  }
+  return "";
+}
+
+/// One session's scripted walk through both services. Returns an empty
+/// string on success.
+std::string RunWalk(NavService* cached, NavService* uncached,
+                    NavSessionId ca, NavSessionId ub, const Organization& org,
+                    const Vec& query, double query_norm,
+                    const TransitionConfig& config, uint64_t walk_seed,
+                    size_t num_steps, size_t* steps_taken) {
+  Rng rng(walk_seed);
+  for (size_t step = 0; step < num_steps; ++step) {
+    Result<NavView> va = cached->Peek(ca);
+    Result<NavView> vb = uncached->Peek(ub);
+    if (!va.ok()) return "cached peek failed: " + va.status().ToString();
+    if (!vb.ok()) return "uncached peek failed: " + vb.status().ToString();
+    std::string diff = CompareViews(va.value(), vb.value(), "cached/uncached");
+    if (!diff.empty()) return diff;
+    diff = CheckOracle(va.value(), org, query, query_norm, config);
+    if (!diff.empty()) return diff;
+
+    const NavView& view = va.value();
+    size_t choices = view.NumChoices();
+    if (choices == 0) {
+      // Dead end: descending must fail identically on both services and
+      // move neither session.
+      Result<NavView> da = cached->Descend(ca, 0);
+      Result<NavView> db = uncached->Descend(ub, 0);
+      if (da.ok() || db.ok()) return "descend at dead end did not fail";
+      if (da.status().code() != StatusCode::kFailedPrecondition ||
+          db.status().code() != StatusCode::kFailedPrecondition) {
+        return "descend at dead end: wrong status code";
+      }
+      if (view.depth == 0) break;  // Childless root: nowhere to go.
+      Result<NavView> ba = cached->Back(ca);
+      Result<NavView> bb = uncached->Back(ub);
+      if (!ba.ok() || !bb.ok()) return "back from dead end failed";
+      ++*steps_taken;
+      continue;
+    }
+    // Bad ranks must be rejected without moving the session.
+    if (rng.Bernoulli(0.1)) {
+      Result<NavView> da = cached->Descend(ca, choices);
+      Result<NavView> db = uncached->Descend(ub, choices);
+      if (da.ok() || db.ok() ||
+          da.status().code() != StatusCode::kOutOfRange ||
+          db.status().code() != StatusCode::kOutOfRange) {
+        return "out-of-range rank not rejected";
+      }
+    }
+    if (view.depth > 0 && rng.Bernoulli(0.25)) {
+      Result<NavView> ba = cached->Back(ca);
+      Result<NavView> bb = uncached->Back(ub);
+      if (!ba.ok() || !bb.ok()) return "back failed";
+      diff = CompareViews(ba.value(), bb.value(), "back");
+      if (!diff.empty()) return diff;
+    } else {
+      size_t rank = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(choices) - 1));
+      Result<NavView> da = cached->Descend(ca, rank);
+      Result<NavView> db = uncached->Descend(ub, rank);
+      if (!da.ok() || !db.ok()) return "descend failed";
+      diff = CompareViews(da.value(), db.value(), "descend");
+      if (!diff.empty()) return diff;
+      diff = CheckOracle(da.value(), org, query, query_norm, config);
+      if (!diff.empty()) return diff;
+    }
+    ++*steps_taken;
+  }
+  // Back at the root must fail with FailedPrecondition on both.
+  for (;;) {
+    Result<NavView> view = cached->Peek(ca);
+    if (!view.ok() || view.value().depth == 0) break;
+    if (!cached->Back(ca).ok()) return "unwinding back failed";
+  }
+  Result<NavView> root_back = cached->Back(ca);
+  if (root_back.ok() ||
+      root_back.status().code() != StatusCode::kFailedPrecondition) {
+    return "back at root not rejected";
+  }
+  return "";
+}
+
+}  // namespace
+
+ServingTrialResult RunServingTrial(const ServingTrialOptions& options) {
+  ServingTrialResult result;
+  auto fail = [&result, &options](const std::string& msg) {
+    result.ok = false;
+    result.error =
+        "serving trial seed " + std::to_string(options.seed) + ": " + msg;
+    return result;
+  };
+
+  Rng rng(options.seed);
+  FuzzLake fuzz = MakeFuzzLake(&rng, options.lake);
+  Organization random_org = RandomOrganization(fuzz.ctx, &rng, options.org);
+
+  OrgSnapshotStore store;
+  {
+    OrgSnapshot snap;
+    snap.ctx = fuzz.ctx;
+    snap.org = std::make_shared<const Organization>(std::move(random_org));
+    store.Publish(std::move(snap));
+  }
+  NavService::SnapshotSource source = [&store] { return store.Current(); };
+  const Organization& org = *store.Current()->org;
+  const OrgContext& ctx = *fuzz.ctx;
+
+  NavServiceOptions cached_opts;
+  cached_opts.idle_ttl_seconds = 0.0;  // No expiry mid-trial.
+  // Exercise parallel batch warming at the trial's thread count.
+  cached_opts.batch_threads = options.threads;
+  NavServiceOptions uncached_opts = cached_opts;
+  uncached_opts.cache_capacity = 0;
+  NavService cached(source, cached_opts);
+  NavService uncached(source, uncached_opts);
+
+  struct Walker {
+    NavSessionId cached_id = 0;
+    NavSessionId uncached_id = 0;
+    uint32_t attr = 0;
+    double query_norm = 0.0;
+    uint64_t walk_seed = 0;
+  };
+  std::vector<Walker> walkers(options.num_sessions);
+  for (Walker& w : walkers) {
+    w.attr = static_cast<uint32_t>(
+        rng.UniformInt(0, static_cast<int64_t>(ctx.num_attrs()) - 1));
+    w.query_norm = Norm(ctx.attr_vector(w.attr));
+    w.walk_seed = static_cast<uint64_t>(rng.UniformInt(1, 1 << 30));
+    Result<NavSessionId> a = cached.Open(w.attr);
+    Result<NavSessionId> b = uncached.Open(w.attr);
+    if (!a.ok() || !b.ok()) return fail("open failed");
+    w.cached_id = a.value();
+    w.uncached_id = b.value();
+  }
+
+  // Each walker's script is seeded independently, so the comparisons are
+  // identical at any thread count; only cache contention varies.
+  std::vector<std::string> errors(walkers.size());
+  std::vector<size_t> steps(walkers.size(), 0);
+  std::unique_ptr<ThreadPool> pool;
+  if (options.threads > 1) pool = std::make_unique<ThreadPool>(options.threads);
+  ParallelChunks(pool.get(), walkers.size(), options.threads,
+                 [&](size_t, size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     const Walker& w = walkers[i];
+                     errors[i] = RunWalk(
+                         &cached, &uncached, w.cached_id, w.uncached_id, org,
+                         ctx.attr_vector(w.attr), w.query_norm,
+                         cached_opts.transition, w.walk_seed,
+                         options.steps_per_session, &steps[i]);
+                   }
+                 });
+  for (const std::string& err : errors) {
+    if (!err.empty()) return fail(err);
+  }
+  for (size_t s : steps) result.steps += s;
+
+  // A batched peek round must equal the scalar API request-for-request.
+  std::vector<NavStepRequest> batch;
+  for (const Walker& w : walkers) {
+    NavStepRequest req;
+    req.session = w.cached_id;
+    req.kind = NavStepRequest::Kind::kPeek;
+    batch.push_back(req);
+  }
+  std::vector<Result<NavView>> batched = cached.ExecuteBatch(batch);
+  if (batched.size() != walkers.size()) return fail("batch size mismatch");
+  for (size_t i = 0; i < walkers.size(); ++i) {
+    if (!batched[i].ok()) return fail("batched peek failed");
+    Result<NavView> scalar = cached.Peek(walkers[i].cached_id);
+    if (!scalar.ok()) return fail("scalar peek failed");
+    std::string diff =
+        CompareViews(batched[i].value(), scalar.value(), "batch/scalar");
+    if (!diff.empty()) return fail(diff);
+  }
+
+  NavServiceStats stats = cached.Stats();
+  result.cache_hits = stats.cache_hits;
+  result.cache_misses = stats.cache_misses;
+  return result;
+}
+
+}  // namespace lakeorg

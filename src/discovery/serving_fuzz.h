@@ -1,0 +1,50 @@
+// Randomized differential testing for the serving layer (the --serving
+// mode of tools/difftest.cc): one trial builds a random lake and a random
+// valid organization (core/org_fuzz), publishes it as a snapshot, and
+// drives the same scripted random walks through two NavServices — one
+// with the transition-row cache enabled, one with it disabled — plus an
+// independent ComputeTransitionRow oracle. Every step's view must match
+// across all three BIT-IDENTICALLY (states, probabilities, rankings,
+// labels): the cache must be unobservable except in speed. Walks also
+// exercise the error paths (descend at a leaf, bad ranks, back at the
+// root) and a batched round that must equal the scalar API.
+// Deterministic for a fixed seed at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/org_fuzz.h"
+
+namespace lakeorg {
+
+/// One serving trial's configuration.
+struct ServingTrialOptions {
+  /// Trial seed; drives the lake, the organization, every session's query
+  /// attribute and walk script. Printed with every failure.
+  uint64_t seed = 1;
+  /// Client threads driving session walks concurrently (each session's
+  /// script is seeded independently, so results are thread-invariant).
+  size_t threads = 1;
+  /// Concurrent sessions per trial.
+  size_t num_sessions = 8;
+  /// Navigation steps per session.
+  size_t steps_per_session = 30;
+  FuzzLakeOptions lake;
+  RandomOrgOptions org;
+};
+
+/// Outcome of one serving trial.
+struct ServingTrialResult {
+  bool ok = true;
+  /// First failure, with the trial seed embedded; empty when ok.
+  std::string error;
+  size_t steps = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+};
+
+/// Runs one serving differential trial.
+ServingTrialResult RunServingTrial(const ServingTrialOptions& options);
+
+}  // namespace lakeorg

@@ -26,6 +26,15 @@ double Cosine(const Vec& a, const Vec& b) {
   return c;
 }
 
+double CosineWithNorms(const Vec& a, double norm_a, const Vec& b,
+                       double norm_b) {
+  if (norm_a == 0.0 || norm_b == 0.0) return 0.0;
+  double c = Dot(a, b) / (norm_a * norm_b);
+  if (c > 1.0) c = 1.0;
+  if (c < -1.0) c = -1.0;
+  return c;
+}
+
 double CosineDistance(const Vec& a, const Vec& b) {
   return (1.0 - Cosine(a, b)) / 2.0;
 }

@@ -19,6 +19,13 @@ double Norm(const Vec& a);
 /// Cosine similarity in [-1, 1]; 0 when either vector is all-zero.
 double Cosine(const Vec& a, const Vec& b);
 
+/// Cosine via precomputed norms (0 when either norm is zero). The hot-path
+/// kernel behind the evaluators and the serving-layer transition rows:
+/// using it with cached norms is bit-identical to every other caller, so
+/// cached and recomputed rows compare exactly.
+double CosineWithNorms(const Vec& a, double norm_a, const Vec& b,
+                       double norm_b);
+
 /// Angular distance derived from cosine: (1 - cosine) / 2, in [0, 1].
 double CosineDistance(const Vec& a, const Vec& b);
 

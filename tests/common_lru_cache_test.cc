@@ -1,0 +1,139 @@
+#include "common/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lakeorg {
+namespace {
+
+TEST(LruCacheTest, GetOrComputeFillsOncePerKey) {
+  ShardedLruCache<int, std::string> cache(8, 2);
+  int computes = 0;
+  auto compute = [&computes] {
+    ++computes;
+    return std::make_shared<const std::string>("v");
+  };
+  LruCacheOutcome outcome;
+  std::shared_ptr<const std::string> first =
+      cache.GetOrCompute(1, compute, &outcome);
+  EXPECT_FALSE(outcome.hit);
+  EXPECT_TRUE(outcome.inserted);
+  std::shared_ptr<const std::string> second =
+      cache.GetOrCompute(1, compute, &outcome);
+  EXPECT_TRUE(outcome.hit);
+  EXPECT_EQ(computes, 1);
+  // Hits return the same shared object, not a copy.
+  EXPECT_EQ(first.get(), second.get());
+  LruCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedPerShard) {
+  // One shard makes eviction order fully observable.
+  ShardedLruCache<int, int> cache(2, 1);
+  cache.Put(1, std::make_shared<const int>(1));
+  cache.Put(2, std::make_shared<const int>(2));
+  // Touch 1 so 2 is the LRU entry.
+  EXPECT_NE(cache.Get(1), nullptr);
+  LruCacheOutcome outcome;
+  cache.Put(3, std::make_shared<const int>(3), &outcome);
+  EXPECT_EQ(outcome.evicted, 1u);
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, EvictedEntryStaysAliveWhileReferenced) {
+  ShardedLruCache<int, int> cache(1, 1);
+  cache.Put(1, std::make_shared<const int>(42));
+  std::shared_ptr<const int> pinned = cache.Get(1);
+  ASSERT_NE(pinned, nullptr);
+  cache.Put(2, std::make_shared<const int>(43));
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(*pinned, 42);
+}
+
+TEST(LruCacheTest, ZeroCapacityDisablesStorage) {
+  ShardedLruCache<int, int> cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Put(1, std::make_shared<const int>(1));
+  EXPECT_EQ(cache.Get(1), nullptr);
+  int computes = 0;
+  for (int i = 0; i < 3; ++i) {
+    LruCacheOutcome outcome;
+    std::shared_ptr<const int> v = cache.GetOrCompute(
+        1,
+        [&computes] {
+          ++computes;
+          return std::make_shared<const int>(7);
+        },
+        &outcome);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, 7);
+    EXPECT_FALSE(outcome.hit);
+  }
+  // Every call recomputes: the disabled cache is pure pass-through.
+  EXPECT_EQ(computes, 3);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ClearDropsEntriesKeepsTallies) {
+  ShardedLruCache<int, int> cache(8, 2);
+  cache.Put(1, std::make_shared<const int>(1));
+  EXPECT_NE(cache.Get(1), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  LruCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(LruCacheTest, CapacitySplitsAcrossShardsRoundedUp) {
+  ShardedLruCache<int, int> cache(10, 4);
+  EXPECT_EQ(cache.num_shards(), 4u);
+  EXPECT_EQ(cache.capacity(), 10u);
+  // ceil(10/4) = 3 per shard: inserting many keys never exceeds
+  // shards * per-shard budget.
+  for (int i = 0; i < 100; ++i) cache.Put(i, std::make_shared<const int>(i));
+  EXPECT_LE(cache.size(), 12u);
+  EXPECT_GT(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ConcurrentGetOrComputeConverges) {
+  ShardedLruCache<uint64_t, uint64_t> cache(256, 8);
+  std::atomic<uint64_t> computes{0};
+  constexpr int kThreads = 4;
+  constexpr uint64_t kKeys = 64;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &computes] {
+      for (int round = 0; round < 50; ++round) {
+        for (uint64_t k = 0; k < kKeys; ++k) {
+          std::shared_ptr<const uint64_t> v = cache.GetOrCompute(k, [&] {
+            computes.fetch_add(1);
+            return std::make_shared<const uint64_t>(k * 3);
+          });
+          ASSERT_NE(v, nullptr);
+          ASSERT_EQ(*v, k * 3);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Racing fills may compute a key more than once, but the steady state
+  // is one resident entry per key and far fewer computes than lookups.
+  EXPECT_EQ(cache.size(), kKeys);
+  EXPECT_LT(computes.load(), kKeys * kThreads + 1);
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -4,6 +4,7 @@
 #   BENCH_fig2a_tagcloud.json   — the paper's headline artifact (E1)
 #   BENCH_micro_core.json       — hot-kernel microbenchmarks (M1)
 #   BENCH_micro_evaluator.json  — proposal-evaluation engine (M2)
+#   BENCH_nav_serving.json      — concurrent serving layer (E8)
 #
 # Run on a quiet machine, then commit the refreshed files. Gate future
 # changes with:
@@ -19,16 +20,38 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 
+# A baseline is only meaningful if its embedded git_sha names the exact
+# tree that produced the numbers. Refuse to run with uncommitted changes
+# — a baseline stamped with a SHA that doesn't include the code it
+# measured would poison every future regression diff.
+if [[ -n "$(git status --porcelain)" ]]; then
+  echo "bench_baseline.sh: working tree is dirty; commit or stash first" >&2
+  echo "  (baselines must be reproducible from the stamped git_sha)" >&2
+  git status --short >&2
+  exit 1
+fi
+sha=$(git rev-parse --short HEAD)
+echo "bench_baseline.sh: baselining clean tree at $sha"
+
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" \
-  --target fig2a_tagcloud micro_core micro_evaluator bench_compare
+  --target fig2a_tagcloud micro_core micro_evaluator nav_serving \
+           bench_compare
 
 ./build/bench/fig2a_tagcloud --json=BENCH_fig2a_tagcloud.json
 ./build/bench/micro_core --json=BENCH_micro_core.json
 ./build/bench/micro_evaluator --json=BENCH_micro_evaluator.json
+./build/bench/nav_serving --json=BENCH_nav_serving.json
 
 for report in BENCH_fig2a_tagcloud.json BENCH_micro_core.json \
-              BENCH_micro_evaluator.json; do
+              BENCH_micro_evaluator.json BENCH_nav_serving.json; do
   ./build/tools/bench_compare --check "$report"
+  # Belt-and-braces: the report must carry the SHA we just resolved. The
+  # harness bakes the SHA in at configure time; the reconfigure above
+  # refreshes it, so a mismatch means a stale build tree.
+  if ! grep -q "\"git_sha\": \"$sha\"" "$report"; then
+    echo "bench_baseline.sh: $report is not stamped with HEAD ($sha)" >&2
+    exit 1
+  fi
 done
-echo "bench_baseline.sh: baselines refreshed"
+echo "bench_baseline.sh: baselines refreshed at $sha"

@@ -5,11 +5,14 @@
 #   2. bench   — explicit bench smoke tier: every bench binary's --smoke
 #                run must emit a schema-valid BENCH_*.json
 #   3. sanitizers — AddressSanitizer and ThreadSanitizer builds run the
-#                fixed-seed differential fuzz tier, the golden-trace and
-#                telemetry tests, and a 60-second difftest soak
+#                fixed-seed differential fuzz tier, the golden-trace,
+#                telemetry, and serving-layer tests, and a 60-second
+#                difftest soak
 #
 #   tools/check.sh            # everything (three builds; several minutes)
 #   tools/check.sh --fast     # tiers 1-2 only, no sanitizer builds
+#   tools/check.sh --asan     # AddressSanitizer tier only (CI matrix leg)
+#   tools/check.sh --tsan     # ThreadSanitizer tier only (CI matrix leg)
 #
 # Build trees: build/ (plain), build-asan/, build-tsan/. Each sanitizer
 # tree is configured on first use and reused afterwards. Every command
@@ -20,8 +23,56 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
-fast=0
-[[ "${1:-}" == "--fast" ]] && fast=1
+mode="${1:-all}"
+case "$mode" in
+  all|--fast|--asan|--tsan) ;;
+  *)
+    echo "check.sh: unknown flag '$mode' (use --fast, --asan, or --tsan)" >&2
+    exit 2
+    ;;
+esac
+
+# Sanitizer tier for one sanitizer ("address" or "thread"). Targets are
+# built explicitly so an out-of-date tree is rebuilt before anything runs;
+# the ctest/difftest invocations are plain statements whose exit codes
+# propagate through set -e.
+run_sanitizer_tier() {
+  local san="$1"
+  local tree="build-$([[ "$san" == address ]] && echo asan || echo tsan)"
+  echo "== sanitizer tier: LAKEORG_SANITIZE=$san ($tree) =="
+  cmake -B "$tree" -S . -DLAKEORG_SANITIZE="$san" >/dev/null
+  cmake --build "$tree" -j "$jobs" \
+    --target difftest difftest_property_test common_test core_test \
+             obs_test lake_test discovery_test
+  # Fixed-seed differential fuzz corpus (includes the repair-delta and
+  # serving property corpora: difftest --repair / --serving, serial and
+  # threaded).
+  (cd "$tree" && ctest --output-on-failure -j "$jobs" -L fuzz)
+  # Optimizer golden trace + telemetry (incl. the 8-thread counter
+  # exactness test — the TSan run is the lock-freedom proof), the
+  # live-evolution surface: snapshot publish/pin (the RCU concurrency
+  # test is the TSan target), repair splicing, delta recording, the live
+  # lake service — and the serving layer: NavService session lifecycle
+  # with concurrent walks + publishes, and the sharded LRU row cache.
+  (cd "$tree" && ctest --output-on-failure -j "$jobs" \
+    -R '^(GoldenTrace|MetricsTest|BenchReport|Json|OrgSnapshot|Repair|LakeDelta|LiveLake|NavService|LruCache)')
+  # 60 seconds of fixed-seed fuzz: the difftest driver stops at the time
+  # budget, so the seed range it covers grows with machine speed but
+  # every run starts from the same seeds.
+  "./$tree/tools/difftest" --seed 1000 --trials 100000 --threads 4 \
+    --max-seconds 60
+}
+
+if [[ "$mode" == "--asan" ]]; then
+  run_sanitizer_tier address
+  echo "check.sh: asan tier ok"
+  exit 0
+fi
+if [[ "$mode" == "--tsan" ]]; then
+  run_sanitizer_tier thread
+  echo "check.sh: tsan tier ok"
+  exit 0
+fi
 
 echo "== tier 1: build + full test suite =="
 cmake -B build -S . >/dev/null
@@ -31,36 +82,12 @@ cmake --build build -j "$jobs"
 echo "== bench smoke tier (ctest -L bench) =="
 (cd build && ctest --output-on-failure -j "$jobs" -L bench)
 
-if [[ "$fast" == 1 ]]; then
+if [[ "$mode" == "--fast" ]]; then
   echo "check.sh: tier-1 + bench ok (sanitizer tiers skipped with --fast)"
   exit 0
 fi
 
-# Sanitizer tiers. Targets are built explicitly so an out-of-date tree is
-# rebuilt before anything runs; the ctest/difftest invocations are plain
-# statements whose exit codes propagate through set -e.
-for san in address thread; do
-  tree="build-$([[ "$san" == address ]] && echo asan || echo tsan)"
-  echo "== sanitizer tier: LAKEORG_SANITIZE=$san ($tree) =="
-  cmake -B "$tree" -S . -DLAKEORG_SANITIZE="$san" >/dev/null
-  cmake --build "$tree" -j "$jobs" \
-    --target difftest difftest_property_test core_test obs_test \
-             lake_test discovery_test
-  # Fixed-seed differential fuzz corpus (includes the repair-delta
-  # property corpus: difftest --repair, serial and threaded).
-  (cd "$tree" && ctest --output-on-failure -j "$jobs" -L fuzz)
-  # Optimizer golden trace + telemetry (incl. the 8-thread counter
-  # exactness test — the TSan run is the lock-freedom proof), plus the
-  # live-evolution surface: snapshot publish/pin (the RCU concurrency
-  # test is the TSan target), repair splicing, delta recording, and the
-  # live lake service.
-  (cd "$tree" && ctest --output-on-failure -j "$jobs" \
-    -R '^(GoldenTrace|MetricsTest|BenchReport|Json|OrgSnapshot|Repair|LakeDelta|LiveLake)')
-  # 60 seconds of fixed-seed fuzz: the difftest driver stops at the time
-  # budget, so the seed range it covers grows with machine speed but
-  # every run starts from the same seeds.
-  "./$tree/tools/difftest" --seed 1000 --trials 100000 --threads 4 \
-    --max-seconds 60
-done
+run_sanitizer_tier address
+run_sanitizer_tier thread
 
 echo "check.sh: all tiers ok"

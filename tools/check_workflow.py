@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Validates .github/workflows/ci.yml against the repository it drives.
+
+An actionlint-lite that needs nothing beyond the Python 3 standard
+library (PyYAML is used when available, with a structural fallback
+otherwise), so it can run both in CI and as the local `ci_workflow_check`
+CTest entry. Checks:
+
+  1. The YAML parses and has the workflow shape: name, on, jobs; every
+     job has runs-on and a non-empty steps list; every step has exactly
+     one of `run` / `uses`; every `${{ matrix.* }}` reference resolves to
+     a declared strategy.matrix axis.
+  2. Every repo-relative script the workflow invokes (tools/*.sh,
+     tools/*.py) exists and is executable where invoked directly.
+  3. Every `ctest -L <label>` label is actually assigned somewhere in
+     tests/CMakeLists.txt — a renamed label cannot silently turn a CI
+     step into a no-op.
+  4. Every `tools/check.sh --flag` the workflow passes is handled by
+     check.sh itself.
+  5. The BENCH_*.json baselines the bench-gate iterates over exist.
+
+Usage: check_workflow.py [path/to/workflow.yml] [--repo-root DIR]
+Exit status 0 iff every check passes.
+"""
+
+import os
+import re
+import sys
+
+ERRORS = []
+
+
+def fail(msg):
+    ERRORS.append(msg)
+
+
+def structural_fallback(text):
+    """Minimal shape checks when PyYAML is unavailable: top-level keys and
+    one runs-on per job-looking block. Returns None (no parsed doc)."""
+    for key in ("name:", "on:", "jobs:"):
+        if not re.search(rf"^{re.escape(key)}", text, re.MULTILINE):
+            fail(f"missing top-level `{key.rstrip(':')}` key")
+    jobs = re.findall(r"^  ([A-Za-z0-9_-]+):\s*$", text, re.MULTILINE)
+    if not jobs:
+        fail("no jobs found under `jobs:`")
+    if len(re.findall(r"^\s+runs-on:", text, re.MULTILINE)) < len(jobs):
+        fail("some job is missing `runs-on`")
+    return None
+
+
+def parse_yaml(path, text):
+    try:
+        import yaml  # noqa: F401 (optional dependency)
+    except ImportError:
+        print("check_workflow: PyYAML unavailable, structural checks only")
+        return structural_fallback(text)
+    try:
+        import yaml
+        return yaml.safe_load(text)
+    except Exception as exc:  # pragma: no cover - parse failure detail
+        fail(f"{path} does not parse as YAML: {exc}")
+        return None
+
+
+def check_structure(doc):
+    if not isinstance(doc, dict):
+        fail("workflow root is not a mapping")
+        return
+    for key in ("name", "jobs"):
+        if key not in doc:
+            fail(f"missing top-level `{key}` key")
+    # PyYAML 1.1 reads the bare `on` trigger key as boolean True.
+    if "on" not in doc and True not in doc:
+        fail("missing top-level `on` trigger key")
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, dict) or not jobs:
+        fail("`jobs` must be a non-empty mapping")
+        return
+    for name, job in jobs.items():
+        if not isinstance(job, dict):
+            fail(f"job `{name}` is not a mapping")
+            continue
+        if "runs-on" not in job:
+            fail(f"job `{name}` has no runs-on")
+        steps = job.get("steps")
+        if not isinstance(steps, list) or not steps:
+            fail(f"job `{name}` has no steps")
+            continue
+        axes = set()
+        matrix = job.get("strategy", {}).get("matrix", {})
+        if isinstance(matrix, dict):
+            axes = set(matrix.keys())
+        for i, step in enumerate(steps):
+            if not isinstance(step, dict):
+                fail(f"job `{name}` step {i} is not a mapping")
+                continue
+            has_run = "run" in step
+            has_uses = "uses" in step
+            if has_run == has_uses:
+                fail(
+                    f"job `{name}` step {i} must have exactly one of "
+                    "`run` / `uses`"
+                )
+        for ref in re.findall(r"\$\{\{\s*matrix\.([A-Za-z0-9_-]+)",
+                              str(job)):
+            if ref not in axes:
+                fail(
+                    f"job `{name}` references matrix.{ref} but declares "
+                    f"axes {sorted(axes) or '(none)'}"
+                )
+
+
+def check_repo_references(text, repo_root):
+    # Scripts the workflow runs must exist (and direct invocations must
+    # be executable). `build/tools/...` paths are build artifacts, not
+    # checked-in scripts.
+    for script in sorted(set(
+            re.findall(r"(?<!build/)tools/[A-Za-z0-9_./-]+", text))):
+        path = os.path.join(repo_root, script)
+        if not os.path.isfile(path):
+            fail(f"workflow references missing script: {script}")
+        elif script.endswith(".sh") and not os.access(path, os.X_OK):
+            fail(f"workflow script is not executable: {script}")
+
+    # ctest labels must be assigned in tests/CMakeLists.txt.
+    tests_cmake = os.path.join(repo_root, "tests", "CMakeLists.txt")
+    try:
+        with open(tests_cmake, encoding="utf-8") as f:
+            tests_text = f.read()
+    except OSError:
+        fail("tests/CMakeLists.txt not found")
+        tests_text = ""
+    known_labels = set()
+    for match in re.findall(r'LABELS\s+"?([A-Za-z0-9_;-]+)"?', tests_text):
+        known_labels.update(part for part in match.split(";") if part)
+    known_labels.update(re.findall(r"set\(ARG_LABELS\s+([A-Za-z0-9_-]+)\)",
+                                   tests_text))
+    for label in set(re.findall(r"ctest[^\n]*?-L\s+([A-Za-z0-9_-]+)", text)):
+        if label not in known_labels:
+            fail(
+                f"workflow runs `ctest -L {label}` but no test in "
+                f"tests/CMakeLists.txt carries that label "
+                f"(known: {sorted(known_labels)})"
+            )
+
+    # Flags passed to check.sh must be ones it parses.
+    check_sh = os.path.join(repo_root, "tools", "check.sh")
+    check_sh_text = ""
+    if os.path.isfile(check_sh):
+        with open(check_sh, encoding="utf-8") as f:
+            check_sh_text = f.read()
+    for flag in set(re.findall(r"check\.sh\s+(--[a-z-]+)", text)):
+        # Matrix-templated flags (--${{ matrix.sanitizer }}) expand to the
+        # axis values; resolve them from the workflow text.
+        if flag not in check_sh_text:
+            fail(f"workflow passes {flag} but tools/check.sh does not "
+                 "handle it")
+    for axis_flag in re.findall(
+            r"check\.sh\s+--\$\{\{\s*matrix\.([A-Za-z0-9_-]+)", text):
+        values = re.findall(
+            rf"{axis_flag}:\s*\[([^\]]+)\]", text)
+        for group in values:
+            for value in group.split(","):
+                flag = "--" + value.strip()
+                if flag not in check_sh_text:
+                    fail(f"workflow expands check.sh {flag} but "
+                         "tools/check.sh does not handle it")
+
+    # The bench gate iterates over committed BENCH_*.json baselines.
+    if "BENCH_" in text:
+        baselines = [
+            name for name in os.listdir(repo_root)
+            if name.startswith("BENCH_") and name.endswith(".json")
+        ]
+        if not baselines:
+            fail("workflow checks BENCH_*.json but no baselines are "
+                 "committed at the repo root")
+
+
+def main(argv):
+    workflow = ".github/workflows/ci.yml"
+    repo_root = None
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--repo-root":
+            if not args:
+                print("check_workflow: --repo-root needs a value",
+                      file=sys.stderr)
+                return 2
+            repo_root = args.pop(0)
+        else:
+            workflow = arg
+    if repo_root is None:
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(
+            sys.argv[0])))
+    if not os.path.isabs(workflow):
+        workflow = os.path.join(repo_root, workflow)
+
+    try:
+        with open(workflow, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as exc:
+        print(f"check_workflow: cannot read {workflow}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    doc = parse_yaml(workflow, text)
+    if doc is not None:
+        check_structure(doc)
+    check_repo_references(text, repo_root)
+
+    if ERRORS:
+        for err in ERRORS:
+            print(f"check_workflow: FAIL: {err}", file=sys.stderr)
+        return 1
+    print(f"check_workflow: {os.path.relpath(workflow, repo_root)} ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,6 +16,13 @@
 //
 //   difftest --repair --seed 1 --trials 100 --threads 4
 //
+// --serving switches to the serving-layer property (RunServingTrial):
+// random walks through a cached and an uncached NavService plus a
+// ComputeTransitionRow oracle, required to match bit-identically, with
+// the error paths and the batch API exercised along the way.
+//
+//   difftest --serving --seed 1 --trials 50 --threads 4
+//
 // Exit status 0 iff every trial passed.
 #include <cinttypes>
 #include <cstdio>
@@ -25,6 +32,7 @@
 
 #include "common/timer.h"
 #include "core/org_fuzz.h"
+#include "discovery/serving_fuzz.h"
 
 namespace {
 
@@ -33,7 +41,8 @@ void Usage() {
                "usage: difftest [--seed N] [--trials N] [--threads N]\n"
                "                [--dims N] [--ops N] [--tolerance X]\n"
                "                [--max-seconds X] [--verbose] [--repair]\n"
-               "                [--mutations N]\n");
+               "                [--mutations N] [--serving] [--sessions N]\n"
+               "                [--steps N]\n");
   std::exit(2);
 }
 
@@ -59,7 +68,10 @@ int main(int argc, char** argv) {
   double max_seconds = 0.0;  // 0 = no time limit
   bool verbose = false;
   bool repair = false;
+  bool serving = false;
   size_t mutations = 3;
+  size_t sessions = 8;
+  size_t steps = 30;
   lakeorg::DiffTrialOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -87,9 +99,55 @@ int main(int argc, char** argv) {
       repair = true;
     } else if (std::strcmp(argv[i], "--mutations") == 0) {
       mutations = static_cast<size_t>(ParseU64(next()));
+    } else if (std::strcmp(argv[i], "--serving") == 0) {
+      serving = true;
+    } else if (std::strcmp(argv[i], "--sessions") == 0) {
+      sessions = static_cast<size_t>(ParseU64(next()));
+    } else if (std::strcmp(argv[i], "--steps") == 0) {
+      steps = static_cast<size_t>(ParseU64(next()));
     } else {
       Usage();
     }
+  }
+
+  if (serving) {
+    lakeorg::ServingTrialOptions sopts;
+    sopts.threads = options.threads;
+    sopts.num_sessions = sessions;
+    sopts.steps_per_session = steps;
+    lakeorg::WallTimer timer;
+    size_t ran = 0;
+    size_t failures = 0;
+    size_t total_steps = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    for (size_t t = 0; t < trials; ++t) {
+      if (max_seconds > 0.0 && timer.ElapsedSeconds() >= max_seconds) break;
+      sopts.seed = seed + t;
+      lakeorg::ServingTrialResult res = lakeorg::RunServingTrial(sopts);
+      ++ran;
+      total_steps += res.steps;
+      hits += res.cache_hits;
+      misses += res.cache_misses;
+      if (!res.ok) {
+        ++failures;
+        std::fprintf(stderr, "FAIL %s\n", res.error.c_str());
+      } else if (verbose) {
+        std::printf("seed %" PRIu64 ": ok  steps=%zu hits=%zu misses=%zu\n",
+                    sopts.seed, res.steps, static_cast<size_t>(res.cache_hits),
+                    static_cast<size_t>(res.cache_misses));
+      }
+    }
+    double hit_rate =
+        hits + misses > 0
+            ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+            : 0.0;
+    std::printf(
+        "difftest --serving: %zu/%zu trials ok (%zu failed), threads=%zu, "
+        "%zu steps, cache hit rate %.2f, %.1fs\n",
+        ran - failures, ran, failures, sopts.threads, total_steps, hit_rate,
+        timer.ElapsedSeconds());
+    return failures == 0 ? 0 : 1;
   }
 
   if (repair) {
