@@ -89,6 +89,19 @@ void BM_OrganizationClone(benchmark::State& state) {
 }
 BENCHMARK(BM_OrganizationClone);
 
+void BM_OrganizationCopyFrom(benchmark::State& state) {
+  // Warm snapshot path: repeated copies into held capacity, the pattern
+  // the local search uses for best-so-far snapshots and restarts. The
+  // gap to BM_OrganizationClone is pure allocation churn.
+  const Shared& shared = Shared::Get();
+  Organization target = shared.clustering.Clone();
+  for (auto _ : state) {
+    target.CopyFrom(shared.clustering);
+    benchmark::DoNotOptimize(target.num_states());
+  }
+}
+BENCHMARK(BM_OrganizationCopyFrom);
+
 void BM_AddParentOp(benchmark::State& state) {
   const Shared& shared = Shared::Get();
   auto uniform = [](StateId) { return 1.0; };
@@ -122,6 +135,68 @@ void BM_ProposalEvaluation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProposalEvaluation);
+
+// SoA hot-path microbenchmarks: the packed CSR adjacency + topic_norm
+// array walk, inline vs spilled AttrSet membership, and the warm
+// apply/eval/undo proposal cycle (the zero-steady-state-allocation path
+// the optimizer inner loop runs on).
+
+void BM_AdjacencyTraversal(benchmark::State& state) {
+  const Shared& shared = Shared::Get();
+  const Organization& org = shared.clustering;
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (StateId s = 0; s < org.num_states(); ++s) {
+      if (!org.alive(s)) continue;
+      for (StateId c : org.children(s)) sum += org.topic_norm(c);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_AdjacencyTraversal);
+
+void BM_AttrSetMembership(benchmark::State& state) {
+  // Arg 0: inline small set; arg 1: spilled set (population > kInlineCap).
+  const size_t universe = 4096;
+  const size_t population = state.range(0) == 0 ? 8 : 64;
+  AttrSet set;
+  set.Reset(universe);
+  for (size_t i = 0; i < population; ++i) set.Set(i * 37 % universe);
+  size_t probe = 0;
+  for (auto _ : state) {
+    bool hit =
+        set.Test(probe * 37 % universe) | set.Test((probe + 1) % universe);
+    benchmark::DoNotOptimize(hit);
+    ++probe;
+  }
+  state.SetLabel(set.inline_rep() ? "inline" : "spilled");
+}
+BENCHMARK(BM_AttrSetMembership)->Arg(0)->Arg(1);
+
+void BM_SteadyStateProposalCycle(benchmark::State& state) {
+  const Shared& shared = Shared::Get();
+  TransitionConfig config;
+  IncrementalEvaluator evaluator(config, shared.ctx,
+                                 IdentityRepresentatives(*shared.ctx));
+  Organization current = shared.clustering.Clone();
+  current.RecomputeLevels();
+  evaluator.Initialize(current);
+  auto reach = [&evaluator](StateId s) {
+    return evaluator.StateReachability(s);
+  };
+  OpUndo undo;
+  OpResult op;
+  ProposalEvaluation eval;
+  StateId target = current.LeafOf(0);
+  for (auto _ : state) {
+    ApplyAddParent(&current, target, reach, &undo, &op);
+    evaluator.EvaluateProposal(current, op.topic_changed,
+                               op.children_changed, op.removed, &eval);
+    current.Undo(undo);
+    benchmark::DoNotOptimize(eval.effectiveness);
+  }
+}
+BENCHMARK(BM_SteadyStateProposalCycle);
 
 void BM_FullEffectiveness(benchmark::State& state) {
   const Shared& shared = Shared::Get();

@@ -6,6 +6,8 @@
 //
 // LAKEORG_SCALE multiplies every size step (default 1.0 covers 30..360
 // tags).
+#include <sys/resource.h>
+
 #include <cstdio>
 
 #include <vector>
@@ -16,8 +18,21 @@
 #include "common/timer.h"
 #include "core/local_search.h"
 #include "core/org_builders.h"
+#include "obs/metrics.h"
 
 namespace lakeorg {
+namespace {
+
+/// Process peak RSS in bytes (ru_maxrss is KiB on Linux). The SoA core's
+/// memory headroom claim is gated on this column staying flat relative to
+/// lake size growth (docs/PERFORMANCE.md).
+double PeakRssBytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) * 1024.0;
+}
+
+}  // namespace
 
 int Main(const bench::BenchOptions& bopts) {
   using bench::PrintHeader;
@@ -28,9 +43,9 @@ int Main(const bench::BenchOptions& bopts) {
   PrintHeader("Scalability — construction/evaluation time vs lake size "
               "(TagCloud, scale " + std::to_string(scale) + ")");
   PrintRule();
-  std::printf("%7s %7s | %9s %9s %9s | %9s %9s %9s\n", "#tags", "#attrs",
-              "clust(s)", "opt(s)", "eval(s)", "flat succ", "clus succ",
-              "opt succ");
+  std::printf("%7s %7s | %9s %9s %9s | %9s %9s %9s | %8s\n", "#tags",
+              "#attrs", "clust(s)", "opt(s)", "eval(s)", "flat succ",
+              "clus succ", "opt succ", "rss(MB)");
   PrintRule();
 
   // Smoke keeps only the two smallest lake sizes.
@@ -76,9 +91,13 @@ int Main(const bench::BenchOptions& bopts) {
     double opt_succ = eval.Success(optimized.org, neighbors).mean;
     double eval_secs = t.ElapsedSeconds();
 
-    std::printf("%7zu %7zu | %9.2f %9.2f %9.2f | %9.4f %9.4f %9.4f\n",
-                ctx->num_tags(), ctx->num_attrs(), clustering_secs,
-                opt_secs, eval_secs, flat_succ, clus_succ, opt_succ);
+    double peak_rss = PeakRssBytes();
+    obs::GetGauge("core.peak_rss_bytes").Set(peak_rss);
+    std::printf(
+        "%7zu %7zu | %9.2f %9.2f %9.2f | %9.4f %9.4f %9.4f | %8.1f\n",
+        ctx->num_tags(), ctx->num_attrs(), clustering_secs, opt_secs,
+        eval_secs, flat_succ, clus_succ, opt_succ,
+        peak_rss / (1024.0 * 1024.0));
   }
   PrintRule();
   std::printf("expected shape: construction scales near-quadratically in "

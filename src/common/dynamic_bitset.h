@@ -3,6 +3,7 @@
 // are unions over tag extents and are stored as bitsets over attribute ids.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -59,6 +60,21 @@ class DynamicBitset {
 
   /// Calls `fn(i)` for every set bit i, ascending.
   void ForEach(const std::function<void(size_t)>& fn) const;
+
+  /// Template variant of ForEach: same ascending order, but the callable is
+  /// inlined, so hot paths (attribute-set folds inside local-search
+  /// operations) pay no std::function type-erasure allocation.
+  template <typename Fn>
+  void ForEachBit(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const size_t bit = static_cast<size_t>(std::countr_zero(word));
+        fn(w * 64 + bit);
+        word &= word - 1;
+      }
+    }
+  }
 
   /// All set bits, ascending.
   std::vector<uint32_t> ToVector() const;

@@ -1,0 +1,48 @@
+#include "core/alloc_stats.h"
+
+#include "obs/metrics.h"
+
+namespace lakeorg {
+namespace {
+
+std::atomic<const std::atomic<uint64_t>*> g_calls{nullptr};
+std::atomic<const std::atomic<uint64_t>*> g_bytes{nullptr};
+std::atomic<uint64_t> g_published_calls{0};
+std::atomic<uint64_t> g_published_bytes{0};
+
+}  // namespace
+
+void SetAllocStatsSource(const std::atomic<uint64_t>* calls,
+                         const std::atomic<uint64_t>* bytes) {
+  g_calls.store(calls, std::memory_order_release);
+  g_bytes.store(bytes, std::memory_order_release);
+  g_published_calls.store(calls != nullptr ? calls->load() : 0);
+  g_published_bytes.store(bytes != nullptr ? bytes->load() : 0);
+}
+
+bool AllocStatsAvailable() {
+  return g_calls.load(std::memory_order_acquire) != nullptr;
+}
+
+uint64_t AllocCallsNow() {
+  const std::atomic<uint64_t>* c = g_calls.load(std::memory_order_acquire);
+  return c != nullptr ? c->load(std::memory_order_relaxed) : 0;
+}
+
+uint64_t AllocBytesNow() {
+  const std::atomic<uint64_t>* b = g_bytes.load(std::memory_order_acquire);
+  return b != nullptr ? b->load(std::memory_order_relaxed) : 0;
+}
+
+void PublishCoreAllocMetrics() {
+  if (!AllocStatsAvailable()) return;
+  uint64_t calls = AllocCallsNow();
+  uint64_t bytes = AllocBytesNow();
+  uint64_t prev_calls = g_published_calls.exchange(calls);
+  uint64_t prev_bytes = g_published_bytes.exchange(bytes);
+  if (!obs::MetricsEnabled()) return;
+  obs::GetCounter("core.alloc_calls_total").Add(calls - prev_calls);
+  obs::GetCounter("core.alloc_bytes_total").Add(bytes - prev_bytes);
+}
+
+}  // namespace lakeorg

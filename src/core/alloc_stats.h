@@ -1,0 +1,35 @@
+// Allocation audit hooks (docs/PERFORMANCE.md).
+//
+// The library itself never replaces the global allocator; binaries that do
+// (the counting-allocator test binaries and opt-in benchmark builds)
+// register their counters here, and PublishCoreAllocMetrics() forwards the
+// deltas into the `core.alloc_calls_total` / `core.alloc_bytes_total`
+// telemetry counters. With no source registered every query returns 0 and
+// publishing is a no-op, so production binaries pay nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lakeorg {
+
+/// Registers the binary's allocation counters (typically bumped by a
+/// replaced ::operator new). Pass nullptrs to deregister. `bytes` may be
+/// null while `calls` is set when only call counts are tracked.
+void SetAllocStatsSource(const std::atomic<uint64_t>* calls,
+                         const std::atomic<uint64_t>* bytes);
+
+/// True when a source is registered.
+bool AllocStatsAvailable();
+
+/// Current totals from the registered source (0 when none).
+uint64_t AllocCallsNow();
+uint64_t AllocBytesNow();
+
+/// Adds the delta since the previous publish to the core.alloc_* obs
+/// counters. No-op without a registered source or with metrics disabled
+/// (the delta still advances, so enabling metrics later never flushes
+/// stale history).
+void PublishCoreAllocMetrics();
+
+}  // namespace lakeorg

@@ -1,0 +1,252 @@
+// Interned attribute set with a small-size inline representation.
+//
+// Most states in a real organization carry few attributes (leaves carry one,
+// tag states a handful); only states near the root hold wide sets. Storing
+// every D_s as a full bitset over a 100k-attribute universe makes each state
+// pay O(universe/8) bytes and pulls a cold cache line per inclusion test.
+// AttrSet instead keeps up to kInlineCap sorted ids inline (one cache line,
+// no heap), and spills to a shared copy-on-write DynamicBitset only when a
+// set outgrows the inline capacity.
+//
+// Two properties matter for the undo journal and the zero-steady-state-
+// allocation guarantee:
+//   * Clear() never reverts a spilled set to the inline representation, so
+//     rolling back journaled added bits restores a spilled set exactly,
+//     with no representation flip mid-undo.
+//   * The heap bitset is RETAINED when a set is restored to the inline rep
+//     (RestoreInline): the next spill reuses the buffer when this set is its
+//     sole owner, so an apply/undo cycle that repeatedly crosses the inline
+//     boundary allocates only once, not once per operation.
+//
+// Copying an AttrSet shares the spilled bitset (atomic refcount; concurrent
+// readers are safe). The first mutation of a shared spilled set clones it
+// (copy-on-write), which is what keeps Organization::Clone cheap.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/dynamic_bitset.h"
+
+namespace lakeorg {
+
+class AttrSet {
+ public:
+  /// Ids held inline before spilling to a heap bitset. 12 ids keep the
+  /// whole struct within one 64-byte cache line alongside its metadata.
+  static constexpr size_t kInlineCap = 12;
+
+  /// Trivially-copyable snapshot of the inline representation; the undo
+  /// journal embeds one per touched state that was inline at first touch.
+  struct InlineRep {
+    std::array<uint32_t, kInlineCap> ids{};  // sorted; first `count` valid
+    uint8_t count = 0;
+  };
+
+  explicit AttrSet(size_t universe = 0) : universe_(universe) {}
+
+  /// Resets to an empty set over `universe`. Retains any heap buffer for
+  /// allocation-free re-spilling.
+  void Reset(size_t universe) {
+    universe_ = universe;
+    inline_.count = 0;
+    spilled_ = false;
+  }
+
+  /// Universe size (number of addressable attribute ids).
+  size_t size() const { return universe_; }
+
+  /// True while the set is stored inline (no heap bitset in use).
+  bool inline_rep() const { return !spilled_; }
+
+  size_t Count() const { return spilled_ ? heap_->Count() : inline_.count; }
+  bool Empty() const { return Count() == 0; }
+
+  bool Test(size_t i) const {
+    if (spilled_) return heap_->Test(i);
+    const uint32_t v = static_cast<uint32_t>(i);
+    const uint32_t* begin = inline_.ids.data();
+    const uint32_t* end = begin + inline_.count;
+    const uint32_t* it = std::lower_bound(begin, end, v);
+    return it != end && *it == v;
+  }
+
+  /// Inserts element `i` (idempotent). May spill to the heap bitset when
+  /// the inline capacity is exceeded.
+  void Set(size_t i) {
+    assert(i < universe_);
+    if (spilled_) {
+      if (!heap_->Test(i)) MutableHeap()->Set(i);
+      return;
+    }
+    const uint32_t v = static_cast<uint32_t>(i);
+    uint32_t* begin = inline_.ids.data();
+    uint32_t* end = begin + inline_.count;
+    uint32_t* it = std::lower_bound(begin, end, v);
+    if (it != end && *it == v) return;
+    if (inline_.count < kInlineCap) {
+      std::move_backward(it, end, end + 1);
+      *it = v;
+      ++inline_.count;
+      return;
+    }
+    Spill();
+    heap_->Set(i);  // Spill() leaves heap_ uniquely owned.
+  }
+
+  /// Removes element `i` (idempotent). Never un-spills: a spilled set stays
+  /// spilled even when its population drops below kInlineCap, so undo can
+  /// restore journaled bits without a representation change.
+  void Clear(size_t i) {
+    assert(i < universe_);
+    if (spilled_) {
+      if (heap_->Test(i)) MutableHeap()->Clear(i);
+      return;
+    }
+    const uint32_t v = static_cast<uint32_t>(i);
+    uint32_t* begin = inline_.ids.data();
+    uint32_t* end = begin + inline_.count;
+    uint32_t* it = std::lower_bound(begin, end, v);
+    if (it == end || *it != v) return;
+    std::move(it + 1, end, it);
+    --inline_.count;
+  }
+
+  /// this |= other.
+  void UnionWith(const DynamicBitset& other) {
+    assert(other.size() == universe_);
+    if (spilled_) {
+      if (!other.IsSubsetOf(*heap_)) MutableHeap()->UnionWith(other);
+      return;
+    }
+    if (inline_.count + other.Count() <= kInlineCap) {
+      // The union cannot exceed the inline capacity, so Set never spills
+      // mid-iteration.
+      other.ForEachBit([this](size_t i) { Set(i); });
+      return;
+    }
+    Spill();
+    heap_->UnionWith(other);
+  }
+
+  /// True iff this ⊆ other.
+  bool IsSubsetOf(const AttrSet& other) const {
+    assert(universe_ == other.universe_);
+    if (!spilled_) {
+      for (size_t k = 0; k < inline_.count; ++k) {
+        if (!other.Test(inline_.ids[k])) return false;
+      }
+      return true;
+    }
+    if (other.spilled_) return heap_->IsSubsetOf(*other.heap_);
+    if (heap_->Count() > other.inline_.count) return false;
+    bool ok = true;
+    heap_->ForEachBit([&](size_t i) { ok = ok && other.Test(i); });
+    return ok;
+  }
+
+  /// True iff every element of `other` (a plain bitset) is in this set.
+  bool ContainsAll(const DynamicBitset& other) const {
+    assert(other.size() == universe_);
+    if (spilled_) return other.IsSubsetOf(*heap_);
+    if (other.Count() > inline_.count) return false;
+    bool ok = true;
+    other.ForEachBit([&](size_t i) { ok = ok && Test(i); });
+    return ok;
+  }
+
+  /// Calls `fn(i)` for every element i, ascending — the same order in both
+  /// representations, which the bit-identity guarantees depend on.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (spilled_) {
+      heap_->ForEachBit(fn);
+      return;
+    }
+    for (size_t k = 0; k < inline_.count; ++k) {
+      fn(static_cast<size_t>(inline_.ids[k]));
+    }
+  }
+
+  /// Materializes the set as a plain bitset.
+  DynamicBitset ToBitset() const {
+    if (spilled_) return *heap_;
+    DynamicBitset out(universe_);
+    for (size_t k = 0; k < inline_.count; ++k) out.Set(inline_.ids[k]);
+    return out;
+  }
+
+  /// Content-based equality across representations.
+  bool operator==(const AttrSet& other) const {
+    if (universe_ != other.universe_) return false;
+    if (!spilled_ && !other.spilled_) {
+      return inline_.count == other.inline_.count &&
+             std::equal(inline_.ids.begin(),
+                        inline_.ids.begin() + inline_.count,
+                        other.inline_.ids.begin());
+    }
+    if (Count() != other.Count()) return false;
+    if (spilled_ && other.spilled_) return *heap_ == *other.heap_;
+    const AttrSet& small = spilled_ ? other : *this;  // the inline one
+    const AttrSet& big = spilled_ ? *this : other;
+    for (size_t k = 0; k < small.inline_.count; ++k) {
+      if (!big.Test(small.inline_.ids[k])) return false;
+    }
+    return true;
+  }
+
+  // Undo-journal hooks --------------------------------------------------------
+
+  /// Snapshot of the inline representation. Requires inline_rep().
+  InlineRep SnapshotInline() const {
+    assert(!spilled_);
+    return inline_;
+  }
+
+  /// Restores a snapshot taken by SnapshotInline, reverting any spill that
+  /// happened since. The heap buffer is deliberately kept alive so the next
+  /// spill reuses it without allocating.
+  void RestoreInline(const InlineRep& snap) {
+    inline_ = snap;
+    spilled_ = false;
+  }
+
+ private:
+  /// Moves the inline contents into the heap bitset and switches reps.
+  /// Postcondition: spilled_ and heap_ uniquely owned by this set.
+  void Spill() {
+    if (heap_ != nullptr && heap_.use_count() == 1) {
+      if (heap_->size() == universe_) {
+        heap_->ClearAll();
+      } else {
+        heap_->Reset(universe_);
+      }
+    } else {
+      heap_ = std::make_shared<DynamicBitset>(universe_);
+    }
+    for (size_t k = 0; k < inline_.count; ++k) heap_->Set(inline_.ids[k]);
+    spilled_ = true;
+  }
+
+  /// Copy-on-write: clones the heap bitset when it is shared with another
+  /// AttrSet (e.g. after Organization::Clone).
+  DynamicBitset* MutableHeap() {
+    if (heap_.use_count() != 1) {
+      heap_ = std::make_shared<DynamicBitset>(*heap_);
+    }
+    return heap_.get();
+  }
+
+  InlineRep inline_;
+  size_t universe_ = 0;
+  bool spilled_ = false;
+  /// Heap representation; meaningful only while spilled_, but retained
+  /// across RestoreInline/Reset for allocation-free reuse.
+  std::shared_ptr<DynamicBitset> heap_;
+};
+
+}  // namespace lakeorg

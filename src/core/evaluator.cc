@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <deque>
 
 #include "obs/metrics.h"
 
@@ -52,18 +51,18 @@ std::vector<double> OrgEvaluator::ReachProbabilities(const Organization& org,
   std::vector<StateId> topo = org.TopologicalOrder();
   std::vector<double> sims;
   for (StateId s : topo) {
-    const OrgState& st = org.state(s);
-    if (st.children.empty() || reach[s] == 0.0) continue;
-    sims.resize(st.children.size());
-    for (size_t i = 0; i < st.children.size(); ++i) {
-      const OrgState& child = org.state(st.children[i]);
-      sims[i] = CosineWithNorms(child.topic, child.topic_norm, query,
+    IdSpan children = org.children(s);
+    if (children.empty() || reach[s] == 0.0) continue;
+    sims.resize(children.size());
+    for (size_t i = 0; i < children.size(); ++i) {
+      StateId c = children[i];
+      sims[i] = CosineWithNorms(org.topic(c), org.topic_norm(c), query,
                                 query_norm);
     }
     // In-place softmax over sims; the child loop below only needs probs.
     TransitionProbabilitiesInto(sims, config_, sims);
-    for (size_t i = 0; i < st.children.size(); ++i) {
-      reach[st.children[i]] += sims[i] * reach[s];
+    for (size_t i = 0; i < children.size(); ++i) {
+      reach[children[i]] += sims[i] * reach[s];
     }
   }
   return reach;
@@ -243,21 +242,44 @@ IncrementalEvaluator::IncrementalEvaluator(
   }
 }
 
+namespace {
+/// kappa_cache_ sentinel: cosine is clamped to [-1, 1], so 2.0 is free.
+constexpr double kKappaInvalid = 2.0;
+}  // namespace
+
 const std::vector<double>& IncrementalEvaluator::TransitionsFromInto(
-    const Organization& org, StateId parent, const Vec& query,
+    const Organization& org, StateId parent, uint32_t q, const Vec& query,
     double query_norm, EvalScratch* scratch) const {
-  const OrgState& p = org.state(parent);
+  IdSpan children = org.children(parent);
   std::vector<double>& sims = scratch->sims;
   std::vector<double>& probs = scratch->probs;
-  sims.resize(p.children.size());
-  for (size_t i = 0; i < p.children.size(); ++i) {
-    const OrgState& child = org.state(p.children[i]);
-    sims[i] = CosineWithNorms(child.topic, child.topic_norm, query,
+  sims.resize(children.size());
+  // Row of query q's memoized cosines; misses (invalidated or first
+  // touch) recompute and store. Only this query's owning chunk writes
+  // the row, so the parallel region needs no synchronization.
+  double* krow = kappa_cache_.data() + static_cast<size_t>(q) * kappa_stride_;
+  for (size_t i = 0; i < children.size(); ++i) {
+    StateId c = children[i];
+    double kappa = krow[c];
+    if (kappa == kKappaInvalid) {
+      kappa = CosineWithNorms(org.topic(c), org.topic_norm(c), query,
                               query_norm);
+      krow[c] = kappa;
+    }
+    sims[i] = kappa;
   }
-  probs.resize(p.children.size());
+  probs.resize(children.size());
   TransitionProbabilitiesInto(sims, config_, probs);
   return probs;
+}
+
+void IncrementalEvaluator::InvalidateKappa(
+    const std::vector<StateId>& states) {
+  const size_t num_q = reps_.query_attrs.size();
+  for (StateId s : states) {
+    double* col = kappa_cache_.data() + s;
+    for (size_t q = 0; q < num_q; ++q) col[q * kappa_stride_] = kKappaInvalid;
+  }
 }
 
 void IncrementalEvaluator::Initialize(const Organization& org) {
@@ -267,6 +289,9 @@ void IncrementalEvaluator::Initialize(const Organization& org) {
   committed_ = &org;
   size_t num_q = reps_.query_attrs.size();
   OrgEvaluator eval(config_);
+  kappa_stride_ = org.num_states();
+  kappa_cache_.assign(num_q * kappa_stride_, kKappaInvalid);
+  prev_topic_changed_.clear();
   reach_.assign(num_q, {});
   stale_.assign(num_q, DynamicBitset(org.num_states()));
   query_discovery_.assign(num_q, 0.0);
@@ -328,16 +353,16 @@ double IncrementalEvaluator::EnsureFresh(uint32_t q, StateId s,
       stack.pop_back();
       continue;
     }
-    const OrgState& st = org.state(cur);
-    if (!st.alive) {
+    if (!org.alive(cur)) {
       stale_[q].Clear(cur);
       reach_[q][cur] = 0.0;
       ++scratch->cache_repairs;
       stack.pop_back();
       continue;
     }
+    IdSpan parents = org.parents(cur);
     bool pushed = false;
-    for (StateId p : st.parents) {
+    for (StateId p : parents) {
       if (stale_[q].Test(p)) {
         stack.push_back(p);
         pushed = true;
@@ -345,14 +370,14 @@ double IncrementalEvaluator::EnsureFresh(uint32_t q, StateId s,
     }
     if (pushed) continue;  // Revisit `cur` after its parents are fresh.
     double value = 0.0;
-    for (StateId p : st.parents) {
+    for (StateId p : parents) {
       double parent_reach = reach_[q][p];
       if (parent_reach == 0.0) continue;
-      const std::vector<double>& probs =
-          TransitionsFromInto(org, p, QueryVec(q), query_norms_[q], scratch);
-      const OrgState& ps = org.state(p);
-      for (size_t i = 0; i < ps.children.size(); ++i) {
-        if (ps.children[i] == cur) {
+      const std::vector<double>& probs = TransitionsFromInto(
+          org, p, q, QueryVec(q), query_norms_[q], scratch);
+      IdSpan siblings = org.children(p);
+      for (size_t i = 0; i < siblings.size(); ++i) {
+        if (siblings[i] == cur) {
           value += probs[i] * parent_reach;
           break;
         }
@@ -377,31 +402,41 @@ void IncrementalEvaluator::EvaluateProposal(
   assert(n == committed_->num_states() &&
          "operations must not grow the state arena");
 
-  // Seeds: states whose incoming transition probabilities changed.
+  // Drop memoized cosines for the topics this operation changed, and for
+  // the previous proposal's set: if the caller Undid that proposal, those
+  // topics reverted without the evaluator seeing it, so their cached
+  // entries (stored at proposal values) must not be reused. If the caller
+  // Committed instead, re-deriving them once is merely redundant.
+  InvalidateKappa(prev_topic_changed_);
+  InvalidateKappa(topic_changed);
+  prev_topic_changed_.assign(topic_changed.begin(), topic_changed.end());
+
+  // Seeds: states whose incoming transition probabilities changed. The
+  // member frontier vector doubles as a FIFO (head index) so the steady
+  // state allocates nothing.
   dirty_mark_.assign(n, 0);
-  std::deque<StateId> frontier;
+  frontier_.clear();
   auto seed_children_of = [&](StateId u) {
-    if (!proposal.state(u).alive) return;
-    for (StateId c : proposal.state(u).children) {
+    if (!proposal.alive(u)) return;
+    for (StateId c : proposal.children(u)) {
       if (!dirty_mark_[c]) {
         dirty_mark_[c] = 1;
-        frontier.push_back(c);
+        frontier_.push_back(c);
       }
     }
   };
   for (StateId u : children_changed) seed_children_of(u);
   for (StateId u : topic_changed) {
-    if (!proposal.state(u).alive) continue;
-    for (StateId p : proposal.state(u).parents) seed_children_of(p);
+    if (!proposal.alive(u)) continue;
+    for (StateId p : proposal.parents(u)) seed_children_of(p);
   }
-  // Descendant closure.
-  while (!frontier.empty()) {
-    StateId cur = frontier.front();
-    frontier.pop_front();
-    for (StateId c : proposal.state(cur).children) {
+  // Descendant closure (BFS; same visit order as the old deque).
+  for (size_t head = 0; head < frontier_.size(); ++head) {
+    StateId cur = frontier_[head];
+    for (StateId c : proposal.children(cur)) {
       if (!dirty_mark_[c]) {
         dirty_mark_[c] = 1;
-        frontier.push_back(c);
+        frontier_.push_back(c);
       }
     }
   }
@@ -410,8 +445,8 @@ void IncrementalEvaluator::EvaluateProposal(
 
   out->removed = removed;
   out->dirty.clear();
-  std::vector<StateId> topo = proposal.TopologicalOrder();
-  for (StateId s : topo) {
+  proposal.TopologicalOrderInto(&topo_);
+  for (StateId s : topo_) {
     if (dirty_mark_[s]) out->dirty.push_back(s);
   }
 
@@ -432,7 +467,22 @@ void IncrementalEvaluator::EvaluateProposal(
   // Parallel over affected queries: EnsureFresh touches only reach_[q] /
   // stale_[q] for the owning query, every other write goes to chunk-owned
   // scratch or the query's own new_reach row.
-  out->new_reach.assign(out->affected_queries.size(), {});
+  // Query-independent DP skeleton: the topo-ordered states with a dirty
+  // child. Hoisting this out of the per-query loop removes a full
+  // graph scan per affected query; the per-query arithmetic below visits
+  // the same states in the same order, so results are bit-identical.
+  relevant_parents_.clear();
+  for (StateId s : topo_) {
+    for (StateId c : proposal.children(s)) {
+      if (dirty_mark_[c]) {
+        relevant_parents_.push_back(s);
+        break;
+      }
+    }
+  }
+
+  const size_t stride = out->dirty.size();
+  out->new_reach.assign(out->affected_queries.size() * stride, 0.0);
   ParallelChunks(
       pool_.get(), out->affected_queries.size(), scratch_.size(),
       [&](size_t chunk, size_t begin, size_t end) {
@@ -443,30 +493,21 @@ void IncrementalEvaluator::EvaluateProposal(
           uint32_t q = out->affected_queries[qi];
           const Vec& query = QueryVec(q);
           for (StateId d : out->dirty) scr[d] = 0.0;
-          for (StateId s : topo) {
-            const OrgState& st = proposal.state(s);
-            if (st.children.empty()) continue;
-            bool any_dirty_child = false;
-            for (StateId c : st.children) {
-              if (dirty_mark_[c]) {
-                any_dirty_child = true;
-                break;
-              }
-            }
-            if (!any_dirty_child) continue;
+          for (StateId s : relevant_parents_) {
+            IdSpan children = proposal.children(s);
             double value = dirty_mark_[s] ? scr[s] : EnsureFresh(q, s, &sc);
             if (value == 0.0) continue;
             const std::vector<double>& probs = TransitionsFromInto(
-                proposal, s, query, query_norms_[q], &sc);
-            for (size_t i = 0; i < st.children.size(); ++i) {
-              if (dirty_mark_[st.children[i]]) {
-                scr[st.children[i]] += probs[i] * value;
+                proposal, s, q, query, query_norms_[q], &sc);
+            for (size_t i = 0; i < children.size(); ++i) {
+              if (dirty_mark_[children[i]]) {
+                scr[children[i]] += probs[i] * value;
               }
             }
           }
-          out->new_reach[qi].clear();
-          out->new_reach[qi].reserve(out->dirty.size());
-          for (StateId d : out->dirty) out->new_reach[qi].push_back(scr[d]);
+          for (size_t j = 0; j < stride; ++j) {
+            out->new_reach[qi * stride + j] = scr[out->dirty[j]];
+          }
         }
       });
 
@@ -481,7 +522,7 @@ void IncrementalEvaluator::EvaluateProposal(
     double disc = 0.0;
     for (size_t j = 0; j < out->dirty.size(); ++j) {
       if (out->dirty[j] == leaf) {
-        disc = out->new_reach[qi][j];
+        disc = out->new_reach[qi * stride + j];
         break;
       }
     }
@@ -539,7 +580,7 @@ void IncrementalEvaluator::EvaluateProposal(
 }
 
 void IncrementalEvaluator::Commit(const Organization& new_org,
-                                  ProposalEvaluation&& eval) {
+                                  const ProposalEvaluation& eval) {
   committed_ = &new_org;
   size_t num_q = reps_.query_attrs.size();
 
@@ -558,7 +599,7 @@ void IncrementalEvaluator::Commit(const Organization& new_org,
   for (size_t qi = 0; qi < eval.affected_queries.size(); ++qi) {
     uint32_t q = eval.affected_queries[qi];
     for (size_t j = 0; j < eval.dirty.size(); ++j) {
-      reach_[q][eval.dirty[j]] = eval.new_reach[qi][j];
+      reach_[q][eval.dirty[j]] = eval.new_reach[qi * eval.dirty.size() + j];
       stale_[q].Clear(eval.dirty[j]);
     }
     query_discovery_[q] =

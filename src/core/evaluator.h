@@ -120,8 +120,11 @@ struct ProposalEvaluation {
   std::vector<StateId> dirty;
   /// Indices into the query set whose leaf lies in the dirty closure.
   std::vector<uint32_t> affected_queries;
-  /// new_reach[i][j] = reach of dirty[j] for affected_queries[i].
-  std::vector<std::vector<double>> new_reach;
+  /// Flattened row-major matrix, one row of dirty.size() entries per
+  /// affected query: new_reach[i * dirty.size() + j] = reach of dirty[j]
+  /// for affected_queries[i]. Flat so a reused ProposalEvaluation holds
+  /// its capacity across proposals (no per-row vectors to reallocate).
+  std::vector<double> new_reach;
   /// (local table, new discovery probability) for affected tables.
   std::vector<std::pair<uint32_t, double>> new_table_probs;
   /// Number of context attributes whose discovery probability was
@@ -174,8 +177,9 @@ class IncrementalEvaluator {
                         ProposalEvaluation* out);
 
   /// Commits an evaluated proposal: `new_org` replaces the committed
-  /// organization and the caches absorb `eval`.
-  void Commit(const Organization& new_org, ProposalEvaluation&& eval);
+  /// organization and the caches absorb `eval`. `eval` is only read, so
+  /// the caller can keep reusing its buffers for the next proposal.
+  void Commit(const Organization& new_org, const ProposalEvaluation& eval);
 
   /// Number of queries in the query set.
   size_t num_queries() const { return reps_.query_attrs.size(); }
@@ -214,12 +218,17 @@ class IncrementalEvaluator {
 
   /// Writes the transition probabilities from `parent` to each of its
   /// children in `org` into scratch->probs and returns it. Allocation-free
-  /// in the steady state.
+  /// in the steady state. Child-topic cosines come from kappa_cache_
+  /// (see below), so only children whose topic changed since the last
+  /// proposal pay for a dot product.
   const std::vector<double>& TransitionsFromInto(const Organization& org,
-                                                 StateId parent,
+                                                 StateId parent, uint32_t q,
                                                  const Vec& query,
                                                  double query_norm,
                                                  EvalScratch* scratch) const;
+
+  /// Marks the kappa_cache_ entries of `states` invalid for every query.
+  void InvalidateKappa(const std::vector<StateId>& states);
 
   const Vec& QueryVec(uint32_t q) const {
     return ctx_->attr_vector(reps_.query_attrs[q]);
@@ -238,6 +247,26 @@ class IncrementalEvaluator {
   std::vector<char> dirty_mark_;
   std::vector<double> new_discovery_;
   std::vector<uint32_t> affected_tables_;
+  std::vector<StateId> frontier_;
+  std::vector<StateId> topo_;
+  /// Topo-ordered states with at least one dirty child — the
+  /// query-independent skeleton of the proposal DP, computed once per
+  /// proposal instead of rescanning the full graph per affected query.
+  std::vector<StateId> relevant_parents_;
+
+  /// Memoized child-topic cosines: kappa_cache_[q * kappa_stride_ + s] =
+  /// cosine(topic(s), query q), or kKappaInvalid. Query vectors are fixed
+  /// for the evaluator's lifetime and a state's cosine row only changes
+  /// when its topic does, so EvaluateProposal invalidates just the ops'
+  /// `topic_changed` states — plus the previous proposal's set, because an
+  /// Undo since then reverts those topics behind the evaluator's back.
+  /// Entries are written only from the owning query's chunk (mutable so
+  /// the const hot path can fill them); values are bit-identical to
+  /// recomputation, since a hit returns exactly the bits a fresh
+  /// CosineWithNorms over the unchanged topic row would produce.
+  mutable std::vector<double> kappa_cache_;
+  size_t kappa_stride_ = 0;
+  std::vector<StateId> prev_topic_changed_;
 
   const Organization* committed_ = nullptr;
   /// reach_[q][state] for the committed organization; stale_[q] marks

@@ -177,7 +177,11 @@ Result<LocalSearchResult> OptimizeOrganization(
 
   // Proposals mutate `current` in place and roll back on reject; the
   // undo log replaces the per-proposal full Clone of the seed design.
+  // The op result and evaluation buffers live outside the loop so the
+  // steady-state iteration reuses their capacity and allocates nothing.
   OpUndo undo;
+  OpResult op;
+  ProposalEvaluation eval;
 
   while (result.proposals < options.max_proposals &&
          plateau < options.patience) {
@@ -189,7 +193,7 @@ Result<LocalSearchResult> OptimizeOrganization(
       if (options.restart_margin > 0.0 &&
           evaluator.effectiveness() <
               best_eff * (1.0 - options.restart_margin)) {
-        current = result.org.Clone();
+        current.CopyFrom(result.org);
         current.RecomputeLevels();
         evaluator.Initialize(current);
         sm.restarts.Add();
@@ -200,12 +204,12 @@ Result<LocalSearchResult> OptimizeOrganization(
       if (queue.empty()) break;
     }
     StateId target = queue[queue_pos++];
-    if (!current.state(target).alive || current.state(target).level < 0) {
+    if (!current.alive(target) || current.level(target) < 0) {
       continue;  // Removed or detached since the queue was built.
     }
 
     // Choose the operation. Leaves only support ADD_PARENT.
-    bool is_leaf = current.state(target).kind == StateKind::kLeaf;
+    bool is_leaf = current.kind(target) == StateKind::kLeaf;
     bool can_add = options.enable_add_parent;
     bool can_delete = options.enable_delete_parent && !is_leaf;
     // No operation applies to this target (e.g. a leaf in delete-only
@@ -220,12 +224,13 @@ Result<LocalSearchResult> OptimizeOrganization(
     }
 
     obs::ScopedTimer iteration_span(&sm.iteration_us);
-    OpResult op = do_add
-                      ? ApplyAddParent(&current, target, reach_fn, &undo)
-                      : ApplyDeleteParent(&current, target, reach_fn, &undo);
+    if (do_add) {
+      ApplyAddParent(&current, target, reach_fn, &undo, &op);
+    } else {
+      ApplyDeleteParent(&current, target, reach_fn, &undo, &op);
+    }
     if (!op.applied) continue;
 
-    ProposalEvaluation eval;
     evaluator.EvaluateProposal(current, op.topic_changed,
                                op.children_changed, op.removed, &eval);
     ++result.proposals;
@@ -301,12 +306,12 @@ Result<LocalSearchResult> OptimizeOrganization(
     }
 
     if (accept) {
-      evaluator.Commit(current, std::move(eval));
+      evaluator.Commit(current, eval);
       ++result.accepted;
       if (new_eff >
           best_eff * (1.0 + options.min_relative_improvement)) {
         best_eff = new_eff;
-        result.org = current.Clone();
+        result.org.CopyFrom(current);
         result.effectiveness = new_eff;
         sm.best_effectiveness.Set(new_eff);
         plateau = 0;

@@ -7,7 +7,7 @@ namespace lakeorg {
 namespace {
 
 bool IsParentOf(const Organization& org, StateId maybe_parent, StateId s) {
-  const auto& parents = org.state(s).parents;
+  IdSpan parents = org.parents(s);
   return std::find(parents.begin(), parents.end(), maybe_parent) !=
          parents.end();
 }
@@ -30,29 +30,47 @@ class UndoLogScope {
   Organization* org_;
 };
 
+/// Reused working buffers. Adjacency spans go stale the moment the
+/// organization mutates, so the elimination loop snapshots each state's
+/// neighbor lists here first; thread_local keeps concurrent searches on
+/// distinct organizations independent without locking.
+struct OpScratch {
+  std::vector<StateId> level_states;
+  std::vector<StateId> to_eliminate;
+  std::vector<StateId> parents;
+  std::vector<StateId> children;
+  AttrSet leaf_attrs;
+};
+
+OpScratch& Scratch() {
+  thread_local OpScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
-OpResult ApplyAddParent(Organization* org, StateId s,
-                        const ReachabilityFn& reachability, OpUndo* undo) {
+void ApplyAddParent(Organization* org, StateId s,
+                    const ReachabilityFn& reachability, OpUndo* undo,
+                    OpResult* result) {
   UndoLogScope log_scope(org, undo);
-  OpResult result;
-  result.kind = OpKind::kAddParent;
-  result.target = s;
+  result->Clear();
+  result->kind = OpKind::kAddParent;
+  result->target = s;
 
-  const OrgState& st = org->state(s);
-  if (!st.alive || s == org->root() || st.level <= 0) {
-    result.message = "target not eligible";
-    return result;
+  if (!org->alive(s) || s == org->root() || org->level(s) <= 0) {
+    result->message = "target not eligible";
+    return;
   }
 
   // Candidate: highest-reachability non-leaf state at level l-1 that is not
   // already a parent and is not a descendant of s (cycle safety).
-  int parent_level = st.level - 1;
+  int parent_level = org->level(s) - 1;
+  OpScratch& scratch = Scratch();
+  org->StatesAtLevelInto(parent_level, &scratch.level_states);
   StateId best = kInvalidId;
   double best_reach = -1.0;
-  for (StateId cand : org->StatesAtLevel(parent_level)) {
-    const OrgState& cs = org->state(cand);
-    if (cs.kind == StateKind::kLeaf || cand == s) continue;
+  for (StateId cand : scratch.level_states) {
+    if (org->kind(cand) == StateKind::kLeaf || cand == s) continue;
     if (IsParentOf(*org, cand, s)) continue;
     if (org->WouldCreateCycle(cand, s)) continue;
     double r = reachability(cand);
@@ -62,50 +80,55 @@ OpResult ApplyAddParent(Organization* org, StateId s,
     }
   }
   if (best == kInvalidId) {
-    result.message = "no eligible parent candidate at level " +
-                     std::to_string(parent_level);
-    return result;
+    result->message = "no eligible parent candidate at level " +
+                      std::to_string(parent_level);
+    return;
   }
 
   // Restore the inclusion property: the new parent and its ancestors gain
   // s's attributes. For tag/interior targets also merge their tag sets so
   // labels stay meaningful; a leaf contributes its single attribute only.
-  DynamicBitset attrs = org->StateAttrSet(s);
-  std::vector<uint32_t> tags =
-      st.kind == StateKind::kLeaf ? std::vector<uint32_t>{} : st.tags;
-  org->PropagateAttrsUpward(best, attrs, tags, &result.topic_changed);
+  // PropagateAttrsUpward copies the tag span before mutating, so passing
+  // s's own arena-backed spans/sets is safe.
+  if (org->kind(s) == StateKind::kLeaf) {
+    scratch.leaf_attrs.Reset(org->ctx().num_attrs());
+    scratch.leaf_attrs.Set(org->attr_of(s));
+    org->PropagateAttrsUpward(best, scratch.leaf_attrs, TagSpan(),
+                              &result->topic_changed);
+  } else {
+    org->PropagateAttrsUpward(best, org->attrs(s), org->tags(s),
+                              &result->topic_changed);
+  }
 
   Status edge = org->AddEdge(best, s);
   assert(edge.ok());
   (void)edge;
-  result.children_changed.push_back(best);
-  result.new_parent = best;
-  result.applied = true;
+  result->children_changed.push_back(best);
+  result->new_parent = best;
+  result->applied = true;
   org->RecomputeLevels();
-  return result;
 }
 
-OpResult ApplyDeleteParent(Organization* org, StateId s,
-                           const ReachabilityFn& reachability, OpUndo* undo) {
+void ApplyDeleteParent(Organization* org, StateId s,
+                       const ReachabilityFn& reachability, OpUndo* undo,
+                       OpResult* result) {
   UndoLogScope log_scope(org, undo);
-  OpResult result;
-  result.kind = OpKind::kDeleteParent;
-  result.target = s;
+  result->Clear();
+  result->kind = OpKind::kDeleteParent;
+  result->target = s;
 
-  const OrgState& st = org->state(s);
-  if (!st.alive || s == org->root()) {
-    result.message = "target not eligible";
-    return result;
+  if (!org->alive(s) || s == org->root()) {
+    result->message = "target not eligible";
+    return;
   }
 
   // Least-reachable eligible parent. Only interior states can be
   // eliminated: the root, tag states and leaves are fixed (section 3.2).
   StateId r = kInvalidId;
   double worst_reach = 0.0;
-  for (StateId p : st.parents) {
-    const OrgState& ps = org->state(p);
-    if (ps.kind != StateKind::kInterior) continue;
-    if (ps.parents.empty()) continue;  // Would orphan its children.
+  for (StateId p : org->parents(s)) {
+    if (org->kind(p) != StateKind::kInterior) continue;
+    if (org->parents(p).empty()) continue;  // Would orphan its children.
     double reach = reachability(p);
     if (r == kInvalidId || reach < worst_reach ||
         (reach == worst_reach && p < r)) {
@@ -114,20 +137,22 @@ OpResult ApplyDeleteParent(Organization* org, StateId s,
     }
   }
   if (r == kInvalidId) {
-    result.message = "no eliminable parent";
-    return result;
+    result->message = "no eliminable parent";
+    return;
   }
 
   // Elimination set: r plus its interior siblings (children of r's parents)
   // except single-tag states. s itself and states without parents are
   // protected.
-  std::vector<StateId> to_eliminate = {r};
-  for (StateId p : org->state(r).parents) {
-    for (StateId sib : org->state(p).children) {
+  OpScratch& scratch = Scratch();
+  std::vector<StateId>& to_eliminate = scratch.to_eliminate;
+  to_eliminate.clear();
+  to_eliminate.push_back(r);
+  for (StateId p : org->parents(r)) {
+    for (StateId sib : org->children(p)) {
       if (sib == r || sib == s) continue;
-      const OrgState& ss = org->state(sib);
-      if (ss.kind != StateKind::kInterior) continue;
-      if (ss.tags.size() <= 1) continue;  // "except siblings with one tag"
+      if (org->kind(sib) != StateKind::kInterior) continue;
+      if (org->tags(sib).size() <= 1) continue;  // "except siblings w/ 1 tag"
       if (std::find(to_eliminate.begin(), to_eliminate.end(), sib) ==
           to_eliminate.end()) {
         to_eliminate.push_back(sib);
@@ -137,44 +162,60 @@ OpResult ApplyDeleteParent(Organization* org, StateId s,
 
   // Eliminate iteratively: reconnect children to parents, then remove.
   // Processing one state at a time keeps the graph consistent even if an
-  // eliminated state is an ancestor of another one.
+  // eliminated state is an ancestor of another one. AddEdge can relocate
+  // arena ranges, so each state's neighbor lists are snapshotted before
+  // the splice.
   for (StateId e : to_eliminate) {
-    const OrgState& es = org->state(e);
-    if (!es.alive) continue;  // Already handled through another parent.
-    if (es.parents.empty()) continue;
-    std::vector<StateId> parents = es.parents;
-    std::vector<StateId> children = es.children;
-    for (StateId p : parents) {
-      for (StateId c : children) {
+    if (!org->alive(e)) continue;  // Already handled through another parent.
+    if (org->parents(e).empty()) continue;
+    IdSpan ps = org->parents(e);
+    IdSpan cs = org->children(e);
+    scratch.parents.assign(ps.begin(), ps.end());
+    scratch.children.assign(cs.begin(), cs.end());
+    for (StateId p : scratch.parents) {
+      for (StateId c : scratch.children) {
         Status edge = org->AddEdge(p, c);
         // AlreadyExists is fine: the child may already hang under p.
         assert(edge.ok() || edge.code() == StatusCode::kAlreadyExists);
         (void)edge;
       }
-      if (std::find(result.children_changed.begin(),
-                    result.children_changed.end(),
-                    p) == result.children_changed.end()) {
-        result.children_changed.push_back(p);
+      if (std::find(result->children_changed.begin(),
+                    result->children_changed.end(),
+                    p) == result->children_changed.end()) {
+        result->children_changed.push_back(p);
       }
     }
     Status removed = org->RemoveState(e);
     assert(removed.ok());
     (void)removed;
-    result.removed.push_back(e);
+    result->removed.push_back(e);
   }
 
-  if (result.removed.empty()) {
-    result.message = "nothing eliminated";
-    return result;
+  if (result->removed.empty()) {
+    result->message = "nothing eliminated";
+    return;
   }
   // Parents that were themselves eliminated must not be reported as
   // changed.
-  auto& cc = result.children_changed;
+  auto& cc = result->children_changed;
   cc.erase(std::remove_if(cc.begin(), cc.end(),
-                          [org](StateId p) { return !org->state(p).alive; }),
+                          [org](StateId p) { return !org->alive(p); }),
            cc.end());
-  result.applied = true;
+  result->applied = true;
   org->RecomputeLevels();
+}
+
+OpResult ApplyAddParent(Organization* org, StateId s,
+                        const ReachabilityFn& reachability, OpUndo* undo) {
+  OpResult result;
+  ApplyAddParent(org, s, reachability, undo, &result);
+  return result;
+}
+
+OpResult ApplyDeleteParent(Organization* org, StateId s,
+                           const ReachabilityFn& reachability, OpUndo* undo) {
+  OpResult result;
+  ApplyDeleteParent(org, s, reachability, undo, &result);
   return result;
 }
 

@@ -40,6 +40,19 @@ struct OpResult {
   std::vector<StateId> removed;
   /// Why the operation was skipped, when !applied.
   std::string message;
+
+  /// Resets to the default state keeping vector/string capacity, so a
+  /// reused OpResult makes the optimizer inner loop allocation-free.
+  void Clear() {
+    applied = false;
+    kind = OpKind::kAddParent;
+    target = kInvalidId;
+    new_parent = kInvalidId;
+    topic_changed.clear();
+    children_changed.clear();
+    removed.clear();
+    message.clear();
+  }
 };
 
 /// State-reachability oracle used to rank candidates (Equation 10).
@@ -59,5 +72,15 @@ OpResult ApplyAddParent(Organization* org, StateId s,
 OpResult ApplyDeleteParent(Organization* org, StateId s,
                            const ReachabilityFn& reachability,
                            OpUndo* undo = nullptr);
+
+/// Out-parameter variants: `result` is Clear()ed and filled in place, so a
+/// caller that reuses one OpResult across proposals allocates nothing in
+/// the steady state (the search inner loop uses these).
+void ApplyAddParent(Organization* org, StateId s,
+                    const ReachabilityFn& reachability, OpUndo* undo,
+                    OpResult* result);
+void ApplyDeleteParent(Organization* org, StateId s,
+                       const ReachabilityFn& reachability, OpUndo* undo,
+                       OpResult* result);
 
 }  // namespace lakeorg

@@ -28,11 +28,24 @@ std::vector<uint32_t> AllTags(const OrgContext& ctx) {
   return tags;
 }
 
+/// Total number of tag-state -> leaf edges AttachLeaves will add.
+size_t LeafEdgeCount(const OrgContext& ctx) {
+  size_t edges = 0;
+  for (uint32_t a = 0; a < ctx.num_attrs(); ++a) {
+    edges += ctx.attr_tags(a).size();
+  }
+  return edges;
+}
+
 }  // namespace
 
 Organization BuildFlatOrganization(std::shared_ptr<const OrgContext> ctx) {
   Organization org(ctx);
   const OrgContext& c = org.ctx();
+  // Exact state and edge counts are known up front; presize the arenas so
+  // construction never reallocates per state.
+  org.Reserve(1 + c.num_tags() + c.num_attrs(),
+              c.num_tags() + LeafEdgeCount(c));
   StateId root = org.AddRoot(AllTags(c));
   std::vector<StateId> tag_state(c.num_tags());
   for (uint32_t t = 0; t < c.num_tags(); ++t) {
@@ -57,6 +70,11 @@ Organization BuildClusteringOrganization(
   std::vector<Vec> items(num_tags);
   for (uint32_t t = 0; t < num_tags; ++t) items[t] = c.tag_vector(t);
   Dendrogram dendrogram = AgglomerativeCluster(items);
+
+  // Tag states + one interior per merge (last is the root) + leaves; the
+  // dendrogram contributes two edges per merge.
+  org.Reserve(num_tags + dendrogram.merges.size() + c.num_attrs() + 1,
+              2 * dendrogram.merges.size() + 1 + LeafEdgeCount(c));
 
   // Dendrogram leaves -> tag states; merge nodes -> interior states; the
   // final merge is the root. Tag sets accumulate bottom-up.

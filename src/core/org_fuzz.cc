@@ -95,7 +95,7 @@ Organization RandomOrganization(std::shared_ptr<const OrgContext> ctx,
   // fallback so every tag state is reachable.
   for (uint32_t t = 0; t < num_tags; ++t) {
     for (StateId s : interiors) {
-      const std::vector<uint32_t>& tags = org.state(s).tags;
+      TagSpan tags = org.tags(s);
       if (std::find(tags.begin(), tags.end(), t) == tags.end()) continue;
       if (rng->Bernoulli(options.edge_prob)) {
         TryEdge(&org, s, tag_state[t]);
@@ -335,15 +335,16 @@ DiffTrialResult RunDiffTrial(const DiffTrialOptions& options) {
       uint32_t q = ev1.affected_queries[0];
       std::vector<double> want_reach = ref.ReachProbabilities(
           current, ctx0->attr_vector(inc1.reps().query_attrs[q]));
+      // Row 0 of the flattened matrix (qi = 0).
       for (size_t j = 0; j < ev1.dirty.size(); ++j) {
-        check_tol(ev1.new_reach[0][j], want_reach[ev1.dirty[j]],
+        check_tol(ev1.new_reach[j], want_reach[ev1.dirty[j]],
                   &res.max_reach_diff, "proposal dirty reachability");
       }
     }
 
     if (rng.Bernoulli(options.accept_prob)) {
-      inc1.Commit(current, std::move(ev1));
-      incT.Commit(current, std::move(evT));
+      inc1.Commit(current, ev1);
+      incT.Commit(current, evT);
       ref_eff = ref_proposal_eff;
       res.ops_committed++;
     } else {
@@ -583,6 +584,211 @@ RepairTrialResult RunRepairTrial(const RepairTrialOptions& options) {
     fail("effectiveness mismatch: incremental " +
          std::to_string(inc.effectiveness()) + " vs reference " +
          std::to_string(want));
+  }
+  return res;
+}
+
+RecycleTrialResult RunRecycleTrial(const RecycleTrialOptions& options) {
+  RecycleTrialResult res;
+  auto fail = [&res, &options](const std::string& msg) {
+    if (res.ok) {
+      res.ok = false;
+      res.error =
+          "recycle trial --seed " + std::to_string(options.seed) + ": " + msg;
+    }
+  };
+  auto check_tol = [&](double got, double want, double* max_diff,
+                       const char* what) {
+    FoldDiff(got, want, max_diff);
+    if (std::abs(got - want) > options.tolerance) {
+      fail(std::string(what) + " mismatch: optimized " +
+           std::to_string(got) + " vs reference " + std::to_string(want));
+    }
+  };
+
+  Rng rng(options.seed);
+  FuzzLake fl = MakeFuzzLake(&rng, options.lake);
+  std::shared_ptr<const OrgContext> ctx = fl.ctx;
+  Organization current = RandomOrganization(ctx, &rng, options.org);
+  const size_t num_tags = ctx->num_tags();
+  const uint32_t num_attrs = static_cast<uint32_t>(ctx->num_attrs());
+
+  TransitionConfig config;
+  ReferenceEvaluator ref(config);
+  IncrementalEvaluator inc1(config, ctx, IdentityRepresentatives(*ctx), 1);
+  IncrementalEvaluator incT(config, ctx, IdentityRepresentatives(*ctx),
+                            std::max<size_t>(1, options.threads));
+  inc1.Initialize(current);
+  incT.Initialize(current);
+
+  ReachabilityFn reach = [&inc1](StateId s) {
+    return inc1.StateReachability(s);
+  };
+  OpUndo undo;
+
+  for (size_t round = 0; round < options.num_rounds && res.ok; ++round) {
+    // Churn: a delete-biased op sequence (the second and later rounds run
+    // it over recycled slots, which is the StateId-stability stress).
+    for (size_t i = 0; i < options.ops_per_round && res.ok; ++i) {
+      std::vector<StateId> topo = current.TopologicalOrder();
+      StateId target = topo[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(topo.size()) - 1))];
+      bool del = rng.Bernoulli(options.delete_prob);
+      double eff_before = inc1.effectiveness();
+      OpResult op = del ? ApplyDeleteParent(&current, target, reach, &undo)
+                        : ApplyAddParent(&current, target, reach, &undo);
+      if (!op.applied) continue;
+      res.ops_applied++;
+
+      Status valid = current.Validate();
+      if (!valid.ok()) {
+        fail("Validate after churn op: " + valid.ToString());
+        break;
+      }
+      Status topics = CheckTopicInvariants(current);
+      if (!topics.ok()) {
+        fail("topic invariants after churn op: " + topics.ToString());
+        break;
+      }
+
+      ProposalEvaluation ev1;
+      ProposalEvaluation evT;
+      inc1.EvaluateProposal(current, op.topic_changed, op.children_changed,
+                            op.removed, &ev1);
+      incT.EvaluateProposal(current, op.topic_changed, op.children_changed,
+                            op.removed, &evT);
+      if (ev1.effectiveness != evT.effectiveness) {
+        fail("threaded churn effectiveness differs bit-wise from serial");
+      }
+      check_tol(ev1.effectiveness, ref.Effectiveness(current),
+                &res.max_effectiveness_diff, "churn proposal effectiveness");
+
+      if (rng.Bernoulli(options.accept_prob)) {
+        inc1.Commit(current, ev1);
+        incT.Commit(current, evT);
+      } else {
+        current.Undo(undo);
+        if (inc1.effectiveness() != eff_before) {
+          fail("rejected churn op changed committed effectiveness");
+        }
+      }
+    }
+    if (!res.ok) break;
+
+    // Snapshot identities, then recycle.
+    const size_t n = current.num_states();
+    std::vector<StateId> leaf_before(num_attrs);
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      leaf_before[a] = current.LeafOf(a);
+    }
+    std::vector<uint32_t> version_before(n);
+    for (StateId s = 0; s < n; ++s) {
+      version_before[s] = current.slot_version(s);
+    }
+
+    size_t recycled = current.RecycleDeadStates();
+    res.states_recycled += recycled;
+    if (current.FreeListSize() < recycled) {
+      fail("free list smaller than the recycled count");
+      break;
+    }
+
+    // Drain the free list with fresh random interior states. Every one
+    // must land on a recycled slot (num_states unchanged) with a bumped
+    // slot version, and attach under the root.
+    std::vector<StateId> tag_state(num_tags, kInvalidId);
+    for (StateId s = 0; s < n; ++s) {
+      if (current.alive(s) && current.kind(s) == StateKind::kTag) {
+        tag_state[current.tags(s)[0]] = s;
+      }
+    }
+    while (current.FreeListSize() > 0 && res.ok) {
+      size_t k = static_cast<size_t>(
+          rng.UniformInt(2, static_cast<int64_t>(std::max<size_t>(2, num_tags))));
+      std::vector<size_t> pick =
+          rng.SampleWithoutReplacement(num_tags, std::min(k, num_tags));
+      std::vector<uint32_t> tags(pick.begin(), pick.end());
+      StateId s = current.AddInteriorState(std::move(tags));
+      res.slots_reused++;
+      if (s >= n) {
+        fail("reused state did not come from the free list");
+        break;
+      }
+      if (current.slot_version(s) != version_before[s] + 1) {
+        fail("slot version not bumped on reuse");
+        break;
+      }
+      if (!TryEdge(&current, current.root(), s)) {
+        fail("could not attach recycled state under the root");
+        break;
+      }
+      TagSpan stags = current.tags(s);
+      std::vector<uint32_t> own_tags(stags.begin(), stags.end());
+      for (uint32_t t : own_tags) {
+        if (tag_state[t] != kInvalidId && rng.Bernoulli(0.5)) {
+          TryEdge(&current, s, tag_state[t]);
+        }
+      }
+    }
+    if (!res.ok) break;
+    if (current.num_states() != n) {
+      fail("slot reuse grew the state array");
+      break;
+    }
+
+    // Once drained, allocation must resume appending at the tail.
+    if (recycled > 0) {
+      std::vector<size_t> pick = rng.SampleWithoutReplacement(
+          num_tags, std::min<size_t>(2, num_tags));
+      std::vector<uint32_t> tags(pick.begin(), pick.end());
+      StateId fresh = current.AddInteriorState(std::move(tags));
+      if (fresh != n) {
+        fail("post-drain allocation did not extend the state array");
+        break;
+      }
+      TryEdge(&current, current.root(), fresh);
+    }
+
+    // Leaf StateIds are permanent across recycling (section 3.2: leaves
+    // are never removed, so their slots can never be reused).
+    for (uint32_t a = 0; a < num_attrs && res.ok; ++a) {
+      if (current.LeafOf(a) != leaf_before[a] ||
+          !current.alive(leaf_before[a])) {
+        fail("leaf StateId changed across recycling");
+      }
+    }
+    if (!res.ok) break;
+
+    current.RecomputeLevels();
+    Status valid = current.Validate();
+    if (!valid.ok()) {
+      fail("Validate after recycle round: " + valid.ToString());
+      break;
+    }
+    Status topics = CheckTopicInvariants(current);
+    if (!topics.ok()) {
+      fail("topic invariants after recycle round: " + topics.ToString());
+      break;
+    }
+
+    // Recycled ids changed identity, so evaluator caches must be rebuilt
+    // (the documented RecycleDeadStates contract); afterwards both
+    // evaluators must again match the oracle.
+    inc1.Initialize(current);
+    incT.Initialize(current);
+    if (inc1.effectiveness() != incT.effectiveness()) {
+      fail("threaded re-init effectiveness differs bit-wise from serial");
+    }
+    check_tol(inc1.effectiveness(), ref.Effectiveness(current),
+              &res.max_effectiveness_diff, "post-recycle effectiveness");
+  }
+  if (!res.ok) return res;
+
+  // Final cached state vs a full oracle pass.
+  std::vector<double> want = ref.AllAttributeDiscovery(current);
+  for (uint32_t a = 0; a < want.size(); ++a) {
+    check_tol(inc1.AttrDiscovery(a), want[a], &res.max_discovery_diff,
+              "final cached discovery");
   }
   return res;
 }

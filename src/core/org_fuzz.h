@@ -158,4 +158,52 @@ struct RepairTrialResult {
 /// splice alone.
 RepairTrialResult RunRepairTrial(const RepairTrialOptions& options);
 
+/// One state-recycling differential trial's configuration
+/// (tools/difftest.cc --recycle). Deterministic for a fixed seed.
+///
+/// Stresses the arena free list: rounds of delete-biased op churn kill
+/// interior states, RecycleDeadStates() pushes their slots onto the free
+/// list, and fresh random interior states must come back on exactly those
+/// slots — with bumped slot versions, stable leaf StateIds, a valid
+/// organization, and evaluator results that still match the naive
+/// ReferenceEvaluator oracle after re-initialization.
+struct RecycleTrialOptions {
+  /// Trial seed; drives the lake, the organization and the churn.
+  uint64_t seed = 1;
+  /// Worker threads of the threaded IncrementalEvaluator (a serial one
+  /// always runs too and must agree bit-for-bit).
+  size_t threads = 4;
+  /// Churn rounds; each is ops -> RecycleDeadStates -> slot reuse ->
+  /// re-initialize -> oracle check.
+  size_t num_rounds = 4;
+  /// Random ops per round, biased toward DELETE_PARENT so states die.
+  size_t ops_per_round = 10;
+  /// Probability an applied op is committed (vs rolled back). Rollbacks
+  /// exercise the undo journal against recycled and relocated slots.
+  double accept_prob = 0.8;
+  /// Probability a churn op is DELETE_PARENT (vs ADD_PARENT).
+  double delete_prob = 0.7;
+  /// |optimized - reference| tolerance.
+  double tolerance = 1e-9;
+  FuzzLakeOptions lake;
+  RandomOrgOptions org;
+};
+
+/// Outcome of one recycle trial.
+struct RecycleTrialResult {
+  bool ok = true;
+  /// First failure, with the trial seed embedded; empty when ok.
+  std::string error;
+  size_t ops_applied = 0;
+  /// Dead slots pushed onto the free list across all rounds.
+  size_t states_recycled = 0;
+  /// New states that came back on recycled slots.
+  size_t slots_reused = 0;
+  double max_effectiveness_diff = 0.0;
+  double max_discovery_diff = 0.0;
+};
+
+/// Runs one state-recycling differential trial.
+RecycleTrialResult RunRecycleTrial(const RecycleTrialOptions& options);
+
 }  // namespace lakeorg

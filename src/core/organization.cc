@@ -2,19 +2,28 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
 #include <sstream>
 
 namespace lakeorg {
 namespace {
 
-bool Contains(const std::vector<StateId>& xs, StateId x) {
+bool Contains(IdSpan xs, StateId x) {
   return std::find(xs.begin(), xs.end(), x) != xs.end();
 }
 
-void Erase(std::vector<StateId>* xs, StateId x) {
-  xs->erase(std::remove(xs->begin(), xs->end(), x), xs->end());
+/// Dispatches to the allocation-free bit iterator of either set type.
+template <typename Fn>
+void ForEachIn(const AttrSet& s, Fn&& fn) {
+  s.ForEach(fn);
 }
+template <typename Fn>
+void ForEachIn(const DynamicBitset& s, Fn&& fn) {
+  s.ForEachBit(fn);
+}
+
+/// Compaction trigger: at least this much garbage, and more garbage than
+/// live arena content (amortizes the O(arena) rewrite).
+constexpr size_t kCompactMinGarbage = 1024;
 
 }  // namespace
 
@@ -22,6 +31,8 @@ Organization::Organization(std::shared_ptr<const OrgContext> ctx)
     : ctx_(std::move(ctx)) {
   assert(ctx_ != nullptr);
   leaf_of_attr_.assign(ctx_->num_attrs(), kInvalidId);
+  dim_ = ctx_->dim();
+  stride_ = (dim_ + 7) & ~size_t{7};
 }
 
 Organization Organization::Clone() const {
@@ -31,95 +42,236 @@ Organization Organization::Clone() const {
   return copy;
 }
 
+void Organization::CopyFrom(const Organization& other) {
+  assert(undo_ == nullptr && other.undo_ == nullptr &&
+         "cannot copy with an active undo log");
+  if (this == &other) return;
+  *this = other;
+  undo_ = nullptr;
+}
+
+void Organization::Reserve(size_t states, size_t edges) {
+  kind_.reserve(states);
+  alive_.reserve(states);
+  level_.reserve(states);
+  attr_.reserve(states);
+  value_count_.reserve(states);
+  topic_norm_.reserve(states);
+  attrs_.reserve(states);
+  parents_r_.reserve(states);
+  children_r_.reserve(states);
+  tags_r_.reserve(states);
+  slot_version_.reserve(states);
+  in_free_list_.reserve(states);
+  topic_.reserve(states * stride_);
+  topic_sum_.reserve(states * stride_);
+  // Every edge occupies one slot in its parent's child range and one in
+  // its child's parent range; leave headroom for per-range slack.
+  edge_slots_.reserve(edges * 3);
+  tag_slots_.reserve(states * 2);
+}
+
 void Organization::BeginUndoLog(OpUndo* undo) {
   assert(undo != nullptr);
   assert(undo_ == nullptr && "an undo log is already active");
+  MaybeCompact();
   undo->Clear();
   undo_ = undo;
 }
 
 void Organization::EndUndoLog() { undo_ = nullptr; }
 
-void Organization::JournalTouch(StateId s) {
-  if (undo_ == nullptr) return;
+size_t Organization::JournalTouch(StateId s) {
+  if (undo_ == nullptr) return kNoJournal;
   // First-touch only: the touched set is small, so a linear scan beats a
   // per-proposal O(num_states) seen-marker allocation.
-  for (const StateSnapshot& snap : undo_->states) {
-    if (snap.id == s) return;
+  for (size_t i = 0; i < undo_->states.size(); ++i) {
+    if (undo_->states[i].id == s) return i;
   }
-  const OrgState& st = states_[s];
-  StateSnapshot snap;
-  snap.id = s;
-  snap.kind = st.kind;
-  snap.alive = st.alive;
-  snap.parents = st.parents;
-  snap.children = st.children;
-  snap.tags = st.tags;
-  snap.attrs = st.attrs;
-  snap.topic_sum = st.topic_sum;
-  snap.value_count = st.value_count;
-  snap.topic = st.topic;
-  snap.topic_norm = st.topic_norm;
-  snap.level = st.level;
-  undo_->states.push_back(std::move(snap));
+  OpUndo::Entry e;
+  e.id = s;
+  e.kind = kind_[s];
+  e.alive = alive_[s] != 0;
+  e.level = level_[s];
+  e.value_count = value_count_[s];
+  e.topic_norm = topic_norm_[s];
+  const Range& pr = parents_r_[s];
+  e.parents_begin = static_cast<uint32_t>(undo_->ids.size());
+  e.parents_size = pr.size;
+  undo_->ids.insert(undo_->ids.end(), edge_slots_.begin() + pr.begin,
+                    edge_slots_.begin() + pr.begin + pr.size);
+  const Range& cr = children_r_[s];
+  e.children_begin = static_cast<uint32_t>(undo_->ids.size());
+  e.children_size = cr.size;
+  undo_->ids.insert(undo_->ids.end(), edge_slots_.begin() + cr.begin,
+                    edge_slots_.begin() + cr.begin + cr.size);
+  const Range& tr = tags_r_[s];
+  e.tags_begin = static_cast<uint32_t>(undo_->tags.size());
+  e.tags_size = tr.size;
+  undo_->tags.insert(undo_->tags.end(), tag_slots_.begin() + tr.begin,
+                     tag_slots_.begin() + tr.begin + tr.size);
+  e.floats_begin = static_cast<uint32_t>(undo_->floats.size());
+  const float* sum = topic_sum_.data() + static_cast<size_t>(s) * stride_;
+  const float* top = topic_.data() + static_cast<size_t>(s) * stride_;
+  undo_->floats.insert(undo_->floats.end(), sum, sum + dim_);
+  undo_->floats.insert(undo_->floats.end(), top, top + dim_);
+  e.attrs_inline = attrs_[s].inline_rep();
+  if (e.attrs_inline) e.attrs_snapshot = attrs_[s].SnapshotInline();
+  undo_->states.push_back(e);
+  return undo_->states.size() - 1;
+}
+
+void Organization::RestoreRange(Range* r, std::vector<uint32_t>* slots,
+                                size_t* garbage, const uint32_t* data,
+                                uint32_t n) {
+  if (n > r->cap) {
+    // The range was compacted below its pre-operation capacity between the
+    // journal and this rollback: give it a fresh tail block.
+    uint32_t new_cap = std::max<uint32_t>(4, n);
+    *garbage += r->cap;
+    r->begin = static_cast<uint32_t>(slots->size());
+    r->cap = new_cap;
+    slots->resize(slots->size() + new_cap, 0);
+  }
+  std::copy_n(data, n, slots->data() + r->begin);
+  r->size = n;
 }
 
 void Organization::Undo(const OpUndo& undo) {
   assert(undo_ == nullptr && "end the undo log before rolling back");
+  // Originally-spilled attribute sets restore by clearing the bits the
+  // operation added (operations only ever add bits; a spilled set never
+  // un-spills, so this is an exact restore with no representation flip).
+  for (const auto& [s, bit] : undo.attr_bits_added) {
+    attrs_[s].Clear(bit);
+  }
   for (auto it = undo.states.rbegin(); it != undo.states.rend(); ++it) {
-    OrgState& st = states_[it->id];
-    st.kind = it->kind;
-    st.alive = it->alive;
-    st.parents = it->parents;
-    st.children = it->children;
-    st.tags = it->tags;
-    st.attrs = it->attrs;
-    st.topic_sum = it->topic_sum;
-    st.value_count = it->value_count;
-    st.topic = it->topic;
-    st.topic_norm = it->topic_norm;
-    st.level = it->level;
+    const OpUndo::Entry& e = *it;
+    StateId s = e.id;
+    kind_[s] = e.kind;
+    alive_[s] = e.alive ? 1 : 0;
+    level_[s] = e.level;
+    value_count_[s] = e.value_count;
+    topic_norm_[s] = e.topic_norm;
+    RestoreRange(&parents_r_[s], &edge_slots_, &edge_garbage_,
+                 undo.ids.data() + e.parents_begin, e.parents_size);
+    RestoreRange(&children_r_[s], &edge_slots_, &edge_garbage_,
+                 undo.ids.data() + e.children_begin, e.children_size);
+    RestoreRange(&tags_r_[s], &tag_slots_, &tag_garbage_,
+                 undo.tags.data() + e.tags_begin, e.tags_size);
+    const float* f = undo.floats.data() + e.floats_begin;
+    std::copy_n(f, dim_, topic_sum_.data() + static_cast<size_t>(s) * stride_);
+    std::copy_n(f + dim_, dim_,
+                topic_.data() + static_cast<size_t>(s) * stride_);
+    if (e.attrs_inline) attrs_[s].RestoreInline(e.attrs_snapshot);
   }
   if (undo.levels_changed) RecomputeLevels();
 }
 
-StateId Organization::NewState(OrgState&& state) {
-  StateId id = static_cast<StateId>(states_.size());
-  states_.push_back(std::move(state));
+StateId Organization::NewState(StateKind kind) {
+  assert(undo_ == nullptr && "cannot create states under an undo log");
+  StateId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    in_free_list_[id] = 0;
+    ++slot_version_[id];
+    // The recycled slot keeps its arena blocks (begin/cap) so the new
+    // state reuses the slack in place; only the live sizes reset.
+    parents_r_[id].size = 0;
+    children_r_[id].size = 0;
+    tags_r_[id].size = 0;
+    std::fill_n(topic_.begin() + static_cast<size_t>(id) * stride_, stride_,
+                0.0f);
+    std::fill_n(topic_sum_.begin() + static_cast<size_t>(id) * stride_,
+                stride_, 0.0f);
+  } else {
+    id = static_cast<StateId>(kind_.size());
+    kind_.push_back(StateKind::kInterior);
+    alive_.push_back(1);
+    level_.push_back(-1);
+    attr_.push_back(kInvalidId);
+    value_count_.push_back(0);
+    topic_norm_.push_back(0.0);
+    attrs_.emplace_back(ctx_->num_attrs());
+    parents_r_.emplace_back();
+    children_r_.emplace_back();
+    tags_r_.emplace_back();
+    slot_version_.push_back(0);
+    in_free_list_.push_back(0);
+    topic_.resize(topic_.size() + stride_, 0.0f);
+    topic_sum_.resize(topic_sum_.size() + stride_, 0.0f);
+  }
+  kind_[id] = kind;
+  alive_[id] = 1;
+  level_[id] = -1;
+  attr_[id] = kInvalidId;
+  value_count_[id] = 0;
+  topic_norm_[id] = 0.0;
+  attrs_[id].Reset(ctx_->num_attrs());
   return id;
 }
 
-void Organization::RefreshTopic(StateId s) {
-  OrgState& st = states_[s];
-  st.topic = st.topic_sum;
-  if (st.value_count > 0) {
-    ScaleInPlace(&st.topic,
-                 static_cast<float>(1.0 / static_cast<double>(st.value_count)));
+void Organization::AppendSlot(Range* r, std::vector<uint32_t>* slots,
+                              size_t* garbage, uint32_t v) {
+  if (r->size == r->cap) {
+    uint32_t new_cap = r->cap == 0 ? 4 : r->cap * 2;
+    uint32_t new_begin = static_cast<uint32_t>(slots->size());
+    slots->resize(slots->size() + new_cap, 0);
+    std::copy_n(slots->data() + r->begin, r->size, slots->data() + new_begin);
+    *garbage += r->cap;
+    r->begin = new_begin;
+    r->cap = new_cap;
   }
-  st.topic_norm = Norm(st.topic);
+  (*slots)[r->begin + r->size] = v;
+  ++r->size;
+}
+
+void Organization::InsertTagSorted(StateId s, uint32_t t) {
+  Range& r = tags_r_[s];
+  const uint32_t* begin = tag_slots_.data() + r.begin;
+  const uint32_t* end = begin + r.size;
+  const uint32_t* it = std::lower_bound(begin, end, t);
+  if (it != end && *it == t) return;
+  size_t pos = static_cast<size_t>(it - begin);
+  AppendSlot(&r, &tag_slots_, &tag_garbage_, t);  // may relocate the range
+  uint32_t* b = tag_slots_.data() + r.begin;
+  std::rotate(b + pos, b + r.size - 1, b + r.size);
+}
+
+void Organization::RefreshTopic(StateId s) {
+  const float* sum = topic_sum_.data() + static_cast<size_t>(s) * stride_;
+  float* top = topic_.data() + static_cast<size_t>(s) * stride_;
+  std::copy_n(sum, dim_, top);
+  if (value_count_[s] > 0) {
+    ScaleInPlace(
+        std::span<float>(top, dim_),
+        static_cast<float>(1.0 / static_cast<double>(value_count_[s])));
+  }
+  topic_norm_[s] = Norm(std::span<const float>(top, dim_));
 }
 
 StateId Organization::AddLeaf(uint32_t attr) {
   assert(attr < ctx_->num_attrs());
   assert(leaf_of_attr_[attr] == kInvalidId && "duplicate leaf");
-  OrgState st;
-  st.kind = StateKind::kLeaf;
-  st.attr = attr;
-  st.topic_sum = ctx_->attr_sum(attr);
-  st.value_count = ctx_->attr_value_count(attr);
-  st.topic = ctx_->attr_vector(attr);
-  st.topic_norm = Norm(st.topic);
-  StateId id = NewState(std::move(st));
+  StateId id = NewState(StateKind::kLeaf);
+  attr_[id] = attr;
+  const Vec& sum = ctx_->attr_sum(attr);
+  const Vec& vec = ctx_->attr_vector(attr);
+  std::copy(sum.begin(), sum.end(),
+            topic_sum_.begin() + static_cast<size_t>(id) * stride_);
+  std::copy(vec.begin(), vec.end(),
+            topic_.begin() + static_cast<size_t>(id) * stride_);
+  value_count_[id] = ctx_->attr_value_count(attr);
+  topic_norm_[id] = Norm(topic(id));
   leaf_of_attr_[attr] = id;
   return id;
 }
 
 StateId Organization::AddTagState(uint32_t tag) {
   assert(tag < ctx_->num_tags());
-  OrgState st;
-  st.kind = StateKind::kTag;
-  st.tags = {tag};
-  StateId id = NewState(std::move(st));
+  StateId id = NewState(StateKind::kTag);
+  AppendSlot(&tags_r_[id], &tag_slots_, &tag_garbage_, tag);
   RecomputeStateFromTags(id);
   return id;
 }
@@ -128,10 +280,8 @@ StateId Organization::AddInteriorState(std::vector<uint32_t> tags) {
   std::sort(tags.begin(), tags.end());
   tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
   assert(!tags.empty());
-  OrgState st;
-  st.kind = StateKind::kInterior;
-  st.tags = std::move(tags);
-  StateId id = NewState(std::move(st));
+  StateId id = NewState(StateKind::kInterior);
+  for (uint32_t t : tags) AppendSlot(&tags_r_[id], &tag_slots_, &tag_garbage_, t);
   RecomputeStateFromTags(id);
   return id;
 }
@@ -140,111 +290,120 @@ StateId Organization::AddRoot(std::vector<uint32_t> tags) {
   assert(root_ == kInvalidId && "root already set");
   std::sort(tags.begin(), tags.end());
   tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
-  OrgState st;
-  st.kind = StateKind::kRoot;
-  st.tags = std::move(tags);
-  StateId id = NewState(std::move(st));
+  StateId id = NewState(StateKind::kRoot);
+  for (uint32_t t : tags) AppendSlot(&tags_r_[id], &tag_slots_, &tag_garbage_, t);
   root_ = id;
   RecomputeStateFromTags(id);
-  states_[id].level = 0;
+  level_[id] = 0;
   return id;
 }
 
 void Organization::RecomputeStateFromTags(StateId s) {
-  OrgState& st = states_[s];
-  assert(st.kind != StateKind::kLeaf);
-  st.attrs = ctx_->MakeAttrSet();
-  for (uint32_t t : st.tags) st.attrs.UnionWith(ctx_->tag_extent(t));
-  st.topic_sum.assign(ctx_->dim(), 0.0f);
-  st.value_count = 0;
-  st.attrs.ForEach([this, &st](size_t a) {
-    AddInPlace(&st.topic_sum, ctx_->attr_sum(a));
-    st.value_count += ctx_->attr_value_count(a);
+  assert(kind_[s] != StateKind::kLeaf);
+  AttrSet& attrs = attrs_[s];
+  attrs.Reset(ctx_->num_attrs());
+  for (uint32_t t : tags(s)) attrs.UnionWith(ctx_->tag_extent(t));
+  float* sum = topic_sum_.data() + static_cast<size_t>(s) * stride_;
+  std::fill_n(sum, stride_, 0.0f);
+  value_count_[s] = 0;
+  attrs.ForEach([this, s, sum](size_t a) {
+    AddInPlace(std::span<float>(sum, dim_), ctx_->attr_sum(a));
+    value_count_[s] += ctx_->attr_value_count(a);
   });
   RefreshTopic(s);
 }
 
 Status Organization::AddEdge(StateId parent, StateId child) {
-  if (parent >= states_.size() || child >= states_.size()) {
+  if (parent >= num_states() || child >= num_states()) {
     return Status::NotFound("unknown state id");
   }
-  OrgState& p = states_[parent];
-  OrgState& c = states_[child];
-  if (!p.alive || !c.alive) {
+  if (!alive_[parent] || !alive_[child]) {
     return Status::FailedPrecondition("edge endpoint is dead");
   }
   if (parent == child) return Status::InvalidArgument("self loop");
-  if (p.kind == StateKind::kLeaf) {
+  if (kind_[parent] == StateKind::kLeaf) {
     return Status::InvalidArgument("leaf cannot have children");
   }
   if (child == root_) return Status::InvalidArgument("edge into root");
-  if (Contains(p.children, child)) {
+  if (Contains(children(parent), child)) {
     return Status::AlreadyExists("duplicate edge");
   }
   // Inclusion property: D_child must be a subset of D_parent.
-  if (c.kind == StateKind::kLeaf) {
-    if (!p.attrs.Test(c.attr)) {
+  if (kind_[child] == StateKind::kLeaf) {
+    if (!attrs_[parent].Test(attr_[child])) {
       return Status::FailedPrecondition(
           "inclusion violated: leaf attribute not in parent");
     }
-  } else if (!c.attrs.IsSubsetOf(p.attrs)) {
+  } else if (!attrs_[child].IsSubsetOf(attrs_[parent])) {
     return Status::FailedPrecondition(
         "inclusion violated: child attrs not subset of parent");
   }
   JournalTouch(parent);
   JournalTouch(child);
-  p.children.push_back(child);
-  c.parents.push_back(parent);
+  AppendSlot(&children_r_[parent], &edge_slots_, &edge_garbage_, child);
+  AppendSlot(&parents_r_[child], &edge_slots_, &edge_garbage_, parent);
   return Status::OK();
 }
 
+// Order-preserving removal of the first occurrence of `v` (child order
+// feeds the softmax accumulation order, which bit-identity depends on).
+void Organization::EraseFromRange(Range* r, uint32_t v) {
+  uint32_t* begin = edge_slots_.data() + r->begin;
+  uint32_t* end = begin + r->size;
+  uint32_t* it = std::find(begin, end, v);
+  if (it == end) return;
+  std::move(it + 1, end, it);
+  --r->size;
+}
+
 Status Organization::RemoveEdge(StateId parent, StateId child) {
-  if (parent >= states_.size() || child >= states_.size()) {
+  if (parent >= num_states() || child >= num_states()) {
     return Status::NotFound("unknown state id");
   }
-  OrgState& p = states_[parent];
-  OrgState& c = states_[child];
-  if (!Contains(p.children, child)) return Status::NotFound("no such edge");
+  if (!Contains(children(parent), child)) {
+    return Status::NotFound("no such edge");
+  }
   JournalTouch(parent);
   JournalTouch(child);
-  Erase(&p.children, child);
-  Erase(&c.parents, parent);
+  EraseFromRange(&children_r_[parent], child);
+  EraseFromRange(&parents_r_[child], parent);
   return Status::OK();
 }
 
 Status Organization::RemoveState(StateId s) {
-  if (s >= states_.size()) return Status::NotFound("unknown state id");
-  OrgState& st = states_[s];
-  if (!st.alive) return Status::FailedPrecondition("state already dead");
+  if (s >= num_states()) return Status::NotFound("unknown state id");
+  if (!alive_[s]) return Status::FailedPrecondition("state already dead");
   if (s == root_) return Status::InvalidArgument("cannot remove root");
-  if (st.kind == StateKind::kLeaf) {
+  if (kind_[s] == StateKind::kLeaf) {
     return Status::InvalidArgument("cannot remove a leaf state");
   }
   JournalTouch(s);
-  for (StateId p : st.parents) JournalTouch(p);
-  for (StateId c : st.children) JournalTouch(c);
-  for (StateId p : st.parents) Erase(&states_[p].children, s);
-  for (StateId c : st.children) Erase(&states_[c].parents, s);
-  st.parents.clear();
-  st.children.clear();
-  st.alive = false;
+  for (StateId p : parents(s)) JournalTouch(p);
+  for (StateId c : children(s)) JournalTouch(c);
+  // EraseFromRange never relocates, so the spans stay valid throughout.
+  for (StateId p : parents(s)) EraseFromRange(&children_r_[p], s);
+  for (StateId c : children(s)) EraseFromRange(&parents_r_[c], s);
+  parents_r_[s].size = 0;
+  children_r_[s].size = 0;
+  alive_[s] = 0;
   return Status::OK();
 }
 
 bool Organization::WouldCreateCycle(StateId parent, StateId child) const {
   if (parent == child) return true;
   // DFS from child along child edges looking for parent.
-  std::vector<StateId> stack = {child};
-  std::vector<char> visited(states_.size(), 0);
-  visited[child] = 1;
-  while (!stack.empty()) {
-    StateId cur = stack.back();
-    stack.pop_back();
-    for (StateId nxt : states_[cur].children) {
+  scratch_visited_.assign(num_states(), 0);
+  scratch_stack_.clear();
+  scratch_stack_.push_back(child);
+  scratch_visited_[child] = 1;
+  while (!scratch_stack_.empty()) {
+    StateId cur = scratch_stack_.back();
+    scratch_stack_.pop_back();
+    for (StateId nxt : children(cur)) {
       if (nxt == parent) return true;
-      if (!visited[nxt]) {
-        visited[nxt] = 1;
-        stack.push_back(nxt);
+      if (!scratch_visited_[nxt]) {
+        scratch_visited_[nxt] = 1;
+        scratch_stack_.push_back(nxt);
       }
     }
   }
@@ -253,175 +412,294 @@ bool Organization::WouldCreateCycle(StateId parent, StateId child) const {
 
 void Organization::AddExtraAttrs(StateId s,
                                  const std::vector<uint32_t>& attrs) {
-  OrgState& st = states_[s];
-  assert(st.kind != StateKind::kLeaf);
-  JournalTouch(s);
+  assert(kind_[s] != StateKind::kLeaf);
+  size_t entry = JournalTouch(s);
+  const bool journal_bits =
+      entry != kNoJournal && !undo_->states[entry].attrs_inline;
+  AttrSet& set = attrs_[s];
+  float* sum = topic_sum_.data() + static_cast<size_t>(s) * stride_;
   bool grew = false;
   for (uint32_t a : attrs) {
-    if (a < st.attrs.size() && !st.attrs.Test(a)) {
-      st.attrs.Set(a);
-      AddInPlace(&st.topic_sum, ctx_->attr_sum(a));
-      st.value_count += ctx_->attr_value_count(a);
+    if (a < set.size() && !set.Test(a)) {
+      if (journal_bits) undo_->attr_bits_added.emplace_back(s, a);
+      set.Set(a);
+      AddInPlace(std::span<float>(sum, dim_), ctx_->attr_sum(a));
+      value_count_[s] += ctx_->attr_value_count(a);
       grew = true;
     }
   }
   if (grew) RefreshTopic(s);
 }
 
-void Organization::AddAttrsToState(StateId s,
-                                   const DynamicBitset& new_attrs,
-                                   const std::vector<uint32_t>& new_tags,
+template <typename SetT>
+void Organization::AddAttrsToState(StateId s, const SetT& new_attrs,
+                                   std::span<const uint32_t> new_tags,
                                    bool* grew) {
-  OrgState& st = states_[s];
-  assert(st.kind != StateKind::kLeaf);
+  assert(kind_[s] != StateKind::kLeaf);
   // Journal unconditionally: even when no attribute grows, the tag merge
   // below may mutate `tags` (and the kTag -> kInterior promotion).
-  JournalTouch(s);
+  size_t entry = JournalTouch(s);
+  const bool journal_bits =
+      entry != kNoJournal && !undo_->states[entry].attrs_inline;
   *grew = false;
+  AttrSet& set = attrs_[s];
+  float* sum = topic_sum_.data() + static_cast<size_t>(s) * stride_;
   // Incremental topic update: fold in only attributes not already present.
-  new_attrs.ForEach([this, &st, grew](size_t a) {
-    if (!st.attrs.Test(a)) {
-      st.attrs.Set(a);
-      AddInPlace(&st.topic_sum, ctx_->attr_sum(a));
-      st.value_count += ctx_->attr_value_count(a);
+  ForEachIn(new_attrs, [this, s, &set, sum, grew, journal_bits](size_t a) {
+    if (!set.Test(a)) {
+      if (journal_bits) {
+        undo_->attr_bits_added.emplace_back(s, static_cast<uint32_t>(a));
+      }
+      set.Set(a);
+      AddInPlace(std::span<float>(sum, dim_), ctx_->attr_sum(a));
+      value_count_[s] += ctx_->attr_value_count(a);
       *grew = true;
     }
   });
-  for (uint32_t t : new_tags) {
-    auto it = std::lower_bound(st.tags.begin(), st.tags.end(), t);
-    if (it == st.tags.end() || *it != t) st.tags.insert(it, t);
-  }
+  for (uint32_t t : new_tags) InsertTagSorted(s, t);
   // A penultimate tag state that accumulates further tags is no longer
   // the fixed single-tag level of section 3.2: promote it to interior
   // (it loses DELETE_PARENT protection along with the promotion).
-  if (st.kind == StateKind::kTag && st.tags.size() > 1) {
-    st.kind = StateKind::kInterior;
+  if (kind_[s] == StateKind::kTag && tags_r_[s].size > 1) {
+    kind_[s] = StateKind::kInterior;
   }
   if (*grew) RefreshTopic(s);
 }
 
-void Organization::PropagateAttrsUpward(StateId s,
-                                        const DynamicBitset& attrs,
-                                        const std::vector<uint32_t>& tags,
-                                        std::vector<StateId>* touched) {
+template <typename SetT>
+void Organization::PropagateImpl(StateId s, const SetT& attrs,
+                                 std::span<const uint32_t> tags,
+                                 std::vector<StateId>* touched) {
+  // The tag arena can relocate while ancestors absorb tags, so copy the
+  // incoming tag list into stable scratch before any mutation. (`attrs`
+  // may alias attrs_[s], which is stable: the attrs_ array never grows
+  // during an operation, and s's own set never grows from itself.)
+  scratch_tags_.assign(tags.begin(), tags.end());
   // BFS upward from s; stop expanding where nothing grew (ancestors of a
   // state that already contains the attrs contain them too -- except via
   // other paths, so we still visit every parent of a grown state).
-  std::deque<StateId> queue = {s};
-  std::vector<char> visited(states_.size(), 0);
-  visited[s] = 1;
-  while (!queue.empty()) {
-    StateId cur = queue.front();
-    queue.pop_front();
+  scratch_visited_.assign(num_states(), 0);
+  scratch_queue_.clear();
+  size_t head = 0;
+  scratch_queue_.push_back(s);
+  scratch_visited_[s] = 1;
+  while (head < scratch_queue_.size()) {
+    StateId cur = scratch_queue_[head++];
     bool grew = false;
-    AddAttrsToState(cur, attrs, tags, &grew);
+    AddAttrsToState(cur, attrs,
+                    std::span<const uint32_t>(scratch_tags_), &grew);
     if (grew && touched != nullptr) touched->push_back(cur);
     if (grew) {
-      for (StateId p : states_[cur].parents) {
-        if (!visited[p]) {
-          visited[p] = 1;
-          queue.push_back(p);
+      for (StateId p : parents(cur)) {
+        if (!scratch_visited_[p]) {
+          scratch_visited_[p] = 1;
+          scratch_queue_.push_back(p);
         }
       }
     }
   }
 }
 
+void Organization::PropagateAttrsUpward(StateId s, const AttrSet& attrs,
+                                        std::span<const uint32_t> tags,
+                                        std::vector<StateId>* touched) {
+  PropagateImpl(s, attrs, tags, touched);
+}
+
+void Organization::PropagateAttrsUpward(StateId s, const DynamicBitset& attrs,
+                                        std::span<const uint32_t> tags,
+                                        std::vector<StateId>* touched) {
+  PropagateImpl(s, attrs, tags, touched);
+}
+
 void Organization::RecomputeLevels() {
   if (undo_ != nullptr) undo_->levels_changed = true;
-  for (OrgState& st : states_) st.level = -1;
+  std::fill(level_.begin(), level_.end(), -1);
   if (root_ == kInvalidId) return;
-  states_[root_].level = 0;
-  std::deque<StateId> queue = {root_};
-  while (!queue.empty()) {
-    StateId cur = queue.front();
-    queue.pop_front();
-    int next_level = states_[cur].level + 1;
-    for (StateId c : states_[cur].children) {
-      if (states_[c].level == -1) {
-        states_[c].level = next_level;
-        queue.push_back(c);
+  level_[root_] = 0;
+  scratch_queue_.clear();
+  size_t head = 0;
+  scratch_queue_.push_back(root_);
+  while (head < scratch_queue_.size()) {
+    StateId cur = scratch_queue_[head++];
+    int next_level = level_[cur] + 1;
+    for (StateId c : children(cur)) {
+      if (level_[c] == -1) {
+        level_[c] = next_level;
+        scratch_queue_.push_back(c);
       }
     }
   }
 }
 
+void Organization::MaybeCompact() {
+  size_t garbage = edge_garbage_ + tag_garbage_;
+  if (garbage > kCompactMinGarbage &&
+      garbage > (edge_slots_.size() + tag_slots_.size()) / 2) {
+    CompactStorage();
+  }
+}
+
+void Organization::CompactStorage() {
+  assert(undo_ == nullptr && "cannot compact under an active undo log");
+  auto compact = [this](std::vector<uint32_t>* slots,
+                        std::initializer_list<std::vector<Range>*> range_sets,
+                        size_t* garbage) {
+    compact_scratch_.clear();
+    for (std::vector<Range>* ranges : range_sets) {
+      for (Range& r : *ranges) {
+        uint32_t new_begin = static_cast<uint32_t>(compact_scratch_.size());
+        compact_scratch_.insert(compact_scratch_.end(),
+                                slots->begin() + r.begin,
+                                slots->begin() + r.begin + r.size);
+        r.begin = new_begin;
+        r.cap = r.size;
+      }
+    }
+    slots->swap(compact_scratch_);
+    *garbage = 0;
+  };
+  compact(&edge_slots_, {&parents_r_, &children_r_}, &edge_garbage_);
+  compact(&tag_slots_, {&tags_r_}, &tag_garbage_);
+}
+
+size_t Organization::RecycleDeadStates() {
+  assert(undo_ == nullptr &&
+         "cannot recycle while an operation may still be undone");
+  size_t recycled = 0;
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (alive_[s] || in_free_list_[s]) continue;
+    assert(parents_r_[s].size == 0 && children_r_[s].size == 0 &&
+           "dead state still has edges");
+    free_list_.push_back(s);
+    in_free_list_[s] = 1;
+    ++recycled;
+  }
+  return recycled;
+}
+
 size_t Organization::NumAliveStates() const {
   size_t n = 0;
-  for (const OrgState& st : states_) {
-    if (st.alive) ++n;
+  for (uint8_t a : alive_) {
+    if (a) ++n;
   }
   return n;
 }
 
 std::vector<StateId> Organization::TopologicalOrder() const {
-  // Kahn's algorithm restricted to states reachable from the root.
+  // Kahn's algorithm restricted to states reachable from the root. This
+  // variant allocates locally so concurrent readers (the batch evaluator's
+  // worker threads) can call it safely.
   std::vector<StateId> order;
   if (root_ == kInvalidId) return order;
-  std::vector<char> reachable(states_.size(), 0);
+  std::vector<char> reachable(num_states(), 0);
   std::vector<StateId> stack = {root_};
   reachable[root_] = 1;
   while (!stack.empty()) {
     StateId cur = stack.back();
     stack.pop_back();
-    for (StateId c : states_[cur].children) {
+    for (StateId c : children(cur)) {
       if (!reachable[c]) {
         reachable[c] = 1;
         stack.push_back(c);
       }
     }
   }
-  std::vector<uint32_t> pending(states_.size(), 0);
-  for (StateId s = 0; s < states_.size(); ++s) {
+  std::vector<uint32_t> pending(num_states(), 0);
+  for (StateId s = 0; s < num_states(); ++s) {
     if (!reachable[s]) continue;
     uint32_t in_degree = 0;
-    for (StateId p : states_[s].parents) {
+    for (StateId p : parents(s)) {
       if (reachable[p]) ++in_degree;
     }
     pending[s] = in_degree;
   }
-  std::deque<StateId> queue = {root_};
-  while (!queue.empty()) {
-    StateId cur = queue.front();
-    queue.pop_front();
+  std::vector<StateId> queue = {root_};
+  size_t head = 0;
+  while (head < queue.size()) {
+    StateId cur = queue[head++];
     order.push_back(cur);
-    for (StateId c : states_[cur].children) {
+    for (StateId c : children(cur)) {
       if (--pending[c] == 0) queue.push_back(c);
     }
   }
   return order;
 }
 
+void Organization::TopologicalOrderInto(std::vector<StateId>* out) const {
+  out->clear();
+  if (root_ == kInvalidId) return;
+  scratch_visited_.assign(num_states(), 0);
+  scratch_stack_.clear();
+  scratch_stack_.push_back(root_);
+  scratch_visited_[root_] = 1;
+  while (!scratch_stack_.empty()) {
+    StateId cur = scratch_stack_.back();
+    scratch_stack_.pop_back();
+    for (StateId c : children(cur)) {
+      if (!scratch_visited_[c]) {
+        scratch_visited_[c] = 1;
+        scratch_stack_.push_back(c);
+      }
+    }
+  }
+  scratch_pending_.assign(num_states(), 0);
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (!scratch_visited_[s]) continue;
+    uint32_t in_degree = 0;
+    for (StateId p : parents(s)) {
+      if (scratch_visited_[p]) ++in_degree;
+    }
+    scratch_pending_[s] = in_degree;
+  }
+  scratch_queue_.clear();
+  size_t head = 0;
+  scratch_queue_.push_back(root_);
+  while (head < scratch_queue_.size()) {
+    StateId cur = scratch_queue_[head++];
+    out->push_back(cur);
+    for (StateId c : children(cur)) {
+      if (--scratch_pending_[c] == 0) scratch_queue_.push_back(c);
+    }
+  }
+}
+
 std::vector<StateId> Organization::StatesAtLevel(int level) const {
   std::vector<StateId> out;
-  for (StateId s = 0; s < states_.size(); ++s) {
-    if (states_[s].alive && states_[s].level == level) out.push_back(s);
-  }
+  StatesAtLevelInto(level, &out);
   return out;
+}
+
+void Organization::StatesAtLevelInto(int level,
+                                     std::vector<StateId>* out) const {
+  out->clear();
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (alive_[s] && level_[s] == level) out->push_back(s);
+  }
 }
 
 int Organization::MaxLevel() const {
   int max_level = -1;
-  for (const OrgState& st : states_) {
-    if (st.alive) max_level = std::max(max_level, st.level);
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (alive_[s]) max_level = std::max(max_level, level_[s]);
   }
   return max_level;
 }
 
 DynamicBitset Organization::StateAttrSet(StateId s) const {
-  const OrgState& st = states_.at(s);
-  if (st.kind == StateKind::kLeaf) {
+  assert(s < num_states());
+  if (kind_[s] == StateKind::kLeaf) {
     DynamicBitset b = ctx_->MakeAttrSet();
-    b.Set(st.attr);
+    b.Set(attr_[s]);
     return b;
   }
-  return st.attrs;
+  return attrs_[s].ToBitset();
 }
 
 size_t Organization::NumEdges() const {
   size_t n = 0;
-  for (const OrgState& st : states_) {
-    if (st.alive) n += st.children.size();
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (alive_[s]) n += children_r_[s].size;
   }
   return n;
 }
@@ -431,28 +709,27 @@ Status Organization::Validate() const {
     return Status::FailedPrecondition("no root");
   }
   // Parent/child symmetry and liveness.
-  for (StateId s = 0; s < states_.size(); ++s) {
-    const OrgState& st = states_[s];
-    if (!st.alive) {
-      if (!st.parents.empty() || !st.children.empty()) {
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (!alive_[s]) {
+      if (parents_r_[s].size != 0 || children_r_[s].size != 0) {
         return Status::Internal("dead state with edges: " +
                                 std::to_string(s));
       }
       continue;
     }
-    for (StateId c : st.children) {
-      if (!states_[c].alive) {
+    for (StateId c : children(s)) {
+      if (!alive_[c]) {
         return Status::Internal("edge to dead state");
       }
-      if (!Contains(states_[c].parents, s)) {
+      if (!Contains(parents(c), s)) {
         return Status::Internal("asymmetric edge (child missing parent)");
       }
     }
-    for (StateId p : st.parents) {
-      if (!states_[p].alive) {
+    for (StateId p : parents(s)) {
+      if (!alive_[p]) {
         return Status::Internal("edge from dead state");
       }
-      if (!Contains(states_[p].children, s)) {
+      if (!Contains(children(p), s)) {
         return Status::Internal("asymmetric edge (parent missing child)");
       }
     }
@@ -460,14 +737,14 @@ Status Organization::Validate() const {
   // Acyclicity: topological order must cover all reachable states.
   std::vector<StateId> topo = TopologicalOrder();
   {
-    std::vector<char> reachable(states_.size(), 0);
+    std::vector<char> reachable(num_states(), 0);
     std::vector<StateId> stack = {root_};
     reachable[root_] = 1;
     size_t count = 1;
     while (!stack.empty()) {
       StateId cur = stack.back();
       stack.pop_back();
-      for (StateId c : states_[cur].children) {
+      for (StateId c : children(cur)) {
         if (!reachable[c]) {
           reachable[c] = 1;
           ++count;
@@ -480,45 +757,44 @@ Status Organization::Validate() const {
     }
   }
   // Inclusion property + topic consistency.
-  for (StateId s = 0; s < states_.size(); ++s) {
-    const OrgState& st = states_[s];
-    if (!st.alive) continue;
-    if (st.kind == StateKind::kLeaf) {
-      if (st.attr == kInvalidId || leaf_of_attr_[st.attr] != s) {
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (!alive_[s]) continue;
+    if (kind_[s] == StateKind::kLeaf) {
+      if (attr_[s] == kInvalidId || leaf_of_attr_[attr_[s]] != s) {
         return Status::Internal("leaf/attribute mapping broken");
       }
       continue;
     }
-    // The tag-derived attribute set must be a subset of st.attrs (attrs may
-    // additionally contain propagated attributes whose tags were merged in,
-    // so equality holds in this implementation; check equality).
+    // The tag-derived attribute set must be a subset of the state's attrs
+    // (attrs may additionally contain propagated attributes whose tags
+    // were merged in, so equality holds in this implementation).
     DynamicBitset expected = ctx_->MakeAttrSet();
-    for (uint32_t t : st.tags) expected.UnionWith(ctx_->tag_extent(t));
-    if (!expected.IsSubsetOf(st.attrs)) {
+    for (uint32_t t : tags(s)) expected.UnionWith(ctx_->tag_extent(t));
+    if (!attrs_[s].ContainsAll(expected)) {
       return Status::Internal("state attrs missing tag extents");
     }
-    for (StateId c : st.children) {
-      const OrgState& cs = states_[c];
-      if (cs.kind == StateKind::kLeaf) {
-        if (!st.attrs.Test(cs.attr)) {
+    for (StateId c : children(s)) {
+      if (kind_[c] == StateKind::kLeaf) {
+        if (!attrs_[s].Test(attr_[c])) {
           return Status::Internal("inclusion violated at leaf edge");
         }
-      } else if (!cs.attrs.IsSubsetOf(st.attrs)) {
+      } else if (!attrs_[c].IsSubsetOf(attrs_[s])) {
         return Status::Internal("inclusion violated at interior edge");
       }
     }
     // Topic-sum consistency against attrs.
     Vec sum(ctx_->dim(), 0.0f);
     size_t count = 0;
-    st.attrs.ForEach([this, &sum, &count](size_t a) {
+    attrs_[s].ForEach([this, &sum, &count](size_t a) {
       AddInPlace(&sum, ctx_->attr_sum(a));
       count += ctx_->attr_value_count(a);
     });
-    if (count != st.value_count) {
+    if (count != value_count_[s]) {
       return Status::Internal("value_count inconsistent");
     }
+    FloatSpan stored = topic_sum(s);
     for (size_t i = 0; i < sum.size(); ++i) {
-      float delta = sum[i] - st.topic_sum[i];
+      float delta = sum[i] - stored[i];
       float scale = std::max(1.0f, std::abs(sum[i]));
       if (std::abs(delta) > 1e-3f * scale) {
         return Status::Internal("topic_sum inconsistent");
@@ -526,12 +802,11 @@ Status Organization::Validate() const {
     }
   }
   // Cached norm freshness. Every mutation path ends in RefreshTopic or a
-  // journaled-snapshot restore, so the cached norm must be exactly
-  // Norm(topic) — any drift means a maintenance path skipped the refresh.
-  for (StateId s = 0; s < states_.size(); ++s) {
-    const OrgState& st = states_[s];
-    if (!st.alive) continue;
-    if (st.topic_norm != Norm(st.topic)) {
+  // journaled restore, so the cached norm must be exactly Norm(topic) —
+  // any drift means a maintenance path skipped the refresh.
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (!alive_[s]) continue;
+    if (topic_norm_[s] != Norm(topic(s))) {
       return Status::Internal("stale topic_norm on state " +
                               std::to_string(s));
     }
@@ -540,15 +815,14 @@ Status Organization::Validate() const {
 }
 
 void Organization::RecomputeAllTopics() {
-  for (StateId s = 0; s < states_.size(); ++s) {
-    OrgState& st = states_[s];
-    if (!st.alive || st.kind == StateKind::kLeaf) continue;
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (!alive_[s] || kind_[s] == StateKind::kLeaf) continue;
     // Extras = attrs beyond the tag extents (what ADD_PARENT propagated
     // in), ascending — exactly what SaveOrganization writes.
     DynamicBitset from_tags = ctx_->MakeAttrSet();
-    for (uint32_t t : st.tags) from_tags.UnionWith(ctx_->tag_extent(t));
+    for (uint32_t t : tags(s)) from_tags.UnionWith(ctx_->tag_extent(t));
     std::vector<uint32_t> extras;
-    st.attrs.ForEach([&from_tags, &extras](size_t a) {
+    attrs_[s].ForEach([&from_tags, &extras](size_t a) {
       if (!from_tags.Test(a)) extras.push_back(static_cast<uint32_t>(a));
     });
     // Re-accumulate in the load path's order (tag extents ascending, then
@@ -563,29 +837,30 @@ std::string Organization::DebugString() const {
   std::ostringstream out;
   std::vector<StateId> topo = TopologicalOrder();
   for (StateId s : topo) {
-    const OrgState& st = states_[s];
-    out << "#" << s << " L" << st.level << " ";
-    switch (st.kind) {
+    out << "#" << s << " L" << level_[s] << " ";
+    switch (kind_[s]) {
       case StateKind::kRoot:
         out << "root";
         break;
-      case StateKind::kInterior:
+      case StateKind::kInterior: {
         out << "interior{";
-        for (size_t i = 0; i < st.tags.size(); ++i) {
+        TagSpan ts = tags(s);
+        for (size_t i = 0; i < ts.size(); ++i) {
           if (i > 0) out << ",";
-          out << ctx_->tag_name(st.tags[i]);
+          out << ctx_->tag_name(ts[i]);
         }
         out << "}";
         break;
+      }
       case StateKind::kTag:
-        out << "tag(" << ctx_->tag_name(st.tags[0]) << ")";
+        out << "tag(" << ctx_->tag_name(tags(s)[0]) << ")";
         break;
       case StateKind::kLeaf:
-        out << "leaf(" << ctx_->attr_label(st.attr) << ")";
+        out << "leaf(" << ctx_->attr_label(attr_[s]) << ")";
         break;
     }
     out << " ->";
-    for (StateId c : st.children) out << " #" << c;
+    for (StateId c : children(s)) out << " #" << c;
     out << "\n";
   }
   return out.str();

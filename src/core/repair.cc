@@ -121,6 +121,13 @@ Result<RepairResult> RepairOrganization(const Organization& org,
 
   // ---- 3. Splice pass 1: map surviving states in topological order. ----
   Organization out(ctx);
+  // The splice copies nearly every old state plus one leaf (and possibly
+  // one tag state) per added attribute; presize the arenas so pass 1-3
+  // never reallocate per state.
+  out.Reserve(org.num_states() + d.added_attrs.size() + d.added_tags.size(),
+              org.NumEdges() +
+                  4 * (d.added_attrs.size() + d.added_tags.size() +
+                       d.retagged_attrs.size()));
   std::vector<StateId> topo = org.TopologicalOrder();
   std::vector<StateId> mapped(org.num_states(), kInvalidId);
   std::vector<char> has_old_leaf(ctx->num_attrs(), 0);
@@ -230,7 +237,7 @@ Result<RepairResult> RepairOrganization(const Organization& org,
         // extras. Restore the invariant the way ADD_PARENT does —
         // propagate the missing attributes upward — then retry.
         DynamicBitset child_set = out.StateAttrSet(nc);
-        const DynamicBitset& parent_set = out.state(ap).attrs;
+        const AttrSet& parent_set = out.attrs(ap);
         DynamicBitset missing = ctx->MakeAttrSet();
         child_set.ForEach([&](size_t a) {
           if (!parent_set.Test(a)) missing.Set(a);

@@ -5,47 +5,26 @@
 
 namespace lakeorg {
 
-double Dot(const Vec& a, const Vec& b) {
-  assert(a.size() == b.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-  }
-  return acc;
-}
-
-double Norm(const Vec& a) { return std::sqrt(Dot(a, a)); }
-
-double Cosine(const Vec& a, const Vec& b) {
-  double na = Norm(a);
-  double nb = Norm(b);
-  if (na == 0.0 || nb == 0.0) return 0.0;
-  double c = Dot(a, b) / (na * nb);
-  if (c > 1.0) c = 1.0;
-  if (c < -1.0) c = -1.0;
-  return c;
-}
-
-double CosineWithNorms(const Vec& a, double norm_a, const Vec& b,
-                       double norm_b) {
-  if (norm_a == 0.0 || norm_b == 0.0) return 0.0;
-  double c = Dot(a, b) / (norm_a * norm_b);
-  if (c > 1.0) c = 1.0;
-  if (c < -1.0) c = -1.0;
-  return c;
-}
-
-double CosineDistance(const Vec& a, const Vec& b) {
+double CosineDistance(std::span<const float> a, std::span<const float> b) {
   return (1.0 - Cosine(a, b)) / 2.0;
 }
 
-void AddInPlace(Vec* a, const Vec& b) {
+void AddInPlace(Vec* a, std::span<const float> b) {
   assert(a->size() == b.size());
   for (size_t i = 0; i < a->size(); ++i) (*a)[i] += b[i];
 }
 
+void AddInPlace(std::span<float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
 void ScaleInPlace(Vec* a, float s) {
   for (float& x : *a) x *= s;
+}
+
+void ScaleInPlace(std::span<float> a, float s) {
+  for (float& x : a) x *= s;
 }
 
 void NormalizeInPlace(Vec* a) {
@@ -60,13 +39,13 @@ Vec Add(const Vec& a, const Vec& b) {
   return out;
 }
 
-void TopicAccumulator::Add(const Vec& v) {
+void TopicAccumulator::Add(std::span<const float> v) {
   assert(v.size() == sum_.size());
   AddInPlace(&sum_, v);
   ++count_;
 }
 
-void TopicAccumulator::AddSum(const Vec& sum, size_t count) {
+void TopicAccumulator::AddSum(std::span<const float> sum, size_t count) {
   assert(sum.size() == sum_.size());
   AddInPlace(&sum_, sum);
   count_ += count;

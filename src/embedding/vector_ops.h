@@ -1,8 +1,15 @@
 // Dense-vector kernels. Topic vectors (section 3.1) are sample means of
 // word-embedding vectors; transition similarity kappa is cosine.
+//
+// The read-only primitives take std::span<const float> so they accept both
+// owned vectors (Vec) and rows of the organization's packed struct-of-arrays
+// topic matrix without copying.
 #pragma once
 
+#include <cassert>
+#include <cmath>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace lakeorg {
@@ -10,36 +17,99 @@ namespace lakeorg {
 /// Embedding vector type used across the library.
 using Vec = std::vector<float>;
 
-/// Dot product. Requires equal dimensions.
-double Dot(const Vec& a, const Vec& b);
+/// Dot product. Requires equal dimensions. Defined inline: this is the
+/// kernel under every cosine of the reach DP, and the call sits inside
+/// the evaluators' per-child loops.
+///
+/// Eight fixed-lane partial sums: element i always lands in lane i % 8,
+/// and the lanes fold pairwise at the end, so the summation order is
+/// deterministic for a given length — but the lanes are independent, so
+/// the f32->f64 multiply-add loop vectorizes instead of serializing on
+/// one accumulator.
+inline double Dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  const size_t n = a.size();
+  double acc[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t k = 0; k < 8; ++k) {
+      acc[k] += static_cast<double>(a[i + k]) * static_cast<double>(b[i + k]);
+    }
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    tail += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return (((acc[0] + acc[4]) + (acc[2] + acc[6])) +
+          ((acc[1] + acc[5]) + (acc[3] + acc[7]))) +
+         tail;
+}
 
 /// Euclidean (L2) norm.
-double Norm(const Vec& a);
+inline double Norm(std::span<const float> a) { return std::sqrt(Dot(a, a)); }
 
 /// Cosine similarity in [-1, 1]; 0 when either vector is all-zero.
-double Cosine(const Vec& a, const Vec& b);
+inline double Cosine(std::span<const float> a, std::span<const float> b) {
+  double na = Norm(a);
+  double nb = Norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  double c = Dot(a, b) / (na * nb);
+  if (c > 1.0) c = 1.0;
+  if (c < -1.0) c = -1.0;
+  return c;
+}
 
 /// Cosine via precomputed norms (0 when either norm is zero). The hot-path
 /// kernel behind the evaluators and the serving-layer transition rows:
 /// using it with cached norms is bit-identical to every other caller, so
 /// cached and recomputed rows compare exactly.
-double CosineWithNorms(const Vec& a, double norm_a, const Vec& b,
-                       double norm_b);
+inline double CosineWithNorms(std::span<const float> a, double norm_a,
+                              std::span<const float> b, double norm_b) {
+  if (norm_a == 0.0 || norm_b == 0.0) return 0.0;
+  double c = Dot(a, b) / (norm_a * norm_b);
+  if (c > 1.0) c = 1.0;
+  if (c < -1.0) c = -1.0;
+  return c;
+}
 
 /// Angular distance derived from cosine: (1 - cosine) / 2, in [0, 1].
-double CosineDistance(const Vec& a, const Vec& b);
+double CosineDistance(std::span<const float> a, std::span<const float> b);
 
 /// a += b. Requires equal dimensions.
-void AddInPlace(Vec* a, const Vec& b);
+void AddInPlace(Vec* a, std::span<const float> b);
+
+/// a += b over raw rows (the SoA topic-matrix update path).
+void AddInPlace(std::span<float> a, std::span<const float> b);
 
 /// a *= s.
 void ScaleInPlace(Vec* a, float s);
+
+/// a *= s over a raw row.
+void ScaleInPlace(std::span<float> a, float s);
 
 /// Normalizes `a` to unit L2 norm; leaves an all-zero vector unchanged.
 void NormalizeInPlace(Vec* a);
 
 /// Returns a + b.
 Vec Add(const Vec& a, const Vec& b);
+
+// Initializer-list conveniences: std::span cannot bind a brace list, so
+// literal-heavy callers (tests, examples) get thin forwarding overloads.
+inline std::span<const float> AsSpan(std::initializer_list<float> v) {
+  return std::span<const float>(v.begin(), v.size());
+}
+inline double Norm(std::initializer_list<float> a) { return Norm(AsSpan(a)); }
+inline double Cosine(std::initializer_list<float> a,
+                     std::initializer_list<float> b) {
+  return Cosine(AsSpan(a), AsSpan(b));
+}
+inline double CosineDistance(std::initializer_list<float> a,
+                             std::initializer_list<float> b) {
+  return CosineDistance(AsSpan(a), AsSpan(b));
+}
+inline void AddInPlace(Vec* a, std::initializer_list<float> b) {
+  AddInPlace(a, AsSpan(b));
+}
 
 /// Accumulates value vectors and yields their sample mean (the "topic
 /// vector" of Definition 4). Supports merging, which is how interior-state
@@ -50,10 +120,14 @@ class TopicAccumulator {
   explicit TopicAccumulator(size_t dim = 0) : sum_(dim, 0.0f) {}
 
   /// Adds one sample.
-  void Add(const Vec& v);
+  void Add(std::span<const float> v);
+  void Add(std::initializer_list<float> v) { Add(AsSpan(v)); }
 
   /// Adds a pre-summed population: `sum` over `count` samples.
-  void AddSum(const Vec& sum, size_t count);
+  void AddSum(std::span<const float> sum, size_t count);
+  void AddSum(std::initializer_list<float> sum, size_t count) {
+    AddSum(AsSpan(sum), count);
+  }
 
   /// Merges another accumulator's population into this one.
   void Merge(const TopicAccumulator& other) { AddSum(other.sum_, other.count_); }

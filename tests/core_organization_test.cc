@@ -261,9 +261,10 @@ TEST_F(OrganizationTest, TagStatePromotedToInteriorOnTagGrowth) {
   FlatPieces p = MakeFlat();
   // Propagate beta's tag+attrs into the alpha tag state: alpha becomes a
   // two-tag state and must stop being kTag.
-  DynamicBitset beta_attrs = p.org.state(p.tag_beta).attrs;
+  DynamicBitset beta_attrs = p.org.StateAttrSet(p.tag_beta);
   std::vector<StateId> touched;
-  p.org.PropagateAttrsUpward(p.tag_alpha, beta_attrs, {1}, &touched);
+  const uint32_t beta_tag[] = {1};
+  p.org.PropagateAttrsUpward(p.tag_alpha, beta_attrs, beta_tag, &touched);
   EXPECT_EQ(p.org.state(p.tag_alpha).kind, StateKind::kInterior);
   EXPECT_EQ(p.org.state(p.tag_alpha).tags.size(), 2u);
   // Beta (untouched) remains a tag state.

@@ -92,13 +92,13 @@ TEST(ParallelEvalTest, IncrementalEvaluatorMatchesSerial) {
   EXPECT_NEAR(eval_serial.effectiveness, eval_parallel.effectiveness, 1e-12);
   ASSERT_EQ(eval_serial.dirty, eval_parallel.dirty);
   ASSERT_EQ(eval_serial.affected_queries, eval_parallel.affected_queries);
+  // Flattened row-major matrix: one dirty.size() row per affected query.
   ASSERT_EQ(eval_serial.new_reach.size(), eval_parallel.new_reach.size());
-  for (size_t qi = 0; qi < eval_serial.new_reach.size(); ++qi) {
-    ASSERT_EQ(eval_serial.new_reach[qi].size(),
-              eval_parallel.new_reach[qi].size());
-    for (size_t j = 0; j < eval_serial.new_reach[qi].size(); ++j) {
-      EXPECT_NEAR(eval_serial.new_reach[qi][j],
-                  eval_parallel.new_reach[qi][j], 1e-12)
+  const size_t stride = eval_serial.dirty.size();
+  for (size_t qi = 0; qi < eval_serial.affected_queries.size(); ++qi) {
+    for (size_t j = 0; j < stride; ++j) {
+      EXPECT_NEAR(eval_serial.new_reach[qi * stride + j],
+                  eval_parallel.new_reach[qi * stride + j], 1e-12)
           << "query " << qi << " dirty " << j;
     }
   }

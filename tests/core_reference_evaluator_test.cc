@@ -133,16 +133,14 @@ TEST_F(ReferenceEvaluatorTest, TopicInvariantsHoldOnBuilderOrganizations) {
 
 TEST_F(ReferenceEvaluatorTest, TopicInvariantsCatchCorruption) {
   // CheckTopicInvariants is only useful as an oracle if it actually fires.
-  // Corrupt one interior state's cached norm through a journaled snapshot
-  // restore of a tampered copy.
+  // Corrupt one interior state's cached norm via the test hook.
   for (StateId s = 0; s < org_->num_states(); ++s) {
-    OrgState& st = const_cast<OrgState&>(org_->state(s));
-    if (!st.alive || st.kind == StateKind::kLeaf) continue;
-    if (st.topic_norm == 0.0) continue;
-    double saved = st.topic_norm;
-    st.topic_norm = saved * 2.0 + 1.0;
+    if (!org_->alive(s) || org_->kind(s) == StateKind::kLeaf) continue;
+    double saved = org_->topic_norm(s);
+    if (saved == 0.0) continue;
+    org_->SetTopicNormForTest(s, saved * 2.0 + 1.0);
     EXPECT_FALSE(CheckTopicInvariants(*org_).ok());
-    st.topic_norm = saved;
+    org_->SetTopicNormForTest(s, saved);
     EXPECT_TRUE(CheckTopicInvariants(*org_).ok());
     return;
   }

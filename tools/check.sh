@@ -44,9 +44,9 @@ run_sanitizer_tier() {
   cmake --build "$tree" -j "$jobs" \
     --target difftest difftest_property_test common_test core_test \
              obs_test lake_test discovery_test
-  # Fixed-seed differential fuzz corpus (includes the repair-delta and
-  # serving property corpora: difftest --repair / --serving, serial and
-  # threaded).
+  # Fixed-seed differential fuzz corpus (includes the repair-delta,
+  # serving, and state-recycling property corpora: difftest --repair /
+  # --serving / --recycle, serial and threaded).
   (cd "$tree" && ctest --output-on-failure -j "$jobs" -L fuzz)
   # Optimizer golden trace + telemetry (incl. the 8-thread counter
   # exactness test — the TSan run is the lock-freedom proof), the

@@ -16,6 +16,13 @@
 //
 //   difftest --repair --seed 1 --trials 100 --threads 4
 //
+// --recycle switches to the state-recycling property (RunRecycleTrial):
+// rounds of delete-biased op churn followed by RecycleDeadStates() and
+// slot reuse, checking free-list behavior, slot-version bumps, leaf
+// StateId stability, and evaluator/oracle agreement after every round.
+//
+//   difftest --recycle --seed 1 --trials 50 --threads 4 --rounds 4
+//
 // --serving switches to the serving-layer property (RunServingTrial):
 // random walks through a cached and an uncached NavService plus a
 // ComputeTransitionRow oracle, required to match bit-identically, with
@@ -42,7 +49,7 @@ void Usage() {
                "                [--dims N] [--ops N] [--tolerance X]\n"
                "                [--max-seconds X] [--verbose] [--repair]\n"
                "                [--mutations N] [--serving] [--sessions N]\n"
-               "                [--steps N]\n");
+               "                [--steps N] [--recycle] [--rounds N]\n");
   std::exit(2);
 }
 
@@ -69,9 +76,11 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool repair = false;
   bool serving = false;
+  bool recycle = false;
   size_t mutations = 3;
   size_t sessions = 8;
   size_t steps = 30;
+  size_t rounds = 4;
   lakeorg::DiffTrialOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -105,6 +114,10 @@ int main(int argc, char** argv) {
       sessions = static_cast<size_t>(ParseU64(next()));
     } else if (std::strcmp(argv[i], "--steps") == 0) {
       steps = static_cast<size_t>(ParseU64(next()));
+    } else if (std::strcmp(argv[i], "--recycle") == 0) {
+      recycle = true;
+    } else if (std::strcmp(argv[i], "--rounds") == 0) {
+      rounds = static_cast<size_t>(ParseU64(next()));
     } else {
       Usage();
     }
@@ -147,6 +160,47 @@ int main(int argc, char** argv) {
         "%zu steps, cache hit rate %.2f, %.1fs\n",
         ran - failures, ran, failures, sopts.threads, total_steps, hit_rate,
         timer.ElapsedSeconds());
+    return failures == 0 ? 0 : 1;
+  }
+
+  if (recycle) {
+    lakeorg::RecycleTrialOptions copts;
+    copts.threads = options.threads;
+    copts.tolerance = options.tolerance;
+    copts.num_rounds = rounds;
+    lakeorg::WallTimer timer;
+    size_t ran = 0;
+    size_t failures = 0;
+    size_t recycled = 0;
+    size_t reused = 0;
+    double worst = 0.0;
+    for (size_t t = 0; t < trials; ++t) {
+      if (max_seconds > 0.0 && timer.ElapsedSeconds() >= max_seconds) break;
+      copts.seed = seed + t;
+      lakeorg::RecycleTrialResult res = lakeorg::RunRecycleTrial(copts);
+      ++ran;
+      recycled += res.states_recycled;
+      reused += res.slots_reused;
+      worst = std::max(worst, std::max(res.max_effectiveness_diff,
+                                       res.max_discovery_diff));
+      if (!res.ok) {
+        ++failures;
+        std::fprintf(stderr, "FAIL %s\n", res.error.c_str());
+      } else if (verbose) {
+        std::printf(
+            "seed %" PRIu64 ": ok  ops=%zu recycled=%zu reused=%zu "
+            "max_diff=%.3g\n",
+            copts.seed, res.ops_applied, res.states_recycled,
+            res.slots_reused,
+            std::max(res.max_effectiveness_diff, res.max_discovery_diff));
+      }
+    }
+    std::printf(
+        "difftest --recycle: %zu/%zu trials ok (%zu failed), threads=%zu, "
+        "%zu slots recycled, %zu reused, "
+        "worst |optimized - reference| = %.3g, %.1fs\n",
+        ran - failures, ran, failures, copts.threads, recycled, reused,
+        worst, timer.ElapsedSeconds());
     return failures == 0 ? 0 : 1;
   }
 
