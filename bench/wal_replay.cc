@@ -1,0 +1,245 @@
+// E9 — WAL append and crash-recovery throughput (docs/DURABILITY.md).
+//
+// Two measurements over the 400-attribute tag-cloud fixture:
+//
+//   append   — raw DurableLog throughput (records/s, MB/s) framing and
+//              fsyncing real WAL record payloads at group-commit windows
+//              {1, 8, 64}; the window sweep shows what fsync batching
+//              buys on this filesystem.
+//   recover  — end-to-end LiveLakeService::RecoverFromDisk wall time for
+//              a durable apply history: load the initial snapshot, then
+//              replay every WAL record through the repair path. The
+//              recovered state is cross-checked against the never-closed
+//              live service (byte-identical catalog).
+//
+// Headline numbers land in BENCH_wal_replay.json via the wal.bench_*
+// gauges; the fleet-health gate compares them against the committed
+// baseline (tools/bench_compare).
+#include <cstdio>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_main.h"
+#include "bench/bench_util.h"
+#include "benchgen/tagcloud.h"
+#include "common/timer.h"
+#include "discovery/live_lake.h"
+#include "lake/wal/wal.h"
+#include "obs/metrics.h"
+
+namespace lakeorg {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// One deterministic apply: a new table carrying two attributes whose
+/// value domains are copied from existing attributes (so topic vectors
+/// recompute identically on replay).
+Status MutateHistoryStep(LakeMutationRecorder* rec, size_t step) {
+  const DataLake& lake = rec->lake();
+  std::vector<AttributeId> donors = lake.OrganizableAttributes();
+  if (donors.size() < 2) {
+    return Status::FailedPrecondition("fixture too small");
+  }
+  TableId t = rec->AddTable("wal_bench_" + std::to_string(step));
+  rec->Tag(t, lake.tag_name(static_cast<TagId>(step % lake.num_tags())));
+  for (size_t a = 0; a < 2; ++a) {
+    const Attribute& donor =
+        lake.attribute(donors[(step * 2 + a) % donors.size()]);
+    rec->AddAttribute(t, "v" + std::to_string(a), donor.values,
+                      donor.is_text);
+  }
+  return Status::OK();
+}
+
+struct AppendResult {
+  size_t records = 0;
+  uint64_t bytes = 0;
+  double seconds = 0.0;
+
+  double RecordsPerSec() const {
+    return seconds > 0.0 ? static_cast<double>(records) / seconds : 0.0;
+  }
+  double MbPerSec() const {
+    return seconds > 0.0
+               ? static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds
+               : 0.0;
+  }
+};
+
+/// Appends `payloads` cycled `rounds` times through a fresh DurableLog.
+Result<AppendResult> RunAppend(const std::string& dir,
+                               const std::vector<std::string>& payloads,
+                               int window, size_t rounds) {
+  fs::remove_all(dir);
+  WalOptions wopts;
+  wopts.dir = dir;
+  wopts.group_commit_window = window;
+  Result<DurableLog> opened = DurableLog::Open(wopts);
+  LAKEORG_RETURN_NOT_OK(opened.status());
+  DurableLog log = std::move(opened).value();
+  AppendResult out;
+  WallTimer timer;
+  for (size_t r = 0; r < rounds; ++r) {
+    for (const std::string& payload : payloads) {
+      LAKEORG_RETURN_NOT_OK(log.Append(payload));
+      ++out.records;
+    }
+  }
+  LAKEORG_RETURN_NOT_OK(log.Sync());
+  out.seconds = timer.ElapsedSeconds();
+  out.bytes = log.log_bytes();
+  return out;
+}
+
+}  // namespace
+
+int Main(const bench::BenchOptions& bopts) {
+  using bench::PrintHeader;
+  using bench::PrintRule;
+  using bench::Scaled;
+
+  double scale = bopts.Scale(1.0, 0.1);
+  TagCloudOptions opts;
+  opts.num_tags = Scaled(60, scale, 8);
+  opts.target_attributes = Scaled(400, scale, 40);
+  opts.min_values = 10;
+  opts.max_values = 60;
+  opts.seed = 11;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+
+  size_t applies = bopts.smoke ? 6 : 24;
+  size_t append_rounds = bopts.smoke ? 4 : 40;
+  fs::path work =
+      fs::temp_directory_path() / "lakeorg_bench_wal_replay";
+  fs::remove_all(work);
+  fs::create_directories(work);
+
+  PrintHeader("WAL append + crash recovery (TagCloud, " +
+              std::to_string(bench.lake.OrganizableAttributes().size()) +
+              " attrs, " + std::to_string(applies) +
+              "-apply history, scale " + std::to_string(scale) + ")");
+
+  // --- Build the durable history once -------------------------------------
+  LiveLakeService::Options lopts;
+  lopts.optimize_initial = false;
+  lopts.repair.seed = 7;
+  lopts.repair.reopt_max_proposals = 40;
+  lopts.repair.reopt_patience = 12;
+  lopts.durability.dir = (work / "wal").string();
+  lopts.durability.group_commit_window = 8;
+  lopts.durability.snapshot_every = 0;  // Keep the whole replayable tail.
+  LiveLakeService service(bench.lake, bench.store, lopts);
+  Status st = service.Initialize();
+  if (!st.ok()) {
+    std::fprintf(stderr, "FAIL: initialize: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  WallTimer history_timer;
+  for (size_t i = 0; i < applies; ++i) {
+    Result<LiveApplyReport> report = service.ApplyRecorded(
+        [i](LakeMutationRecorder* rec) { return MutateHistoryStep(rec, i); });
+    if (!report.ok()) {
+      std::fprintf(stderr, "FAIL: apply %zu: %s\n", i,
+                   report.status().ToString().c_str());
+      return 1;
+    }
+  }
+  st = service.SyncWal();
+  if (!st.ok()) {
+    std::fprintf(stderr, "FAIL: sync: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  double history_seconds = history_timer.ElapsedSeconds();
+
+  Result<WalDirState> disk = ReadWalDir(lopts.durability.dir);
+  if (!disk.ok() || disk.value().wal_payloads.size() != applies) {
+    std::fprintf(stderr, "FAIL: reading the history WAL back\n");
+    return 1;
+  }
+  const std::vector<std::string>& payloads = disk.value().wal_payloads;
+  uint64_t payload_bytes = 0;
+  for (const std::string& p : payloads) payload_bytes += p.size();
+  std::printf(
+      "history: %zu durable applies in %.3fs (%.1f applies/s), "
+      "%zu WAL records, %.1f KiB payload\n",
+      applies, history_seconds,
+      history_seconds > 0.0 ? applies / history_seconds : 0.0,
+      payloads.size(), static_cast<double>(payload_bytes) / 1024.0);
+
+  // --- Raw append throughput across group-commit windows -------------------
+  PrintRule();
+  std::printf("%8s | %10s %12s %10s %10s\n", "window", "records",
+              "records/s", "MB/s", "seconds");
+  PrintRule();
+  const int kWindows[] = {1, 8, 64};
+  double window1_rps = 0.0;
+  double window64_rps = 0.0;
+  for (int window : kWindows) {
+    Result<AppendResult> appended =
+        RunAppend((work / ("append_w" + std::to_string(window))).string(),
+                  payloads, window, append_rounds);
+    if (!appended.ok()) {
+      std::fprintf(stderr, "FAIL: append window %d: %s\n", window,
+                   appended.status().ToString().c_str());
+      return 1;
+    }
+    const AppendResult& a = appended.value();
+    std::printf("%8d | %10zu %12.0f %10.2f %10.3f\n", window, a.records,
+                a.RecordsPerSec(), a.MbPerSec(), a.seconds);
+    if (window == 1) window1_rps = a.RecordsPerSec();
+    if (window == 64) window64_rps = a.RecordsPerSec();
+    obs::GetGauge("wal.bench_append_records_per_sec_w" +
+                  std::to_string(window))
+        .Set(a.RecordsPerSec());
+    obs::GetGauge("wal.bench_append_mb_per_sec_w" + std::to_string(window))
+        .Set(a.MbPerSec());
+  }
+  PrintRule();
+  if (window1_rps > 0.0) {
+    std::printf("group commit: w=64 sustains %.1fx the w=1 record rate\n",
+                window64_rps / window1_rps);
+  }
+
+  // --- Recovery ------------------------------------------------------------
+  WallTimer recover_timer;
+  Result<std::unique_ptr<LiveLakeService>> recovered =
+      LiveLakeService::RecoverFromDisk(bench.store, lopts);
+  double recovery_seconds = recover_timer.ElapsedSeconds();
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "FAIL: recovery: %s\n",
+                 recovered.status().ToString().c_str());
+    return 1;
+  }
+  if (recovered.value()->wal_seq() != applies ||
+      recovered.value()->Current()->lake->NumAliveTables() !=
+          service.Current()->lake->NumAliveTables()) {
+    std::fprintf(stderr,
+                 "FAIL: recovered state disagrees with the live service\n");
+    return 1;
+  }
+  double replay_rps =
+      recovery_seconds > 0.0 ? applies / recovery_seconds : 0.0;
+  std::printf(
+      "recovery: %zu records replayed in %.3fs (%.1f records/s, "
+      "snapshot + full-tail replay)\n",
+      applies, recovery_seconds, replay_rps);
+
+  obs::GetGauge("wal.bench_history_applies_per_sec")
+      .Set(history_seconds > 0.0 ? applies / history_seconds : 0.0);
+  obs::GetGauge("wal.bench_recovery_seconds").Set(recovery_seconds);
+  obs::GetGauge("wal.bench_replay_records_per_sec").Set(replay_rps);
+
+  std::error_code ec;
+  fs::remove_all(work, ec);
+  return 0;
+}
+
+}  // namespace lakeorg
+
+int main(int argc, char** argv) {
+  return lakeorg::bench::BenchMain(argc, argv, "wal_replay", lakeorg::Main);
+}

@@ -100,7 +100,12 @@ Status SaveOrganizationToFile(const Organization& org,
                               const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::NotFound("cannot open for writing: " + path);
-  return SaveOrganization(org, &out);
+  LAKEORG_RETURN_NOT_OK(SaveOrganization(org, &out));
+  out.flush();
+  if (!out) {
+    return Status::Internal("short write saving organization to " + path);
+  }
+  return Status::OK();
 }
 
 Result<Organization> LoadOrganization(
@@ -231,7 +236,11 @@ Result<Organization> LoadOrganizationFromFile(
     std::shared_ptr<const OrgContext> ctx, const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open for reading: " + path);
-  return LoadOrganization(std::move(ctx), &in);
+  Result<Organization> org = LoadOrganization(std::move(ctx), &in);
+  if (in.bad()) {
+    return Status::Internal("read error loading organization from " + path);
+  }
+  return org;
 }
 
 // ---------------------------------------------------------------------------
@@ -263,7 +272,12 @@ Status SaveMultiDimOrganizationToFile(const MultiDimOrganization& org,
                                       const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::NotFound("cannot open for writing: " + path);
-  return SaveMultiDimOrganization(org, &out);
+  LAKEORG_RETURN_NOT_OK(SaveMultiDimOrganization(org, &out));
+  out.flush();
+  if (!out) {
+    return Status::Internal("short write saving organization to " + path);
+  }
+  return Status::OK();
 }
 
 Result<MultiDimOrganization> LoadMultiDimOrganization(
@@ -329,7 +343,11 @@ Result<MultiDimOrganization> LoadMultiDimOrganizationFromFile(
     const DataLake& lake, const TagIndex& index, const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open for reading: " + path);
-  return LoadMultiDimOrganization(lake, index, &in);
+  Result<MultiDimOrganization> org = LoadMultiDimOrganization(lake, index, &in);
+  if (in.bad()) {
+    return Status::Internal("read error loading organization from " + path);
+  }
+  return org;
 }
 
 }  // namespace lakeorg

@@ -1,0 +1,411 @@
+#include "discovery/durability_fuzz.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/serialization.h"
+#include "discovery/live_lake.h"
+#include "lake/lake_serialization.h"
+#include "lake/wal/wal.h"
+#include "lake/wal/wal_record.h"
+
+namespace lakeorg {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// One planned catalog mutation with every random choice already made,
+/// so the identical batch executes against the durable service and the
+/// reference service (their lakes are in identical states, so ids
+/// match).
+struct PlanOp {
+  enum class Kind { kAddTable, kRemoveTable, kRetag } kind = Kind::kAddTable;
+  std::string table_name;                          ///< add
+  TagId existing_tag = kInvalidId;                 ///< add (when no new tag)
+  std::string new_tag_name;                        ///< add (when non-empty)
+  std::vector<std::vector<std::string>> attr_values;  ///< add
+  TableId victim = kInvalidId;                     ///< remove
+  AttributeId attr = kInvalidId;                   ///< retag
+  std::vector<TagId> tags;                         ///< retag
+};
+
+/// Draws one batch against the current catalog (same mutation mix as
+/// org_fuzz's RunRepairTrial).
+std::vector<PlanOp> PlanBatch(const DataLake& lake, uint64_t seed,
+                              size_t apply_index, size_t num_mutations,
+                              Rng* rng) {
+  std::vector<PlanOp> plan;
+  // Track planned removals so one batch does not remove the same table
+  // twice or shrink the lake below two alive tables.
+  std::vector<TableId> removed;
+  auto planned_removed = [&removed](TableId t) {
+    for (TableId r : removed) {
+      if (r == t) return true;
+    }
+    return false;
+  };
+  for (size_t m = 0; m < num_mutations; ++m) {
+    switch (rng->UniformInt(0, 2)) {
+      case 0: {  // Add a table with 1-3 attributes; domains are borrowed
+                 // from existing attributes (guaranteed embeddable).
+        std::vector<AttributeId> donors = lake.OrganizableAttributes();
+        if (donors.empty()) break;
+        PlanOp op;
+        op.kind = PlanOp::Kind::kAddTable;
+        op.table_name = "dfuzz_added_" + std::to_string(seed) + "_" +
+                        std::to_string(apply_index) + "_" + std::to_string(m);
+        if (rng->Bernoulli(0.7)) {
+          op.existing_tag = static_cast<TagId>(rng->UniformInt(
+              0, static_cast<int64_t>(lake.num_tags()) - 1));
+        } else {
+          op.new_tag_name = "dfuzz_tag_" + std::to_string(seed) + "_" +
+                            std::to_string(apply_index) + "_" +
+                            std::to_string(m);
+        }
+        size_t n = static_cast<size_t>(rng->UniformInt(1, 3));
+        for (size_t i = 0; i < n; ++i) {
+          AttributeId donor = donors[static_cast<size_t>(rng->UniformInt(
+              0, static_cast<int64_t>(donors.size()) - 1))];
+          op.attr_values.push_back(lake.attribute(donor).values);
+        }
+        plan.push_back(std::move(op));
+        break;
+      }
+      case 1: {  // Remove a random alive table, keeping >= 2 alive.
+        std::vector<TableId> alive;
+        for (const Table& t : lake.tables()) {
+          if (!t.removed && !planned_removed(t.id)) alive.push_back(t.id);
+        }
+        if (alive.size() <= 2) break;
+        PlanOp op;
+        op.kind = PlanOp::Kind::kRemoveTable;
+        op.victim = alive[static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int64_t>(alive.size()) - 1))];
+        removed.push_back(op.victim);
+        plan.push_back(std::move(op));
+        break;
+      }
+      default: {  // Retag a random alive attribute to 1-2 random tags —
+                  // skipping attributes of tables this batch removes.
+        std::vector<AttributeId> attrs;
+        for (AttributeId a : lake.OrganizableAttributes()) {
+          if (!planned_removed(lake.attribute(a).table)) attrs.push_back(a);
+        }
+        if (attrs.empty()) break;
+        PlanOp op;
+        op.kind = PlanOp::Kind::kRetag;
+        op.attr = attrs[static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int64_t>(attrs.size()) - 1))];
+        size_t n = static_cast<size_t>(rng->UniformInt(1, 2));
+        for (size_t i = 0; i < n; ++i) {
+          op.tags.push_back(static_cast<TagId>(rng->UniformInt(
+              0, static_cast<int64_t>(lake.num_tags()) - 1)));
+        }
+        plan.push_back(std::move(op));
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+Status ExecutePlan(const std::vector<PlanOp>& plan,
+                   LakeMutationRecorder* rec) {
+  for (const PlanOp& op : plan) {
+    switch (op.kind) {
+      case PlanOp::Kind::kAddTable: {
+        TableId t = rec->AddTable(op.table_name);
+        TagId tag = op.new_tag_name.empty()
+                        ? op.existing_tag
+                        : rec->GetOrCreateTag(op.new_tag_name);
+        LAKEORG_RETURN_NOT_OK(rec->AttachTag(t, tag));
+        for (size_t i = 0; i < op.attr_values.size(); ++i) {
+          rec->AddAttribute(t, "col" + std::to_string(i), op.attr_values[i]);
+        }
+        break;
+      }
+      case PlanOp::Kind::kRemoveTable:
+        LAKEORG_RETURN_NOT_OK(rec->RemoveTable(op.victim));
+        break;
+      case PlanOp::Kind::kRetag:
+        LAKEORG_RETURN_NOT_OK(rec->RetagAttribute(op.attr, op.tags));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+/// Serializes a service's published state exactly the way a compacted
+/// snapshot does — the byte string recovery is held to.
+Result<std::string> EncodeState(const LiveLakeService& service,
+                                uint64_t seq) {
+  std::shared_ptr<const OrgSnapshot> cur = service.Current();
+  if (cur == nullptr) {
+    return Status::FailedPrecondition("service has no published snapshot");
+  }
+  DurableSnapshot snapshot;
+  snapshot.wal_seq = seq;
+  snapshot.effectiveness = cur->effectiveness;
+  snapshot.lake = LakeToJson(*cur->lake);
+  std::ostringstream org_text;
+  LAKEORG_RETURN_NOT_OK(SaveOrganization(*cur->org, &org_text));
+  snapshot.organization = std::move(org_text).str();
+  return DurableSnapshotToText(snapshot);
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  uint64_t size = fs::file_size(path, ec);
+  if (ec) {
+    return Status::Internal("file_size of '" + path + "': " + ec.message());
+  }
+  return size;
+}
+
+Status CopyDir(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::remove_all(to, ec);
+  fs::create_directories(to, ec);
+  if (ec) return Status::Internal("create '" + to + "': " + ec.message());
+  fs::copy(from, to, fs::copy_options::recursive, ec);
+  if (ec) {
+    return Status::Internal("copy '" + from + "' -> '" + to +
+                            "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  std::error_code ec;
+  fs::resize_file(path, size, ec);
+  if (ec) return Status::Internal("truncate '" + path + "': " + ec.message());
+  return Status::OK();
+}
+
+Status FlipBit(const std::string& path, uint64_t byte, int bit) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!f) return Status::Internal("cannot open '" + path + "'");
+  f.seekg(static_cast<std::streamoff>(byte));
+  char c = 0;
+  f.get(c);
+  c = static_cast<char>(c ^ (1 << bit));
+  f.seekp(static_cast<std::streamoff>(byte));
+  f.put(c);
+  f.flush();
+  if (!f) return Status::Internal("bit flip in '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace
+
+DurabilityTrialResult RunDurabilityTrial(
+    const DurabilityTrialOptions& options) {
+  DurabilityTrialResult res;
+  auto fail = [&res, &options](const std::string& msg) {
+    if (res.ok) {
+      res.ok = false;
+      res.error = "durability trial --seed " + std::to_string(options.seed) +
+                  ": " + msg;
+    }
+  };
+
+  std::string scratch = options.scratch_dir;
+  if (scratch.empty()) {
+    scratch = (fs::temp_directory_path() /
+               ("lakeorg_dfuzz_" + std::to_string(::getpid()) + "_" +
+                std::to_string(options.seed)))
+                  .string();
+  }
+  std::error_code ec;
+  fs::remove_all(scratch, ec);
+  struct ScratchGuard {
+    std::string dir;
+    ~ScratchGuard() {
+      std::error_code ec2;
+      fs::remove_all(dir, ec2);
+    }
+  } guard{scratch};
+
+  Rng rng(options.seed);
+  FuzzLake fl = MakeFuzzLake(&rng, options.lake);
+
+  LiveLakeService::Options base;
+  base.optimize_initial = false;  // Clustering org is enough; repair is
+                                  // the path under durability test.
+  base.repair.num_threads = options.threads;
+  base.repair.seed = options.seed * 7919 + 13;
+  base.canonical_publish = true;
+
+  LiveLakeService::Options durable = base;
+  durable.durability.dir = scratch + "/wal";
+  durable.durability.group_commit_window = options.group_commit_window;
+  durable.durability.snapshot_every = options.snapshot_every;
+
+  LiveLakeService reference(fl.bench.lake, fl.bench.store, base);
+  LiveLakeService durable_svc(fl.bench.lake, fl.bench.store, durable);
+  Status init = reference.Initialize();
+  if (!init.ok()) {
+    fail("reference Initialize: " + init.ToString());
+    return res;
+  }
+  init = durable_svc.Initialize();
+  if (!init.ok()) {
+    fail("durable Initialize: " + init.ToString());
+    return res;
+  }
+
+  // checkpoints[i] = reference state after i applies.
+  std::vector<std::string> checkpoints;
+  Result<std::string> encoded = EncodeState(reference, 0);
+  if (!encoded.ok()) {
+    fail("encode checkpoint 0: " + encoded.status().ToString());
+    return res;
+  }
+  checkpoints.push_back(std::move(encoded).value());
+  {
+    Result<std::string> durable0 = EncodeState(durable_svc, 0);
+    if (!durable0.ok() || durable0.value() != checkpoints[0]) {
+      fail("durable and reference services diverge at initialization");
+      return res;
+    }
+  }
+
+  for (size_t i = 1; i <= options.num_applies; ++i) {
+    std::vector<PlanOp> plan =
+        PlanBatch(*reference.Current()->lake, options.seed, i,
+                  options.mutations_per_apply, &rng);
+    auto mutate = [&plan](LakeMutationRecorder* rec) {
+      return ExecutePlan(plan, rec);
+    };
+    Result<LiveApplyReport> ref_report = reference.ApplyRecorded(mutate);
+    if (!ref_report.ok()) {
+      fail("reference apply " + std::to_string(i) + ": " +
+           ref_report.status().ToString());
+      return res;
+    }
+    Result<LiveApplyReport> dur_report = durable_svc.ApplyRecorded(mutate);
+    if (!dur_report.ok()) {
+      fail("durable apply " + std::to_string(i) + ": " +
+           dur_report.status().ToString());
+      return res;
+    }
+    if (dur_report.value().delta != ref_report.value().delta) {
+      fail("apply " + std::to_string(i) +
+           ": durable and reference deltas diverge");
+      return res;
+    }
+    encoded = EncodeState(reference, i);
+    if (!encoded.ok()) {
+      fail("encode checkpoint " + std::to_string(i) + ": " +
+           encoded.status().ToString());
+      return res;
+    }
+    checkpoints.push_back(std::move(encoded).value());
+    ++res.applies;
+  }
+  Status sync = durable_svc.SyncWal();
+  if (!sync.ok()) {
+    fail("SyncWal: " + sync.ToString());
+    return res;
+  }
+  {
+    Result<std::string> durable_final =
+        EncodeState(durable_svc, options.num_applies);
+    if (!durable_final.ok() ||
+        durable_final.value() != checkpoints.back()) {
+      fail("durable and reference services diverge before any crash");
+      return res;
+    }
+  }
+
+  std::string wal_log = WalLogPath(durable.durability.dir);
+  Result<uint64_t> wal_size = FileSize(wal_log);
+  if (!wal_size.ok()) {
+    fail(wal_size.status().ToString());
+    return res;
+  }
+  res.wal_bytes = wal_size.value();
+
+  std::string crash_dir = scratch + "/crash";
+  LiveLakeService::Options recover_options = durable;
+  recover_options.durability.dir = crash_dir;
+  for (size_t c = 0; c < options.num_crash_points; ++c) {
+    Status copied = CopyDir(durable.durability.dir, crash_dir);
+    if (!copied.ok()) {
+      fail(copied.ToString());
+      return res;
+    }
+    bool flip = res.wal_bytes > 0 && rng.Bernoulli(options.bitflip_prob);
+    uint64_t offset = 0;
+    int bit = 0;
+    if (flip) {
+      offset = static_cast<uint64_t>(
+          rng.UniformInt(0, static_cast<int64_t>(res.wal_bytes) - 1));
+      bit = static_cast<int>(rng.UniformInt(0, 7));
+      Status st = FlipBit(WalLogPath(crash_dir), offset, bit);
+      if (!st.ok()) {
+        fail(st.ToString());
+        return res;
+      }
+    } else {
+      offset = static_cast<uint64_t>(
+          rng.UniformInt(0, static_cast<int64_t>(res.wal_bytes)));
+      Status st = TruncateFile(WalLogPath(crash_dir), offset);
+      if (!st.ok()) {
+        fail(st.ToString());
+        return res;
+      }
+    }
+    auto describe = [&]() {
+      return std::string(flip ? "bit-flip at byte " : "truncation to ") +
+             std::to_string(offset) + (flip ? "." + std::to_string(bit) : "") +
+             " of " + std::to_string(res.wal_bytes) + " bytes (crash point " +
+             std::to_string(c) + ")";
+    };
+
+    Result<std::unique_ptr<LiveLakeService>> recovered =
+        LiveLakeService::RecoverFromDisk(fl.bench.store, recover_options);
+    if (!recovered.ok()) {
+      if (!flip) {
+        fail("recovery after " + describe() +
+             " must succeed, got: " + recovered.status().ToString());
+        return res;
+      }
+      // A detected bit-flip is a correct refusal.
+      ++res.refused;
+      ++res.crash_points;
+      continue;
+    }
+    const LiveLakeService& svc = *recovered.value();
+    uint64_t seq = svc.wal_seq();
+    if (seq >= checkpoints.size()) {
+      fail("recovery after " + describe() + " reports wal seq " +
+           std::to_string(seq) + " but only " +
+           std::to_string(checkpoints.size() - 1) + " applies ran");
+      return res;
+    }
+    Result<std::string> got = EncodeState(svc, seq);
+    if (!got.ok()) {
+      fail("encode recovered state: " + got.status().ToString());
+      return res;
+    }
+    if (got.value() != checkpoints[seq]) {
+      fail("recovery after " + describe() + " landed on seq " +
+           std::to_string(seq) +
+           " but its state differs from the reference checkpoint");
+      return res;
+    }
+    ++res.recovered_exact;
+    if (flip) ++res.bitflips_survived;
+    ++res.crash_points;
+  }
+  return res;
+}
+
+}  // namespace lakeorg

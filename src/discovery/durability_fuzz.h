@@ -1,0 +1,85 @@
+// Crash-recovery differential fuzzing for the durable metadata lake
+// (docs/DURABILITY.md, docs/TESTING.md).
+//
+// One trial runs the same randomized sequence of catalog mutation
+// batches through two LiveLakeServices — a durable one writing a WAL
+// (plus optional mid-run compacted snapshots) and a never-crashed
+// reference — checkpointing the reference's full serialized state after
+// every publish. It then simulates crashes: the durable directory is
+// copied, its log is truncated at a random byte offset (a torn write)
+// or has a random bit flipped (media corruption), and RecoverFromDisk
+// runs on the wreckage. The contract checked:
+//
+//   - a truncation crash must ALWAYS recover, to a state byte-identical
+//     to the reference checkpoint for the recovered sequence number;
+//   - a bit-flip either recovers to some exact checkpoint (the flip
+//     landed in a droppable tail) or is refused outright — never a
+//     silently wrong state.
+//
+// "Byte-identical" is literal: the recovered lake, organization and
+// effectiveness are serialized through the same canonical encoders and
+// compared as strings, the durability analogue of difftest's 1e-9
+// oracle discipline (here the tolerance is zero).
+//
+// tools/difftest.cc --durability and tools/crashtest.cc drive this from
+// the command line; the fuzz-labeled CTest tier runs a fixed-seed
+// corpus through the same code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/org_fuzz.h"
+
+namespace lakeorg {
+
+/// One crash-recovery trial's configuration. Deterministic for a fixed
+/// seed, like RunDiffTrial.
+struct DurabilityTrialOptions {
+  /// Trial seed; drives the lake, every mutation batch, and the crash
+  /// offsets. Printed with every failure so a trial replays exactly.
+  uint64_t seed = 1;
+  /// Repair worker threads (the recovered service replays with the same
+  /// count, so determinism only needs to hold per-count).
+  size_t threads = 1;
+  /// Mutation batches applied (and reference checkpoints recorded).
+  size_t num_applies = 6;
+  /// Mutations drawn per batch (add-table / remove-table / retag).
+  size_t mutations_per_apply = 2;
+  /// WAL records per fsync batch (WalOptions.group_commit_window).
+  int group_commit_window = 1;
+  /// Compact a snapshot every N applies; 0 = initial snapshot only.
+  uint64_t snapshot_every = 0;
+  /// Crash points simulated against the finished log.
+  size_t num_crash_points = 8;
+  /// Probability a crash point flips one random bit instead of
+  /// truncating.
+  double bitflip_prob = 0.25;
+  /// Scratch directory for WAL dirs and crash copies. Empty = a
+  /// per-process directory under the system temp dir. Always wiped.
+  std::string scratch_dir;
+  FuzzLakeOptions lake;
+};
+
+/// Outcome of one trial.
+struct DurabilityTrialResult {
+  bool ok = true;
+  /// First failure, with the trial seed embedded; empty when ok.
+  std::string error;
+  size_t applies = 0;
+  size_t crash_points = 0;
+  /// Recoveries that succeeded and matched their checkpoint exactly.
+  size_t recovered_exact = 0;
+  /// Recoveries refused with a corruption error (bit-flip points only).
+  size_t refused = 0;
+  /// Bit-flip points whose flip landed in a droppable tail and still
+  /// recovered exactly (counted inside recovered_exact too).
+  size_t bitflips_survived = 0;
+  /// Final wal.log size before crashes were simulated.
+  uint64_t wal_bytes = 0;
+};
+
+/// Runs one crash-recovery trial.
+DurabilityTrialResult RunDurabilityTrial(const DurabilityTrialOptions& options);
+
+}  // namespace lakeorg

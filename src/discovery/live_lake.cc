@@ -1,12 +1,28 @@
 #include "discovery/live_lake.h"
 
 #include <cassert>
+#include <chrono>
+#include <sstream>
 #include <utility>
 
 #include "core/org_builders.h"
+#include "core/serialization.h"
+#include "lake/lake_serialization.h"
 #include "lake/tag_index.h"
+#include "obs/metrics.h"
 
 namespace lakeorg {
+namespace {
+
+WalOptions ToWalOptions(const LiveDurabilityOptions& d) {
+  WalOptions wal;
+  wal.dir = d.dir;
+  wal.group_commit_window = d.group_commit_window;
+  wal.truncate_on_snapshot = d.truncate_on_snapshot;
+  return wal;
+}
+
+}  // namespace
 
 LiveLakeService::LiveLakeService(DataLake lake,
                                  std::shared_ptr<const EmbeddingStore> store,
@@ -26,6 +42,18 @@ Status LiveLakeService::Initialize() {
   if (initialized_) {
     return Status::FailedPrecondition("LiveLakeService already initialized");
   }
+  if (options_.durability.enabled()) {
+    // A directory that already holds durable state belongs to a
+    // previous incarnation: overwriting it would orphan that history.
+    Result<WalDirState> existing = ReadWalDir(options_.durability.dir);
+    if (!existing.ok()) return existing.status();
+    if (existing.value().has_snapshot ||
+        !existing.value().wal_payloads.empty()) {
+      return Status::FailedPrecondition(
+          "WAL directory '" + options_.durability.dir +
+          "' already holds durable state; use RecoverFromDisk");
+    }
+  }
   if (!initial_lake_.topic_vectors_computed()) {
     LAKEORG_RETURN_NOT_OK(initial_lake_.ComputeTopicVectors(*store_));
   }
@@ -44,10 +72,12 @@ Status LiveLakeService::Initialize() {
         OptimizeOrganization(std::move(initial), options_.initial_search);
     if (!opt.ok()) return opt.status();
     LocalSearchResult lsr = std::move(opt).value();
+    if (canonical_publish()) lsr.org.RecomputeAllTopics();
     snap.org = std::make_shared<const Organization>(std::move(lsr.org));
     snap.effectiveness = lsr.effectiveness;
   } else {
     initial.RecomputeLevels();
+    if (canonical_publish()) initial.RecomputeAllTopics();
     snap.org = std::make_shared<const Organization>(std::move(initial));
   }
 
@@ -59,6 +89,17 @@ Status LiveLakeService::Initialize() {
       lake_ptr.get(), store_, options_.engine);
   uint64_t version = snapshots_.Publish(std::move(snap));
   initialized_ = true;
+
+  if (options_.durability.enabled()) {
+    Result<DurableLog> log = DurableLog::Open(ToWalOptions(options_.durability));
+    if (!log.ok()) return log.status();
+    wal_ = std::move(log).value();
+    wal_seq_ = 0;
+    Result<std::string> contents = EncodeCurrentSnapshot();
+    if (!contents.ok()) return contents.status();
+    LAKEORG_RETURN_NOT_OK(wal_->WriteSnapshot(0, contents.value()));
+  }
+
   if (publish_listener_) publish_listener_(version);
   return Status::OK();
 }
@@ -69,9 +110,45 @@ void LiveLakeService::SetPublishListener(
   publish_listener_ = std::move(listener);
 }
 
+uint64_t LiveLakeService::wal_seq() const {
+  // wal_seq_ only changes under writer_mu_; readers of this accessor are
+  // tests and tooling that already serialize against applies.
+  return wal_seq_;
+}
+
+Status LiveLakeService::SyncWal() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (!wal_.has_value()) return Status::OK();
+  return wal_->Sync();
+}
+
 Result<LiveApplyReport> LiveLakeService::Apply(
     const std::function<Status(DataLake*)>& mutate) {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  if (options_.durability.enabled()) {
+    return Status::FailedPrecondition(
+        "durable LiveLakeService requires ApplyRecorded (an unrecorded "
+        "mutation cannot be logged for replay)");
+  }
+  return ApplyLocked(mutate, nullptr, nullptr);
+}
+
+Result<LiveApplyReport> LiveLakeService::ApplyRecorded(
+    const std::function<Status(LakeMutationRecorder*)>& mutate) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  LakeMutationBatch batch;
+  auto wrapped = [&mutate, &batch](DataLake* lake) -> Status {
+    LakeMutationRecorder recorder(lake);
+    LAKEORG_RETURN_NOT_OK(mutate(&recorder));
+    batch = recorder.TakeOps();
+    return Status::OK();
+  };
+  return ApplyLocked(wrapped, &batch, nullptr);
+}
+
+Result<LiveApplyReport> LiveLakeService::ApplyLocked(
+    const std::function<Status(DataLake*)>& mutate,
+    const LakeMutationBatch* record_batch, const LakeDelta* expect_delta) {
   std::shared_ptr<const OrgSnapshot> cur = snapshots_.Current();
   if (cur == nullptr) {
     return Status::FailedPrecondition(
@@ -92,6 +169,13 @@ Result<LiveApplyReport> LiveLakeService::Apply(
       *cur->org, lake, *index, delta, options_.repair);
   if (!repaired.ok()) return repaired.status();
   RepairResult rep = std::move(repaired).value();
+  if (canonical_publish()) rep.org.RecomputeAllTopics();
+
+  if (expect_delta != nullptr && delta != *expect_delta) {
+    return Status::Internal(
+        "WAL replay divergence: the replayed batch produced a different "
+        "catalog delta than the log recorded");
+  }
 
   LiveApplyReport report;
   report.delta = std::move(delta);
@@ -104,6 +188,18 @@ Result<LiveApplyReport> LiveLakeService::Apply(
   report.reopt_proposals = rep.reopt_proposals;
   report.repair_seconds = rep.seconds;
 
+  // Log before publish: once a reader can see the new version, a crash
+  // must be able to reproduce it (up to the group-commit window).
+  // Replay (expect_delta) never re-appends.
+  if (wal_.has_value() && record_batch != nullptr && expect_delta == nullptr) {
+    WalRecord record;
+    record.seq = wal_seq_ + 1;
+    record.batch = *record_batch;
+    record.delta = report.delta;
+    LAKEORG_RETURN_NOT_OK(wal_->Append(WalRecordToText(record)));
+    wal_seq_ = record.seq;
+  }
+
   auto lake_ptr = std::make_shared<const DataLake>(std::move(lake));
   OrgSnapshot snap;
   snap.lake = lake_ptr;
@@ -115,7 +211,133 @@ Result<LiveApplyReport> LiveLakeService::Apply(
       lake_ptr.get(), store_, options_.engine);
   report.version = snapshots_.Publish(std::move(snap));
   if (publish_listener_) publish_listener_(report.version);
+
+  // Compaction after publish: the snapshot must capture the state a
+  // recovery should serve, which is exactly what was just published.
+  if (wal_.has_value() && expect_delta == nullptr &&
+      options_.durability.snapshot_every > 0 &&
+      ++applies_since_snapshot_ >= options_.durability.snapshot_every) {
+    Result<std::string> contents = EncodeCurrentSnapshot();
+    if (!contents.ok()) return contents.status();
+    LAKEORG_RETURN_NOT_OK(wal_->WriteSnapshot(wal_seq_, contents.value()));
+    applies_since_snapshot_ = 0;
+  }
   return report;
+}
+
+Result<std::string> LiveLakeService::EncodeCurrentSnapshot() const {
+  std::shared_ptr<const OrgSnapshot> cur = snapshots_.Current();
+  if (cur == nullptr) {
+    return Status::FailedPrecondition("no published snapshot to encode");
+  }
+  DurableSnapshot snapshot;
+  snapshot.wal_seq = wal_seq_;
+  snapshot.effectiveness = cur->effectiveness;
+  snapshot.lake = LakeToJson(*cur->lake);
+  std::ostringstream org_text;
+  LAKEORG_RETURN_NOT_OK(SaveOrganization(*cur->org, &org_text));
+  snapshot.organization = std::move(org_text).str();
+  return DurableSnapshotToText(snapshot);
+}
+
+Status LiveLakeService::InitializeFromSnapshot(const DurableSnapshot& snapshot) {
+  if (initialized_) {
+    return Status::FailedPrecondition("LiveLakeService already initialized");
+  }
+  Result<DataLake> lake_result = LakeFromJson(snapshot.lake);
+  if (!lake_result.ok()) return lake_result.status();
+  DataLake lake = std::move(lake_result).value();
+  LAKEORG_RETURN_NOT_OK(lake.ComputeTopicVectors(*store_));
+
+  auto index = std::make_shared<const TagIndex>(TagIndex::Build(lake));
+  if (index->NonEmptyTags().empty()) {
+    return Status::InvalidArgument(
+        "snapshot lake has no non-empty tags to organize");
+  }
+  std::shared_ptr<const OrgContext> ctx = OrgContext::BuildFull(lake, *index);
+  std::istringstream org_in(snapshot.organization);
+  Result<Organization> org = LoadOrganization(ctx, &org_in);
+  if (!org.ok()) return org.status();
+
+  OrgSnapshot snap;
+  auto lake_ptr = std::make_shared<const DataLake>(std::move(lake));
+  snap.lake = lake_ptr;
+  snap.index = index;
+  snap.ctx = ctx;
+  snap.org = std::make_shared<const Organization>(std::move(org).value());
+  snap.effectiveness = snapshot.effectiveness;
+  snap.engine = std::make_shared<const TableSearchEngine>(
+      lake_ptr.get(), store_, options_.engine);
+  uint64_t version = snapshots_.Publish(std::move(snap));
+  initialized_ = true;
+  wal_seq_ = snapshot.wal_seq;
+  if (publish_listener_) publish_listener_(version);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<LiveLakeService>> LiveLakeService::RecoverFromDisk(
+    std::shared_ptr<const EmbeddingStore> store, Options options) {
+  if (!options.durability.enabled()) {
+    return Status::InvalidArgument(
+        "RecoverFromDisk requires Options.durability.dir");
+  }
+  auto start = std::chrono::steady_clock::now();
+  Result<WalDirState> state_result = ReadWalDir(options.durability.dir);
+  if (!state_result.ok()) return state_result.status();
+  WalDirState state = std::move(state_result).value();
+  if (!state.has_snapshot) {
+    return Status::NotFound("WAL directory '" + options.durability.dir +
+                            "' holds no snapshot to recover from");
+  }
+  Result<DurableSnapshot> snapshot =
+      DurableSnapshotFromText(state.snapshot_contents);
+  if (!snapshot.ok()) return snapshot.status();
+
+  std::unique_ptr<LiveLakeService> service(
+      new LiveLakeService(DataLake(), std::move(store), std::move(options)));
+  {
+    std::lock_guard<std::mutex> lock(service->writer_mu_);
+    LAKEORG_RETURN_NOT_OK(service->InitializeFromSnapshot(snapshot.value()));
+
+    uint64_t replayed = 0;
+    for (const std::string& payload : state.wal_payloads) {
+      Result<WalRecord> record = WalRecordFromText(payload);
+      if (!record.ok()) return record.status();
+      const WalRecord& rec = record.value();
+      // Records at or below the snapshot's high-water mark are already
+      // compacted in (duplicate replay is an idempotent skip).
+      if (rec.seq <= service->wal_seq_) continue;
+      if (rec.seq != service->wal_seq_ + 1) {
+        return Status::InvalidArgument(
+            "WAL sequence gap: expected record " +
+            std::to_string(service->wal_seq_ + 1) + ", found " +
+            std::to_string(rec.seq));
+      }
+      auto replay = [&rec](DataLake* lake) {
+        return ReplayMutationBatch(rec.batch, lake);
+      };
+      Result<LiveApplyReport> applied =
+          service->ApplyLocked(replay, nullptr, &rec.delta);
+      if (!applied.ok()) return applied.status();
+      service->wal_seq_ = rec.seq;
+      ++replayed;
+    }
+
+    // Reopen for appending; Open truncates any torn tail away so new
+    // records land right after the last one replayed.
+    Result<DurableLog> log =
+        DurableLog::Open(ToWalOptions(service->options_.durability));
+    if (!log.ok()) return log.status();
+    service->wal_ = std::move(log).value();
+
+    obs::GetCounter("wal.replayed_records_total").Add(replayed);
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    obs::GetGauge("wal.recovery_seconds").Set(elapsed.count());
+    obs::GetGauge("wal.recovered_seq")
+        .Set(static_cast<double>(service->wal_seq_));
+  }
+  return service;
 }
 
 }  // namespace lakeorg

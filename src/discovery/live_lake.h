@@ -11,15 +11,40 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "core/local_search.h"
 #include "core/org_snapshot.h"
 #include "core/repair.h"
 #include "embedding/embedding_store.h"
 #include "lake/data_lake.h"
+#include "lake/wal/lake_mutation.h"
+#include "lake/wal/wal.h"
+#include "lake/wal/wal_record.h"
 #include "search/engine.h"
 
 namespace lakeorg {
+
+/// Durability tuning for LiveLakeService (docs/DURABILITY.md). With a
+/// non-empty `dir`, Initialize writes an initial compacted snapshot and
+/// every accepted ApplyRecorded appends its mutation batch to the WAL
+/// before the new snapshot is published; RecoverFromDisk rebuilds the
+/// exact published state after a crash.
+struct LiveDurabilityOptions {
+  /// WAL directory; empty = durability off.
+  std::string dir;
+  /// Records per fsync batch (WalOptions.group_commit_window). A window
+  /// of N can lose up to the last N - 1 applies on crash — never a
+  /// prefix-inconsistent state.
+  int group_commit_window = 1;
+  /// Write a compacted snapshot (and truncate the WAL) after this many
+  /// applies; 0 = only the initial snapshot, the WAL grows unbounded.
+  uint64_t snapshot_every = 16;
+  /// Reset the WAL after each snapshot (WalOptions.truncate_on_snapshot).
+  bool truncate_on_snapshot = true;
+
+  bool enabled() const { return !dir.empty(); }
+};
 
 /// What one Apply published.
 struct LiveApplyReport {
@@ -54,6 +79,15 @@ class LiveLakeService {
     bool optimize_initial = true;
     /// Keyword-search engine options (applied at every publish).
     SearchEngineOptions engine;
+    /// Durability (WAL + snapshots); off by default.
+    LiveDurabilityOptions durability;
+    /// Canonicalize every published organization's topic sums
+    /// (Organization::RecomputeAllTopics), so a save/load round trip of
+    /// the published org is bit-identical. Costs one pass over the DAG
+    /// per publish; implied (forced on) by durability, since recovery
+    /// reloads organizations from disk and must land on identical
+    /// floats.
+    bool canonical_publish = false;
   };
 
   /// Takes ownership of the initial catalog. `store` embeds attribute
@@ -75,6 +109,28 @@ class LiveLakeService {
   Result<LiveApplyReport> Apply(
       const std::function<Status(DataLake*)>& mutate);
 
+  /// Apply with mutation recording: `mutate` runs against a
+  /// LakeMutationRecorder wrapping the private lake copy, so the batch
+  /// is replayable. When durability is on this is the only permitted
+  /// apply entry point (plain Apply cannot log what it cannot replay):
+  /// the accepted batch is appended to the WAL before the repaired
+  /// snapshot is published, and every `snapshot_every` applies the new
+  /// state is compacted into a snapshot. Works (without logging) when
+  /// durability is off, so callers can share one code path.
+  Result<LiveApplyReport> ApplyRecorded(
+      const std::function<Status(LakeMutationRecorder*)>& mutate);
+
+  /// Rebuilds a service from `options.durability.dir`: loads the newest
+  /// snapshot, replays the WAL tail through the same repair path the
+  /// original applies took (verifying each record's delta), and opens
+  /// the log for further appends. The returned service is initialized
+  /// and serving the exact state the crashed process had published for
+  /// the last durable record. NotFound when the directory holds no
+  /// snapshot; InvalidArgument on mid-log corruption or replay
+  /// divergence.
+  static Result<std::unique_ptr<LiveLakeService>> RecoverFromDisk(
+      std::shared_ptr<const EmbeddingStore> store, Options options);
+
   /// The latest published snapshot (null before Initialize).
   std::shared_ptr<const OrgSnapshot> Current() const {
     return snapshots_.Current();
@@ -82,6 +138,16 @@ class LiveLakeService {
 
   /// Latest published version (0 before Initialize).
   uint64_t version() const { return snapshots_.version(); }
+
+  /// Sequence number of the last WAL record this service wrote or
+  /// replayed (0 when durability is off or before any apply).
+  uint64_t wal_seq() const;
+
+  /// Forces buffered WAL records to disk (no-op when durability is
+  /// off). Callers needing an acknowledged apply durable *now* — e.g.
+  /// before reporting success externally — call this instead of waiting
+  /// for the group-commit window to fill.
+  Status SyncWal();
 
   /// Registers a callback invoked with the new version after every
   /// successful publish (Initialize and Apply), while the writer lock is
@@ -93,6 +159,27 @@ class LiveLakeService {
   void SetPublishListener(std::function<void(uint64_t)> listener);
 
  private:
+  /// Shared body of Apply/ApplyRecorded/replay. `record_batch` non-null
+  /// = append a WAL record for it (durable apply); `expect_delta`
+  /// non-null = recovery replay: verify the produced delta matches the
+  /// logged one and do not re-append.
+  Result<LiveApplyReport> ApplyLocked(
+      const std::function<Status(DataLake*)>& mutate,
+      const LakeMutationBatch* record_batch, const LakeDelta* expect_delta);
+
+  /// Publishes a snapshot loaded from disk (the recovery counterpart of
+  /// Initialize); writer_mu_ must be held.
+  Status InitializeFromSnapshot(const DurableSnapshot& snapshot);
+
+  /// Serializes the current published state into a DurableSnapshot
+  /// document; writer_mu_ must be held and a snapshot published.
+  Result<std::string> EncodeCurrentSnapshot() const;
+
+  /// True when published organizations must be topic-canonical.
+  bool canonical_publish() const {
+    return options_.canonical_publish || options_.durability.enabled();
+  }
+
   std::mutex writer_mu_;
   std::function<void(uint64_t)> publish_listener_;
   /// The pre-Initialize catalog; moved into snapshot v1.
@@ -101,6 +188,12 @@ class LiveLakeService {
   std::shared_ptr<const EmbeddingStore> store_;
   Options options_;
   OrgSnapshotStore snapshots_;
+  /// Open WAL when durability is on (after Initialize / recovery).
+  std::optional<DurableLog> wal_;
+  /// Last WAL sequence number written or replayed.
+  uint64_t wal_seq_ = 0;
+  /// Applies since the last compacted snapshot.
+  uint64_t applies_since_snapshot_ = 0;
 };
 
 }  // namespace lakeorg

@@ -85,6 +85,13 @@ Result<TableId> LoadCsvTable(DataLake* lake, const std::string& table_name,
                              const CsvOptions& options) {
   std::vector<std::vector<std::string>> rows =
       ParseCsv(in, options.delimiter);
+  // get() stops on both EOF and a stream error; only EOF means "we read
+  // the whole input". A badbit here is a short read — refuse rather than
+  // silently loading a truncated table.
+  if (in->bad()) {
+    return Status::Internal("read error while parsing CSV for table " +
+                            table_name);
+  }
   if (rows.empty()) {
     return Status::InvalidArgument("empty CSV input for table " +
                                    table_name);

@@ -170,6 +170,10 @@ class DataLake {
   std::vector<AttributeId> OrganizableAttributes() const;
 
  private:
+  /// Canonical-JSON structural codec (lake/lake_serialization.h); needs
+  /// to rebuild the private maps and topic bookkeeping verbatim.
+  friend class LakeJsonCodec;
+
   std::vector<Table> tables_;
   std::vector<Attribute> attributes_;
   std::vector<std::string> tag_names_;

@@ -89,4 +89,21 @@ struct LakeDelta {
   }
 };
 
+/// Exact field-wise equality. Compare normalized deltas: Normalize() is
+/// the canonical form, so normalized equality means "the same net catalog
+/// change". Used by the WAL replay integrity check, the snapshot
+/// round-trip tests, and lake_delta_test.
+inline bool operator==(const LakeDelta& a, const LakeDelta& b) {
+  return a.added_tables == b.added_tables &&
+         a.removed_tables == b.removed_tables &&
+         a.added_attrs == b.added_attrs &&
+         a.removed_attrs == b.removed_attrs &&
+         a.retagged_attrs == b.retagged_attrs &&
+         a.added_tags == b.added_tags;
+}
+
+inline bool operator!=(const LakeDelta& a, const LakeDelta& b) {
+  return !(a == b);
+}
+
 }  // namespace lakeorg

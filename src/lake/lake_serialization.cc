@@ -1,0 +1,265 @@
+#include "lake/lake_serialization.h"
+
+namespace lakeorg {
+namespace {
+
+constexpr const char* kFormat = "lakeorg-lake";
+constexpr int kVersion = 1;
+
+Json IdsToJson(const std::vector<uint32_t>& ids) {
+  Json arr = Json::MakeArray();
+  for (uint32_t id : ids) arr.push_back(Json(static_cast<uint64_t>(id)));
+  return arr;
+}
+
+Result<std::vector<uint32_t>> IdsFromJson(const Json* j,
+                                          size_t limit,
+                                          const char* what) {
+  if (j == nullptr || !j->is_array()) {
+    return Status::InvalidArgument(std::string("lake json: missing ") +
+                                   what + " id array");
+  }
+  std::vector<uint32_t> out;
+  out.reserve(j->array().size());
+  for (const Json& v : j->array()) {
+    if (!v.is_number() || v.number() < 0 || v.number() >= limit ||
+        v.number() != static_cast<double>(static_cast<uint64_t>(v.number()))) {
+      return Status::InvalidArgument(std::string("lake json: bad ") + what +
+                                     " id");
+    }
+    out.push_back(static_cast<uint32_t>(v.number()));
+  }
+  return out;
+}
+
+Result<std::string> StringField(const Json& obj, const char* key) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return Status::InvalidArgument(std::string("lake json: missing string '") +
+                                   key + "'");
+  }
+  return v->string();
+}
+
+Result<bool> BoolField(const Json& obj, const char* key) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr || !v->is_bool()) {
+    return Status::InvalidArgument(std::string("lake json: missing bool '") +
+                                   key + "'");
+  }
+  return v->bool_value();
+}
+
+Result<uint32_t> IdField(const Json& obj, const char* key, size_t limit) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr || !v->is_number() || v->number() < 0 ||
+      v->number() >= limit) {
+    return Status::InvalidArgument(std::string("lake json: bad id '") + key +
+                                   "'");
+  }
+  return static_cast<uint32_t>(v->number());
+}
+
+}  // namespace
+
+/// Friend of DataLake: rebuilds the private vectors, lookup maps, and
+/// topic bookkeeping directly, which the public append-only API cannot
+/// (tombstoned tables may share names with later live ones).
+class LakeJsonCodec {
+ public:
+  static Json ToJson(const DataLake& lake) {
+    Json root = Json::MakeObject();
+    root["format"] = kFormat;
+    root["version"] = kVersion;
+
+    Json tags = Json::MakeArray();
+    for (const std::string& name : lake.tag_names_) tags.push_back(name);
+    root["tags"] = std::move(tags);
+
+    Json tables = Json::MakeArray();
+    for (const Table& t : lake.tables_) {
+      Json jt = Json::MakeObject();
+      jt["name"] = t.name;
+      jt["title"] = t.title;
+      jt["description"] = t.description;
+      jt["tags"] = IdsToJson(t.tags);
+      jt["removed"] = t.removed;
+      tables.push_back(std::move(jt));
+    }
+    root["tables"] = std::move(tables);
+
+    Json attrs = Json::MakeArray();
+    for (const Attribute& a : lake.attributes_) {
+      Json ja = Json::MakeObject();
+      ja["table"] = static_cast<uint64_t>(a.table);
+      ja["name"] = a.name;
+      Json values = Json::MakeArray();
+      for (const std::string& v : a.values) values.push_back(v);
+      ja["values"] = std::move(values);
+      ja["is_text"] = a.is_text;
+      ja["tags"] = IdsToJson(a.tags);
+      ja["removed"] = a.removed;
+      attrs.push_back(std::move(ja));
+    }
+    root["attributes"] = std::move(attrs);
+    root["topics_computed"] = lake.topic_vectors_computed_;
+    return root;
+  }
+
+  static Result<DataLake> FromJson(const Json& json) {
+    if (!json.is_object()) {
+      return Status::InvalidArgument("lake json: not an object");
+    }
+    const Json* fmt = json.Find("format");
+    const Json* ver = json.Find("version");
+    if (fmt == nullptr || !fmt->is_string() || fmt->string() != kFormat ||
+        ver == nullptr || !ver->is_number() ||
+        ver->number() != static_cast<double>(kVersion)) {
+      return Status::InvalidArgument("lake json: bad format/version");
+    }
+    const Json* tags = json.Find("tags");
+    const Json* tables = json.Find("tables");
+    const Json* attrs = json.Find("attributes");
+    if (tags == nullptr || !tags->is_array() || tables == nullptr ||
+        !tables->is_array() || attrs == nullptr || !attrs->is_array()) {
+      return Status::InvalidArgument(
+          "lake json: missing tags/tables/attributes arrays");
+    }
+
+    DataLake lake;
+    lake.tag_names_.reserve(tags->array().size());
+    for (const Json& t : tags->array()) {
+      if (!t.is_string()) {
+        return Status::InvalidArgument("lake json: tag name is not a string");
+      }
+      lake.tag_ids_.emplace(t.string(),
+                            static_cast<TagId>(lake.tag_names_.size()));
+      lake.tag_names_.push_back(t.string());
+    }
+    if (lake.tag_ids_.size() != lake.tag_names_.size()) {
+      return Status::InvalidArgument("lake json: duplicate tag name");
+    }
+
+    size_t num_tags = lake.tag_names_.size();
+    lake.tables_.reserve(tables->array().size());
+    for (const Json& jt : tables->array()) {
+      if (!jt.is_object()) {
+        return Status::InvalidArgument("lake json: table is not an object");
+      }
+      Table t;
+      t.id = static_cast<TableId>(lake.tables_.size());
+      Result<std::string> name = StringField(jt, "name");
+      if (!name.ok()) return name.status();
+      t.name = name.value();
+      Result<std::string> title = StringField(jt, "title");
+      if (!title.ok()) return title.status();
+      t.title = title.value();
+      Result<std::string> desc = StringField(jt, "description");
+      if (!desc.ok()) return desc.status();
+      t.description = desc.value();
+      Result<std::vector<uint32_t>> tag_ids =
+          IdsFromJson(jt.Find("tags"), num_tags, "table tag");
+      if (!tag_ids.ok()) return tag_ids.status();
+      t.tags = std::move(tag_ids).value();
+      Result<bool> removed = BoolField(jt, "removed");
+      if (!removed.ok()) return removed.status();
+      t.removed = removed.value();
+      // The live map only tracks tables whose names are still claimed
+      // (RemoveTable releases the name for reuse).
+      if (!t.removed) lake.table_ids_.emplace(t.name, t.id);
+      lake.tables_.push_back(std::move(t));
+    }
+
+    lake.attributes_.reserve(attrs->array().size());
+    for (const Json& ja : attrs->array()) {
+      if (!ja.is_object()) {
+        return Status::InvalidArgument(
+            "lake json: attribute is not an object");
+      }
+      Attribute a;
+      a.id = static_cast<AttributeId>(lake.attributes_.size());
+      Result<uint32_t> table = IdField(ja, "table", lake.tables_.size());
+      if (!table.ok()) return table.status();
+      a.table = table.value();
+      Result<std::string> name = StringField(ja, "name");
+      if (!name.ok()) return name.status();
+      a.name = name.value();
+      const Json* values = ja.Find("values");
+      if (values == nullptr || !values->is_array()) {
+        return Status::InvalidArgument("lake json: missing attribute values");
+      }
+      a.values.reserve(values->array().size());
+      for (const Json& v : values->array()) {
+        if (!v.is_string()) {
+          return Status::InvalidArgument(
+              "lake json: attribute value is not a string");
+        }
+        a.values.push_back(v.string());
+      }
+      Result<bool> is_text = BoolField(ja, "is_text");
+      if (!is_text.ok()) return is_text.status();
+      a.is_text = is_text.value();
+      Result<std::vector<uint32_t>> tag_ids =
+          IdsFromJson(ja.Find("tags"), num_tags, "attribute tag");
+      if (!tag_ids.ok()) return tag_ids.status();
+      a.tags = std::move(tag_ids).value();
+      Result<bool> removed = BoolField(ja, "removed");
+      if (!removed.ok()) return removed.status();
+      a.removed = removed.value();
+      lake.tables_[a.table].attributes.push_back(a.id);
+      lake.attributes_.push_back(std::move(a));
+    }
+
+    // Topics are recomputed by the caller; the flag only gates the
+    // incremental ComputeMissingTopicVectors precondition.
+    lake.topic_vectors_computed_ = false;
+    lake.topics_computed_upto_ = 0;
+    return lake;
+  }
+};
+
+Json LakeToJson(const DataLake& lake) { return LakeJsonCodec::ToJson(lake); }
+
+Result<DataLake> LakeFromJson(const Json& json) {
+  return LakeJsonCodec::FromJson(json);
+}
+
+Json DeltaToJson(const LakeDelta& delta) {
+  Json root = Json::MakeObject();
+  root["added_tables"] = IdsToJson(delta.added_tables);
+  root["removed_tables"] = IdsToJson(delta.removed_tables);
+  root["added_attrs"] = IdsToJson(delta.added_attrs);
+  root["removed_attrs"] = IdsToJson(delta.removed_attrs);
+  root["retagged_attrs"] = IdsToJson(delta.retagged_attrs);
+  root["added_tags"] = IdsToJson(delta.added_tags);
+  return root;
+}
+
+Result<LakeDelta> DeltaFromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("delta json: not an object");
+  }
+  LakeDelta delta;
+  constexpr size_t kNoLimit = static_cast<size_t>(kInvalidId);
+  struct Field {
+    const char* key;
+    std::vector<uint32_t>* dst;
+  };
+  const Field fields[] = {
+      {"added_tables", &delta.added_tables},
+      {"removed_tables", &delta.removed_tables},
+      {"added_attrs", &delta.added_attrs},
+      {"removed_attrs", &delta.removed_attrs},
+      {"retagged_attrs", &delta.retagged_attrs},
+      {"added_tags", &delta.added_tags},
+  };
+  for (const Field& f : fields) {
+    Result<std::vector<uint32_t>> ids =
+        IdsFromJson(json.Find(f.key), kNoLimit, f.key);
+    if (!ids.ok()) return ids.status();
+    *f.dst = std::move(ids).value();
+  }
+  return delta;
+}
+
+}  // namespace lakeorg

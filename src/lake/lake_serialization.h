@@ -1,0 +1,32 @@
+// Structural serialization of the DataLake catalog to canonical JSON
+// (common/json: sorted keys, one number format — byte-identical dumps for
+// identical lakes). The codec captures everything the catalog owns —
+// tables with tombstones and metadata-only tags, attributes with value
+// domains and per-attribute tag sets, the tag name table — but NOT the
+// derived topic vectors: those are recomputed from an EmbeddingStore
+// after load (deterministic, and per-attribute independent, so a reload
+// is bit-identical to the original computation). Used by the durability
+// subsystem's compacted snapshots (lake/wal) and by orgtool.
+#pragma once
+
+#include "common/json.h"
+#include "common/status.h"
+#include "lake/data_lake.h"
+#include "lake/lake_delta.h"
+
+namespace lakeorg {
+
+/// Lake -> canonical JSON object. Ids are positional (tables/attributes/
+/// tags serialize in id order), so the dump is deterministic.
+Json LakeToJson(const DataLake& lake);
+
+/// JSON -> lake. The result has no topic vectors; callers that need them
+/// run ComputeTopicVectors with the same store the original lake used.
+/// Fails with InvalidArgument on shape violations or out-of-range ids.
+Result<DataLake> LakeFromJson(const Json& json);
+
+/// LakeDelta <-> canonical JSON (WAL records and wal-dump).
+Json DeltaToJson(const LakeDelta& delta);
+Result<LakeDelta> DeltaFromJson(const Json& json);
+
+}  // namespace lakeorg

@@ -1,0 +1,402 @@
+#include "lake/wal/lake_mutation.h"
+
+#include <utility>
+
+namespace lakeorg {
+namespace {
+
+const char* KindName(LakeOp::Kind kind) {
+  switch (kind) {
+    case LakeOp::Kind::kAddTable:
+      return "add_table";
+    case LakeOp::Kind::kAddAttribute:
+      return "add_attribute";
+    case LakeOp::Kind::kCreateTag:
+      return "create_tag";
+    case LakeOp::Kind::kAttachTag:
+      return "attach_tag";
+    case LakeOp::Kind::kAttachTagToAttribute:
+      return "attach_tag_to_attribute";
+    case LakeOp::Kind::kAttachTagMetadataOnly:
+      return "attach_tag_metadata_only";
+    case LakeOp::Kind::kRemoveTable:
+      return "remove_table";
+    case LakeOp::Kind::kRetagAttribute:
+      return "retag_attribute";
+  }
+  return "?";
+}
+
+Result<LakeOp::Kind> KindFromName(const std::string& name) {
+  static constexpr LakeOp::Kind kAll[] = {
+      LakeOp::Kind::kAddTable,
+      LakeOp::Kind::kAddAttribute,
+      LakeOp::Kind::kCreateTag,
+      LakeOp::Kind::kAttachTag,
+      LakeOp::Kind::kAttachTagToAttribute,
+      LakeOp::Kind::kAttachTagMetadataOnly,
+      LakeOp::Kind::kRemoveTable,
+      LakeOp::Kind::kRetagAttribute,
+  };
+  for (LakeOp::Kind k : kAll) {
+    if (name == KindName(k)) return k;
+  }
+  return Status::InvalidArgument("unknown lake op kind '" + name + "'");
+}
+
+Result<uint32_t> U32Field(const Json& obj, const char* key) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr || !v->is_number() || v->number() < 0 ||
+      v->number() > static_cast<double>(kInvalidId)) {
+    return Status::InvalidArgument(std::string("lake op: bad id field '") +
+                                   key + "'");
+  }
+  return static_cast<uint32_t>(v->number());
+}
+
+}  // namespace
+
+bool operator==(const LakeOp& a, const LakeOp& b) {
+  return a.kind == b.kind && a.name == b.name && a.title == b.title &&
+         a.description == b.description && a.values == b.values &&
+         a.is_text == b.is_text && a.subject == b.subject &&
+         a.tags == b.tags && a.result_id == b.result_id;
+}
+
+TableId LakeMutationRecorder::AddTable(std::string name, std::string title,
+                                       std::string description) {
+  LakeOp op;
+  op.kind = LakeOp::Kind::kAddTable;
+  op.name = name;
+  op.title = title;
+  op.description = description;
+  TableId id = lake_->AddTable(std::move(name), std::move(title),
+                               std::move(description));
+  op.result_id = id;
+  ops_.push_back(std::move(op));
+  return id;
+}
+
+AttributeId LakeMutationRecorder::AddAttribute(
+    TableId table, std::string name, std::vector<std::string> values,
+    bool is_text) {
+  LakeOp op;
+  op.kind = LakeOp::Kind::kAddAttribute;
+  op.subject = table;
+  op.name = name;
+  op.values = values;
+  op.is_text = is_text;
+  AttributeId id =
+      lake_->AddAttribute(table, std::move(name), std::move(values), is_text);
+  op.result_id = id;
+  ops_.push_back(std::move(op));
+  return id;
+}
+
+TagId LakeMutationRecorder::GetOrCreateTag(const std::string& name) {
+  LakeOp op;
+  op.kind = LakeOp::Kind::kCreateTag;
+  op.name = name;
+  op.result_id = lake_->GetOrCreateTag(name);
+  TagId id = op.result_id;
+  ops_.push_back(std::move(op));
+  return id;
+}
+
+Status LakeMutationRecorder::AttachTag(TableId table, TagId tag) {
+  LAKEORG_RETURN_NOT_OK(lake_->AttachTag(table, tag));
+  LakeOp op;
+  op.kind = LakeOp::Kind::kAttachTag;
+  op.subject = table;
+  op.tags = {tag};
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+TagId LakeMutationRecorder::Tag(TableId table, const std::string& tag_name) {
+  TagId id = GetOrCreateTag(tag_name);
+  Status st = AttachTag(table, id);
+  (void)st;  // As DataLake::Tag: the ids were just validated/created.
+  return id;
+}
+
+Status LakeMutationRecorder::AttachTagToAttribute(AttributeId attr,
+                                                  TagId tag) {
+  LAKEORG_RETURN_NOT_OK(lake_->AttachTagToAttribute(attr, tag));
+  LakeOp op;
+  op.kind = LakeOp::Kind::kAttachTagToAttribute;
+  op.subject = attr;
+  op.tags = {tag};
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status LakeMutationRecorder::AttachTagMetadataOnly(TableId table, TagId tag) {
+  LAKEORG_RETURN_NOT_OK(lake_->AttachTagMetadataOnly(table, tag));
+  LakeOp op;
+  op.kind = LakeOp::Kind::kAttachTagMetadataOnly;
+  op.subject = table;
+  op.tags = {tag};
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status LakeMutationRecorder::RemoveTable(TableId table) {
+  LAKEORG_RETURN_NOT_OK(lake_->RemoveTable(table));
+  LakeOp op;
+  op.kind = LakeOp::Kind::kRemoveTable;
+  op.subject = table;
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status LakeMutationRecorder::RetagAttribute(AttributeId attr,
+                                            std::vector<TagId> tags) {
+  LakeOp op;
+  op.kind = LakeOp::Kind::kRetagAttribute;
+  op.subject = attr;
+  op.tags = tags;
+  LAKEORG_RETURN_NOT_OK(lake_->RetagAttribute(attr, std::move(tags)));
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status ReplayMutationBatch(const LakeMutationBatch& batch, DataLake* lake) {
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const LakeOp& op = batch[i];
+    auto id_mismatch = [&](uint32_t got) {
+      return Status::Internal(
+          "WAL replay divergence at op " + std::to_string(i) + " (" +
+          KindName(op.kind) + "): produced id " + std::to_string(got) +
+          ", log recorded " + std::to_string(op.result_id) +
+          " — the log does not describe this lake's history");
+    };
+    switch (op.kind) {
+      case LakeOp::Kind::kAddTable: {
+        TableId id = lake->AddTable(op.name, op.title, op.description);
+        if (id != op.result_id) return id_mismatch(id);
+        break;
+      }
+      case LakeOp::Kind::kAddAttribute: {
+        AttributeId id =
+            lake->AddAttribute(op.subject, op.name, op.values, op.is_text);
+        if (id != op.result_id) return id_mismatch(id);
+        break;
+      }
+      case LakeOp::Kind::kCreateTag: {
+        TagId id = lake->GetOrCreateTag(op.name);
+        if (id != op.result_id) return id_mismatch(id);
+        break;
+      }
+      case LakeOp::Kind::kAttachTag:
+        if (op.tags.size() != 1) {
+          return Status::InvalidArgument("attach_tag op without one tag");
+        }
+        LAKEORG_RETURN_NOT_OK(lake->AttachTag(op.subject, op.tags[0]));
+        break;
+      case LakeOp::Kind::kAttachTagToAttribute:
+        if (op.tags.size() != 1) {
+          return Status::InvalidArgument(
+              "attach_tag_to_attribute op without one tag");
+        }
+        LAKEORG_RETURN_NOT_OK(
+            lake->AttachTagToAttribute(op.subject, op.tags[0]));
+        break;
+      case LakeOp::Kind::kAttachTagMetadataOnly:
+        if (op.tags.size() != 1) {
+          return Status::InvalidArgument(
+              "attach_tag_metadata_only op without one tag");
+        }
+        LAKEORG_RETURN_NOT_OK(
+            lake->AttachTagMetadataOnly(op.subject, op.tags[0]));
+        break;
+      case LakeOp::Kind::kRemoveTable:
+        LAKEORG_RETURN_NOT_OK(lake->RemoveTable(op.subject));
+        break;
+      case LakeOp::Kind::kRetagAttribute:
+        LAKEORG_RETURN_NOT_OK(lake->RetagAttribute(op.subject, op.tags));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Json MutationBatchToJson(const LakeMutationBatch& batch) {
+  Json arr = Json::MakeArray();
+  for (const LakeOp& op : batch) {
+    Json j = Json::MakeObject();
+    j["op"] = KindName(op.kind);
+    switch (op.kind) {
+      case LakeOp::Kind::kAddTable:
+        j["name"] = op.name;
+        j["title"] = op.title;
+        j["description"] = op.description;
+        j["id"] = static_cast<uint64_t>(op.result_id);
+        break;
+      case LakeOp::Kind::kAddAttribute: {
+        j["table"] = static_cast<uint64_t>(op.subject);
+        j["name"] = op.name;
+        Json values = Json::MakeArray();
+        for (const std::string& v : op.values) values.push_back(v);
+        j["values"] = std::move(values);
+        j["is_text"] = op.is_text;
+        j["id"] = static_cast<uint64_t>(op.result_id);
+        break;
+      }
+      case LakeOp::Kind::kCreateTag:
+        j["name"] = op.name;
+        j["id"] = static_cast<uint64_t>(op.result_id);
+        break;
+      case LakeOp::Kind::kAttachTag:
+      case LakeOp::Kind::kAttachTagMetadataOnly:
+        j["table"] = static_cast<uint64_t>(op.subject);
+        j["tag"] = static_cast<uint64_t>(op.tags.empty() ? kInvalidId
+                                                         : op.tags[0]);
+        break;
+      case LakeOp::Kind::kAttachTagToAttribute:
+        j["attr"] = static_cast<uint64_t>(op.subject);
+        j["tag"] = static_cast<uint64_t>(op.tags.empty() ? kInvalidId
+                                                         : op.tags[0]);
+        break;
+      case LakeOp::Kind::kRemoveTable:
+        j["table"] = static_cast<uint64_t>(op.subject);
+        break;
+      case LakeOp::Kind::kRetagAttribute: {
+        j["attr"] = static_cast<uint64_t>(op.subject);
+        Json tags = Json::MakeArray();
+        for (TagId t : op.tags) tags.push_back(static_cast<uint64_t>(t));
+        j["tags"] = std::move(tags);
+        break;
+      }
+    }
+    arr.push_back(std::move(j));
+  }
+  return arr;
+}
+
+Result<LakeMutationBatch> MutationBatchFromJson(const Json& json) {
+  if (!json.is_array()) {
+    return Status::InvalidArgument("mutation batch json: not an array");
+  }
+  LakeMutationBatch batch;
+  batch.reserve(json.array().size());
+  for (const Json& j : json.array()) {
+    if (!j.is_object()) {
+      return Status::InvalidArgument("mutation batch json: op not an object");
+    }
+    const Json* op_name = j.Find("op");
+    if (op_name == nullptr || !op_name->is_string()) {
+      return Status::InvalidArgument("mutation batch json: missing op kind");
+    }
+    Result<LakeOp::Kind> kind = KindFromName(op_name->string());
+    if (!kind.ok()) return kind.status();
+    LakeOp op;
+    op.kind = kind.value();
+    auto string_field = [&j](const char* key) -> Result<std::string> {
+      const Json* v = j.Find(key);
+      if (v == nullptr || !v->is_string()) {
+        return Status::InvalidArgument(
+            std::string("lake op: missing string field '") + key + "'");
+      }
+      return v->string();
+    };
+    switch (op.kind) {
+      case LakeOp::Kind::kAddTable: {
+        Result<std::string> name = string_field("name");
+        if (!name.ok()) return name.status();
+        op.name = std::move(name).value();
+        Result<std::string> title = string_field("title");
+        if (!title.ok()) return title.status();
+        op.title = std::move(title).value();
+        Result<std::string> desc = string_field("description");
+        if (!desc.ok()) return desc.status();
+        op.description = std::move(desc).value();
+        Result<uint32_t> id = U32Field(j, "id");
+        if (!id.ok()) return id.status();
+        op.result_id = id.value();
+        break;
+      }
+      case LakeOp::Kind::kAddAttribute: {
+        Result<uint32_t> table = U32Field(j, "table");
+        if (!table.ok()) return table.status();
+        op.subject = table.value();
+        Result<std::string> name = string_field("name");
+        if (!name.ok()) return name.status();
+        op.name = std::move(name).value();
+        const Json* values = j.Find("values");
+        if (values == nullptr || !values->is_array()) {
+          return Status::InvalidArgument("lake op: missing values array");
+        }
+        for (const Json& v : values->array()) {
+          if (!v.is_string()) {
+            return Status::InvalidArgument("lake op: value not a string");
+          }
+          op.values.push_back(v.string());
+        }
+        const Json* is_text = j.Find("is_text");
+        if (is_text == nullptr || !is_text->is_bool()) {
+          return Status::InvalidArgument("lake op: missing is_text");
+        }
+        op.is_text = is_text->bool_value();
+        Result<uint32_t> id = U32Field(j, "id");
+        if (!id.ok()) return id.status();
+        op.result_id = id.value();
+        break;
+      }
+      case LakeOp::Kind::kCreateTag: {
+        Result<std::string> name = string_field("name");
+        if (!name.ok()) return name.status();
+        op.name = std::move(name).value();
+        Result<uint32_t> id = U32Field(j, "id");
+        if (!id.ok()) return id.status();
+        op.result_id = id.value();
+        break;
+      }
+      case LakeOp::Kind::kAttachTag:
+      case LakeOp::Kind::kAttachTagMetadataOnly: {
+        Result<uint32_t> table = U32Field(j, "table");
+        if (!table.ok()) return table.status();
+        op.subject = table.value();
+        Result<uint32_t> tag = U32Field(j, "tag");
+        if (!tag.ok()) return tag.status();
+        op.tags = {tag.value()};
+        break;
+      }
+      case LakeOp::Kind::kAttachTagToAttribute: {
+        Result<uint32_t> attr = U32Field(j, "attr");
+        if (!attr.ok()) return attr.status();
+        op.subject = attr.value();
+        Result<uint32_t> tag = U32Field(j, "tag");
+        if (!tag.ok()) return tag.status();
+        op.tags = {tag.value()};
+        break;
+      }
+      case LakeOp::Kind::kRemoveTable: {
+        Result<uint32_t> table = U32Field(j, "table");
+        if (!table.ok()) return table.status();
+        op.subject = table.value();
+        break;
+      }
+      case LakeOp::Kind::kRetagAttribute: {
+        Result<uint32_t> attr = U32Field(j, "attr");
+        if (!attr.ok()) return attr.status();
+        op.subject = attr.value();
+        const Json* tags = j.Find("tags");
+        if (tags == nullptr || !tags->is_array()) {
+          return Status::InvalidArgument("lake op: missing tags array");
+        }
+        for (const Json& t : tags->array()) {
+          if (!t.is_number() || t.number() < 0) {
+            return Status::InvalidArgument("lake op: bad tag id");
+          }
+          op.tags.push_back(static_cast<TagId>(t.number()));
+        }
+        break;
+      }
+    }
+    batch.push_back(std::move(op));
+  }
+  return batch;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,95 @@
+// Replayable catalog mutations. A LakeOp is one DataLake mutation with
+// everything needed to re-execute it (names, value domains, tag sets) plus
+// the id the original execution produced, so a replay can verify it
+// reconstructs the catalog verbatim. LiveLakeService::ApplyRecorded
+// captures a batch through LakeMutationRecorder, appends it to the WAL,
+// and crash recovery replays it through ReplayMutationBatch — same code
+// path, bit-identical catalog (docs/DURABILITY.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "lake/data_lake.h"
+#include "lake/types.h"
+
+namespace lakeorg {
+
+/// One recorded catalog mutation.
+struct LakeOp {
+  enum class Kind {
+    kAddTable,               ///< name/title/description -> result_id
+    kAddAttribute,           ///< subject=table, name/values/is_text -> result_id
+    kCreateTag,              ///< name -> result_id (GetOrCreateTag)
+    kAttachTag,              ///< subject=table, tags[0]
+    kAttachTagToAttribute,   ///< subject=attr, tags[0]
+    kAttachTagMetadataOnly,  ///< subject=table, tags[0]
+    kRemoveTable,            ///< subject=table
+    kRetagAttribute,         ///< subject=attr, tags = full new tag set
+  };
+
+  Kind kind = Kind::kAddTable;
+  std::string name;
+  std::string title;
+  std::string description;
+  std::vector<std::string> values;
+  bool is_text = true;
+  /// The table/attribute id the op targets (unused for adds of tables/tags).
+  uint32_t subject = kInvalidId;
+  std::vector<TagId> tags;
+  /// The id the original execution returned, for adds; replay verifies it.
+  uint32_t result_id = kInvalidId;
+};
+
+bool operator==(const LakeOp& a, const LakeOp& b);
+inline bool operator!=(const LakeOp& a, const LakeOp& b) { return !(a == b); }
+
+/// One Apply batch's mutations, in execution order.
+using LakeMutationBatch = std::vector<LakeOp>;
+
+/// Mirrors the DataLake mutation API, forwarding every call to the
+/// wrapped lake while recording it as a LakeOp. The durable Apply path
+/// hands one of these to the caller's mutate function instead of the raw
+/// lake.
+class LakeMutationRecorder {
+ public:
+  explicit LakeMutationRecorder(DataLake* lake) : lake_(lake) {}
+
+  TableId AddTable(std::string name, std::string title = "",
+                   std::string description = "");
+  AttributeId AddAttribute(TableId table, std::string name,
+                           std::vector<std::string> values,
+                           bool is_text = true);
+  TagId GetOrCreateTag(const std::string& name);
+  Status AttachTag(TableId table, TagId tag);
+  /// Convenience: GetOrCreateTag + AttachTag (two recorded ops).
+  TagId Tag(TableId table, const std::string& tag_name);
+  Status AttachTagToAttribute(AttributeId attr, TagId tag);
+  Status AttachTagMetadataOnly(TableId table, TagId tag);
+  Status RemoveTable(TableId table);
+  Status RetagAttribute(AttributeId attr, std::vector<TagId> tags);
+
+  /// Read access to the lake mid-batch (for picking donors/victims).
+  const DataLake& lake() const { return *lake_; }
+
+  /// The ops recorded so far; the recorder is left empty.
+  LakeMutationBatch TakeOps() { return std::move(ops_); }
+
+ private:
+  DataLake* lake_;
+  LakeMutationBatch ops_;
+};
+
+/// Re-executes a recorded batch against `lake`. Fails (leaving the lake
+/// partially mutated — replay targets are throwaway copies) when an op
+/// errors or an add returns a different id than recorded, which means the
+/// log does not describe this lake's history.
+Status ReplayMutationBatch(const LakeMutationBatch& batch, DataLake* lake);
+
+/// Batch <-> canonical JSON array (WAL record payloads, wal-dump).
+Json MutationBatchToJson(const LakeMutationBatch& batch);
+Result<LakeMutationBatch> MutationBatchFromJson(const Json& json);
+
+}  // namespace lakeorg

@@ -1,0 +1,321 @@
+#include "lake/wal/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace lakeorg {
+namespace {
+
+namespace fs = std::filesystem;
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " '" + path +
+                          "' failed: " + std::strerror(errno));
+}
+
+/// Reads a whole file; NotFound when it does not exist.
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  // Explicit read loop: streaming through rdbuf() would swallow read
+  // errors (e.g. the path being a directory) as an empty result.
+  std::string out;
+  char buf[65536];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    out.append(buf, static_cast<size_t>(in.gcount()));
+  }
+  if (in.bad()) {
+    return Status::Internal("read of '" + path + "' failed");
+  }
+  return out;
+}
+
+/// Writes `fd` fully, retrying short writes and EINTR.
+Status WriteAll(int fd, const char* data, size_t size,
+                const std::string& path) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write to", path);
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FsyncFd(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) return Errno("fsync of", path);
+  obs::GetCounter("wal.fsyncs_total").Add();
+  return Status::OK();
+}
+
+/// fsyncs a directory so a rename/creat inside it is durable.
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open of directory", dir);
+  Status st = FsyncFd(fd, dir);
+  ::close(fd);
+  return st;
+}
+
+/// Writes `contents` to `path` atomically: tmp file, fsync, rename,
+/// directory fsync. The tmp file is removed on failure.
+Status WriteFileDurably(const std::string& dir, const std::string& path,
+                        const std::string& contents) {
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("create of", tmp);
+  Status st = WriteAll(fd, contents.data(), contents.size(), tmp);
+  if (st.ok()) st = FsyncFd(fd, tmp);
+  if (::close(fd) != 0 && st.ok()) st = Errno("close of", tmp);
+  if (st.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Errno("rename of", tmp);
+  }
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  return FsyncDir(dir);
+}
+
+/// Parses the <seq> out of a "snapshot-<seq>.json" filename; returns
+/// false for every other name (including the .tmp leftovers).
+bool ParseSnapshotName(const std::string& name, uint64_t* seq) {
+  constexpr std::string_view kPrefix = "snapshot-";
+  constexpr std::string_view kSuffix = ".json";
+  if (name.size() <= kPrefix.size() + kSuffix.size() ||
+      name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+      name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+          0) {
+    return false;
+  }
+  std::string digits = name.substr(
+      kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+  uint64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *seq = v;
+  return true;
+}
+
+/// Snapshot sequence numbers present in `dir`, unordered.
+std::vector<uint64_t> ListSnapshotSeqs(const std::string& dir) {
+  std::vector<uint64_t> seqs;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir, ec)) {
+    uint64_t seq = 0;
+    if (ParseSnapshotName(e.path().filename().string(), &seq)) {
+      seqs.push_back(seq);
+    }
+  }
+  return seqs;
+}
+
+}  // namespace
+
+std::string WalLogPath(const std::string& dir) { return dir + "/wal.log"; }
+
+std::string SnapshotPath(const std::string& dir, uint64_t seq) {
+  return dir + "/snapshot-" + std::to_string(seq) + ".json";
+}
+
+Result<WalDirState> ReadWalDir(const std::string& dir) {
+  WalDirState state;
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return state;
+
+  std::vector<uint64_t> seqs = ListSnapshotSeqs(dir);
+  if (!seqs.empty()) {
+    uint64_t latest = *std::max_element(seqs.begin(), seqs.end());
+    Result<std::string> contents = ReadFile(SnapshotPath(dir, latest));
+    if (!contents.ok()) {
+      // Snapshots are written atomically, so an unreadable newest
+      // snapshot is real corruption — refuse rather than silently fall
+      // back to an older one (the log may have been compacted past it).
+      return Status::InvalidArgument(
+          "newest snapshot " + SnapshotPath(dir, latest) +
+          " is unreadable: " + contents.status().message());
+    }
+    state.has_snapshot = true;
+    state.snapshot_seq = latest;
+    state.snapshot_contents = std::move(contents).value();
+  }
+
+  Result<std::string> log = ReadFile(WalLogPath(dir));
+  if (!log.ok()) {
+    if (log.status().code() == StatusCode::kNotFound) return state;
+    return log.status();
+  }
+  Result<WalScan> scan = ScanWalBuffer(log.value());
+  if (!scan.ok()) return scan.status();
+  WalScan s = std::move(scan).value();
+  state.wal_payloads = std::move(s.payloads);
+  state.dropped_tail = s.dropped_tail;
+  state.dropped_bytes = s.dropped_bytes;
+  return state;
+}
+
+Result<DurableLog> DurableLog::Open(WalOptions options) {
+  if (options.group_commit_window < 1) {
+    return Status::InvalidArgument(
+        "WalOptions.group_commit_window must be >= 1");
+  }
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create WAL directory '" + options.dir +
+                            "': " + ec.message());
+  }
+
+  std::string path = WalLogPath(options.dir);
+  uint64_t valid_bytes = WalFileHeader().size();
+  bool fresh = true;
+  Result<std::string> existing = ReadFile(path);
+  if (existing.ok()) {
+    Result<WalScan> scan = ScanWalBuffer(existing.value());
+    if (!scan.ok()) return scan.status();
+    // A pre-header crash leaves a short prefix; rewrite from scratch.
+    fresh = existing.value().size() < WalFileHeader().size();
+    if (!fresh) valid_bytes = scan.value().valid_bytes;
+  } else if (existing.status().code() != StatusCode::kNotFound) {
+    return existing.status();
+  }
+
+  DurableLog log(std::move(options));
+  log.fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (log.fd_ < 0) return Errno("open of", path);
+
+  if (fresh) {
+    if (::ftruncate(log.fd_, 0) != 0) return Errno("truncate of", path);
+    std::string_view header = WalFileHeader();
+    LAKEORG_RETURN_NOT_OK(
+        WriteAll(log.fd_, header.data(), header.size(), path));
+    LAKEORG_RETURN_NOT_OK(FsyncFd(log.fd_, path));
+    LAKEORG_RETURN_NOT_OK(FsyncDir(log.options_.dir));
+    log.log_bytes_ = header.size();
+  } else {
+    // Drop any torn tail so appends resume after the last valid record.
+    if (::ftruncate(log.fd_, static_cast<off_t>(valid_bytes)) != 0) {
+      return Errno("truncate of", path);
+    }
+    if (::lseek(log.fd_, 0, SEEK_END) < 0) return Errno("seek in", path);
+    log.log_bytes_ = valid_bytes;
+  }
+  return log;
+}
+
+DurableLog::DurableLog(DurableLog&& other) noexcept
+    : options_(std::move(other.options_)),
+      fd_(std::exchange(other.fd_, -1)),
+      pending_(std::move(other.pending_)),
+      pending_records_(std::exchange(other.pending_records_, 0)),
+      dirty_(std::exchange(other.dirty_, false)),
+      appended_records_(other.appended_records_),
+      log_bytes_(other.log_bytes_) {}
+
+DurableLog& DurableLog::operator=(DurableLog&& other) noexcept {
+  if (this == &other) return *this;
+  if (fd_ >= 0) {
+    (void)FlushAndSync();
+    ::close(fd_);
+  }
+  options_ = std::move(other.options_);
+  fd_ = std::exchange(other.fd_, -1);
+  pending_ = std::move(other.pending_);
+  pending_records_ = std::exchange(other.pending_records_, 0);
+  dirty_ = std::exchange(other.dirty_, false);
+  appended_records_ = other.appended_records_;
+  log_bytes_ = other.log_bytes_;
+  return *this;
+}
+
+DurableLog::~DurableLog() {
+  if (fd_ < 0) return;
+  (void)FlushAndSync();
+  ::close(fd_);
+}
+
+Status DurableLog::Append(std::string_view payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is not open");
+  AppendWalFrame(payload, &pending_);
+  ++pending_records_;
+  ++appended_records_;
+  obs::GetCounter("wal.appends_total").Add();
+  obs::GetCounter("wal.appended_bytes_total")
+      .Add(kWalRecordHeaderSize + payload.size());
+  if (pending_records_ >= options_.group_commit_window) {
+    return FlushAndSync();
+  }
+  return Status::OK();
+}
+
+Status DurableLog::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is not open");
+  return FlushAndSync();
+}
+
+Status DurableLog::WritePending() {
+  if (pending_.empty()) return Status::OK();
+  LAKEORG_RETURN_NOT_OK(WriteAll(fd_, pending_.data(), pending_.size(),
+                                 WalLogPath(options_.dir)));
+  log_bytes_ += pending_.size();
+  pending_.clear();
+  pending_records_ = 0;
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status DurableLog::FlushAndSync() {
+  LAKEORG_RETURN_NOT_OK(WritePending());
+  if (!dirty_) return Status::OK();
+  LAKEORG_RETURN_NOT_OK(FsyncFd(fd_, WalLogPath(options_.dir)));
+  dirty_ = false;
+  return Status::OK();
+}
+
+Status DurableLog::WriteSnapshot(uint64_t seq, const std::string& contents) {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is not open");
+  // The log must be durable before the snapshot claims to cover it.
+  LAKEORG_RETURN_NOT_OK(FlushAndSync());
+  LAKEORG_RETURN_NOT_OK(WriteFileDurably(
+      options_.dir, SnapshotPath(options_.dir, seq), contents));
+  obs::GetCounter("wal.snapshots_total").Add();
+  obs::GetGauge("wal.snapshot_bytes").Set(static_cast<double>(contents.size()));
+
+  for (uint64_t old : ListSnapshotSeqs(options_.dir)) {
+    if (old < seq) ::unlink(SnapshotPath(options_.dir, old).c_str());
+  }
+
+  if (options_.truncate_on_snapshot) {
+    // Records <= seq are covered by the snapshot; replay skips them by
+    // sequence number anyway, so a crash between the rename above and
+    // this truncate only leaves redundant records behind.
+    std::string path = WalLogPath(options_.dir);
+    size_t header = WalFileHeader().size();
+    if (::ftruncate(fd_, static_cast<off_t>(header)) != 0) {
+      return Errno("truncate of", path);
+    }
+    if (::lseek(fd_, 0, SEEK_END) < 0) return Errno("seek in", path);
+    LAKEORG_RETURN_NOT_OK(FsyncFd(fd_, path));
+    log_bytes_ = header;
+  }
+  return Status::OK();
+}
+
+}  // namespace lakeorg

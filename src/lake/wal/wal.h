@@ -1,0 +1,127 @@
+// The durable metadata log: an append-only WAL plus compacted snapshots
+// in one directory (docs/DURABILITY.md).
+//
+// Layout of a WAL directory:
+//
+//   wal.log               append-only log (lake/wal/wal_format framing)
+//   snapshot-<seq>.json   compacted snapshot covering WAL records <= seq
+//
+// DurableLog owns the open log fd and the group-commit buffer: Append
+// frames a payload into a user-space buffer and every
+// `group_commit_window` records writes the buffer and fsyncs, so one
+// fsync covers the whole batch. Snapshots are written atomically
+// (tmp + fsync + rename + directory fsync); after a successful snapshot
+// the log is reset to an empty header (compaction) unless
+// `truncate_on_snapshot` is off — recovery tolerates either, because
+// replay skips records at or below the snapshot's sequence number.
+//
+// ReadWalDir is the read-only other half: it loads the newest snapshot
+// and scans the log tail, applying the torn-tail policy from
+// wal_format.h. Recovery proper (rebuilding the lake and organization)
+// lives in discovery/live_lake.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "lake/wal/wal_format.h"
+
+namespace lakeorg {
+
+/// Durability tuning for one WAL directory.
+struct WalOptions {
+  /// Directory holding wal.log and snapshots; created if absent.
+  std::string dir;
+  /// Records per fsync batch. 1 = fsync every Append (safest, slowest);
+  /// N > 1 groups N appends under one fsync and can lose up to N - 1
+  /// acknowledged-in-memory records on crash (they are torn tail).
+  int group_commit_window = 1;
+  /// Reset wal.log to an empty header after each successful snapshot.
+  bool truncate_on_snapshot = true;
+};
+
+/// Everything on disk in a WAL directory, decoded read-only.
+struct WalDirState {
+  /// True when a snapshot file exists (seq 0 is a valid snapshot: the
+  /// initial publish before any WAL record).
+  bool has_snapshot = false;
+  /// Sequence number the newest snapshot covers.
+  uint64_t snapshot_seq = 0;
+  /// The newest snapshot's raw JSON text; empty when no snapshot.
+  std::string snapshot_contents;
+  /// CRC-valid WAL record payloads in file order (canonical JSON text).
+  std::vector<std::string> wal_payloads;
+  /// Torn-tail accounting from the log scan (wal_format.h).
+  bool dropped_tail = false;
+  uint64_t dropped_bytes = 0;
+};
+
+/// Decodes a WAL directory. A missing directory or missing wal.log reads
+/// as an empty state. Mid-log corruption and an unreadable newest
+/// snapshot are refused with InvalidArgument — never silently skipped.
+Result<WalDirState> ReadWalDir(const std::string& dir);
+
+/// The open, appendable log. Movable, not copyable; the destructor
+/// flushes and closes without reporting errors — call Sync() at points
+/// whose durability matters.
+class DurableLog {
+ public:
+  /// Opens (creating the directory and log as needed) for appending.
+  /// An existing log is scanned first: a torn tail is truncated away so
+  /// appends resume after the last valid record; mid-log corruption is
+  /// refused (recover or delete the log explicitly instead).
+  static Result<DurableLog> Open(WalOptions options);
+
+  DurableLog(DurableLog&& other) noexcept;
+  DurableLog& operator=(DurableLog&& other) noexcept;
+  DurableLog(const DurableLog&) = delete;
+  DurableLog& operator=(const DurableLog&) = delete;
+  ~DurableLog();
+
+  /// Frames and buffers one record payload. When the group-commit window
+  /// fills, the buffer is written and fsynced before returning, making
+  /// every record of the batch durable.
+  Status Append(std::string_view payload);
+
+  /// Writes any buffered frames and fsyncs. A no-op when nothing has
+  /// been appended since the last sync.
+  Status Sync();
+
+  /// Atomically writes snapshot-<seq>.json with `contents`, removes
+  /// older snapshots, and compacts the log (truncate to header) when
+  /// `truncate_on_snapshot` is set. Buffered records are synced first.
+  Status WriteSnapshot(uint64_t seq, const std::string& contents);
+
+  /// Records appended through this handle (buffered + durable).
+  uint64_t appended_records() const { return appended_records_; }
+  /// Log file size in bytes counting buffered-but-unwritten frames.
+  uint64_t log_bytes() const { return log_bytes_ + pending_.size(); }
+  const WalOptions& options() const { return options_; }
+
+ private:
+  explicit DurableLog(WalOptions options) : options_(std::move(options)) {}
+
+  /// Writes pending_ to the fd (no fsync).
+  Status WritePending();
+  /// WritePending + fsync when anything is unsynced.
+  Status FlushAndSync();
+
+  WalOptions options_;
+  int fd_ = -1;
+  std::string pending_;       ///< Framed records not yet written.
+  int pending_records_ = 0;   ///< Records in pending_.
+  bool dirty_ = false;        ///< Written bytes not yet fsynced.
+  uint64_t appended_records_ = 0;
+  uint64_t log_bytes_ = 0;    ///< Bytes written to the fd.
+};
+
+/// "<dir>/wal.log" — shared by DurableLog, ReadWalDir, and tests that
+/// corrupt the log in place.
+std::string WalLogPath(const std::string& dir);
+/// "<dir>/snapshot-<seq>.json".
+std::string SnapshotPath(const std::string& dir, uint64_t seq);
+
+}  // namespace lakeorg

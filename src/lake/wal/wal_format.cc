@@ -1,0 +1,107 @@
+#include "lake/wal/wal_format.h"
+
+#include <array>
+
+namespace lakeorg {
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutU32Le(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string_view WalFileHeader() {
+  // 14 visible bytes + 2 NULs = 16.
+  static constexpr std::string_view kHeader{"lakeorgwal v1\n\0\0", 16};
+  return kHeader;
+}
+
+void AppendWalFrame(std::string_view payload, std::string* out) {
+  PutU32Le(static_cast<uint32_t>(payload.size()), out);
+  PutU32Le(Crc32(payload.data(), payload.size()), out);
+  out->append(payload);
+}
+
+Result<WalScan> ScanWalBuffer(std::string_view data) {
+  WalScan scan;
+  const size_t header = WalFileHeader().size();
+  if (data.size() < header) {
+    // Crash before the header hit disk: an empty log.
+    scan.dropped_tail = !data.empty();
+    scan.dropped_bytes = data.size();
+    return scan;
+  }
+  if (data.substr(0, header) != WalFileHeader()) {
+    return Status::InvalidArgument("WAL header mismatch (corrupt log)");
+  }
+  size_t off = header;
+  scan.valid_bytes = header;
+  while (off < data.size()) {
+    size_t remaining = data.size() - off;
+    if (remaining < kWalRecordHeaderSize) {
+      scan.dropped_tail = true;  // Torn record header.
+      scan.dropped_bytes = remaining;
+      break;
+    }
+    uint32_t len = GetU32Le(data.data() + off);
+    uint32_t crc = GetU32Le(data.data() + off + 4);
+    if (remaining - kWalRecordHeaderSize < len) {
+      scan.dropped_tail = true;  // Torn payload.
+      scan.dropped_bytes = remaining;
+      break;
+    }
+    std::string_view payload =
+        data.substr(off + kWalRecordHeaderSize, len);
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      if (off + kWalRecordHeaderSize + len == data.size()) {
+        // A torn write can garble the final record in place; dropping it
+        // loses only the not-yet-acknowledged tail.
+        scan.dropped_tail = true;
+        scan.dropped_bytes = remaining;
+        break;
+      }
+      return Status::InvalidArgument(
+          "WAL record at offset " + std::to_string(off) +
+          " fails its CRC with records following (mid-log corruption)");
+    }
+    scan.payloads.emplace_back(payload);
+    off += kWalRecordHeaderSize + len;
+    scan.valid_bytes = off;
+  }
+  return scan;
+}
+
+}  // namespace lakeorg

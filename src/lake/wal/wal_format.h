@@ -1,0 +1,59 @@
+// On-disk framing of the write-ahead log (docs/DURABILITY.md).
+//
+// A WAL file is a 16-byte header followed by length-prefixed records:
+//
+//   header:  "lakeorgwal v1\n" padded with NULs to 16 bytes
+//   record:  u32 payload length (LE) | u32 CRC32 of payload (LE) | payload
+//
+// The payload is one canonical-JSON document (common/json), so records
+// are byte-identical across runs for identical logical content. Torn-tail
+// policy: a final record whose header or payload is cut short — or whose
+// CRC fails with nothing after it — is a torn write and is dropped; a
+// CRC failure with more bytes following is mid-log corruption and the
+// scan refuses the whole file rather than silently resuming.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lakeorg {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum of
+/// zip/zlib. Crc32("123456789") == 0xCBF43926.
+uint32_t Crc32(const void* data, size_t size);
+
+/// The 16-byte WAL file header.
+std::string_view WalFileHeader();
+
+/// Bytes of the per-record frame before the payload (length + CRC).
+inline constexpr size_t kWalRecordHeaderSize = 8;
+
+/// Frames `payload` and appends it to `out`.
+void AppendWalFrame(std::string_view payload, std::string* out);
+
+/// Result of scanning a WAL buffer up to the first torn record.
+struct WalScan {
+  /// CRC-valid payloads, in file order.
+  std::vector<std::string> payloads;
+  /// Bytes covered by the header plus every valid record — the length a
+  /// recovered log is truncated to before appending resumes.
+  uint64_t valid_bytes = 0;
+  /// True when a torn (incomplete or CRC-failed) final record was
+  /// dropped; the dropped byte count follows.
+  bool dropped_tail = false;
+  uint64_t dropped_bytes = 0;
+};
+
+/// Scans a whole WAL file image. An empty buffer, or one shorter than the
+/// header (a crash before the header reached disk), scans as a valid
+/// empty log with the short prefix dropped. A present-but-wrong header,
+/// or a CRC mismatch on any record that is not the file's final record,
+/// is corruption: the scan returns InvalidArgument instead of a prefix.
+Result<WalScan> ScanWalBuffer(std::string_view data);
+
+}  // namespace lakeorg

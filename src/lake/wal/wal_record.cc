@@ -1,0 +1,121 @@
+#include "lake/wal/wal_record.h"
+
+#include <utility>
+
+#include "lake/lake_serialization.h"
+
+namespace lakeorg {
+namespace {
+
+constexpr const char* kRecordFormat = "lakeorg-wal-record";
+constexpr const char* kSnapshotFormat = "lakeorg-snapshot";
+constexpr int kVersion = 1;
+
+Result<Json> ParseEnvelope(const std::string& text, const char* format,
+                           const char* what) {
+  Result<Json> parsed = Json::Parse(text);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(std::string(what) + ": " +
+                                   parsed.status().message());
+  }
+  Json json = std::move(parsed).value();
+  if (!json.is_object()) {
+    return Status::InvalidArgument(std::string(what) + ": not an object");
+  }
+  const Json* fmt = json.Find("format");
+  const Json* ver = json.Find("version");
+  if (fmt == nullptr || !fmt->is_string() || fmt->string() != format ||
+      ver == nullptr || !ver->is_number() ||
+      ver->number() != static_cast<double>(kVersion)) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": bad format/version");
+  }
+  return json;
+}
+
+Result<uint64_t> SeqField(const Json& obj, const char* key,
+                          const char* what) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr || !v->is_number() || v->number() < 0 ||
+      v->number() != static_cast<double>(static_cast<uint64_t>(v->number()))) {
+    return Status::InvalidArgument(std::string(what) + ": bad '" + key +
+                                   "'");
+  }
+  return static_cast<uint64_t>(v->number());
+}
+
+}  // namespace
+
+std::string WalRecordToText(const WalRecord& record) {
+  Json root = Json::MakeObject();
+  root["format"] = kRecordFormat;
+  root["version"] = kVersion;
+  root["seq"] = record.seq;
+  root["batch"] = MutationBatchToJson(record.batch);
+  root["delta"] = DeltaToJson(record.delta);
+  return root.Dump();
+}
+
+Result<WalRecord> WalRecordFromText(const std::string& text) {
+  Result<Json> parsed = ParseEnvelope(text, kRecordFormat, "WAL record");
+  if (!parsed.ok()) return parsed.status();
+  const Json& json = parsed.value();
+  WalRecord record;
+  Result<uint64_t> seq = SeqField(json, "seq", "WAL record");
+  if (!seq.ok()) return seq.status();
+  record.seq = seq.value();
+  const Json* batch = json.Find("batch");
+  if (batch == nullptr) {
+    return Status::InvalidArgument("WAL record: missing batch");
+  }
+  Result<LakeMutationBatch> ops = MutationBatchFromJson(*batch);
+  if (!ops.ok()) return ops.status();
+  record.batch = std::move(ops).value();
+  const Json* delta = json.Find("delta");
+  if (delta == nullptr) {
+    return Status::InvalidArgument("WAL record: missing delta");
+  }
+  Result<LakeDelta> d = DeltaFromJson(*delta);
+  if (!d.ok()) return d.status();
+  record.delta = std::move(d).value();
+  return record;
+}
+
+std::string DurableSnapshotToText(const DurableSnapshot& snapshot) {
+  Json root = Json::MakeObject();
+  root["format"] = kSnapshotFormat;
+  root["version"] = kVersion;
+  root["wal_seq"] = snapshot.wal_seq;
+  root["effectiveness"] = snapshot.effectiveness;
+  root["lake"] = snapshot.lake;
+  root["organization"] = snapshot.organization;
+  return root.Dump();
+}
+
+Result<DurableSnapshot> DurableSnapshotFromText(const std::string& text) {
+  Result<Json> parsed = ParseEnvelope(text, kSnapshotFormat, "snapshot");
+  if (!parsed.ok()) return parsed.status();
+  Json json = std::move(parsed).value();
+  DurableSnapshot snapshot;
+  Result<uint64_t> seq = SeqField(json, "wal_seq", "snapshot");
+  if (!seq.ok()) return seq.status();
+  snapshot.wal_seq = seq.value();
+  const Json* eff = json.Find("effectiveness");
+  if (eff == nullptr || !eff->is_number()) {
+    return Status::InvalidArgument("snapshot: missing effectiveness");
+  }
+  snapshot.effectiveness = eff->number();
+  auto lake_it = json.object().find("lake");
+  if (lake_it == json.object().end() || !lake_it->second.is_object()) {
+    return Status::InvalidArgument("snapshot: missing lake");
+  }
+  snapshot.lake = std::move(lake_it->second);
+  const Json* org = json.Find("organization");
+  if (org == nullptr || !org->is_string()) {
+    return Status::InvalidArgument("snapshot: missing organization");
+  }
+  snapshot.organization = org->string();
+  return snapshot;
+}
+
+}  // namespace lakeorg

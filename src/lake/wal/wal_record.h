@@ -1,0 +1,51 @@
+// Logical WAL payloads: the record envelope every Apply appends, and the
+// compacted-snapshot document (docs/DURABILITY.md). Both serialize
+// through canonical JSON, so identical logical content is byte-identical
+// on disk — which is what lets the crash-recovery fuzz tier demand
+// bit-identical recovered state.
+//
+// The organization inside a snapshot is carried as opaque text in
+// core/serialization's line format; this layer does not depend on core.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "lake/lake_delta.h"
+#include "lake/wal/lake_mutation.h"
+
+namespace lakeorg {
+
+/// One appended Apply: its sequence number (1-based, monotonic,
+/// contiguous), the replayable mutation batch, and the normalized delta
+/// the original execution produced — replay cross-checks its own delta
+/// against it to catch divergence before publishing anything.
+struct WalRecord {
+  uint64_t seq = 0;
+  LakeMutationBatch batch;
+  LakeDelta delta;
+};
+
+/// Record <-> canonical JSON text (the framed WAL payload).
+std::string WalRecordToText(const WalRecord& record);
+Result<WalRecord> WalRecordFromText(const std::string& text);
+
+/// A compacted snapshot: the full catalog plus the published
+/// organization at WAL sequence `wal_seq`. Recovery loads the newest
+/// snapshot and replays only records with seq > wal_seq.
+struct DurableSnapshot {
+  uint64_t wal_seq = 0;
+  double effectiveness = 0.0;
+  /// Catalog as lake/lake_serialization JSON.
+  Json lake;
+  /// Organization in core/serialization's text format.
+  std::string organization;
+};
+
+/// Snapshot <-> canonical JSON text (the snapshot-<seq>.json contents).
+std::string DurableSnapshotToText(const DurableSnapshot& snapshot);
+Result<DurableSnapshot> DurableSnapshotFromText(const std::string& text);
+
+}  // namespace lakeorg

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "benchgen/tagcloud.h"
@@ -239,6 +240,39 @@ TEST(SerializationTest, TruncatedInputFails) {
   std::stringstream truncated(text.substr(0, text.size() / 2));
   Result<Organization> loaded = LoadOrganization(ctx, &truncated);
   EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SerializationTest, TruncatedFileFailsInsteadOfSilentLoad) {
+  // Short-read regression: a file cut mid-document (torn copy, partial
+  // download) must refuse to load — never come back as a silently
+  // smaller organization.
+  TinyLake tiny = MakeTinyLake();
+  auto ctx = TinyContext(&tiny);
+  Organization org = BuildFlatOrganization(ctx);
+  std::string path = ::testing::TempDir() + "/lakeorg_truncated.org";
+  ASSERT_TRUE(SaveOrganizationToFile(org, path).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text.substr(0, text.size() / 2);
+  }
+  Result<Organization> loaded = LoadOrganizationFromFile(ctx, path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SerializationTest, SaveToUnwritablePathFails) {
+  // The file writer must surface a failed write instead of returning OK
+  // with a missing or empty file behind it.
+  TinyLake tiny = MakeTinyLake();
+  auto ctx = TinyContext(&tiny);
+  Organization org = BuildFlatOrganization(ctx);
+  Status st = SaveOrganizationToFile(org, "/nonexistent-dir/out.org");
+  EXPECT_FALSE(st.ok());
+  st = SaveMultiDimOrganizationToFile(MultiDimOrganization({}, {}),
+                                      "/nonexistent-dir/out.org");
+  EXPECT_FALSE(st.ok());
 }
 
 TEST(SerializationTest, CorruptTagIdFails) {

@@ -1,0 +1,310 @@
+// Durable LiveLakeService: recovery equals the live service bit-for-bit,
+// snapshot compaction changes nothing about what recovery lands on, and
+// replay of already-applied records is an idempotent skip
+// (docs/DURABILITY.md). These are the deterministic counterparts of the
+// randomized crash matrix in discovery/durability_fuzz.
+#include "discovery/live_lake.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/serialization.h"
+#include "lake/lake_serialization.h"
+#include "lake/wal/wal.h"
+#include "lake/wal/wal_record.h"
+#include "test_util.h"
+
+namespace lakeorg {
+namespace {
+
+namespace fs = std::filesystem;
+using testing::MakeTinyLake;
+using testing::TinyLake;
+
+struct ScratchDir {
+  ScratchDir() {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    path = fs::temp_directory_path() /
+           ("lakeorg_durability_test_" + std::string(info->name()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string dir(const char* sub) const { return (path / sub).string(); }
+  fs::path path;
+};
+
+LiveLakeService::Options DurableOptions(const std::string& dir) {
+  LiveLakeService::Options opts;
+  opts.optimize_initial = false;  // Deterministic, fast initial publish.
+  opts.repair.reopt_max_proposals = 20;
+  opts.repair.reopt_patience = 8;
+  opts.repair.seed = 99;
+  opts.durability.dir = dir;
+  return opts;
+}
+
+/// The published state as the canonical snapshot document — the byte
+/// string recovery is held to (same encoding the fuzz tier uses).
+std::string EncodeState(const LiveLakeService& service) {
+  std::shared_ptr<const OrgSnapshot> cur = service.Current();
+  EXPECT_NE(cur, nullptr);
+  if (cur == nullptr) return "";
+  DurableSnapshot snapshot;
+  snapshot.wal_seq = service.wal_seq();
+  snapshot.effectiveness = cur->effectiveness;
+  snapshot.lake = LakeToJson(*cur->lake);
+  std::ostringstream org_text;
+  Status st = SaveOrganization(*cur->org, &org_text);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  snapshot.organization = std::move(org_text).str();
+  return DurableSnapshotToText(snapshot);
+}
+
+Status MutateAddTable(LakeMutationRecorder* rec, int i) {
+  TableId t = rec->AddTable("extra_" + std::to_string(i));
+  rec->Tag(t, i % 2 == 0 ? "alpha" : "delta");
+  rec->AddAttribute(t, "v" + std::to_string(i),
+                    {"a", i % 2 == 0 ? "b" : "c"});
+  return Status::OK();
+}
+
+TEST(DurabilityTest, RecoverMatchesLiveServiceBitForBit) {
+  ScratchDir scratch;
+  TinyLake tiny = MakeTinyLake();
+  LiveLakeService service(tiny.lake, tiny.store,
+                          DurableOptions(scratch.dir("wal")));
+  ASSERT_TRUE(service.Initialize().ok());
+  for (int i = 0; i < 3; ++i) {
+    Result<LiveApplyReport> report = service.ApplyRecorded(
+        [i](LakeMutationRecorder* rec) { return MutateAddTable(rec, i); });
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+  }
+  EXPECT_EQ(service.wal_seq(), 3u);
+  ASSERT_TRUE(service.SyncWal().ok());
+
+  Result<std::unique_ptr<LiveLakeService>> recovered =
+      LiveLakeService::RecoverFromDisk(tiny.store,
+                                       DurableOptions(scratch.dir("wal")));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value()->wal_seq(), 3u);
+  EXPECT_EQ(EncodeState(*recovered.value()), EncodeState(service));
+
+  // The recovered service keeps working: its next durable apply lands on
+  // the same state the original service reaches with the same mutation.
+  auto apply = [](LiveLakeService* svc) {
+    return svc->ApplyRecorded(
+        [](LakeMutationRecorder* rec) { return MutateAddTable(rec, 9); });
+  };
+  ASSERT_TRUE(apply(&service).ok());
+  ASSERT_TRUE(apply(recovered.value().get()).ok());
+  EXPECT_EQ(EncodeState(*recovered.value()), EncodeState(service));
+}
+
+TEST(DurabilityTest, SnapshotCompactionRoundTripEqualsPureReplay) {
+  // The ISSUE's compaction round trip: snapshot mid-history, keep
+  // applying, crash, recover — the result must be bit-identical to a
+  // recovery that replayed the full history from the initial snapshot
+  // with no compaction at all.
+  ScratchDir scratch;
+  TinyLake tiny = MakeTinyLake();
+
+  LiveLakeService::Options compacting = DurableOptions(scratch.dir("snap"));
+  compacting.durability.snapshot_every = 2;  // Compacts after apply 2 and 4.
+  LiveLakeService snap_svc(tiny.lake, tiny.store, compacting);
+
+  LiveLakeService::Options replay_only = DurableOptions(scratch.dir("replay"));
+  replay_only.durability.snapshot_every = 0;  // Initial snapshot only.
+  LiveLakeService replay_svc(tiny.lake, tiny.store, replay_only);
+
+  ASSERT_TRUE(snap_svc.Initialize().ok());
+  ASSERT_TRUE(replay_svc.Initialize().ok());
+  for (int i = 0; i < 5; ++i) {
+    auto mutate = [i](LakeMutationRecorder* rec) {
+      return MutateAddTable(rec, i);
+    };
+    ASSERT_TRUE(snap_svc.ApplyRecorded(mutate).ok());
+    ASSERT_TRUE(replay_svc.ApplyRecorded(mutate).ok());
+  }
+  ASSERT_TRUE(snap_svc.SyncWal().ok());
+  ASSERT_TRUE(replay_svc.SyncWal().ok());
+
+  // Compaction really happened: the newest snapshot covers seq 4 and the
+  // log holds only the tail record.
+  Result<WalDirState> disk = ReadWalDir(scratch.dir("snap"));
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ(disk.value().snapshot_seq, 4u);
+  EXPECT_EQ(disk.value().wal_payloads.size(), 1u);
+  disk = ReadWalDir(scratch.dir("replay"));
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ(disk.value().snapshot_seq, 0u);
+  EXPECT_EQ(disk.value().wal_payloads.size(), 5u);
+
+  Result<std::unique_ptr<LiveLakeService>> from_snapshot =
+      LiveLakeService::RecoverFromDisk(tiny.store, compacting);
+  ASSERT_TRUE(from_snapshot.ok()) << from_snapshot.status().ToString();
+  Result<std::unique_ptr<LiveLakeService>> from_replay =
+      LiveLakeService::RecoverFromDisk(tiny.store, replay_only);
+  ASSERT_TRUE(from_replay.ok()) << from_replay.status().ToString();
+
+  EXPECT_EQ(from_snapshot.value()->wal_seq(), 5u);
+  EXPECT_EQ(from_replay.value()->wal_seq(), 5u);
+  std::string snap_state = EncodeState(*from_snapshot.value());
+  EXPECT_EQ(snap_state, EncodeState(*from_replay.value()));
+  EXPECT_EQ(snap_state, EncodeState(snap_svc));
+}
+
+TEST(DurabilityTest, DuplicateReplayIsIdempotentSkip) {
+  // With truncate_on_snapshot off, the log keeps records the newest
+  // snapshot already covers. Recovery must skip those by sequence number
+  // — replaying them again would double-apply mutations.
+  ScratchDir scratch;
+  TinyLake tiny = MakeTinyLake();
+  LiveLakeService::Options opts = DurableOptions(scratch.dir("wal"));
+  opts.durability.snapshot_every = 2;
+  opts.durability.truncate_on_snapshot = false;
+  LiveLakeService service(tiny.lake, tiny.store, opts);
+  ASSERT_TRUE(service.Initialize().ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service
+                    .ApplyRecorded([i](LakeMutationRecorder* rec) {
+                      return MutateAddTable(rec, i);
+                    })
+                    .ok());
+  }
+  ASSERT_TRUE(service.SyncWal().ok());
+
+  // All three records are still on disk next to the seq-2 snapshot:
+  // records 1 and 2 are duplicates of state the snapshot already holds.
+  Result<WalDirState> disk = ReadWalDir(scratch.dir("wal"));
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ(disk.value().snapshot_seq, 2u);
+  ASSERT_EQ(disk.value().wal_payloads.size(), 3u);
+
+  Result<std::unique_ptr<LiveLakeService>> recovered =
+      LiveLakeService::RecoverFromDisk(tiny.store, opts);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value()->wal_seq(), 3u);
+  EXPECT_EQ(EncodeState(*recovered.value()), EncodeState(service));
+}
+
+TEST(DurabilityTest, SequenceGapRefused) {
+  // Dropping a middle record (e.g. a mis-spliced log) must be refused as
+  // a gap, not silently replayed around.
+  ScratchDir scratch;
+  TinyLake tiny = MakeTinyLake();
+  LiveLakeService::Options opts = DurableOptions(scratch.dir("wal"));
+  {
+    LiveLakeService service(tiny.lake, tiny.store, opts);
+    ASSERT_TRUE(service.Initialize().ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(service
+                      .ApplyRecorded([i](LakeMutationRecorder* rec) {
+                        return MutateAddTable(rec, i);
+                      })
+                      .ok());
+    }
+    ASSERT_TRUE(service.SyncWal().ok());
+  }
+  // Rewrite the log with record 2 spliced out (frames stay CRC-valid).
+  Result<WalDirState> disk = ReadWalDir(scratch.dir("wal"));
+  ASSERT_TRUE(disk.ok());
+  ASSERT_EQ(disk.value().wal_payloads.size(), 3u);
+  std::string image(WalFileHeader());
+  AppendWalFrame(disk.value().wal_payloads[0], &image);
+  AppendWalFrame(disk.value().wal_payloads[2], &image);
+  {
+    std::ofstream out(WalLogPath(scratch.dir("wal")),
+                      std::ios::binary | std::ios::trunc);
+    out << image;
+    ASSERT_TRUE(out.good());
+  }
+  Result<std::unique_ptr<LiveLakeService>> recovered =
+      LiveLakeService::RecoverFromDisk(tiny.store, opts);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DurabilityTest, PlainApplyRefusedWhenDurable) {
+  ScratchDir scratch;
+  TinyLake tiny = MakeTinyLake();
+  LiveLakeService service(tiny.lake, tiny.store,
+                          DurableOptions(scratch.dir("wal")));
+  ASSERT_TRUE(service.Initialize().ok());
+  Result<LiveApplyReport> report =
+      service.Apply([](DataLake*) { return Status::OK(); });
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DurabilityTest, RecoverFromEmptyDirIsNotFound) {
+  ScratchDir scratch;
+  TinyLake tiny = MakeTinyLake();
+  Result<std::unique_ptr<LiveLakeService>> recovered =
+      LiveLakeService::RecoverFromDisk(tiny.store,
+                                       DurableOptions(scratch.dir("empty")));
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DurabilityTest, InitializeRefusesDirWithExistingState) {
+  // Initializing fresh over a directory that already holds a WAL would
+  // silently orphan that history; the caller must recover instead.
+  ScratchDir scratch;
+  TinyLake tiny = MakeTinyLake();
+  {
+    LiveLakeService service(tiny.lake, tiny.store,
+                            DurableOptions(scratch.dir("wal")));
+    ASSERT_TRUE(service.Initialize().ok());
+  }
+  TinyLake again = MakeTinyLake();
+  LiveLakeService second(again.lake, again.store,
+                         DurableOptions(scratch.dir("wal")));
+  EXPECT_FALSE(second.Initialize().ok());
+}
+
+TEST(DurabilityTest, ApplyRecordedWorksWithDurabilityOff) {
+  // Callers can use the recorded entry point unconditionally; without a
+  // WAL dir it behaves exactly like Apply.
+  TinyLake tiny = MakeTinyLake();
+  LiveLakeService::Options opts = DurableOptions("");
+  LiveLakeService service(tiny.lake, tiny.store, opts);
+  ASSERT_TRUE(service.Initialize().ok());
+  Result<LiveApplyReport> report = service.ApplyRecorded(
+      [](LakeMutationRecorder* rec) { return MutateAddTable(rec, 0); });
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(service.version(), 2u);
+  EXPECT_EQ(service.wal_seq(), 0u);
+  EXPECT_TRUE(service.SyncWal().ok());  // No-op without durability.
+}
+
+TEST(DurabilityTest, FailedRecordedMutationAppendsNothing) {
+  ScratchDir scratch;
+  TinyLake tiny = MakeTinyLake();
+  LiveLakeService service(tiny.lake, tiny.store,
+                          DurableOptions(scratch.dir("wal")));
+  ASSERT_TRUE(service.Initialize().ok());
+  Result<LiveApplyReport> report =
+      service.ApplyRecorded([](LakeMutationRecorder* rec) {
+        rec->AddTable("doomed");
+        return Status::InvalidArgument("abandon");
+      });
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(service.wal_seq(), 0u);
+  ASSERT_TRUE(service.SyncWal().ok());
+  Result<WalDirState> disk = ReadWalDir(scratch.dir("wal"));
+  ASSERT_TRUE(disk.ok());
+  EXPECT_TRUE(disk.value().wal_payloads.empty());
+}
+
+}  // namespace
+}  // namespace lakeorg

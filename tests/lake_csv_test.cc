@@ -145,6 +145,20 @@ TEST(CsvLoadTest, EmptyInputFails) {
   EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(CsvLoadTest, StreamReadErrorIsInternalNotEmptyInput) {
+  // ParseCsv stops on both EOF and stream errors; a badbit (I/O failure
+  // mid-read) must surface as a short-read error, not be misdiagnosed as
+  // an empty or truncated-but-valid CSV.
+  DataLake lake;
+  std::stringstream in("a,b\n1,2\n");
+  in.setstate(std::ios::badbit);
+  Result<TableId> table = LoadCsvTable(&lake, "t", &in, {});
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInternal);
+  // Nothing was added to the catalog.
+  EXPECT_EQ(lake.num_tables(), 0u);
+}
+
 TEST(CsvLoadTest, RaggedRowsPadToWidestRow) {
   DataLake lake;
   std::stringstream in("a,b,c\n1,2\nx,y,z,w\n");

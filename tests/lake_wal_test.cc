@@ -1,0 +1,459 @@
+// Corruption matrix for the WAL layer (docs/DURABILITY.md): every way a
+// log can be cut short or bit-flipped, and which of those recovery must
+// tolerate (torn tail) versus refuse (mid-log corruption) — plus codec
+// round trips for the mutation batch, WAL record, and snapshot formats.
+#include "lake/wal/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lake/lake_serialization.h"
+#include "lake/wal/lake_mutation.h"
+#include "lake/wal/wal_format.h"
+#include "lake/wal/wal_record.h"
+#include "test_util.h"
+
+namespace lakeorg {
+namespace {
+
+namespace fs = std::filesystem;
+using testing::MakeTinyLake;
+using testing::TinyLake;
+
+// --- In-memory framing helpers ---------------------------------------------
+
+std::string LogImage(const std::vector<std::string>& payloads) {
+  std::string image(WalFileHeader());
+  for (const std::string& p : payloads) AppendWalFrame(p, &image);
+  return image;
+}
+
+// A scratch directory unique to the running test, removed on destruction.
+struct ScratchDir {
+  ScratchDir() {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    path = fs::temp_directory_path() /
+           ("lakeorg_wal_test_" + std::string(info->name()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string dir() const { return path.string(); }
+  fs::path path;
+};
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// --- CRC and scan fundamentals ----------------------------------------------
+
+TEST(WalFormatTest, Crc32KnownVector) {
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(WalFormatTest, EmptyAndHeaderOnlyScansAsEmptyLog) {
+  // Zero-length WAL: a crash before the header hit disk.
+  Result<WalScan> scan = ScanWalBuffer("");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan.value().payloads.empty());
+  EXPECT_EQ(scan.value().valid_bytes, 0u);
+
+  // A short prefix of the header is likewise a torn creation, not
+  // corruption.
+  std::string_view header = WalFileHeader();
+  scan = ScanWalBuffer(header.substr(0, 7));
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan.value().payloads.empty());
+  EXPECT_TRUE(scan.value().dropped_tail);
+
+  // Exactly the header: a valid log with no records.
+  scan = ScanWalBuffer(header);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan.value().payloads.empty());
+  EXPECT_EQ(scan.value().valid_bytes, header.size());
+  EXPECT_FALSE(scan.value().dropped_tail);
+}
+
+TEST(WalFormatTest, WrongHeaderRefused) {
+  std::string image(WalFileHeader());
+  image[0] ^= 0x01;
+  Result<WalScan> scan = ScanWalBuffer(image);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WalFormatTest, TruncatedRecordHeaderIsTornTail) {
+  std::string image = LogImage({"{\"a\":1}", "{\"b\":2}"});
+  // Cut mid-way through the second record's 8-byte frame header.
+  std::string first = LogImage({"{\"a\":1}"});
+  std::string cut = image.substr(0, first.size() + 3);
+  Result<WalScan> scan = ScanWalBuffer(cut);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan.value().payloads.size(), 1u);
+  EXPECT_EQ(scan.value().payloads[0], "{\"a\":1}");
+  EXPECT_TRUE(scan.value().dropped_tail);
+  EXPECT_EQ(scan.value().dropped_bytes, 3u);
+  EXPECT_EQ(scan.value().valid_bytes, first.size());
+}
+
+TEST(WalFormatTest, TruncatedPayloadIsTornTail) {
+  std::string image = LogImage({"{\"a\":1}", "{\"payload\":\"long\"}"});
+  std::string cut = image.substr(0, image.size() - 5);
+  Result<WalScan> scan = ScanWalBuffer(cut);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan.value().payloads.size(), 1u);
+  EXPECT_TRUE(scan.value().dropped_tail);
+}
+
+TEST(WalFormatTest, BitFlipInFinalRecordIsTornTail) {
+  // A CRC mismatch on the file's last record is indistinguishable from a
+  // torn write, so it is dropped, not refused.
+  std::string image = LogImage({"{\"a\":1}", "{\"b\":2}"});
+  image[image.size() - 2] ^= 0x40;
+  Result<WalScan> scan = ScanWalBuffer(image);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan.value().payloads.size(), 1u);
+  EXPECT_EQ(scan.value().payloads[0], "{\"a\":1}");
+  EXPECT_TRUE(scan.value().dropped_tail);
+}
+
+TEST(WalFormatTest, BitFlipInFirstOfThreeRecordsRefused) {
+  // A CRC mismatch with more bytes after it cannot be a torn write:
+  // that is mid-log corruption and the whole scan is refused.
+  std::string image = LogImage({"{\"a\":1}", "{\"b\":2}", "{\"c\":3}"});
+  size_t payload_off = WalFileHeader().size() + kWalRecordHeaderSize;
+  image[payload_off + 2] ^= 0x10;
+  Result<WalScan> scan = ScanWalBuffer(image);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WalFormatTest, BitFlipInMiddleRecordRefused) {
+  std::string image = LogImage({"{\"a\":1}", "{\"b\":2}", "{\"c\":3}"});
+  std::string first = LogImage({"{\"a\":1}"});
+  image[first.size() + kWalRecordHeaderSize + 1] ^= 0x08;
+  Result<WalScan> scan = ScanWalBuffer(image);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- DurableLog on a real directory -----------------------------------------
+
+TEST(DurableLogTest, AppendReopenRoundTrip) {
+  ScratchDir scratch;
+  WalOptions opts;
+  opts.dir = scratch.dir();
+  {
+    Result<DurableLog> opened = DurableLog::Open(opts);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    DurableLog log = std::move(opened).value();
+    ASSERT_TRUE(log.Append("{\"seq\":1}").ok());
+    ASSERT_TRUE(log.Append("{\"seq\":2}").ok());
+    EXPECT_EQ(log.appended_records(), 2u);
+  }  // Destructor flushes and closes.
+  Result<WalDirState> state = ReadWalDir(scratch.dir());
+  ASSERT_TRUE(state.ok());
+  EXPECT_FALSE(state.value().has_snapshot);
+  ASSERT_EQ(state.value().wal_payloads.size(), 2u);
+  EXPECT_EQ(state.value().wal_payloads[1], "{\"seq\":2}");
+
+  // Reopening appends after the existing records.
+  Result<DurableLog> again = DurableLog::Open(opts);
+  ASSERT_TRUE(again.ok());
+  DurableLog log = std::move(again).value();
+  ASSERT_TRUE(log.Append("{\"seq\":3}").ok());
+  ASSERT_TRUE(log.Sync().ok());
+  state = ReadWalDir(scratch.dir());
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state.value().wal_payloads.size(), 3u);
+}
+
+TEST(DurableLogTest, GroupCommitBuffersUntilWindowFills) {
+  ScratchDir scratch;
+  WalOptions opts;
+  opts.dir = scratch.dir();
+  opts.group_commit_window = 3;
+  Result<DurableLog> opened = DurableLog::Open(opts);
+  ASSERT_TRUE(opened.ok());
+  DurableLog log = std::move(opened).value();
+  ASSERT_TRUE(log.Append("{\"seq\":1}").ok());
+  ASSERT_TRUE(log.Append("{\"seq\":2}").ok());
+  // Two records buffered: the on-disk log is still just the header.
+  Result<WalDirState> state = ReadWalDir(scratch.dir());
+  ASSERT_TRUE(state.ok());
+  EXPECT_TRUE(state.value().wal_payloads.empty());
+  // The third append fills the window and flushes all three.
+  ASSERT_TRUE(log.Append("{\"seq\":3}").ok());
+  state = ReadWalDir(scratch.dir());
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value().wal_payloads.size(), 3u);
+  // An explicit Sync drains a partial window too.
+  ASSERT_TRUE(log.Append("{\"seq\":4}").ok());
+  ASSERT_TRUE(log.Sync().ok());
+  state = ReadWalDir(scratch.dir());
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value().wal_payloads.size(), 4u);
+}
+
+TEST(DurableLogTest, ReopenTruncatesTornTail) {
+  ScratchDir scratch;
+  WalOptions opts;
+  opts.dir = scratch.dir();
+  {
+    Result<DurableLog> opened = DurableLog::Open(opts);
+    ASSERT_TRUE(opened.ok());
+    DurableLog log = std::move(opened).value();
+    ASSERT_TRUE(log.Append("{\"seq\":1}").ok());
+    ASSERT_TRUE(log.Append("{\"seq\":2}").ok());
+  }
+  // Tear the last record.
+  std::string image = ReadAll(WalLogPath(scratch.dir()));
+  WriteAll(WalLogPath(scratch.dir()), image.substr(0, image.size() - 4));
+
+  Result<DurableLog> reopened = DurableLog::Open(opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  DurableLog log = std::move(reopened).value();
+  ASSERT_TRUE(log.Append("{\"seq\":2,\"retry\":true}").ok());
+  Result<WalDirState> state = ReadWalDir(scratch.dir());
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state.value().wal_payloads.size(), 2u);
+  EXPECT_EQ(state.value().wal_payloads[0], "{\"seq\":1}");
+  EXPECT_EQ(state.value().wal_payloads[1], "{\"seq\":2,\"retry\":true}");
+  EXPECT_FALSE(state.value().dropped_tail);
+}
+
+TEST(DurableLogTest, OpenRefusesMidLogCorruption) {
+  ScratchDir scratch;
+  WalOptions opts;
+  opts.dir = scratch.dir();
+  {
+    Result<DurableLog> opened = DurableLog::Open(opts);
+    ASSERT_TRUE(opened.ok());
+    DurableLog log = std::move(opened).value();
+    ASSERT_TRUE(log.Append("{\"seq\":1}").ok());
+    ASSERT_TRUE(log.Append("{\"seq\":2}").ok());
+  }
+  std::string image = ReadAll(WalLogPath(scratch.dir()));
+  image[WalFileHeader().size() + kWalRecordHeaderSize] ^= 0x04;
+  WriteAll(WalLogPath(scratch.dir()), image);
+  Result<DurableLog> log = DurableLog::Open(opts);
+  ASSERT_FALSE(log.ok());
+  EXPECT_EQ(log.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DurableLogTest, SnapshotCompactsLogAndDropsOlderSnapshots) {
+  ScratchDir scratch;
+  WalOptions opts;
+  opts.dir = scratch.dir();
+  {
+    Result<DurableLog> opened = DurableLog::Open(opts);
+    ASSERT_TRUE(opened.ok());
+    DurableLog log = std::move(opened).value();
+    ASSERT_TRUE(log.WriteSnapshot(0, "{\"snap\":0}").ok());
+    ASSERT_TRUE(log.Append("{\"seq\":1}").ok());
+    ASSERT_TRUE(log.Append("{\"seq\":2}").ok());
+    ASSERT_TRUE(log.WriteSnapshot(2, "{\"snap\":2}").ok());
+    ASSERT_TRUE(log.Append("{\"seq\":3}").ok());
+  }
+  EXPECT_FALSE(fs::exists(SnapshotPath(scratch.dir(), 0)));
+  EXPECT_TRUE(fs::exists(SnapshotPath(scratch.dir(), 2)));
+  Result<WalDirState> state = ReadWalDir(scratch.dir());
+  ASSERT_TRUE(state.ok());
+  EXPECT_TRUE(state.value().has_snapshot);
+  EXPECT_EQ(state.value().snapshot_seq, 2u);
+  EXPECT_EQ(state.value().snapshot_contents, "{\"snap\":2}");
+  // Compaction reset the log at snapshot 2: only seq 3 is left.
+  ASSERT_EQ(state.value().wal_payloads.size(), 1u);
+  EXPECT_EQ(state.value().wal_payloads[0], "{\"seq\":3}");
+
+  // With truncation off the records stay — recovery replay must skip
+  // them by sequence number instead (covered in the live-service tests).
+  WalOptions keep = opts;
+  keep.truncate_on_snapshot = false;
+  {
+    Result<DurableLog> opened = DurableLog::Open(keep);
+    ASSERT_TRUE(opened.ok());
+    DurableLog log = std::move(opened).value();
+    ASSERT_TRUE(log.WriteSnapshot(3, "{\"snap\":3}").ok());
+  }
+  state = ReadWalDir(scratch.dir());
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value().snapshot_seq, 3u);
+  EXPECT_EQ(state.value().wal_payloads.size(), 1u);
+}
+
+TEST(DurableLogTest, ReadWalDirRefusesUnreadableNewestSnapshot) {
+  ScratchDir scratch;
+  WalOptions opts;
+  opts.dir = scratch.dir();
+  {
+    Result<DurableLog> opened = DurableLog::Open(opts);
+    ASSERT_TRUE(opened.ok());
+    DurableLog log = std::move(opened).value();
+    ASSERT_TRUE(log.WriteSnapshot(5, "{\"snap\":5}").ok());
+  }
+  // An unreadable newest snapshot must be refused, not silently skipped:
+  // the WAL may have been compacted past any older one.
+  fs::remove(SnapshotPath(scratch.dir(), 5));
+  fs::create_directory(SnapshotPath(scratch.dir(), 5));
+  Result<WalDirState> state = ReadWalDir(scratch.dir());
+  EXPECT_FALSE(state.ok());
+}
+
+TEST(DurableLogTest, MissingDirectoryReadsAsEmptyState) {
+  ScratchDir scratch;
+  Result<WalDirState> state = ReadWalDir(scratch.dir() + "/nonexistent");
+  ASSERT_TRUE(state.ok());
+  EXPECT_FALSE(state.value().has_snapshot);
+  EXPECT_TRUE(state.value().wal_payloads.empty());
+}
+
+// --- Mutation recording, replay, and the codecs -----------------------------
+
+TEST(LakeMutationTest, RecorderReplayReconstructsCatalogVerbatim) {
+  TinyLake original = MakeTinyLake();
+  DataLake target = original.lake;  // Replay applies on top of this copy.
+
+  LakeMutationRecorder recorder(&original.lake);
+  TableId t = recorder.AddTable("t3", "Table three", "more alpha");
+  recorder.Tag(t, "gamma");
+  AttributeId a = recorder.AddAttribute(t, "v", {"a", "c"}, true);
+  TagId gamma = original.lake.FindTag("gamma");
+  ASSERT_NE(gamma, kInvalidId);
+  ASSERT_TRUE(recorder.AttachTagToAttribute(a, gamma).ok());
+  ASSERT_TRUE(recorder.RemoveTable(1).ok());
+  ASSERT_TRUE(recorder.RetagAttribute(0, {original.beta}).ok());
+  LakeMutationBatch batch = recorder.TakeOps();
+  ASSERT_EQ(batch.size(), 7u);  // Tag() records create + attach.
+
+  ASSERT_TRUE(ReplayMutationBatch(batch, &target).ok());
+  EXPECT_EQ(LakeToJson(target).Dump(), LakeToJson(original.lake).Dump());
+}
+
+TEST(LakeMutationTest, ReplayDetectsIdDivergence) {
+  TinyLake tiny = MakeTinyLake();
+  DataLake target = tiny.lake;
+  LakeMutationRecorder recorder(&tiny.lake);
+  recorder.AddTable("t3");
+  LakeMutationBatch batch = recorder.TakeOps();
+  // Tamper with the recorded id: the log no longer describes this lake.
+  batch[0].result_id += 1;
+  Status st = ReplayMutationBatch(batch, &target);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST(LakeMutationTest, BatchJsonRoundTrip) {
+  TinyLake tiny = MakeTinyLake();
+  LakeMutationRecorder recorder(&tiny.lake);
+  TableId t = recorder.AddTable("t3", "Title", "Desc");
+  recorder.Tag(t, "gamma");
+  recorder.AddAttribute(t, "v", {"x", "y"}, false);
+  ASSERT_TRUE(recorder.RemoveTable(1).ok());
+  LakeMutationBatch batch = recorder.TakeOps();
+
+  Json encoded = MutationBatchToJson(batch);
+  Result<LakeMutationBatch> decoded = MutationBatchFromJson(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(decoded.value()[i], batch[i]) << "op " << i;
+  }
+  // Canonical JSON: re-encoding the decoded batch is byte-identical.
+  EXPECT_EQ(MutationBatchToJson(decoded.value()).Dump(), encoded.Dump());
+}
+
+TEST(LakeMutationTest, LakeOpEqualityComparesAllFields) {
+  LakeOp a;
+  a.kind = LakeOp::Kind::kAddAttribute;
+  a.name = "v";
+  a.values = {"x"};
+  a.subject = 3;
+  a.result_id = 7;
+  LakeOp b = a;
+  EXPECT_EQ(a, b);
+  b.values = {"x", "y"};
+  EXPECT_NE(a, b);
+  b = a;
+  b.is_text = !b.is_text;
+  EXPECT_NE(a, b);
+  b = a;
+  b.result_id = 8;
+  EXPECT_NE(a, b);
+}
+
+TEST(WalRecordTest, RecordTextRoundTrip) {
+  TinyLake tiny = MakeTinyLake();
+  LakeMutationRecorder recorder(&tiny.lake);
+  recorder.AddTable("t3");
+  WalRecord rec;
+  rec.seq = 42;
+  rec.batch = recorder.TakeOps();
+  rec.delta.added_tables = {3};
+  rec.delta.added_attrs = {9, 4};
+  rec.delta.Normalize();
+
+  std::string text = WalRecordToText(rec);
+  Result<WalRecord> decoded = WalRecordFromText(text);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().seq, 42u);
+  ASSERT_EQ(decoded.value().batch.size(), rec.batch.size());
+  EXPECT_EQ(decoded.value().batch[0], rec.batch[0]);
+  EXPECT_EQ(decoded.value().delta, rec.delta);
+  // Byte-identical re-encode (the property the fuzz tier leans on).
+  EXPECT_EQ(WalRecordToText(decoded.value()), text);
+
+  EXPECT_FALSE(WalRecordFromText("{\"format\":\"bogus\"}").ok());
+  EXPECT_FALSE(WalRecordFromText("not json").ok());
+}
+
+TEST(WalRecordTest, SnapshotTextRoundTrip) {
+  TinyLake tiny = MakeTinyLake();
+  DurableSnapshot snap;
+  snap.wal_seq = 7;
+  snap.effectiveness = 0.375;
+  snap.lake = LakeToJson(tiny.lake);
+  snap.organization = "lakeorg-org v1\nstates 0\n";
+
+  std::string text = DurableSnapshotToText(snap);
+  Result<DurableSnapshot> decoded = DurableSnapshotFromText(text);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().wal_seq, 7u);
+  EXPECT_EQ(decoded.value().effectiveness, 0.375);
+  EXPECT_EQ(decoded.value().organization, snap.organization);
+  EXPECT_EQ(decoded.value().lake.Dump(), snap.lake.Dump());
+  EXPECT_EQ(DurableSnapshotToText(decoded.value()), text);
+}
+
+TEST(LakeDeltaEqualityTest, ComparesAllIdArrays) {
+  LakeDelta a;
+  a.added_tables = {1};
+  a.removed_attrs = {2, 3};
+  LakeDelta b = a;
+  EXPECT_TRUE(a == b);
+  b.retagged_attrs = {4};
+  EXPECT_TRUE(a != b);
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -5,6 +5,7 @@
 #   BENCH_micro_core.json       — hot-kernel microbenchmarks (M1)
 #   BENCH_micro_evaluator.json  — proposal-evaluation engine (M2)
 #   BENCH_nav_serving.json      — concurrent serving layer (E8)
+#   BENCH_wal_replay.json       — WAL append + crash recovery (E9)
 #
 # Run on a quiet machine, then commit the refreshed files. Gate future
 # changes with:
@@ -36,15 +37,17 @@ echo "bench_baseline.sh: baselining clean tree at $sha"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" \
   --target fig2a_tagcloud micro_core micro_evaluator nav_serving \
-           bench_compare
+           wal_replay bench_compare
 
 ./build/bench/fig2a_tagcloud --json=BENCH_fig2a_tagcloud.json
 ./build/bench/micro_core --json=BENCH_micro_core.json
 ./build/bench/micro_evaluator --json=BENCH_micro_evaluator.json
 ./build/bench/nav_serving --json=BENCH_nav_serving.json
+./build/bench/wal_replay --json=BENCH_wal_replay.json
 
 for report in BENCH_fig2a_tagcloud.json BENCH_micro_core.json \
-              BENCH_micro_evaluator.json BENCH_nav_serving.json; do
+              BENCH_micro_evaluator.json BENCH_nav_serving.json \
+              BENCH_wal_replay.json; do
   ./build/tools/bench_compare --check "$report"
   # Belt-and-braces: the report must carry the SHA we just resolved. The
   # harness bakes the SHA in at configure time; the reconfigure above

@@ -42,20 +42,23 @@ run_sanitizer_tier() {
   echo "== sanitizer tier: LAKEORG_SANITIZE=$san ($tree) =="
   cmake -B "$tree" -S . -DLAKEORG_SANITIZE="$san" >/dev/null
   cmake --build "$tree" -j "$jobs" \
-    --target difftest difftest_property_test common_test core_test \
-             obs_test lake_test discovery_test
+    --target difftest crashtest difftest_property_test common_test \
+             core_test obs_test lake_test discovery_test
   # Fixed-seed differential fuzz corpus (includes the repair-delta,
-  # serving, and state-recycling property corpora: difftest --repair /
-  # --serving / --recycle, serial and threaded).
+  # serving, state-recycling, and crash-recovery durability corpora:
+  # difftest --repair / --serving / --recycle / --durability plus the
+  # crashtest matrix, serial and threaded).
   (cd "$tree" && ctest --output-on-failure -j "$jobs" -L fuzz)
   # Optimizer golden trace + telemetry (incl. the 8-thread counter
   # exactness test — the TSan run is the lock-freedom proof), the
   # live-evolution surface: snapshot publish/pin (the RCU concurrency
   # test is the TSan target), repair splicing, delta recording, the live
-  # lake service — and the serving layer: NavService session lifecycle
-  # with concurrent walks + publishes, and the sharded LRU row cache.
+  # lake service — the serving layer: NavService session lifecycle with
+  # concurrent walks + publishes, and the sharded LRU row cache — and
+  # the durability layer: WAL framing/corruption matrix, mutation
+  # replay, and crash recovery of the live service.
   (cd "$tree" && ctest --output-on-failure -j "$jobs" \
-    -R '^(GoldenTrace|MetricsTest|BenchReport|Json|OrgSnapshot|Repair|LakeDelta|LiveLake|NavService|LruCache)')
+    -R '^(GoldenTrace|MetricsTest|BenchReport|Json|OrgSnapshot|Repair|LakeDelta|LiveLake|NavService|LruCache|WalFormat|DurableLog|LakeMutation|WalRecord|Durability)')
   # 60 seconds of fixed-seed fuzz: the difftest driver stops at the time
   # budget, so the seed range it covers grows with machine speed but
   # every run starts from the same seeds.

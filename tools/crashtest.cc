@@ -1,0 +1,134 @@
+// crashtest: the crash-recovery acceptance matrix.
+//
+// Drives RunDurabilityTrial across the full durability configuration
+// matrix — group-commit windows {1, 8, 64} x repair thread counts
+// {1, 4}, with mid-run snapshot compaction exercised in half the cells —
+// accumulating randomized crash points (random WAL kill offsets plus
+// bit flips) until the requested total is reached. Every recovery must
+// be byte-identical to the never-crashed reference checkpoint for its
+// sequence number, or a refused detected corruption.
+//
+//   crashtest --seed 1 --points 200
+//   crashtest --seed 1 --points 24 --applies 3   (smoke)
+//
+// Exit status 0 iff every crash point passed.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/timer.h"
+#include "discovery/durability_fuzz.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: crashtest [--seed N] [--points N] [--applies N]\n"
+               "                 [--mutations N] [--max-seconds X]"
+               " [--verbose]\n");
+  std::exit(2);
+}
+
+uint64_t ParseU64(const char* s) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') Usage();
+  return static_cast<uint64_t>(v);
+}
+
+double ParseF64(const char* s) {
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') Usage();
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = 1;
+  size_t target_points = 200;
+  size_t applies = 5;
+  size_t mutations = 2;
+  double max_seconds = 0.0;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage();
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = ParseU64(next());
+    } else if (std::strcmp(argv[i], "--points") == 0) {
+      target_points = static_cast<size_t>(ParseU64(next()));
+    } else if (std::strcmp(argv[i], "--applies") == 0) {
+      applies = static_cast<size_t>(ParseU64(next()));
+    } else if (std::strcmp(argv[i], "--mutations") == 0) {
+      mutations = static_cast<size_t>(ParseU64(next()));
+    } else if (std::strcmp(argv[i], "--max-seconds") == 0) {
+      max_seconds = ParseF64(next());
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else {
+      Usage();
+    }
+  }
+
+  const int kWindows[] = {1, 8, 64};
+  const size_t kThreads[] = {1, 4};
+
+  lakeorg::WallTimer timer;
+  size_t points = 0;
+  size_t exact = 0;
+  size_t refused = 0;
+  size_t failures = 0;
+  size_t trials = 0;
+  uint64_t trial_seed = seed;
+  // Round-robin the matrix so an early --max-seconds cutoff still
+  // touches every cell.
+  size_t cell = 0;
+  while (points < target_points) {
+    if (max_seconds > 0.0 && timer.ElapsedSeconds() >= max_seconds) break;
+    lakeorg::DurabilityTrialOptions dopts;
+    dopts.seed = trial_seed++;
+    dopts.group_commit_window = kWindows[cell % 3];
+    dopts.threads = kThreads[(cell / 3) % 2];
+    // Half the cells compact mid-run, so truncation also races snapshots.
+    dopts.snapshot_every = (cell % 2 == 0) ? 0 : 2;
+    dopts.num_applies = applies;
+    dopts.mutations_per_apply = mutations;
+    dopts.num_crash_points = 8;
+    ++cell;
+
+    lakeorg::DurabilityTrialResult res = lakeorg::RunDurabilityTrial(dopts);
+    ++trials;
+    points += res.crash_points;
+    exact += res.recovered_exact;
+    refused += res.refused;
+    if (!res.ok) {
+      ++failures;
+      std::fprintf(stderr, "FAIL %s (window=%d threads=%zu snap=%" PRIu64
+                           ")\n",
+                   res.error.c_str(), dopts.group_commit_window,
+                   dopts.threads, dopts.snapshot_every);
+    } else if (verbose) {
+      std::printf("seed %" PRIu64 " window=%d threads=%zu snap=%" PRIu64
+                  ": %zu points (%zu exact, %zu refused)\n",
+                  dopts.seed, dopts.group_commit_window, dopts.threads,
+                  dopts.snapshot_every, res.crash_points,
+                  res.recovered_exact, res.refused);
+    }
+  }
+
+  std::printf(
+      "crashtest: %zu trials, %zu crash points (%zu exact recoveries, "
+      "%zu refused), %zu failed, %.1fs\n",
+      trials, points, exact, refused, failures, timer.ElapsedSeconds());
+  if (points < target_points && failures == 0) {
+    std::printf("note: stopped at --max-seconds before reaching %zu points\n",
+                target_points);
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -30,6 +30,14 @@
 //
 //   difftest --serving --seed 1 --trials 50 --threads 4
 //
+// --durability switches to the crash-recovery property
+// (RunDurabilityTrial): a durable LiveLakeService and a never-crashed
+// reference run identical mutation batches; the WAL is then truncated
+// or bit-flipped at random offsets and recovery must land byte-exactly
+// on a reference checkpoint (or refuse detected corruption).
+//
+//   difftest --durability --seed 1 --trials 25 --crashes 8 --window 8
+//
 // Exit status 0 iff every trial passed.
 #include <cinttypes>
 #include <cstdio>
@@ -39,6 +47,7 @@
 
 #include "common/timer.h"
 #include "core/org_fuzz.h"
+#include "discovery/durability_fuzz.h"
 #include "discovery/serving_fuzz.h"
 
 namespace {
@@ -49,7 +58,9 @@ void Usage() {
                "                [--dims N] [--ops N] [--tolerance X]\n"
                "                [--max-seconds X] [--verbose] [--repair]\n"
                "                [--mutations N] [--serving] [--sessions N]\n"
-               "                [--steps N] [--recycle] [--rounds N]\n");
+               "                [--steps N] [--recycle] [--rounds N]\n"
+               "                [--durability] [--applies N] [--crashes N]\n"
+               "                [--window N] [--snapshot-every N]\n");
   std::exit(2);
 }
 
@@ -77,10 +88,15 @@ int main(int argc, char** argv) {
   bool repair = false;
   bool serving = false;
   bool recycle = false;
+  bool durability = false;
   size_t mutations = 3;
   size_t sessions = 8;
   size_t steps = 30;
   size_t rounds = 4;
+  size_t applies = 5;
+  size_t crashes = 8;
+  int window = 1;
+  uint64_t snapshot_every = 0;
   lakeorg::DiffTrialOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -118,6 +134,16 @@ int main(int argc, char** argv) {
       recycle = true;
     } else if (std::strcmp(argv[i], "--rounds") == 0) {
       rounds = static_cast<size_t>(ParseU64(next()));
+    } else if (std::strcmp(argv[i], "--durability") == 0) {
+      durability = true;
+    } else if (std::strcmp(argv[i], "--applies") == 0) {
+      applies = static_cast<size_t>(ParseU64(next()));
+    } else if (std::strcmp(argv[i], "--crashes") == 0) {
+      crashes = static_cast<size_t>(ParseU64(next()));
+    } else if (std::strcmp(argv[i], "--window") == 0) {
+      window = static_cast<int>(ParseU64(next()));
+    } else if (std::strcmp(argv[i], "--snapshot-every") == 0) {
+      snapshot_every = ParseU64(next());
     } else {
       Usage();
     }
@@ -159,6 +185,52 @@ int main(int argc, char** argv) {
         "difftest --serving: %zu/%zu trials ok (%zu failed), threads=%zu, "
         "%zu steps, cache hit rate %.2f, %.1fs\n",
         ran - failures, ran, failures, sopts.threads, total_steps, hit_rate,
+        timer.ElapsedSeconds());
+    return failures == 0 ? 0 : 1;
+  }
+
+  if (durability) {
+    lakeorg::DurabilityTrialOptions dopts;
+    dopts.threads = options.threads;
+    dopts.num_applies = applies;
+    dopts.mutations_per_apply = mutations;
+    dopts.group_commit_window = window;
+    dopts.snapshot_every = snapshot_every;
+    dopts.num_crash_points = crashes;
+    lakeorg::WallTimer timer;
+    size_t ran = 0;
+    size_t failures = 0;
+    size_t points = 0;
+    size_t exact = 0;
+    size_t refused = 0;
+    size_t survived = 0;
+    for (size_t t = 0; t < trials; ++t) {
+      if (max_seconds > 0.0 && timer.ElapsedSeconds() >= max_seconds) break;
+      dopts.seed = seed + t;
+      lakeorg::DurabilityTrialResult res =
+          lakeorg::RunDurabilityTrial(dopts);
+      ++ran;
+      points += res.crash_points;
+      exact += res.recovered_exact;
+      refused += res.refused;
+      survived += res.bitflips_survived;
+      if (!res.ok) {
+        ++failures;
+        std::fprintf(stderr, "FAIL %s\n", res.error.c_str());
+      } else if (verbose) {
+        std::printf(
+            "seed %" PRIu64 ": ok  applies=%zu crashes=%zu exact=%zu "
+            "refused=%zu wal=%zuB\n",
+            dopts.seed, res.applies, res.crash_points, res.recovered_exact,
+            res.refused, static_cast<size_t>(res.wal_bytes));
+      }
+    }
+    std::printf(
+        "difftest --durability: %zu/%zu trials ok (%zu failed), "
+        "threads=%zu window=%d, %zu crash points (%zu exact, %zu refused, "
+        "%zu flips survived), %.1fs\n",
+        ran - failures, ran, failures, dopts.threads,
+        dopts.group_commit_window, points, exact, refused, survived,
         timer.ElapsedSeconds());
     return failures == 0 ? 0 : 1;
   }

@@ -6,6 +6,8 @@
 //   orgtool eval   --load ORG FILE.csv...             effectiveness/success
 //   orgtool trace  --load ORG --query "WORDS" FILE.csv...
 //                                                     greedy walk for a topic
+//   orgtool wal-dump --wal DIR                        decode a durable log
+//   orgtool recover  --wal DIR                        recover + report
 //
 // Options:
 //   --tags-from-name      tag each table with its filename tokens (default)
@@ -24,6 +26,7 @@
 
 #include "common/string_util.h"
 #include "core/evaluator.h"
+#include "discovery/live_lake.h"
 #include "core/local_search.h"
 #include "core/navigation.h"
 #include "core/org_builders.h"
@@ -46,6 +49,7 @@ struct Args {
   size_t proposals = 400;
   uint64_t seed = 7;
   size_t threads = 0;
+  std::string wal_dir;
   std::vector<std::string> csv_files;
 };
 
@@ -56,7 +60,9 @@ void Usage() {
                "       orgtool stats --load ORG FILE.csv...\n"
                "       orgtool eval  --load ORG FILE.csv...\n"
                "       orgtool trace --load ORG --query \"WORDS\""
-               " FILE.csv...\n");
+               " FILE.csv...\n"
+               "       orgtool wal-dump --wal DIR\n"
+               "       orgtool recover  --wal DIR\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -95,6 +101,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->threads = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--wal") {
+      const char* v = next();
+      if (!v) return false;
+      args->wal_dir = v;
     } else if (arg == "--tags-from-name") {
       // Default behavior; accepted for forward compatibility.
     } else if (!arg.empty() && arg[0] == '-') {
@@ -103,6 +113,9 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else {
       args->csv_files.push_back(arg);
     }
+  }
+  if (args->command == "wal-dump" || args->command == "recover") {
+    return !args->wal_dir.empty();
   }
   return !args->command.empty() && !args->csv_files.empty();
 }
@@ -236,6 +249,78 @@ int RunTrace(const Args& args, const DataLake& lake,
   return 0;
 }
 
+int RunWalDump(const Args& args) {
+  Result<WalDirState> state = ReadWalDir(args.wal_dir);
+  if (!state.ok()) {
+    std::fprintf(stderr, "wal-dump failed: %s\n",
+                 state.status().ToString().c_str());
+    return 1;
+  }
+  const WalDirState& s = state.value();
+  if (s.has_snapshot) {
+    Result<DurableSnapshot> snap = DurableSnapshotFromText(s.snapshot_contents);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "snapshot-%llu.json is corrupt: %s\n",
+                   static_cast<unsigned long long>(s.snapshot_seq),
+                   snap.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("snapshot seq=%llu  %zu bytes  effectiveness %.10f\n",
+                static_cast<unsigned long long>(s.snapshot_seq),
+                s.snapshot_contents.size(), snap.value().effectiveness);
+  } else {
+    std::printf("no snapshot\n");
+  }
+  for (const std::string& payload : s.wal_payloads) {
+    Result<WalRecord> record = WalRecordFromText(payload);
+    if (!record.ok()) {
+      std::fprintf(stderr, "record decode failed: %s\n",
+                   record.status().ToString().c_str());
+      return 1;
+    }
+    const WalRecord& r = record.value();
+    std::printf(
+        "record seq=%llu  %zu ops  delta +%zut -%zut +%zua -%zua ~%zua\n",
+        static_cast<unsigned long long>(r.seq), r.batch.size(),
+        r.delta.added_tables.size(), r.delta.removed_tables.size(),
+        r.delta.added_attrs.size(), r.delta.removed_attrs.size(),
+        r.delta.retagged_attrs.size());
+  }
+  std::printf("%zu records", s.wal_payloads.size());
+  if (s.dropped_tail) {
+    std::printf(", torn tail of %llu bytes dropped",
+                static_cast<unsigned long long>(s.dropped_bytes));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int RunRecover(const Args& args) {
+  LiveLakeService::Options options;
+  options.durability.dir = args.wal_dir;
+  options.repair.seed = args.seed;
+  options.repair.num_threads = args.threads;
+  options.repair.transition.gamma = args.gamma;
+  auto store =
+      std::make_shared<EmbeddingStore>(std::make_shared<HashedEmbedding>());
+  Result<std::unique_ptr<LiveLakeService>> service =
+      LiveLakeService::RecoverFromDisk(store, options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "recover failed: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  const LiveLakeService& svc = *service.value();
+  std::shared_ptr<const OrgSnapshot> snap = svc.Current();
+  std::printf("recovered to wal seq %llu (published version %llu)\n",
+              static_cast<unsigned long long>(svc.wal_seq()),
+              static_cast<unsigned long long>(svc.version()));
+  std::printf("effectiveness: %.10f\n", snap->effectiveness);
+  std::printf("%s", FormatLakeStats(ComputeLakeStats(*snap->lake)).c_str());
+  std::printf("%s\n", FormatOrgStats(ComputeOrgStats(*snap->org)).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -244,6 +329,8 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  if (args.command == "wal-dump") return RunWalDump(args);
+  if (args.command == "recover") return RunRecover(args);
   DataLake lake;
   std::shared_ptr<EmbeddingStore> store;
   if (!BuildLake(args, &lake, &store)) return 1;
