@@ -1,0 +1,163 @@
+// E10 — network serving: the Zipf user fleet of src/net/loadgen driven
+// over real loopback sockets against NavServer, next to the same fleet
+// calling NavService in-process (the transport-overhead reference).
+// Connections pipeline their users' requests into bursts, which the
+// server batches into ExecuteBatch per poll tick — on a small machine
+// this is what turns syscall-bound round trips into sustained QPS.
+//
+// Acceptance gates (non-smoke, ISSUE 8): sustained socket throughput
+// >= 10k requests/sec, burst p99 round-trip <= 100 ms, and zero
+// fleet-visible errors. Headline numbers land in BENCH_net_serving.json
+// via the net.bench_* gauges.
+#include <cstdio>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "bench/bench_main.h"
+#include "bench/bench_util.h"
+#include "benchgen/tagcloud.h"
+#include "common/stats.h"
+#include "core/org_builders.h"
+#include "core/org_snapshot.h"
+#include "discovery/nav_service.h"
+#include "net/loadgen.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+
+namespace lakeorg {
+
+int Main(const bench::BenchOptions& bopts) {
+  using bench::PrintHeader;
+  using bench::PrintRule;
+  using bench::Scaled;
+
+  double scale = bopts.Scale(1.0, 0.1);
+  TagCloudOptions opts;
+  opts.num_tags = Scaled(60, scale, 8);
+  opts.target_attributes = Scaled(400, scale, 40);
+  opts.min_values = 10;
+  opts.max_values = 60;
+  opts.seed = 9;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  auto lake = std::make_shared<const DataLake>(std::move(bench.lake));
+  TagIndex index = TagIndex::Build(*lake);
+  auto ctx = OrgContext::BuildFull(*lake, index);
+  Organization clustering = BuildClusteringOrganization(ctx);
+  clustering.RecomputeLevels();
+  OrgSnapshotStore store;
+  {
+    OrgSnapshot snap;
+    snap.lake = lake;
+    snap.ctx = ctx;
+    snap.index = std::make_shared<const TagIndex>(std::move(index));
+    snap.org = std::make_shared<const Organization>(std::move(clustering));
+    store.Publish(std::move(snap));
+  }
+  NavService::SnapshotSource source = [&store] { return store.Current(); };
+
+  FleetOptions fleet;
+  fleet.num_attrs = ctx->num_attrs();
+  fleet.users = bopts.smoke ? 16 : 256;
+  fleet.connections = bopts.smoke ? 2 : 4;
+  fleet.steps_per_user = bopts.smoke ? 10 : Scaled(200, scale, 10);
+  fleet.seed = 42;
+  fleet.record_latency = true;
+
+  PrintHeader("Network serving — Zipf fleet over loopback sockets vs "
+              "in-process (TagCloud, " +
+              std::to_string(ctx->num_attrs()) + " attrs, " +
+              std::to_string(fleet.users) + " users on " +
+              std::to_string(fleet.connections) + " connections, scale " +
+              std::to_string(scale) + ")");
+
+  NavServiceOptions service_opts;
+  service_opts.batch_threads = 2;
+  service_opts.max_sessions = fleet.users * 2 + 16;
+
+  PrintRule();
+  std::printf("%10s | %10s %10s %12s %10s %10s\n", "backend", "requests",
+              "seconds", "req/sec", "p50(us)", "p99(us)");
+  PrintRule();
+
+  NavService oracle(source, service_opts);
+  FleetReport inproc = RunFleetInProcess(&oracle, fleet);
+  std::printf("%10s | %10llu %10.3f %12.0f %10s %10s\n", "in-process",
+              static_cast<unsigned long long>(inproc.requests),
+              inproc.seconds, inproc.RequestsPerSec(), "-", "-");
+
+  NavService service(source, service_opts);
+  NavServer server(&service, source);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  Result<FleetReport> socket_run =
+      RunFleetOverSocket("127.0.0.1", server.port(), fleet);
+  server.Stop();
+  if (!socket_run.ok()) {
+    std::fprintf(stderr, "socket fleet failed: %s\n",
+                 socket_run.status().ToString().c_str());
+    return 1;
+  }
+  const FleetReport& sock = socket_run.value();
+  double p50 = Percentile(sock.burst_rtt_us, 0.50);
+  double p99 = Percentile(sock.burst_rtt_us, 0.99);
+  std::printf("%10s | %10llu %10.3f %12.0f %10.0f %10.0f\n", "socket",
+              static_cast<unsigned long long>(sock.requests), sock.seconds,
+              sock.RequestsPerSec(), p50, p99);
+  PrintRule();
+
+  double overhead = sock.RequestsPerSec() > 0.0
+                        ? inproc.RequestsPerSec() / sock.RequestsPerSec()
+                        : 0.0;
+  std::printf(
+      "socket fleet: %llu opens, %llu steps, %llu refreshes, %llu closes, "
+      "%llu errors; %.2fx in-process/socket throughput ratio\n",
+      static_cast<unsigned long long>(sock.opens),
+      static_cast<unsigned long long>(sock.steps),
+      static_cast<unsigned long long>(sock.refreshes),
+      static_cast<unsigned long long>(sock.closes),
+      static_cast<unsigned long long>(sock.errors), overhead);
+
+  obs::GetGauge("net.bench_socket_requests_per_sec")
+      .Set(sock.RequestsPerSec());
+  obs::GetGauge("net.bench_inprocess_requests_per_sec")
+      .Set(inproc.RequestsPerSec());
+  obs::GetGauge("net.bench_burst_p50_us").Set(p50);
+  obs::GetGauge("net.bench_burst_p99_us").Set(p99);
+  obs::GetGauge("net.bench_fleet_errors")
+      .Set(static_cast<double>(sock.errors + inproc.errors));
+
+  if (sock.errors + inproc.errors > 0) {
+    std::fprintf(stderr, "FAIL: fleet saw %llu errors\n",
+                 static_cast<unsigned long long>(sock.errors +
+                                                 inproc.errors));
+    return 1;
+  }
+  if (!bopts.smoke) {
+    if (sock.RequestsPerSec() < 10000.0) {
+      std::fprintf(stderr,
+                   "FAIL: socket throughput %.0f req/sec is below the 10k "
+                   "acceptance bar\n",
+                   sock.RequestsPerSec());
+      return 1;
+    }
+    if (p99 > 100000.0) {
+      std::fprintf(stderr,
+                   "FAIL: burst p99 %.0f us exceeds the 100 ms acceptance "
+                   "bar\n",
+                   p99);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace lakeorg
+
+int main(int argc, char** argv) {
+  return lakeorg::bench::BenchMain(argc, argv, "net_serving", lakeorg::Main);
+}

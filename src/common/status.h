@@ -19,6 +19,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kInternal,
+  /// Transient overload: the operation was refused for capacity reasons
+  /// and may succeed if retried later (serving admission control; the
+  /// network front end maps this to a RETRY_LATER response).
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -57,6 +61,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -119,9 +119,12 @@ Result<NavSessionId> NavService::Open(uint32_t query_attr) {
       if (sessions_.size() >= options_.max_sessions) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
         Metrics().rejected.Add();
-        return Status::FailedPrecondition(
+        // kUnavailable, not kFailedPrecondition: the condition is
+        // transient capacity, and the network front end maps it to an
+        // explicit RETRY_LATER response.
+        return Status::Unavailable(
             "session limit reached (" + std::to_string(options_.max_sessions) +
-            " live sessions)");
+            " live sessions); retry later");
       }
     }
     session->id = next_id_++;
@@ -148,6 +151,7 @@ Result<std::shared_ptr<NavService::Session>> NavService::FindSession(
     double idle =
         NowSeconds() - it->second->last_active.load(std::memory_order_relaxed);
     if (idle > options_.idle_ttl_seconds) {
+      it->second->alive.store(false, std::memory_order_release);
       ReleaseVersionLocked(it->second->version.load(std::memory_order_relaxed));
       sessions_.erase(it);
       expired_.fetch_add(1, std::memory_order_relaxed);
@@ -220,6 +224,13 @@ Result<NavView> NavService::ApplyLocked(Session& session,
                                         size_t rank) {
   obs::ScopedTimer timer(&Metrics().step_us);
   session.last_active.store(NowSeconds(), std::memory_order_relaxed);
+  // A Close or expiry sweep may have retired this session after the
+  // caller resolved its pointer (ExecuteBatch's resolve/apply window, or
+  // a concurrent scalar call). Fail exactly like the lookup would have.
+  if (!session.alive.load(std::memory_order_acquire)) {
+    return Status::NotFound("navigation session " + std::to_string(session.id) +
+                            " closed");
+  }
   switch (kind) {
     case NavStepRequest::Kind::kPeek:
       break;
@@ -282,6 +293,10 @@ Result<NavView> NavService::Refresh(NavSessionId session) {
   if (!found.ok()) return found.status();
   std::shared_ptr<Session> s = std::move(found).value();
   std::lock_guard<std::mutex> lock(s->mu);
+  if (!s->alive.load(std::memory_order_acquire)) {
+    return Status::NotFound("navigation session " + std::to_string(s->id) +
+                            " closed");
+  }
 
   std::shared_ptr<const OrgSnapshot> snap = source_ ? source_() : nullptr;
   if (snap == nullptr || snap->org == nullptr || snap->ctx == nullptr) {
@@ -320,6 +335,7 @@ Status NavService::Close(NavSessionId session) {
     return Status::NotFound("unknown navigation session " +
                             std::to_string(session));
   }
+  it->second->alive.store(false, std::memory_order_release);
   ReleaseVersionLocked(it->second->version.load(std::memory_order_relaxed));
   sessions_.erase(it);
   closed_.fetch_add(1, std::memory_order_relaxed);
@@ -405,6 +421,7 @@ size_t NavService::SweepExpiredLocked(double now) {
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     double idle = now - it->second->last_active.load(std::memory_order_relaxed);
     if (idle > options_.idle_ttl_seconds) {
+      it->second->alive.store(false, std::memory_order_release);
       ReleaseVersionLocked(it->second->version.load(std::memory_order_relaxed));
       it = sessions_.erase(it);
       ++swept;

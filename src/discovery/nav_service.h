@@ -233,6 +233,13 @@ class NavService {
     /// Last-activity time in NowSeconds() units; atomic so the sweep can
     /// read it without taking the session mutex.
     std::atomic<double> last_active{0.0};
+    /// False once the session has been closed or expired. In-flight
+    /// operations that already resolved the session's shared_ptr check it
+    /// under the session mutex, so a step racing a Close/expiry fails
+    /// with NotFound instead of silently mutating a dead session (and
+    /// over the network, a pipelined close-then-step answers
+    /// deterministically).
+    std::atomic<bool> alive{true};
     /// Serializes operations on this session.
     std::mutex mu;
   };

@@ -1,0 +1,130 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+namespace lakeorg {
+
+Status NavClient::Connect(const std::string& host, uint16_t port,
+                          double timeout_seconds) {
+  Close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host '" + host + "'");
+  }
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::Internal("connect " + host + ":" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(errno));
+    Close();
+    return st;
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (timeout_seconds > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeout_seconds - std::floor(timeout_seconds)) * 1e6);
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return Status::OK();
+}
+
+void NavClient::Queue(const NetRequest& request) {
+  QueuePayload(EncodeNetRequest(request));
+}
+
+void NavClient::QueuePayload(std::string_view payload) {
+  AppendNetFrame(payload, &sendbuf_);
+}
+
+void NavClient::QueueBytes(std::string_view bytes) {
+  sendbuf_.append(bytes.data(), bytes.size());
+}
+
+Status NavClient::Flush() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t off = 0;
+  while (off < sendbuf_.size()) {
+    ssize_t n = send(fd_, sendbuf_.data() + off, sendbuf_.size() - off,
+                     MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  sendbuf_.clear();
+  return Status::OK();
+}
+
+Result<Json> NavClient::Receive() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string payload;
+  while (true) {
+    FrameDecoder::Event event = decoder_.Next(&payload);
+    if (event == FrameDecoder::Event::kFrame) return DecodeReply(payload);
+    if (event != FrameDecoder::Event::kNeedMore) {
+      return Status::Internal("reply stream framing error");
+    }
+    char buf[64 * 1024];
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) return Status::Internal("connection closed by server");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Internal("receive timed out");
+    }
+    return Status::Internal(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Result<NetView> NavClient::ReceiveView() {
+  Result<Json> reply = Receive();
+  if (!reply.ok()) return reply.status();
+  return ViewFromReply(reply.value());
+}
+
+Result<Json> NavClient::Call(const NetRequest& request) {
+  Queue(request);
+  Status st = Flush();
+  if (!st.ok()) return st;
+  return Receive();
+}
+
+Status NavClient::ShutdownWrite() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (shutdown(fd_, SHUT_WR) != 0) {
+    return Status::Internal(std::string("shutdown: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void NavClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  sendbuf_.clear();
+  decoder_ = FrameDecoder();
+}
+
+}  // namespace lakeorg

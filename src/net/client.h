@@ -1,0 +1,74 @@
+// NavClient: a small blocking client for the NavService wire protocol
+// (net/protocol.h). One client owns one TCP connection; requests are
+// queued locally, flushed as a pipelined burst with one write, and
+// replies are read back in request order — the shape the load generator
+// and the protocol tests drive, and what a 1-CPU box needs to amortize
+// syscalls into real throughput.
+//
+// Not thread-safe; one client per thread (each simulated user owns one).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+
+namespace lakeorg {
+
+class NavClient {
+ public:
+  NavClient() = default;
+  ~NavClient() { Close(); }
+
+  NavClient(const NavClient&) = delete;
+  NavClient& operator=(const NavClient&) = delete;
+
+  /// Connects to host:port; `timeout_seconds` bounds every subsequent
+  /// receive (0 blocks forever).
+  Status Connect(const std::string& host, uint16_t port,
+                 double timeout_seconds = 10.0);
+
+  /// Queues one request frame into the send buffer (no I/O).
+  void Queue(const NetRequest& request);
+  /// Queues an arbitrary payload as a well-formed frame (test hook for
+  /// garbage JSON and oversized payloads).
+  void QueuePayload(std::string_view payload);
+  /// Queues raw bytes verbatim — no framing (test hook for truncated
+  /// frames and CRC corruption).
+  void QueueBytes(std::string_view bytes);
+
+  /// Writes the entire send buffer to the socket.
+  Status Flush();
+
+  /// Reads the next reply frame and decodes it: a success reply returns
+  /// its JSON object, a wire error reply becomes its mapped Status, a
+  /// connection/framing failure is Internal/InvalidArgument.
+  Result<Json> Receive();
+
+  /// Receive() narrowed to a view reply.
+  Result<NetView> ReceiveView();
+
+  /// Queue + Flush + Receive for one request.
+  Result<Json> Call(const NetRequest& request);
+
+  /// Half-closes the write side (server sees EOF after our pipelined
+  /// tail; used by the shutdown tests).
+  Status ShutdownWrite();
+
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+  /// Bytes queued but not yet flushed.
+  size_t queued_bytes() const { return sendbuf_.size(); }
+
+ private:
+  int fd_ = -1;
+  std::string sendbuf_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace lakeorg

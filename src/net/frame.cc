@@ -1,0 +1,57 @@
+#include "net/frame.h"
+
+#include "lake/wal/wal_format.h"
+
+namespace lakeorg {
+
+namespace {
+
+uint32_t GetU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+}  // namespace
+
+void AppendNetFrame(std::string_view payload, std::string* out) {
+  AppendWalFrame(payload, out);
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  if (poisoned_) return;  // Connection is dead; don't accumulate garbage.
+  // Compact the consumed prefix before growing the buffer.
+  if (off_ == buf_.size()) {
+    buf_.clear();
+    off_ = 0;
+  } else if (off_ >= (1u << 16)) {
+    buf_.erase(0, off_);
+    off_ = 0;
+  }
+  buf_.append(bytes.data(), bytes.size());
+}
+
+FrameDecoder::Event FrameDecoder::Next(std::string* payload) {
+  if (poisoned_) return poison_event_;
+  if (buf_.size() - off_ < kWalRecordHeaderSize) return Event::kNeedMore;
+  uint32_t len = GetU32Le(buf_.data() + off_);
+  uint32_t crc = GetU32Le(buf_.data() + off_ + 4);
+  if (len > max_payload_) {
+    poisoned_ = true;
+    poison_event_ = Event::kTooLarge;
+    return poison_event_;
+  }
+  if (buf_.size() - off_ < kWalRecordHeaderSize + len) return Event::kNeedMore;
+  const char* data = buf_.data() + off_ + kWalRecordHeaderSize;
+  if (Crc32(data, len) != crc) {
+    poisoned_ = true;
+    poison_event_ = Event::kBadCrc;
+    return poison_event_;
+  }
+  payload->assign(data, len);
+  off_ += kWalRecordHeaderSize + len;
+  return Event::kFrame;
+}
+
+}  // namespace lakeorg

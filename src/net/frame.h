@@ -1,0 +1,68 @@
+// Wire framing for the NavService TCP front end (docs/SERVING.md).
+//
+// A connection is a byte stream of length-prefixed frames, one request or
+// response per frame, using exactly the WAL's record framing
+// (lake/wal/wal_format.h):
+//
+//   frame: u32 payload length (LE) | u32 CRC32 of payload (LE) | payload
+//
+// The payload is one canonical-JSON document (common/json). Reusing the
+// WAL frame means one CRC implementation, one byte layout, and the same
+// corruption-detection properties on the wire as on disk. Unlike the WAL
+// there is no file header and no torn-tail tolerance: a frame that
+// declares an oversized length or fails its CRC is a protocol error and
+// the connection cannot be resynchronized — the peer must drop it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace lakeorg {
+
+/// Default ceiling on one frame's payload. Requests and responses are
+/// small JSON documents; anything near this size is a corrupt or hostile
+/// length word, not a real message.
+inline constexpr size_t kMaxFramePayloadBytes = 1u << 20;
+
+/// Frames `payload` (length + CRC32 + bytes) and appends it to `out`.
+/// Identical bytes to AppendWalFrame.
+void AppendNetFrame(std::string_view payload, std::string* out);
+
+/// Incremental frame decoder over a connection's inbound byte stream.
+/// Feed() appends raw bytes; Next() yields complete CRC-checked payloads
+/// in order. A frame error (oversized length, CRC mismatch) poisons the
+/// decoder permanently: framing is lost and the connection must close.
+class FrameDecoder {
+ public:
+  enum class Event {
+    kFrame,     ///< *payload holds the next complete payload.
+    kNeedMore,  ///< No complete frame buffered yet.
+    kTooLarge,  ///< Declared length exceeds the payload ceiling (fatal).
+    kBadCrc,    ///< Payload failed its CRC (fatal).
+  };
+
+  explicit FrameDecoder(size_t max_payload_bytes = kMaxFramePayloadBytes)
+      : max_payload_(max_payload_bytes) {}
+
+  /// Appends raw bytes from the stream.
+  void Feed(std::string_view bytes);
+
+  /// Extracts the next complete frame, if any.
+  Event Next(std::string* payload);
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered_bytes() const { return buf_.size() - off_; }
+
+  /// True once a fatal frame error has been seen.
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  size_t max_payload_;
+  std::string buf_;
+  size_t off_ = 0;
+  bool poisoned_ = false;
+  Event poison_event_ = Event::kBadCrc;
+};
+
+}  // namespace lakeorg

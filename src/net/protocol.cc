@@ -1,0 +1,316 @@
+#include "net/protocol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace lakeorg {
+
+namespace {
+
+/// Largest integer a JSON number (double) carries exactly.
+constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+
+/// Reads a non-negative integral number field. `required` fields must be
+/// present; optional ones default to `def`.
+Result<uint64_t> GetUintField(const Json& obj, const char* key, bool required,
+                              uint64_t def = 0) {
+  const Json* field = obj.Find(key);
+  if (field == nullptr) {
+    if (required) {
+      return Status::InvalidArgument(std::string("missing field '") + key +
+                                     "'");
+    }
+    return def;
+  }
+  if (!field->is_number()) {
+    return Status::InvalidArgument(std::string("field '") + key +
+                                   "' must be a number");
+  }
+  double v = field->number();
+  if (v < 0.0 || v > kMaxExactInteger || std::floor(v) != v) {
+    return Status::InvalidArgument(std::string("field '") + key +
+                                   "' must be a non-negative integer");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+const char* NetOpName(NetOp op) {
+  switch (op) {
+    case NetOp::kPing:
+      return "ping";
+    case NetOp::kOpen:
+      return "open";
+    case NetOp::kPeek:
+      return "peek";
+    case NetOp::kDescend:
+      return "descend";
+    case NetOp::kBack:
+      return "back";
+    case NetOp::kRefresh:
+      return "refresh";
+    case NetOp::kClose:
+      return "close";
+    case NetOp::kSearch:
+      return "search";
+    case NetOp::kStats:
+      return "stats";
+  }
+  return "unknown";
+}
+
+std::string EncodeNetRequest(const NetRequest& request) {
+  Json doc = Json::MakeObject();
+  doc["op"] = NetOpName(request.op);
+  switch (request.op) {
+    case NetOp::kPing:
+    case NetOp::kStats:
+      break;
+    case NetOp::kOpen:
+      doc["attr"] = static_cast<uint64_t>(request.attr);
+      break;
+    case NetOp::kDescend:
+      doc["rank"] = request.rank;
+      [[fallthrough]];
+    case NetOp::kPeek:
+    case NetOp::kBack:
+    case NetOp::kRefresh:
+    case NetOp::kClose:
+      doc["sid"] = request.session;
+      break;
+    case NetOp::kSearch:
+      doc["q"] = request.query;
+      break;
+  }
+  if (request.k > 0) doc["k"] = request.k;
+  return doc.Dump();
+}
+
+Result<NetRequest> ParseNetRequest(const std::string& payload) {
+  Result<Json> parsed = Json::Parse(payload);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("request is not valid JSON: " +
+                                   parsed.status().message());
+  }
+  const Json& doc = parsed.value();
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  const Json* op_field = doc.Find("op");
+  if (op_field == nullptr || !op_field->is_string()) {
+    return Status::InvalidArgument("request needs a string 'op' field");
+  }
+  const std::string& op_name = op_field->string();
+
+  NetRequest req;
+  if (op_name == "ping") {
+    req.op = NetOp::kPing;
+  } else if (op_name == "open") {
+    req.op = NetOp::kOpen;
+  } else if (op_name == "peek") {
+    req.op = NetOp::kPeek;
+  } else if (op_name == "descend") {
+    req.op = NetOp::kDescend;
+  } else if (op_name == "back") {
+    req.op = NetOp::kBack;
+  } else if (op_name == "refresh") {
+    req.op = NetOp::kRefresh;
+  } else if (op_name == "close") {
+    req.op = NetOp::kClose;
+  } else if (op_name == "search") {
+    req.op = NetOp::kSearch;
+  } else if (op_name == "stats") {
+    req.op = NetOp::kStats;
+  } else {
+    return Status::InvalidArgument("unknown op '" + op_name + "'");
+  }
+
+  // Per-op required fields.
+  switch (req.op) {
+    case NetOp::kPing:
+    case NetOp::kStats:
+      break;
+    case NetOp::kOpen: {
+      Result<uint64_t> attr = GetUintField(doc, "attr", /*required=*/true);
+      if (!attr.ok()) return attr.status();
+      if (attr.value() > UINT32_MAX) {
+        return Status::InvalidArgument("field 'attr' out of range");
+      }
+      req.attr = static_cast<uint32_t>(attr.value());
+      break;
+    }
+    case NetOp::kDescend: {
+      Result<uint64_t> rank = GetUintField(doc, "rank", /*required=*/true);
+      if (!rank.ok()) return rank.status();
+      req.rank = rank.value();
+      [[fallthrough]];
+    }
+    case NetOp::kPeek:
+    case NetOp::kBack:
+    case NetOp::kRefresh:
+    case NetOp::kClose: {
+      Result<uint64_t> sid = GetUintField(doc, "sid", /*required=*/true);
+      if (!sid.ok()) return sid.status();
+      req.session = sid.value();
+      break;
+    }
+    case NetOp::kSearch: {
+      const Json* q = doc.Find("q");
+      if (q == nullptr || !q->is_string()) {
+        return Status::InvalidArgument("search needs a string 'q' field");
+      }
+      req.query = q->string();
+      break;
+    }
+  }
+
+  Result<uint64_t> k = GetUintField(doc, "k", /*required=*/false);
+  if (!k.ok()) return k.status();
+  req.k = k.value();
+  return req;
+}
+
+const char* WireErrorCode(StatusCode code) {
+  if (code == StatusCode::kUnavailable) return "RETRY_LATER";
+  return StatusCodeName(code);
+}
+
+StatusCode StatusCodeFromWire(const std::string& code) {
+  if (code == "RETRY_LATER") return StatusCode::kUnavailable;
+  // A malformed request document is the client's InvalidArgument; frame
+  // errors (BAD_FRAME) fall through to kInternal with the unknowns.
+  if (code == "BAD_REQUEST") return StatusCode::kInvalidArgument;
+  for (StatusCode c :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kOutOfRange, StatusCode::kInternal,
+        StatusCode::kUnavailable}) {
+    if (code == StatusCodeName(c)) return c;
+  }
+  return StatusCode::kInternal;
+}
+
+std::string EncodeErrorResponse(const std::string& code,
+                                const std::string& message) {
+  Json doc = Json::MakeObject();
+  doc["ok"] = false;
+  doc["error"] = code;
+  doc["message"] = message;
+  return doc.Dump();
+}
+
+std::string EncodeStatusResponse(const Status& status) {
+  return EncodeErrorResponse(WireErrorCode(status.code()), status.message());
+}
+
+std::string EncodeViewResponse(const NavView& view, uint64_t k) {
+  Json doc = Json::MakeObject();
+  doc["ok"] = true;
+  doc["sid"] = view.session;
+  doc["ver"] = view.snapshot_version;
+  doc["stale"] = view.snapshot_stale;
+  doc["state"] = static_cast<uint64_t>(view.state);
+  doc["leaf"] = view.at_leaf;
+  doc["attr"] = static_cast<uint64_t>(view.attr);
+  doc["depth"] = static_cast<uint64_t>(view.depth);
+  doc["acts"] = static_cast<uint64_t>(view.actions);
+  doc["n"] = static_cast<uint64_t>(view.NumChoices());
+  if (k > 0) {
+    size_t top = std::min<size_t>(k, view.NumChoices());
+    Json labels = Json::MakeArray();
+    Json probs = Json::MakeArray();
+    for (size_t r = 0; r < top; ++r) {
+      labels.push_back(view.ChoiceLabel(r));
+      probs.push_back(view.ChoiceProb(r));
+    }
+    doc["labels"] = std::move(labels);
+    doc["probs"] = std::move(probs);
+  }
+  return doc.Dump();
+}
+
+Result<Json> DecodeReply(const std::string& payload) {
+  Result<Json> parsed = Json::Parse(payload);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("reply is not valid JSON: " +
+                                   parsed.status().message());
+  }
+  Json doc = std::move(parsed).value();
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("reply must be a JSON object");
+  }
+  const Json* ok = doc.Find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    return Status::InvalidArgument("reply needs a bool 'ok' field");
+  }
+  if (!ok->bool_value()) {
+    const Json* code = doc.Find("error");
+    const Json* message = doc.Find("message");
+    std::string code_str =
+        code != nullptr && code->is_string() ? code->string() : "Internal";
+    std::string msg = message != nullptr && message->is_string()
+                          ? message->string()
+                          : "(no message)";
+    return Status(StatusCodeFromWire(code_str), std::move(msg));
+  }
+  return doc;
+}
+
+Result<NetView> ViewFromReply(const Json& reply) {
+  NetView view;
+  struct FieldSpec {
+    const char* key;
+    uint64_t* out;
+  };
+  uint64_t state = 0;
+  uint64_t attr = 0;
+  uint64_t session = 0;
+  const FieldSpec fields[] = {
+      {"sid", &session},       {"ver", &view.version},
+      {"state", &state},       {"attr", &attr},
+      {"depth", &view.depth},  {"acts", &view.actions},
+      {"n", &view.num_choices}};
+  for (const FieldSpec& f : fields) {
+    Result<uint64_t> v = GetUintField(reply, f.key, /*required=*/true);
+    if (!v.ok()) return v.status();
+    *f.out = v.value();
+  }
+  view.session = session;
+  view.state = static_cast<uint32_t>(state);
+  view.attr = static_cast<uint32_t>(attr);
+  const Json* stale = reply.Find("stale");
+  const Json* leaf = reply.Find("leaf");
+  if (stale == nullptr || !stale->is_bool() || leaf == nullptr ||
+      !leaf->is_bool()) {
+    return Status::InvalidArgument("view reply needs bool stale/leaf fields");
+  }
+  view.stale = stale->bool_value();
+  view.leaf = leaf->bool_value();
+  if (const Json* labels = reply.Find("labels"); labels != nullptr) {
+    if (!labels->is_array()) {
+      return Status::InvalidArgument("'labels' must be an array");
+    }
+    for (const Json& l : labels->array()) {
+      if (!l.is_string()) {
+        return Status::InvalidArgument("'labels' entries must be strings");
+      }
+      view.labels.push_back(l.string());
+    }
+  }
+  if (const Json* probs = reply.Find("probs"); probs != nullptr) {
+    if (!probs->is_array()) {
+      return Status::InvalidArgument("'probs' must be an array");
+    }
+    for (const Json& p : probs->array()) {
+      if (!p.is_number()) {
+        return Status::InvalidArgument("'probs' entries must be numbers");
+      }
+      view.probs.push_back(p.number());
+    }
+  }
+  return view;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,120 @@
+// Request/response documents of the NavService wire protocol
+// (docs/SERVING.md). Every frame payload is one canonical-JSON object
+// (common/json), so identical logical messages are byte-identical on the
+// wire — the same determinism contract the WAL and the bench reports
+// already rely on.
+//
+// Requests:  {"op":"<name>", ...op fields}
+//   ping                     — liveness probe
+//   open     attr, [k]       — open a session for query attribute `attr`
+//                              and return its root view
+//   peek     sid, [k]        — current view without moving
+//   descend  sid, rank, [k]  — descend into the rank-th ranked choice
+//   back     sid, [k]        — backtrack one state
+//   refresh  sid, [k]        — rebind to the latest snapshot, restart at
+//                              the root
+//   close    sid             — close the session
+//   search   q, [k]          — keyword search over the current snapshot
+//   stats                    — serving counters (reconciliation/monitoring)
+//
+// `k` asks for the top-k ranked choice labels/probabilities in view
+// responses (0 = omit them — the loadgen and soak hot path); for search
+// it caps the number of hits.
+//
+// Responses: {"ok":true, ...} on success, or
+//   {"error":"<code>","message":"...","ok":false}
+// where <code> is the StatusCode name of the failure ("NotFound",
+// "OutOfRange", ...) — or "RETRY_LATER", the wire spelling of
+// StatusCode::kUnavailable, when admission control refused a session and
+// the client should back off and retry. Frame-level failures use
+// "BAD_FRAME" (and the connection closes, since framing is lost);
+// malformed JSON or an invalid request document uses "BAD_REQUEST" (the
+// connection stays usable — framing is intact).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "discovery/nav_service.h"
+
+namespace lakeorg {
+
+/// Operations of the wire protocol.
+enum class NetOp : uint8_t {
+  kPing,
+  kOpen,
+  kPeek,
+  kDescend,
+  kBack,
+  kRefresh,
+  kClose,
+  kSearch,
+  kStats,
+};
+
+/// Wire name of an op ("open", "descend", ...).
+const char* NetOpName(NetOp op);
+
+/// One decoded request.
+struct NetRequest {
+  NetOp op = NetOp::kPing;
+  NavSessionId session = 0;  ///< peek/descend/back/refresh/close
+  uint32_t attr = 0;         ///< open
+  uint64_t rank = 0;         ///< descend
+  uint64_t k = 0;            ///< top-k labels (views) / max hits (search)
+  std::string query;         ///< search
+};
+
+/// Serializes a request to its canonical payload.
+std::string EncodeNetRequest(const NetRequest& request);
+
+/// Parses and validates one request payload. InvalidArgument on anything
+/// that is not a well-formed request document (non-JSON, wrong types,
+/// missing fields, unknown op, out-of-range numbers).
+Result<NetRequest> ParseNetRequest(const std::string& payload);
+
+/// The wire error code of a StatusCode (StatusCodeName, except
+/// kUnavailable which is spelled "RETRY_LATER").
+const char* WireErrorCode(StatusCode code);
+
+/// Inverse of WireErrorCode; kInternal for unknown codes.
+StatusCode StatusCodeFromWire(const std::string& code);
+
+/// {"error":code,"message":msg,"ok":false} as a canonical payload.
+std::string EncodeErrorResponse(const std::string& code,
+                                const std::string& message);
+
+/// Error response for a non-OK service status.
+std::string EncodeStatusResponse(const Status& status);
+
+/// A successful NavView response, with the top-k ranked choices' labels
+/// and probabilities when k > 0.
+std::string EncodeViewResponse(const NavView& view, uint64_t k);
+
+/// Client-side image of a view response (the wire fields of NavView).
+struct NetView {
+  NavSessionId session = 0;
+  uint64_t version = 0;
+  bool stale = false;
+  uint32_t state = 0;
+  bool leaf = false;
+  uint32_t attr = 0;
+  uint64_t depth = 0;
+  uint64_t actions = 0;
+  uint64_t num_choices = 0;
+  std::vector<std::string> labels;  ///< Top-k, when requested.
+  std::vector<double> probs;
+};
+
+/// Decodes a reply payload. A well-formed error reply becomes its mapped
+/// Status (code + message); a malformed payload is InvalidArgument; a
+/// success reply returns the parsed JSON object.
+Result<Json> DecodeReply(const std::string& payload);
+
+/// Extracts a NetView from a successful view reply object.
+Result<NetView> ViewFromReply(const Json& reply);
+
+}  // namespace lakeorg

@@ -1,0 +1,563 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "core/org_snapshot.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+#include "search/engine.h"
+
+namespace lakeorg {
+
+namespace {
+
+struct NetMetrics {
+  obs::Counter& accepted = obs::GetCounter("net.connections_accepted_total");
+  obs::Counter& conn_rejected =
+      obs::GetCounter("net.connections_rejected_total");
+  obs::Counter& conn_closed = obs::GetCounter("net.connections_closed_total");
+  obs::Counter& requests = obs::GetCounter("net.requests_total");
+  obs::Counter& responses = obs::GetCounter("net.responses_total");
+  obs::Counter& bad_frames = obs::GetCounter("net.bad_frames_total");
+  obs::Counter& bad_requests = obs::GetCounter("net.bad_requests_total");
+  obs::Counter& retry_later = obs::GetCounter("net.retry_later_total");
+  obs::Counter& bytes_in = obs::GetCounter("net.bytes_in_total");
+  obs::Counter& bytes_out = obs::GetCounter("net.bytes_out_total");
+  obs::Counter& read_pauses = obs::GetCounter("net.read_pauses_total");
+  obs::Gauge& connections = obs::GetGauge("net.connections");
+  obs::Histogram& batch = obs::GetHistogram(
+      "net.tick_batch_requests",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096});
+  obs::Histogram& tick_us = obs::GetHistogram("net.tick_us");
+};
+
+NetMetrics& Metrics() {
+  static NetMetrics m;
+  return m;
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string PingResponse() {
+  Json doc = Json::MakeObject();
+  doc["ok"] = true;
+  return doc.Dump();
+}
+
+}  // namespace
+
+/// One live client connection and its tick-local decode state.
+struct NavServer::Connection {
+  explicit Connection(int fd_in, size_t max_payload)
+      : fd(fd_in), decoder(max_payload) {}
+
+  int fd;
+  FrameDecoder decoder;
+  /// Framed responses not yet written; [out_off, size) is pending.
+  std::string outbuf;
+  size_t out_off = 0;
+  /// Flush the outbuf, then close (EOF, frame error, write error, stop).
+  bool closing = false;
+  /// Reads paused until the peer drains the outbuf (backpressure).
+  bool paused = false;
+  /// Response payloads of the current tick, in request order.
+  std::vector<std::string> slots;
+
+  size_t pending_out() const { return outbuf.size() - out_off; }
+};
+
+/// Event-loop state local to Run(); lives on the loop thread's stack.
+struct NavServer::Loop {
+  std::vector<std::unique_ptr<Connection>> conns;
+  std::vector<pollfd> pfds;
+  /// The cross-connection step batch of the current tick.
+  std::vector<NavStepRequest> batch;
+  struct BatchSlot {
+    Connection* conn;
+    size_t slot;
+    uint64_t k;
+  };
+  std::vector<BatchSlot> batch_slots;
+  char rdbuf[64 * 1024];
+};
+
+NavServer::NavServer(NavService* service, NavService::SnapshotSource snapshots,
+                     NavServerOptions options)
+    : service_(service),
+      snapshots_(std::move(snapshots)),
+      options_(std::move(options)) {}
+
+NavServer::~NavServer() { Stop(); }
+
+Status NavServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen host '" + options_.host + "'");
+  }
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(listen_fd_, options_.backlog) != 0 || !SetNonBlocking(listen_fd_)) {
+    Status st = Status::Internal(std::string("bind/listen ") + options_.host +
+                                 ": " + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("getsockname: ") +
+                            std::strerror(errno));
+  }
+  if (pipe(wake_fds_) != 0 || !SetNonBlocking(wake_fds_[0]) ||
+      !SetNonBlocking(wake_fds_[1])) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("pipe: ") + std::strerror(errno));
+  }
+  bound_port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void NavServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  char byte = 1;
+  // The loop may have exited already; a failed wake write is fine.
+  (void)!write(wake_fds_[1], &byte, 1);
+  if (loop_thread_.joinable()) loop_thread_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  close(wake_fds_[0]);
+  close(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+NavServerStats NavServer::Stats() const {
+  NavServerStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected_connections = rejected_connections_.load(std::memory_order_relaxed);
+  s.connections_closed = connections_closed_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses = responses_.load(std::memory_order_relaxed);
+  s.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+  s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  s.retry_later = retry_later_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  s.connections_live = connections_live_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void NavServer::Run() {
+  Loop loop;
+  NetMetrics& metrics = Metrics();
+  const bool sweeping = options_.sweep_interval_seconds > 0;
+  auto to_ticks = [](double seconds) {
+    return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(seconds));
+  };
+  auto next_sweep =
+      std::chrono::steady_clock::now() +
+      to_ticks(sweeping ? options_.sweep_interval_seconds : 0.0);
+
+  auto record_response = [&](Connection& conn, size_t slot,
+                             std::string payload) {
+    conn.slots[slot] = std::move(payload);
+  };
+
+  auto flush_batch = [&] {
+    if (loop.batch.empty()) return;
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    metrics.batch.Observe(static_cast<double>(loop.batch.size()));
+    std::vector<Result<NavView>> results = service_->ExecuteBatch(loop.batch);
+    for (size_t i = 0; i < results.size(); ++i) {
+      const Loop::BatchSlot& bs = loop.batch_slots[i];
+      if (results[i].ok()) {
+        record_response(*bs.conn, bs.slot,
+                        EncodeViewResponse(results[i].value(), bs.k));
+      } else {
+        if (results[i].status().code() == StatusCode::kUnavailable) {
+          retry_later_.fetch_add(1, std::memory_order_relaxed);
+          metrics.retry_later.Add();
+        }
+        record_response(*bs.conn, bs.slot,
+                        EncodeStatusResponse(results[i].status()));
+      }
+    }
+    loop.batch.clear();
+    loop.batch_slots.clear();
+  };
+
+  auto execute = [&](Connection& conn, size_t slot, const NetRequest& req) {
+    switch (req.op) {
+      case NetOp::kPing:
+        record_response(conn, slot, PingResponse());
+        return;
+      case NetOp::kPeek:
+      case NetOp::kDescend:
+      case NetOp::kBack: {
+        NavStepRequest step;
+        step.session = req.session;
+        step.kind = req.op == NetOp::kPeek ? NavStepRequest::Kind::kPeek
+                    : req.op == NetOp::kDescend
+                        ? NavStepRequest::Kind::kDescend
+                        : NavStepRequest::Kind::kBack;
+        step.rank = static_cast<size_t>(req.rank);
+        loop.batch.push_back(step);
+        loop.batch_slots.push_back({&conn, slot, req.k});
+        return;
+      }
+      case NetOp::kOpen: {
+        Result<NavSessionId> opened = service_->Open(req.attr);
+        if (!opened.ok()) {
+          if (opened.status().code() == StatusCode::kUnavailable) {
+            retry_later_.fetch_add(1, std::memory_order_relaxed);
+            metrics.retry_later.Add();
+          }
+          record_response(conn, slot, EncodeStatusResponse(opened.status()));
+          return;
+        }
+        Result<NavView> view = service_->Peek(opened.value());
+        record_response(conn, slot,
+                        view.ok()
+                            ? EncodeViewResponse(view.value(), req.k)
+                            : EncodeStatusResponse(view.status()));
+        return;
+      }
+      case NetOp::kRefresh: {
+        // Barrier: a pipelined step before this refresh must observe the
+        // pre-refresh position.
+        flush_batch();
+        Result<NavView> view = service_->Refresh(req.session);
+        record_response(conn, slot,
+                        view.ok()
+                            ? EncodeViewResponse(view.value(), req.k)
+                            : EncodeStatusResponse(view.status()));
+        return;
+      }
+      case NetOp::kClose: {
+        // Barrier: steps pipelined ahead of the close must run first.
+        flush_batch();
+        Status st = service_->Close(req.session);
+        if (st.ok()) {
+          Json doc = Json::MakeObject();
+          doc["ok"] = true;
+          doc["sid"] = req.session;
+          record_response(conn, slot, doc.Dump());
+        } else {
+          record_response(conn, slot, EncodeStatusResponse(st));
+        }
+        return;
+      }
+      case NetOp::kSearch: {
+        std::shared_ptr<const OrgSnapshot> snap =
+            snapshots_ ? snapshots_() : nullptr;
+        if (snap == nullptr || snap->engine == nullptr) {
+          record_response(conn, slot,
+                          EncodeStatusResponse(Status::FailedPrecondition(
+                              "no keyword-search engine published")));
+          return;
+        }
+        uint64_t k = req.k == 0 ? 10 : req.k;
+        if (k > options_.max_search_results) k = options_.max_search_results;
+        std::vector<TableHit> hits =
+            snap->engine->Search(req.query, static_cast<size_t>(k));
+        Json doc = Json::MakeObject();
+        doc["ok"] = true;
+        doc["ver"] = snap->version;
+        Json arr = Json::MakeArray();
+        for (const TableHit& hit : hits) {
+          Json h = Json::MakeObject();
+          h["table"] = static_cast<uint64_t>(hit.table);
+          h["score"] = hit.score;
+          arr.push_back(std::move(h));
+        }
+        doc["hits"] = std::move(arr);
+        record_response(conn, slot, doc.Dump());
+        return;
+      }
+      case NetOp::kStats: {
+        // Barrier, so the counters reconcile against everything this
+        // client pipelined ahead of the probe.
+        flush_batch();
+        NavServiceStats svc = service_->Stats();
+        Json doc = Json::MakeObject();
+        doc["ok"] = true;
+        doc["live"] = static_cast<uint64_t>(svc.sessions_live);
+        doc["opened"] = svc.sessions_opened;
+        doc["closed"] = svc.sessions_closed;
+        doc["expired"] = svc.sessions_expired;
+        doc["rejected"] = svc.sessions_rejected;
+        doc["steps"] = svc.steps;
+        doc["srv_requests"] = requests_.load(std::memory_order_relaxed);
+        doc["srv_responses"] = responses_.load(std::memory_order_relaxed) +
+                               1;  // including this one
+        doc["srv_connections"] =
+            static_cast<uint64_t>(loop.conns.size());
+        record_response(conn, slot, doc.Dump());
+        return;
+      }
+    }
+    record_response(conn, slot,
+                    EncodeErrorResponse("BAD_REQUEST", "unhandled op"));
+  };
+
+  auto close_conn = [&](size_t index) {
+    Connection& conn = *loop.conns[index];
+    close(conn.fd);
+    loop.conns.erase(loop.conns.begin() + static_cast<ptrdiff_t>(index));
+    connections_closed_.fetch_add(1, std::memory_order_relaxed);
+    connections_live_.store(loop.conns.size(), std::memory_order_relaxed);
+    metrics.conn_closed.Add();
+    metrics.connections.Set(static_cast<double>(loop.conns.size()));
+  };
+
+  auto try_write = [&](Connection& conn) {
+    while (conn.pending_out() > 0) {
+      ssize_t n = send(conn.fd, conn.outbuf.data() + conn.out_off,
+                       conn.pending_out(), MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out_off += static_cast<size_t>(n);
+        bytes_out_.fetch_add(static_cast<uint64_t>(n),
+                             std::memory_order_relaxed);
+        metrics.bytes_out.Add(static_cast<uint64_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // Peer is gone; drop the connection.
+    }
+    conn.outbuf.clear();
+    conn.out_off = 0;
+    if (conn.paused) conn.paused = false;
+    return true;
+  };
+
+  bool draining = false;
+  auto drain_deadline = std::chrono::steady_clock::now();
+
+  while (true) {
+    if (stop_requested_.load(std::memory_order_acquire) && !draining) {
+      // Graceful shutdown: no new connections, no new reads; answer what
+      // is already decoded and give write buffers a bounded drain.
+      draining = true;
+      drain_deadline = std::chrono::steady_clock::now() +
+                       to_ticks(options_.drain_deadline_seconds);
+      for (std::unique_ptr<Connection>& conn : loop.conns) {
+        conn->closing = true;
+      }
+    }
+    if (draining) {
+      for (size_t i = loop.conns.size(); i-- > 0;) {
+        Connection& conn = *loop.conns[i];
+        if (!try_write(conn) || conn.pending_out() == 0) close_conn(i);
+      }
+      if (loop.conns.empty() ||
+          std::chrono::steady_clock::now() >= drain_deadline) {
+        while (!loop.conns.empty()) close_conn(loop.conns.size() - 1);
+        return;
+      }
+    }
+
+    loop.pfds.clear();
+    loop.pfds.push_back({wake_fds_[0], POLLIN, 0});
+    // The listener stays polled even at the connection cap: over-cap
+    // connects are accepted and immediately closed (a crisp rejection
+    // the peer can see) rather than left queued in the backlog.
+    if (!draining) {
+      loop.pfds.push_back({listen_fd_, POLLIN, 0});
+    }
+    const size_t conn_base = loop.pfds.size();
+    const size_t n_polled = loop.conns.size();
+    for (std::unique_ptr<Connection>& conn : loop.conns) {
+      short events = 0;
+      if (!conn->closing && !conn->paused) events |= POLLIN;
+      if (conn->pending_out() > 0) events |= POLLOUT;
+      loop.pfds.push_back({conn->fd, events, 0});
+    }
+
+    int timeout_ms = -1;
+    if (sweeping) {
+      auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+          next_sweep - std::chrono::steady_clock::now());
+      timeout_ms = static_cast<int>(std::max<int64_t>(0, until.count()));
+    }
+    if (draining) timeout_ms = 10;
+    int ready = poll(loop.pfds.data(), loop.pfds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) return;
+
+    obs::ScopedTimer tick_timer(&metrics.tick_us);
+
+    if (loop.pfds[0].revents & POLLIN) {
+      char buf[64];
+      while (read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (sweeping && std::chrono::steady_clock::now() >= next_sweep) {
+      service_->SweepExpired();
+      next_sweep = std::chrono::steady_clock::now() +
+                   to_ticks(options_.sweep_interval_seconds);
+    }
+
+    if (!draining && (loop.pfds[1].revents & POLLIN)) {
+      while (true) {
+        int fd = accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        if (loop.conns.size() >= options_.max_connections) {
+          // Count before close: the peer observes EOF the instant the
+          // fd closes, and may read Stats() right then.
+          rejected_connections_.fetch_add(1, std::memory_order_relaxed);
+          metrics.conn_rejected.Add();
+          close(fd);
+          continue;
+        }
+        int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        if (!SetNonBlocking(fd)) {
+          close(fd);
+          continue;
+        }
+        loop.conns.push_back(
+            std::make_unique<Connection>(fd, options_.max_frame_payload));
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        connections_live_.store(loop.conns.size(), std::memory_order_relaxed);
+        metrics.accepted.Add();
+        metrics.connections.Set(static_cast<double>(loop.conns.size()));
+      }
+    }
+
+    // Read + decode every ready connection (only those that were polled
+    // — mid-tick accepts wait for the next tick); execute (batching
+    // steps) with responses recorded into per-connection ordered slots.
+    for (size_t i = 0; i < n_polled; ++i) {
+      Connection& conn = *loop.conns[i];
+      const pollfd& pfd = loop.pfds[conn_base + i];
+      conn.slots.clear();
+      if (!(pfd.revents & (POLLIN | POLLHUP | POLLERR)) || conn.closing) {
+        continue;
+      }
+      bool eof = false;
+      while (true) {
+        ssize_t n = recv(conn.fd, loop.rdbuf, sizeof(loop.rdbuf), 0);
+        if (n > 0) {
+          bytes_in_.fetch_add(static_cast<uint64_t>(n),
+                              std::memory_order_relaxed);
+          metrics.bytes_in.Add(static_cast<uint64_t>(n));
+          conn.decoder.Feed(std::string_view(loop.rdbuf,
+                                             static_cast<size_t>(n)));
+          if (static_cast<size_t>(n) < sizeof(loop.rdbuf)) break;
+          continue;
+        }
+        if (n == 0) {
+          eof = true;
+          break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        eof = true;  // Hard error: treat as peer-gone.
+        break;
+      }
+
+      std::string payload;
+      FrameDecoder::Event event;
+      while ((event = conn.decoder.Next(&payload)) ==
+             FrameDecoder::Event::kFrame) {
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        metrics.requests.Add();
+        size_t slot = conn.slots.size();
+        conn.slots.emplace_back();
+        Result<NetRequest> req = ParseNetRequest(payload);
+        if (!req.ok()) {
+          bad_requests_.fetch_add(1, std::memory_order_relaxed);
+          metrics.bad_requests.Add();
+          record_response(conn, slot,
+                          EncodeErrorResponse("BAD_REQUEST",
+                                              req.status().message()));
+          continue;
+        }
+        execute(conn, slot, req.value());
+      }
+      if (event != FrameDecoder::Event::kNeedMore) {
+        bad_frames_.fetch_add(1, std::memory_order_relaxed);
+        metrics.bad_frames.Add();
+        conn.slots.push_back(EncodeErrorResponse(
+            "BAD_FRAME", event == FrameDecoder::Event::kTooLarge
+                             ? "frame length exceeds payload ceiling"
+                             : "frame payload failed CRC"));
+        conn.closing = true;
+      }
+      if (eof) conn.closing = true;
+    }
+
+    flush_batch();
+
+    // Frame the slot responses (request order per connection), write,
+    // and reap finished connections.
+    for (size_t i = loop.conns.size(); i-- > 0;) {
+      Connection& conn = *loop.conns[i];
+      for (std::string& slot : conn.slots) {
+        AppendNetFrame(slot, &conn.outbuf);
+        responses_.fetch_add(1, std::memory_order_relaxed);
+        metrics.responses.Add();
+      }
+      conn.slots.clear();
+      if (conn.out_off > 0 && conn.out_off >= conn.outbuf.size() / 2) {
+        conn.outbuf.erase(0, conn.out_off);
+        conn.out_off = 0;
+      }
+      if (!try_write(conn)) {
+        close_conn(i);
+        continue;
+      }
+      if (conn.closing && conn.pending_out() == 0) {
+        close_conn(i);
+        continue;
+      }
+      if (!conn.paused && conn.pending_out() > options_.max_outbuf_bytes) {
+        conn.paused = true;
+        metrics.read_pauses.Add();
+      } else if (conn.paused &&
+                 conn.pending_out() <= options_.max_outbuf_bytes / 2) {
+        conn.paused = false;
+      }
+    }
+  }
+}
+
+}  // namespace lakeorg

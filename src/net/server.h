@@ -1,0 +1,146 @@
+// NavServer: the network front end of NavService (docs/SERVING.md).
+// A single poll(2) event-loop thread serves length-prefixed canonical-
+// JSON frames (net/frame.h, net/protocol.h) over TCP:
+//
+//  - per-connection read buffers feed a FrameDecoder; a framing fault
+//    (oversized length, CRC mismatch) answers "BAD_FRAME" and closes the
+//    connection, since byte alignment is unrecoverable;
+//  - step requests (peek/descend/back) decoded in one poll tick are
+//    batched into a single NavService::ExecuteBatch call, so concurrent
+//    users share row-cache fills exactly like the in-process batch API.
+//    close and refresh act as barriers: the pending batch flushes before
+//    they run, which keeps a pipelined [descend, close, peek] sequence
+//    deterministic. Responses are always emitted in request order per
+//    connection;
+//  - backpressure is layered: admission control inside NavService turns
+//    a full session table into an explicit RETRY_LATER response; a
+//    connection whose write buffer exceeds max_outbuf_bytes stops being
+//    read until the peer drains it; accepts beyond max_connections are
+//    closed immediately;
+//  - a publish (LiveLakeService::Apply) never blocks serving: sessions
+//    stay pinned to their snapshot and the server only resolves the
+//    current snapshot per search request, so the swap is one pointer
+//    copy away from the loop;
+//  - Stop() is graceful: in-flight requests already decoded are
+//    answered, write buffers get drain_deadline_seconds to flush, then
+//    everything closes.
+//
+// Telemetry lands under net.* (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "discovery/nav_service.h"
+
+namespace lakeorg {
+
+/// Server tuning knobs (defaults documented in docs/SERVING.md).
+struct NavServerOptions {
+  /// Listen address; tests and the bench bind loopback.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; port() reports the bound one.
+  uint16_t port = 0;
+  /// listen(2) backlog.
+  int backlog = 128;
+  /// Connections beyond this are accepted and immediately closed.
+  size_t max_connections = 1024;
+  /// Frame payload ceiling handed to each connection's FrameDecoder.
+  size_t max_frame_payload = 1 << 20;
+  /// A connection whose pending write bytes exceed this stops being
+  /// read until the peer drains below half of it.
+  size_t max_outbuf_bytes = 4u << 20;
+  /// Ceiling on `k` for search requests (caps response size).
+  uint64_t max_search_results = 64;
+  /// > 0 runs NavService::SweepExpired about this often on the loop
+  /// thread (wall time); 0 leaves sweeping to Open and the embedder.
+  double sweep_interval_seconds = 0.0;
+  /// How long Stop() lets write buffers drain before closing.
+  double drain_deadline_seconds = 5.0;
+};
+
+/// Point-in-time server counters (see also the net.* metrics).
+struct NavServerStats {
+  uint64_t accepted = 0;
+  uint64_t rejected_connections = 0;
+  uint64_t connections_closed = 0;
+  uint64_t requests = 0;
+  uint64_t responses = 0;
+  uint64_t bad_frames = 0;
+  uint64_t bad_requests = 0;
+  uint64_t retry_later = 0;
+  uint64_t batches = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  size_t connections_live = 0;
+};
+
+/// The TCP front end. See the file comment for the design.
+class NavServer {
+ public:
+  /// Serves `service` (borrowed; must outlive the server). `snapshots`
+  /// resolves the current snapshot for search requests and may be null
+  /// to disable the search op (FailedPrecondition).
+  NavServer(NavService* service, NavService::SnapshotSource snapshots,
+            NavServerOptions options = {});
+  ~NavServer();
+
+  NavServer(const NavServer&) = delete;
+  NavServer& operator=(const NavServer&) = delete;
+
+  /// Binds, listens, and starts the loop thread. InvalidArgument for a
+  /// bad host, Internal for socket failures, FailedPrecondition when
+  /// already started.
+  Status Start();
+
+  /// Graceful shutdown: answers everything already decoded, drains
+  /// write buffers (bounded by drain_deadline_seconds), closes all
+  /// connections, joins the loop thread. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves port 0); 0 before Start.
+  uint16_t port() const { return bound_port_.load(std::memory_order_acquire); }
+
+  /// True between a successful Start and Stop.
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Aggregate server counters.
+  NavServerStats Stats() const;
+
+ private:
+  struct Connection;
+  struct Loop;
+
+  void Run();
+
+  NavService* service_;
+  NavService::SnapshotSource snapshots_;
+  NavServerOptions options_;
+
+  int listen_fd_ = -1;
+  /// Self-pipe: writing one byte wakes the poll loop (Stop).
+  int wake_fds_[2] = {-1, -1};
+  std::atomic<uint16_t> bound_port_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread loop_thread_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_connections_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> responses_{0};
+  std::atomic<uint64_t> bad_frames_{0};
+  std::atomic<uint64_t> bad_requests_{0};
+  std::atomic<uint64_t> retry_later_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<size_t> connections_live_{0};
+};
+
+}  // namespace lakeorg

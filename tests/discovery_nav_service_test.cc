@@ -166,7 +166,9 @@ TEST(NavServiceTest, AdmissionControlBoundsLiveSessions) {
   ASSERT_TRUE(service.Open(1).ok());
   Result<NavSessionId> rejected = service.Open(2);
   EXPECT_FALSE(rejected.ok());
-  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  // Unavailable, not FailedPrecondition: the wire protocol maps this to
+  // RETRY_LATER and clients are expected to back off and retry.
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
   EXPECT_EQ(service.Stats().sessions_rejected, 1u);
   // Once the live sessions go idle, a full table sweeps and admits.
   h.now = 60.0;
@@ -413,6 +415,131 @@ TEST(NavServiceTest, ConcurrentWalksAndPublishAreSafe) {
     EXPECT_EQ(view.value().snapshot_version, 1u);
     EXPECT_TRUE(view.value().snapshot_stale);
   }
+}
+
+// A step that races a Close — the caller resolved the session pointer
+// before the close landed — must fail NotFound, not silently mutate the
+// dead session. The injectable clock gives a deterministic reentry
+// point: ApplyLocked samples it (holding only the session mutex) right
+// before the liveness check, so a clock callback that closes the
+// session exercises exactly the post-resolve, pre-apply window.
+TEST(NavServiceTest, StepRacingCloseFailsNotFound) {
+  struct Trap {
+    NavService* service = nullptr;
+    NavSessionId id = 0;
+    bool armed = false;
+    bool fired = false;
+  };
+  auto trap = std::make_shared<Trap>();
+  NavServiceOptions options;
+  // TTL off keeps the clock out of FindSession (which holds the service
+  // mutex, where a reentrant Close would deadlock).
+  options.idle_ttl_seconds = 0.0;
+  options.clock = [trap] {
+    if (trap->armed && !trap->fired) {
+      trap->fired = true;
+      EXPECT_TRUE(trap->service->Close(trap->id).ok());
+    }
+    return 0.0;
+  };
+  Harness h;
+  NavService service(h.live.get(), options);
+  trap->service = &service;
+
+  Result<NavSessionId> opened = service.Open(0);
+  ASSERT_TRUE(opened.ok());
+  trap->id = opened.value();
+  trap->armed = true;
+  Result<NavView> stepped = service.Peek(trap->id);
+  ASSERT_TRUE(trap->fired);
+  EXPECT_FALSE(stepped.ok());
+  EXPECT_EQ(stepped.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.live_sessions(), 0u);
+}
+
+// The same race inside ExecuteBatch: sessions resolve in phase 1, a
+// close lands before phase 3 applies — every slot of the closed session
+// must answer NotFound and the batch must not disturb other slots.
+TEST(NavServiceTest, ExecuteBatchSlotsOfRacedCloseFailNotFound) {
+  struct Trap {
+    NavService* service = nullptr;
+    NavSessionId id = 0;
+    bool armed = false;
+    bool fired = false;
+  };
+  auto trap = std::make_shared<Trap>();
+  NavServiceOptions options;
+  options.idle_ttl_seconds = 0.0;
+  options.clock = [trap] {
+    if (trap->armed && !trap->fired) {
+      trap->fired = true;
+      EXPECT_TRUE(trap->service->Close(trap->id).ok());
+    }
+    return 0.0;
+  };
+  Harness h;
+  NavService service(h.live.get(), options);
+  trap->service = &service;
+
+  Result<NavSessionId> doomed = service.Open(0);
+  Result<NavSessionId> healthy = service.Open(1);
+  ASSERT_TRUE(doomed.ok());
+  ASSERT_TRUE(healthy.ok());
+  trap->id = doomed.value();
+  trap->armed = true;
+
+  std::vector<NavStepRequest> batch(3);
+  batch[0] = {doomed.value(), NavStepRequest::Kind::kPeek, 0};
+  batch[1] = {doomed.value(), NavStepRequest::Kind::kDescend, 0};
+  batch[2] = {healthy.value(), NavStepRequest::Kind::kPeek, 0};
+  std::vector<Result<NavView>> results = service.ExecuteBatch(batch);
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_TRUE(trap->fired);
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_EQ(results[0].status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(results[2].ok()) << results[2].status().ToString();
+  EXPECT_EQ(service.live_sessions(), 1u);
+}
+
+// Per-slot error propagation: stale/unknown sessions, out-of-range
+// ranks, and dead-end backtracks each surface their own status without
+// poisoning the rest of the batch.
+TEST(NavServiceTest, ExecuteBatchPropagatesPerSlotErrors) {
+  NavServiceOptions options;
+  options.idle_ttl_seconds = 10.0;
+  Harness h(&options);
+  NavService service(h.live.get(), options);
+  Result<NavSessionId> live = service.Open(0);
+  Result<NavSessionId> expired = service.Open(1);
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(expired.ok());
+  h.now = 8.0;
+  ASSERT_TRUE(service.Peek(live.value()).ok());  // Keep one fresh.
+  h.now = 12.0;  // The other is now 12s idle: expired on next touch.
+
+  std::vector<NavStepRequest> batch(4);
+  batch[0] = {live.value(), NavStepRequest::Kind::kPeek, 0};
+  batch[1] = {expired.value(), NavStepRequest::Kind::kPeek, 0};
+  batch[2] = {live.value(), NavStepRequest::Kind::kDescend, 999};
+  batch[3] = {live.value() + 12345, NavStepRequest::Kind::kPeek, 0};
+  std::vector<Result<NavView>> results = service.ExecuteBatch(batch);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].ok()) << results[0].status().ToString();
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(results[2].ok());
+  EXPECT_EQ(results[2].status().code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(results[3].ok());
+  EXPECT_EQ(results[3].status().code(), StatusCode::kNotFound);
+  // Back at the root is a per-slot FailedPrecondition too.
+  std::vector<NavStepRequest> back(1);
+  back[0] = {live.value(), NavStepRequest::Kind::kBack, 0};
+  std::vector<Result<NavView>> back_results = service.ExecuteBatch(back);
+  ASSERT_EQ(back_results.size(), 1u);
+  EXPECT_EQ(back_results[0].status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.Stats().sessions_expired, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,124 @@
+// Loadgen-vs-oracle equivalence (ISSUE 8 satellite 3): a fixed-seed
+// Zipf fleet over real sockets must produce bit-identical traces —
+// states visited, ranks chosen — to the same fleet run in-process
+// against NavService. Also pins thread-count invariance (1 connection
+// vs 4 yield the same traces) and the walk-policy determinism the whole
+// argument rests on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "discovery/nav_service.h"
+#include "net/loadgen.h"
+#include "net_test_util.h"
+
+namespace lakeorg {
+namespace {
+
+using testing::NetHarness;
+
+FleetOptions EquivalenceFleet() {
+  FleetOptions fleet;
+  fleet.users = 24;
+  fleet.steps_per_user = 40;
+  fleet.connections = 3;
+  fleet.seed = 1234;
+  fleet.num_attrs = 4;  // The tiny lake's x/y/z/w.
+  fleet.record_traces = true;
+  return fleet;
+}
+
+TEST(NetLoadgenTest, WalkActionIsDeterministicInItsInputs) {
+  for (uint64_t seed : {1ull, 99ull}) {
+    Rng a(seed);
+    Rng b(seed);
+    for (int i = 0; i < 200; ++i) {
+      size_t n = 1 + static_cast<size_t>(i % 5);
+      size_t depth = static_cast<size_t>(i % 14);
+      WalkAction x = NextWalkAction(n, depth, /*max_depth=*/12, &a);
+      WalkAction y = NextWalkAction(n, depth, /*max_depth=*/12, &b);
+      EXPECT_EQ(x.op, y.op);
+      EXPECT_EQ(x.rank, y.rank);
+      if (depth >= 12) {
+        EXPECT_EQ(x.op, 'r');  // Forced restart.
+      }
+      if (x.op == 'd') {
+        EXPECT_LT(x.rank, n);
+      }
+    }
+  }
+}
+
+TEST(NetLoadgenTest, SocketFleetMatchesInProcessOracleBitForBit) {
+  NetHarness h;
+  FleetOptions fleet = EquivalenceFleet();
+
+  // Oracle: the same workload against a fresh NavService, no sockets.
+  NavService oracle(h.Source());
+  FleetReport expected = RunFleetInProcess(&oracle, fleet);
+  ASSERT_EQ(expected.errors, 0u);
+  ASSERT_EQ(expected.opens, fleet.users);
+  ASSERT_EQ(expected.traces.size(), fleet.users);
+
+  Result<FleetReport> actual = RunFleetOverSocket("127.0.0.1", h.port(), fleet);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  EXPECT_EQ(actual.value().errors, 0u);
+  EXPECT_EQ(actual.value().opens, expected.opens);
+  EXPECT_EQ(actual.value().steps, expected.steps);
+  EXPECT_EQ(actual.value().refreshes, expected.refreshes);
+  EXPECT_EQ(actual.value().closes, expected.closes);
+  ASSERT_EQ(actual.value().traces.size(), expected.traces.size());
+  for (size_t u = 0; u < expected.traces.size(); ++u) {
+    ASSERT_EQ(actual.value().traces[u].size(), expected.traces[u].size())
+        << "user " << u;
+    for (size_t i = 0; i < expected.traces[u].size(); ++i) {
+      const TraceEvent& want = expected.traces[u][i];
+      const TraceEvent& got = actual.value().traces[u][i];
+      ASSERT_EQ(got, want) << "user " << u << " event " << i << ": got {"
+                           << got.op << "," << got.rank << "," << got.state
+                           << "," << got.ok << "} want {" << want.op << ","
+                           << want.rank << "," << want.state << "," << want.ok
+                           << "}";
+    }
+  }
+  // Every user closed; nothing leaks into the harness service.
+  EXPECT_EQ(h.service->Stats().sessions_live, 0u);
+}
+
+TEST(NetLoadgenTest, TracesAreInvariantToConnectionCount) {
+  NetHarness h;
+  FleetOptions fleet = EquivalenceFleet();
+
+  fleet.connections = 1;
+  Result<FleetReport> serial = RunFleetOverSocket("127.0.0.1", h.port(), fleet);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_EQ(serial.value().errors, 0u);
+
+  fleet.connections = 4;
+  Result<FleetReport> wide = RunFleetOverSocket("127.0.0.1", h.port(), fleet);
+  ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+  ASSERT_EQ(wide.value().errors, 0u);
+
+  ASSERT_EQ(serial.value().traces.size(), wide.value().traces.size());
+  for (size_t u = 0; u < serial.value().traces.size(); ++u) {
+    EXPECT_EQ(serial.value().traces[u], wide.value().traces[u]) << "user " << u;
+  }
+}
+
+TEST(NetLoadgenTest, LeaveOpenModuloLeavesSessionsForTheSweeper) {
+  NetHarness h;
+  FleetOptions fleet;
+  fleet.users = 12;
+  fleet.steps_per_user = 2;
+  fleet.connections = 2;
+  fleet.num_attrs = 4;
+  fleet.leave_open_modulo = 3;  // Users 0,3,6,9 skip their close.
+  Result<FleetReport> report = RunFleetOverSocket("127.0.0.1", h.port(), fleet);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().errors, 0u);
+  EXPECT_EQ(report.value().closes, 8u);
+  EXPECT_EQ(h.service->Stats().sessions_live, 4u);
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,376 @@
+// Wire-protocol units (framing + request/response codec) and the
+// corruption matrix over a real socket: truncated frames, oversized
+// lengths, CRC mismatches, garbage JSON, partial writes, and pipelined
+// requests. Every malformed input must produce a typed error response
+// or a clean connection drop — never a crash, hang, or desynchronized
+// stream (ISSUE 8 satellite 1).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lake/wal/wal_format.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net_test_util.h"
+
+namespace lakeorg {
+namespace {
+
+using testing::NetHarness;
+
+std::string Framed(std::string_view payload) {
+  std::string out;
+  AppendNetFrame(payload, &out);
+  return out;
+}
+
+// --- FrameDecoder units ---------------------------------------------------
+
+TEST(NetFrameTest, RoundTripSingleFrame) {
+  FrameDecoder dec;
+  dec.Feed(Framed("{\"op\":\"ping\"}"));
+  std::string payload;
+  ASSERT_EQ(dec.Next(&payload), FrameDecoder::Event::kFrame);
+  EXPECT_EQ(payload, "{\"op\":\"ping\"}");
+  EXPECT_EQ(dec.Next(&payload), FrameDecoder::Event::kNeedMore);
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+}
+
+TEST(NetFrameTest, EmptyPayloadFrame) {
+  FrameDecoder dec;
+  dec.Feed(Framed(""));
+  std::string payload;
+  ASSERT_EQ(dec.Next(&payload), FrameDecoder::Event::kFrame);
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST(NetFrameTest, ByteAtATimeFeedYieldsFrameOnlyWhenComplete) {
+  std::string wire = Framed("hello");
+  FrameDecoder dec;
+  std::string payload;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    dec.Feed(std::string_view(&wire[i], 1));
+    EXPECT_EQ(dec.Next(&payload), FrameDecoder::Event::kNeedMore)
+        << "at byte " << i;
+  }
+  dec.Feed(std::string_view(&wire[wire.size() - 1], 1));
+  ASSERT_EQ(dec.Next(&payload), FrameDecoder::Event::kFrame);
+  EXPECT_EQ(payload, "hello");
+}
+
+TEST(NetFrameTest, PipelinedFramesDecodeInOrder) {
+  std::string wire;
+  for (int i = 0; i < 100; ++i) {
+    AppendNetFrame("frame-" + std::to_string(i), &wire);
+  }
+  FrameDecoder dec;
+  // Feed in ragged chunks to exercise buffer compaction.
+  for (size_t off = 0; off < wire.size(); off += 7) {
+    dec.Feed(std::string_view(wire).substr(off, 7));
+  }
+  std::string payload;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(dec.Next(&payload), FrameDecoder::Event::kFrame) << i;
+    EXPECT_EQ(payload, "frame-" + std::to_string(i));
+  }
+  EXPECT_EQ(dec.Next(&payload), FrameDecoder::Event::kNeedMore);
+}
+
+TEST(NetFrameTest, OversizedLengthPoisonsPermanently) {
+  FrameDecoder dec(/*max_payload_bytes=*/64);
+  std::string wire(8, '\0');
+  wire[0] = '\xff';  // Declared length 0xff = 255 > 64.
+  dec.Feed(wire);
+  std::string payload;
+  ASSERT_EQ(dec.Next(&payload), FrameDecoder::Event::kTooLarge);
+  EXPECT_TRUE(dec.poisoned());
+  // Repeated polls return the same event, and new bytes are ignored.
+  dec.Feed(Framed("valid"));
+  EXPECT_EQ(dec.Next(&payload), FrameDecoder::Event::kTooLarge);
+}
+
+TEST(NetFrameTest, CrcMismatchPoisonsPermanently) {
+  std::string wire = Framed("payload-bytes");
+  wire[wire.size() - 1] ^= 0x40;  // Flip one payload bit.
+  FrameDecoder dec;
+  dec.Feed(wire);
+  std::string payload;
+  ASSERT_EQ(dec.Next(&payload), FrameDecoder::Event::kBadCrc);
+  EXPECT_TRUE(dec.poisoned());
+  EXPECT_EQ(dec.Next(&payload), FrameDecoder::Event::kBadCrc);
+}
+
+TEST(NetFrameTest, FramingMatchesWalRecordFraming) {
+  std::string net;
+  AppendNetFrame("identical-bytes", &net);
+  std::string wal;
+  AppendWalFrame("identical-bytes", &wal);
+  EXPECT_EQ(net, wal);
+}
+
+// --- Request/response codec units -----------------------------------------
+
+TEST(NetProtocolTest, RequestRoundTripsEveryOp) {
+  NetRequest reqs[9];
+  reqs[0].op = NetOp::kPing;
+  reqs[1].op = NetOp::kOpen;
+  reqs[1].attr = 7;
+  reqs[1].k = 3;
+  reqs[2].op = NetOp::kPeek;
+  reqs[2].session = 42;
+  reqs[3].op = NetOp::kDescend;
+  reqs[3].session = 42;
+  reqs[3].rank = 2;
+  reqs[4].op = NetOp::kBack;
+  reqs[4].session = 42;
+  reqs[5].op = NetOp::kRefresh;
+  reqs[5].session = 42;
+  reqs[6].op = NetOp::kClose;
+  reqs[6].session = 42;
+  reqs[7].op = NetOp::kSearch;
+  reqs[7].query = "alpha things";
+  reqs[7].k = 5;
+  reqs[8].op = NetOp::kStats;
+  for (const NetRequest& req : reqs) {
+    Result<NetRequest> parsed = ParseNetRequest(EncodeNetRequest(req));
+    ASSERT_TRUE(parsed.ok()) << NetOpName(req.op) << ": "
+                             << parsed.status().ToString();
+    EXPECT_EQ(parsed.value().op, req.op);
+    EXPECT_EQ(parsed.value().session, req.session);
+    EXPECT_EQ(parsed.value().attr, req.attr);
+    EXPECT_EQ(parsed.value().rank, req.rank);
+    EXPECT_EQ(parsed.value().k, req.k);
+    EXPECT_EQ(parsed.value().query, req.query);
+  }
+}
+
+TEST(NetProtocolTest, ParseRejectsMalformedRequests) {
+  const char* bad[] = {
+      "not json at all",
+      "[1,2,3]",
+      "{}",
+      "{\"op\":7}",
+      "{\"op\":\"warp\"}",
+      "{\"op\":\"peek\"}",                      // missing sid
+      "{\"op\":\"descend\",\"sid\":1}",         // missing rank
+      "{\"op\":\"descend\",\"rank\":0}",        // missing sid
+      "{\"op\":\"open\"}",                      // missing attr
+      "{\"op\":\"open\",\"attr\":-1}",          // negative
+      "{\"op\":\"open\",\"attr\":1.5}",         // non-integral
+      "{\"op\":\"open\",\"attr\":\"x\"}",       // wrong type
+      "{\"op\":\"open\",\"attr\":5000000000}",  // > UINT32_MAX
+      "{\"op\":\"search\"}",                    // missing q
+      "{\"op\":\"search\",\"q\":3}",            // wrong type
+      "{\"op\":\"peek\",\"sid\":1,\"k\":-2}",   // bad k
+  };
+  for (const char* payload : bad) {
+    Result<NetRequest> parsed = ParseNetRequest(payload);
+    EXPECT_FALSE(parsed.ok()) << payload;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << payload;
+  }
+}
+
+TEST(NetProtocolTest, ErrorCodesRoundTripTheWire) {
+  EXPECT_STREQ(WireErrorCode(StatusCode::kUnavailable), "RETRY_LATER");
+  EXPECT_STREQ(WireErrorCode(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeFromWire("RETRY_LATER"), StatusCode::kUnavailable);
+  EXPECT_EQ(StatusCodeFromWire("OutOfRange"), StatusCode::kOutOfRange);
+  EXPECT_EQ(StatusCodeFromWire("BAD_REQUEST"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(StatusCodeFromWire("garbage"), StatusCode::kInternal);
+
+  Status st = Status::Unavailable("session limit reached");
+  Result<Json> decoded = DecodeReply(EncodeStatusResponse(st));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(decoded.status().message(), "session limit reached");
+}
+
+// --- Socket corruption matrix ---------------------------------------------
+
+TEST(NetProtocolSocketTest, GarbageJsonAnswersBadRequestAndKeepsConnection) {
+  NetHarness h;
+  NavClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  client.QueuePayload("{{{{ not json");
+  ASSERT_TRUE(client.Flush().ok());
+  Result<Json> reply = client.Receive();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+  // Framing was intact, so the connection survives.
+  NetRequest ping;
+  ping.op = NetOp::kPing;
+  Result<Json> pong = client.Call(ping);
+  EXPECT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(h.server->Stats().bad_requests, 1u);
+}
+
+TEST(NetProtocolSocketTest, CrcMismatchAnswersBadFrameAndCloses) {
+  NetHarness h;
+  NavClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  std::string wire = Framed("{\"op\":\"ping\"}");
+  wire[wire.size() - 2] ^= 0x01;
+  client.QueueBytes(wire);
+  ASSERT_TRUE(client.Flush().ok());
+  // The typed BAD_FRAME error arrives, then the server closes.
+  Result<Json> reply = client.Receive();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInternal);
+  Result<Json> after = client.Receive();
+  EXPECT_FALSE(after.ok());
+  EXPECT_EQ(h.server->Stats().bad_frames, 1u);
+  // The listener keeps serving fresh connections.
+  NavClient again;
+  ASSERT_TRUE(again.Connect("127.0.0.1", h.port()).ok());
+  NetRequest ping;
+  ping.op = NetOp::kPing;
+  EXPECT_TRUE(again.Call(ping).ok());
+}
+
+TEST(NetProtocolSocketTest, OversizedLengthAnswersBadFrameAndCloses) {
+  NavServerOptions server_opts;
+  server_opts.max_frame_payload = 1024;
+  NetHarness h({}, server_opts);
+  NavClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  std::string header(8, '\0');
+  header[0] = '\x00';
+  header[1] = '\x00';
+  header[2] = '\x20';  // Declared length 0x200000 = 2 MiB.
+  client.QueueBytes(header);
+  ASSERT_TRUE(client.Flush().ok());
+  Result<Json> reply = client.Receive();
+  ASSERT_FALSE(reply.ok());
+  Result<Json> after = client.Receive();
+  EXPECT_FALSE(after.ok());
+  EXPECT_EQ(h.server->Stats().bad_frames, 1u);
+}
+
+TEST(NetProtocolSocketTest, TruncatedFrameThenEofDropsCleanly) {
+  NetHarness h;
+  NavClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  std::string wire = Framed("{\"op\":\"ping\"}");
+  client.QueueBytes(std::string_view(wire).substr(0, wire.size() - 3));
+  ASSERT_TRUE(client.Flush().ok());
+  ASSERT_TRUE(client.ShutdownWrite().ok());
+  // No response is owed for a frame that never completed; the server
+  // drops the connection without desync or crash.
+  Result<Json> reply = client.Receive();
+  EXPECT_FALSE(reply.ok());
+  NavClient again;
+  ASSERT_TRUE(again.Connect("127.0.0.1", h.port()).ok());
+  NetRequest ping;
+  ping.op = NetOp::kPing;
+  EXPECT_TRUE(again.Call(ping).ok());
+}
+
+TEST(NetProtocolSocketTest, PartialWritesReassembleIntoOneRequest) {
+  NetHarness h;
+  NavClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  std::string wire = Framed("{\"op\":\"ping\"}");
+  // Dribble the frame across many flushes (worst-case partial writes).
+  for (size_t i = 0; i < wire.size(); ++i) {
+    client.QueueBytes(std::string_view(&wire[i], 1));
+    ASSERT_TRUE(client.Flush().ok());
+  }
+  Result<Json> reply = client.Receive();
+  EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+}
+
+TEST(NetProtocolSocketTest, PipelinedWalkAnswersInOrderWithCloseBarrier) {
+  NetHarness h;
+  NavClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  NetRequest open;
+  open.op = NetOp::kOpen;
+  open.attr = 0;
+  Result<Json> opened = client.Call(open);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Result<NetView> root = ViewFromReply(opened.value());
+  ASSERT_TRUE(root.ok());
+  NavSessionId sid = root.value().session;
+  ASSERT_GT(root.value().num_choices, 0u);
+
+  // One pipelined burst: peek, descend, back, peek, close, peek. The
+  // close is a barrier — the steps ahead of it must resolve first, and
+  // the peek after it must see the session gone.
+  auto step = [&](NetOp op, uint64_t rank = 0) {
+    NetRequest req;
+    req.op = op;
+    req.session = sid;
+    req.rank = rank;
+    client.Queue(req);
+  };
+  step(NetOp::kPeek);
+  step(NetOp::kDescend, 0);
+  step(NetOp::kBack);
+  step(NetOp::kPeek);
+  step(NetOp::kClose);
+  step(NetOp::kPeek);
+  ASSERT_TRUE(client.Flush().ok());
+
+  Result<NetView> v1 = client.ReceiveView();
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1.value().depth, 0u);
+  Result<NetView> v2 = client.ReceiveView();
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2.value().depth, 1u);
+  Result<NetView> v3 = client.ReceiveView();
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(v3.value().depth, 0u);
+  Result<NetView> v4 = client.ReceiveView();
+  ASSERT_TRUE(v4.ok());
+  EXPECT_EQ(v4.value().depth, 0u);
+  Result<Json> closed = client.Receive();
+  EXPECT_TRUE(closed.ok()) << closed.status().ToString();
+  Result<Json> gone = client.Receive();
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+}
+
+TEST(NetProtocolSocketTest, RankOutOfRangeIsTypedAndSurvivable) {
+  NetHarness h;
+  NavClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  NetRequest open;
+  open.op = NetOp::kOpen;
+  open.attr = 1;
+  Result<Json> opened = client.Call(open);
+  ASSERT_TRUE(opened.ok());
+  NavSessionId sid = ViewFromReply(opened.value()).value().session;
+
+  NetRequest bad;
+  bad.op = NetOp::kDescend;
+  bad.session = sid;
+  bad.rank = 999;
+  Result<Json> reply = client.Call(bad);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kOutOfRange);
+  // Typed error, connection intact.
+  NetRequest peek;
+  peek.op = NetOp::kPeek;
+  peek.session = sid;
+  EXPECT_TRUE(client.Call(peek).ok());
+}
+
+TEST(NetProtocolSocketTest, AdmissionRejectionIsRetryLaterOnTheWire) {
+  NavServiceOptions service_opts;
+  service_opts.max_sessions = 1;
+  NetHarness h(service_opts);
+  NavClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  NetRequest open;
+  open.op = NetOp::kOpen;
+  open.attr = 0;
+  ASSERT_TRUE(client.Call(open).ok());
+  Result<Json> rejected = client.Call(open);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(h.server->Stats().retry_later, 1u);
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,257 @@
+// NavServer behavior over real sockets: lifecycle, the non-session ops
+// (ping/search/stats), snapshot handoff during a publish, write-side
+// backpressure, connection limits, and graceful shutdown (ISSUE 8
+// tentpole).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net_test_util.h"
+
+namespace lakeorg {
+namespace {
+
+using testing::NetHarness;
+
+TEST(NavServerTest, StartBindsEphemeralPortAndStopIsIdempotent) {
+  NetHarness h;
+  EXPECT_TRUE(h.server->running());
+  EXPECT_GT(h.port(), 0);
+  // A second Start on a running server is refused.
+  Status again = h.server->Start();
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+  h.server->Stop();
+  EXPECT_FALSE(h.server->running());
+  h.server->Stop();  // Idempotent.
+  EXPECT_FALSE(h.server->running());
+}
+
+TEST(NavServerTest, PingRoundTrips) {
+  NetHarness h;
+  NavClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  NetRequest ping;
+  ping.op = NetOp::kPing;
+  Result<Json> pong = client.Call(ping);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  NavServerStats stats = h.server->Stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.responses, 1u);
+}
+
+TEST(NavServerTest, SearchOpServesTheCurrentSnapshot) {
+  NetHarness h;
+  NavClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  NetRequest search;
+  search.op = NetOp::kSearch;
+  search.query = "x alpha";
+  search.k = 4;
+  Result<Json> reply = client.Call(search);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  const Json* hits = reply.value().Find("hits");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_TRUE(hits->is_array());
+  EXPECT_FALSE(hits->array().empty());
+  for (const Json& hit : hits->array()) {
+    ASSERT_TRUE(hit.is_object());
+    EXPECT_NE(hit.Find("table"), nullptr);
+    EXPECT_NE(hit.Find("score"), nullptr);
+  }
+  const Json* ver = reply.value().Find("ver");
+  ASSERT_NE(ver, nullptr);
+  EXPECT_EQ(static_cast<uint64_t>(ver->number()), h.store.version());
+}
+
+TEST(NavServerTest, SearchRespectsTheResultCap) {
+  NavServerOptions server_opts;
+  server_opts.max_search_results = 1;
+  NetHarness h({}, server_opts);
+  NavClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  NetRequest search;
+  search.op = NetOp::kSearch;
+  search.query = "x y z";
+  search.k = 50;
+  Result<Json> reply = client.Call(search);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  const Json* hits = reply.value().Find("hits");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_LE(hits->array().size(), 1u);
+}
+
+TEST(NavServerTest, PublishMarksSessionsStaleAndRefreshRebinds) {
+  NetHarness h;
+  NavClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  NetRequest open;
+  open.op = NetOp::kOpen;
+  open.attr = 0;
+  Result<NetView> root = [&] {
+    Result<Json> r = client.Call(open);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return ViewFromReply(r.value());
+  }();
+  ASSERT_TRUE(root.ok());
+  EXPECT_FALSE(root.value().stale);
+  uint64_t old_version = root.value().version;
+
+  // Publish a new snapshot mid-session, the LiveLakeService::Apply path.
+  uint64_t new_version = h.Republish();
+  ASSERT_GT(new_version, old_version);
+
+  // The session keeps serving from its pinned snapshot, flagged stale.
+  NetRequest peek;
+  peek.op = NetOp::kPeek;
+  peek.session = root.value().session;
+  Result<NetView> pinned = [&] {
+    Result<Json> r = client.Call(peek);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return ViewFromReply(r.value());
+  }();
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_TRUE(pinned.value().stale);
+  EXPECT_EQ(pinned.value().version, old_version);
+
+  // Refresh rebinds to the published snapshot and clears the flag.
+  NetRequest refresh;
+  refresh.op = NetOp::kRefresh;
+  refresh.session = root.value().session;
+  Result<NetView> rebound = [&] {
+    Result<Json> r = client.Call(refresh);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return ViewFromReply(r.value());
+  }();
+  ASSERT_TRUE(rebound.ok());
+  EXPECT_FALSE(rebound.value().stale);
+  EXPECT_EQ(rebound.value().version, new_version);
+  EXPECT_EQ(rebound.value().depth, 0u);
+}
+
+TEST(NavServerTest, StatsOpReconcilesWithServerCounters) {
+  NetHarness h;
+  NavClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  NetRequest ping;
+  ping.op = NetOp::kPing;
+  ASSERT_TRUE(client.Call(ping).ok());
+  ASSERT_TRUE(client.Call(ping).ok());
+  NetRequest stats_req;
+  stats_req.op = NetOp::kStats;
+  Result<Json> reply = client.Call(stats_req);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  const Json& doc = reply.value();
+  auto field = [&](const char* key) {
+    const Json* f = doc.Find(key);
+    EXPECT_NE(f, nullptr) << key;
+    return f != nullptr && f->is_number() ? static_cast<uint64_t>(f->number())
+                                          : ~0ull;
+  };
+  // The stats request itself is the third request; its own response is
+  // counted optimistically so a client sees requests == responses.
+  EXPECT_EQ(field("srv_requests"), 3u);
+  EXPECT_EQ(field("srv_responses"), 3u);
+  EXPECT_EQ(field("srv_connections"), 1u);
+  EXPECT_EQ(field("live"), 0u);
+}
+
+TEST(NavServerTest, BackpressurePausesReadsUntilThePeerDrains) {
+  NavServerOptions server_opts;
+  // A tiny outbuf ceiling so a pipelined burst of unread replies trips
+  // the read pause almost immediately.
+  server_opts.max_outbuf_bytes = 2048;
+  NetHarness h({}, server_opts);
+  NavClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port(), /*timeout_seconds=*/30)
+                  .ok());
+  // Queue far more pings than the outbuf ceiling can hold replies for,
+  // flush them all, and only then start reading.
+  constexpr int kPings = 4000;
+  NetRequest ping;
+  ping.op = NetOp::kPing;
+  for (int i = 0; i < kPings; ++i) client.Queue(ping);
+  ASSERT_TRUE(client.Flush().ok());
+  int received = 0;
+  for (int i = 0; i < kPings; ++i) {
+    Result<Json> pong = client.Receive();
+    ASSERT_TRUE(pong.ok()) << "reply " << i << ": "
+                           << pong.status().ToString();
+    ++received;
+  }
+  EXPECT_EQ(received, kPings);
+  NavServerStats stats = h.server->Stats();
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(kPings));
+  EXPECT_EQ(stats.responses, static_cast<uint64_t>(kPings));
+}
+
+TEST(NavServerTest, ConnectionsBeyondTheCapAreRejected) {
+  NavServerOptions server_opts;
+  server_opts.max_connections = 1;
+  NetHarness h({}, server_opts);
+  NavClient first;
+  ASSERT_TRUE(first.Connect("127.0.0.1", h.port()).ok());
+  NetRequest ping;
+  ping.op = NetOp::kPing;
+  ASSERT_TRUE(first.Call(ping).ok());  // First connection is live.
+
+  NavClient second;
+  ASSERT_TRUE(second.Connect("127.0.0.1", h.port()).ok());
+  // The server accepts then immediately closes; the first receive on
+  // this connection observes EOF.
+  Result<Json> reply = second.Call(ping);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_GE(h.server->Stats().rejected_connections, 1u);
+  // The first connection is unaffected.
+  EXPECT_TRUE(first.Call(ping).ok());
+}
+
+TEST(NavServerTest, GracefulStopAnswersDecodedRequestsInFlight) {
+  NetHarness h;
+  NavClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", h.port()).ok());
+  // Make sure the connection is established server-side before Stop.
+  NetRequest ping;
+  ping.op = NetOp::kPing;
+  ASSERT_TRUE(client.Call(ping).ok());
+  // Queue a final burst, then stop the server while it is in flight.
+  for (int i = 0; i < 50; ++i) client.Queue(ping);
+  ASSERT_TRUE(client.Flush().ok());
+  h.server->Stop();
+  EXPECT_FALSE(h.server->running());
+  // Whatever the loop decoded before shutdown was answered in order;
+  // the stream then ends cleanly rather than desyncing.
+  int answered = 0;
+  while (true) {
+    Result<Json> r = client.Receive();
+    if (!r.ok()) break;
+    ++answered;
+  }
+  EXPECT_LE(answered, 50);
+  NavServerStats stats = h.server->Stats();
+  EXPECT_EQ(stats.connections_live, 0u);
+  EXPECT_EQ(stats.requests, stats.responses);
+}
+
+TEST(NavServerTest, StopWhileIdleConnectionsAreOpen) {
+  NetHarness h;
+  NavClient a;
+  NavClient b;
+  ASSERT_TRUE(a.Connect("127.0.0.1", h.port()).ok());
+  ASSERT_TRUE(b.Connect("127.0.0.1", h.port()).ok());
+  NetRequest ping;
+  ping.op = NetOp::kPing;
+  ASSERT_TRUE(a.Call(ping).ok());
+  ASSERT_TRUE(b.Call(ping).ok());
+  h.server->Stop();
+  EXPECT_EQ(h.server->Stats().connections_live, 0u);
+  // Both clients observe a clean close.
+  EXPECT_FALSE(a.Receive().ok());
+  EXPECT_FALSE(b.Receive().ok());
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,155 @@
+// Million-session soak (ISSUE 8 satellite 2, ctest label: slow). Wave
+// after wave of Zipf users opens, steps, and (mostly) closes sessions
+// over real sockets; each wave leaves 25% of its sessions open for the
+// fake-clock TTL sweep to expire. The test holds three invariants over
+// ~1M sessions:
+//
+//  1. zero session leaks — the service counters reconcile exactly:
+//     opened == closed + expired and live == 0 after the final sweep;
+//  2. bounded memory — peak RSS stays within a fixed budget of the
+//     pre-soak baseline (a leaked session struct per user would blow
+//     through it by an order of magnitude);
+//  3. clean shutdown — Stop() with a connection mid-burst neither
+//     crashes nor desyncs.
+//
+// LAKEORG_SOAK_SESSIONS overrides the session count (default 1000000);
+// CI's slow tier runs it in full, locally e.g.
+//   LAKEORG_SOAK_SESSIONS=50000 ./net_soak_test
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "net/client.h"
+#include "net/loadgen.h"
+#include "net/protocol.h"
+#include "net_test_util.h"
+
+namespace lakeorg {
+namespace {
+
+using testing::NetHarness;
+
+/// Reads a kB-valued field ("VmRSS", "VmHWM") from /proc/self/status;
+/// 0 when unavailable (non-Linux), which disables the RSS assertion.
+size_t ProcStatusKb(const std::string& key) {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(key + ":", 0) == 0) {
+      std::istringstream fields(line.substr(key.size() + 1));
+      size_t kb = 0;
+      fields >> kb;
+      return kb;
+    }
+  }
+  return 0;
+}
+
+size_t SoakSessions() {
+  const char* env = std::getenv("LAKEORG_SOAK_SESSIONS");
+  if (env != nullptr) {
+    long long v = std::atoll(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 1000000;
+}
+
+TEST(NetSoakTest, MillionSessionsWithTtlSweepsStayLeakFreeAndBounded) {
+  const size_t total_sessions = SoakSessions();
+  const size_t users_per_wave = std::min<size_t>(20000, total_sessions);
+  const size_t waves = (total_sessions + users_per_wave - 1) / users_per_wave;
+
+  // Fake clock: the test is the only writer; the service reads it from
+  // Open/ApplyLocked/SweepExpired. TTL of 60 fake-seconds, advanced
+  // well past that between waves.
+  std::atomic<double> clock{0.0};
+  NavServiceOptions service_opts;
+  service_opts.max_sessions = users_per_wave + users_per_wave / 2;
+  service_opts.idle_ttl_seconds = 60.0;
+  service_opts.batch_threads = 2;
+  service_opts.clock = [&clock] { return clock.load(std::memory_order_acquire); };
+  NavServerOptions server_opts;
+  server_opts.max_connections = 64;
+  NetHarness h(service_opts, server_opts);
+
+  FleetOptions fleet;
+  fleet.users = users_per_wave;
+  fleet.steps_per_user = 1;
+  fleet.connections = 4;
+  fleet.num_attrs = 4;
+  fleet.leave_open_modulo = 4;  // 25% of each wave feeds the sweeper.
+  fleet.open_retry_limit = 3;
+  fleet.receive_timeout_seconds = 120.0;
+
+  const size_t baseline_rss_kb = ProcStatusKb("VmRSS");
+  uint64_t fleet_errors = 0;
+  uint64_t swept_total = 0;
+  for (size_t wave = 0; wave < waves; ++wave) {
+    fleet.seed = 42 + wave;  // Distinct Zipf draws per wave.
+    Result<FleetReport> report =
+        RunFleetOverSocket("127.0.0.1", h.port(), fleet);
+    ASSERT_TRUE(report.ok()) << "wave " << wave << ": "
+                             << report.status().ToString();
+    fleet_errors += report.value().errors;
+    ASSERT_EQ(report.value().opens, users_per_wave) << "wave " << wave;
+
+    // Advance fake time past the TTL and sweep the leftovers.
+    clock.store(clock.load(std::memory_order_acquire) + 120.0,
+                std::memory_order_release);
+    swept_total += h.service->SweepExpired();
+    if ((wave + 1) % 10 == 0 || wave + 1 == waves) {
+      std::printf("  soak: wave %zu/%zu  sessions=%zu  swept=%llu  rss=%zuMB\n",
+                  wave + 1, waves, (wave + 1) * users_per_wave,
+                  static_cast<unsigned long long>(swept_total),
+                  ProcStatusKb("VmRSS") / 1024);
+      std::fflush(stdout);
+    }
+  }
+  EXPECT_EQ(fleet_errors, 0u);
+
+  // Zero leaks: every session opened was either closed by its user or
+  // expired by a sweep, and nothing is left live.
+  NavServiceStats stats = h.service->Stats();
+  EXPECT_EQ(stats.sessions_opened, waves * users_per_wave);
+  EXPECT_EQ(stats.sessions_live, 0u);
+  EXPECT_EQ(stats.sessions_opened, stats.sessions_closed + stats.sessions_expired);
+  // The sweeper (not user closes) reaped exactly the left-open quarter.
+  EXPECT_EQ(stats.sessions_expired, swept_total);
+  EXPECT_EQ(swept_total, waves * ((users_per_wave + 3) / 4));
+
+  // Bounded memory: peak RSS within a fixed budget of the baseline. A
+  // leak of one session struct per opened session would exceed this by
+  // an order of magnitude at the default session count.
+  const size_t peak_rss_kb = ProcStatusKb("VmHWM");
+  if (baseline_rss_kb > 0 && peak_rss_kb > 0) {
+    const size_t budget_kb = 512u * 1024;  // 512 MB over baseline.
+    EXPECT_LT(peak_rss_kb, baseline_rss_kb + budget_kb)
+        << "peak RSS " << peak_rss_kb / 1024 << " MB vs baseline "
+        << baseline_rss_kb / 1024 << " MB";
+  }
+
+  // Clean shutdown with a connection mid-burst: queue pings, flush,
+  // and stop without ever reading them.
+  NavClient straggler;
+  ASSERT_TRUE(straggler.Connect("127.0.0.1", h.port()).ok());
+  NetRequest ping;
+  ping.op = NetOp::kPing;
+  ASSERT_TRUE(straggler.Call(ping).ok());  // Established server-side.
+  for (int i = 0; i < 100; ++i) straggler.Queue(ping);
+  ASSERT_TRUE(straggler.Flush().ok());
+  h.server->Stop();
+  EXPECT_FALSE(h.server->running());
+  NavServerStats srv = h.server->Stats();
+  EXPECT_EQ(srv.connections_live, 0u);
+  EXPECT_EQ(srv.requests, srv.responses);
+  EXPECT_EQ(srv.bad_frames, 0u);
+  EXPECT_EQ(srv.bad_requests, 0u);
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -1,0 +1,74 @@
+// Shared fixture for the net tests: a NavServer over the tiny lake of
+// test_util.h, listening on an ephemeral loopback port.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "core/org_builders.h"
+#include "core/org_snapshot.h"
+#include "discovery/nav_service.h"
+#include "net/server.h"
+#include "search/engine.h"
+#include "test_util.h"
+
+namespace lakeorg::testing {
+
+/// A started NavServer + NavService over the tiny lake (4 attributes
+/// x/y/z/w), with a keyword-search engine in the published snapshot.
+struct NetHarness {
+  std::shared_ptr<const DataLake> lake;
+  std::shared_ptr<const OrgContext> ctx;
+  std::shared_ptr<const TableSearchEngine> engine;
+  OrgSnapshotStore store;
+  std::unique_ptr<NavService> service;
+  std::unique_ptr<NavServer> server;
+
+  explicit NetHarness(NavServiceOptions service_opts = {},
+                      NavServerOptions server_opts = {}) {
+    TinyLake tiny = MakeTinyLake();
+    lake = std::make_shared<const DataLake>(std::move(tiny.lake));
+    TagIndex index = TagIndex::Build(*lake);
+    ctx = OrgContext::BuildFull(*lake, index);
+    Organization org = BuildClusteringOrganization(ctx);
+    org.RecomputeLevels();
+    OrgSnapshot snap;
+    snap.lake = lake;
+    snap.ctx = ctx;
+    snap.index = std::make_shared<const TagIndex>(std::move(index));
+    snap.org = std::make_shared<const Organization>(std::move(org));
+    engine = std::make_shared<const TableSearchEngine>(lake.get(), tiny.store);
+    snap.engine = engine;
+    store.Publish(std::move(snap));
+    service = std::make_unique<NavService>(Source(), service_opts);
+    server = std::make_unique<NavServer>(service.get(), Source(),
+                                         std::move(server_opts));
+    Status st = server->Start();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+
+  NavService::SnapshotSource Source() {
+    return [this] { return store.Current(); };
+  }
+
+  uint16_t port() const { return server->port(); }
+
+  /// Publishes another snapshot version over the same lake and notifies
+  /// the service (what LiveLakeService::Apply would do).
+  uint64_t Republish() {
+    Organization org = BuildClusteringOrganization(ctx);
+    org.RecomputeLevels();
+    OrgSnapshot snap;
+    snap.lake = lake;
+    snap.ctx = ctx;
+    snap.org = std::make_shared<const Organization>(std::move(org));
+    snap.engine = engine;
+    uint64_t version = store.Publish(std::move(snap));
+    service->OnPublish(version);
+    return version;
+  }
+};
+
+}  // namespace lakeorg::testing

@@ -43,7 +43,7 @@ run_sanitizer_tier() {
   cmake -B "$tree" -S . -DLAKEORG_SANITIZE="$san" >/dev/null
   cmake --build "$tree" -j "$jobs" \
     --target difftest crashtest difftest_property_test common_test \
-             core_test obs_test lake_test discovery_test
+             core_test obs_test lake_test discovery_test net_test
   # Fixed-seed differential fuzz corpus (includes the repair-delta,
   # serving, state-recycling, and crash-recovery durability corpora:
   # difftest --repair / --serving / --recycle / --durability plus the
@@ -54,11 +54,14 @@ run_sanitizer_tier() {
   # live-evolution surface: snapshot publish/pin (the RCU concurrency
   # test is the TSan target), repair splicing, delta recording, the live
   # lake service — the serving layer: NavService session lifecycle with
-  # concurrent walks + publishes, and the sharded LRU row cache — and
-  # the durability layer: WAL framing/corruption matrix, mutation
-  # replay, and crash recovery of the live service.
+  # concurrent walks + publishes, and the sharded LRU row cache — the
+  # durability layer: WAL framing/corruption matrix, mutation replay,
+  # and crash recovery of the live service — and the network front end:
+  # wire framing/codec, the socket corruption matrix, NavServer
+  # lifecycle + backpressure (the TSan leg races the loop thread against
+  # Stop and the counter reads), and loadgen-vs-oracle equivalence.
   (cd "$tree" && ctest --output-on-failure -j "$jobs" \
-    -R '^(GoldenTrace|MetricsTest|BenchReport|Json|OrgSnapshot|Repair|LakeDelta|LiveLake|NavService|LruCache|WalFormat|DurableLog|LakeMutation|WalRecord|Durability)')
+    -R '^(GoldenTrace|MetricsTest|BenchReport|Json|OrgSnapshot|Repair|LakeDelta|LiveLake|NavService|LruCache|WalFormat|DurableLog|LakeMutation|WalRecord|Durability|NetFrame|NetProtocol|NavServer|NetLoadgen)')
   # 60 seconds of fixed-seed fuzz: the difftest driver stops at the time
   # budget, so the seed range it covers grows with machine speed but
   # every run starts from the same seeds.

@@ -1,0 +1,152 @@
+// lakeorg_serverd: stand-alone NavService TCP server over a generated
+// TagCloud fixture (docs/SERVING.md). Intended for manual poking, the
+// loadgen, and demos; tests and the bench embed NavServer directly.
+//
+//   lakeorg_serverd [--port N] [--host A] [--tags N] [--attrs N]
+//                   [--seed N] [--max-sessions N] [--batch-threads N]
+//                   [--ttl SECONDS] [--sweep SECONDS] [--metrics]
+//
+// Prints "listening on HOST:PORT" once serving; SIGINT/SIGTERM stops
+// gracefully.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "benchgen/tagcloud.h"
+#include "core/org_builders.h"
+#include "core/org_snapshot.h"
+#include "discovery/nav_service.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "search/engine.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+uint64_t ParseNum(const char* flag, const char* value) {
+  char* end = nullptr;
+  uint64_t v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "bad value for %s: '%s'\n", flag, value);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lakeorg;
+
+  NavServerOptions server_opts;
+  NavServiceOptions service_opts;
+  TagCloudOptions fixture_opts;
+  fixture_opts.num_tags = 60;
+  fixture_opts.target_attributes = 400;
+  fixture_opts.min_values = 10;
+  fixture_opts.max_values = 60;
+  fixture_opts.seed = 9;
+  service_opts.batch_threads = 2;
+  server_opts.sweep_interval_seconds = 5.0;
+  bool dump_metrics = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--port") == 0) {
+      server_opts.port = static_cast<uint16_t>(ParseNum(arg, next()));
+    } else if (std::strcmp(arg, "--host") == 0) {
+      server_opts.host = next();
+    } else if (std::strcmp(arg, "--tags") == 0) {
+      fixture_opts.num_tags = static_cast<size_t>(ParseNum(arg, next()));
+    } else if (std::strcmp(arg, "--attrs") == 0) {
+      fixture_opts.target_attributes =
+          static_cast<size_t>(ParseNum(arg, next()));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      fixture_opts.seed = ParseNum(arg, next());
+    } else if (std::strcmp(arg, "--max-sessions") == 0) {
+      service_opts.max_sessions = static_cast<size_t>(ParseNum(arg, next()));
+    } else if (std::strcmp(arg, "--batch-threads") == 0) {
+      service_opts.batch_threads = static_cast<size_t>(ParseNum(arg, next()));
+    } else if (std::strcmp(arg, "--ttl") == 0) {
+      service_opts.idle_ttl_seconds = std::atof(next());
+    } else if (std::strcmp(arg, "--sweep") == 0) {
+      server_opts.sweep_interval_seconds = std::atof(next());
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      dump_metrics = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      return 2;
+    }
+  }
+
+  if (dump_metrics) obs::SetMetricsEnabled(true);
+
+  std::fprintf(stderr, "building TagCloud fixture (%zu tags, %zu attrs)...\n",
+               fixture_opts.num_tags, fixture_opts.target_attributes);
+  TagCloudBenchmark bench = GenerateTagCloud(fixture_opts);
+  auto lake = std::make_shared<const DataLake>(std::move(bench.lake));
+  TagIndex index = TagIndex::Build(*lake);
+  auto ctx = OrgContext::BuildFull(*lake, index);
+  Organization clustering = BuildClusteringOrganization(ctx);
+  clustering.RecomputeLevels();
+
+  OrgSnapshotStore store;
+  {
+    OrgSnapshot snap;
+    snap.lake = lake;
+    snap.ctx = ctx;
+    snap.index = std::make_shared<const TagIndex>(std::move(index));
+    snap.org = std::make_shared<const Organization>(std::move(clustering));
+    snap.engine =
+        std::make_shared<const TableSearchEngine>(lake.get(), bench.store);
+    store.Publish(std::move(snap));
+  }
+  NavService::SnapshotSource source = [&store] { return store.Current(); };
+
+  NavService service(source, service_opts);
+  NavServer server(&service, source, server_opts);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "listening on %s:%u (%zu attrs, max %zu sessions)\n",
+               server_opts.host.c_str(), server.port(), ctx->num_attrs(),
+               service_opts.max_sessions);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  sigset_t empty;
+  sigemptyset(&empty);
+  while (g_stop == 0) {
+    // Sleep until a signal; the server runs on its own thread.
+    sigsuspend(&empty);
+  }
+  std::fprintf(stderr, "shutting down...\n");
+  server.Stop();
+
+  NavServerStats stats = server.Stats();
+  std::fprintf(stderr,
+               "served %llu requests on %llu connections "
+               "(%llu bad frames, %llu bad requests)\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.bad_frames),
+               static_cast<unsigned long long>(stats.bad_requests));
+  if (dump_metrics) {
+    std::printf("%s\n", obs::SnapshotMetrics().ToJson().Dump(2).c_str());
+  }
+  return 0;
+}
