@@ -53,8 +53,9 @@ int Main(const bench::BenchOptions& bopts) {
       search.max_proposals = bopts.smoke ? 25 : 150;
       search.seed = 71;
       search.record_history = false;
-      LocalSearchResult optimized = OptimizeOrganization(
-          BuildClusteringOrganization(ctx), search).value();
+      LocalSearchResult optimized = bench::CheckedValue(
+          OptimizeOrganization(BuildClusteringOrganization(ctx), search),
+          "optimize");
       std::printf("%8.1f %10s | %12.4f %12.4f %12.4f\n", gamma,
                   penalty ? "on" : "off", flat_eff, cluster_eff,
                   optimized.effectiveness);

@@ -55,8 +55,8 @@ int Main(const bench::BenchOptions& bopts) {
       {"agglomerative", BuildClusteringOrganization(ctx)},
   };
   for (Variant& variant : variants) {
-    LocalSearchResult result =
-        OptimizeOrganization(std::move(variant.org), search).value();
+    LocalSearchResult result = bench::CheckedValue(
+        OptimizeOrganization(std::move(variant.org), search), "optimize");
     result.org.RecomputeLevels();
     std::printf("%-22s %10.4f %10.4f %8zu | %s\n", variant.name,
                 result.initial_effectiveness, result.effectiveness,

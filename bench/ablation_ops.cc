@@ -56,8 +56,9 @@ int Main(const bench::BenchOptions& bopts) {
     search.enable_add_parent = variant.add;
     search.enable_delete_parent = variant.del;
     search.record_history = false;
-    LocalSearchResult result =
-        OptimizeOrganization(BuildClusteringOrganization(ctx), search).value();
+    LocalSearchResult result = bench::CheckedValue(
+        OptimizeOrganization(BuildClusteringOrganization(ctx), search),
+        "optimize");
     std::printf("%-14s %10.4f %10.4f %9zu %9zu %9zu %9d\n", variant.name,
                 result.initial_effectiveness, result.effectiveness,
                 result.proposals, result.accepted,

@@ -7,12 +7,63 @@
 // LAKEORG_SCALE=1 or higher.
 #pragma once
 
+#include <sys/resource.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
+
 namespace lakeorg::bench {
+
+/// Unwraps a Result in a bench binary, or prints the Status on stderr and
+/// exits nonzero. Bench code must never call .value() directly — a failed
+/// build/optimize would abort with no diagnostic at all.
+template <typename T>
+T CheckedValue(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+/// Same for a bare Status (setup steps with no value).
+inline void CheckedOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Process-lifetime peak RSS in bytes (ru_maxrss is KiB on Linux). A
+/// high-water mark: it only ever grows, so per-step memory must be
+/// reported as deltas of CurrentRssBytes(), not of this.
+inline double PeakRssBytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) * 1024.0;
+}
+
+/// Current resident set size in bytes, from /proc/self/statm (second
+/// field, in pages). Returns 0 where procfs is unavailable.
+inline double CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  long total = 0;
+  long resident = 0;
+  int n = std::fscanf(f, "%ld %ld", &total, &resident);
+  std::fclose(f);
+  if (n != 2) return 0.0;
+  return static_cast<double>(resident) *
+         static_cast<double>(sysconf(_SC_PAGESIZE));
+}
 
 /// Reads a positive double from the environment, with a default.
 inline double EnvScale(const char* name, double fallback) {

@@ -63,8 +63,9 @@ int Main(const bench::BenchOptions& bopts) {
     MultiDimOptions mopts;
     mopts.dimensions = dims;
     mopts.search = search;
-    MultiDimOrganization org =
-        BuildMultiDimOrganization(bench.lake, index, mopts).value();
+    MultiDimOrganization org = bench::CheckedValue(
+        BuildMultiDimOrganization(bench.lake, index, mopts),
+        "multidim build");
     double paper[] = {231.3, 148.9, 113.5, 112.7};
     rows.push_back({std::to_string(dims) + "-dim",
                     org.MaxDimensionSeconds(), paper[dims - 1]});
@@ -76,8 +77,9 @@ int Main(const bench::BenchOptions& bopts) {
     MultiDimOptions mopts;
     mopts.dimensions = 2;
     mopts.search = search;
-    MultiDimOrganization org =
-        BuildMultiDimOrganization(enriched.lake, enriched_index, mopts).value();
+    MultiDimOrganization org = bench::CheckedValue(
+        BuildMultiDimOrganization(enriched.lake, enriched_index, mopts),
+        "enriched multidim build");
     rows.push_back({"enriched 2-dim", org.MaxDimensionSeconds(), 217.0});
   }
   {
@@ -86,8 +88,9 @@ int Main(const bench::BenchOptions& bopts) {
     mopts.search = search;
     mopts.search.use_representatives = true;
     mopts.search.representatives.fraction = 0.1;
-    MultiDimOrganization org =
-        BuildMultiDimOrganization(bench.lake, index, mopts).value();
+    MultiDimOrganization org = bench::CheckedValue(
+        BuildMultiDimOrganization(bench.lake, index, mopts),
+        "multidim build");
     rows.push_back({"2-dim approx", org.MaxDimensionSeconds(), 30.3});
   }
 

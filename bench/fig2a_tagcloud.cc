@@ -122,8 +122,9 @@ int Main(const bench::BenchOptions& bopts) {
     mopts.search = SearchOptions(bopts);
     mopts.num_threads = 0;
     WallTimer t;
-    MultiDimOrganization org =
-        BuildMultiDimOrganization(bench.lake, index, mopts).value();
+    MultiDimOrganization org = bench::CheckedValue(
+        BuildMultiDimOrganization(bench.lake, index, mopts),
+        "multidim build");
     Row row = EvaluateMulti(std::to_string(dims) + "-dim", org, config,
                             total_tables);
     row.seconds = org.MaxDimensionSeconds();
@@ -138,8 +139,9 @@ int Main(const bench::BenchOptions& bopts) {
     MultiDimOptions mopts;
     mopts.dimensions = 2;
     mopts.search = SearchOptions(bopts);
-    MultiDimOrganization org =
-        BuildMultiDimOrganization(enriched.lake, enriched_index, mopts).value();
+    MultiDimOrganization org = bench::CheckedValue(
+        BuildMultiDimOrganization(enriched.lake, enriched_index, mopts),
+        "enriched multidim build");
     rows.push_back(
         EvaluateMulti("enriched 2-dim", org, config, total_tables));
   }
@@ -150,8 +152,9 @@ int Main(const bench::BenchOptions& bopts) {
     mopts.search = SearchOptions(bopts);
     mopts.search.use_representatives = true;
     mopts.search.representatives.fraction = 0.1;
-    MultiDimOrganization org =
-        BuildMultiDimOrganization(bench.lake, index, mopts).value();
+    MultiDimOrganization org = bench::CheckedValue(
+        BuildMultiDimOrganization(bench.lake, index, mopts),
+        "multidim build");
     rows.push_back(
         EvaluateMulti("2-dim approx", org, config, total_tables));
   }

@@ -68,8 +68,9 @@ int Main(const bench::BenchOptions& bopts) {
   mopts.search.representatives.fraction = 0.1;
   mopts.partition_seed = 99;
   WallTimer multi_timer;
-  MultiDimOrganization multi =
-      BuildMultiDimOrganization(soc.lake, index, mopts).value();
+  MultiDimOrganization multi = bench::CheckedValue(
+      BuildMultiDimOrganization(soc.lake, index, mopts),
+      "multidim build");
   double multi_build = multi_timer.ElapsedSeconds();
   MultiDimSuccess multi_success = EvaluateMultiDimSuccess(multi, 0.9,
                                                           config);

@@ -89,16 +89,18 @@ int Main(const bench::BenchOptions& bopts) {
   base.record_history = true;
 
   // Exact evaluation with affected-subgraph pruning.
-  LocalSearchResult exact =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), base).value();
+  LocalSearchResult exact = bench::CheckedValue(
+      OptimizeOrganization(BuildClusteringOrganization(ctx), base),
+      "exact optimize");
   PruningStats exact_stats = Collect(exact);
 
   // Representative approximation (10%), same pruning.
   LocalSearchOptions approx = base;
   approx.use_representatives = true;
   approx.representatives.fraction = 0.1;
-  LocalSearchResult approx_run =
-      OptimizeOrganization(BuildClusteringOrganization(ctx), approx).value();
+  LocalSearchResult approx_run = bench::CheckedValue(
+      OptimizeOrganization(BuildClusteringOrganization(ctx), approx),
+      "approx optimize");
   PruningStats approx_stats = Collect(approx_run);
   // Attribute evaluations under approximation = affected queries x
   // (1 query per representative); relative to ALL attributes that is

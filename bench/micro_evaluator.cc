@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/bench_util.h"
 #include "benchgen/tagcloud.h"
 #include "core/evaluator.h"
 #include "core/local_search.h"
@@ -148,8 +149,9 @@ void BM_LocalSearch(benchmark::State& state) {
     opts.patience = 200;
     opts.record_history = false;
     opts.num_threads = threads;
-    LocalSearchResult result =
-        OptimizeOrganization(shared.clustering.Clone(), opts).value();
+    LocalSearchResult result = bench::CheckedValue(
+        OptimizeOrganization(shared.clustering.Clone(), opts),
+        "optimize");
     benchmark::DoNotOptimize(result.effectiveness);
   }
   state.SetLabel(std::to_string(threads) + " threads");

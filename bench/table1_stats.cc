@@ -40,8 +40,9 @@ int Main(const bench::BenchOptions& bopts) {
   mopts.search.use_representatives = true;
   mopts.search.representatives.fraction = 0.1;
   mopts.partition_seed = 99;
-  MultiDimOrganization multi =
-      BuildMultiDimOrganization(soc.lake, index, mopts).value();
+  MultiDimOrganization multi = bench::CheckedValue(
+      BuildMultiDimOrganization(soc.lake, index, mopts),
+      "multidim build");
 
   // Rows sorted by #Tags descending, as in the paper.
   std::vector<size_t> order(multi.num_dimensions());

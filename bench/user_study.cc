@@ -73,10 +73,12 @@ int Main(const bench::BenchOptions& bopts) {
   mopts.search.max_proposals = bopts.MaxProposals(250);
   mopts.search.use_representatives = true;
   mopts.search.representatives.fraction = 0.1;
-  MultiDimOrganization org_a =
-      BuildMultiDimOrganization(lake_a.lake, index_a, mopts).value();
-  MultiDimOrganization org_b =
-      BuildMultiDimOrganization(lake_b.lake, index_b, mopts).value();
+  MultiDimOrganization org_a = bench::CheckedValue(
+      BuildMultiDimOrganization(lake_a.lake, index_a, mopts),
+      "multidim build A");
+  MultiDimOrganization org_b = bench::CheckedValue(
+      BuildMultiDimOrganization(lake_b.lake, index_b, mopts),
+      "multidim build B");
   TableSearchEngine engine_a(&lake_a.lake, lake_a.store);
   TableSearchEngine engine_b(&lake_b.lake, lake_b.store);
 

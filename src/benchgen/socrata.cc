@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "common/string_util.h"
 #include "common/zipf.h"
@@ -55,6 +56,10 @@ SocrataLake GenerateSocrataLake(
                                   options.tags_zipf_exponent);
   ZipfDistribution attrs_per_table(options.max_attrs_per_table,
                                    options.attrs_zipf_exponent);
+
+  // Per-tag text-value pools, filled lazily when nearest_pool_size > 0.
+  std::vector<std::vector<size_t>> pool_cache(
+      options.nearest_pool_size > 0 ? options.num_tags : 0);
 
   for (size_t tb = 0; tb < options.num_tables; ++tb) {
     // Pick this table's tags: a Zipf-popular primary tag plus tags close
@@ -119,9 +124,23 @@ SocrataLake GenerateSocrataLake(
         size_t topic_tag =
             table_tags[static_cast<size_t>(rng.UniformInt(
                 0, static_cast<int64_t>(table_tags.size() - 1)))];
-        std::vector<size_t> pool = vocabulary->NearestWords(
-            vocabulary->vector(tag_anchor[topic_tag]),
-            std::max<size_t>(n_values, 20));
+        std::vector<size_t> local_pool;
+        const std::vector<size_t>* pool_ptr;
+        if (options.nearest_pool_size > 0) {
+          std::vector<size_t>& cached = pool_cache[topic_tag];
+          if (cached.empty()) {
+            cached = vocabulary->NearestWords(
+                vocabulary->vector(tag_anchor[topic_tag]),
+                options.nearest_pool_size);
+          }
+          pool_ptr = &cached;
+        } else {
+          local_pool = vocabulary->NearestWords(
+              vocabulary->vector(tag_anchor[topic_tag]),
+              std::max<size_t>(n_values, 20));
+          pool_ptr = &local_pool;
+        }
+        const std::vector<size_t>& pool = *pool_ptr;
         for (size_t v = 0; v < n_values; ++v) {
           if (rng.Bernoulli(options.oov_value_fraction)) {
             values.push_back(OovValue(&rng));
@@ -147,6 +166,19 @@ SocrataLake GenerateSocrataLake(
   assert(st.ok());
   (void)st;
   return out;
+}
+
+SocrataOptions ScalabilitySocrataOptions(double multiplier, uint64_t seed) {
+  SocrataOptions opts;
+  opts.num_tables = static_cast<size_t>(1000.0 * multiplier + 0.5);
+  opts.num_tags =
+      static_cast<size_t>(1500.0 * std::sqrt(multiplier) + 0.5);
+  opts.min_values = 3;
+  opts.max_values = 8;
+  opts.nearest_pool_size = 64;
+  opts.name_prefix = "scale";
+  opts.seed = seed;
+  return opts;
 }
 
 }  // namespace lakeorg

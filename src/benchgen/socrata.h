@@ -42,6 +42,13 @@ struct SocrataOptions {
   /// the user study).
   std::string name_prefix = "soc";
   uint64_t seed = 777;
+  /// When > 0, the text-value pool (NearestWords around a tag anchor) is
+  /// computed once per tag at this fixed size and cached, instead of a
+  /// fresh full-vocabulary scan per text attribute — the generator's hot
+  /// spot at 100k tables. 0 keeps the legacy per-attribute pools and
+  /// byte-identical lakes; a fixed pool size changes which values are
+  /// drawn, so flipping this is a generator change, not a pure speedup.
+  size_t nearest_pool_size = 0;
 };
 
 /// A generated Socrata-like lake with its embedding machinery.
@@ -56,5 +63,13 @@ struct SocrataLake {
 SocrataLake GenerateSocrataLake(
     const SocrataOptions& options,
     std::shared_ptr<SyntheticVocabulary> vocabulary = nullptr);
+
+/// Socrata options scaled to `multiplier` x a 1,000-table baseline, used
+/// by bench/scalability's 10x/50x/100x sweeps: tables = 1000 x multiplier,
+/// tags grow with the square root of the multiplier (portal tag
+/// vocabularies grow sublinearly with table count), short value lists,
+/// and cached text pools so a 100k-table lake generates in seconds.
+SocrataOptions ScalabilitySocrataOptions(double multiplier,
+                                         uint64_t seed = 777);
 
 }  // namespace lakeorg

@@ -12,22 +12,36 @@ KMedoidsResult RunOnce(const std::vector<Vec>& items, size_t k, Rng* rng,
   size_t n = items.size();
   KMedoidsResult result;
 
+  // Norms are reused across every pairwise distance below; CosineWithNorms
+  // evaluates the exact expression Cosine does, so caching them keeps
+  // every distance bit-identical to the uncached path.
+  std::vector<double> norm(n);
+  for (size_t i = 0; i < n; ++i) norm[i] = Norm(items[i]);
+  auto dist = [&items, &norm](size_t a, size_t b) {
+    return (1.0 - CosineWithNorms(items[a], norm[a], items[b], norm[b])) /
+           2.0;
+  };
+
   // k-means++-style seeding: first medoid uniform, then proportional to
-  // distance-to-nearest-chosen.
+  // distance-to-nearest-chosen. nearest[] is maintained incrementally —
+  // adding a medoid can only lower a point's nearest distance, and min is
+  // exact, so each round sees bit-identical values to a full recompute
+  // while the seeding stays O(n*k) distances instead of O(n*k^2) (which
+  // dominated sharded-scale representative selection, where k is a
+  // fraction of n).
   std::vector<size_t> medoids;
-  medoids.push_back(static_cast<size_t>(
+  std::vector<double> nearest(n, std::numeric_limits<double>::infinity());
+  auto add_medoid = [&](size_t m) {
+    medoids.push_back(m);
+    for (size_t i = 0; i < n; ++i) {
+      nearest[i] = std::min(nearest[i], dist(i, m));
+    }
+  };
+  add_medoid(static_cast<size_t>(
       rng->UniformInt(0, static_cast<int64_t>(n - 1))));
-  std::vector<double> nearest(n, 0.0);
   while (medoids.size() < k) {
     double total = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      double best = std::numeric_limits<double>::infinity();
-      for (size_t m : medoids) {
-        best = std::min(best, CosineDistance(items[i], items[m]));
-      }
-      nearest[i] = best;
-      total += best;
-    }
+    for (size_t i = 0; i < n; ++i) total += nearest[i];
     size_t pick;
     if (total <= 0.0) {
       pick = static_cast<size_t>(
@@ -36,12 +50,12 @@ KMedoidsResult RunOnce(const std::vector<Vec>& items, size_t k, Rng* rng,
       pick = rng->Categorical(nearest);
     }
     if (std::find(medoids.begin(), medoids.end(), pick) == medoids.end()) {
-      medoids.push_back(pick);
+      add_medoid(pick);
     } else {
       // Duplicate (all mass on chosen points); fall back to first unused.
       for (size_t i = 0; i < n; ++i) {
         if (std::find(medoids.begin(), medoids.end(), i) == medoids.end()) {
-          medoids.push_back(i);
+          add_medoid(i);
           break;
         }
       }
@@ -58,7 +72,7 @@ KMedoidsResult RunOnce(const std::vector<Vec>& items, size_t k, Rng* rng,
       double best = std::numeric_limits<double>::infinity();
       int best_c = 0;
       for (size_t c = 0; c < medoids.size(); ++c) {
-        double d = CosineDistance(items[i], items[medoids[c]]);
+        double d = dist(i, medoids[c]);
         if (d < best) {
           best = d;
           best_c = static_cast<int>(c);
@@ -87,7 +101,7 @@ KMedoidsResult RunOnce(const std::vector<Vec>& items, size_t k, Rng* rng,
           }
           double nearest_m = std::numeric_limits<double>::infinity();
           for (size_t m : medoids) {
-            nearest_m = std::min(nearest_m, CosineDistance(items[i], items[m]));
+            nearest_m = std::min(nearest_m, dist(i, m));
           }
           if (nearest_m > far_dist) {
             far_dist = nearest_m;
@@ -105,7 +119,7 @@ KMedoidsResult RunOnce(const std::vector<Vec>& items, size_t k, Rng* rng,
       for (size_t cand : ms) {
         double cand_cost = 0.0;
         for (size_t other : ms) {
-          cand_cost += CosineDistance(items[cand], items[other]);
+          cand_cost += dist(cand, other);
           if (cand_cost >= best_cost) break;
         }
         if (cand_cost < best_cost) {

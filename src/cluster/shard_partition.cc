@@ -1,0 +1,43 @@
+#include "cluster/shard_partition.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lakeorg {
+
+std::vector<std::vector<TagId>> PartitionTagsByTopic(
+    const TagIndex& index, const ShardPartitionOptions& options) {
+  const std::vector<TagId>& tags = index.NonEmptyTags();
+  assert(!tags.empty());
+  size_t requested = options.shards;
+  if (requested == 0) {
+    size_t per_shard = std::max<size_t>(1, options.target_tags_per_shard);
+    requested = (tags.size() + per_shard - 1) / per_shard;
+  }
+  size_t k = std::min(requested, tags.size());
+
+  std::vector<std::vector<TagId>> partition(std::max<size_t>(1, k));
+  if (k <= 1) {
+    partition[0] = tags;
+    return partition;
+  }
+  std::vector<Vec> items;
+  items.reserve(tags.size());
+  for (TagId t : tags) items.push_back(index.TagTopicVector(t));
+  Rng rng(options.seed);
+  KMedoidsResult clusters = KMedoids(items, k, &rng, options.kmedoids);
+  partition.assign(clusters.medoids.size(), {});
+  for (size_t i = 0; i < tags.size(); ++i) {
+    partition[static_cast<size_t>(clusters.assignment[i])].push_back(
+        tags[i]);
+  }
+  // Drop empty clusters (possible when duplicated medoids collapse).
+  partition.erase(std::remove_if(partition.begin(), partition.end(),
+                                 [](const std::vector<TagId>& p) {
+                                   return p.empty();
+                                 }),
+                  partition.end());
+  return partition;
+}
+
+}  // namespace lakeorg

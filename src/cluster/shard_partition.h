@@ -1,0 +1,37 @@
+// Topic-shard partitioning of a lake's tag space: k-medoids over tag
+// topic vectors, shared by the multi-dimensional builder (section 2.5,
+// one organization per cluster) and the sharded optimizer (one shard DAG
+// per cluster, stitched under a synthetic lake root afterwards).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmedoids.h"
+#include "lake/tag_index.h"
+
+namespace lakeorg {
+
+/// Options for PartitionTagsByTopic.
+struct ShardPartitionOptions {
+  /// Requested number of shards; clamped to the number of non-empty tags.
+  /// 0 derives the count from target_tags_per_shard.
+  size_t shards = 0;
+  /// When shards == 0: shards = ceil(num_tags / target_tags_per_shard).
+  size_t target_tags_per_shard = 96;
+  /// Seed of the k-medoids run (the partition is deterministic in it and
+  /// independent of any thread count).
+  uint64_t seed = 99;
+  KMedoidsOptions kmedoids;
+};
+
+/// Partitions `index`'s non-empty tags into topic shards with k-medoids
+/// over `TagTopicVector`. Returns non-empty groups of lake tag ids; with
+/// one shard (or one tag) the single group is NonEmptyTags() verbatim, in
+/// index order. Deterministic for a fixed seed: the RNG draw sequence
+/// depends only on the tag list and options, never on threads.
+std::vector<std::vector<TagId>> PartitionTagsByTopic(
+    const TagIndex& index, const ShardPartitionOptions& options);
+
+}  // namespace lakeorg

@@ -6,7 +6,7 @@
 #include <future>
 #include <map>
 
-#include "cluster/kmedoids.h"
+#include "cluster/shard_partition.h"
 #include "common/logging.h"
 
 namespace lakeorg {
@@ -115,33 +115,15 @@ Result<MultiDimOrganization> BuildMultiDimFromPartition(
 Result<MultiDimOrganization> BuildMultiDimOrganization(
     const DataLake& lake, const TagIndex& index,
     const MultiDimOptions& options) {
-  const std::vector<TagId>& tags = index.NonEmptyTags();
-  assert(!tags.empty());
-  size_t k = std::min(options.dimensions, tags.size());
-
-  std::vector<std::vector<TagId>> partition(k);
-  if (k <= 1) {
-    partition[0] = tags;
-  } else {
-    std::vector<Vec> items;
-    items.reserve(tags.size());
-    for (TagId t : tags) items.push_back(index.TagTopicVector(t));
-    Rng rng(options.partition_seed);
-    KMedoidsResult clusters = KMedoids(items, k, &rng);
-    partition.assign(clusters.medoids.size(), {});
-    for (size_t i = 0; i < tags.size(); ++i) {
-      partition[static_cast<size_t>(clusters.assignment[i])].push_back(
-          tags[i]);
-    }
-    // Drop empty clusters (possible when duplicated medoids collapse).
-    partition.erase(std::remove_if(partition.begin(), partition.end(),
-                                   [](const std::vector<TagId>& p) {
-                                     return p.empty();
-                                   }),
-                    partition.end());
-  }
+  assert(!index.NonEmptyTags().empty());
+  ShardPartitionOptions popts;
+  popts.shards = std::max<size_t>(1, options.dimensions);
+  popts.seed = options.partition_seed;
+  std::vector<std::vector<TagId>> partition =
+      PartitionTagsByTopic(index, popts);
   LAKEORG_LOG(kInfo) << "multi-dim: " << partition.size()
-                     << " tag clusters over " << tags.size() << " tags";
+                     << " tag clusters over " << index.NonEmptyTags().size()
+                     << " tags";
   return BuildMultiDimFromPartition(lake, index, partition, options);
 }
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <numeric>
+#include <string>
+#include <unordered_map>
 
 #include "cluster/agglomerative.h"
 
@@ -113,6 +115,137 @@ Organization BuildClusteringOrganization(
 
   AttachLeaves(&org, tag_state);
   org.RecomputeLevels();
+  return org;
+}
+
+Result<Organization> StitchShardOrganizations(
+    std::shared_ptr<const OrgContext> full_ctx,
+    std::span<const Organization> shards) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("no shard organizations to stitch");
+  }
+  const OrgContext& full = *full_ctx;
+  // Lake ids are the bridge between id spaces: every shard context and the
+  // full context index the same lake, only their dense local ids differ.
+  std::unordered_map<TagId, uint32_t> full_tag;
+  full_tag.reserve(full.num_tags());
+  for (uint32_t t = 0; t < full.num_tags(); ++t) {
+    full_tag.emplace(full.lake_tag(t), t);
+  }
+  std::unordered_map<AttributeId, uint32_t> full_attr;
+  full_attr.reserve(full.num_attrs());
+  for (uint32_t a = 0; a < full.num_attrs(); ++a) {
+    full_attr.emplace(full.lake_attr(a), a);
+  }
+
+  size_t total_states = 1;
+  size_t total_edges = shards.size();
+  for (const Organization& shard : shards) {
+    total_states += shard.NumAliveStates();
+    total_edges += shard.NumEdges();
+  }
+
+  Organization org(full_ctx);
+  org.Reserve(total_states, total_edges);
+  StateId root = org.AddRoot(AllTags(full));
+
+  // Pass 1: states. Tags may belong to exactly one shard; attributes can
+  // span shards (an attribute carries every tag of its table), so a leaf
+  // added by an earlier shard is reused and later shards only contribute
+  // edges into it.
+  std::vector<int> tag_owner(full.num_tags(), -1);
+  std::vector<std::vector<StateId>> stitched(shards.size());
+  std::vector<uint32_t> tags_scratch;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const Organization& shard = shards[i];
+    const OrgContext& sctx = shard.ctx();
+    if (shard.root() == kInvalidId) {
+      return Status::InvalidArgument("shard " + std::to_string(i) +
+                                     " has no root");
+    }
+    // Remap the shard's local tag/attr ids into the full context once.
+    std::vector<uint32_t> tag_map(sctx.num_tags());
+    for (uint32_t t = 0; t < sctx.num_tags(); ++t) {
+      auto it = full_tag.find(sctx.lake_tag(t));
+      if (it == full_tag.end()) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(i) + " tag '" + sctx.tag_name(t) +
+            "' is not part of the full context");
+      }
+      tag_map[t] = it->second;
+    }
+    std::vector<uint32_t> attr_map(sctx.num_attrs());
+    for (uint32_t a = 0; a < sctx.num_attrs(); ++a) {
+      auto it = full_attr.find(sctx.lake_attr(a));
+      if (it == full_attr.end()) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(i) + " attribute '" +
+            sctx.attr_label(a) + "' is not part of the full context");
+      }
+      attr_map[a] = it->second;
+    }
+
+    stitched[i].assign(shard.num_states(), kInvalidId);
+    for (StateId s = 0; s < shard.num_states(); ++s) {
+      if (!shard.alive(s)) continue;
+      StateKind kind = shard.kind(s);
+      if (kind == StateKind::kLeaf) {
+        uint32_t attr = attr_map[shard.attr_of(s)];
+        StateId existing = org.LeafOf(attr);
+        stitched[i][s] = existing != kInvalidId ? existing
+                                                : org.AddLeaf(attr);
+        continue;
+      }
+      tags_scratch.clear();
+      for (uint32_t t : shard.tags(s)) tags_scratch.push_back(tag_map[t]);
+      StateId sid;
+      if (kind == StateKind::kTag) {
+        uint32_t tag = tags_scratch[0];
+        if (tag_owner[tag] >= 0 &&
+            tag_owner[tag] != static_cast<int>(i)) {
+          return Status::InvalidArgument(
+              "tag '" + full.tag_name(tag) + "' appears in shards " +
+              std::to_string(tag_owner[tag]) + " and " + std::to_string(i) +
+              " (shard tag sets must be disjoint)");
+        }
+        tag_owner[tag] = static_cast<int>(i);
+        sid = org.AddTagState(tag);
+      } else {
+        // Shard roots become interior states under the synthetic root.
+        sid = org.AddInteriorState(tags_scratch);
+      }
+      std::vector<uint32_t> extras = shard.ExtraAttrs(s);
+      if (!extras.empty()) {
+        for (uint32_t& a : extras) a = attr_map[a];
+        org.AddExtraAttrs(sid, extras);
+      }
+      stitched[i][s] = sid;
+    }
+  }
+
+  // Pass 2: edges. Root -> shard roots first (shard input order defines
+  // the stitched root's transition row), then each shard's edges in state
+  // order with child order preserved.
+  for (size_t i = 0; i < shards.size(); ++i) {
+    LAKEORG_RETURN_NOT_OK(
+        org.AddEdge(root, stitched[i][shards[i].root()]));
+  }
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const Organization& shard = shards[i];
+    for (StateId s = 0; s < shard.num_states(); ++s) {
+      if (!shard.alive(s)) continue;
+      for (StateId c : shard.children(s)) {
+        LAKEORG_RETURN_NOT_OK(
+            org.AddEdge(stitched[i][s], stitched[i][c]));
+      }
+    }
+  }
+
+  org.RecomputeLevels();
+  // Canonical accumulation order: the stitched organization's float state
+  // is a pure function of its structure, independent of each shard's
+  // operation history (the bit-determinism the difftest relies on).
+  org.RecomputeAllTopics();
   return org;
 }
 

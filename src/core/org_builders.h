@@ -8,10 +8,17 @@
 // 4.3.1 — an average-linkage agglomerative hierarchy over tag topic
 // vectors with branching factor 2, tag states at the dendrogram leaves and
 // attribute leaves below them.
+//
+// StitchShardOrganizations: the re-assembly half of the sharded optimizer
+// (ROADMAP "shard the lake, not just the dims") — shard DAGs built over
+// disjoint tag sub-contexts become one organization over the full context,
+// hung under a synthetic lake root.
 #pragma once
 
 #include <memory>
+#include <span>
 
+#include "common/status.h"
 #include "core/organization.h"
 
 namespace lakeorg {
@@ -26,5 +33,27 @@ Organization BuildFlatOrganization(std::shared_ptr<const OrgContext> ctx);
 /// hang below their tag states.
 Organization BuildClusteringOrganization(
     std::shared_ptr<const OrgContext> ctx);
+
+/// Stitches independently optimized shard organizations — each built over
+/// a sub-context covering a disjoint subset of `full_ctx`'s tags — into
+/// one organization over `full_ctx`: a root over all tags whose children
+/// are the shard roots (re-added as interior states), with every shard
+/// state remapped into the full id space. Transition renormalization needs
+/// no special handling: the stitched root's transition row is the standard
+/// softmax over its children (Equation 1), so navigation and evaluation
+/// treat the result as one ordinary organization.
+///
+/// Shard child order is preserved (transition rows are order-dependent)
+/// and shards contribute root children in input order. Attributes whose
+/// tags span several shards keep one leaf (the first shard's) with edges
+/// from every shard's parents. Topics are rebuilt canonically with
+/// RecomputeAllTopics, so the result is bit-deterministic in the inputs.
+///
+/// Fails when a shard references a tag or attribute absent from
+/// `full_ctx`, when two shards claim the same tag, or when an edge
+/// violates the inclusion property after remapping.
+Result<Organization> StitchShardOrganizations(
+    std::shared_ptr<const OrgContext> full_ctx,
+    std::span<const Organization> shards);
 
 }  // namespace lakeorg

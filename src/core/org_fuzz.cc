@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <utility>
 
 #include "core/evaluator.h"
@@ -9,6 +10,8 @@
 #include "core/reference_evaluator.h"
 #include "core/repair.h"
 #include "core/representatives.h"
+#include "core/serialization.h"
+#include "core/sharded_search.h"
 
 namespace lakeorg {
 namespace {
@@ -790,6 +793,158 @@ RecycleTrialResult RunRecycleTrial(const RecycleTrialOptions& options) {
     check_tol(inc1.AttrDiscovery(a), want[a], &res.max_discovery_diff,
               "final cached discovery");
   }
+  return res;
+}
+
+namespace {
+
+/// Serialized bytes of an organization (the byte-identity comparator).
+std::string OrgBytes(const Organization& org) {
+  std::ostringstream out;
+  Status st = SaveOrganization(org, &out);
+  return st.ok() ? out.str() : "<save failed: " + st.ToString() + ">";
+}
+
+}  // namespace
+
+ShardedTrialResult RunShardedTrial(const ShardedTrialOptions& options) {
+  ShardedTrialResult res;
+  auto fail = [&res, &options](const std::string& msg) {
+    if (res.ok) {
+      res.ok = false;
+      res.error =
+          "trial --seed " + std::to_string(options.seed) + ": " + msg;
+    }
+  };
+
+  Rng rng(options.seed);
+  FuzzLake fl = MakeFuzzLake(&rng, options.lake);
+
+  LocalSearchOptions search;
+  search.patience = 20;
+  search.max_proposals = options.max_proposals;
+  search.seed = static_cast<uint64_t>(rng.UniformInt(1, 1 << 30));
+  search.record_history = false;
+  search.num_threads = 1;
+
+  // Unsharded baseline over the full context.
+  Result<LocalSearchResult> unsharded = OptimizeOrganization(
+      BuildClusteringOrganization(fl.ctx), search);
+  if (!unsharded.ok()) {
+    fail("unsharded optimize: " + unsharded.status().ToString());
+    return res;
+  }
+
+  // Property 1: one shard is byte-identical to the unsharded path.
+  ShardedSearchOptions sopts;
+  sopts.shards = 1;
+  sopts.search = search;
+  sopts.num_threads = options.threads;
+  Result<ShardedSearchResult> one =
+      BuildShardedOrganization(fl.bench.lake, fl.index, sopts);
+  if (!one.ok()) {
+    fail("1-shard build: " + one.status().ToString());
+    return res;
+  }
+  if (one.value().stitched) {
+    fail("1-shard build went through the stitcher");
+    return res;
+  }
+  if (OrgBytes(one.value().org) != OrgBytes(unsharded.value().org)) {
+    fail("1-shard organization differs byte-wise from unsharded");
+    return res;
+  }
+  if (one.value().shards[0].effectiveness !=
+      unsharded.value().effectiveness) {
+    fail("1-shard effectiveness differs from unsharded");
+    return res;
+  }
+
+  // Property 2: a multi-shard build is byte-deterministic across thread
+  // counts and under a tiny memory budget (fully serialized admission).
+  sopts.shards = 2 + options.seed % std::max<size_t>(1, options.max_shards);
+  sopts.num_threads = 1;
+  Result<ShardedSearchResult> serial_build =
+      BuildShardedOrganization(fl.bench.lake, fl.index, sopts);
+  if (!serial_build.ok()) {
+    fail("sharded build (1 thread): " + serial_build.status().ToString());
+    return res;
+  }
+  const ShardedSearchResult& sharded = serial_build.value();
+  std::string bytes = OrgBytes(sharded.org);
+
+  sopts.num_threads = options.threads;
+  Result<ShardedSearchResult> threaded =
+      BuildShardedOrganization(fl.bench.lake, fl.index, sopts);
+  if (!threaded.ok()) {
+    fail("sharded build (threaded): " + threaded.status().ToString());
+    return res;
+  }
+  if (OrgBytes(threaded.value().org) != bytes) {
+    fail("threaded sharded build differs byte-wise from serial");
+    return res;
+  }
+  sopts.memory_budget_bytes = 1;  // always below any estimate
+  Result<ShardedSearchResult> budgeted =
+      BuildShardedOrganization(fl.bench.lake, fl.index, sopts);
+  if (!budgeted.ok()) {
+    fail("sharded build (budgeted): " + budgeted.status().ToString());
+    return res;
+  }
+  if (OrgBytes(budgeted.value().org) != bytes) {
+    fail("memory-budgeted sharded build differs byte-wise from unbudgeted");
+    return res;
+  }
+
+  // Property 3: the stitched organization is a valid, fully covering
+  // organization whose evaluation matches the oracle.
+  res.shards_built = sharded.shards.size();
+  res.states_stitched = sharded.org.NumAliveStates();
+  const Organization& stitched = sharded.org;
+  if (sharded.shards.size() > 1 && !sharded.stitched) {
+    fail("multi-shard build skipped the stitcher");
+    return res;
+  }
+  Status valid = stitched.Validate();
+  if (!valid.ok()) {
+    fail("stitched Validate: " + valid.ToString());
+    return res;
+  }
+  Status topics = CheckTopicInvariants(stitched);
+  if (!topics.ok()) {
+    fail("stitched topic invariants: " + topics.ToString());
+    return res;
+  }
+  const OrgContext& fctx = stitched.ctx();
+  for (uint32_t a = 0; a < fctx.num_attrs(); ++a) {
+    if (stitched.LeafOf(a) == kInvalidId) {
+      fail("attribute " + std::to_string(a) +
+           " has no leaf in the stitched organization");
+      return res;
+    }
+  }
+  if (sharded.stitched &&
+      stitched.children(stitched.root()).size() != sharded.shards.size()) {
+    fail("stitched root has " +
+         std::to_string(stitched.children(stitched.root()).size()) +
+         " children for " + std::to_string(sharded.shards.size()) +
+         " shards");
+    return res;
+  }
+
+  TransitionConfig config;
+  OrgEvaluator eval(config);
+  ReferenceEvaluator ref(config);
+  double got = eval.Effectiveness(stitched);
+  double want = ref.Effectiveness(stitched);
+  res.effectiveness_diff = std::abs(got - want);
+  if (res.effectiveness_diff > options.tolerance) {
+    fail("stitched effectiveness: optimized " + std::to_string(got) +
+         " vs reference " + std::to_string(want));
+    return res;
+  }
+  res.sharded_vs_unsharded_gap =
+      std::abs(got - eval.Effectiveness(unsharded.value().org));
   return res;
 }
 

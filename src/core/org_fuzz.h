@@ -206,4 +206,50 @@ struct RecycleTrialResult {
 /// Runs one state-recycling differential trial.
 RecycleTrialResult RunRecycleTrial(const RecycleTrialOptions& options);
 
+/// One sharded-optimization differential trial's configuration
+/// (tools/difftest.cc --sharded). Deterministic for a fixed seed.
+///
+/// Properties checked per trial:
+///   - shard-count-1 BuildShardedOrganization is BYTE-identical (via
+///     SaveOrganization) to the unsharded OptimizeOrganization path, with
+///     exactly equal effectiveness;
+///   - a multi-shard build is byte-deterministic across thread counts and
+///     under a deliberately tiny memory budget (serialized admission);
+///   - the stitched organization passes Validate() and the topic
+///     invariants, covers every context attribute with a leaf, has one
+///     root child per shard, and its OrgEvaluator effectiveness matches
+///     the naive ReferenceEvaluator oracle within the tolerance.
+struct ShardedTrialOptions {
+  /// Trial seed; drives the lake, shard count, and search seeds.
+  uint64_t seed = 1;
+  /// Shard-level pool width of the threaded build (a 1-thread build always
+  /// runs too and must serialize identically).
+  size_t threads = 4;
+  /// Shard count is drawn from [2, 1 + max_shards].
+  size_t max_shards = 4;
+  /// |stitched - reference| effectiveness tolerance.
+  double tolerance = 1e-9;
+  /// Per-shard local-search proposal budget.
+  size_t max_proposals = 40;
+  FuzzLakeOptions lake;
+};
+
+/// Outcome of one sharded trial.
+struct ShardedTrialResult {
+  bool ok = true;
+  /// First failure, with the trial seed embedded; empty when ok.
+  std::string error;
+  size_t shards_built = 0;
+  size_t states_stitched = 0;
+  /// |OrgEvaluator - ReferenceEvaluator| effectiveness on the stitched
+  /// organization.
+  double effectiveness_diff = 0.0;
+  /// |stitched - unsharded| full-context effectiveness gap (reported, not
+  /// gated — shard quality at fuzz scale is noisy by construction).
+  double sharded_vs_unsharded_gap = 0.0;
+};
+
+/// Runs one sharded-optimization differential trial.
+ShardedTrialResult RunShardedTrial(const ShardedTrialOptions& options);
+
 }  // namespace lakeorg

@@ -696,12 +696,51 @@ DynamicBitset Organization::StateAttrSet(StateId s) const {
   return attrs_[s].ToBitset();
 }
 
+std::vector<uint32_t> Organization::ExtraAttrs(StateId s) const {
+  assert(s < num_states() && kind_[s] != StateKind::kLeaf);
+  DynamicBitset from_tags = ctx_->MakeAttrSet();
+  for (uint32_t t : tags(s)) from_tags.UnionWith(ctx_->tag_extent(t));
+  std::vector<uint32_t> extras;
+  attrs_[s].ForEach([&from_tags, &extras](size_t a) {
+    if (!from_tags.Test(a)) extras.push_back(static_cast<uint32_t>(a));
+  });
+  return extras;
+}
+
 size_t Organization::NumEdges() const {
   size_t n = 0;
   for (StateId s = 0; s < num_states(); ++s) {
     if (alive_[s]) n += children_r_[s].size;
   }
   return n;
+}
+
+size_t Organization::HeapBytes() const {
+  size_t bytes = 0;
+  bytes += kind_.capacity() * sizeof(StateKind);
+  bytes += alive_.capacity() * sizeof(uint8_t);
+  bytes += level_.capacity() * sizeof(int);
+  bytes += attr_.capacity() * sizeof(uint32_t);
+  bytes += value_count_.capacity() * sizeof(size_t);
+  bytes += topic_norm_.capacity() * sizeof(double);
+  bytes += attrs_.capacity() * sizeof(AttrSet);
+  bytes += (parents_r_.capacity() + children_r_.capacity() +
+            tags_r_.capacity()) *
+           sizeof(Range);
+  bytes += slot_version_.capacity() * sizeof(uint32_t);
+  bytes += in_free_list_.capacity() * sizeof(uint8_t);
+  bytes += edge_slots_.capacity() * sizeof(StateId);
+  bytes += tag_slots_.capacity() * sizeof(uint32_t);
+  bytes += (topic_.capacity() + topic_sum_.capacity()) * sizeof(float);
+  bytes += (free_list_.capacity() + leaf_of_attr_.capacity()) *
+           sizeof(StateId);
+  // Spilled sets hold one bitset word per 64 attributes of the universe;
+  // copy-on-write shares are charged to every holder (upper bound).
+  size_t spilled_bytes = ((ctx_->num_attrs() + 63) / 64) * sizeof(uint64_t);
+  for (const AttrSet& set : attrs_) {
+    if (!set.inline_rep()) bytes += spilled_bytes;
+  }
+  return bytes;
 }
 
 Status Organization::Validate() const {

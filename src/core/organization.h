@@ -387,8 +387,20 @@ class Organization {
   /// the non-leaf set as a plain bitset.
   DynamicBitset StateAttrSet(StateId s) const;
 
+  /// The attribute ids a non-leaf state carries beyond its tag extents
+  /// (the attrs ADD_PARENT propagated into it), ascending. Serialization
+  /// persists these; the shard stitcher remaps them across contexts.
+  std::vector<uint32_t> ExtraAttrs(StateId s) const;
+
   /// Number of edges among alive states.
   size_t NumEdges() const;
+
+  /// Approximate heap footprint in bytes: capacities of the per-state
+  /// arrays, the shared adjacency/tag arenas, the topic matrices, and an
+  /// upper bound for spilled attribute sets (copy-on-write sharing is
+  /// charged to every holder). The sharded optimizer's memory-budget
+  /// accounting reads this.
+  size_t HeapBytes() const;
 
   /// Full structural check: parent/child symmetry, acyclicity, inclusion
   /// property, one leaf per attribute, topic-sum consistency, level

@@ -16,6 +16,7 @@ RepresentativeSet SelectRepresentatives(const OrgContext& ctx,
   size_t k = std::max<size_t>(
       1, static_cast<size_t>(std::llround(options.fraction *
                                           static_cast<double>(n))));
+  if (options.max_queries > 0) k = std::min(k, options.max_queries);
   k = std::min(k, n);
 
   std::vector<Vec> items(n);

@@ -18,6 +18,12 @@ struct RepresentativeOptions {
   double fraction = 0.1;
   /// Voronoi-improvement iterations over the initial random medoids.
   size_t refine_iterations = 3;
+  /// Hard cap on the representative count; 0 = uncapped. A fixed fraction
+  /// keeps per-proposal cost growing with the lake — capping bounds it,
+  /// which is what makes heavily skewed shards tractable at 100x Socrata
+  /// scale (each medoid simply stands for more attributes). No effect
+  /// when fraction * num_attrs is already below the cap.
+  size_t max_queries = 0;
 };
 
 /// Partitions the context's attributes around medoid representatives by

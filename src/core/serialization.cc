@@ -40,19 +40,6 @@ Result<StateKind> KindFromChar(char c) {
   }
 }
 
-/// The attribute ids a non-leaf state carries beyond its tag extents (the
-/// attrs that ADD_PARENT propagated into it).
-std::vector<uint32_t> ExtraAttrs(const Organization& org, StateId s) {
-  const OrgState& st = org.state(s);
-  DynamicBitset from_tags = org.ctx().MakeAttrSet();
-  for (uint32_t t : st.tags) from_tags.UnionWith(org.ctx().tag_extent(t));
-  std::vector<uint32_t> extras;
-  st.attrs.ForEach([&from_tags, &extras](size_t a) {
-    if (!from_tags.Test(a)) extras.push_back(static_cast<uint32_t>(a));
-  });
-  return extras;
-}
-
 }  // namespace
 
 Status SaveOrganization(const Organization& org, std::ostream* out) {
@@ -78,7 +65,7 @@ Status SaveOrganization(const Organization& org, std::ostream* out) {
     }
     *out << -1 << " T " << st.tags.size();
     for (uint32_t t : st.tags) *out << " " << t;
-    std::vector<uint32_t> extras = ExtraAttrs(org, order[i]);
+    std::vector<uint32_t> extras = org.ExtraAttrs(order[i]);
     *out << " X " << extras.size();
     for (uint32_t a : extras) *out << " " << a;
     *out << "\n";

@@ -1,0 +1,235 @@
+#include "core/sharded_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+
+#include "cluster/shard_partition.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace lakeorg {
+namespace {
+
+/// Gate that admits shard optimizations under a total byte budget. A
+/// waiter is always admitted when nothing is in flight, so a single shard
+/// larger than the whole budget still runs (serially).
+class MemoryGate {
+ public:
+  explicit MemoryGate(size_t budget) : budget_(budget) {}
+
+  void Admit(size_t bytes) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this, bytes] {
+      if (inflight_ == 0) return true;
+      return budget_ == 0 || inflight_bytes_ + bytes <= budget_;
+    });
+    ++inflight_;
+    inflight_bytes_ += bytes;
+    peak_ = std::max(peak_, inflight_bytes_);
+  }
+
+  void Release(size_t bytes) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      assert(inflight_ > 0 && inflight_bytes_ >= bytes);
+      --inflight_;
+      inflight_bytes_ -= bytes;
+    }
+    cv_.notify_all();
+  }
+
+  size_t peak() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+  }
+
+ private:
+  const size_t budget_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t inflight_ = 0;
+  size_t inflight_bytes_ = 0;
+  size_t peak_ = 0;
+};
+
+}  // namespace
+
+double ShardedSearchResult::MeanShardEffectiveness() const {
+  double weighted = 0.0;
+  double weight = 0.0;
+  for (const ShardSearchInfo& s : shards) {
+    double w = static_cast<double>(std::max<size_t>(1, s.num_queries));
+    weighted += w * s.effectiveness;
+    weight += w;
+  }
+  return weight > 0.0 ? weighted / weight : 0.0;
+}
+
+size_t EstimateShardSearchBytes(const OrgContext& ctx,
+                                const LocalSearchOptions& search) {
+  size_t queries = ctx.num_attrs();
+  if (search.use_representatives) {
+    queries = std::max<size_t>(
+        1, static_cast<size_t>(search.representatives.fraction *
+                               static_cast<double>(ctx.num_attrs())));
+    if (search.representatives.max_queries > 0) {
+      queries = std::min(queries, search.representatives.max_queries);
+    }
+  }
+  // States: leaves + tag states + clustering interiors, with headroom for
+  // the parents ADD_PARENT introduces.
+  size_t states = 2 * (ctx.num_attrs() + 2 * ctx.num_tags() + 2);
+  size_t stride = (ctx.dim() + 7) & ~size_t{7};
+  // Incremental evaluator: reach + kappa caches are doubles per
+  // (query, state); x2 for the proposal-side shadow entries.
+  size_t eval = queries * states * sizeof(double) * 2 * 2;
+  // Organization: two float matrices (topic, topic_sum), twice — the
+  // search keeps a best-so-far snapshot next to the working copy.
+  size_t org = 2 * (2 * states * stride * sizeof(float));
+  // Context attribute structures (vectors, sums, extents).
+  size_t attrs = ctx.num_attrs() * (2 * ctx.dim() * sizeof(float) + 64);
+  return eval + org + attrs;
+}
+
+Result<ShardedSearchResult> BuildShardedOrganization(
+    const DataLake& lake, const TagIndex& index,
+    const ShardedSearchOptions& options) {
+  if (options.optimize) {
+    LAKEORG_RETURN_NOT_OK(ValidateLocalSearchOptions(options.search));
+    if (!options.search.restrict_targets.empty()) {
+      return Status::InvalidArgument(
+          "restrict_targets is per-organization and cannot apply across "
+          "shards");
+    }
+  }
+  if (index.NonEmptyTags().empty()) {
+    return Status::InvalidArgument("lake has no non-empty tags to shard");
+  }
+
+  ShardPartitionOptions popts;
+  popts.shards = options.shards;
+  popts.target_tags_per_shard = options.target_tags_per_shard;
+  popts.seed = options.partition_seed;
+  std::vector<std::vector<TagId>> partition =
+      PartitionTagsByTopic(index, popts);
+  LAKEORG_LOG(kDebug) << "sharded search: " << partition.size()
+                      << " topic shards over "
+                      << index.NonEmptyTags().size() << " tags";
+
+  struct ShardOutput {
+    Organization org;
+    ShardSearchInfo info;
+  };
+
+  size_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                            : options.num_threads;
+  // Parallel shards with an unset per-shard thread count would
+  // oversubscribe (shards x queries pools); keep each shard's search
+  // serial unless the caller pinned it. Mirrors BuildMultiDimFromPartition
+  // — and with one shard the caller's options apply verbatim, which the
+  // unsharded bit-identity guarantee depends on.
+  bool parallel_shards = threads > 1 && partition.size() > 1;
+
+  MemoryGate gate(options.memory_budget_bytes);
+  auto build_shard = [&lake, &index, &options, &gate, parallel_shards](
+                         const std::vector<TagId>& tags,
+                         size_t shard_index) -> ShardOutput {
+    std::shared_ptr<const OrgContext> ctx =
+        OrgContext::Build(lake, index, tags);
+    ShardSearchInfo info;
+    info.num_tags = ctx->num_tags();
+    info.num_attrs = ctx->num_attrs();
+    info.num_tables = ctx->num_tables();
+    info.estimated_bytes =
+        EstimateShardSearchBytes(*ctx, options.search);
+    gate.Admit(info.estimated_bytes);
+    Organization initial =
+        options.initial == ShardedSearchOptions::Initial::kClustering
+            ? BuildClusteringOrganization(ctx)
+            : BuildFlatOrganization(ctx);
+    if (!options.optimize) {
+      info.org_heap_bytes = initial.HeapBytes();
+      gate.Release(info.estimated_bytes);
+      return ShardOutput{std::move(initial), info};
+    }
+    LocalSearchOptions search = options.search;
+    search.seed = options.search.seed + shard_index;
+    if (search.num_threads == 0 && parallel_shards) search.num_threads = 1;
+    LocalSearchResult result =
+        OptimizeOrganization(std::move(initial), search).value();
+    info.effectiveness = result.effectiveness;
+    info.initial_effectiveness = result.initial_effectiveness;
+    info.seconds = result.seconds;
+    info.proposals = result.proposals;
+    info.num_queries = result.num_queries;
+    info.org_heap_bytes = result.org.HeapBytes();
+    gate.Release(info.estimated_bytes);
+    return ShardOutput{std::move(result.org), info};
+  };
+
+  WallTimer optimize_timer;
+  std::vector<ShardOutput> outputs;
+  outputs.reserve(partition.size());
+  if (threads <= 1 || partition.size() <= 1) {
+    for (size_t i = 0; i < partition.size(); ++i) {
+      outputs.push_back(build_shard(partition[i], i));
+    }
+  } else {
+    ThreadPool pool(std::min(threads, partition.size()));
+    std::vector<std::future<ShardOutput>> futures;
+    futures.reserve(partition.size());
+    for (size_t i = 0; i < partition.size(); ++i) {
+      futures.push_back(pool.Submit([&build_shard, &partition, i]() {
+        return build_shard(partition[i], i);
+      }));
+    }
+    for (auto& f : futures) outputs.push_back(f.get());
+  }
+  double optimize_seconds = optimize_timer.ElapsedSeconds();
+
+  std::vector<ShardSearchInfo> infos;
+  infos.reserve(outputs.size());
+  for (const ShardOutput& out : outputs) infos.push_back(out.info);
+
+  obs::GetGauge("shard.num_shards")
+      .Set(static_cast<double>(partition.size()));
+  obs::GetGauge("shard.optimize_seconds").Set(optimize_seconds);
+  obs::GetGauge("shard.peak_inflight_bytes")
+      .Set(static_cast<double>(gate.peak()));
+
+  // Single shard: the organization already spans the full context
+  // (OrgContext::Build over all non-empty tags == BuildFull), and adding
+  // a synthetic root would change the DAG. Return it verbatim — this is
+  // the byte-identity path difftest --sharded locks down.
+  if (outputs.size() == 1) {
+    ShardedSearchResult result{std::move(outputs[0].org), std::move(infos),
+                               /*stitched=*/false, optimize_seconds,
+                               /*stitch_seconds=*/0.0, gate.peak()};
+    return result;
+  }
+
+  WallTimer stitch_timer;
+  std::shared_ptr<const OrgContext> full_ctx =
+      OrgContext::BuildFull(lake, index);
+  std::vector<Organization> shard_orgs;
+  shard_orgs.reserve(outputs.size());
+  for (ShardOutput& out : outputs) {
+    shard_orgs.push_back(std::move(out.org));
+  }
+  Result<Organization> stitched =
+      StitchShardOrganizations(full_ctx, shard_orgs);
+  LAKEORG_RETURN_NOT_OK(stitched.status());
+  double stitch_seconds = stitch_timer.ElapsedSeconds();
+  obs::GetGauge("shard.stitch_seconds").Set(stitch_seconds);
+
+  ShardedSearchResult result{std::move(stitched).value(), std::move(infos),
+                             /*stitched=*/true, optimize_seconds,
+                             stitch_seconds, gate.peak()};
+  return result;
+}
+
+}  // namespace lakeorg

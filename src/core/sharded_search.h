@@ -1,0 +1,121 @@
+// Cluster-sharded local search: the scalability path for lakes 10-100x
+// the paper's crawl (ROADMAP "Socrata-scale optimization: shard the lake,
+// not just the dims").
+//
+// The monolithic optimizer's per-proposal cost grows superlinearly with
+// the context (queries x affected subgraph), so at 100k tables a single
+// search is intractable. BuildShardedOrganization instead:
+//
+//   1. partitions the tag space into topic shards (the same k-medoids
+//      path the multi-dimensional builder uses — cluster/shard_partition),
+//   2. builds and optimizes one organization per shard concurrently on a
+//      thread pool, each over its own small OrgContext and arena, with
+//      admission control enforcing a total memory budget across the
+//      shards in flight,
+//   3. stitches the shard DAGs under a synthetic lake root
+//      (StitchShardOrganizations) into ONE organization over the full
+//      context — the root's transition row is the ordinary Equation 1
+//      softmax over the shard roots, so navigation, OrgEvaluator and
+//      Success treat the result like any other organization.
+//
+// Determinism: the partition depends only on (tags, partition_seed); each
+// shard optimizes with seed = search.seed + shard_index; the stitch order
+// is the shard order. The result is therefore byte-identical across
+// thread counts and memory budgets. With one shard the stitch is skipped
+// entirely and the optimized organization is returned as-is — bit-
+// identical to the unsharded OptimizeOrganization path (difftest
+// --sharded gates this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/local_search.h"
+#include "core/org_builders.h"
+#include "lake/data_lake.h"
+#include "lake/tag_index.h"
+
+namespace lakeorg {
+
+/// Tunables of the sharded optimizer.
+struct ShardedSearchOptions {
+  /// Number of topic shards; clamped to the number of non-empty tags.
+  /// 0 derives the count from target_tags_per_shard.
+  size_t shards = 0;
+  /// Auto shard count: ceil(num_tags / target_tags_per_shard). ~100 tags
+  /// keeps each shard at the paper's per-dimension scale.
+  size_t target_tags_per_shard = 96;
+  /// Seed of the k-medoids tag partition.
+  uint64_t partition_seed = 99;
+  /// Per-shard local search; shard i runs with seed = search.seed + i.
+  LocalSearchOptions search;
+  /// Initial organization per shard.
+  enum class Initial { kClustering, kFlat };
+  Initial initial = Initial::kClustering;
+  /// Worker threads for concurrent shard optimization (0 = hardware
+  /// concurrency). When shards run in parallel, each shard's search is
+  /// forced serial unless the caller pinned search.num_threads.
+  size_t num_threads = 0;
+  /// Total bytes of estimated optimizer state allowed in flight across
+  /// concurrent shards (0 = unlimited). A shard whose estimate does not
+  /// fit waits for running shards to finish; a shard is always admitted
+  /// when nothing is in flight, so progress is guaranteed even when one
+  /// shard alone exceeds the budget.
+  size_t memory_budget_bytes = 0;
+  /// Skip optimization (stitch the initial shard organizations).
+  bool optimize = true;
+};
+
+/// Per-shard construction statistics.
+struct ShardSearchInfo {
+  size_t num_tags = 0;
+  size_t num_attrs = 0;
+  size_t num_tables = 0;
+  /// Effectiveness over the shard's query set after / before optimization.
+  double effectiveness = 0.0;
+  double initial_effectiveness = 0.0;
+  /// Optimization wall-clock seconds for this shard.
+  double seconds = 0.0;
+  size_t proposals = 0;
+  size_t num_queries = 0;
+  /// Memory-budget admission estimate for this shard's optimization.
+  size_t estimated_bytes = 0;
+  /// Organization::HeapBytes() of the optimized shard DAG.
+  size_t org_heap_bytes = 0;
+};
+
+/// Output of BuildShardedOrganization.
+struct ShardedSearchResult {
+  /// The stitched organization over the full context (or, with one shard,
+  /// the optimized organization itself).
+  Organization org;
+  std::vector<ShardSearchInfo> shards;
+  /// False when the single-shard short circuit returned the shard org
+  /// verbatim (no synthetic root added).
+  bool stitched = false;
+  /// Wall clock of the whole optimize phase (shards run concurrently).
+  double optimize_seconds = 0.0;
+  double stitch_seconds = 0.0;
+  /// Peak sum of admission estimates concurrently in flight.
+  size_t peak_inflight_bytes = 0;
+
+  /// Query-weighted mean of per-shard optimizer effectiveness — the cheap
+  /// construction-time quality signal at scales where a full-context
+  /// evaluation is infeasible.
+  double MeanShardEffectiveness() const;
+};
+
+/// Bytes of optimizer state one shard's search is expected to pin:
+/// evaluator reach/kappa caches (queries x states), the organization's
+/// topic matrices and arenas, and the best-so-far snapshot copy.
+size_t EstimateShardSearchBytes(const OrgContext& ctx,
+                                const LocalSearchOptions& search);
+
+/// Partitions, optimizes, and stitches. Fails on invalid search options,
+/// restrict_targets (per-organization, cannot span shards), or a stitch
+/// inconsistency. The lake must have topic vectors computed.
+Result<ShardedSearchResult> BuildShardedOrganization(
+    const DataLake& lake, const TagIndex& index,
+    const ShardedSearchOptions& options);
+
+}  // namespace lakeorg

@@ -1,0 +1,130 @@
+#include "cluster/shard_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "benchgen/tagcloud.h"
+
+namespace lakeorg {
+namespace {
+
+struct Bundle {
+  TagCloudBenchmark bench;
+  TagIndex index;
+};
+
+Bundle MakeBundle(uint64_t seed, size_t num_tags = 16) {
+  TagCloudOptions opts;
+  opts.num_tags = num_tags;
+  opts.target_attributes = num_tags * 5;
+  opts.min_values = 4;
+  opts.max_values = 10;
+  opts.seed = seed;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  TagIndex index = TagIndex::Build(bench.lake);
+  return Bundle{std::move(bench), std::move(index)};
+}
+
+/// Union of all groups, sorted.
+std::vector<TagId> Flatten(const std::vector<std::vector<TagId>>& groups) {
+  std::vector<TagId> all;
+  for (const auto& g : groups) all.insert(all.end(), g.begin(), g.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+TEST(ShardPartitionTest, CoversEveryNonEmptyTagExactlyOnce) {
+  Bundle b = MakeBundle(11);
+  ShardPartitionOptions opts;
+  opts.shards = 4;
+  auto groups = PartitionTagsByTopic(b.index, opts);
+  EXPECT_GE(groups.size(), 2u);
+  for (const auto& g : groups) EXPECT_FALSE(g.empty());
+
+  std::vector<TagId> all = Flatten(groups);
+  std::vector<TagId> want = b.index.NonEmptyTags();
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(all, want);
+  EXPECT_EQ(std::set<TagId>(all.begin(), all.end()).size(), all.size());
+}
+
+TEST(ShardPartitionTest, ShardCountAboveTagCountClamps) {
+  Bundle b = MakeBundle(12, 6);
+  size_t tags = b.index.NonEmptyTags().size();
+  ShardPartitionOptions opts;
+  opts.shards = tags + 50;
+  auto groups = PartitionTagsByTopic(b.index, opts);
+  EXPECT_LE(groups.size(), tags);
+  for (const auto& g : groups) EXPECT_FALSE(g.empty());
+  EXPECT_EQ(Flatten(groups).size(), tags);
+}
+
+TEST(ShardPartitionTest, SingleTagShardsAreValid) {
+  // Requesting one shard per tag must not produce empty groups even when
+  // k-medoids collapses clusters; every surviving group is a singleton or
+  // larger and the union is still exact.
+  Bundle b = MakeBundle(13, 8);
+  size_t tags = b.index.NonEmptyTags().size();
+  ShardPartitionOptions opts;
+  opts.shards = tags;
+  auto groups = PartitionTagsByTopic(b.index, opts);
+  for (const auto& g : groups) {
+    EXPECT_GE(g.size(), 1u);
+  }
+  EXPECT_EQ(Flatten(groups).size(), tags);
+}
+
+TEST(ShardPartitionTest, OneShardReturnsNonEmptyTagsVerbatim) {
+  Bundle b = MakeBundle(14);
+  ShardPartitionOptions opts;
+  opts.shards = 1;
+  auto groups = PartitionTagsByTopic(b.index, opts);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], b.index.NonEmptyTags());
+}
+
+TEST(ShardPartitionTest, AutoShardCountFromTargetTagsPerShard) {
+  Bundle b = MakeBundle(15);
+  size_t tags = b.index.NonEmptyTags().size();
+  ShardPartitionOptions opts;
+  opts.shards = 0;
+  opts.target_tags_per_shard = 4;
+  auto groups = PartitionTagsByTopic(b.index, opts);
+  // ceil(tags / 4) requested; collapsed clusters may reduce it but the
+  // partition must still be a real split.
+  EXPECT_GE(groups.size(), 2u);
+  EXPECT_LE(groups.size(), (tags + 3) / 4);
+}
+
+TEST(ShardPartitionTest, DeterministicForFixedSeed) {
+  // The partition is a pure function of (index, options): no thread-count
+  // or global-state dependence. Repeated calls must match element-wise —
+  // sharded builds rely on this for byte-determinism across thread pools.
+  Bundle b = MakeBundle(16);
+  ShardPartitionOptions opts;
+  opts.shards = 3;
+  opts.seed = 42;
+  auto first = PartitionTagsByTopic(b.index, opts);
+  for (int i = 0; i < 3; ++i) {
+    auto again = PartitionTagsByTopic(b.index, opts);
+    EXPECT_EQ(again, first);
+  }
+}
+
+TEST(ShardPartitionTest, SeedChangesPartitionShapeNotCoverage) {
+  Bundle b = MakeBundle(17);
+  ShardPartitionOptions a;
+  a.shards = 3;
+  a.seed = 1;
+  ShardPartitionOptions c;
+  c.shards = 3;
+  c.seed = 2;
+  auto ga = PartitionTagsByTopic(b.index, a);
+  auto gc = PartitionTagsByTopic(b.index, c);
+  EXPECT_EQ(Flatten(ga), Flatten(gc));
+}
+
+}  // namespace
+}  // namespace lakeorg

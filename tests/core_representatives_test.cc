@@ -83,6 +83,31 @@ TEST(RepresentativesTest, FractionOneIsIdentityLike) {
   EXPECT_EQ(reps.query_attrs.size(), ctx->num_attrs());
 }
 
+TEST(RepresentativesTest, MaxQueriesCapsTheCount) {
+  auto ctx = BenchCtx(5);
+  Rng rng(9);
+  RepresentativeOptions opts;
+  opts.fraction = 1.0;
+  opts.max_queries = 7;
+  RepresentativeSet reps = SelectRepresentatives(*ctx, opts, &rng);
+  EXPECT_EQ(reps.query_attrs.size(), 7u);
+  ASSERT_EQ(reps.rep_of.size(), ctx->num_attrs());
+  // Still a complete partition: every attribute maps to a capped medoid.
+  size_t total = 0;
+  for (const auto& members : reps.members) total += members.size();
+  EXPECT_EQ(total, ctx->num_attrs());
+}
+
+TEST(RepresentativesTest, MaxQueriesZeroIsUncapped) {
+  auto ctx = BenchCtx(6);
+  Rng rng(10);
+  RepresentativeOptions opts;
+  opts.fraction = 1.0;
+  opts.max_queries = 0;
+  RepresentativeSet reps = SelectRepresentatives(*ctx, opts, &rng);
+  EXPECT_EQ(reps.query_attrs.size(), ctx->num_attrs());
+}
+
 TEST(RepresentativesTest, MinimumOneRepresentative) {
   auto ctx = BenchCtx(4);
   Rng rng(8);

@@ -1,0 +1,220 @@
+#include "core/sharded_search.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "benchgen/tagcloud.h"
+#include "core/org_builders.h"
+#include "core/reference_evaluator.h"
+#include "core/serialization.h"
+
+namespace lakeorg {
+namespace {
+
+struct Bundle {
+  TagCloudBenchmark bench;
+  TagIndex index;
+};
+
+Bundle MakeBundle(uint64_t seed, size_t num_tags = 14) {
+  TagCloudOptions opts;
+  opts.num_tags = num_tags;
+  opts.target_attributes = num_tags * 5;
+  opts.min_values = 4;
+  opts.max_values = 10;
+  opts.seed = seed;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+  TagIndex index = TagIndex::Build(bench.lake);
+  return Bundle{std::move(bench), std::move(index)};
+}
+
+LocalSearchOptions FastSearch() {
+  LocalSearchOptions search;
+  search.patience = 10;
+  search.max_proposals = 30;
+  search.seed = 7;
+  search.record_history = false;
+  search.num_threads = 1;
+  return search;
+}
+
+std::string Bytes(const Organization& org) {
+  std::ostringstream out;
+  Status st = SaveOrganization(org, &out);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out.str();
+}
+
+TEST(StitchTest, StitchedOrganizationIsValidAndCoversEverything) {
+  Bundle b = MakeBundle(21);
+  std::vector<TagId> tags = b.index.NonEmptyTags();
+  ASSERT_GE(tags.size(), 4u);
+  size_t half = tags.size() / 2;
+  std::vector<TagId> left(tags.begin(), tags.begin() + half);
+  std::vector<TagId> right(tags.begin() + half, tags.end());
+
+  std::vector<Organization> shards;
+  shards.push_back(BuildClusteringOrganization(
+      OrgContext::Build(b.bench.lake, b.index, left)));
+  shards.push_back(BuildClusteringOrganization(
+      OrgContext::Build(b.bench.lake, b.index, right)));
+
+  auto full = OrgContext::BuildFull(b.bench.lake, b.index);
+  Result<Organization> stitched = StitchShardOrganizations(full, shards);
+  ASSERT_TRUE(stitched.ok()) << stitched.status().ToString();
+  const Organization& org = stitched.value();
+
+  EXPECT_TRUE(org.Validate().ok()) << org.Validate().ToString();
+  EXPECT_TRUE(CheckTopicInvariants(org).ok());
+  // One root child per shard, in shard order.
+  ASSERT_EQ(org.children(org.root()).size(), 2u);
+  // Every attribute of the full context has a leaf.
+  for (uint32_t a = 0; a < full->num_attrs(); ++a) {
+    EXPECT_NE(org.LeafOf(a), kInvalidId) << "attr " << a;
+  }
+  // The stitched organization is an ordinary organization: the optimized
+  // evaluator and the naive oracle agree on it.
+  OrgEvaluator eval;
+  ReferenceEvaluator ref;
+  EXPECT_NEAR(eval.Effectiveness(org), ref.Effectiveness(org), 1e-9);
+}
+
+TEST(StitchTest, RejectsOverlappingTagSets) {
+  Bundle b = MakeBundle(22);
+  std::vector<TagId> tags = b.index.NonEmptyTags();
+  ASSERT_GE(tags.size(), 4u);
+  size_t half = tags.size() / 2;
+  std::vector<TagId> left(tags.begin(), tags.begin() + half);
+  // Right half shares its first tag with the left half.
+  std::vector<TagId> right(tags.begin() + half - 1, tags.end());
+
+  std::vector<Organization> shards;
+  shards.push_back(BuildClusteringOrganization(
+      OrgContext::Build(b.bench.lake, b.index, left)));
+  shards.push_back(BuildClusteringOrganization(
+      OrgContext::Build(b.bench.lake, b.index, right)));
+
+  auto full = OrgContext::BuildFull(b.bench.lake, b.index);
+  Result<Organization> stitched = StitchShardOrganizations(full, shards);
+  EXPECT_FALSE(stitched.ok());
+}
+
+TEST(ShardedSearchTest, SingleShardIsByteIdenticalToUnsharded) {
+  Bundle b = MakeBundle(23);
+  LocalSearchOptions search = FastSearch();
+
+  Result<LocalSearchResult> unsharded = OptimizeOrganization(
+      BuildClusteringOrganization(
+          OrgContext::BuildFull(b.bench.lake, b.index)),
+      search);
+  ASSERT_TRUE(unsharded.ok());
+
+  ShardedSearchOptions opts;
+  opts.shards = 1;
+  opts.search = search;
+  Result<ShardedSearchResult> sharded =
+      BuildShardedOrganization(b.bench.lake, b.index, opts);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_FALSE(sharded.value().stitched);
+  EXPECT_EQ(Bytes(sharded.value().org), Bytes(unsharded.value().org));
+  EXPECT_EQ(sharded.value().shards[0].effectiveness,
+            unsharded.value().effectiveness);
+}
+
+TEST(ShardedSearchTest, ByteDeterministicAcrossThreadsAndBudget) {
+  Bundle b = MakeBundle(24);
+  ShardedSearchOptions opts;
+  opts.shards = 3;
+  opts.search = FastSearch();
+  opts.num_threads = 1;
+  Result<ShardedSearchResult> serial =
+      BuildShardedOrganization(b.bench.lake, b.index, opts);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  EXPECT_TRUE(serial.value().stitched);
+  std::string want = Bytes(serial.value().org);
+
+  opts.num_threads = 4;
+  Result<ShardedSearchResult> threaded =
+      BuildShardedOrganization(b.bench.lake, b.index, opts);
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_EQ(Bytes(threaded.value().org), want);
+
+  // A 1-byte budget serializes all admissions; the result must not move.
+  opts.memory_budget_bytes = 1;
+  Result<ShardedSearchResult> budgeted =
+      BuildShardedOrganization(b.bench.lake, b.index, opts);
+  ASSERT_TRUE(budgeted.ok());
+  EXPECT_EQ(Bytes(budgeted.value().org), want);
+  // Serialized admission: never more than one shard's estimate in flight.
+  size_t max_estimate = 0;
+  for (const ShardSearchInfo& s : budgeted.value().shards) {
+    max_estimate = std::max(max_estimate, s.estimated_bytes);
+  }
+  EXPECT_LE(budgeted.value().peak_inflight_bytes, max_estimate);
+}
+
+TEST(ShardedSearchTest, UnoptimizedStitchCoversAllAttributes) {
+  Bundle b = MakeBundle(25);
+  ShardedSearchOptions opts;
+  opts.shards = 3;
+  opts.optimize = false;
+  Result<ShardedSearchResult> res =
+      BuildShardedOrganization(b.bench.lake, b.index, opts);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  const Organization& org = res.value().org;
+  EXPECT_TRUE(org.Validate().ok());
+  for (uint32_t a = 0; a < org.ctx().num_attrs(); ++a) {
+    EXPECT_NE(org.LeafOf(a), kInvalidId);
+  }
+}
+
+TEST(ShardedSearchTest, RejectsRestrictTargets) {
+  Bundle b = MakeBundle(26);
+  ShardedSearchOptions opts;
+  opts.search = FastSearch();
+  opts.search.restrict_targets = {0};
+  Result<ShardedSearchResult> res =
+      BuildShardedOrganization(b.bench.lake, b.index, opts);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(ShardedSearchTest, EstimateGrowsWithContext) {
+  Bundle small = MakeBundle(27, 8);
+  Bundle big = MakeBundle(27, 24);
+  LocalSearchOptions search = FastSearch();
+  auto small_ctx = OrgContext::BuildFull(small.bench.lake, small.index);
+  auto big_ctx = OrgContext::BuildFull(big.bench.lake, big.index);
+  size_t small_bytes = EstimateShardSearchBytes(*small_ctx, search);
+  size_t big_bytes = EstimateShardSearchBytes(*big_ctx, search);
+  EXPECT_GT(small_bytes, 0u);
+  EXPECT_GT(big_bytes, small_bytes);
+}
+
+TEST(ShardedSearchTest, MeanShardEffectivenessIsQueryWeighted) {
+  Bundle b = MakeBundle(29, 6);
+  ShardedSearchResult res{
+      BuildFlatOrganization(OrgContext::BuildFull(b.bench.lake, b.index)),
+      {}, false, 0.0, 0.0, 0};
+  ShardSearchInfo a;
+  a.effectiveness = 1.0;
+  a.num_queries = 3;
+  ShardSearchInfo c;
+  c.effectiveness = 0.0;
+  c.num_queries = 1;
+  res.shards = {a, c};
+  EXPECT_NEAR(res.MeanShardEffectiveness(), 0.75, 1e-12);
+}
+
+TEST(OrganizationHeapBytesTest, PositiveAndGrowsWithStates) {
+  Bundle b = MakeBundle(28);
+  auto ctx = OrgContext::BuildFull(b.bench.lake, b.index);
+  Organization flat = BuildFlatOrganization(ctx);
+  Organization clustering = BuildClusteringOrganization(ctx);
+  EXPECT_GT(flat.HeapBytes(), 0u);
+  EXPECT_GE(clustering.HeapBytes(), flat.HeapBytes());
+}
+
+}  // namespace
+}  // namespace lakeorg

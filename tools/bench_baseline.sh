@@ -7,6 +7,9 @@
 #   BENCH_nav_serving.json      — concurrent serving layer (E8)
 #   BENCH_wal_replay.json       — WAL append + crash recovery (E9)
 #   BENCH_net_serving.json      — TCP front end, Zipf fleet (E10)
+#   BENCH_scalability.json      — TagCloud sweep + sharded Socrata
+#                                 sweep with the epsilon gate (S1);
+#                                 the slowest baseline by far
 #
 # Run on a quiet machine, then commit the refreshed files. Gate future
 # changes with:
@@ -38,7 +41,7 @@ echo "bench_baseline.sh: baselining clean tree at $sha"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" \
   --target fig2a_tagcloud micro_core micro_evaluator nav_serving \
-           wal_replay net_serving bench_compare
+           wal_replay net_serving scalability bench_compare
 
 ./build/bench/fig2a_tagcloud --json=BENCH_fig2a_tagcloud.json
 ./build/bench/micro_core --json=BENCH_micro_core.json
@@ -46,10 +49,15 @@ cmake --build build -j "$jobs" \
 ./build/bench/nav_serving --json=BENCH_nav_serving.json
 ./build/bench/wal_replay --json=BENCH_wal_replay.json
 ./build/bench/net_serving --json=BENCH_net_serving.json
+# The default sweep (multipliers 1,10 plus the multiplier-1 unsharded
+# epsilon gate) runs for many minutes; the reports embed the LAKEORG_*
+# environment, so keep it unset here as for every other baseline.
+./build/bench/scalability --json=BENCH_scalability.json
 
 for report in BENCH_fig2a_tagcloud.json BENCH_micro_core.json \
               BENCH_micro_evaluator.json BENCH_nav_serving.json \
-              BENCH_wal_replay.json BENCH_net_serving.json; do
+              BENCH_wal_replay.json BENCH_net_serving.json \
+              BENCH_scalability.json; do
   ./build/tools/bench_compare --check "$report"
   # Belt-and-braces: the report must carry the SHA we just resolved. The
   # harness bakes the SHA in at configure time; the reconfigure above

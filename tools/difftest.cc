@@ -38,6 +38,14 @@
 //
 //   difftest --durability --seed 1 --trials 25 --crashes 8 --window 8
 //
+// --sharded switches to the sharded-optimization property
+// (RunShardedTrial): shard-count-1 BuildShardedOrganization must be
+// byte-identical to the unsharded optimizer, multi-shard builds must be
+// byte-deterministic across thread counts and memory budgets, and the
+// stitched organization must validate and match the reference oracle.
+//
+//   difftest --sharded --seed 1 --trials 30 --threads 4
+//
 // Exit status 0 iff every trial passed.
 #include <cinttypes>
 #include <cstdio>
@@ -60,7 +68,9 @@ void Usage() {
                "                [--mutations N] [--serving] [--sessions N]\n"
                "                [--steps N] [--recycle] [--rounds N]\n"
                "                [--durability] [--applies N] [--crashes N]\n"
-               "                [--window N] [--snapshot-every N]\n");
+               "                [--window N] [--snapshot-every N]\n"
+               "                [--sharded] [--max-shards N]\n"
+               "                [--proposals N]\n");
   std::exit(2);
 }
 
@@ -89,6 +99,9 @@ int main(int argc, char** argv) {
   bool serving = false;
   bool recycle = false;
   bool durability = false;
+  bool sharded = false;
+  size_t max_shards = 4;
+  size_t proposals = 40;
   size_t mutations = 3;
   size_t sessions = 8;
   size_t steps = 30;
@@ -144,6 +157,12 @@ int main(int argc, char** argv) {
       window = static_cast<int>(ParseU64(next()));
     } else if (std::strcmp(argv[i], "--snapshot-every") == 0) {
       snapshot_every = ParseU64(next());
+    } else if (std::strcmp(argv[i], "--sharded") == 0) {
+      sharded = true;
+    } else if (std::strcmp(argv[i], "--max-shards") == 0) {
+      max_shards = static_cast<size_t>(ParseU64(next()));
+    } else if (std::strcmp(argv[i], "--proposals") == 0) {
+      proposals = static_cast<size_t>(ParseU64(next()));
     } else {
       Usage();
     }
@@ -186,6 +205,46 @@ int main(int argc, char** argv) {
         "%zu steps, cache hit rate %.2f, %.1fs\n",
         ran - failures, ran, failures, sopts.threads, total_steps, hit_rate,
         timer.ElapsedSeconds());
+    return failures == 0 ? 0 : 1;
+  }
+
+  if (sharded) {
+    lakeorg::ShardedTrialOptions shopts;
+    shopts.threads = options.threads;
+    shopts.tolerance = options.tolerance;
+    shopts.max_shards = max_shards;
+    shopts.max_proposals = proposals;
+    lakeorg::WallTimer timer;
+    size_t ran = 0;
+    size_t failures = 0;
+    size_t shards_total = 0;
+    double worst = 0.0;
+    double worst_gap = 0.0;
+    for (size_t t = 0; t < trials; ++t) {
+      if (max_seconds > 0.0 && timer.ElapsedSeconds() >= max_seconds) break;
+      shopts.seed = seed + t;
+      lakeorg::ShardedTrialResult res = lakeorg::RunShardedTrial(shopts);
+      ++ran;
+      shards_total += res.shards_built;
+      worst = std::max(worst, res.effectiveness_diff);
+      worst_gap = std::max(worst_gap, res.sharded_vs_unsharded_gap);
+      if (!res.ok) {
+        ++failures;
+        std::fprintf(stderr, "FAIL %s\n", res.error.c_str());
+      } else if (verbose) {
+        std::printf(
+            "seed %" PRIu64 ": ok  shards=%zu states=%zu diff=%.3g "
+            "gap=%.3g\n",
+            shopts.seed, res.shards_built, res.states_stitched,
+            res.effectiveness_diff, res.sharded_vs_unsharded_gap);
+      }
+    }
+    std::printf(
+        "difftest --sharded: %zu/%zu trials ok (%zu failed), threads=%zu, "
+        "%zu shards built, worst |stitched - reference| = %.3g, "
+        "worst sharded-vs-unsharded gap = %.3g, %.1fs\n",
+        ran - failures, ran, failures, shopts.threads, shards_total, worst,
+        worst_gap, timer.ElapsedSeconds());
     return failures == 0 ? 0 : 1;
   }
 
