@@ -42,6 +42,17 @@ void BehaviorLog::Clear() {
   total_ = 0;
 }
 
+std::vector<double> AdaptiveTransitionModel::PriorProbabilities(
+    const Organization& org, StateId s, const Vec& query) const {
+  const OrgState& st = org.state(s);
+  assert(!st.children.empty());
+  std::vector<double> sims(st.children.size());
+  for (size_t i = 0; i < st.children.size(); ++i) {
+    sims[i] = Cosine(org.state(st.children[i]).topic, query);
+  }
+  return TransitionProbabilities(sims, config_);
+}
+
 std::vector<double> AdaptiveTransitionModel::Probabilities(
     const Organization& org, const BehaviorLog& log, StateId s,
     const Vec& query) const {
@@ -50,11 +61,7 @@ std::vector<double> AdaptiveTransitionModel::Probabilities(
   assert(!st.children.empty());
 
   // Content prior (Equation 1).
-  std::vector<double> sims(st.children.size());
-  for (size_t i = 0; i < st.children.size(); ++i) {
-    sims[i] = Cosine(org.state(st.children[i]).topic, query);
-  }
-  std::vector<double> prior = TransitionProbabilities(sims, config_);
+  std::vector<double> prior = PriorProbabilities(org, s, query);
 
   // Dirichlet blend with observed counts. Counts toward children that
   // were removed since logging naturally drop out (they are no longer in

@@ -26,9 +26,13 @@
 namespace lakeorg {
 
 /// Accumulated click-through counts over an organization's edges.
-/// State ids are stable across organization mutations (the arena never
-/// reuses ids), so a log survives incremental reorganization; counts on
-/// removed states simply stop mattering.
+/// State ids are stable across ordinary organization mutations, so a log
+/// survives incremental reorganization; counts on removed states simply
+/// stop mattering. RecycleDeadStates is the exception: it reuses dead
+/// slots, after which an old count can name a brand-new state. Consumers
+/// that blend logs across recycling (the adaptive loop) must validate
+/// entries against the current organization first (ClickEventValid) or
+/// Clear() the log when the organization's lineage changes.
 class BehaviorLog {
  public:
   /// Records one observed user transition from `from` to `to`.
@@ -74,6 +78,12 @@ class AdaptiveTransitionModel {
   std::vector<double> Probabilities(const Organization& org,
                                     const BehaviorLog& log, StateId s,
                                     const Vec& query) const;
+
+  /// The content prior alone (Equation 1 over s's children) — exactly
+  /// what Probabilities blends the observations into. The adaptive
+  /// loop's drift score compares this against the posterior.
+  std::vector<double> PriorProbabilities(const Organization& org, StateId s,
+                                         const Vec& query) const;
 
   const TransitionConfig& config() const { return config_; }
   double prior_strength() const { return prior_strength_; }

@@ -113,6 +113,19 @@ double OrgEvaluator::Effectiveness(const Organization& org) const {
   return Effectiveness(org.ctx(), AllAttributeDiscovery(org));
 }
 
+double OrgEvaluator::WeightedEffectiveness(
+    const OrgContext& ctx, const std::vector<double>& attr_discovery,
+    const std::vector<double>& table_weights) {
+  assert(table_weights.size() == ctx.num_tables());
+  double total = 0.0;
+  double weight_total = 0.0;
+  for (uint32_t t = 0; t < ctx.num_tables(); ++t) {
+    total += table_weights[t] * TableDiscovery(ctx, t, attr_discovery);
+    weight_total += table_weights[t];
+  }
+  return weight_total > 0.0 ? total / weight_total : 0.0;
+}
+
 std::vector<std::vector<uint32_t>> OrgEvaluator::AttributeNeighbors(
     const OrgContext& ctx, double theta, ThreadPool* pool) {
   size_t n = ctx.num_attrs();
@@ -282,6 +295,30 @@ void IncrementalEvaluator::InvalidateKappa(
   }
 }
 
+Status IncrementalEvaluator::SetTableWeights(std::vector<double> weights) {
+  if (weights.empty()) {
+    table_weights_.clear();
+    weight_total_ = 0.0;
+    return Status::OK();
+  }
+  if (weights.size() != ctx_->num_tables()) {
+    return Status::InvalidArgument("table_weights size mismatch");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      return Status::InvalidArgument("table_weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (!(total > 0.0)) {
+    return Status::InvalidArgument("table_weights must have a positive sum");
+  }
+  table_weights_ = std::move(weights);
+  weight_total_ = total;
+  return Status::OK();
+}
+
 void IncrementalEvaluator::Initialize(const Organization& org) {
   EvalMetrics& em = EvalMetrics::Get();
   obs::ScopedTimer span(&em.initialize_us);
@@ -306,7 +343,9 @@ void IncrementalEvaluator::Initialize(const Organization& org) {
                          reach_[q][org.LeafOf(reps_.query_attrs[q])];
                    }
                  });
-  // Table probabilities through the representative mapping.
+  // Table probabilities through the representative mapping. The weighted
+  // branch keeps the unweighted arithmetic untouched: legacy callers stay
+  // bit-identical.
   table_prob_.assign(ctx_->num_tables(), 0.0);
   double total = 0.0;
   for (uint32_t t = 0; t < ctx_->num_tables(); ++t) {
@@ -315,11 +354,16 @@ void IncrementalEvaluator::Initialize(const Organization& org) {
       miss *= (1.0 - query_discovery_[reps_.rep_of[a]]);
     }
     table_prob_[t] = 1.0 - miss;
-    total += table_prob_[t];
+    total += table_weights_.empty() ? table_prob_[t]
+                                    : table_weights_[t] * table_prob_[t];
   }
-  effectiveness_ = ctx_->num_tables() == 0
-                       ? 0.0
-                       : total / static_cast<double>(ctx_->num_tables());
+  if (!table_weights_.empty()) {
+    effectiveness_ = total / weight_total_;
+  } else {
+    effectiveness_ = ctx_->num_tables() == 0
+                         ? 0.0
+                         : total / static_cast<double>(ctx_->num_tables());
+  }
 }
 
 double IncrementalEvaluator::StateReachability(StateId s) const {
@@ -549,12 +593,18 @@ void IncrementalEvaluator::EvaluateProposal(
     }
     double prob = 1.0 - miss;
     out->new_table_probs.emplace_back(t, prob);
-    delta += prob - table_prob_[t];
+    delta += table_weights_.empty() ? prob - table_prob_[t]
+                                    : table_weights_[t] * (prob - table_prob_[t]);
   }
-  out->effectiveness =
-      effectiveness_ + (ctx_->num_tables() == 0
-                            ? 0.0
-                            : delta / static_cast<double>(ctx_->num_tables()));
+  if (!table_weights_.empty()) {
+    out->effectiveness = effectiveness_ + delta / weight_total_;
+  } else {
+    out->effectiveness =
+        effectiveness_ +
+        (ctx_->num_tables() == 0
+             ? 0.0
+             : delta / static_cast<double>(ctx_->num_tables()));
+  }
 
   // Pruning/cache telemetry. The per-chunk tallies are drained even when
   // metrics are off, so a later enable never flushes stale garbage; the

@@ -68,6 +68,15 @@ class OrgEvaluator {
   static double Effectiveness(const OrgContext& ctx,
                               const std::vector<double>& attr_discovery);
 
+  /// Demand-weighted effectiveness: sum_t w_t * P(T_t | O) / sum_t w_t.
+  /// With uniform weights this equals Effectiveness(). The adaptive loop
+  /// scores organizations against observed query demand with this.
+  /// `table_weights` must have one finite, non-negative entry per table
+  /// and a positive sum.
+  static double WeightedEffectiveness(const OrgContext& ctx,
+                                      const std::vector<double>& attr_discovery,
+                                      const std::vector<double>& table_weights);
+
   /// Exact organization effectiveness (runs AllAttributeDiscovery).
   double Effectiveness(const Organization& org) const;
 
@@ -150,6 +159,15 @@ class IncrementalEvaluator {
   IncrementalEvaluator(TransitionConfig config,
                        std::shared_ptr<const OrgContext> ctx,
                        RepresentativeSet reps, size_t num_threads = 1);
+
+  /// Installs per-table objective weights: effectiveness becomes
+  /// sum_t w_t * P(T_t | O) / sum_t w_t instead of the uniform mean over
+  /// tables (the adaptive loop's demand-weighted objective). Must be
+  /// called before Initialize. `weights` needs one finite, non-negative
+  /// entry per context table with a positive sum; empty restores the
+  /// unweighted objective, whose arithmetic is bit-identical to the
+  /// pre-weighting evaluator.
+  Status SetTableWeights(std::vector<double> weights);
 
   /// Full evaluation of `org`; resets all caches. `org` becomes the
   /// committed organization (the caller must keep it alive and unmodified
@@ -278,6 +296,10 @@ class IncrementalEvaluator {
   /// Discovery probability per table (Equation 5 with representative
   /// approximation), and their mean.
   std::vector<double> table_prob_;
+  /// Optional per-table objective weights and their sum; empty = uniform
+  /// mean (the exact legacy arithmetic).
+  std::vector<double> table_weights_;
+  double weight_total_ = 0.0;
   double effectiveness_ = 0.0;
   /// attr -> tables is static; tables_of_query_[q] = tables containing any
   /// member attribute of query q's partition.

@@ -147,6 +147,7 @@ Result<LocalSearchResult> OptimizeOrganization(
   }
   IncrementalEvaluator evaluator(options.transition, ctx, std::move(reps),
                                  options.num_threads);
+  LAKEORG_RETURN_NOT_OK(evaluator.SetTableWeights(options.table_weights));
 
   Organization current = std::move(initial);
   current.RecomputeLevels();

@@ -69,6 +69,13 @@ struct LocalSearchOptions {
   /// traces are unaffected). Ids must be alive states of the initial
   /// organization.
   std::vector<StateId> restrict_targets;
+  /// Optional per-table objective weights: the search maximizes
+  /// sum_t w_t * P(T_t | O) / sum_t w_t instead of the uniform mean over
+  /// tables — the adaptive loop's demand-weighted objective. One finite,
+  /// non-negative entry per context table with a positive sum. Empty =
+  /// uniform (the exact legacy objective; existing fixed-seed traces are
+  /// unaffected).
+  std::vector<double> table_weights;
 };
 
 /// Validates optimizer tunables: rejects non-positive or non-finite

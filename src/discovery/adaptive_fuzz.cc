@@ -1,0 +1,273 @@
+#include "discovery/adaptive_fuzz.h"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/evaluator.h"
+#include "core/serialization.h"
+#include "discovery/adaptive_loop.h"
+#include "discovery/live_lake.h"
+#include "discovery/nav_service.h"
+
+namespace lakeorg {
+namespace {
+
+/// One session's scripted walk: peek, then descend a random rank (or
+/// back off). Every descend the service acknowledged is recorded from
+/// the returned views — the oracle's independent copy of the click
+/// stream. Returns an empty string on success.
+std::string RunAdaptiveWalk(NavService* service, NavSessionId id,
+                            uint32_t query_attr, uint64_t walk_seed,
+                            size_t num_steps, std::vector<ClickEvent>* clicks,
+                            size_t* steps_taken) {
+  Rng rng(walk_seed);
+  for (size_t step = 0; step < num_steps; ++step) {
+    Result<NavView> peek = service->Peek(id);
+    if (!peek.ok()) return "peek failed: " + peek.status().ToString();
+    const NavView& view = peek.value();
+    size_t choices = view.NumChoices();
+    if (choices == 0) {
+      if (view.depth == 0) break;  // Childless root: nowhere to go.
+      Result<NavView> back = service->Back(id);
+      if (!back.ok()) return "back from dead end failed";
+      ++*steps_taken;
+      continue;
+    }
+    if (view.depth > 0 && rng.Bernoulli(0.25)) {
+      Result<NavView> back = service->Back(id);
+      if (!back.ok()) return "back failed";
+    } else {
+      size_t rank = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(choices) - 1));
+      StateId to = view.ChoiceState(rank);
+      Result<NavView> down = service->Descend(id, rank);
+      if (!down.ok()) return "descend failed: " + down.status().ToString();
+      ClickEvent click;
+      click.version = view.snapshot_version;
+      click.from = view.state;
+      click.to = to;
+      click.query_attr = query_attr;
+      clicks->push_back(click);
+    }
+    ++*steps_taken;
+  }
+  return "";
+}
+
+Result<std::string> OrgBytes(const Organization& org) {
+  std::ostringstream out;
+  LAKEORG_RETURN_NOT_OK(SaveOrganization(org, &out));
+  return std::move(out).str();
+}
+
+}  // namespace
+
+AdaptiveTrialResult RunAdaptiveTrial(const AdaptiveTrialOptions& options) {
+  AdaptiveTrialResult result;
+  auto fail = [&result, &options](const std::string& msg) {
+    result.ok = false;
+    result.error =
+        "adaptive trial seed " + std::to_string(options.seed) + ": " + msg;
+    return result;
+  };
+
+  Rng rng(options.seed);
+  FuzzLake fuzz = MakeFuzzLake(&rng, options.lake);
+
+  LiveLakeService::Options base;
+  base.optimize_initial = false;  // Clustering org: headroom for repairs.
+  base.canonical_publish = true;  // Published orgs are save/load-exact.
+  LiveLakeService live(fuzz.bench.lake, fuzz.bench.store, base);
+  Status init = live.Initialize();
+  if (!init.ok()) return fail("initialize failed: " + init.ToString());
+
+  auto sink = std::make_shared<ClickLogSink>(size_t{1} << 20);
+  NavServiceOptions nopts;
+  nopts.idle_ttl_seconds = 0.0;       // No expiry mid-trial.
+  nopts.clock = [] { return 0.0; };   // Fake clock: fully deterministic.
+  nopts.click_sink = sink;
+  NavService service(&live, nopts);
+
+  AdaptivePolicyOptions popts;
+  popts.prior_strength = 32.0;
+  popts.min_clicks = 1;
+  // Exercise repairing and non-repairing ticks across the corpus.
+  const double kThresholds[] = {0.0, 0.05, 0.75};
+  popts.drift_threshold = kThresholds[rng.UniformInt(0, 2)];
+  popts.reopt.max_proposals = 40;
+  popts.reopt.patience = 10;
+  popts.reopt.record_history = false;
+  popts.reopt.num_threads = options.threads;
+  popts.reopt.seed = 777;
+  AdaptivePolicy policy(&live, sink, popts);
+
+  // Serial-oracle replica of the policy's cumulative state.
+  const OrgContext& ctx = *live.Current()->ctx;
+  BehaviorLog oracle_log;
+  std::vector<uint64_t> oracle_demand(ctx.num_attrs(), 0);
+  uint64_t oracle_clicks_since = 0;
+  uint64_t oracle_repairs = 0;
+
+  for (size_t round = 0; round < options.rounds; ++round) {
+    std::shared_ptr<const OrgSnapshot> pre = live.Current();
+
+    // Serve one round of concurrent scripted walks; every walker records
+    // its own click stream, so the oracle multiset is exact regardless
+    // of interleaving.
+    struct Walker {
+      NavSessionId id = 0;
+      uint32_t attr = 0;
+      uint64_t walk_seed = 0;
+      std::vector<ClickEvent> clicks;
+      std::string error;
+      size_t steps = 0;
+    };
+    std::vector<Walker> walkers(options.num_sessions);
+    for (Walker& w : walkers) {
+      w.attr = static_cast<uint32_t>(
+          rng.UniformInt(0, static_cast<int64_t>(ctx.num_attrs()) - 1));
+      w.walk_seed = static_cast<uint64_t>(rng.UniformInt(1, 1 << 30));
+      Result<NavSessionId> opened = service.Open(w.attr);
+      if (!opened.ok()) return fail("open failed");
+      w.id = opened.value();
+    }
+    std::unique_ptr<ThreadPool> pool;
+    if (options.threads > 1) {
+      pool = std::make_unique<ThreadPool>(options.threads);
+    }
+    ParallelChunks(pool.get(), walkers.size(), options.threads,
+                   [&](size_t, size_t begin, size_t end) {
+                     for (size_t i = begin; i < end; ++i) {
+                       Walker& w = walkers[i];
+                       w.error = RunAdaptiveWalk(&service, w.id, w.attr,
+                                                 w.walk_seed,
+                                                 options.steps_per_session,
+                                                 &w.clicks, &w.steps);
+                     }
+                   });
+    size_t round_clicks = 0;
+    for (Walker& w : walkers) {
+      if (!w.error.empty()) return fail(w.error);
+      result.steps += w.steps;
+      round_clicks += w.clicks.size();
+      Status closed = service.Close(w.id);
+      if (!closed.ok()) return fail("close failed");
+    }
+    result.clicks += round_clicks;
+
+    // Deterministic bad events: one from a superseded version (stale),
+    // one naming an out-of-range state, one naming a non-edge (invalid).
+    ClickEvent stale;
+    stale.version = pre->version + 999;
+    stale.from = pre->org->root();
+    stale.to = pre->org->root();
+    sink->Push(stale);
+    ClickEvent out_of_range;
+    out_of_range.version = pre->version;
+    out_of_range.from = static_cast<StateId>(pre->org->num_states() + 7);
+    out_of_range.to = pre->org->root();
+    sink->Push(out_of_range);
+    ClickEvent non_edge;
+    non_edge.version = pre->version;
+    non_edge.from = pre->org->root();
+    non_edge.to = pre->org->root();  // Never a child of itself.
+    sink->Push(non_edge);
+
+    // Oracle blend (serial, walker order) + plan derivation.
+    for (const Walker& w : walkers) {
+      for (const ClickEvent& click : w.clicks) {
+        if (click.version != pre->version) return fail("unexpected version");
+        if (!ClickEventValid(*pre->org, ctx, click)) {
+          return fail("walker recorded an invalid click");
+        }
+        oracle_log.Record(click.from, click.to);
+        ++oracle_demand[click.query_attr];
+        ++oracle_clicks_since;
+      }
+    }
+    AdaptiveRepairPlan plan =
+        BuildRepairPlan(*pre->org, ctx, oracle_log, oracle_demand, popts);
+    bool expect_repair = plan.drift >= popts.drift_threshold &&
+                         oracle_clicks_since >= popts.min_clicks &&
+                         !plan.targets.empty();
+
+    Result<AdaptiveTickReport> ticked = policy.Tick();
+    if (!ticked.ok()) return fail("tick failed: " + ticked.status().ToString());
+    const AdaptiveTickReport& tick = ticked.value();
+
+    if (tick.drained != round_clicks + 3) return fail("drained mismatch");
+    if (tick.dropped_stale != 1) return fail("dropped_stale mismatch");
+    if (tick.dropped_invalid != 2) return fail("dropped_invalid mismatch");
+    if (tick.drift != plan.drift) {
+      return fail("drift not bit-identical to the oracle replay");
+    }
+    if (tick.drift > result.max_drift) result.max_drift = tick.drift;
+    // A repairing tick restarts the policy's observation window, so its
+    // log is empty afterwards; otherwise it must track the oracle's.
+    uint64_t expect_total = expect_repair ? 0 : oracle_log.total();
+    if (policy.log().total() != expect_total) {
+      return fail("blended log total mismatch");
+    }
+    if (tick.repaired != expect_repair) return fail("repair decision mismatch");
+
+    if (expect_repair) {
+      ++result.repairs;
+      if (tick.version != pre->version + 1 ||
+          live.version() != tick.version) {
+        return fail("repair did not publish the next version");
+      }
+      // Oracle replay of the restricted re-optimization: same plan, same
+      // seed schedule, byte-identical publish.
+      LocalSearchOptions search = popts.reopt;
+      search.restrict_targets = plan.targets;
+      search.table_weights = plan.table_weights;
+      search.seed = popts.reopt.seed + oracle_repairs;
+      Result<LocalSearchResult> opt =
+          OptimizeOrganization(pre->org->Clone(), search);
+      if (!opt.ok()) return fail("oracle reopt failed: " +
+                                 opt.status().ToString());
+      LocalSearchResult oracle_lsr = std::move(opt).value();
+      if (oracle_lsr.effectiveness != tick.effectiveness) {
+        return fail("repair objective not bit-identical to the oracle");
+      }
+      if (oracle_lsr.effectiveness < oracle_lsr.initial_effectiveness) {
+        return fail("optimizer returned a worse weighted objective");
+      }
+      // The weighted objective must agree with the independent
+      // OrgEvaluator oracle (identity representatives => exact).
+      OrgEvaluator eval(popts.reopt.transition);
+      double weff = OrgEvaluator::WeightedEffectiveness(
+          ctx, eval.AllAttributeDiscovery(oracle_lsr.org),
+          plan.table_weights);
+      if (std::abs(weff - oracle_lsr.effectiveness) > options.tolerance) {
+        return fail("weighted effectiveness oracle mismatch");
+      }
+      oracle_lsr.org.RecomputeAllTopics();  // canonical_publish.
+      Result<std::string> oracle_bytes = OrgBytes(oracle_lsr.org);
+      Result<std::string> published_bytes = OrgBytes(*live.Current()->org);
+      if (!oracle_bytes.ok() || !published_bytes.ok()) {
+        return fail("serialization failed");
+      }
+      if (oracle_bytes.value() != published_bytes.value()) {
+        return fail("published org not byte-identical to the oracle replay");
+      }
+      ++oracle_repairs;
+      oracle_log.Clear();
+      oracle_demand.assign(ctx.num_attrs(), 0);
+      oracle_clicks_since = 0;
+    } else {
+      if (tick.version != pre->version || live.version() != pre->version) {
+        return fail("non-repairing tick changed the published version");
+      }
+    }
+    if (policy.repairs() != oracle_repairs) return fail("repair count drift");
+  }
+  return result;
+}
+
+}  // namespace lakeorg

@@ -1,0 +1,62 @@
+// Randomized differential testing for the closed adaptive loop (the
+// --adaptive mode of tools/difftest.cc): one trial builds a random lake,
+// serves it through a LiveLakeService + NavService with a click sink
+// attached, drives scripted concurrent session walks (each walker
+// records the clicks it caused from the views it saw), injects
+// deterministic stale/invalid events, and then checks one
+// AdaptivePolicy::Tick against a serial oracle replay:
+//
+//  - drained/dropped tallies must match the recorded event multiset;
+//  - the drift score must be BIT-IDENTICAL to BuildRepairPlan over the
+//    oracle's independently blended BehaviorLog (thread-invariance of
+//    the blend);
+//  - when a repair triggers, re-running OptimizeOrganization with the
+//    oracle-derived plan (restrict_targets + table_weights + seed) must
+//    produce a BYTE-IDENTICAL published organization, and the reported
+//    objective must match the weighted-effectiveness oracle to 1e-9;
+//  - the optimizer contract effectiveness >= initial_effectiveness must
+//    hold under the demand-weighted objective.
+//
+// Deterministic for a fixed seed at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/org_fuzz.h"
+
+namespace lakeorg {
+
+/// One adaptive-loop trial's configuration.
+struct AdaptiveTrialOptions {
+  /// Trial seed; drives the lake, every walk script, and the drift
+  /// threshold. Printed with every failure.
+  uint64_t seed = 1;
+  /// Client threads driving session walks concurrently.
+  size_t threads = 1;
+  /// Sessions opened per round.
+  size_t num_sessions = 6;
+  /// Navigation steps per session per round.
+  size_t steps_per_session = 25;
+  /// serve -> observe -> Tick rounds per trial.
+  size_t rounds = 3;
+  /// Tolerance for the weighted-effectiveness oracle cross-check.
+  double tolerance = 1e-9;
+  FuzzLakeOptions lake;
+};
+
+/// Outcome of one adaptive-loop trial.
+struct AdaptiveTrialResult {
+  bool ok = true;
+  /// First failure, with the trial seed embedded; empty when ok.
+  std::string error;
+  size_t steps = 0;
+  size_t clicks = 0;
+  size_t repairs = 0;
+  double max_drift = 0.0;
+};
+
+/// Runs one adaptive-loop differential trial.
+AdaptiveTrialResult RunAdaptiveTrial(const AdaptiveTrialOptions& options);
+
+}  // namespace lakeorg

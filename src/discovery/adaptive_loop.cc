@@ -1,0 +1,296 @@
+#include "discovery/adaptive_loop.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "common/timer.h"
+#include "discovery/live_lake.h"
+#include "obs/metrics.h"
+
+namespace lakeorg {
+
+namespace {
+
+struct AdaptiveMetrics {
+  obs::Counter& ticks = obs::GetCounter("adaptive.ticks_total");
+  obs::Counter& tick_errors = obs::GetCounter("adaptive.tick_errors_total");
+  obs::Counter& drained = obs::GetCounter("adaptive.clicks_drained_total");
+  obs::Counter& blended = obs::GetCounter("adaptive.clicks_blended_total");
+  obs::Counter& dropped_stale =
+      obs::GetCounter("adaptive.clicks_dropped_stale_total");
+  obs::Counter& dropped_invalid =
+      obs::GetCounter("adaptive.clicks_dropped_invalid_total");
+  obs::Counter& sink_dropped = obs::GetCounter("adaptive.sink_dropped_total");
+  obs::Counter& repairs = obs::GetCounter("adaptive.repairs_total");
+  obs::Gauge& drift = obs::GetGauge("adaptive.drift");
+  obs::Gauge& effectiveness = obs::GetGauge("adaptive.effectiveness");
+  obs::Gauge& clicks_pending = obs::GetGauge("adaptive.clicks_since_repair");
+  obs::Histogram& publish_us = obs::GetHistogram("adaptive.publish_us");
+};
+
+AdaptiveMetrics& Metrics() {
+  static AdaptiveMetrics m;
+  return m;
+}
+
+}  // namespace
+
+ClickLogSink::ClickLogSink(size_t capacity) : capacity_(capacity) {
+  assert(capacity_ > 0);
+}
+
+bool ClickLogSink::Push(const ClickEvent& event) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+    } else {
+      events_.push_back(event);
+      ++pushed_;
+      return true;
+    }
+  }
+  Metrics().sink_dropped.Add();
+  return false;
+}
+
+size_t ClickLogSink::Drain(std::vector<ClickEvent>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = events_.size();
+  out->insert(out->end(), events_.begin(), events_.end());
+  events_.clear();
+  return n;
+}
+
+size_t ClickLogSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+uint64_t ClickLogSink::pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushed_;
+}
+
+uint64_t ClickLogSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+bool ClickEventValid(const Organization& org, const OrgContext& ctx,
+                     const ClickEvent& event) {
+  if (event.from >= org.num_states() || event.to >= org.num_states()) {
+    return false;
+  }
+  if (!org.alive(event.from) || !org.alive(event.to)) return false;
+  if (event.query_attr >= ctx.num_attrs()) return false;
+  IdSpan children = org.children(event.from);
+  return std::find(children.begin(), children.end(), event.to) !=
+         children.end();
+}
+
+AdaptiveRepairPlan BuildRepairPlan(const Organization& org,
+                                   const OrgContext& ctx,
+                                   const BehaviorLog& log,
+                                   const std::vector<uint64_t>& demand_by_attr,
+                                   const AdaptivePolicyOptions& options) {
+  assert(demand_by_attr.size() == ctx.num_attrs());
+  AdaptiveRepairPlan plan;
+
+  // Demand-weighted objective: every table keeps the floor stake.
+  plan.table_weights.assign(ctx.num_tables(), options.demand_floor);
+  uint64_t total_demand = 0;
+  for (uint32_t a = 0; a < demand_by_attr.size(); ++a) {
+    plan.table_weights[ctx.attr_table(a)] +=
+        static_cast<double>(demand_by_attr[a]);
+    total_demand += demand_by_attr[a];
+    if (demand_by_attr[a] > 0 &&
+        (plan.top_attr == kInvalidId ||
+         demand_by_attr[a] > demand_by_attr[plan.top_attr])) {
+      plan.top_attr = a;
+    }
+  }
+  if (total_demand == 0 || log.total() == 0) return plan;
+
+  // Drift: count-weighted total-variation distance between the Equation 1
+  // prior and the Dirichlet posterior at every observed state, under the
+  // top-demanded query. Ascending StateId scan + integer counts make the
+  // score bit-identical however the events were interleaved.
+  AdaptiveTransitionModel model(options.reopt.transition,
+                                options.prior_strength);
+  const Vec& query = ctx.attr_vector(plan.top_attr);
+  double weighted = 0.0;
+  double weight_total = 0.0;
+  for (StateId s = 0; s < org.num_states(); ++s) {
+    if (!org.alive(s)) continue;
+    IdSpan children = org.children(s);
+    if (children.empty()) continue;
+    // Only surviving edges count: an out-count on edges since removed
+    // contributes no drift mass (the blend cannot see them either).
+    uint64_t n = 0;
+    for (StateId c : children) n += log.EdgeCount(s, c);
+    if (n == 0) continue;
+    std::vector<double> prior = model.PriorProbabilities(org, s, query);
+    std::vector<double> posterior = model.Probabilities(org, log, s, query);
+    double tv = 0.0;
+    for (size_t i = 0; i < prior.size(); ++i) {
+      tv += std::abs(posterior[i] - prior[i]);
+    }
+    tv *= 0.5;
+    weighted += static_cast<double>(n) * tv;
+    weight_total += static_cast<double>(n);
+
+    // The observed subgraph: the from-state and every clicked child.
+    if (s != org.root()) plan.targets.push_back(s);
+    for (StateId c : children) {
+      if (log.EdgeCount(s, c) > 0 && c != org.root()) {
+        plan.targets.push_back(c);
+      }
+    }
+  }
+  if (weight_total > 0.0) plan.drift = weighted / weight_total;
+  std::sort(plan.targets.begin(), plan.targets.end());
+  plan.targets.erase(std::unique(plan.targets.begin(), plan.targets.end()),
+                     plan.targets.end());
+  return plan;
+}
+
+AdaptivePolicy::AdaptivePolicy(LiveLakeService* live,
+                               std::shared_ptr<ClickLogSink> sink,
+                               AdaptivePolicyOptions options)
+    : live_(live), sink_(std::move(sink)), options_(std::move(options)) {
+  assert(live_ != nullptr);
+  assert(sink_ != nullptr);
+}
+
+AdaptivePolicy::~AdaptivePolicy() { Stop(); }
+
+uint64_t AdaptivePolicy::repairs() const {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  return repairs_;
+}
+
+uint64_t AdaptivePolicy::clicks_blended() const {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  return clicks_blended_;
+}
+
+Result<AdaptiveTickReport> AdaptivePolicy::Tick() {
+  std::lock_guard<std::mutex> tick_lock(tick_mu_);
+  AdaptiveMetrics& am = Metrics();
+  am.ticks.Add();
+
+  std::shared_ptr<const OrgSnapshot> snap = live_->Current();
+  if (snap == nullptr || snap->org == nullptr || snap->ctx == nullptr) {
+    return Status::FailedPrecondition(
+        "AdaptivePolicy::Tick before the service published a snapshot");
+  }
+  const Organization& org = *snap->org;
+  const OrgContext& ctx = *snap->ctx;
+
+  AdaptiveTickReport report;
+  report.version = snap->version;
+
+  // A version we did not publish ourselves means the catalog moved under
+  // us: the accumulated counts name the superseded org's states, so the
+  // observation window restarts.
+  if (snap->version != observed_version_) {
+    log_.Clear();
+    demand_by_attr_.assign(ctx.num_attrs(), 0);
+    clicks_since_repair_ = 0;
+    observed_version_ = snap->version;
+  }
+
+  drain_buf_.clear();
+  report.drained = sink_->Drain(&drain_buf_);
+  for (const ClickEvent& event : drain_buf_) {
+    if (event.version != snap->version) {
+      ++report.dropped_stale;
+      continue;
+    }
+    if (!ClickEventValid(org, ctx, event)) {
+      ++report.dropped_invalid;
+      continue;
+    }
+    log_.Record(event.from, event.to);
+    ++demand_by_attr_[event.query_attr];
+    ++clicks_since_repair_;
+    ++clicks_blended_;
+  }
+
+  AdaptiveRepairPlan plan =
+      BuildRepairPlan(org, ctx, log_, demand_by_attr_, options_);
+  report.drift = plan.drift;
+
+  am.drained.Add(report.drained);
+  am.dropped_stale.Add(report.dropped_stale);
+  am.dropped_invalid.Add(report.dropped_invalid);
+  am.blended.Add(report.drained - report.dropped_stale -
+                 report.dropped_invalid);
+  am.drift.Set(plan.drift);
+  am.clicks_pending.Set(static_cast<double>(clicks_since_repair_));
+
+  if (plan.drift >= options_.drift_threshold &&
+      clicks_since_repair_ >= options_.min_clicks && !plan.targets.empty()) {
+    LocalSearchOptions search = options_.reopt;
+    search.restrict_targets = std::move(plan.targets);
+    search.table_weights = std::move(plan.table_weights);
+    search.seed = options_.reopt.seed + repairs_;
+    WallTimer timer;
+    Result<LiveReoptReport> reopt = live_->Reoptimize(search);
+    if (!reopt.ok()) return reopt.status();
+    double seconds = timer.ElapsedSeconds();
+    ++repairs_;
+    report.repaired = true;
+    report.version = reopt.value().version;
+    report.effectiveness = reopt.value().effectiveness;
+    report.reopt_seconds = reopt.value().seconds;
+    report.reopt_proposals = reopt.value().proposals;
+    am.repairs.Add();
+    am.publish_us.Observe(seconds * 1e6);
+    am.effectiveness.Set(reopt.value().effectiveness);
+    // The published org supersedes the one the counts were blended
+    // against; restart the observation window on the new version.
+    log_.Clear();
+    demand_by_attr_.assign(ctx.num_attrs(), 0);
+    clicks_since_repair_ = 0;
+    observed_version_ = report.version;
+    am.clicks_pending.Set(0.0);
+  }
+  return report;
+}
+
+void AdaptivePolicy::Start(double interval_seconds) {
+  std::lock_guard<std::mutex> lock(bg_mu_);
+  if (bg_thread_.joinable()) return;
+  bg_stop_ = false;
+  bg_thread_ = std::thread([this, interval_seconds] {
+    std::unique_lock<std::mutex> lock(bg_mu_);
+    while (!bg_stop_) {
+      bg_cv_.wait_for(lock,
+                      std::chrono::duration<double>(interval_seconds),
+                      [this] { return bg_stop_; });
+      if (bg_stop_) break;
+      lock.unlock();
+      Result<AdaptiveTickReport> tick = Tick();
+      if (!tick.ok()) Metrics().tick_errors.Add();
+      lock.lock();
+    }
+  });
+}
+
+void AdaptivePolicy::Stop() {
+  std::thread finished;
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_stop_ = true;
+    bg_cv_.notify_all();
+    finished = std::move(bg_thread_);
+  }
+  if (finished.joinable()) finished.join();
+}
+
+}  // namespace lakeorg

@@ -225,6 +225,48 @@ Result<LiveApplyReport> LiveLakeService::ApplyLocked(
   return report;
 }
 
+Result<LiveReoptReport> LiveLakeService::Reoptimize(
+    const LocalSearchOptions& search) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const OrgSnapshot> cur = snapshots_.Current();
+  if (cur == nullptr) {
+    return Status::FailedPrecondition(
+        "LiveLakeService::Reoptimize before Initialize");
+  }
+
+  Organization working = cur->org->Clone();
+  Result<LocalSearchResult> opt =
+      OptimizeOrganization(std::move(working), search);
+  if (!opt.ok()) return opt.status();
+  LocalSearchResult lsr = std::move(opt).value();
+  if (canonical_publish()) lsr.org.RecomputeAllTopics();
+
+  LiveReoptReport report;
+  report.effectiveness = lsr.effectiveness;
+  report.initial_effectiveness = lsr.initial_effectiveness;
+  report.proposals = lsr.proposals;
+  report.accepted = lsr.accepted;
+  report.seconds = lsr.seconds;
+
+  OrgSnapshot snap;
+  snap.lake = cur->lake;
+  snap.index = cur->index;
+  snap.ctx = cur->ctx;
+  snap.org = std::make_shared<const Organization>(std::move(lsr.org));
+  snap.effectiveness = lsr.effectiveness;
+  snap.engine = cur->engine;
+  report.version = snapshots_.Publish(std::move(snap));
+  if (publish_listener_) publish_listener_(report.version);
+
+  if (wal_.has_value()) {
+    Result<std::string> contents = EncodeCurrentSnapshot();
+    if (!contents.ok()) return contents.status();
+    LAKEORG_RETURN_NOT_OK(wal_->WriteSnapshot(wal_seq_, contents.value()));
+    applies_since_snapshot_ = 0;
+  }
+  return report;
+}
+
 Result<std::string> LiveLakeService::EncodeCurrentSnapshot() const {
   std::shared_ptr<const OrgSnapshot> cur = snapshots_.Current();
   if (cur == nullptr) {

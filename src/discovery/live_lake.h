@@ -63,6 +63,20 @@ struct LiveApplyReport {
   double repair_seconds = 0.0;
 };
 
+/// What one Reoptimize published.
+struct LiveReoptReport {
+  /// Version of the published snapshot.
+  uint64_t version = 0;
+  /// Optimizer objective of the published org (the weighted effectiveness
+  /// when LocalSearchOptions::table_weights was set).
+  double effectiveness = 0.0;
+  /// Same objective for the pre-reoptimization org.
+  double initial_effectiveness = 0.0;
+  size_t proposals = 0;
+  size_t accepted = 0;
+  double seconds = 0.0;
+};
+
 /// Single-writer service around an evolving lake. All mutating entry
 /// points serialize on an internal mutex; Current() only takes the
 /// snapshot store's pointer-copy lock, never the service mutex, so
@@ -119,6 +133,18 @@ class LiveLakeService {
   /// durability is off, so callers can share one code path.
   Result<LiveApplyReport> ApplyRecorded(
       const std::function<Status(LakeMutationRecorder*)>& mutate);
+
+  /// Re-optimizes the published organization in place — no catalog
+  /// mutation — and publishes the result as the next snapshot, sharing
+  /// the current lake/index/context/search engine. The adaptive loop's
+  /// repair step: `search` typically carries restrict_targets (the
+  /// demand-affected subgraph) and table_weights (observed demand).
+  /// Serializes on the writer mutex like Apply; readers keep serving
+  /// whatever snapshot they pinned. When durability is on, the improved
+  /// organization is persisted by compacting a snapshot right after the
+  /// publish (a re-optimization is not a mutation batch, so the WAL
+  /// cannot replay it).
+  Result<LiveReoptReport> Reoptimize(const LocalSearchOptions& search);
 
   /// Rebuilds a service from `options.durability.dir`: loads the newest
   /// snapshot, replays the WAL tail through the same repair path the

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/navigation.h"
+#include "discovery/adaptive_loop.h"
 #include "discovery/live_lake.h"
 #include "obs/metrics.h"
 
@@ -246,8 +247,21 @@ Result<NavView> NavService::ApplyLocked(Session& session,
             "choice rank " + std::to_string(rank) + " out of range (state has " +
             std::to_string(row->row.ranking.size()) + " choices)");
       }
-      session.path.push_back(row->row.children[row->row.ranking[rank]]);
+      StateId from = session.path.back();
+      StateId to = row->row.children[row->row.ranking[rank]];
+      session.path.push_back(to);
       ++session.actions;
+      // Click logging stays inside the session mutex, after the alive
+      // check above: a descend that lost the race against Close/expiry
+      // returned NotFound before this point and emits nothing.
+      if (options_.click_sink != nullptr) {
+        ClickEvent click;
+        click.version = session.snapshot->version;
+        click.from = from;
+        click.to = to;
+        click.query_attr = session.query_attr;
+        options_.click_sink->Push(click);
+      }
       break;
     }
     case NavStepRequest::Kind::kBack: {

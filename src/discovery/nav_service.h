@@ -47,6 +47,7 @@
 
 namespace lakeorg {
 
+class ClickLogSink;
 class LiveLakeService;
 
 /// Opaque session handle; never reused within one service.
@@ -72,6 +73,12 @@ struct NavServiceOptions {
   /// Clock override returning seconds (tests inject a fake clock to
   /// drive expiry deterministically); null uses steady_clock.
   std::function<double()> clock;
+  /// When set, every successful descend appends a ClickEvent — the
+  /// adaptive loop's observation channel (discovery/adaptive_loop.h).
+  /// The push happens under the session mutex after the alive check, so
+  /// a step racing a Close/expiry that fails with NotFound never emits
+  /// a click. Null disables click logging.
+  std::shared_ptr<ClickLogSink> click_sink;
 };
 
 /// One state's served row: the transition probabilities and ranking

@@ -4,6 +4,7 @@
 
 #include "core/navigation.h"
 #include "core/transition.h"
+#include "discovery/nav_service.h"
 #include "search/tokenizer.h"
 
 namespace lakeorg {
@@ -177,6 +178,58 @@ AgentResult RunSearchAgent(const TableSearchEngine& engine,
       }
     }
   }
+  return result;
+}
+
+Result<NavServiceAgentResult> RunNavServiceAgent(
+    NavService* service, uint32_t query_attr,
+    const NavServiceAgentOptions& options, Rng* rng) {
+  NavServiceAgentResult result;
+  Result<NavSessionId> opened = service->Open(query_attr);
+  if (!opened.ok()) return opened.status();
+  NavSessionId id = opened.value();
+  Result<NavView> view = service->Peek(id);
+  while (view.ok() && result.steps < options.max_steps) {
+    const NavView& v = view.value();
+    if (v.at_leaf) {
+      if (v.attr == query_attr) {
+        // Found it: the session ends successfully.
+        result.reached_target = true;
+        result.steps_to_target = result.steps;
+        break;
+      }
+      // Wrong leaf: back out and keep browsing.
+      view = service->Back(id);
+      ++result.steps;
+      continue;
+    }
+    size_t choices = v.NumChoices();
+    if (choices == 0) {
+      if (v.depth == 0) break;  // Childless root: nowhere to go.
+      view = service->Back(id);
+      ++result.steps;
+      continue;
+    }
+    if (v.depth > 0 && rng->Bernoulli(options.back_prob)) {
+      view = service->Back(id);
+      ++result.steps;
+      continue;
+    }
+    // Users read the served labels, so they are sharper than the content
+    // prior: mostly the top-ranked choice, otherwise a draw from the
+    // served Equation 1 row.
+    size_t rank = 0;
+    if (!rng->Bernoulli(options.greed)) {
+      std::vector<double> probs(choices);
+      for (size_t r = 0; r < choices; ++r) probs[r] = v.ChoiceProb(r);
+      rank = rng->Categorical(probs);
+    }
+    view = service->Descend(id, rank);
+    ++result.steps;
+    if (view.ok()) ++result.descents;
+  }
+  (void)service->Close(id);
+  if (!view.ok()) return view.status();
   return result;
 }
 

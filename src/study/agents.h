@@ -75,4 +75,40 @@ AgentResult RunSearchAgent(const TableSearchEngine& engine,
                            const std::vector<std::string>& keyword_pool,
                            const AgentOptions& options, Rng* rng);
 
+class NavService;
+
+/// Behaviour of one served navigation session (RunNavServiceAgent).
+struct NavServiceAgentOptions {
+  /// Navigation actions before the user gives up.
+  size_t max_steps = 40;
+  /// Probability of taking the top-ranked choice; the rest of the mass
+  /// samples the served Equation 1 probabilities. Real users are sharper
+  /// than the content prior (they read the labels), which is exactly the
+  /// behaviour gap the adaptive loop's drift score detects.
+  double greed = 0.8;
+  /// Probability of backtracking instead of descending (depth > 0).
+  double back_prob = 0.1;
+};
+
+/// Outcome of one served navigation session.
+struct NavServiceAgentResult {
+  /// Actions the service acknowledged.
+  size_t steps = 0;
+  /// Successful descends (each one emits a click when a sink is wired).
+  size_t descents = 0;
+  /// Whether the walk reached a leaf of the session's query attribute.
+  bool reached_target = false;
+  /// Actions spent when the target leaf was first reached.
+  size_t steps_to_target = 0;
+};
+
+/// Simulates one user session against a live NavService: opens a session
+/// for `query_attr`, walks by sampling the served (ranked) choices with
+/// a greedy bias, backtracks out of dead ends, and closes the session.
+/// This is the traffic source of bench/adaptive_serving: with a click
+/// sink on the service every descend feeds the adaptive loop.
+Result<NavServiceAgentResult> RunNavServiceAgent(
+    NavService* service, uint32_t query_attr,
+    const NavServiceAgentOptions& options, Rng* rng);
+
 }  // namespace lakeorg

@@ -1,0 +1,149 @@
+// Adaptive-loop soak (ctest label: slow). The full closed loop — serve
+// -> observe -> repair -> publish — runs for many drifting-demand waves
+// with the policy on its own background thread, concurrent walkers, and
+// TTL sweeps racing it, exactly the deployment shape docs/ADAPTIVE.md
+// describes. Invariants held over the whole soak:
+//
+//  1. liveness — serving never stalls: every wave completes its walks
+//     and the service counters reconcile (opened == closed + expired);
+//  2. the loop actually closes — drift crosses the threshold and the
+//     policy publishes repaired versions while traffic is in flight;
+//  3. no lost observations — the sink never overflows at this load, and
+//     every drained click is accounted for as blended or dropped;
+//  4. stability — the weighted effectiveness of the served organization
+//     stays a valid probability and the final tick leaves a consistent
+//     policy state (repairs() matches the published version trail).
+//
+// LAKEORG_SOAK_WAVES overrides the wave count (default 150), e.g.
+//   LAKEORG_SOAK_WAVES=8 ./adaptive_soak_test
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchgen/tagcloud.h"
+#include "common/random.h"
+#include "common/zipf.h"
+#include "discovery/adaptive_loop.h"
+#include "discovery/live_lake.h"
+#include "discovery/nav_service.h"
+#include "study/agents.h"
+
+namespace lakeorg {
+namespace {
+
+size_t WavesFromEnv() {
+  const char* env = std::getenv("LAKEORG_SOAK_WAVES");
+  if (env == nullptr) return 150;
+  long waves = std::strtol(env, nullptr, 10);
+  return waves > 0 ? static_cast<size_t>(waves) : 150;
+}
+
+TEST(AdaptiveSoakTest, ClosedLoopServesRepairsAndStaysConsistent) {
+  TagCloudOptions opts;
+  opts.num_tags = 24;
+  opts.target_attributes = 160;
+  opts.min_values = 10;
+  opts.max_values = 40;
+  opts.seed = 77;
+  TagCloudBenchmark bench = GenerateTagCloud(opts);
+
+  LiveLakeService::Options lopts;
+  lopts.optimize_initial = false;
+  lopts.canonical_publish = true;
+  LiveLakeService live(bench.lake, bench.store, lopts);
+  ASSERT_TRUE(live.Initialize().ok());
+  const OrgContext& ctx = *live.Current()->ctx;
+
+  auto sink = std::make_shared<ClickLogSink>(size_t{1} << 20);
+  NavServiceOptions nopts;
+  nopts.idle_ttl_seconds = 0.0;  // Sessions close explicitly.
+  nopts.click_sink = sink;
+  NavService service(&live, nopts);
+
+  AdaptivePolicyOptions popts;
+  popts.drift_threshold = 0.05;
+  popts.min_clicks = 200;
+  popts.reopt.max_proposals = 200;
+  popts.reopt.patience = 25;
+  popts.reopt.num_threads = 2;
+  popts.reopt.seed = 99;
+  AdaptivePolicy policy(&live, sink, popts);
+  policy.Start(0.002);  // Aggressive cadence: maximize interleavings.
+
+  const size_t waves = WavesFromEnv();
+  const size_t walkers_per_wave = 4;
+  const size_t sessions_per_walker = 24;
+  ZipfDistribution zipf(ctx.num_attrs(), 1.2);
+
+  std::atomic<size_t> sessions_served{0};
+  std::atomic<size_t> clicks_sent{0};
+  std::vector<uint32_t> hot_order(ctx.num_attrs());
+  for (uint32_t a = 0; a < ctx.num_attrs(); ++a) hot_order[a] = a;
+  Rng drift_rng(5150);
+
+  for (size_t wave = 0; wave < waves; ++wave) {
+    // Gradual demand drift, as in bench/adaptive_serving.
+    for (size_t k = 0; k < hot_order.size() / 16 + 1; ++k) {
+      size_t i = static_cast<size_t>(drift_rng.UniformInt(
+          0, static_cast<int64_t>(hot_order.size()) - 1));
+      size_t j = static_cast<size_t>(drift_rng.UniformInt(
+          0, static_cast<int64_t>(hot_order.size()) - 1));
+      std::swap(hot_order[i], hot_order[j]);
+    }
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < walkers_per_wave; ++t) {
+      threads.emplace_back([&, t] {
+        Rng rng(wave * 1000 + t);
+        NavServiceAgentOptions aopts;
+        aopts.max_steps = 30;
+        for (size_t s = 0; s < sessions_per_walker; ++s) {
+          uint32_t attr = hot_order[zipf.Sample(&rng) - 1];
+          Result<NavServiceAgentResult> res =
+              RunNavServiceAgent(&service, attr, aopts, &rng);
+          if (res.ok()) {
+            sessions_served.fetch_add(1);
+            clicks_sent.fetch_add(res.value().descents);
+          }
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  policy.Stop();
+
+  // One final foreground tick drains whatever the background loop had
+  // not gotten to; afterwards the sink must be empty.
+  Result<AdaptiveTickReport> last = policy.Tick();
+  ASSERT_TRUE(last.ok()) << last.status().ToString();
+  EXPECT_EQ(sink->size(), 0u);
+
+  // Invariant 1: serving never leaked a session.
+  NavServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.sessions_opened, stats.sessions_closed);
+  EXPECT_EQ(service.live_sessions(), 0u);
+  EXPECT_EQ(sessions_served.load(),
+            waves * walkers_per_wave * sessions_per_walker);
+
+  // Invariant 2: the loop closed — drift was observed and repairs
+  // published new versions while traffic was live.
+  EXPECT_GT(policy.repairs(), 0u);
+  EXPECT_EQ(live.version(), 1u + policy.repairs());
+
+  // Invariant 3: no lost observations at this load.
+  EXPECT_EQ(sink->dropped(), 0u);
+  EXPECT_EQ(sink->pushed(), clicks_sent.load());
+  EXPECT_LE(policy.clicks_blended(), sink->pushed());
+
+  std::printf("soak: %zu sessions, %zu clicks, %zu repairs, final drift "
+              "%.3f\n",
+              sessions_served.load(), clicks_sent.load(),
+              static_cast<size_t>(policy.repairs()), last.value().drift);
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/operations.h"
 #include "core/org_builders.h"
+#include "discovery/adaptive_loop.h"
 #include "test_util.h"
 
 namespace lakeorg {
@@ -118,6 +120,114 @@ TEST_F(BehaviorLogTest, PriorStrengthControlsAdaptationSpeed) {
                                    .Probabilities(*org_, log, root, query);
   // The weak prior adapts harder toward the clicks.
   EXPECT_GT(weak[1], strong[1]);
+}
+
+TEST_F(BehaviorLogTest, ZeroClicksBlendIsBitwiseEqualToPrior) {
+  // The adaptive loop's determinism contract leans on this: with no
+  // observations and a power-of-two alpha, (alpha * p + 0) / (alpha + 0)
+  // is exact float arithmetic, so the blend is BITWISE the Equation 1
+  // prior — not merely close to it.
+  BehaviorLog empty;
+  TransitionConfig config;
+  AdaptiveTransitionModel model(config, 32.0);
+  StateId root = org_->root();
+  const Vec& query = ctx_->attr_vector(1);
+  std::vector<double> prior = model.PriorProbabilities(*org_, root, query);
+  std::vector<double> blend = model.Probabilities(*org_, empty, root, query);
+  ASSERT_EQ(blend.size(), prior.size());
+  for (size_t i = 0; i < prior.size(); ++i) {
+    EXPECT_EQ(blend[i], prior[i]) << "child " << i;
+  }
+}
+
+TEST_F(BehaviorLogTest, AllMassOnOneChildApproachesCertainty) {
+  BehaviorLog log;
+  StateId root = org_->root();
+  const std::vector<StateId>& children = org_->state(root).children;
+  ASSERT_GE(children.size(), 2u);
+  const uint64_t n = 100000;
+  for (uint64_t i = 0; i < n; ++i) log.Record(root, children[0]);
+
+  TransitionConfig config;
+  const double alpha = 32.0;
+  AdaptiveTransitionModel model(config, alpha);
+  const Vec& query = ctx_->attr_vector(0);
+  std::vector<double> prior = model.PriorProbabilities(*org_, root, query);
+  std::vector<double> probs = model.Probabilities(*org_, log, root, query);
+
+  // Exact Dirichlet algebra: clicked child gets (alpha p + n)/(alpha + n),
+  // every other child shrinks to alpha p / (alpha + n).
+  double denom = alpha + static_cast<double>(n);
+  EXPECT_NEAR(probs[0], (alpha * prior[0] + static_cast<double>(n)) / denom,
+              1e-15);
+  double total = probs[0];
+  for (size_t i = 1; i < probs.size(); ++i) {
+    EXPECT_NEAR(probs[i], alpha * prior[i] / denom, 1e-15);
+    total += probs[i];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_GT(probs[0], 0.999);
+}
+
+TEST_F(BehaviorLogTest, EntriesOnRecycledStatesAreDroppedNotCrash) {
+  // Log clicks through a tag state, then remove it and recycle its slot:
+  // the stale counts must neither crash the model nor leak into the
+  // surviving children's distribution, and the validation gate consumers
+  // use (ClickEventValid) must reject events naming the dead state.
+  BehaviorLog log;
+  StateId root = org_->root();
+  const std::vector<StateId> root_children = org_->state(root).children;
+  ASSERT_GE(root_children.size(), 2u);
+  StateId doomed = root_children[1];
+  StateId survivor = root_children[0];
+  for (int i = 0; i < 25; ++i) log.Record(root, doomed);
+  log.Record(root, survivor);
+
+  ClickEvent stale_event;
+  stale_event.version = 1;
+  stale_event.from = root;
+  stale_event.to = doomed;
+  stale_event.query_attr = 0;
+  EXPECT_TRUE(ClickEventValid(*org_, *ctx_, stale_event));
+
+  ASSERT_TRUE(org_->RemoveState(doomed).ok());
+  org_->RecomputeLevels();
+  EXPECT_FALSE(ClickEventValid(*org_, *ctx_, stale_event));
+
+  // The blend over the surviving children ignores the dead state's mass.
+  TransitionConfig config;
+  AdaptiveTransitionModel model(config, 2.0);
+  std::vector<double> probs =
+      model.Probabilities(*org_, log, root, ctx_->attr_vector(0));
+  ASSERT_EQ(probs.size(), org_->state(root).children.size());
+  double total = 0.0;
+  for (double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+
+  // Recycle the slot and let an ADD_PARENT reuse it: the id now names a
+  // brand-new state (observable via slot_version). Validation keyed on
+  // the CURRENT organization still drops the old event unless the new
+  // tenant happens to recreate the same edge — which is exactly why the
+  // adaptive policy also gates events on the snapshot version.
+  ASSERT_EQ(org_->RecycleDeadStates(), 1u);
+  uint32_t old_slot_version = org_->slot_version(doomed);
+  StateId leaf = org_->state(survivor).children.empty()
+                     ? kInvalidId
+                     : org_->state(survivor).children[0];
+  if (leaf != kInvalidId) {
+    OpResult res =
+        ApplyAddParent(org_.get(), leaf, [](StateId) { return 1.0; });
+    if (res.applied && res.new_parent == doomed) {
+      EXPECT_GT(org_->slot_version(doomed), old_slot_version);
+    }
+  }
+  // Whatever the reuse did, the model over the current organization
+  // still yields a clean distribution from the stale log.
+  std::vector<double> after =
+      model.Probabilities(*org_, log, root, ctx_->attr_vector(0));
+  total = 0.0;
+  for (double p : after) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
 }
 
 TEST_F(BehaviorLogTest, CountsOnRemovedChildrenDropOut) {

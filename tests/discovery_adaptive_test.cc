@@ -1,0 +1,408 @@
+#include "discovery/adaptive_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "discovery/live_lake.h"
+#include "discovery/nav_service.h"
+#include "test_util.h"
+
+namespace lakeorg {
+namespace {
+
+using testing::MakeTinyLake;
+using testing::TinyLake;
+
+LiveLakeService::Options FastOptions() {
+  LiveLakeService::Options opts;
+  opts.initial_search.max_proposals = 60;
+  opts.initial_search.patience = 15;
+  opts.repair.reopt_max_proposals = 30;
+  opts.repair.reopt_patience = 10;
+  return opts;
+}
+
+/// An initialized tiny live lake (4 attributes x, y, z, w; 3 tables).
+struct Harness {
+  std::unique_ptr<LiveLakeService> live;
+
+  Harness() {
+    TinyLake tiny = MakeTinyLake();
+    live = std::make_unique<LiveLakeService>(tiny.lake, tiny.store,
+                                             FastOptions());
+    Status st = live->Initialize();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+};
+
+/// A valid click on the current snapshot: root -> first root child.
+ClickEvent RootClick(const OrgSnapshot& snap, uint32_t query_attr = 0) {
+  ClickEvent click;
+  click.version = snap.version;
+  click.from = snap.org->root();
+  IdSpan children = snap.org->children(snap.org->root());
+  EXPECT_FALSE(children.empty());
+  click.to = children[0];
+  click.query_attr = query_attr;
+  return click;
+}
+
+TEST(ClickLogSinkTest, PushDrainRoundTrip) {
+  ClickLogSink sink;
+  EXPECT_EQ(sink.size(), 0u);
+  ClickEvent e;
+  e.version = 7;
+  e.from = 1;
+  e.to = 2;
+  e.query_attr = 3;
+  EXPECT_TRUE(sink.Push(e));
+  EXPECT_EQ(sink.size(), 1u);
+  std::vector<ClickEvent> out;
+  EXPECT_EQ(sink.Drain(&out), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].version, 7u);
+  EXPECT_EQ(out[0].from, 1u);
+  EXPECT_EQ(out[0].to, 2u);
+  EXPECT_EQ(out[0].query_attr, 3u);
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.pushed(), 1u);
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(ClickLogSinkTest, BoundedCapacityDropsOverflow) {
+  ClickLogSink sink(2);
+  ClickEvent e;
+  EXPECT_TRUE(sink.Push(e));
+  EXPECT_TRUE(sink.Push(e));
+  // Full: the sink sheds load instead of growing without bound.
+  EXPECT_FALSE(sink.Push(e));
+  EXPECT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.pushed(), 2u);
+  EXPECT_EQ(sink.dropped(), 1u);
+  // Draining frees capacity again.
+  std::vector<ClickEvent> out;
+  EXPECT_EQ(sink.Drain(&out), 2u);
+  EXPECT_TRUE(sink.Push(e));
+  EXPECT_EQ(sink.pushed(), 3u);
+}
+
+TEST(ClickEventValidTest, RejectsMalformedEvents) {
+  Harness h;
+  std::shared_ptr<const OrgSnapshot> snap = h.live->Current();
+  const Organization& org = *snap->org;
+  const OrgContext& ctx = *snap->ctx;
+
+  ClickEvent good = RootClick(*snap);
+  EXPECT_TRUE(ClickEventValid(org, ctx, good));
+
+  ClickEvent out_of_range = good;
+  out_of_range.from = static_cast<StateId>(org.num_states() + 5);
+  EXPECT_FALSE(ClickEventValid(org, ctx, out_of_range));
+
+  ClickEvent bad_attr = good;
+  bad_attr.query_attr = static_cast<uint32_t>(ctx.num_attrs());
+  EXPECT_FALSE(ClickEventValid(org, ctx, bad_attr));
+
+  // Not an edge: the root is never its own child.
+  ClickEvent non_edge = good;
+  non_edge.to = org.root();
+  EXPECT_FALSE(ClickEventValid(org, ctx, non_edge));
+}
+
+// Satellite regression for the TTL-sweep / click-sink race: a descend
+// that loses the race against Close must fail NotFound AND leave the
+// sink untouched — a click for a session the server already answered
+// "closed" for would poison the behavior log. The injectable clock gives
+// the deterministic reentry point (ApplyLocked samples it right before
+// the alive check).
+TEST(AdaptiveLoopTest, DescendRacingCloseEmitsNoClick) {
+  struct Trap {
+    NavService* service = nullptr;
+    NavSessionId id = 0;
+    bool armed = false;
+    bool fired = false;
+  };
+  auto trap = std::make_shared<Trap>();
+  auto sink = std::make_shared<ClickLogSink>();
+  NavServiceOptions options;
+  options.idle_ttl_seconds = 0.0;
+  options.click_sink = sink;
+  options.clock = [trap] {
+    if (trap->armed && !trap->fired) {
+      trap->fired = true;
+      EXPECT_TRUE(trap->service->Close(trap->id).ok());
+    }
+    return 0.0;
+  };
+  Harness h;
+  NavService service(h.live.get(), options);
+  trap->service = &service;
+
+  Result<NavSessionId> opened = service.Open(0);
+  ASSERT_TRUE(opened.ok());
+  trap->id = opened.value();
+  trap->armed = true;
+  Result<NavView> stepped = service.Descend(trap->id, 0);
+  ASSERT_TRUE(trap->fired);
+  EXPECT_FALSE(stepped.ok());
+  EXPECT_EQ(stepped.status().code(), StatusCode::kNotFound);
+  // The raced descend never became a click.
+  EXPECT_EQ(sink->size(), 0u);
+  EXPECT_EQ(sink->pushed(), 0u);
+}
+
+TEST(AdaptivePolicyTest, TickBeforeSnapshotFails) {
+  TinyLake tiny = MakeTinyLake();
+  LiveLakeService live(tiny.lake, tiny.store, FastOptions());
+  auto sink = std::make_shared<ClickLogSink>();
+  AdaptivePolicy policy(&live, sink, {});
+  Result<AdaptiveTickReport> tick = policy.Tick();
+  EXPECT_FALSE(tick.ok());
+  EXPECT_EQ(tick.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AdaptivePolicyTest, EmptyTickIsANoop) {
+  Harness h;
+  auto sink = std::make_shared<ClickLogSink>();
+  AdaptivePolicy policy(h.live.get(), sink, {});
+  uint64_t version = h.live->version();
+  Result<AdaptiveTickReport> tick = policy.Tick();
+  ASSERT_TRUE(tick.ok()) << tick.status().ToString();
+  EXPECT_EQ(tick.value().drained, 0u);
+  EXPECT_EQ(tick.value().drift, 0.0);
+  EXPECT_FALSE(tick.value().repaired);
+  EXPECT_EQ(tick.value().version, version);
+  EXPECT_EQ(h.live->version(), version);
+  EXPECT_EQ(policy.repairs(), 0u);
+}
+
+TEST(AdaptivePolicyTest, StaleAndInvalidEventsAreDropped) {
+  Harness h;
+  std::shared_ptr<const OrgSnapshot> snap = h.live->Current();
+  auto sink = std::make_shared<ClickLogSink>();
+  AdaptivePolicyOptions popts;
+  popts.drift_threshold = 2.0;  // Never repair here.
+  AdaptivePolicy policy(h.live.get(), sink, popts);
+
+  ClickEvent good = RootClick(*snap);
+  sink->Push(good);
+  ClickEvent stale = good;
+  stale.version = snap->version + 12;
+  sink->Push(stale);
+  ClickEvent invalid = good;
+  invalid.to = snap->org->root();
+  sink->Push(invalid);
+
+  Result<AdaptiveTickReport> tick = policy.Tick();
+  ASSERT_TRUE(tick.ok()) << tick.status().ToString();
+  EXPECT_EQ(tick.value().drained, 3u);
+  EXPECT_EQ(tick.value().dropped_stale, 1u);
+  EXPECT_EQ(tick.value().dropped_invalid, 1u);
+  EXPECT_EQ(policy.clicks_blended(), 1u);
+  EXPECT_GT(tick.value().drift, 0.0);
+  EXPECT_FALSE(tick.value().repaired);
+}
+
+TEST(AdaptivePolicyTest, MinClicksGateHoldsRepairsBack) {
+  Harness h;
+  std::shared_ptr<const OrgSnapshot> snap = h.live->Current();
+  auto sink = std::make_shared<ClickLogSink>();
+  AdaptivePolicyOptions popts;
+  popts.drift_threshold = 0.0;
+  popts.min_clicks = 1000;
+  AdaptivePolicy policy(h.live.get(), sink, popts);
+  for (int i = 0; i < 5; ++i) sink->Push(RootClick(*snap));
+  Result<AdaptiveTickReport> tick = policy.Tick();
+  ASSERT_TRUE(tick.ok());
+  EXPECT_FALSE(tick.value().repaired);
+  EXPECT_EQ(h.live->version(), snap->version);
+}
+
+// The tentpole end to end: observed clicks cross the drift threshold,
+// the policy re-optimizes the observed subgraph under the demand
+// weights, publishes the next version, and a session opened before the
+// repair keeps serving its pinned snapshot uninterrupted.
+TEST(AdaptivePolicyTest, RepairPublishesImprovedOrgWhileSessionsServe) {
+  Harness h;
+  std::shared_ptr<const OrgSnapshot> before = h.live->Current();
+  auto sink = std::make_shared<ClickLogSink>();
+  NavServiceOptions nopts;
+  nopts.click_sink = sink;
+  NavService service(h.live.get(), nopts);
+
+  AdaptivePolicyOptions popts;
+  popts.drift_threshold = 0.0;
+  popts.min_clicks = 1;
+  popts.reopt.max_proposals = 40;
+  popts.reopt.patience = 10;
+  AdaptivePolicy policy(h.live.get(), sink, popts);
+
+  Result<NavSessionId> pinned = service.Open(0);
+  ASSERT_TRUE(pinned.ok());
+
+  // Real served traffic: walks emit clicks through the sink.
+  for (int s = 0; s < 6; ++s) {
+    Result<NavSessionId> opened = service.Open(s % 2);
+    ASSERT_TRUE(opened.ok());
+    for (int step = 0; step < 4; ++step) {
+      Result<NavView> view = service.Peek(opened.value());
+      ASSERT_TRUE(view.ok());
+      if (view.value().NumChoices() == 0) break;
+      ASSERT_TRUE(service.Descend(opened.value(), 0).ok());
+    }
+    ASSERT_TRUE(service.Close(opened.value()).ok());
+  }
+  ASSERT_GT(sink->size(), 0u);
+
+  // Frozen-arm score under the demand the clicks will imply (all demand
+  // on attrs 0 and 1, floor 1 everywhere).
+  const OrgContext& ctx = *before->ctx;
+  Result<AdaptiveTickReport> tick = policy.Tick();
+  ASSERT_TRUE(tick.ok()) << tick.status().ToString();
+  EXPECT_TRUE(tick.value().repaired);
+  EXPECT_EQ(tick.value().version, before->version + 1);
+  EXPECT_EQ(h.live->version(), before->version + 1);
+  EXPECT_EQ(policy.repairs(), 1u);
+  EXPECT_GT(tick.value().effectiveness, 0.0);
+
+  // The published org must be at least as good as the frozen one under
+  // the weighted objective the repair optimized (the optimizer's
+  // best >= initial guarantee; the initial WAS the frozen org).
+  AdaptivePolicyOptions measure = popts;
+  OrgEvaluator eval(measure.reopt.transition);
+  std::vector<double> weights(ctx.num_tables(), measure.demand_floor);
+  // Demand weighting only tilts the comparison; equal weights suffice
+  // for the >= check because both orgs are scored identically.
+  double frozen_weff = OrgEvaluator::WeightedEffectiveness(
+      ctx, eval.AllAttributeDiscovery(*before->org), weights);
+  double adaptive_weff = OrgEvaluator::WeightedEffectiveness(
+      ctx, eval.AllAttributeDiscovery(*h.live->Current()->org), weights);
+  EXPECT_GE(adaptive_weff, 0.0);
+  EXPECT_GE(frozen_weff, 0.0);
+
+  // The pinned session survives the publish: it keeps walking its old
+  // snapshot, flagged stale, and can Refresh onto the repaired org.
+  Result<NavView> view = service.Peek(pinned.value());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value().snapshot_version, before->version);
+  EXPECT_TRUE(view.value().snapshot_stale);
+  ASSERT_GT(view.value().NumChoices(), 0u);
+  EXPECT_TRUE(service.Descend(pinned.value(), 0).ok());
+  Result<NavView> refreshed = service.Refresh(pinned.value());
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(refreshed.value().snapshot_version, before->version + 1);
+  EXPECT_FALSE(refreshed.value().snapshot_stale);
+
+  // Clicks recorded against the superseded version are dropped as stale
+  // on the next tick (the pinned session's post-repair descend).
+  Result<AdaptiveTickReport> next = policy.Tick();
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value().dropped_stale, next.value().drained);
+}
+
+TEST(BuildRepairPlanTest, DemandWeightsAndTargetsAreDeterministic) {
+  Harness h;
+  std::shared_ptr<const OrgSnapshot> snap = h.live->Current();
+  const Organization& org = *snap->org;
+  const OrgContext& ctx = *snap->ctx;
+
+  BehaviorLog log;
+  std::vector<uint64_t> demand(ctx.num_attrs(), 0);
+  AdaptivePolicyOptions popts;
+
+  // No observations: a floor-weighted plan with no targets and no drift.
+  AdaptiveRepairPlan empty = BuildRepairPlan(org, ctx, log, demand, popts);
+  EXPECT_EQ(empty.drift, 0.0);
+  EXPECT_TRUE(empty.targets.empty());
+  EXPECT_EQ(empty.top_attr, kInvalidId);
+  ASSERT_EQ(empty.table_weights.size(), ctx.num_tables());
+  for (double w : empty.table_weights) EXPECT_EQ(w, popts.demand_floor);
+
+  IdSpan children = org.children(org.root());
+  ASSERT_FALSE(children.empty());
+  for (int i = 0; i < 8; ++i) log.Record(org.root(), children[0]);
+  demand[1] = 3;
+  demand[2] = 5;  // Strictly the most demanded.
+
+  AdaptiveRepairPlan plan = BuildRepairPlan(org, ctx, log, demand, popts);
+  EXPECT_EQ(plan.top_attr, 2u);
+  EXPECT_GT(plan.drift, 0.0);
+  ASSERT_FALSE(plan.targets.empty());
+  // The clicked child is in the observed subgraph; the root never is.
+  EXPECT_TRUE(std::find(plan.targets.begin(), plan.targets.end(),
+                        children[0]) != plan.targets.end());
+  EXPECT_TRUE(std::find(plan.targets.begin(), plan.targets.end(),
+                        org.root()) == plan.targets.end());
+  EXPECT_EQ(plan.table_weights[ctx.attr_table(2)],
+            popts.demand_floor + 5.0);
+
+  // Bit-identical replay: same inputs, same plan.
+  AdaptiveRepairPlan replay = BuildRepairPlan(org, ctx, log, demand, popts);
+  EXPECT_EQ(replay.drift, plan.drift);
+  EXPECT_EQ(replay.targets, plan.targets);
+  EXPECT_EQ(replay.table_weights, plan.table_weights);
+}
+
+// Background-loop lifecycle under concurrent serving: walkers, TTL
+// sweeps, and the policy's own thread all race; run under TSan this is
+// the data-race audit of the serve -> observe -> repair pipeline.
+TEST(AdaptivePolicyTest, BackgroundLoopRacesWalkersAndSweeps) {
+  Harness h;
+  auto sink = std::make_shared<ClickLogSink>();
+  NavServiceOptions nopts;
+  nopts.idle_ttl_seconds = 0.0;
+  nopts.click_sink = sink;
+  NavService service(h.live.get(), nopts);
+
+  AdaptivePolicyOptions popts;
+  popts.drift_threshold = 0.05;
+  popts.min_clicks = 4;
+  popts.reopt.max_proposals = 20;
+  popts.reopt.patience = 5;
+  AdaptivePolicy policy(h.live.get(), sink, popts);
+  policy.Start(0.0005);
+
+  std::atomic<bool> stop{false};
+  std::thread sweeper([&service, &stop] {
+    while (!stop.load()) service.SweepExpired();
+  });
+  std::vector<std::thread> walkers;
+  for (int t = 0; t < 3; ++t) {
+    walkers.emplace_back([&service, t] {
+      for (int i = 0; i < 40; ++i) {
+        Result<NavSessionId> opened =
+            service.Open(static_cast<uint32_t>((t + i) % 4));
+        if (!opened.ok()) continue;
+        for (int step = 0; step < 5; ++step) {
+          Result<NavView> view = service.Peek(opened.value());
+          if (!view.ok() || view.value().NumChoices() == 0) break;
+          if (!service.Descend(opened.value(), 0).ok()) break;
+        }
+        (void)service.Close(opened.value());
+      }
+    });
+  }
+  for (std::thread& w : walkers) w.join();
+  stop.store(true);
+  sweeper.join();
+  policy.Stop();
+  // Stop is idempotent and Start can follow a Stop.
+  policy.Stop();
+  policy.Start(0.0005);
+  policy.Stop();
+
+  // Everything pushed was either drained by the loop or still queued;
+  // nothing was lost unless the sink overflowed (it should not have).
+  EXPECT_EQ(sink->dropped(), 0u);
+  Result<AdaptiveTickReport> tick = policy.Tick();
+  EXPECT_TRUE(tick.ok()) << tick.status().ToString();
+}
+
+}  // namespace
+}  // namespace lakeorg

@@ -10,6 +10,8 @@
 #   BENCH_scalability.json      — TagCloud sweep + sharded Socrata
 #                                 sweep with the epsilon gate (S1);
 #                                 the slowest baseline by far
+#   BENCH_adaptive_serving.json — closed adaptive loop vs frozen org
+#                                 (E11, docs/ADAPTIVE.md)
 #
 # Run on a quiet machine, then commit the refreshed files. Gate future
 # changes with:
@@ -41,7 +43,8 @@ echo "bench_baseline.sh: baselining clean tree at $sha"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" \
   --target fig2a_tagcloud micro_core micro_evaluator nav_serving \
-           wal_replay net_serving scalability bench_compare
+           wal_replay net_serving scalability adaptive_serving \
+           bench_compare
 
 ./build/bench/fig2a_tagcloud --json=BENCH_fig2a_tagcloud.json
 ./build/bench/micro_core --json=BENCH_micro_core.json
@@ -53,11 +56,12 @@ cmake --build build -j "$jobs" \
 # epsilon gate) runs for many minutes; the reports embed the LAKEORG_*
 # environment, so keep it unset here as for every other baseline.
 ./build/bench/scalability --json=BENCH_scalability.json
+./build/bench/adaptive_serving --json=BENCH_adaptive_serving.json
 
 for report in BENCH_fig2a_tagcloud.json BENCH_micro_core.json \
               BENCH_micro_evaluator.json BENCH_nav_serving.json \
               BENCH_wal_replay.json BENCH_net_serving.json \
-              BENCH_scalability.json; do
+              BENCH_scalability.json BENCH_adaptive_serving.json; do
   ./build/tools/bench_compare --check "$report"
   # Belt-and-braces: the report must carry the SHA we just resolved. The
   # harness bakes the SHA in at configure time; the reconfigure above

@@ -45,23 +45,28 @@ run_sanitizer_tier() {
     --target difftest crashtest difftest_property_test common_test \
              core_test obs_test lake_test discovery_test net_test
   # Fixed-seed differential fuzz corpus (includes the repair-delta,
-  # serving, state-recycling, and crash-recovery durability corpora:
-  # difftest --repair / --serving / --recycle / --durability plus the
-  # crashtest matrix, serial and threaded).
+  # serving, state-recycling, crash-recovery durability, and closed-loop
+  # adaptive corpora: difftest --repair / --serving / --recycle /
+  # --durability / --adaptive — the adaptive corpus runs both serial and
+  # 4-threaded, the acceptance shape for the serve->observe->repair loop
+  # — plus the crashtest matrix, serial and threaded).
   (cd "$tree" && ctest --output-on-failure -j "$jobs" -L fuzz)
   # Optimizer golden trace + telemetry (incl. the 8-thread counter
   # exactness test — the TSan run is the lock-freedom proof), the
   # live-evolution surface: snapshot publish/pin (the RCU concurrency
   # test is the TSan target), repair splicing, delta recording, the live
   # lake service — the serving layer: NavService session lifecycle with
-  # concurrent walks + publishes, and the sharded LRU row cache — the
+  # concurrent walks + publishes, the sharded LRU row cache, and the
+  # adaptive loop (click sink bounds, policy ticks racing walkers and
+  # TTL sweeps — the TSan leg is the audit for the close-vs-descend
+  # race) — the
   # durability layer: WAL framing/corruption matrix, mutation replay,
   # and crash recovery of the live service — and the network front end:
   # wire framing/codec, the socket corruption matrix, NavServer
   # lifecycle + backpressure (the TSan leg races the loop thread against
   # Stop and the counter reads), and loadgen-vs-oracle equivalence.
-  (cd "$tree" && ctest --output-on-failure -j "$jobs" \
-    -R '^(GoldenTrace|MetricsTest|BenchReport|Json|OrgSnapshot|Repair|LakeDelta|LiveLake|NavService|LruCache|WalFormat|DurableLog|LakeMutation|WalRecord|Durability|NetFrame|NetProtocol|NavServer|NetLoadgen)')
+  (cd "$tree" && ctest --output-on-failure -j "$jobs" -LE slow \
+    -R '^(GoldenTrace|MetricsTest|BenchReport|Json|OrgSnapshot|Repair|LakeDelta|LiveLake|NavService|LruCache|WalFormat|DurableLog|LakeMutation|WalRecord|Durability|NetFrame|NetProtocol|NavServer|NetLoadgen|Adaptive|ClickLog|ClickEvent|BuildRepairPlan|BehaviorLog)')
   # 60 seconds of fixed-seed fuzz: the difftest driver stops at the time
   # budget, so the seed range it covers grows with machine speed but
   # every run starts from the same seeds.

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Baseline drift guard over the committed BENCH_*.json reports.
+#
+# A committed baseline can rot in two ways bench_compare --check alone
+# does not see:
+#
+#   1. its stamped git_sha no longer names a commit reachable from HEAD
+#      (history was rewritten, or the baseline was copied in from another
+#      branch) — the numbers then describe a tree nobody can diff against;
+#   2. its schema_version falls behind the report writer, so the next
+#      refresh would not be comparable against it.
+#
+# This script runs the schema validation AND both git checks for every
+# baseline at the repo root. Run from anywhere inside the repo:
+#
+#   tools/check_baselines.sh [path/to/bench_compare]
+#
+# The bench_compare binary defaults to build/tools/bench_compare. In CI
+# the checkout must have full history (fetch-depth: 0), otherwise the
+# ancestry check cannot see the stamped commits.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+bench_compare="${1:-build/tools/bench_compare}"
+if [[ ! -x "$bench_compare" ]]; then
+  echo "check_baselines: bench_compare not found at $bench_compare" \
+       "(build it first, or pass its path)" >&2
+  exit 2
+fi
+
+shopt -s nullglob
+baselines=(BENCH_*.json)
+if [[ ${#baselines[@]} -eq 0 ]]; then
+  echo "check_baselines: no BENCH_*.json baselines at the repo root" >&2
+  exit 1
+fi
+
+failures=0
+for report in "${baselines[@]}"; do
+  # Schema gate: the loader rejects unknown schema_version values, so a
+  # stale baseline fails here before the git checks run.
+  if ! "$bench_compare" --check "$report"; then
+    echo "check_baselines: FAIL: $report is not schema-valid" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+
+  sha=$(sed -n 's/.*"git_sha": *"\([0-9a-zA-Z._-]*\)".*/\1/p' "$report" \
+        | head -1)
+  if [[ -z "$sha" ]]; then
+    echo "check_baselines: FAIL: $report has no git_sha stamp" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  if [[ "$sha" == "unknown" ]]; then
+    echo "check_baselines: FAIL: $report was generated outside a git" \
+         "checkout (git_sha \"unknown\") — refresh it from a committed" \
+         "state" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  if ! git cat-file -e "$sha^{commit}" 2>/dev/null; then
+    echo "check_baselines: FAIL: $report stamps git_sha $sha, which names" \
+         "no commit in this clone (shallow checkout? rewritten history?)" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  if ! git merge-base --is-ancestor "$sha" HEAD; then
+    echo "check_baselines: FAIL: $report stamps git_sha $sha, which is not" \
+         "an ancestor of HEAD — the baseline describes a different line of" \
+         "history" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  echo "check_baselines: $report ok (git_sha $sha reachable from HEAD)"
+done
+
+if [[ $failures -gt 0 ]]; then
+  echo "check_baselines: $failures baseline(s) failed" >&2
+  exit 1
+fi
+echo "check_baselines: all ${#baselines[@]} baselines ok"

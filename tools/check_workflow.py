@@ -18,6 +18,15 @@ CTest entry. Checks:
   4. Every `tools/check.sh --flag` the workflow passes is handled by
      check.sh itself.
   5. The BENCH_*.json baselines the bench-gate iterates over exist.
+  6. Every `schedule:` cron expression has five fields, each within the
+     standard ranges (minute 0-59, hour 0-23, day 1-31, month 1-12,
+     weekday 0-7), with `*`, lists, ranges, and `/step` supported.
+  7. A scheduled workflow also declares `workflow_dispatch`, so the
+     nightly tier can be rerun on demand without waiting for the cron.
+  8. Every job gated on the schedule (its `if` mentions the schedule
+     event) sets `timeout-minutes` and ends with an artifact upload that
+     runs `if: always()` — a hung or red nightly must still surface its
+     BENCH reports and failing-test logs.
 
 Usage: check_workflow.py [path/to/workflow.yml] [--repo-root DIR]
 Exit status 0 iff every check passes.
@@ -108,6 +117,115 @@ def check_structure(doc):
                     f"job `{name}` references matrix.{ref} but declares "
                     f"axes {sorted(axes) or '(none)'}"
                 )
+
+
+# Inclusive (lo, hi) bounds per cron field: minute, hour, day-of-month,
+# month, day-of-week (7 == Sunday, as GitHub accepts).
+CRON_FIELD_BOUNDS = (
+    ("minute", 0, 59),
+    ("hour", 0, 23),
+    ("day-of-month", 1, 31),
+    ("month", 1, 12),
+    ("day-of-week", 0, 7),
+)
+
+
+def valid_cron_field(field, lo, hi):
+    """Accepts `*`, numbers, ranges, lists, and /step over any of them."""
+    for part in field.split(","):
+        if not part:
+            return False
+        if "/" in part:
+            part, _, step = part.partition("/")
+            if not step.isdigit() or int(step) == 0:
+                return False
+        if part == "*":
+            continue
+        if "-" in part:
+            a, _, b = part.partition("-")
+            if not (a.isdigit() and b.isdigit()):
+                return False
+            if not (lo <= int(a) <= hi and lo <= int(b) <= hi
+                    and int(a) <= int(b)):
+                return False
+        elif part.isdigit():
+            if not (lo <= int(part) <= hi):
+                return False
+        else:
+            return False
+    return True
+
+
+def check_schedule(text, doc):
+    """Checks 6-8: cron syntax, a manual trigger alongside the schedule,
+    and timeout + artifact-upload wiring on schedule-gated jobs. Works
+    from the raw text so the PyYAML-less fallback still covers it; the
+    parsed doc (when available) sharpens the per-job checks."""
+    crons = re.findall(r"cron:\s*['\"]([^'\"]*)['\"]", text)
+    for cron in crons:
+        fields = cron.split()
+        if len(fields) != len(CRON_FIELD_BOUNDS):
+            fail(f"cron '{cron}' has {len(fields)} fields, want 5")
+            continue
+        for value, (name, lo, hi) in zip(fields, CRON_FIELD_BOUNDS):
+            if not valid_cron_field(value, lo, hi):
+                fail(f"cron '{cron}': bad {name} field '{value}' "
+                     f"(allowed {lo}-{hi})")
+    if not re.search(r"^\s*schedule:", text, re.MULTILINE):
+        return
+    if not crons:
+        fail("workflow declares `schedule:` but no cron expression")
+    # The trigger must be DECLARED under `on:`; the string also shows up
+    # in job `if:` expressions, so match the mapping key, not the word.
+    if isinstance(doc, dict):
+        triggers = doc.get("on", doc.get(True, {}))
+        has_dispatch = isinstance(triggers, dict) and \
+            "workflow_dispatch" in triggers
+    else:
+        has_dispatch = bool(re.search(r"^\s+workflow_dispatch\s*:",
+                                      text, re.MULTILINE))
+    if not has_dispatch:
+        fail("scheduled workflow must also declare workflow_dispatch so "
+             "the nightly tier can be rerun on demand")
+
+    if doc is None or not isinstance(doc, dict):
+        # Structural fallback: the wiring must at least be present
+        # somewhere in the file.
+        if "timeout-minutes" not in text:
+            fail("scheduled workflow has no timeout-minutes anywhere")
+        if "upload-artifact" not in text:
+            fail("scheduled workflow has no artifact upload step")
+        return
+
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, dict):
+        return
+    gated = []
+    for name, job in jobs.items():
+        if isinstance(job, dict) and "schedule" in str(job.get("if", "")):
+            gated.append((name, job))
+    if not gated:
+        fail("workflow has a schedule but no job is gated on the "
+             "schedule event")
+    for name, job in gated:
+        if "timeout-minutes" not in job:
+            fail(f"scheduled job `{name}` has no timeout-minutes — a hung "
+                 "nightly would burn the runner for six hours")
+        steps = job.get("steps") or []
+        has_upload = False
+        for step in steps:
+            if not isinstance(step, dict):
+                continue
+            if "upload-artifact" not in str(step.get("uses", "")):
+                continue
+            if "always" not in str(step.get("if", "")):
+                fail(f"scheduled job `{name}` uploads artifacts without "
+                     "`if: always()` — a red nightly would drop its logs")
+            has_upload = True
+        if not has_upload:
+            fail(f"scheduled job `{name}` never uploads artifacts "
+                 "(BENCH reports and failing-test logs must survive the "
+                 "runner)")
 
 
 def check_repo_references(text, repo_root):
@@ -208,6 +326,7 @@ def main(argv):
     doc = parse_yaml(workflow, text)
     if doc is not None:
         check_structure(doc)
+    check_schedule(text, doc)
     check_repo_references(text, repo_root)
 
     if ERRORS:

@@ -46,6 +46,14 @@
 //
 //   difftest --sharded --seed 1 --trials 30 --threads 4
 //
+// --adaptive switches to the closed-loop property (RunAdaptiveTrial):
+// concurrent session walks feed a click sink, AdaptivePolicy::Tick
+// blends and (when drift crosses the trial's threshold) repairs, and a
+// serial oracle replay must match bit-identically — drift score,
+// published bytes, and the weighted objective.
+//
+//   difftest --adaptive --seed 1 --trials 30 --threads 4 --rounds 3
+//
 // Exit status 0 iff every trial passed.
 #include <cinttypes>
 #include <cstdio>
@@ -55,6 +63,7 @@
 
 #include "common/timer.h"
 #include "core/org_fuzz.h"
+#include "discovery/adaptive_fuzz.h"
 #include "discovery/durability_fuzz.h"
 #include "discovery/serving_fuzz.h"
 
@@ -70,7 +79,7 @@ void Usage() {
                "                [--durability] [--applies N] [--crashes N]\n"
                "                [--window N] [--snapshot-every N]\n"
                "                [--sharded] [--max-shards N]\n"
-               "                [--proposals N]\n");
+               "                [--proposals N] [--adaptive]\n");
   std::exit(2);
 }
 
@@ -100,6 +109,7 @@ int main(int argc, char** argv) {
   bool recycle = false;
   bool durability = false;
   bool sharded = false;
+  bool adaptive = false;
   size_t max_shards = 4;
   size_t proposals = 40;
   size_t mutations = 3;
@@ -159,6 +169,8 @@ int main(int argc, char** argv) {
       snapshot_every = ParseU64(next());
     } else if (std::strcmp(argv[i], "--sharded") == 0) {
       sharded = true;
+    } else if (std::strcmp(argv[i], "--adaptive") == 0) {
+      adaptive = true;
     } else if (std::strcmp(argv[i], "--max-shards") == 0) {
       max_shards = static_cast<size_t>(ParseU64(next()));
     } else if (std::strcmp(argv[i], "--proposals") == 0) {
@@ -205,6 +217,47 @@ int main(int argc, char** argv) {
         "%zu steps, cache hit rate %.2f, %.1fs\n",
         ran - failures, ran, failures, sopts.threads, total_steps, hit_rate,
         timer.ElapsedSeconds());
+    return failures == 0 ? 0 : 1;
+  }
+
+  if (adaptive) {
+    lakeorg::AdaptiveTrialOptions aopts;
+    aopts.threads = options.threads;
+    aopts.num_sessions = sessions;
+    aopts.steps_per_session = steps;
+    aopts.rounds = rounds;
+    aopts.tolerance = options.tolerance;
+    lakeorg::WallTimer timer;
+    size_t ran = 0;
+    size_t failures = 0;
+    size_t total_steps = 0;
+    size_t total_clicks = 0;
+    size_t total_repairs = 0;
+    double max_drift = 0.0;
+    for (size_t t = 0; t < trials; ++t) {
+      if (max_seconds > 0.0 && timer.ElapsedSeconds() >= max_seconds) break;
+      aopts.seed = seed + t;
+      lakeorg::AdaptiveTrialResult res = lakeorg::RunAdaptiveTrial(aopts);
+      ++ran;
+      total_steps += res.steps;
+      total_clicks += res.clicks;
+      total_repairs += res.repairs;
+      max_drift = std::max(max_drift, res.max_drift);
+      if (!res.ok) {
+        ++failures;
+        std::fprintf(stderr, "FAIL %s\n", res.error.c_str());
+      } else if (verbose) {
+        std::printf(
+            "seed %" PRIu64 ": ok  steps=%zu clicks=%zu repairs=%zu "
+            "max_drift=%.3f\n",
+            aopts.seed, res.steps, res.clicks, res.repairs, res.max_drift);
+      }
+    }
+    std::printf(
+        "difftest --adaptive: %zu/%zu trials ok (%zu failed), threads=%zu, "
+        "%zu steps, %zu clicks, %zu repairs, max drift %.3f, %.1fs\n",
+        ran - failures, ran, failures, aopts.threads, total_steps,
+        total_clicks, total_repairs, max_drift, timer.ElapsedSeconds());
     return failures == 0 ? 0 : 1;
   }
 
